@@ -1,0 +1,466 @@
+//! Adaptive SFS (the paper's **SFS-A**): preprocessing (Algorithm 3) and query processing
+//! (Algorithm 4), with a progressive result iterator.
+
+use crate::index::SkylineValueIndex;
+use crate::sorted_list::ScoredEntry;
+use skyline_core::algo::sfs;
+use skyline_core::score::ScoreFn;
+use skyline_core::{
+    Dataset, DominanceContext, PointId, Preference, Result, SkylineError, Template,
+};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// How the elimination pass of Algorithm 4 is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Only re-ranked (affected) points are tested against everything; unaffected points are
+    /// tested only against accepted affected points. This matches the paper's observation that
+    /// "there is no need to follow the SFS from scratch" and is the default.
+    #[default]
+    AffectedOnly,
+    /// Re-sort and run the plain SFS elimination over the whole template skyline. Kept as the
+    /// ablation baseline for the re-insertion optimization.
+    FullRescan,
+}
+
+/// Statistics recorded by [`AdaptiveSfs::build`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PreprocessStats {
+    /// `|D|`.
+    pub dataset_size: usize,
+    /// `|SKY(R̃)|`: the number of entries in the sorted list.
+    pub template_skyline_size: usize,
+    /// Wall-clock seconds spent computing and sorting the template skyline.
+    pub preprocess_seconds: f64,
+}
+
+/// Statistics recorded by one query evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Number of affected (re-ranked) points — the paper's `l`.
+    pub affected: usize,
+    /// Pairwise dominance tests performed during the elimination pass.
+    pub dominance_tests: u64,
+    /// Size of the returned skyline.
+    pub result_size: usize,
+}
+
+/// The Adaptive SFS query structure over an immutable dataset.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSfs<'a> {
+    data: &'a Dataset,
+    template: Template,
+    entries: Vec<ScoredEntry>,
+    index: SkylineValueIndex,
+    stats: PreprocessStats,
+}
+
+impl<'a> AdaptiveSfs<'a> {
+    /// Algorithm 3: computes `SKY(R̃)`, scores it under the template ranking and sorts it.
+    ///
+    /// Requires a template with an implicit form (the sorted list's ranking is derived from
+    /// it); general partial-order templates are rejected.
+    pub fn build(data: &'a Dataset, template: &Template) -> Result<Self> {
+        let started = Instant::now();
+        let template_pref = template
+            .implicit()
+            .cloned()
+            .ok_or_else(|| SkylineError::InvalidArgument(
+                "Adaptive SFS requires a template with an implicit form".into(),
+            ))?;
+        template_pref.validate(data.schema())?;
+        let score = ScoreFn::for_preference(data.schema(), &template_pref)?;
+        let ctx = DominanceContext::for_template(data, template)?;
+        let all: Vec<PointId> = data.point_ids().collect();
+        let skyline = sfs::skyline_sorted(&ctx, &score, &all);
+        let mut this = Self::from_precomputed_skyline(data, template.clone(), skyline)?;
+        this.stats.preprocess_seconds = started.elapsed().as_secs_f64();
+        Ok(this)
+    }
+
+    /// Builds the structure from an already-computed template skyline (used by the hybrid
+    /// engine, which shares one skyline computation between the IPO tree and Adaptive SFS, and
+    /// by the maintained variant).
+    pub fn from_precomputed_skyline(
+        data: &'a Dataset,
+        template: Template,
+        skyline: Vec<PointId>,
+    ) -> Result<Self> {
+        let template_pref = template
+            .implicit()
+            .cloned()
+            .ok_or_else(|| SkylineError::InvalidArgument(
+                "Adaptive SFS requires a template with an implicit form".into(),
+            ))?;
+        let score = ScoreFn::for_preference(data.schema(), &template_pref)?;
+        let mut entries: Vec<ScoredEntry> = skyline
+            .iter()
+            .map(|&p| ScoredEntry::new(p, score.score(data, p)))
+            .collect();
+        entries.sort();
+        let index = SkylineValueIndex::build(data, &skyline);
+        let stats = PreprocessStats {
+            dataset_size: data.len(),
+            template_skyline_size: entries.len(),
+            preprocess_seconds: 0.0,
+        };
+        Ok(Self { data, template, entries, index, stats })
+    }
+
+    /// The dataset the structure is bound to.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.data
+    }
+
+    /// The template the structure was preprocessed for.
+    pub fn template(&self) -> &Template {
+        &self.template
+    }
+
+    /// Preprocessing statistics.
+    pub fn preprocess_stats(&self) -> &PreprocessStats {
+        &self.stats
+    }
+
+    /// The sorted list entries (`SKY(R̃)` in ascending template-score order).
+    pub fn sorted_entries(&self) -> &[ScoredEntry] {
+        &self.entries
+    }
+
+    /// The template skyline as sorted point ids.
+    pub fn template_skyline(&self) -> Vec<PointId> {
+        let mut ids: Vec<PointId> = self.entries.iter().map(|e| e.point).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The per-dimension value index over the template skyline.
+    pub fn value_index(&self) -> &SkylineValueIndex {
+        &self.index
+    }
+
+    /// Approximate heap footprint in bytes (sorted list + value index), for the storage plots.
+    pub fn approximate_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<ScoredEntry>() + self.index.approximate_bytes()
+    }
+
+    /// Algorithm 4 with the default [`ScanMode::AffectedOnly`]; returns sorted point ids.
+    pub fn query(&self, pref: &Preference) -> Result<Vec<PointId>> {
+        self.query_with_stats(pref, ScanMode::default()).map(|(r, _)| r)
+    }
+
+    /// Algorithm 4 with an explicit scan mode, reporting per-query statistics.
+    pub fn query_with_stats(
+        &self,
+        pref: &Preference,
+        mode: ScanMode,
+    ) -> Result<(Vec<PointId>, QueryStats)> {
+        let (mut result, stats) =
+            evaluate_query(self.data, &self.template, &self.entries, &self.index, pref, mode)?;
+        result.sort_unstable();
+        Ok((result, stats))
+    }
+
+    /// Progressive evaluation: returns an iterator that yields skyline points in ascending
+    /// query-score order. Every yielded point is already guaranteed to be in `SKY(R̃′)`, so a
+    /// caller can stop early (e.g. "give me the first 10 results") without any wasted work.
+    pub fn query_progressive(&self, pref: &Preference) -> Result<ProgressiveScan<'a>> {
+        let ctx = DominanceContext::for_query(self.data, &self.template, pref)?;
+        let merged = merged_order(self.data, &self.template, &self.entries, &self.index, pref)?;
+        Ok(ProgressiveScan {
+            ctx,
+            merged,
+            pos: 0,
+            accepted: Vec::new(),
+            accepted_affected: Vec::new(),
+        })
+    }
+}
+
+/// Builds the query-score-ordered candidate list: `(point, is_affected)` pairs.
+fn merged_order(
+    data: &Dataset,
+    template: &Template,
+    entries: &[ScoredEntry],
+    index: &SkylineValueIndex,
+    pref: &Preference,
+) -> Result<Vec<(PointId, bool)>> {
+    pref.validate(data.schema())?;
+    if let Some(template_pref) = template.implicit() {
+        if !pref.refines(template_pref) {
+            return Err(SkylineError::NotARefinement { dimension: String::new() });
+        }
+    }
+    let query_score = ScoreFn::for_preference(data.schema(), pref)?;
+    let affected: HashSet<PointId> = index.affected_by(pref).into_iter().collect();
+
+    // Affected points are deleted from the sorted list and re-inserted with their new score;
+    // everything else keeps its template-score position (listed-value ranks only ever move
+    // points towards the front, unlisted ranks are unchanged).
+    let mut reinserted: Vec<ScoredEntry> = affected
+        .iter()
+        .map(|&p| ScoredEntry::new(p, query_score.score(data, p)))
+        .collect();
+    reinserted.sort();
+
+    let mut merged = Vec::with_capacity(entries.len());
+    let mut kept = entries.iter().filter(|e| !affected.contains(&e.point)).peekable();
+    let mut moved = reinserted.iter().peekable();
+    loop {
+        match (kept.peek(), moved.peek()) {
+            (Some(&&k), Some(&&m)) => {
+                if k <= m {
+                    merged.push((k.point, false));
+                    kept.next();
+                } else {
+                    merged.push((m.point, true));
+                    moved.next();
+                }
+            }
+            (Some(&&k), None) => {
+                merged.push((k.point, false));
+                kept.next();
+            }
+            (None, Some(&&m)) => {
+                merged.push((m.point, true));
+                moved.next();
+            }
+            (None, None) => break,
+        }
+    }
+    Ok(merged)
+}
+
+/// The core of Algorithm 4, shared by [`AdaptiveSfs`] and the maintained variant.
+pub(crate) fn evaluate_query(
+    data: &Dataset,
+    template: &Template,
+    entries: &[ScoredEntry],
+    index: &SkylineValueIndex,
+    pref: &Preference,
+    mode: ScanMode,
+) -> Result<(Vec<PointId>, QueryStats)> {
+    let ctx = DominanceContext::for_query(data, template, pref)?;
+    let merged = merged_order(data, template, entries, index, pref)?;
+    let mut stats = QueryStats {
+        affected: merged.iter().filter(|(_, a)| *a).count(),
+        ..QueryStats::default()
+    };
+
+    let mut accepted: Vec<PointId> = Vec::new();
+    let mut accepted_affected: Vec<PointId> = Vec::new();
+    for &(p, is_affected) in &merged {
+        let opponents: &[PointId] = match mode {
+            ScanMode::AffectedOnly if !is_affected => &accepted_affected,
+            _ => &accepted,
+        };
+        let mut dominated = false;
+        for &q in opponents {
+            stats.dominance_tests += 1;
+            if ctx.dominates(q, p) {
+                dominated = true;
+                break;
+            }
+        }
+        if !dominated {
+            accepted.push(p);
+            if is_affected {
+                accepted_affected.push(p);
+            }
+        }
+    }
+    stats.result_size = accepted.len();
+    Ok((accepted, stats))
+}
+
+/// Iterator returned by [`AdaptiveSfs::query_progressive`].
+///
+/// Yields the members of `SKY(R̃′)` in ascending query-score order; each item is final as soon
+/// as it is produced (the progressiveness property of Section 4.3).
+#[derive(Debug)]
+pub struct ProgressiveScan<'a> {
+    ctx: DominanceContext<'a>,
+    merged: Vec<(PointId, bool)>,
+    pos: usize,
+    accepted: Vec<PointId>,
+    accepted_affected: Vec<PointId>,
+}
+
+impl Iterator for ProgressiveScan<'_> {
+    type Item = PointId;
+
+    fn next(&mut self) -> Option<PointId> {
+        while self.pos < self.merged.len() {
+            let (p, is_affected) = self.merged[self.pos];
+            self.pos += 1;
+            let opponents = if is_affected { &self.accepted } else { &self.accepted_affected };
+            let dominated = opponents.iter().any(|&q| self.ctx.dominates(q, p));
+            if !dominated {
+                self.accepted.push(p);
+                if is_affected {
+                    self.accepted_affected.push(p);
+                }
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::algo::bnl;
+    use skyline_core::{DatasetBuilder, Dimension, ImplicitPreference, RowValue, Schema};
+
+    fn vacation_data() -> Dataset {
+        let schema = Schema::new(vec![
+            Dimension::numeric("price"),
+            Dimension::numeric("class-neg"),
+            Dimension::nominal_with_labels("hotel-group", ["T", "H", "M"]),
+        ])
+        .unwrap();
+        let mut b = DatasetBuilder::new(schema);
+        for (price, class, group) in [
+            (1600.0, 4.0, "T"),
+            (2400.0, 1.0, "T"),
+            (3000.0, 5.0, "H"),
+            (3600.0, 4.0, "H"),
+            (2400.0, 2.0, "M"),
+            (3000.0, 3.0, "M"),
+        ] {
+            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_materializes_template_skyline() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        assert_eq!(asfs.template_skyline(), vec![0, 2, 4, 5]);
+        assert_eq!(asfs.preprocess_stats().template_skyline_size, 4);
+        assert_eq!(asfs.preprocess_stats().dataset_size, 6);
+        assert!(asfs.approximate_bytes() > 0);
+        assert_eq!(asfs.sorted_entries().len(), 4);
+        assert_eq!(asfs.template().nominal_count(), 1);
+        assert!(std::ptr::eq(asfs.dataset(), &data));
+    }
+
+    #[test]
+    fn table2_preferences_match_the_oracle() {
+        let data = vacation_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        for text in ["*", "T < M < *", "H < M < *", "H < M < T", "H < T < *", "M < *"] {
+            let pref = Preference::parse(&schema, [("hotel-group", text)]).unwrap();
+            let ctx = DominanceContext::for_query(&data, &template, &pref).unwrap();
+            let expected = bnl::skyline(&ctx);
+            assert_eq!(asfs.query(&pref).unwrap(), expected, "preference {text}");
+            let (full, _) = asfs.query_with_stats(&pref, ScanMode::FullRescan).unwrap();
+            assert_eq!(full, expected, "full rescan, preference {text}");
+        }
+    }
+
+    #[test]
+    fn query_stats_count_affected_points() {
+        let data = vacation_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let pref = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
+        let (result, stats) = asfs.query_with_stats(&pref, ScanMode::AffectedOnly).unwrap();
+        // Affected = skyline points with hotel-group M = {e, f}.
+        assert_eq!(stats.affected, 2);
+        assert_eq!(stats.result_size, result.len());
+        assert_eq!(result, vec![0, 2, 4, 5]);
+    }
+
+    #[test]
+    fn progressive_scan_yields_final_points_in_score_order() {
+        let data = vacation_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let pref = Preference::parse(&schema, [("hotel-group", "T < M < *")]).unwrap();
+        let full = asfs.query(&pref).unwrap();
+        let mut streamed: Vec<PointId> = Vec::new();
+        for p in asfs.query_progressive(&pref).unwrap() {
+            // Progressiveness: every yielded point must be in the final answer.
+            assert!(full.contains(&p), "point {p} streamed but not in the skyline");
+            streamed.push(p);
+        }
+        let mut sorted = streamed.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, full);
+        // First streamed result must be the best-scoring point (a = id 0 here).
+        assert_eq!(streamed[0], 0);
+    }
+
+    #[test]
+    fn queries_must_refine_the_template() {
+        let data = vacation_data();
+        let schema = data.schema().clone();
+        let template = Template::from_preference(
+            &schema,
+            Preference::parse(&schema, [("hotel-group", "H < *")]).unwrap(),
+        )
+        .unwrap();
+        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let bad = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
+        assert!(asfs.query(&bad).is_err());
+        let good = Preference::parse(&schema, [("hotel-group", "H < M < *")]).unwrap();
+        let ctx = DominanceContext::for_query(&data, &template, &good).unwrap();
+        assert_eq!(asfs.query(&good).unwrap(), bnl::skyline(&ctx));
+    }
+
+    #[test]
+    fn general_templates_are_rejected() {
+        let data = vacation_data();
+        let schema = data.schema().clone();
+        let template = Template::from_partial_orders(
+            &schema,
+            vec![skyline_core::PartialOrder::from_pairs(3, [(0, 1)]).unwrap()],
+        )
+        .unwrap();
+        assert!(matches!(
+            AdaptiveSfs::build(&data, &template),
+            Err(SkylineError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_arity_preferences_are_rejected() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let pref = Preference::from_dims(vec![
+            ImplicitPreference::none(),
+            ImplicitPreference::none(),
+        ]);
+        assert!(asfs.query(&pref).is_err());
+    }
+
+    #[test]
+    fn affected_only_and_full_rescan_agree_on_many_preferences() {
+        let data = vacation_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let values: Vec<u16> = vec![0, 1, 2];
+        for &a in &values {
+            for &b in &values {
+                if a == b {
+                    continue;
+                }
+                let pref = Preference::from_dims(vec![ImplicitPreference::new([a, b]).unwrap()]);
+                let (fast, _) = asfs.query_with_stats(&pref, ScanMode::AffectedOnly).unwrap();
+                let (slow, _) = asfs.query_with_stats(&pref, ScanMode::FullRescan).unwrap();
+                assert_eq!(fast, slow, "preference {a} < {b} < *");
+            }
+        }
+    }
+}

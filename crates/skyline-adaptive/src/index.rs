@@ -1,0 +1,147 @@
+//! Per-dimension value index over the template skyline.
+//!
+//! Algorithm 4 (step 2) needs "an index for each nominal dimension" so that the data points of
+//! `SKY(R̃)` carrying a particular value can be found without scanning the whole sorted list.
+//! [`SkylineValueIndex`] is that index: `(nominal dimension, value id) → point ids`.
+
+use skyline_core::{Dataset, PointId, Preference, ValueId};
+
+/// Value → skyline-point lookup for every nominal dimension.
+#[derive(Debug, Clone, Default)]
+pub struct SkylineValueIndex {
+    /// `lists[j][v]` = skyline points whose value on nominal dimension `j` is `v` (ascending).
+    lists: Vec<Vec<Vec<PointId>>>,
+}
+
+impl SkylineValueIndex {
+    /// Builds the index for the given skyline members (in any order; the per-value lists are
+    /// kept sorted by point id so later insertions and removals can binary-search).
+    pub fn build(data: &Dataset, skyline: &[PointId]) -> Self {
+        let schema = data.schema();
+        let mut lists = Vec::with_capacity(schema.nominal_count());
+        for j in 0..schema.nominal_count() {
+            let cardinality = schema.nominal_domain(j).map_or(0, |d| d.cardinality());
+            let mut per_value = vec![Vec::new(); cardinality];
+            for &p in skyline {
+                per_value[data.nominal(p, j) as usize].push(p);
+            }
+            for list in &mut per_value {
+                list.sort_unstable();
+                list.dedup();
+            }
+            lists.push(per_value);
+        }
+        Self { lists }
+    }
+
+    /// Skyline points carrying value `v` on nominal dimension `j`.
+    pub fn points_with(&self, nominal_index: usize, v: ValueId) -> &[PointId] {
+        &self.lists[nominal_index][v as usize]
+    }
+
+    /// All skyline points affected by `pref`: those carrying at least one value listed on any
+    /// dimension. Returned sorted and duplicate-free.
+    pub fn affected_by(&self, pref: &Preference) -> Vec<PointId> {
+        let mut out: Vec<PointId> = Vec::new();
+        for (j, lists) in self.lists.iter().enumerate() {
+            for &v in pref.dim(j).choices() {
+                if let Some(points) = lists.get(v as usize) {
+                    out.extend_from_slice(points);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Adds one point to the index (used by incremental maintenance).
+    pub fn insert(&mut self, data: &Dataset, p: PointId) {
+        for (j, lists) in self.lists.iter_mut().enumerate() {
+            let v = data.nominal(p, j) as usize;
+            let list = &mut lists[v];
+            if let Err(pos) = list.binary_search(&p) {
+                list.insert(pos, p);
+            }
+        }
+    }
+
+    /// Removes one point from the index (used by incremental maintenance).
+    pub fn remove(&mut self, data: &Dataset, p: PointId) {
+        for (j, lists) in self.lists.iter_mut().enumerate() {
+            let v = data.nominal(p, j) as usize;
+            let list = &mut lists[v];
+            if let Ok(pos) = list.binary_search(&p) {
+                list.remove(pos);
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.lists
+            .iter()
+            .flat_map(|per_value| per_value.iter().map(|l| l.len() * std::mem::size_of::<PointId>()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::{Dataset, Dimension, ImplicitPreference, Schema};
+
+    fn data() -> Dataset {
+        let schema = Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::nominal_with_labels("g", ["a", "b", "c"]),
+            Dimension::nominal_with_labels("h", ["p", "q"]),
+        ])
+        .unwrap();
+        Dataset::from_columns(
+            schema,
+            vec![vec![1.0, 2.0, 3.0, 4.0]],
+            vec![vec![0, 1, 2, 0], vec![0, 1, 0, 1]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_value() {
+        let data = data();
+        // Build from a score-ordered (non id-sorted) skyline: lists must still come out sorted.
+        let index = SkylineValueIndex::build(&data, &[3, 0, 1]);
+        assert_eq!(index.points_with(0, 0), &[0, 3]);
+        assert_eq!(index.points_with(0, 1), &[1]);
+        assert_eq!(index.points_with(0, 2), &[] as &[PointId]);
+        assert_eq!(index.points_with(1, 1), &[1, 3]);
+        assert!(index.approximate_bytes() > 0);
+    }
+
+    #[test]
+    fn affected_by_unions_dimensions() {
+        let data = data();
+        let index = SkylineValueIndex::build(&data, &[0, 1, 2, 3]);
+        let pref = Preference::from_dims(vec![
+            ImplicitPreference::new([2]).unwrap(),
+            ImplicitPreference::new([1]).unwrap(),
+        ]);
+        assert_eq!(index.affected_by(&pref), vec![1, 2, 3]);
+        let none = Preference::none(2);
+        assert!(index.affected_by(&none).is_empty());
+    }
+
+    #[test]
+    fn insert_and_remove_maintain_sorted_lists() {
+        let data = data();
+        let mut index = SkylineValueIndex::build(&data, &[1]);
+        index.insert(&data, 3);
+        index.insert(&data, 0);
+        index.insert(&data, 0); // duplicate insert is a no-op
+        assert_eq!(index.points_with(0, 0), &[0, 3]);
+        index.remove(&data, 0);
+        index.remove(&data, 0);
+        assert_eq!(index.points_with(0, 0), &[3]);
+        assert_eq!(index.points_with(0, 1), &[1]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # skyline-adaptive
+//!
+//! **Adaptive SFS** (Section 4 of *"Efficient Skyline Querying with Variable User Preferences
+//! on Nominal Attributes"*): a progressive, low-preprocessing alternative to the IPO-tree.
+//!
+//! Preprocessing (Algorithm 3) computes the template skyline `SKY(R̃)` once and keeps it sorted
+//! by a monotone preference score. At query time (Algorithm 4) only the points that carry a
+//! value listed in the query preference change rank; they are re-inserted at their new
+//! positions and a single elimination pass — which only ever tests points against the
+//! re-ranked ones — produces `SKY(R̃′)`. Results stream out progressively in score order, and
+//! the sorted list supports incremental maintenance when the underlying data changes.
+//!
+//! * [`asfs::AdaptiveSfs`] — the query structure over an immutable dataset (the paper's
+//!   **SFS-A**).
+//! * [`sorted_list`] — the scored, ordered container shared by the static and maintained
+//!   variants.
+//! * [`index::SkylineValueIndex`] — per-dimension value → skyline-point lookup used to find
+//!   the affected points without scanning the whole list.
+//! * [`maintenance::MaintainedAdaptiveSfs`] — an owning variant that keeps `SKY(R̃)` (and the
+//!   sorted list) up to date under row insertions and deletions (Section 4.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asfs;
+pub mod index;
+pub mod maintenance;
+pub mod sorted_list;
+
+pub use asfs::{AdaptiveSfs, PreprocessStats, QueryStats, ScanMode};
+pub use index::SkylineValueIndex;
+pub use maintenance::MaintainedAdaptiveSfs;
+pub use sorted_list::{ScoredEntry, SortedList};

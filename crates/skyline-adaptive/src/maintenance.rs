@@ -1,0 +1,312 @@
+//! Incremental maintenance (Section 4.3).
+//!
+//! "Another desirable property of adaptive SFS is that it allows incremental maintenance. …
+//! After data is updated, the set `SKY(R̃)` is modified. The sorted list in the method is
+//! altered by simple insertions or deletions. The time complexity is O(log n) for each such
+//! update."
+//!
+//! [`MaintainedAdaptiveSfs`] owns its dataset and keeps the template skyline, the sorted list
+//! and the per-dimension value index up to date as rows are inserted or deleted. Insertions
+//! follow the cheap path above (a dominance check against the current skyline plus `O(log n)`
+//! list updates). Deleting a skyline member is inherently more expensive because previously
+//! dominated points may resurface; that path rescans the live points once.
+
+use crate::asfs::{evaluate_query, QueryStats, ScanMode};
+use crate::index::SkylineValueIndex;
+use crate::sorted_list::{ScoredEntry, SortedList};
+use skyline_core::algo::sfs;
+use skyline_core::score::ScoreFn;
+use skyline_core::{
+    Dataset, DominanceContext, PointId, Preference, Result, SkylineError, Template, ValueId,
+};
+
+/// An Adaptive-SFS structure that owns its dataset and supports row insertions and deletions.
+#[derive(Debug, Clone)]
+pub struct MaintainedAdaptiveSfs {
+    data: Dataset,
+    template: Template,
+    template_score: ScoreFn,
+    list: SortedList,
+    index: SkylineValueIndex,
+    deleted: Vec<bool>,
+}
+
+impl MaintainedAdaptiveSfs {
+    /// Builds the structure, computing the initial template skyline with SFS.
+    pub fn new(data: Dataset, template: Template) -> Result<Self> {
+        let template_pref = template
+            .implicit()
+            .cloned()
+            .ok_or_else(|| SkylineError::InvalidArgument(
+                "Adaptive SFS requires a template with an implicit form".into(),
+            ))?;
+        template_pref.validate(data.schema())?;
+        let template_score = ScoreFn::for_preference(data.schema(), &template_pref)?;
+        let ctx = DominanceContext::for_template(&data, &template)?;
+        let all: Vec<PointId> = data.point_ids().collect();
+        let skyline = sfs::skyline_sorted(&ctx, &template_score, &all);
+        let list: SortedList = skyline
+            .iter()
+            .map(|&p| ScoredEntry::new(p, template_score.score(&data, p)))
+            .collect();
+        let index = SkylineValueIndex::build(&data, &skyline);
+        let deleted = vec![false; data.len()];
+        Ok(Self { data, template, template_score, list, index, deleted })
+    }
+
+    /// The underlying dataset (including rows that have been logically deleted).
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The template the structure maintains `SKY(R̃)` for.
+    pub fn template(&self) -> &Template {
+        &self.template
+    }
+
+    /// Number of live (non-deleted) rows.
+    pub fn live_rows(&self) -> usize {
+        self.deleted.iter().filter(|&&d| !d).count()
+    }
+
+    /// True when a row has been logically deleted.
+    pub fn is_deleted(&self, p: PointId) -> bool {
+        self.deleted.get(p as usize).copied().unwrap_or(true)
+    }
+
+    /// Current template skyline as sorted point ids.
+    pub fn template_skyline(&self) -> Vec<PointId> {
+        let mut ids = self.list.points_in_order();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Current size of the sorted list (`|SKY(R̃)|`).
+    pub fn skyline_size(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Inserts a row (numeric values in numeric-index order, nominal value ids in
+    /// nominal-index order) and updates the skyline structures. Returns the new row id.
+    pub fn insert_row(&mut self, numeric: &[f64], nominal: &[ValueId]) -> Result<PointId> {
+        let p = self.data.push_row_ids(numeric, nominal)?;
+        self.deleted.push(false);
+        let ctx = DominanceContext::for_template(&self.data, &self.template)?;
+
+        // If an existing skyline member dominates the new point, the skyline is unchanged.
+        let members = self.list.points_in_order();
+        if members.iter().any(|&q| ctx.dominates(q, p)) {
+            return Ok(p);
+        }
+        // Otherwise the new point joins the skyline and evicts the members it dominates.
+        for &q in &members {
+            if ctx.dominates(p, q) {
+                let entry = ScoredEntry::new(q, self.template_score.score(&self.data, q));
+                self.list.remove(&entry);
+                self.index.remove(&self.data, q);
+            }
+        }
+        self.list.insert(ScoredEntry::new(p, self.template_score.score(&self.data, p)));
+        self.index.insert(&self.data, p);
+        Ok(p)
+    }
+
+    /// Logically deletes a row. Returns `true` when the row was live before the call.
+    ///
+    /// Deleting a non-skyline row is `O(1)`; deleting a skyline member triggers one scan of
+    /// the live rows to find the points that resurface.
+    pub fn delete_row(&mut self, p: PointId) -> Result<bool> {
+        if (p as usize) >= self.data.len() {
+            return Err(SkylineError::InvalidArgument(format!("row {p} does not exist")));
+        }
+        if self.deleted[p as usize] {
+            return Ok(false);
+        }
+        self.deleted[p as usize] = true;
+        let entry = ScoredEntry::new(p, self.template_score.score(&self.data, p));
+        if !self.list.remove(&entry) {
+            // Not a skyline member: nothing else changes.
+            return Ok(true);
+        }
+        self.index.remove(&self.data, p);
+
+        // Points previously shadowed (possibly only by p) may resurface: a live, non-member
+        // point joins the skyline when no remaining member dominates it.
+        let ctx = DominanceContext::for_template(&self.data, &self.template)?;
+        let members = self.list.points_in_order();
+        let member_set: std::collections::HashSet<PointId> = members.iter().copied().collect();
+        let mut resurfaced = Vec::new();
+        for q in self.data.point_ids() {
+            if self.deleted[q as usize] || member_set.contains(&q) {
+                continue;
+            }
+            if !members.iter().any(|&m| ctx.dominates(m, q)) && !resurfaced.iter().any(|&r| ctx.dominates(r, q)) {
+                resurfaced.push(q);
+            }
+        }
+        // A resurfacing candidate accepted early could be dominated by a later candidate when
+        // the scan order is arbitrary; re-check the final set against itself.
+        let confirmed: Vec<PointId> = resurfaced
+            .iter()
+            .copied()
+            .filter(|&q| !resurfaced.iter().any(|&r| ctx.dominates(r, q)))
+            .collect();
+        for q in confirmed {
+            self.list.insert(ScoredEntry::new(q, self.template_score.score(&self.data, q)));
+            self.index.insert(&self.data, q);
+        }
+        Ok(true)
+    }
+
+    /// Answers an implicit-preference query against the current state (Algorithm 4).
+    pub fn query(&self, pref: &Preference) -> Result<Vec<PointId>> {
+        self.query_with_stats(pref).map(|(r, _)| r)
+    }
+
+    /// Like [`MaintainedAdaptiveSfs::query`], reporting per-query statistics.
+    pub fn query_with_stats(&self, pref: &Preference) -> Result<(Vec<PointId>, QueryStats)> {
+        let entries = self.list.to_vec();
+        let (mut result, stats) = evaluate_query(
+            &self.data,
+            &self.template,
+            &entries,
+            &self.index,
+            pref,
+            ScanMode::AffectedOnly,
+        )?;
+        result.sort_unstable();
+        Ok((result, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::algo::bnl;
+    use skyline_core::{DatasetBuilder, Dimension, RowValue, Schema};
+
+    fn vacation_data() -> Dataset {
+        let schema = Schema::new(vec![
+            Dimension::numeric("price"),
+            Dimension::numeric("class-neg"),
+            Dimension::nominal_with_labels("hotel-group", ["T", "H", "M"]),
+        ])
+        .unwrap();
+        let mut b = DatasetBuilder::new(schema);
+        for (price, class, group) in [
+            (1600.0, 4.0, "T"),
+            (2400.0, 1.0, "T"),
+            (3000.0, 5.0, "H"),
+            (3600.0, 4.0, "H"),
+            (2400.0, 2.0, "M"),
+            (3000.0, 3.0, "M"),
+        ] {
+            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// Brute-force skyline of the live rows only.
+    fn oracle(m: &MaintainedAdaptiveSfs, pref: &Preference) -> Vec<PointId> {
+        let ctx = DominanceContext::for_query(m.dataset(), m.template(), pref).unwrap();
+        let live: Vec<PointId> = m.dataset().point_ids().filter(|&p| !m.is_deleted(p)).collect();
+        bnl::skyline_of(&ctx, &live)
+    }
+
+    #[test]
+    fn initial_state_matches_static_structure() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let m = MaintainedAdaptiveSfs::new(data, template).unwrap();
+        assert_eq!(m.template_skyline(), vec![0, 2, 4, 5]);
+        assert_eq!(m.skyline_size(), 4);
+        assert_eq!(m.live_rows(), 6);
+        assert!(!m.is_deleted(0));
+        assert!(m.is_deleted(99));
+    }
+
+    #[test]
+    fn inserting_a_dominated_row_changes_nothing() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let mut m = MaintainedAdaptiveSfs::new(data, template).unwrap();
+        // Worse than a in every way, same group.
+        let p = m.insert_row(&[5000.0, 0.0], &[0]).unwrap();
+        assert_eq!(p, 6);
+        assert_eq!(m.template_skyline(), vec![0, 2, 4, 5]);
+        assert_eq!(m.live_rows(), 7);
+    }
+
+    #[test]
+    fn inserting_a_dominating_row_evicts_members() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let mut m = MaintainedAdaptiveSfs::new(data, template).unwrap();
+        // Cheaper and better class than every Tulips package.
+        let p = m.insert_row(&[1000.0, -5.0], &[0]).unwrap();
+        assert_eq!(m.template_skyline(), vec![2, 4, 5, p]);
+        // Query results stay consistent with the oracle.
+        let schema = m.dataset().schema().clone();
+        let pref = Preference::parse(&schema, [("hotel-group", "T < M < *")]).unwrap();
+        assert_eq!(m.query(&pref).unwrap(), oracle(&m, &pref));
+    }
+
+    #[test]
+    fn deleting_a_skyline_member_resurfaces_shadowed_points() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let mut m = MaintainedAdaptiveSfs::new(data, template).unwrap();
+        // Deleting a (id 0) lets b (id 1, the other Tulips package) resurface.
+        assert!(m.delete_row(0).unwrap());
+        assert!(!m.delete_row(0).unwrap(), "double delete is a no-op");
+        assert_eq!(m.template_skyline(), vec![1, 2, 4, 5]);
+        assert_eq!(m.live_rows(), 5);
+        let schema = m.dataset().schema().clone();
+        for text in ["*", "T < M < *", "H < M < *", "M < *"] {
+            let pref = Preference::parse(&schema, [("hotel-group", text)]).unwrap();
+            assert_eq!(m.query(&pref).unwrap(), oracle(&m, &pref), "preference {text}");
+        }
+    }
+
+    #[test]
+    fn deleting_a_non_member_is_cheap_and_correct() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let mut m = MaintainedAdaptiveSfs::new(data, template).unwrap();
+        assert!(m.delete_row(1).unwrap());
+        assert_eq!(m.template_skyline(), vec![0, 2, 4, 5]);
+        assert!(m.delete_row(999).is_err());
+    }
+
+    #[test]
+    fn mixed_update_sequence_stays_consistent_with_rebuild() {
+        let data = vacation_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let mut m = MaintainedAdaptiveSfs::new(data, template.clone()).unwrap();
+        m.insert_row(&[2000.0, -3.0], &[1]).unwrap();
+        m.delete_row(2).unwrap();
+        m.insert_row(&[1500.0, -1.0], &[2]).unwrap();
+        m.delete_row(4).unwrap();
+        m.insert_row(&[1500.0, -1.0], &[2]).unwrap();
+
+        let pref = Preference::parse(&schema, [("hotel-group", "M < H < *")]).unwrap();
+        assert_eq!(m.query(&pref).unwrap(), oracle(&m, &pref));
+        // The maintained skyline equals a from-scratch skyline of the live rows.
+        let ctx = DominanceContext::for_template(m.dataset(), m.template()).unwrap();
+        let live: Vec<PointId> = m.dataset().point_ids().filter(|&p| !m.is_deleted(p)).collect();
+        assert_eq!(m.template_skyline(), bnl::skyline_of(&ctx, &live));
+    }
+
+    #[test]
+    fn general_template_rejected() {
+        let data = vacation_data();
+        let schema = data.schema().clone();
+        let template = Template::from_partial_orders(
+            &schema,
+            vec![skyline_core::PartialOrder::from_pairs(3, [(0, 1)]).unwrap()],
+        )
+        .unwrap();
+        assert!(MaintainedAdaptiveSfs::new(data, template).is_err());
+    }
+}

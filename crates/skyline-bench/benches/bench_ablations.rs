@@ -1,0 +1,83 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * IPO-tree construction via mined MDCs vs. direct per-node recomputation;
+//! * set-based vs. bitmap node representation for query evaluation;
+//! * Adaptive SFS with the affected-only elimination pass vs. a full SFS rescan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skyline::datagen::ExperimentConfig;
+use skyline_adaptive::{AdaptiveSfs, ScanMode};
+use skyline_ipo::{BitmapIpoTree, BuildStrategy, IpoTreeBuilder};
+use std::hint::black_box;
+
+const N: usize = 1_500;
+const QUERIES: usize = 10;
+
+fn bench_ablations(c: &mut Criterion) {
+    let config = ExperimentConfig { n: N, cardinality: 12, ..ExperimentConfig::paper_default() };
+    let data = config.generate_dataset();
+    let template = config.template(&data);
+    let mut generator = config.query_generator();
+    let queries =
+        generator.random_preferences(data.schema(), &template, config.pref_order, QUERIES, None);
+
+    // --- Build strategy ablation. ------------------------------------------------------------
+    let mut build_group = c.benchmark_group("ablation_ipo_build_strategy");
+    build_group.sample_size(10);
+    build_group.bench_function("mdc", |b| {
+        b.iter(|| black_box(IpoTreeBuilder::new().strategy(BuildStrategy::Mdc).build(&data, &template).unwrap()))
+    });
+    build_group.bench_function("direct", |b| {
+        b.iter(|| {
+            black_box(IpoTreeBuilder::new().strategy(BuildStrategy::Direct).build(&data, &template).unwrap())
+        })
+    });
+    build_group.bench_function("mdc_parallel", |b| {
+        b.iter(|| black_box(IpoTreeBuilder::new().parallel(true).build(&data, &template).unwrap()))
+    });
+    build_group.finish();
+
+    // --- Node representation ablation. ---------------------------------------------------------
+    let tree = IpoTreeBuilder::new().build(&data, &template).unwrap();
+    let bitmap = BitmapIpoTree::from_tree(&tree, &data);
+    let mut repr_group = c.benchmark_group("ablation_ipo_query_representation");
+    repr_group.sample_size(20);
+    repr_group.bench_function("sorted_sets", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(tree.query(&data, q).unwrap());
+            }
+        })
+    });
+    repr_group.bench_function("bitmaps", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(bitmap.query(&data, q).unwrap());
+            }
+        })
+    });
+    repr_group.finish();
+
+    // --- Adaptive SFS scan mode ablation. -----------------------------------------------------
+    let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+    let mut scan_group = c.benchmark_group("ablation_asfs_scan_mode");
+    scan_group.sample_size(20);
+    scan_group.bench_function("affected_only", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(asfs.query_with_stats(q, ScanMode::AffectedOnly).unwrap());
+            }
+        })
+    });
+    scan_group.bench_function("full_rescan", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(asfs.query_with_stats(q, ScanMode::FullRescan).unwrap());
+            }
+        })
+    });
+    scan_group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 4(b) as a Criterion benchmark: query time of every method as the database size grows
+//! (anti-correlated data, Table 4 defaults otherwise). Preprocessing is done outside the timing
+//! loops; the `figures` binary reports preprocessing time and storage for the same sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline::datagen::ExperimentConfig;
+use skyline::prelude::*;
+use skyline_adaptive::AdaptiveSfs;
+use skyline_ipo::IpoTreeBuilder;
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [1_000, 2_000, 4_000];
+const QUERIES: usize = 10;
+
+fn bench_query_time_vs_db_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_query_time_vs_db_size");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let config = ExperimentConfig { n, ..ExperimentConfig::paper_default() };
+        let data = config.generate_dataset();
+        let template = config.template(&data);
+        let mut generator = config.query_generator();
+        let queries =
+            generator.random_preferences(data.schema(), &template, config.pref_order, QUERIES, None);
+
+        let tree = IpoTreeBuilder::new().build(&data, &template).expect("tree builds");
+        let asfs = AdaptiveSfs::build(&data, &template).expect("adaptive builds");
+        let sfsd = SkylineEngine::build(&data, template.clone(), EngineConfig::SfsD).expect("baseline builds");
+
+        group.bench_with_input(BenchmarkId::new("ipo_tree", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(tree.query(&data, q).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sfs_a", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(asfs.query(q).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sfs_d", n), &n, |b, _| {
+            b.iter(|| {
+                // The baseline is far slower; one representative query keeps the bench short.
+                black_box(sfsd.query(&queries[0]).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_time_vs_db_size);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 5(b) as a Criterion benchmark: query time as the number of nominal dimensions grows
+//! (3 numeric dimensions fixed, 1..3 nominal dimensions at bench scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline::datagen::ExperimentConfig;
+use skyline_adaptive::AdaptiveSfs;
+use skyline_ipo::IpoTreeBuilder;
+use std::hint::black_box;
+
+const N: usize = 2_000;
+const QUERIES: usize = 10;
+
+fn bench_query_time_vs_dimensionality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_query_time_vs_dimensionality");
+    group.sample_size(10);
+    for nominal_dims in 1..=3usize {
+        let config = ExperimentConfig {
+            n: N,
+            nominal_dims,
+            cardinality: 10,
+            ..ExperimentConfig::paper_default()
+        };
+        let data = config.generate_dataset();
+        let template = config.template(&data);
+        let mut generator = config.query_generator();
+        let queries =
+            generator.random_preferences(data.schema(), &template, config.pref_order, QUERIES, None);
+        let total_dims = config.total_dims();
+
+        let tree = IpoTreeBuilder::new().build(&data, &template).expect("tree builds");
+        let asfs = AdaptiveSfs::build(&data, &template).expect("adaptive builds");
+
+        group.bench_with_input(BenchmarkId::new("ipo_tree", total_dims), &total_dims, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(tree.query(&data, q).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sfs_a", total_dims), &total_dims, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(asfs.query(q).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_time_vs_dimensionality);
+criterion_main!(benches);

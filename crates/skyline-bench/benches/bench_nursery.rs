@@ -1,0 +1,49 @@
+//! Figure 8(b) as a Criterion benchmark: query time on the UCI Nursery data set (regenerated
+//! exactly) for implicit preferences of order 0..3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline::datagen::{nursery, QueryGenerator};
+use skyline::prelude::*;
+use skyline_adaptive::AdaptiveSfs;
+use skyline_ipo::IpoTreeBuilder;
+use std::hint::black_box;
+
+const QUERIES: usize = 10;
+
+fn bench_nursery_query_time(c: &mut Criterion) {
+    let data = nursery::generate();
+    // Empty template: every Nursery value is equally frequent, so there is no meaningful
+    // "most frequent value" preference (see `run_nursery_cell`).
+    let template = Template::empty(data.schema());
+    let tree = IpoTreeBuilder::new().build(&data, &template).expect("tree builds");
+    let asfs = AdaptiveSfs::build(&data, &template).expect("adaptive builds");
+    let sfsd = SkylineEngine::build(&data, template.clone(), EngineConfig::SfsD).expect("baseline builds");
+
+    let mut group = c.benchmark_group("fig8_nursery_query_time");
+    group.sample_size(10);
+    for order in 0..=3usize {
+        let mut generator = QueryGenerator::new(1_000 + order as u64);
+        let queries = generator.random_preferences(data.schema(), &template, order, QUERIES, None);
+        group.bench_with_input(BenchmarkId::new("ipo_tree", order), &order, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(tree.query(&data, q).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sfs_a", order), &order, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(asfs.query(q).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sfs_d", order), &order, |b, _| {
+            b.iter(|| black_box(sfsd.query(&queries[0]).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nursery_query_time);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 7(b) as a Criterion benchmark: query time as the order of the implicit preference
+//! grows (x = 1..4). The IPO-tree cost grows with `x^{m'}` set operations while the SFS-based
+//! methods get slightly cheaper (smaller skylines), which is the paper's observed shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline::datagen::ExperimentConfig;
+use skyline::prelude::*;
+use skyline_adaptive::AdaptiveSfs;
+use skyline_ipo::IpoTreeBuilder;
+use std::hint::black_box;
+
+const N: usize = 2_000;
+const QUERIES: usize = 10;
+
+fn bench_query_time_vs_order(c: &mut Criterion) {
+    let config = ExperimentConfig { n: N, ..ExperimentConfig::paper_default() };
+    let data = config.generate_dataset();
+    let template = config.template(&data);
+    let tree = IpoTreeBuilder::new().build(&data, &template).expect("tree builds");
+    let asfs = AdaptiveSfs::build(&data, &template).expect("adaptive builds");
+    let sfsd = SkylineEngine::build(&data, template.clone(), EngineConfig::SfsD).expect("baseline builds");
+
+    let mut group = c.benchmark_group("fig7_query_time_vs_pref_order");
+    group.sample_size(10);
+    for order in 1..=4usize {
+        let mut generator = config.query_generator();
+        let queries = generator.random_preferences(data.schema(), &template, order, QUERIES, None);
+        group.bench_with_input(BenchmarkId::new("ipo_tree", order), &order, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(tree.query(&data, q).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sfs_a", order), &order, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(asfs.query(q).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sfs_d", order), &order, |b, _| {
+            b.iter(|| black_box(sfsd.query(&queries[0]).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_time_vs_order);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! # skyline-bench
+//!
+//! Benchmark harness that regenerates every table and figure of the paper's evaluation
+//! (Section 5). The [`harness`] module runs one "experiment cell" (a point on a figure's
+//! x-axis): it generates the configured dataset and query workload, builds every evaluated
+//! method, and measures
+//!
+//! * preprocessing time (Figures 4a–8a),
+//! * average query time (Figures 4b–8b),
+//! * storage (Figures 4c–8c),
+//! * and the three skyline ratios of the "(d)" panels.
+//!
+//! The [`report`] module prints the series in the same layout the paper plots. The `figures`
+//! binary drives full sweeps (`cargo run -p skyline-bench --release --bin figures -- all`),
+//! and the Criterion benches under `benches/` time the query paths of the same cells.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{run_nursery_cell, run_synthetic_cell, CellResult, MethodMetrics, RatioMetrics};
+pub use report::{print_cells, print_figure_header};

@@ -1,0 +1,94 @@
+//! Full-dataset skyline algorithms.
+//!
+//! These are the reference algorithms the paper builds on and compares against:
+//!
+//! * [`bnl`] — Block-Nested-Loop (Börzsönyi et al. [1]), the simplest correct algorithm;
+//!   used in this workspace mainly as a test oracle.
+//! * [`sfs`] — Sort-First Skyline (Chomicki et al. [7]): presort by a monotone preference
+//!   function, then a single elimination scan. Run over the full dataset with the query's
+//!   ranking it is exactly the paper's **SFS-D** baseline.
+//!
+//! Both operate on a [`DominanceContext`](crate::DominanceContext), so they work for any
+//! combination of numeric dimensions and nominal dimensions with partial-order preferences.
+
+pub mod bnl;
+pub mod sfs;
+
+use crate::dominance::DominanceContext;
+use crate::value::PointId;
+
+/// Counters describing the work done by a skyline computation. Useful for the benchmark
+/// harness (the paper reports wall-clock times; dominance-test counts are a machine-neutral
+/// proxy that tracks the same trends).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlgoStats {
+    /// Number of pairwise dominance tests performed.
+    pub dominance_tests: u64,
+    /// Number of points examined.
+    pub points_scanned: u64,
+    /// Size of the produced skyline.
+    pub skyline_size: usize,
+}
+
+/// Verifies that `skyline` is exactly the skyline of `points` under `ctx`.
+///
+/// This is an O(|points|·|skyline|) brute-force check intended for tests and debug assertions,
+/// not for production use.
+pub fn verify_skyline(ctx: &DominanceContext<'_>, points: &[PointId], skyline: &[PointId]) -> bool {
+    use std::collections::HashSet;
+    let skyline_set: HashSet<PointId> = skyline.iter().copied().collect();
+    // Every skyline member must be non-dominated; every non-member must be dominated by someone.
+    for &p in points {
+        let dominated = points.iter().any(|&q| ctx.dominates(q, p));
+        if skyline_set.contains(&p) && dominated {
+            return false;
+        }
+        if !skyline_set.contains(&p) && !dominated {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::order::Template;
+    use crate::schema::{Dimension, Schema};
+
+    #[test]
+    fn verify_skyline_accepts_correct_and_rejects_wrong() {
+        let schema = Schema::new(vec![Dimension::numeric("x"), Dimension::numeric("y")]).unwrap();
+        let data = Dataset::from_columns(
+            schema,
+            vec![vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0]],
+            vec![],
+        )
+        .unwrap();
+        let template = Template::empty(data.schema());
+        let ctx = DominanceContext::for_template(&data, &template).unwrap();
+        let all: Vec<u32> = (0..3).collect();
+        assert!(verify_skyline(&ctx, &all, &[0, 1, 2]));
+        assert!(!verify_skyline(&ctx, &all, &[0, 1]));
+
+        let dominated = Dataset::from_columns(
+            data.schema().clone(),
+            vec![vec![1.0, 2.0], vec![1.0, 2.0]],
+            vec![],
+        )
+        .unwrap();
+        let t2 = Template::empty(dominated.schema());
+        let ctx2 = DominanceContext::for_template(&dominated, &t2).unwrap();
+        assert!(verify_skyline(&ctx2, &[0, 1], &[0]));
+        assert!(!verify_skyline(&ctx2, &[0, 1], &[0, 1]));
+    }
+
+    #[test]
+    fn algo_stats_default_is_zero() {
+        let stats = AlgoStats::default();
+        assert_eq!(stats.dominance_tests, 0);
+        assert_eq!(stats.points_scanned, 0);
+        assert_eq!(stats.skyline_size, 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! A compact fixed-capacity bit set.
+//!
+//! Used in two places that the paper calls out explicitly:
+//!
+//! * the transitive closure of per-dimension partial orders (`closure[u]` = set of values that
+//!   `u` is strictly preferred to), where cardinalities are small (≤ a few dozen);
+//! * the bitmap implementation of IPO-tree nodes (§3.2 *Implementation*), where each node keeps
+//!   a bitmap over the template skyline and queries are answered with bitwise AND/OR.
+
+/// Fixed-capacity bit set backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold bits `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// Creates a set with every bit in `0..capacity` set.
+    pub fn full(capacity: usize) -> Self {
+        let mut set = Self::new(capacity);
+        for word in &mut set.words {
+            *word = u64::MAX;
+        }
+        set.trim_tail();
+        set
+    }
+
+    /// Creates a set from an iterator of bit indexes.
+    pub fn from_indexes<I: IntoIterator<Item = usize>>(capacity: usize, indexes: I) -> Self {
+        let mut set = Self::new(capacity);
+        for i in indexes {
+            set.insert(i);
+        }
+        set
+    }
+
+    fn trim_tail(&mut self) {
+        let extra = self.words.len() * 64 - self.capacity;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+
+    /// Number of bits the set can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sets bit `i`. Panics if `i >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`. Panics if `i >= capacity`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// True when bit `i` is set. Out-of-range indexes report `false`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        for word in &mut self.words {
+            *word = 0;
+        }
+    }
+
+    /// In-place union: `self |= other`. Capacities must match.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self &= other`. Capacities must match.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: `self &= !other`. Capacities must match.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns a new set equal to `self ∪ other`.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Returns a new set equal to `self ∩ other`.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Returns a new set equal to `self \ other`.
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// True when `self` is a subset of `other` (every set bit of `self` is set in `other`).
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// True when the two sets share at least one set bit.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over the indexes of set bits, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Collects the set bits into a `Vec<u32>` (convenient for point-id sets).
+    pub fn to_ids(&self) -> Vec<u32> {
+        self.iter().map(|i| i as u32).collect()
+    }
+
+    /// Approximate heap footprint in bytes (used for storage accounting in the benches).
+    pub fn approximate_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set whose capacity is one more than the largest index in the iterator.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let indexes: Vec<usize> = iter.into_iter().collect();
+        let capacity = indexes.iter().max().map_or(0, |&m| m + 1);
+        Self::from_indexes(capacity, indexes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(!s.contains(0));
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert_eq!(s.count(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+        assert!(!s.contains(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        let mut s = BitSet::new(10);
+        s.insert(10);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_indexes(100, [1, 2, 3, 64]);
+        let b = BitSet::from_indexes(100, [2, 3, 4, 99]);
+        assert_eq!(a.union(&b).to_ids(), vec![1, 2, 3, 4, 64, 99]);
+        assert_eq!(a.intersection(&b).to_ids(), vec![2, 3]);
+        assert_eq!(a.difference(&b).to_ids(), vec![1, 64]);
+        assert!(a.intersects(&b));
+        assert!(!a.difference(&b).intersects(&b));
+    }
+
+    #[test]
+    fn subset_checks() {
+        let a = BitSet::from_indexes(80, [5, 70]);
+        let b = BitSet::from_indexes(80, [5, 6, 70]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(BitSet::new(80).is_subset_of(&a));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s = BitSet::from_indexes(200, [199, 0, 63, 64, 127, 128]);
+        let ids: Vec<usize> = s.iter().collect();
+        assert_eq!(ids, vec![0, 63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut s = BitSet::from_indexes(10, [1, 2]);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: BitSet = [3usize, 10, 7].into_iter().collect();
+        assert_eq!(s.capacity(), 11);
+        assert_eq!(s.to_ids(), vec![3, 7, 10]);
+        let empty: BitSet = std::iter::empty::<usize>().collect();
+        assert_eq!(empty.capacity(), 0);
+    }
+
+    #[test]
+    fn approximate_bytes_counts_words() {
+        assert_eq!(BitSet::new(0).approximate_bytes(), 0);
+        assert_eq!(BitSet::new(1).approximate_bytes(), 8);
+        assert_eq!(BitSet::new(65).approximate_bytes(), 16);
+    }
+}

@@ -1,0 +1,164 @@
+//! Error type shared by every crate of the workspace.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, SkylineError>;
+
+/// Errors produced while building schemas, datasets, preference orders or running queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkylineError {
+    /// A dimension name was used twice in a schema.
+    DuplicateDimension(String),
+    /// A dimension name or index does not exist in the schema.
+    UnknownDimension(String),
+    /// A nominal value is not part of the dimension's domain.
+    UnknownValue {
+        /// Dimension the lookup was performed on.
+        dimension: String,
+        /// The value that could not be resolved.
+        value: String,
+    },
+    /// A row pushed into a [`crate::DatasetBuilder`] does not match the schema arity or kinds.
+    RowShapeMismatch {
+        /// Expected number of columns (schema arity).
+        expected: usize,
+        /// Number of columns supplied.
+        got: usize,
+    },
+    /// A numeric value was supplied for a nominal dimension or vice versa.
+    KindMismatch {
+        /// Dimension the value was destined for.
+        dimension: String,
+        /// Human readable description of the mismatch.
+        detail: String,
+    },
+    /// Adding the requested pairs to a partial order would create a cycle
+    /// (the relation would no longer be a strict partial order).
+    CyclicOrder {
+        /// Dimension on which the cycle was detected.
+        dimension: String,
+    },
+    /// Two orders are not conflict-free (Definition 1 of the paper): one contains `(u, v)`
+    /// while the other contains `(v, u)`.
+    ConflictingOrders {
+        /// Dimension on which the conflict was detected.
+        dimension: String,
+    },
+    /// A preference refers to a value id outside the domain of its dimension.
+    ValueOutOfDomain {
+        /// Dimension index (within the nominal dimensions).
+        dimension: String,
+        /// Offending value id.
+        value: u32,
+        /// Domain cardinality.
+        cardinality: usize,
+    },
+    /// A query preference is not a refinement of the template it is evaluated against.
+    NotARefinement {
+        /// Dimension on which refinement fails.
+        dimension: String,
+    },
+    /// An implicit preference lists the same value twice.
+    DuplicatePreferenceValue {
+        /// Dimension of the preference.
+        dimension: String,
+        /// The duplicated value id.
+        value: u32,
+    },
+    /// A query lists a nominal value that the (truncated) materialized structure does not
+    /// cover; the caller should fall back to a non-materialized algorithm.
+    NotMaterialized {
+        /// Dimension of the missing value.
+        dimension: String,
+        /// The value id that is not materialized.
+        value: u32,
+    },
+    /// Parsing a textual preference such as `"T < M < *"` failed.
+    ParseError(String),
+    /// The operation requires a non-empty dataset.
+    EmptyDataset,
+    /// Catch-all for invariant violations that indicate a bug in the caller.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for SkylineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkylineError::DuplicateDimension(name) => {
+                write!(f, "duplicate dimension name `{name}` in schema")
+            }
+            SkylineError::UnknownDimension(name) => write!(f, "unknown dimension `{name}`"),
+            SkylineError::UnknownValue { dimension, value } => {
+                write!(f, "value `{value}` is not in the domain of dimension `{dimension}`")
+            }
+            SkylineError::RowShapeMismatch { expected, got } => {
+                write!(f, "row has {got} columns but the schema has {expected} dimensions")
+            }
+            SkylineError::KindMismatch { dimension, detail } => {
+                write!(f, "kind mismatch on dimension `{dimension}`: {detail}")
+            }
+            SkylineError::CyclicOrder { dimension } => {
+                write!(f, "adding these pairs creates a cycle on dimension `{dimension}`")
+            }
+            SkylineError::ConflictingOrders { dimension } => {
+                write!(f, "orders conflict on dimension `{dimension}` (not conflict-free)")
+            }
+            SkylineError::ValueOutOfDomain { dimension, value, cardinality } => write!(
+                f,
+                "value id {value} is outside the domain of `{dimension}` (cardinality {cardinality})"
+            ),
+            SkylineError::NotARefinement { dimension } => write!(
+                f,
+                "query preference on dimension `{dimension}` does not refine the template"
+            ),
+            SkylineError::DuplicatePreferenceValue { dimension, value } => write!(
+                f,
+                "implicit preference on `{dimension}` lists value id {value} more than once"
+            ),
+            SkylineError::NotMaterialized { dimension, value } => write!(
+                f,
+                "value id {value} of dimension `{dimension}` is not materialized in the index"
+            ),
+            SkylineError::ParseError(msg) => write!(f, "preference parse error: {msg}"),
+            SkylineError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            SkylineError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SkylineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let err = SkylineError::UnknownValue {
+            dimension: "hotel-group".into(),
+            value: "Z".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("hotel-group"));
+        assert!(msg.contains('Z'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SkylineError::EmptyDataset,
+            SkylineError::EmptyDataset
+        );
+        assert_ne!(
+            SkylineError::EmptyDataset,
+            SkylineError::ParseError("x".into())
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn std::error::Error> = Box::new(SkylineError::EmptyDataset);
+        assert!(err.to_string().contains("non-empty"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # skyline-core
+//!
+//! Core building blocks for *skyline querying with variable user preferences on
+//! nominal attributes* (Wong, Fu, Pei, Ho, Wong, Liu — arXiv:0710.2604).
+//!
+//! A dataset mixes **numeric** dimensions (universal total order, smaller is better)
+//! with **nominal** dimensions that carry *no* predefined order. Each user query supplies
+//! an [`order::ImplicitPreference`] per nominal dimension — `v1 ≺ v2 ≺ … ≺ vx ≺ *` — and the
+//! skyline must be computed under the strict partial order induced by that preference.
+//!
+//! This crate provides:
+//!
+//! * the data model: [`Schema`], [`Dataset`], nominal value dictionaries ([`NominalDomain`]);
+//! * preference machinery: general strict [`order::PartialOrder`]s, the restricted
+//!   [`order::ImplicitPreference`] form used by the paper, [`order::Preference`] profiles and
+//!   [`order::Template`]s shared by all users;
+//! * dominance testing ([`DominanceContext`]) and the monotone scoring function used by the
+//!   SFS family ([`score::ScoreFn`]);
+//! * baseline full-dataset skyline algorithms: block-nested-loop ([`algo::bnl`]) and
+//!   sort-first-skyline ([`algo::sfs`], the paper's **SFS-D** baseline);
+//! * minimal disqualifying conditions ([`mdc`]) used by the IPO-tree construction;
+//! * a compact [`bitset::BitSet`] shared by the partial-order closure and the bitmap
+//!   IPO-tree representation;
+//! * skyline statistics reported in the paper's figures ([`stats`]).
+//!
+//! Higher-level crates build on this one: `skyline-ipo` (IPO-Tree search), `skyline-adaptive`
+//! (Adaptive SFS) and `skyline` (facade + hybrid engine).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod bitset;
+pub mod dataset;
+pub mod dominance;
+pub mod error;
+pub mod mdc;
+pub mod order;
+pub mod schema;
+pub mod score;
+pub mod stats;
+pub mod value;
+
+pub use bitset::BitSet;
+pub use dataset::{Dataset, DatasetBuilder, RowValue};
+pub use dominance::{DomRelation, DominanceContext};
+pub use error::{Result, SkylineError};
+pub use order::{ImplicitPreference, PartialOrder, Preference, Template};
+pub use schema::{Dimension, DimensionKind, Schema};
+pub use value::{NominalDomain, PointId, ValueId};

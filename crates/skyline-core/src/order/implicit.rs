@@ -1,0 +1,497 @@
+//! Implicit preferences (`v1 ≺ v2 ≺ … ≺ vx ≺ *`) and per-query preference profiles.
+
+use crate::error::{Result, SkylineError};
+use crate::order::PartialOrder;
+use crate::schema::Schema;
+use crate::value::ValueId;
+use std::fmt;
+
+/// An implicit preference on one nominal dimension (Definition 2 of the paper).
+///
+/// The user lists their `x` favourite values in order; every listed value is preferred to
+/// every unlisted value, and the listed values are totally ordered among themselves. Unlisted
+/// values stay mutually incomparable. An empty list means "no special preference".
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct ImplicitPreference {
+    choices: Vec<ValueId>,
+}
+
+impl ImplicitPreference {
+    /// The empty preference (`∗` only): no value is preferred to any other.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a preference from the ordered list of favourite value ids.
+    /// Fails if a value appears twice.
+    pub fn new<I: IntoIterator<Item = ValueId>>(choices: I) -> Result<Self> {
+        let choices: Vec<ValueId> = choices.into_iter().collect();
+        let mut seen = std::collections::HashSet::new();
+        for &v in &choices {
+            if !seen.insert(v) {
+                return Err(SkylineError::DuplicatePreferenceValue {
+                    dimension: String::new(),
+                    value: v as u32,
+                });
+            }
+        }
+        Ok(Self { choices })
+    }
+
+    /// A first-order preference `v ≺ ∗`.
+    pub fn first_order(v: ValueId) -> Self {
+        Self { choices: vec![v] }
+    }
+
+    /// The ordered list of favourite values (`v1 … vx`).
+    pub fn choices(&self) -> &[ValueId] {
+        &self.choices
+    }
+
+    /// The order `x` of the preference (Definition 2): the number of listed values.
+    pub fn order(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// True when no value is listed (no special preference).
+    pub fn is_none(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// True when `v` is one of the listed values ("v is in R̃ᵢ" in the paper).
+    pub fn contains(&self, v: ValueId) -> bool {
+        self.choices.contains(&v)
+    }
+
+    /// 0-based position of `v` among the listed values.
+    pub fn position(&self, v: ValueId) -> Option<usize> {
+        self.choices.iter().position(|&c| c == v)
+    }
+
+    /// The `j`-th entry (1-based, following the paper's wording) of the preference.
+    pub fn entry(&self, j: usize) -> Option<ValueId> {
+        if j == 0 {
+            None
+        } else {
+            self.choices.get(j - 1).copied()
+        }
+    }
+
+    /// Ranking of a value under this preference (Section 4.2): listed values get ranks
+    /// `1..=x` by position; every unlisted value gets rank `cardinality`.
+    ///
+    /// The resulting rank is monotone with respect to the induced partial order: if
+    /// `u ≺ v` can be derived from the preference then `rank(u) < rank(v)`.
+    pub fn rank(&self, v: ValueId, cardinality: usize) -> u32 {
+        match self.position(v) {
+            Some(i) => (i + 1) as u32,
+            None => cardinality as u32,
+        }
+    }
+
+    /// Validates that every listed value is inside a domain of the given cardinality.
+    pub fn validate(&self, cardinality: usize) -> Result<()> {
+        for &v in &self.choices {
+            if v as usize >= cardinality {
+                return Err(SkylineError::ValueOutOfDomain {
+                    dimension: String::new(),
+                    value: v as u32,
+                    cardinality,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `P(R̃ᵢ)`: the equivalent strict partial order — `{(vᵢ, vⱼ) | i < j, i ≤ x, j ≤ k}`.
+    pub fn to_partial_order(&self, cardinality: usize) -> Result<PartialOrder> {
+        self.validate(cardinality)?;
+        let mut pairs = Vec::new();
+        for (i, &vi) in self.choices.iter().enumerate() {
+            // Better than every later listed value…
+            for &vj in &self.choices[i + 1..] {
+                pairs.push((vi, vj));
+            }
+            // …and better than every unlisted value.
+            for w in 0..cardinality as ValueId {
+                if !self.contains(w) {
+                    pairs.push((vi, w));
+                }
+            }
+        }
+        PartialOrder::from_pairs(cardinality, pairs)
+    }
+
+    /// True when `self` refines `other`: for implicit preferences this is exactly "the choice
+    /// list of `other` is a prefix of the choice list of `self`".
+    pub fn refines(&self, other: &ImplicitPreference) -> bool {
+        self.choices.len() >= other.choices.len()
+            && self.choices[..other.choices.len()] == other.choices[..]
+    }
+
+    /// The number of listed values shared as a common prefix with `other`.
+    pub fn common_prefix_len(&self, other: &ImplicitPreference) -> usize {
+        self.choices
+            .iter()
+            .zip(&other.choices)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+}
+
+impl fmt::Display for ImplicitPreference {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.choices.is_empty() {
+            return write!(f, "*");
+        }
+        for v in &self.choices {
+            write!(f, "{v} < ")?;
+        }
+        write!(f, "*")
+    }
+}
+
+/// A full query preference: one [`ImplicitPreference`] per nominal dimension
+/// (`R̃ = (R̃1, …, R̃m')` in the paper).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Preference {
+    dims: Vec<ImplicitPreference>,
+}
+
+impl Preference {
+    /// A preference with no special choices on any of the `nominal_count` dimensions.
+    pub fn none(nominal_count: usize) -> Self {
+        Self { dims: vec![ImplicitPreference::none(); nominal_count] }
+    }
+
+    /// Builds a preference from one implicit preference per nominal dimension.
+    pub fn from_dims(dims: Vec<ImplicitPreference>) -> Self {
+        Self { dims }
+    }
+
+    /// Number of nominal dimensions this preference covers.
+    pub fn nominal_count(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The implicit preference on the `j`-th nominal dimension.
+    pub fn dim(&self, nominal_index: usize) -> &ImplicitPreference {
+        &self.dims[nominal_index]
+    }
+
+    /// All per-dimension implicit preferences.
+    pub fn dims(&self) -> &[ImplicitPreference] {
+        &self.dims
+    }
+
+    /// Replaces the preference on the `j`-th nominal dimension (builder style).
+    pub fn with_dim(mut self, nominal_index: usize, pref: ImplicitPreference) -> Self {
+        self.dims[nominal_index] = pref;
+        self
+    }
+
+    /// Sets the preference on the `j`-th nominal dimension in place.
+    pub fn set_dim(&mut self, nominal_index: usize, pref: ImplicitPreference) {
+        self.dims[nominal_index] = pref;
+    }
+
+    /// The order of the preference: `maxᵢ order(R̃ᵢ)` (Definition 2).
+    pub fn order(&self) -> usize {
+        self.dims.iter().map(ImplicitPreference::order).max().unwrap_or(0)
+    }
+
+    /// True when no dimension lists any value.
+    pub fn is_none(&self) -> bool {
+        self.dims.iter().all(ImplicitPreference::is_none)
+    }
+
+    /// Validates the preference against a schema: correct number of nominal dimensions and all
+    /// listed values inside their domains.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        if self.dims.len() != schema.nominal_count() {
+            return Err(SkylineError::InvalidArgument(format!(
+                "preference covers {} nominal dimensions but the schema has {}",
+                self.dims.len(),
+                schema.nominal_count()
+            )));
+        }
+        for (j, pref) in self.dims.iter().enumerate() {
+            let card = schema.nominal_domain(j).map_or(0, |d| d.cardinality());
+            pref.validate(card).map_err(|e| match e {
+                SkylineError::ValueOutOfDomain { value, cardinality, .. } => {
+                    let name = schema
+                        .dimension(schema.schema_index_of_nominal(j).unwrap_or(0))
+                        .map(|d| d.name().to_string())
+                        .unwrap_or_default();
+                    SkylineError::ValueOutOfDomain { dimension: name, value, cardinality }
+                }
+                other => other,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// `P(R̃)`: the per-dimension strict partial orders equivalent to this preference.
+    pub fn to_partial_orders(&self, schema: &Schema) -> Result<Vec<PartialOrder>> {
+        self.validate(schema)?;
+        self.dims
+            .iter()
+            .enumerate()
+            .map(|(j, pref)| {
+                let card = schema.nominal_domain(j).map_or(0, |d| d.cardinality());
+                pref.to_partial_order(card)
+            })
+            .collect()
+    }
+
+    /// True when `self` refines `other` dimension by dimension (prefix containment).
+    pub fn refines(&self, other: &Preference) -> bool {
+        self.dims.len() == other.dims.len()
+            && self.dims.iter().zip(&other.dims).all(|(a, b)| a.refines(b))
+    }
+
+    /// Parses a preference from `(dimension name, preference text)` pairs, e.g.
+    /// `[("hotel-group", "T < M < *"), ("airline", "G < *")]`. Dimensions not mentioned keep
+    /// "no special preference". Accepts `<`, `≺` or `,` as separators; the trailing `*` is
+    /// optional; `"*"` or an empty string mean no preference.
+    pub fn parse<'a, I>(schema: &Schema, specs: I) -> Result<Preference>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let mut pref = Preference::none(schema.nominal_count());
+        for (dim_name, text) in specs {
+            let j = schema.nominal_index_by_name(dim_name)?;
+            let domain = schema
+                .nominal_domain(j)
+                .ok_or_else(|| SkylineError::UnknownDimension(dim_name.to_string()))?;
+            let parsed = parse_implicit(text, |label| domain.require_id(dim_name, label))?;
+            pref.set_dim(j, parsed);
+        }
+        pref.validate(schema)?;
+        Ok(pref)
+    }
+
+    /// Formats the preference using the schema's dimension names and value labels.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> PreferenceDisplay<'a> {
+        PreferenceDisplay { pref: self, schema }
+    }
+}
+
+/// Helper returned by [`Preference::display`].
+pub struct PreferenceDisplay<'a> {
+    pref: &'a Preference,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for PreferenceDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (j, dim_pref) in self.pref.dims.iter().enumerate() {
+            if dim_pref.is_none() {
+                continue;
+            }
+            if !first {
+                write!(f, "; ")?;
+            }
+            first = false;
+            let schema_index = self.schema.schema_index_of_nominal(j).unwrap_or(0);
+            let name = self.schema.dimension(schema_index).map(|d| d.name()).unwrap_or("?");
+            write!(f, "{name}: ")?;
+            let domain = self.schema.nominal_domain(j);
+            for v in dim_pref.choices() {
+                let label = domain.and_then(|d| d.label(*v)).unwrap_or("?");
+                write!(f, "{label} < ")?;
+            }
+            write!(f, "*")?;
+        }
+        if first {
+            write!(f, "(no special preference)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses one implicit preference text such as `"T < M < *"`.
+fn parse_implicit(
+    text: &str,
+    mut resolve: impl FnMut(&str) -> Result<ValueId>,
+) -> Result<ImplicitPreference> {
+    let normalized = text.replace('≺', "<").replace(',', "<");
+    let tokens: Vec<&str> = normalized.split('<').map(str::trim).filter(|t| !t.is_empty()).collect();
+    let mut choices = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if *token == "*" {
+            if i != tokens.len() - 1 {
+                return Err(SkylineError::ParseError(format!(
+                    "`*` must be the last entry in preference `{text}`"
+                )));
+            }
+            break;
+        }
+        choices.push(resolve(token)?);
+    }
+    ImplicitPreference::new(choices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Dimension, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Dimension::numeric("price"),
+            Dimension::nominal_with_labels("hotel-group", ["T", "H", "M"]),
+            Dimension::nominal_with_labels("airline", ["G", "R", "W"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn implicit_basics() {
+        let pref = ImplicitPreference::new([0, 2]).unwrap();
+        assert_eq!(pref.order(), 2);
+        assert!(pref.contains(2));
+        assert!(!pref.contains(1));
+        assert_eq!(pref.position(2), Some(1));
+        assert_eq!(pref.entry(1), Some(0));
+        assert_eq!(pref.entry(2), Some(2));
+        assert_eq!(pref.entry(0), None);
+        assert_eq!(pref.entry(3), None);
+        assert!(!pref.is_none());
+        assert!(ImplicitPreference::none().is_none());
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let err = ImplicitPreference::new([1, 1]).unwrap_err();
+        assert!(matches!(err, SkylineError::DuplicatePreferenceValue { value: 1, .. }));
+    }
+
+    #[test]
+    fn ranks_follow_the_paper() {
+        // cardinality 10: listed values rank 1..x, everything else ranks 10.
+        let pref = ImplicitPreference::new([7, 3]).unwrap();
+        assert_eq!(pref.rank(7, 10), 1);
+        assert_eq!(pref.rank(3, 10), 2);
+        assert_eq!(pref.rank(0, 10), 10);
+        assert_eq!(ImplicitPreference::none().rank(4, 10), 10);
+    }
+
+    #[test]
+    fn implicit_to_partial_order_matches_definition_2() {
+        // "H ≺ M ≺ *" over {T=0, H=1, M=2} ⇒ {(H,M), (H,T), (M,T)}
+        let pref = ImplicitPreference::new([1, 2]).unwrap();
+        let order = pref.to_partial_order(3).unwrap();
+        let mut pairs: Vec<_> = order.pairs().collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![(1, 0), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn empty_preference_gives_empty_order() {
+        let order = ImplicitPreference::none().to_partial_order(5).unwrap();
+        assert!(order.is_empty());
+    }
+
+    #[test]
+    fn full_list_gives_total_order() {
+        let pref = ImplicitPreference::new([2, 0, 1]).unwrap();
+        let order = pref.to_partial_order(3).unwrap();
+        assert!(order.is_total());
+        assert!(order.strictly_preferred(2, 0));
+        assert!(order.strictly_preferred(0, 1));
+    }
+
+    #[test]
+    fn refinement_is_prefix_containment() {
+        let t = ImplicitPreference::new([0]).unwrap();
+        let tm = ImplicitPreference::new([0, 2]).unwrap();
+        let mt = ImplicitPreference::new([2, 0]).unwrap();
+        assert!(tm.refines(&t));
+        assert!(tm.refines(&ImplicitPreference::none()));
+        assert!(!t.refines(&tm));
+        assert!(!mt.refines(&t));
+        assert_eq!(tm.common_prefix_len(&t), 1);
+        assert_eq!(mt.common_prefix_len(&tm), 0);
+    }
+
+    #[test]
+    fn preference_profile_order_and_validation() {
+        let schema = schema();
+        let pref = Preference::none(2)
+            .with_dim(0, ImplicitPreference::new([2, 1]).unwrap())
+            .with_dim(1, ImplicitPreference::new([0]).unwrap());
+        assert_eq!(pref.order(), 2);
+        pref.validate(&schema).unwrap();
+
+        let bad = Preference::none(1);
+        assert!(bad.validate(&schema).is_err());
+
+        let out_of_domain = Preference::none(2).with_dim(0, ImplicitPreference::new([9]).unwrap());
+        assert!(matches!(
+            out_of_domain.validate(&schema),
+            Err(SkylineError::ValueOutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_textual_preferences() {
+        let schema = schema();
+        let pref = Preference::parse(&schema, [("hotel-group", "M < H < *"), ("airline", "G < *")]).unwrap();
+        assert_eq!(pref.dim(0).choices(), &[2, 1]);
+        assert_eq!(pref.dim(1).choices(), &[0]);
+
+        let none = Preference::parse(&schema, [("hotel-group", "*")]).unwrap();
+        assert!(none.is_none());
+
+        assert!(Preference::parse(&schema, [("hotel-group", "Z < *")]).is_err());
+        assert!(Preference::parse(&schema, [("price", "1 < *")]).is_err());
+        assert!(Preference::parse(&schema, [("hotel-group", "* < M")]).is_err());
+        assert!(Preference::parse(&schema, [("missing", "M < *")]).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_unicode_and_commas() {
+        let schema = schema();
+        let a = Preference::parse(&schema, [("hotel-group", "M ≺ H ≺ *")]).unwrap();
+        let b = Preference::parse(&schema, [("hotel-group", "M, H")]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profile_refinement() {
+        let template = Preference::none(2).with_dim(0, ImplicitPreference::new([1]).unwrap());
+        let query = Preference::none(2)
+            .with_dim(0, ImplicitPreference::new([1, 2]).unwrap())
+            .with_dim(1, ImplicitPreference::new([0]).unwrap());
+        assert!(query.refines(&template));
+        assert!(!template.refines(&query));
+        let conflicting = Preference::none(2).with_dim(0, ImplicitPreference::new([2, 1]).unwrap());
+        assert!(!conflicting.refines(&template));
+    }
+
+    #[test]
+    fn display_uses_labels() {
+        let schema = schema();
+        let pref = Preference::parse(&schema, [("hotel-group", "M < H < *")]).unwrap();
+        let text = format!("{}", pref.display(&schema));
+        assert_eq!(text, "hotel-group: M < H < *");
+        let none = Preference::none(2);
+        assert_eq!(format!("{}", none.display(&schema)), "(no special preference)");
+        assert_eq!(format!("{}", ImplicitPreference::new([3, 1]).unwrap()), "3 < 1 < *");
+        assert_eq!(format!("{}", ImplicitPreference::none()), "*");
+    }
+
+    #[test]
+    fn to_partial_orders_per_dimension() {
+        let schema = schema();
+        let pref = Preference::parse(&schema, [("airline", "R < *")]).unwrap();
+        let orders = pref.to_partial_orders(&schema).unwrap();
+        assert_eq!(orders.len(), 2);
+        assert!(orders[0].is_empty());
+        assert!(orders[1].strictly_preferred(1, 0));
+        assert!(orders[1].strictly_preferred(1, 2));
+        assert_eq!(orders[1].pair_count(), 2);
+    }
+}

@@ -1,0 +1,19 @@
+//! User preference orders.
+//!
+//! The paper models a user's preference on a nominal attribute as a **strict partial order**
+//! over the attribute's values ([`PartialOrder`]), and observes that in practice users state an
+//! **implicit preference** `v1 ≺ v2 ≺ … ≺ vx ≺ *` ([`ImplicitPreference`], Definition 2): the
+//! listed values beat every other value, in the listed order, while unlisted values remain
+//! mutually incomparable.
+//!
+//! A [`Preference`] bundles one implicit preference per nominal dimension (possibly empty =
+//! "no special preference", like Bob in Table 2). A [`Template`] is the preference information
+//! shared by *all* users (Section 2); each query must refine it.
+
+mod implicit;
+mod partial_order;
+mod template;
+
+pub use implicit::{ImplicitPreference, Preference};
+pub use partial_order::PartialOrder;
+pub use template::Template;

@@ -1,0 +1,259 @@
+//! Strict partial orders over the value ids of one nominal dimension.
+
+use crate::bitset::BitSet;
+use crate::error::{Result, SkylineError};
+use crate::value::ValueId;
+
+/// A strict partial order `≺` over the value ids `0..cardinality` of one nominal dimension.
+///
+/// The relation is stored as its transitive closure: `better[u]` is the set of values `v`
+/// with `u ≺ v` (`u` strictly preferred to `v`). Cardinalities are tiny in this problem
+/// (4–40 in the paper's experiments), so the closure costs a few hundred bytes per dimension
+/// and makes every dominance test an O(1) bit probe.
+///
+/// Construction enforces irreflexivity/asymmetry by rejecting pair sets whose closure would
+/// contain a cycle (which is exactly when asymmetry would break).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialOrder {
+    cardinality: usize,
+    better: Vec<BitSet>,
+}
+
+impl PartialOrder {
+    /// The empty order (no value preferred to any other) over `cardinality` values.
+    pub fn empty(cardinality: usize) -> Self {
+        Self { cardinality, better: vec![BitSet::new(cardinality); cardinality] }
+    }
+
+    /// Builds an order from explicit `(preferred, less_preferred)` pairs and closes it
+    /// transitively. Fails with [`SkylineError::CyclicOrder`] if the pairs are cyclic and with
+    /// [`SkylineError::ValueOutOfDomain`] if a pair mentions a value outside `0..cardinality`.
+    pub fn from_pairs<I>(cardinality: usize, pairs: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (ValueId, ValueId)>,
+    {
+        let mut order = Self::empty(cardinality);
+        order.add_pairs(pairs)?;
+        Ok(order)
+    }
+
+    /// Adds pairs to the order and re-closes it. Rolls back nothing on failure, so callers that
+    /// need atomicity should clone first (orders are tiny).
+    pub fn add_pairs<I>(&mut self, pairs: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (ValueId, ValueId)>,
+    {
+        for (u, v) in pairs {
+            for value in [u, v] {
+                if value as usize >= self.cardinality {
+                    return Err(SkylineError::ValueOutOfDomain {
+                        dimension: String::new(),
+                        value: value as u32,
+                        cardinality: self.cardinality,
+                    });
+                }
+            }
+            if u != v {
+                self.better[u as usize].insert(v as usize);
+            }
+        }
+        self.close_transitively();
+        if (0..self.cardinality).any(|u| self.better[u].contains(u)) {
+            return Err(SkylineError::CyclicOrder { dimension: String::new() });
+        }
+        Ok(())
+    }
+
+    /// Warshall-style closure using bit-parallel row unions: if `u ≺ k` then `better[u] ∪= better[k]`.
+    fn close_transitively(&mut self) {
+        for k in 0..self.cardinality {
+            let row_k = self.better[k].clone();
+            for u in 0..self.cardinality {
+                if u != k && self.better[u].contains(k) {
+                    self.better[u].union_with(&row_k);
+                }
+            }
+        }
+    }
+
+    /// Number of values in the dimension's domain.
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// True when the order contains no pair at all.
+    pub fn is_empty(&self) -> bool {
+        self.better.iter().all(BitSet::is_empty)
+    }
+
+    /// Number of strict pairs `(u, v)` with `u ≺ v` in the closure.
+    pub fn pair_count(&self) -> usize {
+        self.better.iter().map(BitSet::count).sum()
+    }
+
+    /// True when `u ≺ v` (strictly preferred).
+    #[inline]
+    pub fn strictly_preferred(&self, u: ValueId, v: ValueId) -> bool {
+        self.better[u as usize].contains(v as usize)
+    }
+
+    /// True when `u ⪯ v` (equal or strictly preferred).
+    #[inline]
+    pub fn preferred_or_equal(&self, u: ValueId, v: ValueId) -> bool {
+        u == v || self.strictly_preferred(u, v)
+    }
+
+    /// True when `u` and `v` are distinct and unrelated in the order.
+    pub fn incomparable(&self, u: ValueId, v: ValueId) -> bool {
+        u != v && !self.strictly_preferred(u, v) && !self.strictly_preferred(v, u)
+    }
+
+    /// Iterates over all pairs `(u, v)` with `u ≺ v` in the closure.
+    pub fn pairs(&self) -> impl Iterator<Item = (ValueId, ValueId)> + '_ {
+        self.better.iter().enumerate().flat_map(|(u, row)| {
+            row.iter().map(move |v| (u as ValueId, v as ValueId))
+        })
+    }
+
+    /// True when the order is total: every two distinct values are related.
+    pub fn is_total(&self) -> bool {
+        (0..self.cardinality as ValueId).all(|u| {
+            (0..self.cardinality as ValueId).all(|v| u == v || !self.incomparable(u, v))
+        })
+    }
+
+    /// Containment of orders (Section 2): `self ⊆ other`, i.e. `other` refines `self`.
+    pub fn is_contained_in(&self, other: &PartialOrder) -> bool {
+        debug_assert_eq!(self.cardinality, other.cardinality);
+        self.better.iter().zip(&other.better).all(|(a, b)| a.is_subset_of(b))
+    }
+
+    /// True when `other` is a refinement of `self` (same as [`PartialOrder::is_contained_in`]
+    /// read in the other direction, provided for readability at call sites).
+    pub fn is_refined_by(&self, other: &PartialOrder) -> bool {
+        self.is_contained_in(other)
+    }
+
+    /// Definition 1: two orders are conflict-free when no pair `(u, v)` of one appears reversed
+    /// in the other.
+    pub fn conflict_free_with(&self, other: &PartialOrder) -> bool {
+        debug_assert_eq!(self.cardinality, other.cardinality);
+        self.pairs().all(|(u, v)| !other.strictly_preferred(v, u))
+    }
+
+    /// Union of two orders followed by transitive closure. Fails when the union is cyclic,
+    /// which in particular happens whenever the orders are not conflict-free.
+    pub fn union(&self, other: &PartialOrder) -> Result<PartialOrder> {
+        debug_assert_eq!(self.cardinality, other.cardinality);
+        let mut merged = self.clone();
+        merged.add_pairs(other.pairs())?;
+        Ok(merged)
+    }
+
+    /// Approximate heap footprint in bytes (used for storage accounting).
+    pub fn approximate_bytes(&self) -> usize {
+        self.better.iter().map(BitSet::approximate_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_order_relates_nothing() {
+        let order = PartialOrder::empty(3);
+        assert!(order.is_empty());
+        assert_eq!(order.pair_count(), 0);
+        assert!(order.incomparable(0, 1));
+        assert!(order.preferred_or_equal(2, 2));
+        assert!(!order.strictly_preferred(0, 1));
+        assert!(!order.is_total());
+    }
+
+    #[test]
+    fn transitive_closure_is_computed() {
+        // T ≺ M, M ≺ H  =>  T ≺ H
+        let order = PartialOrder::from_pairs(3, [(0, 2), (2, 1)]).unwrap();
+        assert!(order.strictly_preferred(0, 2));
+        assert!(order.strictly_preferred(2, 1));
+        assert!(order.strictly_preferred(0, 1));
+        assert_eq!(order.pair_count(), 3);
+        assert!(order.is_total());
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let err = PartialOrder::from_pairs(3, [(0, 1), (1, 2), (2, 0)]).unwrap_err();
+        assert!(matches!(err, SkylineError::CyclicOrder { .. }));
+        let err = PartialOrder::from_pairs(2, [(0, 1), (1, 0)]).unwrap_err();
+        assert!(matches!(err, SkylineError::CyclicOrder { .. }));
+    }
+
+    #[test]
+    fn self_pairs_are_ignored() {
+        let order = PartialOrder::from_pairs(2, [(1, 1)]).unwrap();
+        assert!(order.is_empty());
+    }
+
+    #[test]
+    fn out_of_domain_pairs_are_rejected() {
+        let err = PartialOrder::from_pairs(2, [(0, 5)]).unwrap_err();
+        assert!(matches!(err, SkylineError::ValueOutOfDomain { value: 5, .. }));
+    }
+
+    #[test]
+    fn containment_and_refinement() {
+        // R = {(T, M)}  ⊆  R' = {(T, M), (H, M)}   (example from Section 2)
+        let r = PartialOrder::from_pairs(3, [(0, 2)]).unwrap();
+        let r_prime = PartialOrder::from_pairs(3, [(0, 2), (1, 2)]).unwrap();
+        assert!(r.is_contained_in(&r_prime));
+        assert!(r.is_refined_by(&r_prime));
+        assert!(!r_prime.is_contained_in(&r));
+        assert!(r.is_contained_in(&r));
+    }
+
+    #[test]
+    fn conflict_freedom() {
+        let m_first = PartialOrder::from_pairs(3, [(2, 1), (2, 0)]).unwrap(); // M ≺ *
+        let h_first = PartialOrder::from_pairs(3, [(1, 2), (1, 0)]).unwrap(); // H ≺ *
+        // They disagree on (M, H) vs (H, M): not conflict-free (Figure 1 discussion).
+        assert!(!m_first.conflict_free_with(&h_first));
+        assert!(!h_first.conflict_free_with(&m_first));
+        // T ≺ M and H ≺ M never reverse each other's pairs.
+        let t_over_m = PartialOrder::from_pairs(3, [(0, 2)]).unwrap();
+        let h_over_m = PartialOrder::from_pairs(3, [(1, 2)]).unwrap();
+        assert!(t_over_m.conflict_free_with(&h_over_m));
+        assert!(t_over_m.conflict_free_with(&PartialOrder::empty(3)));
+    }
+
+    #[test]
+    fn union_detects_conflicts_as_cycles() {
+        let m_first = PartialOrder::from_pairs(3, [(2, 1), (2, 0)]).unwrap();
+        let h_first = PartialOrder::from_pairs(3, [(1, 2), (1, 0)]).unwrap();
+        assert!(m_first.union(&h_first).is_err());
+        // M ≺ *  ∪  T ≺ H  is consistent and closes to M ≺ H, M ≺ T, T ≺ H.
+        let t_over_h = PartialOrder::from_pairs(3, [(0, 1)]).unwrap();
+        let merged = m_first.union(&t_over_h).unwrap();
+        assert!(merged.strictly_preferred(2, 1));
+        assert!(merged.strictly_preferred(2, 0));
+        assert!(merged.strictly_preferred(0, 1));
+        assert_eq!(merged.pair_count(), 3);
+    }
+
+    #[test]
+    fn pairs_roundtrip() {
+        let order = PartialOrder::from_pairs(4, [(1, 0), (1, 2), (1, 3)]).unwrap();
+        let mut pairs: Vec<_> = order.pairs().collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![(1, 0), (1, 2), (1, 3)]);
+        let rebuilt = PartialOrder::from_pairs(4, pairs).unwrap();
+        assert_eq!(rebuilt, order);
+    }
+
+    #[test]
+    fn approximate_bytes_nonzero() {
+        let order = PartialOrder::empty(20);
+        assert!(order.approximate_bytes() >= 20 * 8 / 8);
+    }
+}

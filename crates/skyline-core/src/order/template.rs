@@ -1,0 +1,274 @@
+//! Templates: the preference information shared by all users.
+
+use crate::dataset::Dataset;
+use crate::error::{Result, SkylineError};
+use crate::order::{ImplicitPreference, PartialOrder, Preference};
+use crate::schema::Schema;
+
+/// The template `R` of Section 2: a partial order per nominal dimension that holds for every
+/// user. Each individual query refines the template with its own implicit preference.
+///
+/// Two common templates:
+///
+/// * [`Template::empty`] — no universal preference on any nominal value (the example of
+///   Table 1/2 and Figure 2);
+/// * [`Template::most_frequent_value`] — the paper's experimental default, where the most
+///   frequent value of each nominal dimension is universally preferred to all others
+///   ("this corresponds to a more difficult setting as the skyline tends to be bigger").
+///
+/// A template keeps both the general partial-order form (used for dominance and MDC
+/// computation) and, when it was built from an implicit preference, the implicit form
+/// (used by Adaptive SFS for its base ranking and refinement checks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Template {
+    orders: Vec<PartialOrder>,
+    implicit: Option<Preference>,
+}
+
+impl Template {
+    /// A template with no universal nominal preference.
+    pub fn empty(schema: &Schema) -> Self {
+        let orders = schema
+            .nominal_cardinalities()
+            .into_iter()
+            .map(PartialOrder::empty)
+            .collect();
+        Self { orders, implicit: Some(Preference::none(schema.nominal_count())) }
+    }
+
+    /// A template built from an implicit preference profile.
+    pub fn from_preference(schema: &Schema, pref: Preference) -> Result<Self> {
+        let orders = pref.to_partial_orders(schema)?;
+        Ok(Self { orders, implicit: Some(pref) })
+    }
+
+    /// A template built from arbitrary per-dimension partial orders (general model of §2).
+    pub fn from_partial_orders(schema: &Schema, orders: Vec<PartialOrder>) -> Result<Self> {
+        if orders.len() != schema.nominal_count() {
+            return Err(SkylineError::InvalidArgument(format!(
+                "template has {} orders but the schema has {} nominal dimensions",
+                orders.len(),
+                schema.nominal_count()
+            )));
+        }
+        for (j, order) in orders.iter().enumerate() {
+            let card = schema.nominal_domain(j).map_or(0, |d| d.cardinality());
+            if order.cardinality() != card {
+                return Err(SkylineError::InvalidArgument(format!(
+                    "template order on nominal dimension {j} has cardinality {} but the domain has {card}",
+                    order.cardinality()
+                )));
+            }
+        }
+        Ok(Self { orders, implicit: None })
+    }
+
+    /// The paper's experimental default: on every nominal dimension, the most frequent value
+    /// is universally preferred to all other values (a first-order implicit preference).
+    pub fn most_frequent_value(dataset: &Dataset) -> Result<Self> {
+        let schema = dataset.schema();
+        let mut pref = Preference::none(schema.nominal_count());
+        for j in 0..schema.nominal_count() {
+            if let Some(&top) = dataset.values_by_frequency(j).first() {
+                pref.set_dim(j, ImplicitPreference::first_order(top));
+            }
+        }
+        Template::from_preference(schema, pref)
+    }
+
+    /// Per-dimension partial orders of the template.
+    pub fn orders(&self) -> &[PartialOrder] {
+        &self.orders
+    }
+
+    /// The template order on the `j`-th nominal dimension.
+    pub fn order(&self, nominal_index: usize) -> &PartialOrder {
+        &self.orders[nominal_index]
+    }
+
+    /// Number of nominal dimensions covered.
+    pub fn nominal_count(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// The implicit form of the template, when it was built from one.
+    pub fn implicit(&self) -> Option<&Preference> {
+        self.implicit.as_ref()
+    }
+
+    /// True when the template imposes no nominal preference at all.
+    pub fn is_empty(&self) -> bool {
+        self.orders.iter().all(PartialOrder::is_empty)
+    }
+
+    /// Checks that `query` is a valid refinement of this template and returns the **effective
+    /// per-dimension orders** `R ∪ P(R̃′)` used for dominance.
+    ///
+    /// For an implicit template this additionally enforces the prefix-refinement property the
+    /// paper assumes (the template's listed values must be a prefix of the query's); for a
+    /// general template only conflict-freedom is required.
+    pub fn effective_orders(&self, schema: &Schema, query: &Preference) -> Result<Vec<PartialOrder>> {
+        query.validate(schema)?;
+        if let Some(implicit) = &self.implicit {
+            if !implicit.is_none() && !query.refines(implicit) {
+                let offending = implicit
+                    .dims()
+                    .iter()
+                    .zip(query.dims())
+                    .position(|(t, q)| !q.refines(t))
+                    .unwrap_or(0);
+                let name = schema
+                    .dimension(schema.schema_index_of_nominal(offending).unwrap_or(0))
+                    .map(|d| d.name().to_string())
+                    .unwrap_or_default();
+                return Err(SkylineError::NotARefinement { dimension: name });
+            }
+        }
+        let query_orders = query.to_partial_orders(schema)?;
+        self.orders
+            .iter()
+            .zip(query_orders)
+            .enumerate()
+            .map(|(j, (template_order, query_order))| {
+                template_order.union(&query_order).map_err(|_| {
+                    let name = schema
+                        .dimension(schema.schema_index_of_nominal(j).unwrap_or(0))
+                        .map(|d| d.name().to_string())
+                        .unwrap_or_default();
+                    SkylineError::ConflictingOrders { dimension: name }
+                })
+            })
+            .collect()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.orders.iter().map(PartialOrder::approximate_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::schema::{Dimension, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Dimension::numeric("price"),
+            Dimension::nominal_with_labels("hotel-group", ["T", "H", "M"]),
+            Dimension::nominal_with_labels("airline", ["G", "R", "W"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_template_has_empty_orders() {
+        let schema = schema();
+        let t = Template::empty(&schema);
+        assert!(t.is_empty());
+        assert_eq!(t.nominal_count(), 2);
+        assert!(t.implicit().unwrap().is_none());
+    }
+
+    #[test]
+    fn template_from_preference_keeps_implicit_form() {
+        let schema = schema();
+        let pref = Preference::parse(&schema, [("hotel-group", "H < *")]).unwrap();
+        let t = Template::from_preference(&schema, pref.clone()).unwrap();
+        assert_eq!(t.implicit(), Some(&pref));
+        assert!(t.order(0).strictly_preferred(1, 0));
+        assert!(t.order(1).is_empty());
+        assert!(!t.is_empty());
+        assert!(t.approximate_bytes() > 0);
+    }
+
+    #[test]
+    fn from_partial_orders_validates_cardinalities() {
+        let schema = schema();
+        let bad = Template::from_partial_orders(&schema, vec![PartialOrder::empty(3)]);
+        assert!(bad.is_err());
+        let bad = Template::from_partial_orders(
+            &schema,
+            vec![PartialOrder::empty(3), PartialOrder::empty(5)],
+        );
+        assert!(bad.is_err());
+        let ok = Template::from_partial_orders(
+            &schema,
+            vec![PartialOrder::empty(3), PartialOrder::empty(3)],
+        )
+        .unwrap();
+        assert!(ok.implicit().is_none());
+    }
+
+    #[test]
+    fn most_frequent_value_template() {
+        let schema = schema();
+        let data = Dataset::from_columns(
+            schema,
+            vec![vec![1.0, 2.0, 3.0, 4.0]],
+            vec![vec![2, 2, 2, 0], vec![1, 0, 1, 2]],
+        )
+        .unwrap();
+        let t = Template::most_frequent_value(&data).unwrap();
+        // hotel-group: M (id 2) is most frequent; airline: R (id 1).
+        assert_eq!(t.implicit().unwrap().dim(0).choices(), &[2]);
+        assert_eq!(t.implicit().unwrap().dim(1).choices(), &[1]);
+        assert!(t.order(0).strictly_preferred(2, 0));
+    }
+
+    #[test]
+    fn effective_orders_require_refinement_for_implicit_templates() {
+        let schema = schema();
+        let template = Template::from_preference(
+            &schema,
+            Preference::parse(&schema, [("hotel-group", "H < *")]).unwrap(),
+        )
+        .unwrap();
+
+        // Query that extends the template: OK.
+        let good = Preference::parse(&schema, [("hotel-group", "H < M < *"), ("airline", "G < *")]).unwrap();
+        let orders = template.effective_orders(&schema, &good).unwrap();
+        assert!(orders[0].strictly_preferred(1, 2));
+        assert!(orders[0].strictly_preferred(2, 0));
+        assert!(orders[1].strictly_preferred(0, 1));
+
+        // Query that contradicts the template: rejected.
+        let bad = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
+        assert!(matches!(
+            template.effective_orders(&schema, &bad),
+            Err(SkylineError::NotARefinement { .. })
+        ));
+    }
+
+    #[test]
+    fn effective_orders_with_general_template_only_checks_conflicts() {
+        let schema = schema();
+        // General (non-implicit) template: T ≺ M on hotel-group.
+        let template = Template::from_partial_orders(
+            &schema,
+            vec![PartialOrder::from_pairs(3, [(0, 2)]).unwrap(), PartialOrder::empty(3)],
+        )
+        .unwrap();
+        // A query listing H first is fine (no conflict with T ≺ M)…
+        let ok = Preference::parse(&schema, [("hotel-group", "H < *")]).unwrap();
+        let orders = template.effective_orders(&schema, &ok).unwrap();
+        assert!(orders[0].strictly_preferred(0, 2));
+        assert!(orders[0].strictly_preferred(1, 0));
+        // …but a query putting M above T conflicts.
+        let conflict = Preference::parse(&schema, [("hotel-group", "M < T < *")]).unwrap();
+        assert!(matches!(
+            template.effective_orders(&schema, &conflict),
+            Err(SkylineError::ConflictingOrders { .. })
+        ));
+    }
+
+    #[test]
+    fn effective_orders_for_empty_template_accept_any_query() {
+        let schema = schema();
+        let template = Template::empty(&schema);
+        let query = Preference::parse(&schema, [("hotel-group", "M < H < *")]).unwrap();
+        let orders = template.effective_orders(&schema, &query).unwrap();
+        assert!(orders[0].strictly_preferred(2, 1));
+    }
+}

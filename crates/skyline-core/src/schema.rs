@@ -1,0 +1,287 @@
+//! Dataset schemas: an ordered list of numeric and nominal dimensions.
+
+use crate::error::{Result, SkylineError};
+use crate::value::NominalDomain;
+
+/// Kind of one dimension (the paper uses "attribute" and "dimension" interchangeably).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DimensionKind {
+    /// Totally-ordered numeric attribute. Following the paper's convention, **smaller is
+    /// better** (price, number of stops…). Attributes where larger is better (hotel class)
+    /// are stored negated by the caller or the dataset builder helper.
+    Numeric,
+    /// Nominal attribute: a finite domain of labelled values with *no* predefined order.
+    /// Users impose an order per query through an implicit preference.
+    Nominal(NominalDomain),
+}
+
+impl DimensionKind {
+    /// True for [`DimensionKind::Numeric`].
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DimensionKind::Numeric)
+    }
+
+    /// True for [`DimensionKind::Nominal`].
+    pub fn is_nominal(&self) -> bool {
+        matches!(self, DimensionKind::Nominal(_))
+    }
+}
+
+/// One dimension of a schema: a name plus its kind.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dimension {
+    name: String,
+    kind: DimensionKind,
+}
+
+impl Dimension {
+    /// Creates a numeric (smaller-is-better) dimension.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        Self { name: name.into(), kind: DimensionKind::Numeric }
+    }
+
+    /// Creates a nominal dimension with the given value domain.
+    pub fn nominal(name: impl Into<String>, domain: NominalDomain) -> Self {
+        Self { name: name.into(), kind: DimensionKind::Nominal(domain) }
+    }
+
+    /// Creates a nominal dimension whose domain is built from the given labels.
+    pub fn nominal_with_labels<I, S>(name: impl Into<String>, labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self::nominal(name, NominalDomain::from_labels(labels))
+    }
+
+    /// Dimension name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dimension kind.
+    pub fn kind(&self) -> &DimensionKind {
+        &self.kind
+    }
+
+    /// The nominal domain, if this dimension is nominal.
+    pub fn domain(&self) -> Option<&NominalDomain> {
+        match &self.kind {
+            DimensionKind::Nominal(domain) => Some(domain),
+            DimensionKind::Numeric => None,
+        }
+    }
+
+    /// Mutable access to the nominal domain (used by the dataset builder to intern new labels).
+    pub(crate) fn domain_mut(&mut self) -> Option<&mut NominalDomain> {
+        match &mut self.kind {
+            DimensionKind::Nominal(domain) => Some(domain),
+            DimensionKind::Numeric => None,
+        }
+    }
+}
+
+/// An ordered collection of dimensions describing a dataset.
+///
+/// The schema keeps two derived index lists so that hot code can iterate over "all numeric
+/// dimensions" or "all nominal dimensions" without re-scanning kinds:
+///
+/// * `numeric_dims[j]` is the schema index of the `j`-th numeric dimension;
+/// * `nominal_dims[j]` is the schema index of the `j`-th nominal dimension.
+///
+/// Preferences and dominance contexts address nominal dimensions by their *nominal index*
+/// `j` (0-based among nominal dimensions), matching the paper's `D1 … Dm'` numbering of
+/// nominal attributes.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Schema {
+    dims: Vec<Dimension>,
+    numeric_dims: Vec<usize>,
+    nominal_dims: Vec<usize>,
+}
+
+impl Schema {
+    /// Builds a schema from a list of dimensions, rejecting duplicate names.
+    pub fn new(dims: Vec<Dimension>) -> Result<Self> {
+        let mut seen = std::collections::HashSet::new();
+        for dim in &dims {
+            if !seen.insert(dim.name().to_string()) {
+                return Err(SkylineError::DuplicateDimension(dim.name().to_string()));
+            }
+        }
+        let mut schema = Schema { dims, numeric_dims: Vec::new(), nominal_dims: Vec::new() };
+        schema.rebuild_kind_indexes();
+        Ok(schema)
+    }
+
+    fn rebuild_kind_indexes(&mut self) {
+        self.numeric_dims.clear();
+        self.nominal_dims.clear();
+        for (i, dim) in self.dims.iter().enumerate() {
+            match dim.kind() {
+                DimensionKind::Numeric => self.numeric_dims.push(i),
+                DimensionKind::Nominal(_) => self.nominal_dims.push(i),
+            }
+        }
+    }
+
+    /// Total number of dimensions (`m` in the paper).
+    pub fn arity(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of numeric dimensions.
+    pub fn numeric_count(&self) -> usize {
+        self.numeric_dims.len()
+    }
+
+    /// Number of nominal dimensions (`m'` in the paper).
+    pub fn nominal_count(&self) -> usize {
+        self.nominal_dims.len()
+    }
+
+    /// All dimensions, in schema order.
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dims
+    }
+
+    /// Dimension at schema index `i`.
+    pub fn dimension(&self, i: usize) -> Option<&Dimension> {
+        self.dims.get(i)
+    }
+
+    /// Schema index of the dimension called `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.dims.iter().position(|d| d.name() == name)
+    }
+
+    /// Schema indexes of the numeric dimensions.
+    pub fn numeric_dims(&self) -> &[usize] {
+        &self.numeric_dims
+    }
+
+    /// Schema indexes of the nominal dimensions.
+    pub fn nominal_dims(&self) -> &[usize] {
+        &self.nominal_dims
+    }
+
+    /// Maps a schema index to its nominal index (position among nominal dimensions).
+    pub fn nominal_index_of(&self, schema_index: usize) -> Option<usize> {
+        self.nominal_dims.iter().position(|&i| i == schema_index)
+    }
+
+    /// Maps a *nominal index* (0-based among nominal dimensions) back to the schema index.
+    pub fn schema_index_of_nominal(&self, nominal_index: usize) -> Option<usize> {
+        self.nominal_dims.get(nominal_index).copied()
+    }
+
+    /// The nominal index of the dimension called `name`, if it exists and is nominal.
+    pub fn nominal_index_by_name(&self, name: &str) -> Result<usize> {
+        let schema_index = self
+            .index_of(name)
+            .ok_or_else(|| SkylineError::UnknownDimension(name.to_string()))?;
+        self.nominal_index_of(schema_index).ok_or_else(|| SkylineError::KindMismatch {
+            dimension: name.to_string(),
+            detail: "expected a nominal dimension".to_string(),
+        })
+    }
+
+    /// Domain of the `j`-th nominal dimension.
+    pub fn nominal_domain(&self, nominal_index: usize) -> Option<&NominalDomain> {
+        let schema_index = self.schema_index_of_nominal(nominal_index)?;
+        self.dims[schema_index].domain()
+    }
+
+    /// Cardinalities of all nominal dimensions, in nominal-index order.
+    pub fn nominal_cardinalities(&self) -> Vec<usize> {
+        self.nominal_dims
+            .iter()
+            .map(|&i| self.dims[i].domain().map_or(0, NominalDomain::cardinality))
+            .collect()
+    }
+
+    /// Mutable access to a dimension (used by the dataset builder to intern labels).
+    pub(crate) fn dimension_mut(&mut self, i: usize) -> Option<&mut Dimension> {
+        self.dims.get_mut(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vacation_schema() -> Schema {
+        Schema::new(vec![
+            Dimension::numeric("price"),
+            Dimension::numeric("hotel-class-neg"),
+            Dimension::nominal_with_labels("hotel-group", ["T", "H", "M"]),
+            Dimension::nominal_with_labels("airline", ["G", "R", "W"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_and_indexes() {
+        let schema = vacation_schema();
+        assert_eq!(schema.arity(), 4);
+        assert_eq!(schema.numeric_count(), 2);
+        assert_eq!(schema.nominal_count(), 2);
+        assert_eq!(schema.numeric_dims(), &[0, 1]);
+        assert_eq!(schema.nominal_dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn nominal_index_mapping_roundtrips() {
+        let schema = vacation_schema();
+        assert_eq!(schema.nominal_index_of(2), Some(0));
+        assert_eq!(schema.nominal_index_of(3), Some(1));
+        assert_eq!(schema.nominal_index_of(0), None);
+        assert_eq!(schema.schema_index_of_nominal(1), Some(3));
+        assert_eq!(schema.schema_index_of_nominal(2), None);
+    }
+
+    #[test]
+    fn nominal_index_by_name() {
+        let schema = vacation_schema();
+        assert_eq!(schema.nominal_index_by_name("airline").unwrap(), 1);
+        assert!(matches!(
+            schema.nominal_index_by_name("price"),
+            Err(SkylineError::KindMismatch { .. })
+        ));
+        assert!(matches!(
+            schema.nominal_index_by_name("missing"),
+            Err(SkylineError::UnknownDimension(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![Dimension::numeric("a"), Dimension::numeric("a")]).unwrap_err();
+        assert_eq!(err, SkylineError::DuplicateDimension("a".into()));
+    }
+
+    #[test]
+    fn cardinalities_follow_nominal_order() {
+        let schema = vacation_schema();
+        assert_eq!(schema.nominal_cardinalities(), vec![3, 3]);
+        assert_eq!(schema.nominal_domain(0).unwrap().label(0), Some("T"));
+        assert!(schema.nominal_domain(5).is_none());
+    }
+
+    #[test]
+    fn dimension_kind_helpers() {
+        assert!(DimensionKind::Numeric.is_numeric());
+        assert!(!DimensionKind::Numeric.is_nominal());
+        let nominal = DimensionKind::Nominal(NominalDomain::anonymous(2));
+        assert!(nominal.is_nominal());
+    }
+
+    #[test]
+    fn index_of_by_name() {
+        let schema = vacation_schema();
+        assert_eq!(schema.index_of("hotel-group"), Some(2));
+        assert_eq!(schema.index_of("nope"), None);
+    }
+}

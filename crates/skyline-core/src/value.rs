@@ -1,0 +1,187 @@
+//! Value identifiers and nominal value dictionaries.
+
+use crate::error::{Result, SkylineError};
+use std::collections::HashMap;
+
+/// Index of a data point (row) inside a [`crate::Dataset`].
+///
+/// `u32` keeps hot structures (skyline lists, IPO-tree disqualifying sets, bitmaps) compact;
+/// the paper's experiments top out at 10⁶ points.
+pub type PointId = u32;
+
+/// Identifier of a nominal value within the [`NominalDomain`] of one dimension.
+///
+/// Nominal cardinalities in the paper range from 4 (Nursery) to 40 (synthetic sweeps), so a
+/// `u16` is ample while halving the footprint of nominal columns compared to `u32`.
+pub type ValueId = u16;
+
+/// Dictionary of the values of one nominal dimension.
+///
+/// A domain maps human-readable labels (e.g. `"Tulips"`, `"Horizon"`) to dense [`ValueId`]s
+/// `0..cardinality`. All preference machinery works on ids; labels only matter at the API
+/// boundary (building data, parsing preferences, formatting results).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NominalDomain {
+    labels: Vec<String>,
+    #[cfg_attr(feature = "serde", serde(skip))]
+    index: HashMap<String, ValueId>,
+}
+
+impl NominalDomain {
+    /// Creates an empty domain. Values are added with [`NominalDomain::intern`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a domain from a list of labels. Duplicate labels are interned once.
+    pub fn from_labels<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut domain = Self::new();
+        for label in labels {
+            domain.intern(label.into());
+        }
+        domain
+    }
+
+    /// Creates an anonymous domain of `cardinality` values labelled `"v0"`, `"v1"`, ….
+    ///
+    /// This is what the synthetic data generator uses: the experiments only care about the
+    /// cardinality and the Zipfian frequency of value ids, not about the labels themselves.
+    pub fn anonymous(cardinality: usize) -> Self {
+        Self::from_labels((0..cardinality).map(|i| format!("v{i}")))
+    }
+
+    /// Returns the id for `label`, adding it to the domain if it is new.
+    pub fn intern(&mut self, label: impl Into<String>) -> ValueId {
+        let label = label.into();
+        if let Some(&id) = self.index.get(&label) {
+            return id;
+        }
+        let id = ValueId::try_from(self.labels.len()).expect("nominal cardinality exceeds u16");
+        self.index.insert(label.clone(), id);
+        self.labels.push(label);
+        id
+    }
+
+    /// Looks up the id of `label`, if present.
+    pub fn id_of(&self, label: &str) -> Option<ValueId> {
+        self.index.get(label).copied()
+    }
+
+    /// Looks up the id of `label`, reporting a descriptive error mentioning `dimension`.
+    pub fn require_id(&self, dimension: &str, label: &str) -> Result<ValueId> {
+        self.id_of(label).ok_or_else(|| SkylineError::UnknownValue {
+            dimension: dimension.to_string(),
+            value: label.to_string(),
+        })
+    }
+
+    /// Returns the label for a value id, if it is within the domain.
+    pub fn label(&self, id: ValueId) -> Option<&str> {
+        self.labels.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct values in the domain (the paper's cardinality `c`).
+    pub fn cardinality(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the domain has no values yet.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates over `(id, label)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ValueId, &str)> {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, label)| (i as ValueId, label.as_str()))
+    }
+
+    /// Rebuilds the label→id index. Only needed after deserializing with `serde`
+    /// (the index is skipped during serialization).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, label)| (label.clone(), i as ValueId))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids() {
+        let mut domain = NominalDomain::new();
+        assert_eq!(domain.intern("T"), 0);
+        assert_eq!(domain.intern("H"), 1);
+        assert_eq!(domain.intern("M"), 2);
+        assert_eq!(domain.cardinality(), 3);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut domain = NominalDomain::new();
+        let a = domain.intern("Tulips");
+        let b = domain.intern("Tulips");
+        assert_eq!(a, b);
+        assert_eq!(domain.cardinality(), 1);
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let domain = NominalDomain::from_labels(["T", "H", "M"]);
+        assert_eq!(domain.id_of("H"), Some(1));
+        assert_eq!(domain.label(2), Some("M"));
+        assert_eq!(domain.id_of("Z"), None);
+        assert_eq!(domain.label(9), None);
+    }
+
+    #[test]
+    fn require_id_reports_dimension() {
+        let domain = NominalDomain::from_labels(["T"]);
+        let err = domain.require_id("hotel-group", "Z").unwrap_err();
+        assert_eq!(
+            err,
+            SkylineError::UnknownValue { dimension: "hotel-group".into(), value: "Z".into() }
+        );
+    }
+
+    #[test]
+    fn anonymous_domain_has_requested_cardinality() {
+        let domain = NominalDomain::anonymous(20);
+        assert_eq!(domain.cardinality(), 20);
+        assert_eq!(domain.id_of("v7"), Some(7));
+    }
+
+    #[test]
+    fn from_labels_dedups() {
+        let domain = NominalDomain::from_labels(["a", "b", "a"]);
+        assert_eq!(domain.cardinality(), 2);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let domain = NominalDomain::from_labels(["x", "y"]);
+        let pairs: Vec<_> = domain.iter().collect();
+        assert_eq!(pairs, vec![(0, "x"), (1, "y")]);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut domain = NominalDomain::from_labels(["a", "b"]);
+        domain.index.clear();
+        assert_eq!(domain.id_of("b"), None);
+        domain.rebuild_index();
+        assert_eq!(domain.id_of("b"), Some(1));
+    }
+}

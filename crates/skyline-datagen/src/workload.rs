@@ -1,0 +1,285 @@
+//! Experiment configurations (Table 4) and random implicit-preference query workloads.
+
+use crate::synthetic::{self, Distribution};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use skyline_core::{Dataset, ImplicitPreference, Preference, Schema, Template, ValueId};
+
+/// The experimental parameters of Table 4 plus the knobs the figures sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Number of tuples (`No. of tuples`, default 500 K).
+    pub n: usize,
+    /// Number of numeric dimensions (default 3).
+    pub numeric_dims: usize,
+    /// Number of nominal dimensions (default 2).
+    pub nominal_dims: usize,
+    /// Number of values in a nominal dimension (default 20).
+    pub cardinality: usize,
+    /// Zipfian parameter θ (default 1).
+    pub theta: f64,
+    /// Order of the implicit preference queries (default 3).
+    pub pref_order: usize,
+    /// Correlation model of the numeric dimensions (the paper reports anti-correlated).
+    pub distribution: Distribution,
+    /// RNG seed for data and query generation.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The defaults of Table 4, at the paper's full scale (500 K tuples).
+    pub fn paper_default() -> Self {
+        Self {
+            n: 500_000,
+            numeric_dims: 3,
+            nominal_dims: 2,
+            cardinality: 20,
+            theta: 1.0,
+            pref_order: 3,
+            distribution: Distribution::AntiCorrelated,
+            seed: 42,
+        }
+    }
+
+    /// The same parameter shape scaled down so a full figure sweep runs in seconds on a laptop.
+    /// Only `n` changes; every other Table 4 default is kept.
+    pub fn scaled_default() -> Self {
+        Self { n: 20_000, ..Self::paper_default() }
+    }
+
+    /// Total dimensionality (numeric + nominal), the x-axis of Figure 5.
+    pub fn total_dims(&self) -> usize {
+        self.numeric_dims + self.nominal_dims
+    }
+
+    /// Generates the synthetic dataset described by this configuration.
+    pub fn generate_dataset(&self) -> Dataset {
+        synthetic::generate(
+            self.n,
+            self.numeric_dims,
+            self.nominal_dims,
+            self.cardinality,
+            self.distribution,
+            self.theta,
+            self.seed,
+        )
+    }
+
+    /// The paper's default template over `dataset`: the most frequent value of every nominal
+    /// dimension is universally preferred.
+    pub fn template(&self, dataset: &Dataset) -> Template {
+        Template::most_frequent_value(dataset).expect("dataset matches its own schema")
+    }
+
+    /// A query generator seeded deterministically from this configuration.
+    pub fn query_generator(&self) -> QueryGenerator {
+        QueryGenerator::new(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::scaled_default()
+    }
+}
+
+/// Generates random implicit-preference queries that refine a template.
+///
+/// Following Section 5, "in each experiment, we randomly generated 100 implicit preferences"
+/// and "if the order of the implicit preference R̃′ is set to x, it means that the order of R̃′ᵢ
+/// for each nominal attribute Dᵢ is x". Because every query must refine the template, the
+/// template's listed values (if any) form the mandatory prefix of each generated choice list.
+#[derive(Debug, Clone)]
+pub struct QueryGenerator {
+    rng: SmallRng,
+}
+
+impl QueryGenerator {
+    /// Creates a generator with a fixed seed (reproducible workloads).
+    pub fn new(seed: u64) -> Self {
+        Self { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Generates one random preference of the given per-dimension order.
+    ///
+    /// `allowed` optionally restricts, per nominal dimension, the pool of values the generator
+    /// may list (e.g. the 10 most frequent values when exercising *IPO Tree-10*). The
+    /// template's own values are always permitted.
+    pub fn random_preference(
+        &mut self,
+        schema: &Schema,
+        template: &Template,
+        order: usize,
+        allowed: Option<&[Vec<ValueId>]>,
+    ) -> Preference {
+        let mut dims = Vec::with_capacity(schema.nominal_count());
+        for j in 0..schema.nominal_count() {
+            let cardinality = schema.nominal_domain(j).map_or(0, |d| d.cardinality());
+            let prefix: Vec<ValueId> = template
+                .implicit()
+                .map(|t| t.dim(j).choices().to_vec())
+                .unwrap_or_default();
+            let pool: Vec<ValueId> = match allowed.and_then(|a| a.get(j)) {
+                Some(values) => values.clone(),
+                None => (0..cardinality as ValueId).collect(),
+            };
+            let mut choices = prefix.clone();
+            let mut candidates: Vec<ValueId> =
+                pool.into_iter().filter(|v| !choices.contains(v)).collect();
+            candidates.shuffle(&mut self.rng);
+            while choices.len() < order && choices.len() < cardinality {
+                match candidates.pop() {
+                    Some(v) => choices.push(v),
+                    None => break,
+                }
+            }
+            dims.push(ImplicitPreference::new(choices).expect("generated choices are distinct"));
+        }
+        Preference::from_dims(dims)
+    }
+
+    /// Generates `count` random preferences (the paper uses `count = 100`).
+    pub fn random_preferences(
+        &mut self,
+        schema: &Schema,
+        template: &Template,
+        order: usize,
+        count: usize,
+        allowed: Option<&[Vec<ValueId>]>,
+    ) -> Vec<Preference> {
+        (0..count)
+            .map(|_| self.random_preference(schema, template, order, allowed))
+            .collect()
+    }
+
+    /// Convenience access to the underlying RNG (used by benches that need extra randomness
+    /// with the same reproducibility guarantees).
+    pub fn rng(&mut self) -> &mut impl Rng {
+        &mut self.rng
+    }
+}
+
+/// The `k` most frequent values of every nominal dimension of `dataset` (used both by the
+/// truncated IPO tree and by workloads that must stay within the materialized values).
+pub fn top_k_values(dataset: &Dataset, k: usize) -> Vec<Vec<ValueId>> {
+    (0..dataset.schema().nominal_count())
+        .map(|j| dataset.values_by_frequency(j).into_iter().take(k).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ExperimentConfig {
+        ExperimentConfig { n: 500, cardinality: 8, ..ExperimentConfig::scaled_default() }
+    }
+
+    #[test]
+    fn table4_defaults() {
+        let cfg = ExperimentConfig::paper_default();
+        assert_eq!(cfg.n, 500_000);
+        assert_eq!(cfg.numeric_dims, 3);
+        assert_eq!(cfg.nominal_dims, 2);
+        assert_eq!(cfg.cardinality, 20);
+        assert_eq!(cfg.theta, 1.0);
+        assert_eq!(cfg.pref_order, 3);
+        assert_eq!(cfg.distribution, Distribution::AntiCorrelated);
+        assert_eq!(cfg.total_dims(), 5);
+        assert_eq!(ExperimentConfig::default(), ExperimentConfig::scaled_default());
+    }
+
+    #[test]
+    fn dataset_generation_respects_config() {
+        let cfg = small_config();
+        let data = cfg.generate_dataset();
+        assert_eq!(data.len(), 500);
+        assert_eq!(data.schema().numeric_count(), 3);
+        assert_eq!(data.schema().nominal_count(), 2);
+        assert_eq!(data.schema().nominal_cardinalities(), vec![8, 8]);
+    }
+
+    #[test]
+    fn generated_queries_refine_the_template() {
+        let cfg = small_config();
+        let data = cfg.generate_dataset();
+        let template = cfg.template(&data);
+        let mut gen = cfg.query_generator();
+        let queries = gen.random_preferences(data.schema(), &template, 3, 25, None);
+        assert_eq!(queries.len(), 25);
+        for q in &queries {
+            assert!(q.refines(template.implicit().unwrap()), "query must refine the template");
+            assert_eq!(q.order(), 3);
+            q.validate(data.schema()).unwrap();
+        }
+    }
+
+    #[test]
+    fn order_one_queries_equal_template_when_template_is_first_order() {
+        let cfg = small_config();
+        let data = cfg.generate_dataset();
+        let template = cfg.template(&data);
+        let mut gen = cfg.query_generator();
+        let q = gen.random_preference(data.schema(), &template, 1, None);
+        assert_eq!(&q, template.implicit().unwrap());
+    }
+
+    #[test]
+    fn allowed_pool_is_respected() {
+        let cfg = small_config();
+        let data = cfg.generate_dataset();
+        let template = cfg.template(&data);
+        let allowed = top_k_values(&data, 3);
+        assert_eq!(allowed.len(), 2);
+        assert!(allowed.iter().all(|v| v.len() == 3));
+        let mut gen = cfg.query_generator();
+        for _ in 0..20 {
+            let q = gen.random_preference(data.schema(), &template, 3, Some(&allowed));
+            for j in 0..2 {
+                for &v in q.dim(j).choices() {
+                    let in_pool = allowed[j].contains(&v);
+                    let in_template = template.implicit().unwrap().dim(j).contains(v);
+                    assert!(in_pool || in_template);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_capped_by_cardinality() {
+        let cfg = ExperimentConfig { cardinality: 2, n: 200, ..ExperimentConfig::scaled_default() };
+        let data = cfg.generate_dataset();
+        let template = cfg.template(&data);
+        let mut gen = cfg.query_generator();
+        let q = gen.random_preference(data.schema(), &template, 5, None);
+        for j in 0..2 {
+            assert!(q.dim(j).order() <= 2);
+        }
+    }
+
+    #[test]
+    fn empty_template_queries_have_requested_order() {
+        let cfg = small_config();
+        let data = cfg.generate_dataset();
+        let template = Template::empty(data.schema());
+        let mut gen = QueryGenerator::new(9);
+        let q = gen.random_preference(data.schema(), &template, 2, None);
+        assert_eq!(q.order(), 2);
+        assert!(q.dim(0).order() == 2 && q.dim(1).order() == 2);
+        let _ = gen.rng().gen::<u32>();
+    }
+
+    #[test]
+    fn top_k_values_ordered_by_frequency() {
+        let cfg = small_config();
+        let data = cfg.generate_dataset();
+        let top = top_k_values(&data, 4);
+        for j in 0..2 {
+            let freq = data.nominal_value_frequencies(j);
+            for w in top[j].windows(2) {
+                assert!(freq[w[0] as usize] >= freq[w[1] as usize]);
+            }
+        }
+    }
+}

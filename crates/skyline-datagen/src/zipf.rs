@@ -1,0 +1,133 @@
+//! Zipfian sampling of nominal value ids.
+//!
+//! The paper's nominal attributes are "generated according to a Zipfian distribution" with a
+//! skew parameter θ (default θ = 1, Table 4). Value id `0` is the most frequent value, id `1`
+//! the second most frequent, and so on: `P(v = k) ∝ 1 / (k + 1)^θ`.
+
+use rand::Rng;
+
+/// A precomputed Zipfian distribution over `0..cardinality`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution for `cardinality` values with skew `theta`.
+    ///
+    /// `theta = 0` degenerates to the uniform distribution; larger values concentrate the mass
+    /// on the first few ids. Panics if `cardinality` is zero or `theta` is negative/not finite.
+    pub fn new(cardinality: usize, theta: f64) -> Self {
+        assert!(cardinality > 0, "Zipf distribution needs at least one value");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be a non-negative finite number");
+        let mut weights: Vec<f64> = (0..cardinality).map(|k| 1.0 / ((k + 1) as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against floating point drift so the last bucket always catches u = 1 - ε.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Self { cumulative: weights }
+    }
+
+    /// Number of values the distribution ranges over.
+    pub fn cardinality(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Probability of drawing value `k`.
+    pub fn probability(&self, k: usize) -> f64 {
+        if k >= self.cumulative.len() {
+            return 0.0;
+        }
+        let prev = if k == 0 { 0.0 } else { self.cumulative[k - 1] };
+        self.cumulative[k] - prev
+    }
+
+    /// Draws one value id.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u) as u16
+    }
+
+    /// Draws `n` value ids.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<u16> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one_and_decrease() {
+        let zipf = Zipf::new(20, 1.0);
+        let total: f64 = (0..20).map(|k| zipf.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..20 {
+            assert!(
+                zipf.probability(k) <= zipf.probability(k - 1) + 1e-12,
+                "probabilities must be non-increasing"
+            );
+        }
+        assert_eq!(zipf.probability(25), 0.0);
+        assert_eq!(zipf.cardinality(), 20);
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((zipf.probability(k) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_follow_skew() {
+        let zipf = Zipf::new(10, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let samples = zipf.sample_many(&mut rng, 20_000);
+        assert!(samples.iter().all(|&v| (v as usize) < 10));
+        let mut counts = [0usize; 10];
+        for &v in &samples {
+            counts[v as usize] += 1;
+        }
+        // Value 0 should be clearly the most frequent under θ=1.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[0] > counts[9] * 3);
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let mild = Zipf::new(10, 0.5);
+        let strong = Zipf::new(10, 2.0);
+        assert!(strong.probability(0) > mild.probability(0));
+        assert!(strong.probability(9) < mild.probability(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn zero_cardinality_panics() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_theta_panics() {
+        Zipf::new(3, -1.0);
+    }
+
+    #[test]
+    fn single_value_always_sampled() {
+        let zipf = Zipf::new(1, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(zipf.sample_many(&mut rng, 100).iter().all(|&v| v == 0));
+    }
+}

@@ -1,0 +1,446 @@
+//! IPO-tree construction (Section 3.1).
+//!
+//! The builder:
+//!
+//! 1. computes the *base skyline* `SKY(∅)` (no nominal preference at all) and the *template
+//!    skyline* `SKY(R)` that the root stores;
+//! 2. decides which values to materialize per nominal dimension — all of them (full **IPO
+//!    Tree**) or the `K` most frequent (**IPO Tree-K**, the paper's *IPO Tree-10*);
+//! 3. enumerates one node per combination of at most one first-order choice per dimension and
+//!    computes its disqualified set `A`, either from precomputed minimal disqualifying
+//!    conditions (the paper's approach) or by direct recomputation against the base skyline.
+//!
+//! The per-node computations are independent, so step 3 can optionally run on multiple threads
+//! (scoped threads); the paper's preprocessing-time figures correspond to the single-threaded
+//! path.
+
+use crate::tree::{IpoNode, IpoTree};
+use skyline_core::algo::{bnl, sfs};
+use skyline_core::mdc::{compute_mdcs_with_dominators, MdcIndex};
+use skyline_core::score::ScoreFn;
+use skyline_core::{
+    Dataset, DominanceContext, ImplicitPreference, PartialOrder, PointId, Preference, Result,
+    SkylineError, Template, ValueId,
+};
+use std::time::Instant;
+
+/// How the per-node disqualified sets are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BuildStrategy {
+    /// Mine minimal disqualifying conditions once, then evaluate each node by subset tests
+    /// (the implementation Section 3.1 describes). Usually the faster option.
+    #[default]
+    Mdc,
+    /// Recompute, for every node, which template-skyline points become dominated under the
+    /// node's first-order combination. No MDC index, more dominance tests; kept as an ablation
+    /// baseline for the design choice.
+    Direct,
+}
+
+/// Statistics recorded while building a tree (reported by the benchmark harness).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BuildStats {
+    /// `|SKY(∅)|`: size of the base skyline used as the dominator pool.
+    pub base_skyline_size: usize,
+    /// `|SKY(R)|`: size of the template skyline stored at the root.
+    pub template_skyline_size: usize,
+    /// Number of tree nodes created.
+    pub node_count: usize,
+    /// Number of minimal disqualifying conditions mined (0 for the direct strategy).
+    pub mdc_conditions: usize,
+    /// Wall-clock seconds spent in construction.
+    pub build_seconds: f64,
+}
+
+/// Configurable IPO-tree builder.
+#[derive(Debug, Clone, Default)]
+pub struct IpoTreeBuilder {
+    strategy: BuildStrategy,
+    top_k: Option<usize>,
+    parallel: bool,
+}
+
+impl IpoTreeBuilder {
+    /// A builder with the default configuration: MDC strategy, all values materialized,
+    /// single-threaded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the node-evaluation strategy.
+    pub fn strategy(mut self, strategy: BuildStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Materializes only the `k` most frequent values of every nominal dimension
+    /// (the paper's *IPO Tree-10* uses `k = 10`).
+    pub fn top_k_values(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Materializes every value of every nominal dimension (the default).
+    pub fn all_values(mut self) -> Self {
+        self.top_k = None;
+        self
+    }
+
+    /// Enables multi-threaded node evaluation.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Builds the tree for `data` under `template` and returns it with build statistics.
+    ///
+    /// The template must have an implicit form (the experiments' templates always do); general
+    /// partial-order templates are rejected because query evaluation relies on the
+    /// prefix-refinement property of implicit preferences.
+    pub fn build_with_stats(&self, data: &Dataset, template: &Template) -> Result<(IpoTree, BuildStats)> {
+        let started = Instant::now();
+        let schema = data.schema();
+        if template.implicit().is_none() {
+            return Err(SkylineError::InvalidArgument(
+                "IPO-tree construction requires a template with an implicit form".into(),
+            ));
+        }
+        if template.nominal_count() != schema.nominal_count() {
+            return Err(SkylineError::InvalidArgument(format!(
+                "template covers {} nominal dimensions but the schema has {}",
+                template.nominal_count(),
+                schema.nominal_count()
+            )));
+        }
+
+        // 1. Base skyline SKY(∅): dominator pool for every node computation.
+        let empty_orders: Vec<PartialOrder> = schema
+            .nominal_cardinalities()
+            .into_iter()
+            .map(PartialOrder::empty)
+            .collect();
+        let base_ctx = DominanceContext::new(data, empty_orders)?;
+        let base_score = ScoreFn::default_ranking(schema);
+        let all_points: Vec<PointId> = data.point_ids().collect();
+        let mut base_skyline = sfs::skyline_sorted(&base_ctx, &base_score, &all_points);
+        base_skyline.sort_unstable();
+
+        // 2. Template skyline SKY(R) ⊆ SKY(∅): what the root stores.
+        let template_ctx = DominanceContext::for_template(data, template)?;
+        let skyline = if template.is_empty() {
+            base_skyline.clone()
+        } else {
+            bnl::skyline_of(&template_ctx, &base_skyline)
+        };
+
+        // 3. Values to materialize, per dimension (most frequent first).
+        let materialized: Vec<Vec<ValueId>> = (0..schema.nominal_count())
+            .map(|j| {
+                let by_freq = data.values_by_frequency(j);
+                match self.top_k {
+                    Some(k) => by_freq.into_iter().take(k).collect(),
+                    None => by_freq,
+                }
+            })
+            .collect();
+
+        // 4. Precompute MDCs if requested.
+        let mdc_index: Option<MdcIndex> = match self.strategy {
+            BuildStrategy::Mdc => {
+                Some(compute_mdcs_with_dominators(&base_ctx, &skyline, &base_skyline))
+            }
+            BuildStrategy::Direct => None,
+        };
+
+        // 5. Enumerate nodes breadth-first and compute disqualified sets.
+        let mut nodes = vec![IpoNode {
+            dim: usize::MAX,
+            label: None,
+            disqualified: Vec::new(),
+            children: Vec::new(),
+        }];
+        // Frontier entries: (node id, the first-order choices along its path).
+        let mut frontier: Vec<(u32, Vec<Option<ValueId>>)> = vec![(0, Vec::new())];
+        for dim in 0..schema.nominal_count() {
+            let mut next_frontier = Vec::with_capacity(frontier.len() * (materialized[dim].len() + 1));
+            // Create children (φ first, then the materialized values) for every frontier node.
+            let mut pending: Vec<(u32, Vec<Option<ValueId>>)> = Vec::new();
+            for (parent, path) in &frontier {
+                let mut labels: Vec<Option<ValueId>> = Vec::with_capacity(materialized[dim].len() + 1);
+                labels.push(None);
+                labels.extend(materialized[dim].iter().copied().map(Some));
+                for label in labels {
+                    let id = nodes.len() as u32;
+                    nodes.push(IpoNode { dim, label, disqualified: Vec::new(), children: Vec::new() });
+                    let mut child_path = path.clone();
+                    child_path.push(label);
+                    nodes[*parent as usize].children.push((label, id));
+                    pending.push((id, child_path.clone()));
+                    next_frontier.push((id, child_path));
+                }
+                nodes[*parent as usize].children.sort_by_key(|(l, _)| *l);
+            }
+            // Compute the disqualified sets of the freshly created labelled nodes.
+            let labelled: Vec<(u32, Vec<Option<ValueId>>)> = pending
+                .into_iter()
+                .filter(|(id, _)| nodes[*id as usize].label.is_some())
+                .collect();
+            let sets = self.compute_disqualified_sets(
+                data,
+                &skyline,
+                &base_skyline,
+                mdc_index.as_ref(),
+                &labelled,
+            );
+            for ((id, _), set) in labelled.into_iter().zip(sets) {
+                nodes[id as usize].disqualified = set;
+            }
+            frontier = next_frontier;
+        }
+
+        let stats = BuildStats {
+            base_skyline_size: base_skyline.len(),
+            template_skyline_size: skyline.len(),
+            node_count: nodes.len(),
+            mdc_conditions: mdc_index.as_ref().map_or(0, MdcIndex::condition_count),
+            build_seconds: started.elapsed().as_secs_f64(),
+        };
+        let tree = IpoTree { template: template.clone(), skyline, materialized, nodes };
+        Ok((tree, stats))
+    }
+
+    /// Convenience wrapper around [`IpoTreeBuilder::build_with_stats`].
+    pub fn build(&self, data: &Dataset, template: &Template) -> Result<IpoTree> {
+        self.build_with_stats(data, template).map(|(tree, _)| tree)
+    }
+
+    /// Computes the disqualified set of every `(node, path)` pair, optionally in parallel.
+    fn compute_disqualified_sets(
+        &self,
+        data: &Dataset,
+        skyline: &[PointId],
+        base_skyline: &[PointId],
+        mdc_index: Option<&MdcIndex>,
+        work: &[(u32, Vec<Option<ValueId>>)],
+    ) -> Vec<Vec<PointId>> {
+        let eval = |path: &[Option<ValueId>]| -> Vec<PointId> {
+            match (self.strategy, mdc_index) {
+                (BuildStrategy::Mdc, Some(index)) => {
+                    let bits = index.disqualified_by_first_order(path);
+                    bits.iter().map(|i| index.skyline()[i]).collect()
+                }
+                _ => direct_disqualified(data, skyline, base_skyline, path),
+            }
+        };
+
+        if !self.parallel || work.len() < 8 {
+            return work.iter().map(|(_, path)| eval(path)).collect();
+        }
+
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(work.len());
+        let chunk_size = work.len().div_ceil(threads);
+        let eval = &eval;
+        let mut results: Vec<Vec<Vec<PointId>>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || chunk.iter().map(|(_, path)| eval(path)).collect::<Vec<_>>())
+                })
+                .collect();
+            for handle in handles {
+                results.push(handle.join().expect("worker thread panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+/// Direct recomputation of a node's disqualified set: a template-skyline point is disqualified
+/// when some base-skyline point dominates it under the node's first-order combination.
+fn direct_disqualified(
+    data: &Dataset,
+    skyline: &[PointId],
+    base_skyline: &[PointId],
+    path: &[Option<ValueId>],
+) -> Vec<PointId> {
+    let schema = data.schema();
+    let orders: Vec<PartialOrder> = (0..schema.nominal_count())
+        .map(|j| {
+            let card = schema.nominal_domain(j).map_or(0, |d| d.cardinality());
+            match path.get(j).copied().flatten() {
+                Some(v) => ImplicitPreference::first_order(v)
+                    .to_partial_order(card)
+                    .expect("materialized value is inside the domain"),
+                None => PartialOrder::empty(card),
+            }
+        })
+        .collect();
+    let ctx = DominanceContext::new(data, orders).expect("orders match the schema");
+    skyline
+        .iter()
+        .copied()
+        .filter(|&p| base_skyline.iter().any(|&q| ctx.dominates(q, p)))
+        .collect()
+}
+
+/// Builds the preference profile corresponding to one combination of first-order choices
+/// (useful in tests and the benchmark harness).
+pub fn first_order_preference(nominal_count: usize, path: &[Option<ValueId>]) -> Preference {
+    let mut pref = Preference::none(nominal_count);
+    for (j, choice) in path.iter().enumerate().take(nominal_count) {
+        if let Some(v) = choice {
+            pref.set_dim(j, ImplicitPreference::first_order(*v));
+        }
+    }
+    pref
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::{DatasetBuilder, Dimension, RowValue, Schema};
+
+    /// Table 3 of the paper: two nominal attributes (Hotel-group and Airline).
+    fn table3_data() -> Dataset {
+        let schema = Schema::new(vec![
+            Dimension::numeric("price"),
+            Dimension::numeric("class-neg"),
+            Dimension::nominal_with_labels("hotel-group", ["T", "H", "M"]),
+            Dimension::nominal_with_labels("airline", ["G", "R", "W"]),
+        ])
+        .unwrap();
+        let mut b = DatasetBuilder::new(schema);
+        for (price, class, group, airline) in [
+            (1600.0, 4.0, "T", "G"), // a = 0
+            (2400.0, 1.0, "T", "G"), // b = 1
+            (3000.0, 5.0, "H", "G"), // c = 2
+            (3600.0, 4.0, "H", "R"), // d = 3
+            (2400.0, 2.0, "M", "R"), // e = 4
+            (3000.0, 3.0, "M", "W"), // f = 5
+        ] {
+            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into(), airline.into()])
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure2_tree_shape_and_sets() {
+        let data = table3_data();
+        let template = Template::empty(data.schema());
+        let (tree, stats) = IpoTreeBuilder::new().build_with_stats(&data, &template).unwrap();
+
+        // Root skyline S = {a, c, d, e, f} (Figure 2).
+        assert_eq!(tree.skyline(), &[0, 2, 3, 4, 5]);
+        // 1 root + 4 children (φ, T, H, M) + 4·4 grandchildren = 21 nodes, as drawn.
+        assert_eq!(tree.node_count(), 21);
+        assert_eq!(stats.node_count, 21);
+        assert_eq!(stats.template_skyline_size, 5);
+        assert!(stats.build_seconds >= 0.0);
+        assert!(stats.mdc_conditions > 0);
+
+        // Node 6 in Figure 2 is "T ≺ ∗, G ≺ ∗" with A = {d, e, f}.
+        let node = tree.node_for_choices(&[Some(0), Some(0)]).unwrap();
+        assert_eq!(tree.node(node).disqualified(), &[3, 4, 5]);
+        // "H ≺ ∗, G ≺ ∗" disqualifies {d, f}; "M ≺ ∗, G ≺ ∗" disqualifies {d};
+        // "φ, G ≺ ∗" disqualifies {d}.
+        let node = tree.node_for_choices(&[Some(1), Some(0)]).unwrap();
+        assert_eq!(tree.node(node).disqualified(), &[3, 5]);
+        let node = tree.node_for_choices(&[Some(2), Some(0)]).unwrap();
+        assert_eq!(tree.node(node).disqualified(), &[3]);
+        let node = tree.node_for_choices(&[None, Some(0)]).unwrap();
+        assert_eq!(tree.node(node).disqualified(), &[3]);
+        // First-level nodes alone disqualify nothing on this data (Figure 2 shows A = {}).
+        for v in 0..3u16 {
+            let node = tree.node_for_choices(&[Some(v)]).unwrap();
+            assert!(tree.node(node).disqualified().is_empty(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn direct_and_mdc_strategies_agree() {
+        let data = table3_data();
+        let template = Template::empty(data.schema());
+        let mdc_tree = IpoTreeBuilder::new().strategy(BuildStrategy::Mdc).build(&data, &template).unwrap();
+        let direct_tree =
+            IpoTreeBuilder::new().strategy(BuildStrategy::Direct).build(&data, &template).unwrap();
+        assert_eq!(mdc_tree.node_count(), direct_tree.node_count());
+        for ((_, a), (_, b)) in mdc_tree.iter_nodes().zip(direct_tree.iter_nodes()) {
+            assert_eq!(a.disqualified(), b.disqualified());
+            assert_eq!(a.label(), b.label());
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let data = table3_data();
+        let template = Template::empty(data.schema());
+        let seq = IpoTreeBuilder::new().build(&data, &template).unwrap();
+        let par = IpoTreeBuilder::new().parallel(true).build(&data, &template).unwrap();
+        assert_eq!(seq.node_count(), par.node_count());
+        for ((_, a), (_, b)) in seq.iter_nodes().zip(par.iter_nodes()) {
+            assert_eq!(a.disqualified(), b.disqualified());
+        }
+    }
+
+    #[test]
+    fn top_k_limits_materialized_values() {
+        let data = table3_data();
+        let template = Template::empty(data.schema());
+        let (tree, stats) = IpoTreeBuilder::new().top_k_values(1).build_with_stats(&data, &template).unwrap();
+        // Only the most frequent value per dimension: hotel-group T or H (both appear twice,
+        // frequency ties broken by id → T), airline G (3 rows).
+        assert_eq!(tree.materialized_values(0).len(), 1);
+        assert_eq!(tree.materialized_values(1), &[0]);
+        // 1 root + 2 children (φ + 1 value) + 2·2 grandchildren = 7 nodes.
+        assert_eq!(stats.node_count, 7);
+        assert!(tree.node_for_choices(&[Some(2), None]).is_none());
+        // Back to the full tree with `all_values`.
+        let full = IpoTreeBuilder::new().top_k_values(1).all_values().build(&data, &template).unwrap();
+        assert_eq!(full.node_count(), 21);
+    }
+
+    #[test]
+    fn template_skyline_shrinks_with_template() {
+        let data = table3_data();
+        let schema = data.schema().clone();
+        let template = Template::from_preference(
+            &schema,
+            Preference::parse(&schema, [("hotel-group", "T < *")]).unwrap(),
+        )
+        .unwrap();
+        let (tree, stats) = IpoTreeBuilder::new().build_with_stats(&data, &template).unwrap();
+        // Under T ≺ ∗ the skyline of the whole dataset is {a, c, d} minus what T-preference
+        // removes: a dominates e and f (airline G vs R/W incomparable? no: e,f have R/W).
+        // Recompute expectations directly for safety.
+        let ctx = DominanceContext::for_template(&data, &template).unwrap();
+        let expected = bnl::skyline(&ctx);
+        assert_eq!(tree.skyline(), expected.as_slice());
+        assert!(stats.template_skyline_size <= stats.base_skyline_size);
+    }
+
+    #[test]
+    fn general_template_is_rejected() {
+        let data = table3_data();
+        let schema = data.schema().clone();
+        let template = Template::from_partial_orders(
+            &schema,
+            vec![PartialOrder::from_pairs(3, [(0, 1)]).unwrap(), PartialOrder::empty(3)],
+        )
+        .unwrap();
+        assert!(matches!(
+            IpoTreeBuilder::new().build(&data, &template),
+            Err(SkylineError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn first_order_preference_helper() {
+        let pref = first_order_preference(3, &[Some(2), None, Some(0)]);
+        assert_eq!(pref.dim(0).choices(), &[2]);
+        assert!(pref.dim(1).is_none());
+        assert_eq!(pref.dim(2).choices(), &[0]);
+        assert_eq!(pref.order(), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Per-dimension inverted lists over the template skyline.
+//!
+//! Section 3.2 suggests storing node results as bitmaps and keeping "an inverted list for each
+//! nominal attribute for an easy lookup to determine a bitmap for `PSKY(R̃′)`". The inverted
+//! index maps `(nominal dimension, value id)` to the bitmap of template-skyline *positions*
+//! whose point carries that value, so the `Z` filter of the merge step becomes a bitwise AND.
+
+use skyline_core::{BitSet, Dataset, PointId, ValueId};
+
+/// Inverted lists for every nominal dimension, over the positions of a fixed skyline ordering.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    /// `lists[j][v]` = positions (within the skyline vector) of the points whose value on
+    /// nominal dimension `j` is `v`.
+    lists: Vec<Vec<BitSet>>,
+    skyline_len: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index for `skyline` (the position of each id in this slice is the bit index).
+    pub fn build(data: &Dataset, skyline: &[PointId]) -> Self {
+        let schema = data.schema();
+        let mut lists = Vec::with_capacity(schema.nominal_count());
+        for j in 0..schema.nominal_count() {
+            let cardinality = schema.nominal_domain(j).map_or(0, |d| d.cardinality());
+            let mut per_value = vec![BitSet::new(skyline.len()); cardinality];
+            for (pos, &p) in skyline.iter().enumerate() {
+                per_value[data.nominal(p, j) as usize].insert(pos);
+            }
+            lists.push(per_value);
+        }
+        Self { lists, skyline_len: skyline.len() }
+    }
+
+    /// Number of skyline positions covered (capacity of every bitmap).
+    pub fn skyline_len(&self) -> usize {
+        self.skyline_len
+    }
+
+    /// Bitmap of skyline positions carrying value `v` on nominal dimension `j`.
+    pub fn positions(&self, nominal_index: usize, v: ValueId) -> &BitSet {
+        &self.lists[nominal_index][v as usize]
+    }
+
+    /// Bitmap of skyline positions carrying *any* of `values` on dimension `j`
+    /// (the `PSKY` lookup of the merge step).
+    pub fn positions_of_any(&self, nominal_index: usize, values: &[ValueId]) -> BitSet {
+        let mut out = BitSet::new(self.skyline_len);
+        for &v in values {
+            out.union_with(&self.lists[nominal_index][v as usize]);
+        }
+        out
+    }
+
+    /// Approximate heap footprint in bytes (for the storage plots).
+    pub fn approximate_bytes(&self) -> usize {
+        self.lists
+            .iter()
+            .flat_map(|per_value| per_value.iter().map(BitSet::approximate_bytes))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::{Dataset, Dimension, Schema};
+
+    fn data() -> Dataset {
+        let schema = Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::nominal_with_labels("g", ["a", "b", "c"]),
+            Dimension::nominal_with_labels("h", ["p", "q"]),
+        ])
+        .unwrap();
+        Dataset::from_columns(
+            schema,
+            vec![vec![1.0, 2.0, 3.0, 4.0, 5.0]],
+            vec![vec![0, 1, 2, 0, 1], vec![0, 1, 0, 1, 0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn positions_follow_skyline_order() {
+        let data = data();
+        let skyline = vec![0, 2, 4]; // positions 0, 1, 2
+        let index = InvertedIndex::build(&data, &skyline);
+        assert_eq!(index.skyline_len(), 3);
+        assert_eq!(index.positions(0, 0).to_ids(), vec![0]); // point 0 has g = a
+        assert_eq!(index.positions(0, 2).to_ids(), vec![1]); // point 2 has g = c
+        assert_eq!(index.positions(0, 1).to_ids(), vec![2]); // point 4 has g = b
+        assert_eq!(index.positions(1, 0).to_ids(), vec![0, 1, 2]); // h = p for all three
+        assert!(index.positions(1, 1).is_empty());
+    }
+
+    #[test]
+    fn union_lookup() {
+        let data = data();
+        let skyline = vec![0, 1, 2, 3, 4];
+        let index = InvertedIndex::build(&data, &skyline);
+        let any = index.positions_of_any(0, &[0, 1]);
+        assert_eq!(any.to_ids(), vec![0, 1, 3, 4]);
+        assert!(index.positions_of_any(0, &[]).is_empty());
+        assert!(index.approximate_bytes() > 0);
+    }
+}

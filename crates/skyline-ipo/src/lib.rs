@@ -1,0 +1,36 @@
+//! # skyline-ipo
+//!
+//! The **IPO-Tree** (Implicit Preference Order tree) of Section 3 of *"Efficient Skyline
+//! Querying with Variable User Preferences on Nominal Attributes"*: a partial materialization
+//! of the skylines of all combinations of *first-order* implicit preferences, from which the
+//! skyline for an implicit preference of **any** order is assembled with a handful of set
+//! operations using the merging property (Theorem 2).
+//!
+//! * [`tree::IpoTree`] — the materialized structure: one node per combination of at most one
+//!   `v ≺ ∗` choice per nominal dimension, storing the set of template-skyline points that the
+//!   combination disqualifies.
+//! * [`build::IpoTreeBuilder`] — construction, either through minimal disqualifying conditions
+//!   (the paper's approach, [`skyline_core::mdc`]) or by direct recomputation per node, with
+//!   optional restriction to the `K` most frequent values per dimension (*IPO Tree-10*) and
+//!   optional parallel node evaluation.
+//! * [`query`] — Algorithms 1 and 2: recursive decomposition into first-order sub-queries and
+//!   the merge step that applies Theorem 2 (set-based evaluation over sorted id lists).
+//! * [`bitmap::BitmapIpoTree`] — the alternative implementation suggested in §3.2: per-node
+//!   bitmaps over the template skyline plus per-dimension inverted lists, so the merge becomes
+//!   bitwise AND/OR.
+//! * [`storage`] — byte-level accounting used by the storage plots of Figures 4–8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitmap;
+pub mod build;
+pub mod inverted;
+pub mod query;
+pub mod setops;
+pub mod storage;
+pub mod tree;
+
+pub use bitmap::BitmapIpoTree;
+pub use build::{BuildStats, BuildStrategy, IpoTreeBuilder};
+pub use tree::IpoTree;

@@ -1,0 +1,132 @@
+//! Set operations over sorted point-id vectors.
+//!
+//! The set-based IPO-tree query evaluation (Algorithm 1/2) manipulates subsets of the template
+//! skyline. All sets are kept as **sorted, duplicate-free `Vec<PointId>`**, so every operation
+//! is a linear merge walk.
+
+use skyline_core::PointId;
+
+/// `a ∩ b` for sorted, duplicate-free inputs.
+pub fn intersection(a: &[PointId], b: &[PointId]) -> Vec<PointId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `a ∪ b` for sorted, duplicate-free inputs.
+pub fn union(a: &[PointId], b: &[PointId]) -> Vec<PointId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// `a \ b` for sorted, duplicate-free inputs.
+pub fn difference(a: &[PointId], b: &[PointId]) -> Vec<PointId> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// True when sorted, duplicate-free `a` is a subset of sorted, duplicate-free `b`.
+pub fn is_subset(a: &[PointId], b: &[PointId]) -> bool {
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// Debug helper: checks the "sorted and duplicate-free" invariant.
+pub fn is_sorted_set(a: &[PointId]) -> bool {
+    a.windows(2).all(|w| w[0] < w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_union_difference() {
+        let a = vec![1, 3, 5, 7, 9];
+        let b = vec![3, 4, 5, 10];
+        assert_eq!(intersection(&a, &b), vec![3, 5]);
+        assert_eq!(union(&a, &b), vec![1, 3, 4, 5, 7, 9, 10]);
+        assert_eq!(difference(&a, &b), vec![1, 7, 9]);
+        assert_eq!(difference(&b, &a), vec![4, 10]);
+    }
+
+    #[test]
+    fn operations_with_empty_sets() {
+        let a = vec![1, 2, 3];
+        let empty: Vec<PointId> = vec![];
+        assert_eq!(intersection(&a, &empty), empty);
+        assert_eq!(union(&a, &empty), a);
+        assert_eq!(union(&empty, &a), a);
+        assert_eq!(difference(&a, &empty), a);
+        assert_eq!(difference(&empty, &a), empty);
+    }
+
+    #[test]
+    fn subset_checks() {
+        assert!(is_subset(&[2, 4], &[1, 2, 3, 4]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[2, 5], &[1, 2, 3, 4]));
+        assert!(!is_subset(&[0], &[]));
+    }
+
+    #[test]
+    fn results_remain_sorted_sets() {
+        let a = vec![1, 2, 3, 50];
+        let b = vec![2, 3, 4];
+        for result in [intersection(&a, &b), union(&a, &b), difference(&a, &b)] {
+            assert!(is_sorted_set(&result));
+        }
+        assert!(is_sorted_set(&[]));
+        assert!(!is_sorted_set(&[1, 1]));
+        assert!(!is_sorted_set(&[2, 1]));
+    }
+}

@@ -1,0 +1,139 @@
+//! Storage accounting for the materialized structures.
+//!
+//! Figures 4(c)–8(c) of the paper compare the storage footprint of IPO Tree, IPO Tree-10,
+//! SFS-A and SFS-D. This module turns the in-memory structures into byte counts so the
+//! benchmark harness can print the same series.
+
+use crate::bitmap::BitmapIpoTree;
+use crate::tree::IpoTree;
+use skyline_core::PointId;
+
+/// Byte-level breakdown of a materialized IPO-tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Bytes for the template skyline id list stored at the root.
+    pub skyline_bytes: usize,
+    /// Bytes for the per-node disqualified sets (or bitmaps).
+    pub node_set_bytes: usize,
+    /// Bytes for the tree topology (labels + child tables).
+    pub topology_bytes: usize,
+    /// Bytes for auxiliary indexes (inverted lists for the bitmap variant).
+    pub auxiliary_bytes: usize,
+    /// Number of nodes.
+    pub node_count: usize,
+}
+
+impl StorageReport {
+    /// Total bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.skyline_bytes + self.node_set_bytes + self.topology_bytes + self.auxiliary_bytes
+    }
+
+    /// Total megabytes (the unit used in the paper's plots).
+    pub fn total_megabytes(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Storage report of a set-based [`IpoTree`].
+pub fn ipo_tree_storage(tree: &IpoTree) -> StorageReport {
+    let id = std::mem::size_of::<PointId>();
+    let skyline_bytes = tree.skyline().len() * id;
+    let node_set_bytes = tree
+        .iter_nodes()
+        .map(|(_, n)| n.disqualified().len() * id)
+        .sum();
+    let topology_bytes = tree
+        .iter_nodes()
+        .map(|(_, n)| 16 + n.child_count() * 8)
+        .sum();
+    StorageReport {
+        skyline_bytes,
+        node_set_bytes,
+        topology_bytes,
+        auxiliary_bytes: 0,
+        node_count: tree.node_count(),
+    }
+}
+
+/// Storage report of a [`BitmapIpoTree`] (nodes + inverted lists).
+pub fn bitmap_tree_storage(tree: &BitmapIpoTree) -> StorageReport {
+    let id = std::mem::size_of::<PointId>();
+    let skyline_bytes = tree.skyline().len() * id;
+    let total = tree.approximate_bytes();
+    let auxiliary_bytes = tree.inverted().approximate_bytes();
+    StorageReport {
+        skyline_bytes,
+        node_set_bytes: total.saturating_sub(skyline_bytes + auxiliary_bytes),
+        topology_bytes: 0,
+        auxiliary_bytes,
+        node_count: tree.node_count(),
+    }
+}
+
+/// Storage of a plain sorted skyline list (what SFS-A materializes: `SKY(R̃)` plus its sorted
+/// order and per-point scores).
+pub fn sorted_list_storage(skyline_len: usize) -> usize {
+    // point id + f64 score per entry, plus the sorted index.
+    skyline_len * (std::mem::size_of::<PointId>() + std::mem::size_of::<f64>() + std::mem::size_of::<u32>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IpoTreeBuilder;
+    use skyline_core::{DatasetBuilder, Dimension, RowValue, Schema, Template};
+
+    fn tree() -> (IpoTree, skyline_core::Dataset) {
+        let schema = Schema::new(vec![
+            Dimension::numeric("price"),
+            Dimension::nominal_with_labels("g", ["a", "b", "c"]),
+        ])
+        .unwrap();
+        let mut b = DatasetBuilder::new(schema);
+        for (p, g) in [(1.0, "a"), (2.0, "b"), (3.0, "c"), (4.0, "a")] {
+            b.push_row([RowValue::Num(p), g.into()]).unwrap();
+        }
+        let data = b.build().unwrap();
+        let template = Template::empty(data.schema());
+        let tree = IpoTreeBuilder::new().build(&data, &template).unwrap();
+        (tree, data)
+    }
+
+    #[test]
+    fn set_tree_storage_adds_up() {
+        let (tree, _) = tree();
+        let report = ipo_tree_storage(&tree);
+        assert_eq!(report.node_count, tree.node_count());
+        assert_eq!(
+            report.total_bytes(),
+            report.skyline_bytes + report.node_set_bytes + report.topology_bytes + report.auxiliary_bytes
+        );
+        assert!(report.total_bytes() > 0);
+        assert!(report.total_megabytes() > 0.0);
+    }
+
+    #[test]
+    fn bitmap_storage_includes_inverted_lists() {
+        let (tree, data) = tree();
+        let bitmap = BitmapIpoTree::from_tree(&tree, &data);
+        let report = bitmap_tree_storage(&bitmap);
+        assert!(report.auxiliary_bytes > 0);
+        assert_eq!(report.node_count, tree.node_count());
+        assert!(report.total_bytes() >= report.auxiliary_bytes);
+    }
+
+    #[test]
+    fn truncated_tree_uses_less_storage() {
+        let (full, data) = tree();
+        let template = Template::empty(data.schema());
+        let truncated = IpoTreeBuilder::new().top_k_values(1).build(&data, &template).unwrap();
+        assert!(ipo_tree_storage(&truncated).total_bytes() < ipo_tree_storage(&full).total_bytes());
+    }
+
+    #[test]
+    fn sorted_list_storage_is_linear() {
+        assert_eq!(sorted_list_storage(0), 0);
+        assert_eq!(sorted_list_storage(10) * 10, sorted_list_storage(100));
+    }
+}

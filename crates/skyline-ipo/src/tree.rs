@@ -1,0 +1,245 @@
+//! The IPO-tree structure (Section 3.1).
+//!
+//! The tree has `m' + 1` levels, where `m'` is the number of nominal dimensions. The root
+//! stores the template skyline `SKY(R)`. The children of a level-`d` node correspond to the
+//! first-order implicit preferences `v ≺ ∗` on nominal dimension `d` (0-based here), plus one
+//! special child labelled φ meaning "no preference on this dimension". Every non-root,
+//! non-φ node stores the disqualified set `A`: the points of `SKY(R)` that the combination of
+//! first-order choices along its path removes from the skyline, so that `SKY(R) − A` is the
+//! skyline for that combination.
+
+use skyline_core::{PointId, Template, ValueId};
+
+/// One node of the IPO-tree.
+#[derive(Debug, Clone)]
+pub struct IpoNode {
+    /// Nominal dimension this node's label refers to (`usize::MAX` for the root).
+    pub(crate) dim: usize,
+    /// The first-order choice `v ≺ ∗` this node adds, or `None` for the root and φ nodes.
+    pub(crate) label: Option<ValueId>,
+    /// Points of `SKY(R)` disqualified by the path's combination of first-order choices.
+    /// Sorted and duplicate-free. Empty for the root and for φ nodes (a φ node adds no
+    /// constraint, so the query evaluation never consults its set).
+    pub(crate) disqualified: Vec<PointId>,
+    /// Children, keyed by their label (`None` = the φ child). Kept sorted by label so lookups
+    /// are a small binary search.
+    pub(crate) children: Vec<(Option<ValueId>, u32)>,
+}
+
+impl IpoNode {
+    /// The nominal dimension this node constrains (`None` for the root).
+    pub fn dimension(&self) -> Option<usize> {
+        (self.dim != usize::MAX).then_some(self.dim)
+    }
+
+    /// The first-order choice of this node (`None` for the root and φ nodes).
+    pub fn label(&self) -> Option<ValueId> {
+        self.label
+    }
+
+    /// The disqualified set `A` of this node.
+    pub fn disqualified(&self) -> &[PointId] {
+        &self.disqualified
+    }
+
+    /// Number of children.
+    pub fn child_count(&self) -> usize {
+        self.children.len()
+    }
+
+    pub(crate) fn child(&self, label: Option<ValueId>) -> Option<u32> {
+        self.children
+            .binary_search_by_key(&label, |(l, _)| *l)
+            .ok()
+            .map(|i| self.children[i].1)
+    }
+}
+
+/// The materialized IPO-tree: template skyline, per-dimension materialized values and the node
+/// arena. Built with [`crate::build::IpoTreeBuilder`], queried with the methods in
+/// [`crate::query`].
+#[derive(Debug, Clone)]
+pub struct IpoTree {
+    pub(crate) template: Template,
+    /// `SKY(R)`, sorted ascending.
+    pub(crate) skyline: Vec<PointId>,
+    /// Per nominal dimension, the value ids that have materialized children (in the order the
+    /// children were created — most frequent first when the tree is truncated).
+    pub(crate) materialized: Vec<Vec<ValueId>>,
+    /// Node arena; index 0 is the root.
+    pub(crate) nodes: Vec<IpoNode>,
+}
+
+impl IpoTree {
+    /// The template the tree was built for.
+    pub fn template(&self) -> &Template {
+        &self.template
+    }
+
+    /// The template skyline `SKY(R)` (sorted point ids).
+    pub fn skyline(&self) -> &[PointId] {
+        &self.skyline
+    }
+
+    /// Number of nominal dimensions covered (the tree depth minus one).
+    pub fn nominal_count(&self) -> usize {
+        self.materialized.len()
+    }
+
+    /// The value ids materialized for nominal dimension `j`.
+    pub fn materialized_values(&self, nominal_index: usize) -> &[ValueId] {
+        &self.materialized[nominal_index]
+    }
+
+    /// True when value `v` of dimension `j` has materialized nodes.
+    pub fn is_materialized(&self, nominal_index: usize, v: ValueId) -> bool {
+        self.materialized[nominal_index].contains(&v)
+    }
+
+    /// Total number of nodes (the paper's `O(c^{m'})` size measure).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Access a node by id.
+    pub fn node(&self, id: u32) -> &IpoNode {
+        &self.nodes[id as usize]
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &IpoNode {
+        &self.nodes[0]
+    }
+
+    /// Child of `node` with the given label (`None` = φ child).
+    pub fn child_of(&self, node: u32, label: Option<ValueId>) -> Option<u32> {
+        self.nodes[node as usize].child(label)
+    }
+
+    /// Iterator over all nodes with their ids.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (u32, &IpoNode)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (i as u32, n))
+    }
+
+    /// Sum of the sizes of all disqualified sets (a proxy for materialized result volume).
+    pub fn total_disqualified_entries(&self) -> usize {
+        self.nodes.iter().map(|n| n.disqualified.len()).sum()
+    }
+
+    /// Walks the path for one combination of first-order choices and returns the deepest node
+    /// reached. `choices[j] = Some(v)` applies `v ≺ ∗` on dimension `j`; `None` follows the φ
+    /// child. Returns `None` as soon as a requested child is not materialized.
+    pub fn node_for_choices(&self, choices: &[Option<ValueId>]) -> Option<u32> {
+        let mut node = 0u32;
+        for &choice in choices.iter().take(self.nominal_count()) {
+            node = self.child_of(node, choice)?;
+        }
+        Some(node)
+    }
+
+    /// The skyline for one combination of first-order choices, straight from the materialized
+    /// sets: `SKY(R) − A(deepest node)`. Returns `None` if some choice is not materialized.
+    pub fn first_order_skyline(&self, choices: &[Option<ValueId>]) -> Option<Vec<PointId>> {
+        // The disqualified sets along a path grow monotonically, so the deepest *labelled*
+        // node on the path carries the full combination's set; φ nodes contribute nothing.
+        let mut node = 0u32;
+        let mut disqualified: &[PointId] = &[];
+        for (j, &choice) in choices.iter().take(self.nominal_count()).enumerate() {
+            let _ = j;
+            node = self.child_of(node, choice)?;
+            if choice.is_some() {
+                disqualified = &self.nodes[node as usize].disqualified;
+            }
+        }
+        Some(crate::setops::difference(&self.skyline, disqualified))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::{Dimension, Schema, Template};
+
+    fn tiny_tree() -> IpoTree {
+        // Hand-built two-dimension tree over a fake skyline {10, 20, 30}.
+        let schema = Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::nominal_with_labels("g", ["a", "b"]),
+            Dimension::nominal_with_labels("h", ["p", "q"]),
+        ])
+        .unwrap();
+        let template = Template::empty(&schema);
+        // Node layout:
+        // 0 root (dim MAX)
+        //   1: g=φ   2: g=a (A={30})  3: g=b (A={10})
+        // each of those has children for dim 1: φ / p / q
+        let mut nodes = vec![IpoNode {
+            dim: usize::MAX,
+            label: None,
+            disqualified: vec![],
+            children: vec![],
+        }];
+        let add = |dim: usize, label: Option<ValueId>, disq: Vec<PointId>, nodes: &mut Vec<IpoNode>| -> u32 {
+            let id = nodes.len() as u32;
+            nodes.push(IpoNode { dim, label, disqualified: disq, children: vec![] });
+            id
+        };
+        let g_phi = add(0, None, vec![], &mut nodes);
+        let g_a = add(0, Some(0), vec![30], &mut nodes);
+        let g_b = add(0, Some(1), vec![10], &mut nodes);
+        nodes[0].children = vec![(None, g_phi), (Some(0), g_a), (Some(1), g_b)];
+        for parent in [g_phi, g_a, g_b] {
+            let base: Vec<PointId> = nodes[parent as usize].disqualified.clone();
+            let h_phi = add(1, None, vec![], &mut nodes);
+            let h_p = add(1, Some(0), crate::setops::union(&base, &[20]), &mut nodes);
+            let h_q = add(1, Some(1), base.clone(), &mut nodes);
+            nodes[parent as usize].children = vec![(None, h_phi), (Some(0), h_p), (Some(1), h_q)];
+        }
+        IpoTree {
+            template,
+            skyline: vec![10, 20, 30],
+            materialized: vec![vec![0, 1], vec![0, 1]],
+            nodes,
+        }
+    }
+
+    #[test]
+    fn navigation_and_accessors() {
+        let tree = tiny_tree();
+        assert_eq!(tree.node_count(), 13);
+        assert_eq!(tree.nominal_count(), 2);
+        assert_eq!(tree.skyline(), &[10, 20, 30]);
+        assert!(tree.is_materialized(0, 1));
+        assert!(!tree.is_materialized(0, 5));
+        assert_eq!(tree.materialized_values(1), &[0, 1]);
+        assert!(tree.root().dimension().is_none());
+        assert_eq!(tree.root().child_count(), 3);
+        let g_a = tree.child_of(0, Some(0)).unwrap();
+        assert_eq!(tree.node(g_a).dimension(), Some(0));
+        assert_eq!(tree.node(g_a).label(), Some(0));
+        assert_eq!(tree.node(g_a).disqualified(), &[30]);
+        assert!(tree.child_of(0, Some(9)).is_none());
+        assert_eq!(tree.iter_nodes().count(), 13);
+        assert!(tree.total_disqualified_entries() > 0);
+    }
+
+    #[test]
+    fn node_for_choices_walks_paths() {
+        let tree = tiny_tree();
+        let node = tree.node_for_choices(&[Some(0), Some(1)]).unwrap();
+        assert_eq!(tree.node(node).label(), Some(1));
+        assert_eq!(tree.node(node).dimension(), Some(1));
+        assert!(tree.node_for_choices(&[Some(7), None]).is_none());
+        assert_eq!(tree.node_for_choices(&[]), Some(0));
+    }
+
+    #[test]
+    fn first_order_skyline_subtracts_the_deepest_labelled_set() {
+        let tree = tiny_tree();
+        assert_eq!(tree.first_order_skyline(&[None, None]).unwrap(), vec![10, 20, 30]);
+        assert_eq!(tree.first_order_skyline(&[Some(0), None]).unwrap(), vec![10, 20]);
+        assert_eq!(tree.first_order_skyline(&[Some(1), Some(1)]).unwrap(), vec![20, 30]);
+        assert_eq!(tree.first_order_skyline(&[None, Some(0)]).unwrap(), vec![10, 30]);
+        assert!(tree.first_order_skyline(&[Some(9), None]).is_none());
+    }
+}

@@ -1,0 +1,262 @@
+//! A unified query engine over the paper's algorithms, including the hybrid strategy of §5.3.
+
+use skyline_adaptive::AdaptiveSfs;
+use skyline_core::algo::sfs;
+use skyline_core::{Dataset, DominanceContext, PointId, Preference, Result, SkylineError, Template};
+use skyline_ipo::{BitmapIpoTree, IpoTree, IpoTreeBuilder};
+
+/// Which algorithm an engine instance materializes and uses to answer queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineConfig {
+    /// No preprocessing; every query runs sort-first-skyline over the whole dataset
+    /// (the paper's **SFS-D** baseline).
+    SfsD,
+    /// Adaptive SFS over the presorted template skyline (**SFS-A**).
+    AdaptiveSfs,
+    /// Full IPO tree (every nominal value materialized), set-based evaluation.
+    IpoTree,
+    /// IPO tree restricted to the `k` most frequent values per nominal dimension
+    /// (**IPO Tree-10** uses `k = 10`). Queries touching other values are rejected.
+    IpoTreeTopK(usize),
+    /// Bitmap IPO tree (full materialization, bitwise evaluation).
+    BitmapIpoTree,
+    /// The recommendation of §5.3: an IPO tree over the `top_k` most frequent values for the
+    /// popular queries, with Adaptive SFS as the fallback for everything else.
+    Hybrid {
+        /// Number of most-frequent values materialized per nominal dimension.
+        top_k: usize,
+    },
+}
+
+/// The algorithm that actually produced a query answer (interesting for the hybrid engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodUsed {
+    /// Answered by the full-dataset SFS baseline.
+    SfsD,
+    /// Answered by Adaptive SFS.
+    AdaptiveSfs,
+    /// Answered by the (set-based or bitmap) IPO tree.
+    IpoTree,
+}
+
+/// A query answer plus provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// The skyline under the query preference, as sorted point ids.
+    pub skyline: Vec<PointId>,
+    /// Which algorithm produced it.
+    pub method: MethodUsed,
+}
+
+/// A configured skyline query engine bound to a dataset and a template.
+#[derive(Debug)]
+pub struct SkylineEngine<'a> {
+    data: &'a Dataset,
+    template: Template,
+    config: EngineConfig,
+    ipo: Option<IpoTree>,
+    bitmap: Option<BitmapIpoTree>,
+    asfs: Option<AdaptiveSfs<'a>>,
+}
+
+impl<'a> SkylineEngine<'a> {
+    /// Builds the engine, performing whatever preprocessing the configuration requires.
+    pub fn build(data: &'a Dataset, template: Template, config: EngineConfig) -> Result<Self> {
+        let mut engine = Self { data, template, config, ipo: None, bitmap: None, asfs: None };
+        match config {
+            EngineConfig::SfsD => {}
+            EngineConfig::AdaptiveSfs => {
+                engine.asfs = Some(AdaptiveSfs::build(data, &engine.template)?);
+            }
+            EngineConfig::IpoTree => {
+                engine.ipo = Some(IpoTreeBuilder::new().build(data, &engine.template)?);
+            }
+            EngineConfig::IpoTreeTopK(k) => {
+                engine.ipo = Some(IpoTreeBuilder::new().top_k_values(k).build(data, &engine.template)?);
+            }
+            EngineConfig::BitmapIpoTree => {
+                let tree = IpoTreeBuilder::new().build(data, &engine.template)?;
+                engine.bitmap = Some(BitmapIpoTree::from_tree(&tree, data));
+            }
+            EngineConfig::Hybrid { top_k } => {
+                let tree = IpoTreeBuilder::new().top_k_values(top_k).build(data, &engine.template)?;
+                engine.asfs = Some(AdaptiveSfs::from_precomputed_skyline(
+                    data,
+                    engine.template.clone(),
+                    tree.skyline().to_vec(),
+                )?);
+                engine.ipo = Some(tree);
+            }
+        }
+        Ok(engine)
+    }
+
+    /// The dataset the engine is bound to.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.data
+    }
+
+    /// The template shared by all queries.
+    pub fn template(&self) -> &Template {
+        &self.template
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// The materialized IPO tree, when the configuration has one.
+    pub fn ipo_tree(&self) -> Option<&IpoTree> {
+        self.ipo.as_ref()
+    }
+
+    /// The Adaptive SFS structure, when the configuration has one.
+    pub fn adaptive(&self) -> Option<&AdaptiveSfs<'a>> {
+        self.asfs.as_ref()
+    }
+
+    /// Answers an implicit-preference query.
+    pub fn query(&self, pref: &Preference) -> Result<QueryOutcome> {
+        match self.config {
+            EngineConfig::SfsD => self.query_sfs_d(pref),
+            EngineConfig::AdaptiveSfs => {
+                let asfs = self.asfs.as_ref().expect("built in build()");
+                Ok(QueryOutcome { skyline: asfs.query(pref)?, method: MethodUsed::AdaptiveSfs })
+            }
+            EngineConfig::IpoTree | EngineConfig::IpoTreeTopK(_) => {
+                let tree = self.ipo.as_ref().expect("built in build()");
+                Ok(QueryOutcome { skyline: tree.query(self.data, pref)?, method: MethodUsed::IpoTree })
+            }
+            EngineConfig::BitmapIpoTree => {
+                let tree = self.bitmap.as_ref().expect("built in build()");
+                Ok(QueryOutcome { skyline: tree.query(self.data, pref)?, method: MethodUsed::IpoTree })
+            }
+            EngineConfig::Hybrid { .. } => {
+                let tree = self.ipo.as_ref().expect("built in build()");
+                match tree.query(self.data, pref) {
+                    Ok(skyline) => Ok(QueryOutcome { skyline, method: MethodUsed::IpoTree }),
+                    Err(SkylineError::NotMaterialized { .. }) => {
+                        let asfs = self.asfs.as_ref().expect("built in build()");
+                        Ok(QueryOutcome {
+                            skyline: asfs.query(pref)?,
+                            method: MethodUsed::AdaptiveSfs,
+                        })
+                    }
+                    Err(other) => Err(other),
+                }
+            }
+        }
+    }
+
+    /// The SFS-D baseline path (also used directly by the benchmark harness).
+    fn query_sfs_d(&self, pref: &Preference) -> Result<QueryOutcome> {
+        let ctx = DominanceContext::for_query(self.data, &self.template, pref)?;
+        let skyline = sfs::sfs_d(&ctx, &self.template, pref)?;
+        Ok(QueryOutcome { skyline, method: MethodUsed::SfsD })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::algo::bnl;
+    use skyline_core::{DatasetBuilder, Dimension, RowValue, Schema};
+
+    fn table3_data() -> Dataset {
+        let schema = Schema::new(vec![
+            Dimension::numeric("price"),
+            Dimension::numeric("class-neg"),
+            Dimension::nominal_with_labels("hotel-group", ["T", "H", "M"]),
+            Dimension::nominal_with_labels("airline", ["G", "R", "W"]),
+        ])
+        .unwrap();
+        let mut b = DatasetBuilder::new(schema);
+        for (price, class, group, airline) in [
+            (1600.0, 4.0, "T", "G"),
+            (2400.0, 1.0, "T", "G"),
+            (3000.0, 5.0, "H", "G"),
+            (3600.0, 4.0, "H", "R"),
+            (2400.0, 2.0, "M", "R"),
+            (3000.0, 3.0, "M", "W"),
+        ] {
+            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into(), airline.into()])
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn every_engine_config_agrees_with_the_oracle() {
+        let data = table3_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let configs = [
+            EngineConfig::SfsD,
+            EngineConfig::AdaptiveSfs,
+            EngineConfig::IpoTree,
+            EngineConfig::BitmapIpoTree,
+            EngineConfig::Hybrid { top_k: 3 },
+        ];
+        let specs: Vec<Vec<(&str, &str)>> = vec![
+            vec![("hotel-group", "M < *")],
+            vec![("hotel-group", "M < H < *"), ("airline", "G < R < *")],
+            vec![("airline", "W < *")],
+            vec![],
+        ];
+        for config in configs {
+            let engine = SkylineEngine::build(&data, template.clone(), config).unwrap();
+            assert_eq!(engine.config(), config);
+            for spec in &specs {
+                let pref = Preference::parse(&schema, spec.clone()).unwrap();
+                let ctx = DominanceContext::for_query(&data, &template, &pref).unwrap();
+                let expected = bnl::skyline(&ctx);
+                let outcome = engine.query(&pref).unwrap();
+                assert_eq!(outcome.skyline, expected, "config {config:?}, spec {spec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_falls_back_to_adaptive_sfs_for_unpopular_values() {
+        let data = table3_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let engine = SkylineEngine::build(&data, template.clone(), EngineConfig::Hybrid { top_k: 1 }).unwrap();
+        // Airline G (id 0) is the most frequent: materialized → answered by the IPO tree.
+        let popular = Preference::parse(&schema, [("airline", "G < *")]).unwrap();
+        assert_eq!(engine.query(&popular).unwrap().method, MethodUsed::IpoTree);
+        // Airline W is unpopular → falls back to Adaptive SFS, same answer as the oracle.
+        let unpopular = Preference::parse(&schema, [("airline", "W < *")]).unwrap();
+        let outcome = engine.query(&unpopular).unwrap();
+        assert_eq!(outcome.method, MethodUsed::AdaptiveSfs);
+        let ctx = DominanceContext::for_query(&data, &template, &unpopular).unwrap();
+        assert_eq!(outcome.skyline, bnl::skyline(&ctx));
+    }
+
+    #[test]
+    fn top_k_engine_rejects_unmaterialized_values() {
+        let data = table3_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let engine = SkylineEngine::build(&data, template, EngineConfig::IpoTreeTopK(1)).unwrap();
+        let unpopular = Preference::parse(&schema, [("airline", "W < *")]).unwrap();
+        assert!(matches!(
+            engine.query(&unpopular),
+            Err(SkylineError::NotMaterialized { .. })
+        ));
+        assert!(engine.ipo_tree().is_some());
+        assert!(engine.adaptive().is_none());
+    }
+
+    #[test]
+    fn accessors_expose_bound_state() {
+        let data = table3_data();
+        let template = Template::empty(data.schema());
+        let engine = SkylineEngine::build(&data, template, EngineConfig::AdaptiveSfs).unwrap();
+        assert!(std::ptr::eq(engine.dataset(), &data));
+        assert_eq!(engine.template().nominal_count(), 2);
+        assert!(engine.adaptive().is_some());
+        assert!(engine.ipo_tree().is_none());
+    }
+}

@@ -1,0 +1,96 @@
+//! Flight booking: the paper's second motivating application — "flight booking (where airline
+//! and transition airport are examples of nominal attributes)".
+//!
+//! This example stresses the *variability* of preferences: a stream of travellers, each with a
+//! randomly generated implicit preference on airline and transition airport, is answered
+//! online. It also demonstrates incremental maintenance: new flights appear and sold-out
+//! flights disappear between queries, and the maintained Adaptive-SFS structure keeps serving
+//! correct skylines without a rebuild.
+//!
+//! Run with: `cargo run -p skyline --example flight_booking --release`
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use skyline::prelude::*;
+
+const AIRLINES: [&str; 5] = ["Gonna Air", "Redish", "Wings", "Polar Jet", "Meridian"];
+const HUBS: [&str; 5] = ["FRA", "AMS", "IST", "DOH", "KEF"];
+
+fn flights_schema() -> Result<Schema> {
+    Schema::new(vec![
+        Dimension::numeric("price-eur"),
+        Dimension::numeric("duration-h"),
+        Dimension::numeric("stops"),
+        Dimension::nominal_with_labels("airline", AIRLINES),
+        Dimension::nominal_with_labels("hub", HUBS),
+    ])
+}
+
+fn random_flight(rng: &mut SmallRng) -> (Vec<f64>, Vec<ValueId>) {
+    let stops = rng.gen_range(0..=2) as f64;
+    let duration = 8.0 + stops * rng.gen_range(1.5..4.0) + rng.gen::<f64>() * 3.0;
+    let price = 350.0 + rng.gen::<f64>() * 900.0 - stops * 120.0;
+    let airline = rng.gen_range(0..AIRLINES.len()) as ValueId;
+    let hub = rng.gen_range(0..HUBS.len()) as ValueId;
+    (vec![price.max(120.0), duration, stops], vec![airline, hub])
+}
+
+fn main() -> Result<()> {
+    let mut rng = SmallRng::seed_from_u64(7_47);
+    let schema = flights_schema()?;
+
+    // Initial inventory of 2 000 flights.
+    let mut columns_numeric = vec![Vec::new(); 3];
+    let mut columns_nominal = vec![Vec::new(); 2];
+    for _ in 0..2_000 {
+        let (num, nom) = random_flight(&mut rng);
+        for (col, v) in columns_numeric.iter_mut().zip(&num) {
+            col.push(*v);
+        }
+        for (col, v) in columns_nominal.iter_mut().zip(&nom) {
+            col.push(*v);
+        }
+    }
+    let data = Dataset::from_columns(schema, columns_numeric, columns_nominal)?;
+    let template = Template::empty(data.schema());
+    let mut inventory = MaintainedAdaptiveSfs::new(data, template)?;
+    println!(
+        "Initial inventory: {} flights, {} in the template skyline",
+        inventory.live_rows(),
+        inventory.skyline_size()
+    );
+
+    // A stream of travellers with random implicit preferences, interleaved with inventory
+    // updates (new flights appear, the cheapest skyline flight sells out).
+    let schema = inventory.dataset().schema().clone();
+    let template_for_queries = inventory.template().clone();
+    let mut generator = QueryGenerator::new(99);
+    for round in 1..=5 {
+        // Random traveller preference of order 2 on both nominal dimensions.
+        let pref = generator.random_preference(&schema, &template_for_queries, 2, None);
+        let skyline = inventory.query(&pref)?;
+        println!("\nRound {round}: traveller preference [{}]", pref.display(&schema));
+        println!("  {} skyline flights out of {} live flights", skyline.len(), inventory.live_rows());
+        for &p in skyline.iter().take(3) {
+            println!(
+                "    flight #{p:<5} {:>6.0} EUR  {:>4.1} h  {} stops  {:10} via {}",
+                inventory.dataset().numeric(p, 0),
+                inventory.dataset().numeric(p, 1),
+                inventory.dataset().numeric(p, 2),
+                inventory.dataset().nominal_label(p, 0),
+                inventory.dataset().nominal_label(p, 1),
+            );
+        }
+
+        // Inventory churn: 50 new flights, and the first skyline flight sells out.
+        for _ in 0..50 {
+            let (num, nom) = random_flight(&mut rng);
+            inventory.insert_row(&num, &nom)?;
+        }
+        if let Some(&sold_out) = skyline.first() {
+            inventory.delete_row(sold_out)?;
+            println!("  flight #{sold_out} sold out; skyline size is now {}", inventory.skyline_size());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a small dataset with nominal attributes, materialize an IPO-tree-backed
+//! engine and answer a few implicit-preference skyline queries.
+//!
+//! This walks through the running example of the paper (Table 3 and Example 1): vacation
+//! packages with two numeric attributes (price and hotel class) and two nominal attributes
+//! (hotel group and airline).
+//!
+//! Run with: `cargo run -p skyline --example quickstart`
+
+use skyline::prelude::*;
+
+fn main() -> Result<()> {
+    // 1. Describe the data: numeric dimensions are "smaller is better", so hotel class is
+    //    stored negated. Nominal dimensions carry no predefined order.
+    let schema = Schema::new(vec![
+        Dimension::numeric("price"),
+        Dimension::numeric("class-neg"),
+        Dimension::nominal_with_labels("hotel-group", ["Tulips", "Horizon", "Mozilla"]),
+        Dimension::nominal_with_labels("airline", ["Gonna", "Redish", "Wings"]),
+    ])?;
+
+    // 2. Load the packages of Table 3.
+    let mut builder = DatasetBuilder::new(schema);
+    let rows = [
+        ("a", 1600.0, 4.0, "Tulips", "Gonna"),
+        ("b", 2400.0, 1.0, "Tulips", "Gonna"),
+        ("c", 3000.0, 5.0, "Horizon", "Gonna"),
+        ("d", 3600.0, 4.0, "Horizon", "Redish"),
+        ("e", 2400.0, 2.0, "Mozilla", "Redish"),
+        ("f", 3000.0, 3.0, "Mozilla", "Wings"),
+    ];
+    for (_, price, class, group, airline) in rows {
+        builder.push_row([RowValue::Num(price), RowValue::Num(-class), group.into(), airline.into()])?;
+    }
+    let data = builder.build()?;
+    let names: Vec<&str> = rows.iter().map(|r| r.0).collect();
+
+    // 3. No universal preference on the nominal attributes: an empty template.
+    let template = Template::empty(data.schema());
+
+    // 4. Build the hybrid engine (IPO tree for popular values + Adaptive SFS fallback).
+    let engine = SkylineEngine::build(&data, template, EngineConfig::Hybrid { top_k: 10 })?;
+    println!("Loaded {} vacation packages.", data.len());
+
+    // 5. Ask the four queries of Example 1 plus a couple of customer preferences from Table 2.
+    let queries = [
+        ("Q_A: Mozilla first", vec![("hotel-group", "Mozilla < *")]),
+        ("Q_B: Mozilla first, Gonna first", vec![("hotel-group", "Mozilla < *"), ("airline", "Gonna < *")]),
+        (
+            "Q_D: Mozilla then Horizon, Gonna then Redish",
+            vec![("hotel-group", "Mozilla < Horizon < *"), ("airline", "Gonna < Redish < *")],
+        ),
+        ("Alice: Tulips then Mozilla", vec![("hotel-group", "Tulips < Mozilla < *")]),
+        ("Bob: no special preference", vec![]),
+    ];
+    for (label, spec) in queries {
+        let pref = Preference::parse(data.schema(), spec)?;
+        let outcome = engine.query(&pref)?;
+        let members: Vec<&str> = outcome.skyline.iter().map(|&p| names[p as usize]).collect();
+        println!("{label:<45} -> skyline {{{}}} (answered by {:?})", members.join(", "), outcome.method);
+    }
+
+    Ok(())
+}

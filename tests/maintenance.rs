@@ -1,0 +1,92 @@
+//! Property-based tests of incremental maintenance (Section 4.3): after any sequence of row
+//! insertions and deletions, the maintained structure answers queries exactly like a
+//! from-scratch computation over the live rows.
+
+use proptest::prelude::*;
+use skyline::prelude::*;
+use skyline_core::algo::bnl;
+
+const CARD: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Update {
+    Insert { numeric: Vec<f64>, nominal: Vec<ValueId> },
+    Delete { index: usize },
+}
+
+fn update_strategy() -> impl Strategy<Value = Update> {
+    prop_oneof![
+        (
+            proptest::collection::vec(0i32..6, 2),
+            proptest::collection::vec(0..(CARD as ValueId), 1),
+        )
+            .prop_map(|(n, c)| Update::Insert {
+                numeric: n.into_iter().map(f64::from).collect(),
+                nominal: c,
+            }),
+        (0usize..64).prop_map(|index| Update::Delete { index }),
+    ]
+}
+
+fn initial_dataset(rows: &[(Vec<f64>, Vec<ValueId>)]) -> Dataset {
+    let schema = Schema::new(vec![
+        Dimension::numeric("x"),
+        Dimension::numeric("y"),
+        Dimension::nominal("g", NominalDomain::anonymous(CARD)),
+    ])
+    .unwrap();
+    let mut data = Dataset::empty(schema);
+    for (numeric, nominal) in rows {
+        data.push_row_ids(numeric, nominal).unwrap();
+    }
+    data
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn maintained_structure_matches_rebuild(
+        initial in proptest::collection::vec(
+            (
+                proptest::collection::vec(0i32..6, 2).prop_map(|v| v.into_iter().map(f64::from).collect::<Vec<f64>>()),
+                proptest::collection::vec(0..(CARD as ValueId), 1),
+            ),
+            1..20,
+        ),
+        updates in proptest::collection::vec(update_strategy(), 0..25),
+        query_choices in proptest::sample::subsequence((0..CARD as ValueId).collect::<Vec<_>>(), 0..=2).prop_shuffle(),
+    ) {
+        let data = initial_dataset(&initial);
+        let template = Template::empty(data.schema());
+        let mut maintained = MaintainedAdaptiveSfs::new(data, template.clone()).unwrap();
+
+        for update in updates {
+            match update {
+                Update::Insert { numeric, nominal } => {
+                    maintained.insert_row(&numeric, &nominal).unwrap();
+                }
+                Update::Delete { index } => {
+                    let total = maintained.dataset().len();
+                    let target = (index % total) as PointId;
+                    maintained.delete_row(target).unwrap();
+                }
+            }
+        }
+
+        // 1. The maintained template skyline equals a from-scratch skyline over the live rows.
+        let ctx = DominanceContext::for_template(maintained.dataset(), &template).unwrap();
+        let live: Vec<PointId> = maintained
+            .dataset()
+            .point_ids()
+            .filter(|&p| !maintained.is_deleted(p))
+            .collect();
+        prop_assert_eq!(maintained.template_skyline(), bnl::skyline_of(&ctx, &live));
+
+        // 2. Query answers equal the brute-force skyline over the live rows.
+        let pref = Preference::from_dims(vec![ImplicitPreference::new(query_choices).unwrap()]);
+        let query_ctx = DominanceContext::for_query(maintained.dataset(), &template, &pref).unwrap();
+        let expected = bnl::skyline_of(&query_ctx, &live);
+        prop_assert_eq!(maintained.query(&pref).unwrap(), expected);
+    }
+}

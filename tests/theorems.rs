@@ -1,0 +1,189 @@
+//! Property-based tests of the paper's formal results:
+//!
+//! * the dominance relation is a strict partial order;
+//! * Property 1 (order containment is dimension-wise);
+//! * Theorem 1 (monotonicity of skylines under refinement);
+//! * Theorem 2 (the merging property that powers IPO-tree query evaluation).
+
+use proptest::prelude::*;
+use skyline::prelude::*;
+use skyline_core::algo::bnl;
+
+const CARD: usize = 4;
+
+fn dataset_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<Vec<ValueId>>)> {
+    (1usize..35).prop_flat_map(|rows| {
+        let numeric = proptest::collection::vec(
+            proptest::collection::vec(0i32..5, rows).prop_map(|v| v.into_iter().map(f64::from).collect()),
+            2,
+        );
+        let nominal = proptest::collection::vec(
+            proptest::collection::vec(0..(CARD as ValueId), rows),
+            2,
+        );
+        (numeric, nominal)
+    })
+}
+
+fn build(numeric: Vec<Vec<f64>>, nominal: Vec<Vec<ValueId>>) -> Dataset {
+    let schema = Schema::new(vec![
+        Dimension::numeric("x"),
+        Dimension::numeric("y"),
+        Dimension::nominal("g", NominalDomain::anonymous(CARD)),
+        Dimension::nominal("h", NominalDomain::anonymous(CARD)),
+    ])
+    .unwrap();
+    Dataset::from_columns(schema, numeric, nominal).unwrap()
+}
+
+fn preference_strategy() -> impl Strategy<Value = Vec<Vec<ValueId>>> {
+    proptest::collection::vec(
+        proptest::sample::subsequence((0..CARD as ValueId).collect::<Vec<_>>(), 0..=3).prop_shuffle(),
+        2,
+    )
+}
+
+fn to_preference(choices: &[Vec<ValueId>]) -> Preference {
+    Preference::from_dims(
+        choices.iter().map(|c| ImplicitPreference::new(c.clone()).unwrap()).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn dominance_is_a_strict_partial_order(
+        (numeric, nominal) in dataset_strategy(),
+        choices in preference_strategy(),
+    ) {
+        let data = build(numeric, nominal);
+        let template = Template::empty(data.schema());
+        let pref = to_preference(&choices);
+        let ctx = DominanceContext::for_query(&data, &template, &pref).unwrap();
+        let points: Vec<PointId> = data.point_ids().collect();
+        for &p in &points {
+            // Irreflexive.
+            prop_assert!(!ctx.dominates(p, p));
+            for &q in &points {
+                // Asymmetric.
+                if ctx.dominates(p, q) {
+                    prop_assert!(!ctx.dominates(q, p), "asymmetry violated for ({p}, {q})");
+                }
+                // Transitive.
+                for &r in &points {
+                    if ctx.dominates(p, q) && ctx.dominates(q, r) {
+                        prop_assert!(ctx.dominates(p, r), "transitivity violated for ({p}, {q}, {r})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn property1_containment_is_dimension_wise(choices in preference_strategy()) {
+        // R ⊆ R'  iff  Rᵢ ⊆ R'ᵢ for every i — with R the prefix-truncated version of R'.
+        let schema = Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::nominal("g", NominalDomain::anonymous(CARD)),
+            Dimension::nominal("h", NominalDomain::anonymous(CARD)),
+        ])
+        .unwrap();
+        let full = to_preference(&choices);
+        let truncated = Preference::from_dims(
+            choices
+                .iter()
+                .map(|c| ImplicitPreference::new(c.iter().copied().take(1).collect::<Vec<_>>()).unwrap())
+                .collect(),
+        );
+        prop_assert!(full.refines(&truncated));
+        let full_orders = full.to_partial_orders(&schema).unwrap();
+        let truncated_orders = truncated.to_partial_orders(&schema).unwrap();
+        for (t, f) in truncated_orders.iter().zip(&full_orders) {
+            prop_assert!(t.is_contained_in(f));
+        }
+    }
+
+    #[test]
+    fn theorem1_monotonicity(
+        (numeric, nominal) in dataset_strategy(),
+        choices in preference_strategy(),
+        extra in proptest::collection::vec(0..(CARD as ValueId), 2),
+    ) {
+        let data = build(numeric, nominal);
+        let template = Template::empty(data.schema());
+
+        // R̃: the base preference; R̃′: a refinement obtained by appending one more value per
+        // dimension (when it is not already listed).
+        let base = to_preference(&choices);
+        let mut refined_choices = choices.clone();
+        for (j, &v) in extra.iter().enumerate() {
+            if !refined_choices[j].contains(&v) {
+                refined_choices[j].push(v);
+            }
+        }
+        let refined = to_preference(&refined_choices);
+        prop_assert!(refined.refines(&base));
+
+        let base_ctx = DominanceContext::for_query(&data, &template, &base).unwrap();
+        let refined_ctx = DominanceContext::for_query(&data, &template, &refined).unwrap();
+        let base_sky = bnl::skyline(&base_ctx);
+        let refined_sky = bnl::skyline(&refined_ctx);
+        // Theorem 1: a point outside SKY(R̃) can never enter SKY(R̃′).
+        for p in &refined_sky {
+            prop_assert!(base_sky.contains(p), "point {p} gained skyline membership under a refinement");
+        }
+    }
+
+    #[test]
+    fn theorem2_merging_property(
+        (numeric, nominal) in dataset_strategy(),
+        other_dim_choice in proptest::sample::subsequence((0..CARD as ValueId).collect::<Vec<_>>(), 0..=2),
+        split_values in proptest::sample::subsequence((0..CARD as ValueId).collect::<Vec<_>>(), 2..=CARD).prop_shuffle(),
+    ) {
+        let data = build(numeric, nominal);
+        let template = Template::empty(data.schema());
+        let x = split_values.len();
+
+        // R̃′  : v₁ ≺ … ≺ v_{x-1} ≺ ∗ on dimension 0 (plus a fixed preference on dimension 1)
+        // R̃″  : v_x ≺ ∗ on dimension 0 (same on dimension 1)
+        // R̃‴  : v₁ ≺ … ≺ v_x ≺ ∗ on dimension 0 (same on dimension 1)
+        let other = ImplicitPreference::new(other_dim_choice.clone()).unwrap();
+        let r_prime = Preference::from_dims(vec![
+            ImplicitPreference::new(split_values[..x - 1].to_vec()).unwrap(),
+            other.clone(),
+        ]);
+        let r_double = Preference::from_dims(vec![
+            ImplicitPreference::new(vec![split_values[x - 1]]).unwrap(),
+            other.clone(),
+        ]);
+        let r_triple = Preference::from_dims(vec![
+            ImplicitPreference::new(split_values.clone()).unwrap(),
+            other,
+        ]);
+
+        let sky = |pref: &Preference| -> Vec<PointId> {
+            let ctx = DominanceContext::for_query(&data, &template, pref).unwrap();
+            bnl::skyline(&ctx)
+        };
+        let sky_prime = sky(&r_prime);
+        let sky_double = sky(&r_double);
+        let sky_triple = sky(&r_triple);
+
+        // PSKY(R̃′): members of SKY(R̃′) whose dimension-0 value is among v₁ … v_{x-1}.
+        let psky: Vec<PointId> = sky_prime
+            .iter()
+            .copied()
+            .filter(|&p| split_values[..x - 1].contains(&data.nominal(p, 0)))
+            .collect();
+        let mut merged: Vec<PointId> =
+            sky_prime.iter().copied().filter(|p| sky_double.contains(p)).collect();
+        for p in psky {
+            if !merged.contains(&p) {
+                merged.push(p);
+            }
+        }
+        merged.sort_unstable();
+        prop_assert_eq!(merged, sky_triple);
+    }
+}
