@@ -63,12 +63,11 @@ impl<'a> AdaptiveSfs<'a> {
     /// it); general partial-order templates are rejected.
     pub fn build(data: &'a Dataset, template: &Template) -> Result<Self> {
         let started = Instant::now();
-        let template_pref = template
-            .implicit()
-            .cloned()
-            .ok_or_else(|| SkylineError::InvalidArgument(
+        let template_pref = template.implicit().cloned().ok_or_else(|| {
+            SkylineError::InvalidArgument(
                 "Adaptive SFS requires a template with an implicit form".into(),
-            ))?;
+            )
+        })?;
         template_pref.validate(data.schema())?;
         let score = ScoreFn::for_preference(data.schema(), &template_pref)?;
         let ctx = DominanceContext::for_template(data, template)?;
@@ -87,12 +86,11 @@ impl<'a> AdaptiveSfs<'a> {
         template: Template,
         skyline: Vec<PointId>,
     ) -> Result<Self> {
-        let template_pref = template
-            .implicit()
-            .cloned()
-            .ok_or_else(|| SkylineError::InvalidArgument(
+        let template_pref = template.implicit().cloned().ok_or_else(|| {
+            SkylineError::InvalidArgument(
                 "Adaptive SFS requires a template with an implicit form".into(),
-            ))?;
+            )
+        })?;
         let score = ScoreFn::for_preference(data.schema(), &template_pref)?;
         let mut entries: Vec<ScoredEntry> = skyline
             .iter()
@@ -105,7 +103,13 @@ impl<'a> AdaptiveSfs<'a> {
             template_skyline_size: entries.len(),
             preprocess_seconds: 0.0,
         };
-        Ok(Self { data, template, entries, index, stats })
+        Ok(Self {
+            data,
+            template,
+            entries,
+            index,
+            stats,
+        })
     }
 
     /// The dataset the structure is bound to.
@@ -147,7 +151,8 @@ impl<'a> AdaptiveSfs<'a> {
 
     /// Algorithm 4 with the default [`ScanMode::AffectedOnly`]; returns sorted point ids.
     pub fn query(&self, pref: &Preference) -> Result<Vec<PointId>> {
-        self.query_with_stats(pref, ScanMode::default()).map(|(r, _)| r)
+        self.query_with_stats(pref, ScanMode::default())
+            .map(|(r, _)| r)
     }
 
     /// Algorithm 4 with an explicit scan mode, reporting per-query statistics.
@@ -156,8 +161,14 @@ impl<'a> AdaptiveSfs<'a> {
         pref: &Preference,
         mode: ScanMode,
     ) -> Result<(Vec<PointId>, QueryStats)> {
-        let (mut result, stats) =
-            evaluate_query(self.data, &self.template, &self.entries, &self.index, pref, mode)?;
+        let (mut result, stats) = evaluate_query(
+            self.data,
+            &self.template,
+            &self.entries,
+            &self.index,
+            pref,
+            mode,
+        )?;
         result.sort_unstable();
         Ok((result, stats))
     }
@@ -189,7 +200,9 @@ fn merged_order(
     pref.validate(data.schema())?;
     if let Some(template_pref) = template.implicit() {
         if !pref.refines(template_pref) {
-            return Err(SkylineError::NotARefinement { dimension: String::new() });
+            return Err(SkylineError::NotARefinement {
+                dimension: String::new(),
+            });
         }
     }
     let query_score = ScoreFn::for_preference(data.schema(), pref)?;
@@ -205,7 +218,10 @@ fn merged_order(
     reinserted.sort();
 
     let mut merged = Vec::with_capacity(entries.len());
-    let mut kept = entries.iter().filter(|e| !affected.contains(&e.point)).peekable();
+    let mut kept = entries
+        .iter()
+        .filter(|e| !affected.contains(&e.point))
+        .peekable();
     let mut moved = reinserted.iter().peekable();
     loop {
         match (kept.peek(), moved.peek()) {
@@ -294,7 +310,11 @@ impl Iterator for ProgressiveScan<'_> {
         while self.pos < self.merged.len() {
             let (p, is_affected) = self.merged[self.pos];
             self.pos += 1;
-            let opponents = if is_affected { &self.accepted } else { &self.accepted_affected };
+            let opponents = if is_affected {
+                &self.accepted
+            } else {
+                &self.accepted_affected
+            };
             let dominated = opponents.iter().any(|&q| self.ctx.dominates(q, p));
             if !dominated {
                 self.accepted.push(p);
@@ -330,7 +350,8 @@ mod tests {
             (2400.0, 2.0, "M"),
             (3000.0, 3.0, "M"),
         ] {
-            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()]).unwrap();
+            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()])
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -355,7 +376,14 @@ mod tests {
         let schema = data.schema().clone();
         let template = Template::empty(&schema);
         let asfs = AdaptiveSfs::build(&data, &template).unwrap();
-        for text in ["*", "T < M < *", "H < M < *", "H < M < T", "H < T < *", "M < *"] {
+        for text in [
+            "*",
+            "T < M < *",
+            "H < M < *",
+            "H < M < T",
+            "H < T < *",
+            "M < *",
+        ] {
             let pref = Preference::parse(&schema, [("hotel-group", text)]).unwrap();
             let ctx = DominanceContext::for_query(&data, &template, &pref).unwrap();
             let expected = bnl::skyline(&ctx);
@@ -372,7 +400,9 @@ mod tests {
         let template = Template::empty(&schema);
         let asfs = AdaptiveSfs::build(&data, &template).unwrap();
         let pref = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
-        let (result, stats) = asfs.query_with_stats(&pref, ScanMode::AffectedOnly).unwrap();
+        let (result, stats) = asfs
+            .query_with_stats(&pref, ScanMode::AffectedOnly)
+            .unwrap();
         // Affected = skyline points with hotel-group M = {e, f}.
         assert_eq!(stats.affected, 2);
         assert_eq!(stats.result_size, result.len());
@@ -390,7 +420,10 @@ mod tests {
         let mut streamed: Vec<PointId> = Vec::new();
         for p in asfs.query_progressive(&pref).unwrap() {
             // Progressiveness: every yielded point must be in the final answer.
-            assert!(full.contains(&p), "point {p} streamed but not in the skyline");
+            assert!(
+                full.contains(&p),
+                "point {p} streamed but not in the skyline"
+            );
             streamed.push(p);
         }
         let mut sorted = streamed.clone();
@@ -437,10 +470,8 @@ mod tests {
         let data = vacation_data();
         let template = Template::empty(data.schema());
         let asfs = AdaptiveSfs::build(&data, &template).unwrap();
-        let pref = Preference::from_dims(vec![
-            ImplicitPreference::none(),
-            ImplicitPreference::none(),
-        ]);
+        let pref =
+            Preference::from_dims(vec![ImplicitPreference::none(), ImplicitPreference::none()]);
         assert!(asfs.query(&pref).is_err());
     }
 
@@ -457,7 +488,9 @@ mod tests {
                     continue;
                 }
                 let pref = Preference::from_dims(vec![ImplicitPreference::new([a, b]).unwrap()]);
-                let (fast, _) = asfs.query_with_stats(&pref, ScanMode::AffectedOnly).unwrap();
+                let (fast, _) = asfs
+                    .query_with_stats(&pref, ScanMode::AffectedOnly)
+                    .unwrap();
                 let (slow, _) = asfs.query_with_stats(&pref, ScanMode::FullRescan).unwrap();
                 assert_eq!(fast, slow, "preference {a} < {b} < *");
             }

@@ -81,7 +81,11 @@ impl SkylineValueIndex {
     pub fn approximate_bytes(&self) -> usize {
         self.lists
             .iter()
-            .flat_map(|per_value| per_value.iter().map(|l| l.len() * std::mem::size_of::<PointId>()))
+            .flat_map(|per_value| {
+                per_value
+                    .iter()
+                    .map(|l| l.len() * std::mem::size_of::<PointId>())
+            })
             .sum()
     }
 }

@@ -34,12 +34,11 @@ pub struct MaintainedAdaptiveSfs {
 impl MaintainedAdaptiveSfs {
     /// Builds the structure, computing the initial template skyline with SFS.
     pub fn new(data: Dataset, template: Template) -> Result<Self> {
-        let template_pref = template
-            .implicit()
-            .cloned()
-            .ok_or_else(|| SkylineError::InvalidArgument(
+        let template_pref = template.implicit().cloned().ok_or_else(|| {
+            SkylineError::InvalidArgument(
                 "Adaptive SFS requires a template with an implicit form".into(),
-            ))?;
+            )
+        })?;
         template_pref.validate(data.schema())?;
         let template_score = ScoreFn::for_preference(data.schema(), &template_pref)?;
         let ctx = DominanceContext::for_template(&data, &template)?;
@@ -51,7 +50,14 @@ impl MaintainedAdaptiveSfs {
             .collect();
         let index = SkylineValueIndex::build(&data, &skyline);
         let deleted = vec![false; data.len()];
-        Ok(Self { data, template, template_score, list, index, deleted })
+        Ok(Self {
+            data,
+            template,
+            template_score,
+            list,
+            index,
+            deleted,
+        })
     }
 
     /// The underlying dataset (including rows that have been logically deleted).
@@ -106,7 +112,10 @@ impl MaintainedAdaptiveSfs {
                 self.index.remove(&self.data, q);
             }
         }
-        self.list.insert(ScoredEntry::new(p, self.template_score.score(&self.data, p)));
+        self.list.insert(ScoredEntry::new(
+            p,
+            self.template_score.score(&self.data, p),
+        ));
         self.index.insert(&self.data, p);
         Ok(p)
     }
@@ -117,7 +126,9 @@ impl MaintainedAdaptiveSfs {
     /// the live rows to find the points that resurface.
     pub fn delete_row(&mut self, p: PointId) -> Result<bool> {
         if (p as usize) >= self.data.len() {
-            return Err(SkylineError::InvalidArgument(format!("row {p} does not exist")));
+            return Err(SkylineError::InvalidArgument(format!(
+                "row {p} does not exist"
+            )));
         }
         if self.deleted[p as usize] {
             return Ok(false);
@@ -140,7 +151,9 @@ impl MaintainedAdaptiveSfs {
             if self.deleted[q as usize] || member_set.contains(&q) {
                 continue;
             }
-            if !members.iter().any(|&m| ctx.dominates(m, q)) && !resurfaced.iter().any(|&r| ctx.dominates(r, q)) {
+            if !members.iter().any(|&m| ctx.dominates(m, q))
+                && !resurfaced.iter().any(|&r| ctx.dominates(r, q))
+            {
                 resurfaced.push(q);
             }
         }
@@ -152,7 +165,10 @@ impl MaintainedAdaptiveSfs {
             .filter(|&q| !resurfaced.iter().any(|&r| ctx.dominates(r, q)))
             .collect();
         for q in confirmed {
-            self.list.insert(ScoredEntry::new(q, self.template_score.score(&self.data, q)));
+            self.list.insert(ScoredEntry::new(
+                q,
+                self.template_score.score(&self.data, q),
+            ));
             self.index.insert(&self.data, q);
         }
         Ok(true)
@@ -201,7 +217,8 @@ mod tests {
             (2400.0, 2.0, "M"),
             (3000.0, 3.0, "M"),
         ] {
-            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()]).unwrap();
+            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()])
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -209,7 +226,11 @@ mod tests {
     /// Brute-force skyline of the live rows only.
     fn oracle(m: &MaintainedAdaptiveSfs, pref: &Preference) -> Vec<PointId> {
         let ctx = DominanceContext::for_query(m.dataset(), m.template(), pref).unwrap();
-        let live: Vec<PointId> = m.dataset().point_ids().filter(|&p| !m.is_deleted(p)).collect();
+        let live: Vec<PointId> = m
+            .dataset()
+            .point_ids()
+            .filter(|&p| !m.is_deleted(p))
+            .collect();
         bnl::skyline_of(&ctx, &live)
     }
 
@@ -264,7 +285,11 @@ mod tests {
         let schema = m.dataset().schema().clone();
         for text in ["*", "T < M < *", "H < M < *", "M < *"] {
             let pref = Preference::parse(&schema, [("hotel-group", text)]).unwrap();
-            assert_eq!(m.query(&pref).unwrap(), oracle(&m, &pref), "preference {text}");
+            assert_eq!(
+                m.query(&pref).unwrap(),
+                oracle(&m, &pref),
+                "preference {text}"
+            );
         }
     }
 
@@ -294,7 +319,11 @@ mod tests {
         assert_eq!(m.query(&pref).unwrap(), oracle(&m, &pref));
         // The maintained skyline equals a from-scratch skyline of the live rows.
         let ctx = DominanceContext::for_template(m.dataset(), m.template()).unwrap();
-        let live: Vec<PointId> = m.dataset().point_ids().filter(|&p| !m.is_deleted(p)).collect();
+        let live: Vec<PointId> = m
+            .dataset()
+            .point_ids()
+            .filter(|&p| !m.is_deleted(p))
+            .collect();
         assert_eq!(m.template_skyline(), bnl::skyline_of(&ctx, &live));
     }
 

@@ -55,7 +55,9 @@ impl SortedList {
 
     /// Builds a list from entries (duplicates by `(score, point)` collapse).
     pub fn from_entries<I: IntoIterator<Item = ScoredEntry>>(entries: I) -> Self {
-        Self { entries: entries.into_iter().collect() }
+        Self {
+            entries: entries.into_iter().collect(),
+        }
     }
 
     /// Number of entries.
@@ -134,7 +136,10 @@ mod tests {
         assert!(list.insert(ScoredEntry::new(7, 3.5)));
         assert!(list.insert(ScoredEntry::new(2, 1.5)));
         assert!(list.insert(ScoredEntry::new(9, 2.5)));
-        assert!(!list.insert(ScoredEntry::new(9, 2.5)), "duplicate insert is a no-op");
+        assert!(
+            !list.insert(ScoredEntry::new(9, 2.5)),
+            "duplicate insert is a no-op"
+        );
         assert_eq!(list.len(), 3);
         assert_eq!(list.points_in_order(), vec![2, 9, 7]);
         assert!(list.contains(&ScoredEntry::new(9, 2.5)));
@@ -146,8 +151,9 @@ mod tests {
 
     #[test]
     fn from_iterator_and_to_vec() {
-        let list: SortedList =
-            [ScoredEntry::new(1, 9.0), ScoredEntry::new(2, 0.5)].into_iter().collect();
+        let list: SortedList = [ScoredEntry::new(1, 9.0), ScoredEntry::new(2, 0.5)]
+            .into_iter()
+            .collect();
         let v = list.to_vec();
         assert_eq!(v.len(), 2);
         assert_eq!(v[0].point, 2);

@@ -14,7 +14,11 @@ const N: usize = 1_500;
 const QUERIES: usize = 10;
 
 fn bench_ablations(c: &mut Criterion) {
-    let config = ExperimentConfig { n: N, cardinality: 12, ..ExperimentConfig::paper_default() };
+    let config = ExperimentConfig {
+        n: N,
+        cardinality: 12,
+        ..ExperimentConfig::paper_default()
+    };
     let data = config.generate_dataset();
     let template = config.template(&data);
     let mut generator = config.query_generator();
@@ -25,15 +29,34 @@ fn bench_ablations(c: &mut Criterion) {
     let mut build_group = c.benchmark_group("ablation_ipo_build_strategy");
     build_group.sample_size(10);
     build_group.bench_function("mdc", |b| {
-        b.iter(|| black_box(IpoTreeBuilder::new().strategy(BuildStrategy::Mdc).build(&data, &template).unwrap()))
+        b.iter(|| {
+            black_box(
+                IpoTreeBuilder::new()
+                    .strategy(BuildStrategy::Mdc)
+                    .build(&data, &template)
+                    .unwrap(),
+            )
+        })
     });
     build_group.bench_function("direct", |b| {
         b.iter(|| {
-            black_box(IpoTreeBuilder::new().strategy(BuildStrategy::Direct).build(&data, &template).unwrap())
+            black_box(
+                IpoTreeBuilder::new()
+                    .strategy(BuildStrategy::Direct)
+                    .build(&data, &template)
+                    .unwrap(),
+            )
         })
     });
     build_group.bench_function("mdc_parallel", |b| {
-        b.iter(|| black_box(IpoTreeBuilder::new().parallel(true).build(&data, &template).unwrap()))
+        b.iter(|| {
+            black_box(
+                IpoTreeBuilder::new()
+                    .parallel(true)
+                    .build(&data, &template)
+                    .unwrap(),
+            )
+        })
     });
     build_group.finish();
 

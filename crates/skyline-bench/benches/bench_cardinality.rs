@@ -14,18 +14,29 @@ fn bench_vs_cardinality(c: &mut Criterion) {
     let mut build_group = c.benchmark_group("fig6_build_time_vs_cardinality");
     build_group.sample_size(10);
     for cardinality in [10usize, 20, 30] {
-        let config = ExperimentConfig { n: N, cardinality, ..ExperimentConfig::paper_default() };
+        let config = ExperimentConfig {
+            n: N,
+            cardinality,
+            ..ExperimentConfig::paper_default()
+        };
         let data = config.generate_dataset();
         let template = config.template(&data);
-        build_group.bench_with_input(BenchmarkId::new("ipo_tree_build", cardinality), &cardinality, |b, _| {
-            b.iter(|| black_box(IpoTreeBuilder::new().build(&data, &template).unwrap()))
-        });
+        build_group.bench_with_input(
+            BenchmarkId::new("ipo_tree_build", cardinality),
+            &cardinality,
+            |b, _| b.iter(|| black_box(IpoTreeBuilder::new().build(&data, &template).unwrap())),
+        );
         build_group.bench_with_input(
             BenchmarkId::new("ipo_tree10_build", cardinality),
             &cardinality,
             |b, _| {
                 b.iter(|| {
-                    black_box(IpoTreeBuilder::new().top_k_values(10).build(&data, &template).unwrap())
+                    black_box(
+                        IpoTreeBuilder::new()
+                            .top_k_values(10)
+                            .build(&data, &template)
+                            .unwrap(),
+                    )
                 })
             },
         );
@@ -35,29 +46,46 @@ fn bench_vs_cardinality(c: &mut Criterion) {
     let mut query_group = c.benchmark_group("fig6_query_time_vs_cardinality");
     query_group.sample_size(10);
     for cardinality in [10usize, 20, 30] {
-        let config = ExperimentConfig { n: N, cardinality, ..ExperimentConfig::paper_default() };
+        let config = ExperimentConfig {
+            n: N,
+            cardinality,
+            ..ExperimentConfig::paper_default()
+        };
         let data = config.generate_dataset();
         let template = config.template(&data);
         let mut generator = config.query_generator();
-        let queries =
-            generator.random_preferences(data.schema(), &template, config.pref_order, QUERIES, None);
+        let queries = generator.random_preferences(
+            data.schema(),
+            &template,
+            config.pref_order,
+            QUERIES,
+            None,
+        );
         let tree = IpoTreeBuilder::new().build(&data, &template).unwrap();
         let asfs = AdaptiveSfs::build(&data, &template).unwrap();
 
-        query_group.bench_with_input(BenchmarkId::new("ipo_tree", cardinality), &cardinality, |b, _| {
-            b.iter(|| {
-                for q in &queries {
-                    black_box(tree.query(&data, q).unwrap());
-                }
-            })
-        });
-        query_group.bench_with_input(BenchmarkId::new("sfs_a", cardinality), &cardinality, |b, _| {
-            b.iter(|| {
-                for q in &queries {
-                    black_box(asfs.query(q).unwrap());
-                }
-            })
-        });
+        query_group.bench_with_input(
+            BenchmarkId::new("ipo_tree", cardinality),
+            &cardinality,
+            |b, _| {
+                b.iter(|| {
+                    for q in &queries {
+                        black_box(tree.query(&data, q).unwrap());
+                    }
+                })
+            },
+        );
+        query_group.bench_with_input(
+            BenchmarkId::new("sfs_a", cardinality),
+            &cardinality,
+            |b, _| {
+                b.iter(|| {
+                    for q in &queries {
+                        black_box(asfs.query(q).unwrap());
+                    }
+                })
+            },
+        );
     }
     query_group.finish();
 }

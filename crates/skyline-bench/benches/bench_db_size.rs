@@ -16,16 +16,27 @@ fn bench_query_time_vs_db_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_query_time_vs_db_size");
     group.sample_size(10);
     for &n in &SIZES {
-        let config = ExperimentConfig { n, ..ExperimentConfig::paper_default() };
+        let config = ExperimentConfig {
+            n,
+            ..ExperimentConfig::paper_default()
+        };
         let data = config.generate_dataset();
         let template = config.template(&data);
         let mut generator = config.query_generator();
-        let queries =
-            generator.random_preferences(data.schema(), &template, config.pref_order, QUERIES, None);
+        let queries = generator.random_preferences(
+            data.schema(),
+            &template,
+            config.pref_order,
+            QUERIES,
+            None,
+        );
 
-        let tree = IpoTreeBuilder::new().build(&data, &template).expect("tree builds");
+        let tree = IpoTreeBuilder::new()
+            .build(&data, &template)
+            .expect("tree builds");
         let asfs = AdaptiveSfs::build(&data, &template).expect("adaptive builds");
-        let sfsd = SkylineEngine::build(&data, template.clone(), EngineConfig::SfsD).expect("baseline builds");
+        let sfsd = SkylineEngine::build(&data, template.clone(), EngineConfig::SfsD)
+            .expect("baseline builds");
 
         group.bench_with_input(BenchmarkId::new("ipo_tree", n), &n, |b, _| {
             b.iter(|| {

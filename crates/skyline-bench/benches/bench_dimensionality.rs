@@ -23,27 +23,42 @@ fn bench_query_time_vs_dimensionality(c: &mut Criterion) {
         let data = config.generate_dataset();
         let template = config.template(&data);
         let mut generator = config.query_generator();
-        let queries =
-            generator.random_preferences(data.schema(), &template, config.pref_order, QUERIES, None);
+        let queries = generator.random_preferences(
+            data.schema(),
+            &template,
+            config.pref_order,
+            QUERIES,
+            None,
+        );
         let total_dims = config.total_dims();
 
-        let tree = IpoTreeBuilder::new().build(&data, &template).expect("tree builds");
+        let tree = IpoTreeBuilder::new()
+            .build(&data, &template)
+            .expect("tree builds");
         let asfs = AdaptiveSfs::build(&data, &template).expect("adaptive builds");
 
-        group.bench_with_input(BenchmarkId::new("ipo_tree", total_dims), &total_dims, |b, _| {
-            b.iter(|| {
-                for q in &queries {
-                    black_box(tree.query(&data, q).unwrap());
-                }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("sfs_a", total_dims), &total_dims, |b, _| {
-            b.iter(|| {
-                for q in &queries {
-                    black_box(asfs.query(q).unwrap());
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ipo_tree", total_dims),
+            &total_dims,
+            |b, _| {
+                b.iter(|| {
+                    for q in &queries {
+                        black_box(tree.query(&data, q).unwrap());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sfs_a", total_dims),
+            &total_dims,
+            |b, _| {
+                b.iter(|| {
+                    for q in &queries {
+                        black_box(asfs.query(q).unwrap());
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -15,9 +15,12 @@ fn bench_nursery_query_time(c: &mut Criterion) {
     // Empty template: every Nursery value is equally frequent, so there is no meaningful
     // "most frequent value" preference (see `run_nursery_cell`).
     let template = Template::empty(data.schema());
-    let tree = IpoTreeBuilder::new().build(&data, &template).expect("tree builds");
+    let tree = IpoTreeBuilder::new()
+        .build(&data, &template)
+        .expect("tree builds");
     let asfs = AdaptiveSfs::build(&data, &template).expect("adaptive builds");
-    let sfsd = SkylineEngine::build(&data, template.clone(), EngineConfig::SfsD).expect("baseline builds");
+    let sfsd =
+        SkylineEngine::build(&data, template.clone(), EngineConfig::SfsD).expect("baseline builds");
 
     let mut group = c.benchmark_group("fig8_nursery_query_time");
     group.sample_size(10);

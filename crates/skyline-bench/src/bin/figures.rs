@@ -13,7 +13,9 @@
 //! which takes hours, exactly as the paper's own preprocessing-time plots indicate.
 
 use skyline::datagen::ExperimentConfig;
-use skyline_bench::{print_cells, print_figure_header, run_nursery_cell, run_synthetic_cell, CellResult};
+use skyline_bench::{
+    print_cells, print_figure_header, run_nursery_cell, run_synthetic_cell, CellResult,
+};
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
@@ -41,7 +43,11 @@ fn parse_args() -> Options {
             "--paper-scale" => paper_scale = true,
             "--csv" => csv_path = Some(args.next().unwrap_or_else(|| usage("--csv needs a path"))),
             "--help" | "-h" => usage(""),
-            name if name.starts_with("fig") || name == "all" || name == "hybrid" || name == "table4" => {
+            name if name.starts_with("fig")
+                || name == "all"
+                || name == "hybrid"
+                || name == "table4" =>
+            {
                 figures.push(name.to_string());
             }
             other => usage(&format!("unknown argument `{other}`")),
@@ -56,7 +62,12 @@ fn parse_args() -> Options {
     if queries == 0 {
         queries = if paper_scale { 100 } else { 20 };
     }
-    Options { figures, queries, paper_scale, csv_path }
+    Options {
+        figures,
+        queries,
+        paper_scale,
+        csv_path,
+    }
 }
 
 fn usage(error: &str) -> ! {
@@ -74,7 +85,10 @@ fn base_config(paper_scale: bool) -> ExperimentConfig {
         ExperimentConfig::paper_default()
     } else {
         // Scaled-down defaults: same shape as Table 4, laptop-sized N.
-        ExperimentConfig { n: 8_000, ..ExperimentConfig::paper_default() }
+        ExperimentConfig {
+            n: 8_000,
+            ..ExperimentConfig::paper_default()
+        }
     }
 }
 
@@ -116,9 +130,15 @@ fn print_table4(config: &ExperimentConfig) {
         ("No. of tuples", config.n.to_string()),
         ("No. of numeric dimensions", config.numeric_dims.to_string()),
         ("No. of nominal dimensions", config.nominal_dims.to_string()),
-        ("No. of values in a nominal dimension", config.cardinality.to_string()),
+        (
+            "No. of values in a nominal dimension",
+            config.cardinality.to_string(),
+        ),
         ("Zipfian parameter theta", format!("{}", config.theta)),
-        ("Order of implicit preference", config.pref_order.to_string()),
+        (
+            "Order of implicit preference",
+            config.pref_order.to_string(),
+        ),
         ("Distribution", config.distribution.name().to_string()),
     ]);
     for (k, v) in rows {
@@ -127,7 +147,11 @@ fn print_table4(config: &ExperimentConfig) {
 }
 
 fn run_fig4(options: &Options) -> (String, Vec<CellResult>) {
-    print_figure_header("Figure 4", "No. of points (in thousands)", "scalability with respect to database size");
+    print_figure_header(
+        "Figure 4",
+        "No. of points (in thousands)",
+        "scalability with respect to database size",
+    );
     let base = base_config(options.paper_scale);
     let sizes: Vec<usize> = if options.paper_scale {
         vec![250_000, 500_000, 750_000, 1_000_000]
@@ -155,10 +179,19 @@ fn run_fig5(options: &Options) -> (String, Vec<CellResult>) {
     // heaviest experiment of the paper (its Figure 5(a) tops out near 10^6 seconds). At the
     // scaled default we therefore also scale the cardinality and N down for this sweep;
     // `--paper-scale` keeps the original Table 4 values.
-    let (n, cardinality) = if options.paper_scale { (base.n, base.cardinality) } else { (base.n / 2, 10) };
+    let (n, cardinality) = if options.paper_scale {
+        (base.n, base.cardinality)
+    } else {
+        (base.n / 2, 10)
+    };
     let cells = (1..=4usize)
         .map(|nominal| {
-            let config = ExperimentConfig { n, cardinality, nominal_dims: nominal, ..base.clone() };
+            let config = ExperimentConfig {
+                n,
+                cardinality,
+                nominal_dims: nominal,
+                ..base.clone()
+            };
             run_synthetic_cell(&config, options.queries, format!("{}", config.total_dims()))
         })
         .collect();
@@ -166,14 +199,24 @@ fn run_fig5(options: &Options) -> (String, Vec<CellResult>) {
 }
 
 fn run_fig6(options: &Options) -> (String, Vec<CellResult>) {
-    print_figure_header("Figure 6", "cardinality of nominal attribute", "effect of nominal cardinality");
+    print_figure_header(
+        "Figure 6",
+        "cardinality of nominal attribute",
+        "effect of nominal cardinality",
+    );
     let base = base_config(options.paper_scale);
-    let cardinalities: Vec<usize> =
-        if options.paper_scale { vec![10, 15, 20, 25, 30, 35, 40] } else { vec![10, 20, 30, 40] };
+    let cardinalities: Vec<usize> = if options.paper_scale {
+        vec![10, 15, 20, 25, 30, 35, 40]
+    } else {
+        vec![10, 20, 30, 40]
+    };
     let cells = cardinalities
         .into_iter()
         .map(|cardinality| {
-            let config = ExperimentConfig { cardinality, ..base.clone() };
+            let config = ExperimentConfig {
+                cardinality,
+                ..base.clone()
+            };
             run_synthetic_cell(&config, options.queries, cardinality.to_string())
         })
         .collect();
@@ -181,11 +224,18 @@ fn run_fig6(options: &Options) -> (String, Vec<CellResult>) {
 }
 
 fn run_fig7(options: &Options) -> (String, Vec<CellResult>) {
-    print_figure_header("Figure 7", "order of implicit preference", "effect of preference order");
+    print_figure_header(
+        "Figure 7",
+        "order of implicit preference",
+        "effect of preference order",
+    );
     let base = base_config(options.paper_scale);
     let cells = (1..=4usize)
         .map(|order| {
-            let config = ExperimentConfig { pref_order: order, ..base.clone() };
+            let config = ExperimentConfig {
+                pref_order: order,
+                ..base.clone()
+            };
             run_synthetic_cell(&config, options.queries, order.to_string())
         })
         .collect();
@@ -193,8 +243,14 @@ fn run_fig7(options: &Options) -> (String, Vec<CellResult>) {
 }
 
 fn run_fig8(options: &Options) -> (String, Vec<CellResult>) {
-    print_figure_header("Figure 8", "order of implicit preference", "real data set (UCI Nursery)");
-    let cells = (0..=3usize).map(|order| run_nursery_cell(order, options.queries)).collect();
+    print_figure_header(
+        "Figure 8",
+        "order of implicit preference",
+        "real data set (UCI Nursery)",
+    );
+    let cells = (0..=3usize)
+        .map(|order| run_nursery_cell(order, options.queries))
+        .collect();
     ("order".to_string(), cells)
 }
 
@@ -203,7 +259,11 @@ fn run_hybrid(options: &Options) {
     use skyline::prelude::*;
     use std::time::Instant;
 
-    print_figure_header("Section 5.3", "strategy", "hybrid IPO-tree + Adaptive-SFS evaluation");
+    print_figure_header(
+        "Section 5.3",
+        "strategy",
+        "hybrid IPO-tree + Adaptive-SFS evaluation",
+    );
     let config = ExperimentConfig {
         cardinality: 20,
         ..base_config(options.paper_scale)
@@ -211,16 +271,25 @@ fn run_hybrid(options: &Options) {
     let data = config.generate_dataset();
     let template = config.template(&data);
     let mut generator = config.query_generator();
-    let queries =
-        generator.random_preferences(data.schema(), &template, config.pref_order, options.queries.max(20), None);
+    let queries = generator.random_preferences(
+        data.schema(),
+        &template,
+        config.pref_order,
+        options.queries.max(20),
+        None,
+    );
 
     for (name, engine_config) in [
-        ("Hybrid (IPO-10 + SFS-A)", EngineConfig::Hybrid { top_k: 10 }),
+        (
+            "Hybrid (IPO-10 + SFS-A)",
+            EngineConfig::Hybrid { top_k: 10 },
+        ),
         ("IPO Tree (full)", EngineConfig::IpoTree),
         ("SFS-A", EngineConfig::AdaptiveSfs),
     ] {
         let build_start = Instant::now();
-        let engine = SkylineEngine::build(&data, template.clone(), engine_config).expect("engine builds");
+        let engine =
+            SkylineEngine::build(&data, template.clone(), engine_config).expect("engine builds");
         let build_s = build_start.elapsed().as_secs_f64();
         let mut tree_answers = 0usize;
         let query_start = Instant::now();

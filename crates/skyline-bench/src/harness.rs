@@ -65,12 +65,21 @@ pub const TOP_K: usize = 10;
 /// `config.pref_order` are generated; all methods answer the same workload. The expensive
 /// SFS-D baseline is run on at most `num_queries.min(5)` of them — its per-query cost does not
 /// depend on the preference, so a handful of repetitions gives a stable average.
-pub fn run_synthetic_cell(config: &ExperimentConfig, num_queries: usize, label: String) -> CellResult {
+pub fn run_synthetic_cell(
+    config: &ExperimentConfig,
+    num_queries: usize,
+    label: String,
+) -> CellResult {
     let data = config.generate_dataset();
     let template = config.template(&data);
     let mut generator = config.query_generator();
-    let queries =
-        generator.random_preferences(data.schema(), &template, config.pref_order, num_queries, None);
+    let queries = generator.random_preferences(
+        data.schema(),
+        &template,
+        config.pref_order,
+        num_queries,
+        None,
+    );
     // A second workload restricted to the materialized values, so the truncated tree can be
     // timed on queries it can actually answer (unpopular values go to the hybrid fallback in
     // practice, see Section 5.3).
@@ -110,20 +119,29 @@ fn run_cell_on(
 ) -> CellResult {
     // --- IPO Tree (full materialization). -------------------------------------------------
     let started = Instant::now();
-    let ipo_full = IpoTreeBuilder::new().build(&data, &template).expect("full IPO tree builds");
+    let ipo_full = IpoTreeBuilder::new()
+        .build(&data, &template)
+        .expect("full IPO tree builds");
     let ipo_full_build = started.elapsed().as_secs_f64();
     let ipo_full_storage = storage::ipo_tree_storage(&ipo_full).total_bytes();
     let ipo_full_query = time_queries(queries.len(), |i| {
-        ipo_full.query(&data, &queries[i]).expect("materialized query succeeds");
+        ipo_full
+            .query(&data, &queries[i])
+            .expect("materialized query succeeds");
     });
 
     // --- IPO Tree-10 (truncated to the most frequent values). ------------------------------
     let started = Instant::now();
-    let ipo_10 = IpoTreeBuilder::new().top_k_values(TOP_K).build(&data, &template).expect("truncated tree builds");
+    let ipo_10 = IpoTreeBuilder::new()
+        .top_k_values(TOP_K)
+        .build(&data, &template)
+        .expect("truncated tree builds");
     let ipo_10_build = started.elapsed().as_secs_f64();
     let ipo_10_storage = storage::ipo_tree_storage(&ipo_10).total_bytes();
     let ipo_10_query = time_queries(popular_queries.len(), |i| {
-        ipo_10.query(&data, &popular_queries[i]).expect("popular-value query succeeds");
+        ipo_10
+            .query(&data, &popular_queries[i])
+            .expect("popular-value query succeeds");
     });
 
     // --- SFS-A (Adaptive SFS). --------------------------------------------------------------
@@ -138,9 +156,12 @@ fn run_cell_on(
     // --- SFS-D (baseline, no preprocessing). ------------------------------------------------
     let sfsd_engine = SkylineEngine::build(&data, template.clone(), EngineConfig::SfsD)
         .expect("baseline engine builds");
-    let sfsd_runs = queries.len().min(5).max(1);
+    // At most 5 timed runs (SFS-D is the slow baseline); 0 queries → 0 runs, not a panic.
+    let sfsd_runs = queries.len().min(5);
     let sfsd_query = time_queries(sfsd_runs, |i| {
-        sfsd_engine.query(&queries[i]).expect("baseline query succeeds");
+        sfsd_engine
+            .query(&queries[i])
+            .expect("baseline query succeeds");
     });
 
     // --- Ratio panel (averaged over the workload, using the IPO answers). --------------------
@@ -248,7 +269,10 @@ mod tests {
 
     #[test]
     fn truncated_tree_is_cheaper_than_the_full_tree() {
-        let config = ExperimentConfig { cardinality: 15, ..tiny_config() };
+        let config = ExperimentConfig {
+            cardinality: 15,
+            ..tiny_config()
+        };
         let cell = run_synthetic_cell(&config, 3, "c15".into());
         let full = cell.method("IPO Tree").unwrap();
         let truncated = cell.method("IPO Tree-10").unwrap();

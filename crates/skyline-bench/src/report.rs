@@ -6,7 +6,9 @@ use crate::harness::CellResult;
 pub fn print_figure_header(figure: &str, x_axis: &str, description: &str) {
     println!();
     println!("==== {figure} — {description} ====");
-    println!("(x-axis: {x_axis}; times in seconds, storage in MB; series as in the paper's legend)");
+    println!(
+        "(x-axis: {x_axis}; times in seconds, storage in MB; series as in the paper's legend)"
+    );
 }
 
 /// Prints the four panels — preprocessing time, query time, storage and ratios — for a sweep.
@@ -23,7 +25,10 @@ pub fn print_cells(x_axis: &str, cells: &[CellResult]) {
     for cell in cells {
         print!("{:<14}", cell.label);
         for m in &methods[..3] {
-            print!("{:>14.4}", cell.method(m).map_or(0.0, |x| x.preprocess_seconds));
+            print!(
+                "{:>14.4}",
+                cell.method(m).map_or(0.0, |x| x.preprocess_seconds)
+            );
         }
         println!();
     }
@@ -38,7 +43,10 @@ pub fn print_cells(x_axis: &str, cells: &[CellResult]) {
     for cell in cells {
         print!("{:<14}", cell.label);
         for m in &methods {
-            print!("{:>14.6}", cell.method(m).map_or(0.0, |x| x.avg_query_seconds));
+            print!(
+                "{:>14.6}",
+                cell.method(m).map_or(0.0, |x| x.avg_query_seconds)
+            );
         }
         println!();
     }
@@ -53,7 +61,9 @@ pub fn print_cells(x_axis: &str, cells: &[CellResult]) {
     for cell in cells {
         print!("{:<14}", cell.label);
         for m in &methods {
-            let mb = cell.method(m).map_or(0.0, |x| x.storage_bytes as f64 / (1024.0 * 1024.0));
+            let mb = cell
+                .method(m)
+                .map_or(0.0, |x| x.storage_bytes as f64 / (1024.0 * 1024.0));
             print!("{mb:>14.3}");
         }
         println!();
@@ -68,7 +78,10 @@ pub fn print_cells(x_axis: &str, cells: &[CellResult]) {
     for cell in cells {
         println!(
             "{:<14}{:>18.2}{:>24.2}{:>22.2}",
-            cell.label, cell.ratios.template_skyline_pct, cell.ratios.affected_pct, cell.ratios.query_skyline_pct
+            cell.label,
+            cell.ratios.template_skyline_pct,
+            cell.ratios.affected_pct,
+            cell.ratios.query_skyline_pct
         );
     }
     println!();
@@ -122,7 +135,11 @@ mod tests {
                     storage_bytes: 1024,
                 },
             ],
-            ratios: RatioMetrics { template_skyline_pct: 12.5, affected_pct: 40.0, query_skyline_pct: 80.0 },
+            ratios: RatioMetrics {
+                template_skyline_pct: 12.5,
+                affected_pct: 40.0,
+                query_skyline_pct: 80.0,
+            },
             dataset_size: 1000,
             template_skyline_size: 125,
         }
@@ -139,7 +156,11 @@ mod tests {
 
     #[test]
     fn printing_does_not_panic() {
-        print_figure_header("Figure 4", "tuples (thousands)", "scalability with database size");
+        print_figure_header(
+            "Figure 4",
+            "tuples (thousands)",
+            "scalability with database size",
+        );
         print_cells("n", &[fake_cell("250")]);
     }
 }

@@ -85,7 +85,8 @@ mod tests {
             (2400.0, 2.0, "M"),
             (3000.0, 3.0, "M"),
         ] {
-            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()]).unwrap();
+            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()])
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -105,11 +106,11 @@ mod tests {
         let schema = data.schema().clone();
         let template = Template::empty(&schema);
         let cases = [
-            ("T < M < *", vec![0, 2]),       // Alice
-            ("H < M < *", vec![0, 2, 4]),    // Chris
-            ("H < M < T", vec![0, 2, 4]),    // David
-            ("H < T < *", vec![0, 2]),       // Emily
-            ("M < *", vec![0, 2, 4, 5]),     // Fred
+            ("T < M < *", vec![0, 2]),    // Alice
+            ("H < M < *", vec![0, 2, 4]), // Chris
+            ("H < M < T", vec![0, 2, 4]), // David
+            ("H < T < *", vec![0, 2]),    // Emily
+            ("M < *", vec![0, 2, 4, 5]),  // Fred
         ];
         for (text, expected) in cases {
             let pref = Preference::parse(&schema, [("hotel-group", text)]).unwrap();
@@ -139,7 +140,11 @@ mod tests {
         assert_eq!(stats.skyline_size, sky.len());
         assert_eq!(stats.points_scanned, 6);
         assert!(stats.dominance_tests > 0);
-        assert!(verify_skyline(&ctx, &data.point_ids().collect::<Vec<_>>(), &sky));
+        assert!(verify_skyline(
+            &ctx,
+            &data.point_ids().collect::<Vec<_>>(),
+            &sky
+        ));
     }
 
     #[test]

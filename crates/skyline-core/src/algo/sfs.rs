@@ -111,7 +111,8 @@ mod tests {
             (2400.0, 2.0, "M"),
             (3000.0, 3.0, "M"),
         ] {
-            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()]).unwrap();
+            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()])
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -121,7 +122,14 @@ mod tests {
         let data = vacation_data();
         let schema = data.schema().clone();
         let template = Template::empty(&schema);
-        for text in ["*", "T < M < *", "H < M < *", "H < M < T", "H < T < *", "M < *"] {
+        for text in [
+            "*",
+            "T < M < *",
+            "H < M < *",
+            "H < M < T",
+            "H < T < *",
+            "M < *",
+        ] {
             let pref = Preference::parse(&schema, [("hotel-group", text)]).unwrap();
             let ctx = DominanceContext::for_query(&data, &template, &pref).unwrap();
             let expected = bnl::skyline(&ctx);
@@ -144,7 +152,10 @@ mod tests {
         let full = scan_presorted(&ctx, &sorted);
         for k in 0..sorted.len() {
             let partial = scan_presorted(&ctx, &sorted[..k]);
-            assert!(partial.iter().all(|p| full.contains(p)), "prefix scan emitted a non-skyline point");
+            assert!(
+                partial.iter().all(|p| full.contains(p)),
+                "prefix scan emitted a non-skyline point"
+            );
         }
     }
 
@@ -155,7 +166,8 @@ mod tests {
         let pref = Preference::none(1);
         let ctx = DominanceContext::for_query(&data, &template, &pref).unwrap();
         let score = ScoreFn::for_preference(data.schema(), &pref).unwrap();
-        let (sky, stats) = skyline_sorted_with_stats(&ctx, &score, &data.point_ids().collect::<Vec<_>>());
+        let (sky, stats) =
+            skyline_sorted_with_stats(&ctx, &score, &data.point_ids().collect::<Vec<_>>());
         assert_eq!(stats.points_scanned, 6);
         assert_eq!(stats.skyline_size, sky.len());
         assert_eq!(sky.len(), 4);

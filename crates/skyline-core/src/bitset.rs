@@ -17,7 +17,10 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set able to hold bits `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        Self { words: vec![0; capacity.div_ceil(64)], capacity }
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// Creates a set with every bit in `0..capacity` set.
@@ -56,14 +59,22 @@ impl BitSet {
     /// Sets bit `i`. Panics if `i >= capacity`.
     #[inline]
     pub fn insert(&mut self, i: usize) {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
     /// Clears bit `i`. Panics if `i >= capacity`.
     #[inline]
     pub fn remove(&mut self, i: usize) {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / 64] &= !(1u64 << (i % 64));
     }
 
@@ -141,7 +152,10 @@ impl BitSet {
     /// True when `self` is a subset of `other` (every set bit of `self` is set in `other`).
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.capacity, other.capacity);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// True when the two sets share at least one set bit.

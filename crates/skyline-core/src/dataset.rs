@@ -57,7 +57,12 @@ impl Dataset {
     pub fn empty(schema: Schema) -> Self {
         let numeric_cols = vec![Vec::new(); schema.numeric_count()];
         let nominal_cols = vec![Vec::new(); schema.nominal_count()];
-        Self { schema, numeric_cols, nominal_cols, len: 0 }
+        Self {
+            schema,
+            numeric_cols,
+            nominal_cols,
+            len: 0,
+        }
     }
 
     /// Builds a dataset directly from pre-assembled columns.
@@ -69,7 +74,9 @@ impl Dataset {
         numeric_cols: Vec<Vec<f64>>,
         nominal_cols: Vec<Vec<ValueId>>,
     ) -> Result<Self> {
-        if numeric_cols.len() != schema.numeric_count() || nominal_cols.len() != schema.nominal_count() {
+        if numeric_cols.len() != schema.numeric_count()
+            || nominal_cols.len() != schema.nominal_count()
+        {
             return Err(SkylineError::RowShapeMismatch {
                 expected: schema.arity(),
                 got: numeric_cols.len() + nominal_cols.len(),
@@ -82,12 +89,16 @@ impl Dataset {
             .unwrap_or(0);
         for col in &numeric_cols {
             if col.len() != len {
-                return Err(SkylineError::InvalidArgument("ragged numeric columns".into()));
+                return Err(SkylineError::InvalidArgument(
+                    "ragged numeric columns".into(),
+                ));
             }
         }
         for (j, col) in nominal_cols.iter().enumerate() {
             if col.len() != len {
-                return Err(SkylineError::InvalidArgument("ragged nominal columns".into()));
+                return Err(SkylineError::InvalidArgument(
+                    "ragged nominal columns".into(),
+                ));
             }
             let card = schema.nominal_domain(j).map_or(0, |d| d.cardinality());
             if let Some(&v) = col.iter().find(|&&v| (v as usize) >= card) {
@@ -102,7 +113,12 @@ impl Dataset {
                 });
             }
         }
-        Ok(Self { schema, numeric_cols, nominal_cols, len })
+        Ok(Self {
+            schema,
+            numeric_cols,
+            nominal_cols,
+            len,
+        })
     }
 
     /// The dataset schema.
@@ -159,7 +175,9 @@ impl Dataset {
     /// Appends a row given values for the numeric dimensions (in numeric-index order) and
     /// value ids for the nominal dimensions (in nominal-index order). Returns the new row id.
     pub fn push_row_ids(&mut self, numeric: &[f64], nominal: &[ValueId]) -> Result<PointId> {
-        if numeric.len() != self.schema.numeric_count() || nominal.len() != self.schema.nominal_count() {
+        if numeric.len() != self.schema.numeric_count()
+            || nominal.len() != self.schema.nominal_count()
+        {
             return Err(SkylineError::RowShapeMismatch {
                 expected: self.schema.arity(),
                 got: numeric.len() + nominal.len(),
@@ -173,7 +191,11 @@ impl Dataset {
                     .dimension(self.schema.schema_index_of_nominal(j).unwrap_or(0))
                     .map(|d| d.name().to_string())
                     .unwrap_or_default();
-                return Err(SkylineError::ValueOutOfDomain { dimension: name, value: v as u32, cardinality: card });
+                return Err(SkylineError::ValueOutOfDomain {
+                    dimension: name,
+                    value: v as u32,
+                    cardinality: card,
+                });
             }
         }
         for (col, &v) in self.numeric_cols.iter_mut().zip(numeric) {
@@ -193,7 +215,10 @@ impl Dataset {
     /// paper's default template ("most frequent value preferred") and the popular values kept
     /// by the truncated IPO tree.
     pub fn nominal_value_frequencies(&self, nominal_index: usize) -> Vec<usize> {
-        let card = self.schema.nominal_domain(nominal_index).map_or(0, |d| d.cardinality());
+        let card = self
+            .schema
+            .nominal_domain(nominal_index)
+            .map_or(0, |d| d.cardinality());
         let mut freq = vec![0usize; card];
         for &v in &self.nominal_cols[nominal_index] {
             freq[v as usize] += 1;
@@ -211,8 +236,15 @@ impl Dataset {
 
     /// Approximate in-memory footprint of the raw data in bytes (used for the storage plots).
     pub fn approximate_bytes(&self) -> usize {
-        self.numeric_cols.iter().map(|c| c.len() * std::mem::size_of::<f64>()).sum::<usize>()
-            + self.nominal_cols.iter().map(|c| c.len() * std::mem::size_of::<ValueId>()).sum::<usize>()
+        self.numeric_cols
+            .iter()
+            .map(|c| c.len() * std::mem::size_of::<f64>())
+            .sum::<usize>()
+            + self
+                .nominal_cols
+                .iter()
+                .map(|c| c.len() * std::mem::size_of::<ValueId>())
+                .sum::<usize>()
     }
 }
 
@@ -230,7 +262,11 @@ pub struct DatasetBuilder {
 impl DatasetBuilder {
     /// Starts building a dataset with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Self { schema, rows_numeric: Vec::new(), rows_nominal: Vec::new() }
+        Self {
+            schema,
+            rows_numeric: Vec::new(),
+            rows_nominal: Vec::new(),
+        }
     }
 
     /// Appends one row. `values` must supply one [`RowValue`] per schema dimension, in schema
@@ -250,7 +286,11 @@ impl DatasetBuilder {
         let mut numeric = Vec::with_capacity(self.schema.numeric_count());
         let mut nominal = Vec::with_capacity(self.schema.nominal_count());
         for (i, value) in values.into_iter().enumerate() {
-            let dim_name = self.schema.dimension(i).map(|d| d.name().to_string()).unwrap_or_default();
+            let dim_name = self
+                .schema
+                .dimension(i)
+                .map(|d| d.name().to_string())
+                .unwrap_or_default();
             let kind_is_numeric = self
                 .schema
                 .dimension(i)
@@ -329,9 +369,24 @@ mod tests {
     #[test]
     fn builder_interns_labels_and_builds_columns() {
         let mut b = DatasetBuilder::new(schema());
-        b.push_row([RowValue::Num(1600.0), RowValue::Num(-4.0), RowValue::Label("T".into())]).unwrap();
-        b.push_row([RowValue::Num(2400.0), RowValue::Num(-1.0), RowValue::Label("T".into())]).unwrap();
-        b.push_row([RowValue::Num(3000.0), RowValue::Num(-5.0), RowValue::Label("H".into())]).unwrap();
+        b.push_row([
+            RowValue::Num(1600.0),
+            RowValue::Num(-4.0),
+            RowValue::Label("T".into()),
+        ])
+        .unwrap();
+        b.push_row([
+            RowValue::Num(2400.0),
+            RowValue::Num(-1.0),
+            RowValue::Label("T".into()),
+        ])
+        .unwrap();
+        b.push_row([
+            RowValue::Num(3000.0),
+            RowValue::Num(-5.0),
+            RowValue::Label("H".into()),
+        ])
+        .unwrap();
         let d = b.build().unwrap();
         assert_eq!(d.len(), 3);
         assert_eq!(d.numeric(0, 0), 1600.0);
@@ -346,10 +401,17 @@ mod tests {
         let mut b = DatasetBuilder::new(schema());
         assert!(matches!(
             b.push_row([RowValue::Num(1.0)]),
-            Err(SkylineError::RowShapeMismatch { expected: 3, got: 1 })
+            Err(SkylineError::RowShapeMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
         assert!(matches!(
-            b.push_row([RowValue::Num(1.0), RowValue::Label("x".into()), RowValue::Label("T".into())]),
+            b.push_row([
+                RowValue::Num(1.0),
+                RowValue::Label("x".into()),
+                RowValue::Label("T".into())
+            ]),
             Err(SkylineError::KindMismatch { .. })
         ));
         assert!(matches!(
@@ -380,9 +442,11 @@ mod tests {
             Dimension::nominal_with_labels("g", ["a", "b"]),
         ])
         .unwrap();
-        let err =
-            Dataset::from_columns(schema, vec![vec![1.0]], vec![vec![5]]).unwrap_err();
-        assert!(matches!(err, SkylineError::ValueOutOfDomain { value: 5, .. }));
+        let err = Dataset::from_columns(schema, vec![vec![1.0]], vec![vec![5]]).unwrap_err();
+        assert!(matches!(
+            err,
+            SkylineError::ValueOutOfDomain { value: 5, .. }
+        ));
     }
 
     #[test]
@@ -408,12 +472,8 @@ mod tests {
             Dimension::nominal_with_labels("g", ["a", "b", "c"]),
         ])
         .unwrap();
-        let d = Dataset::from_columns(
-            schema,
-            vec![vec![0.0; 6]],
-            vec![vec![1, 1, 1, 2, 2, 0]],
-        )
-        .unwrap();
+        let d = Dataset::from_columns(schema, vec![vec![0.0; 6]], vec![vec![1, 1, 1, 2, 2, 0]])
+            .unwrap();
         assert_eq!(d.nominal_value_frequencies(0), vec![1, 3, 2]);
         assert_eq!(d.values_by_frequency(0), vec![1, 2, 0]);
     }

@@ -195,8 +195,12 @@ mod tests {
             (2400.0, 2.0, "M"), // e = 4
             (3000.0, 3.0, "M"), // f = 5
         ] {
-            b.push_row([crate::dataset::RowValue::Num(price), crate::dataset::RowValue::Num(-class), group.into()])
-                .unwrap();
+            b.push_row([
+                crate::dataset::RowValue::Num(price),
+                crate::dataset::RowValue::Num(-class),
+                group.into(),
+            ])
+            .unwrap();
         }
         b.build().unwrap()
     }
@@ -226,9 +230,18 @@ mod tests {
         let template = Template::empty(data.schema());
         let query = Preference::from_dims(vec![ImplicitPreference::new([0, 2]).unwrap()]);
         let ctx = DominanceContext::for_query(&data, &template, &query).unwrap();
-        assert!(ctx.dominates(0, 4), "a dominates e under Alice's preference");
-        assert!(ctx.dominates(0, 5), "a dominates f under Alice's preference");
-        assert!(!ctx.dominates(0, 2), "c stays incomparable to a (H unlisted)");
+        assert!(
+            ctx.dominates(0, 4),
+            "a dominates e under Alice's preference"
+        );
+        assert!(
+            ctx.dominates(0, 5),
+            "a dominates f under Alice's preference"
+        );
+        assert!(
+            !ctx.dominates(0, 2),
+            "c stays incomparable to a (H unlisted)"
+        );
         assert!(ctx.dominates(0, 1));
     }
 

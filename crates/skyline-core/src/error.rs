@@ -146,10 +146,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            SkylineError::EmptyDataset,
-            SkylineError::EmptyDataset
-        );
+        assert_eq!(SkylineError::EmptyDataset, SkylineError::EmptyDataset);
         assert_ne!(
             SkylineError::EmptyDataset,
             SkylineError::ParseError("x".into())

@@ -80,7 +80,9 @@ impl Mdc {
     /// dimension: `choices[dim] = Some(v)` represents the preference `v ≺ ∗` on that
     /// dimension, which implies `(v, w)` for every `w ≠ v`.
     pub fn implied_by_first_order(&self, choices: &[Option<ValueId>]) -> bool {
-        self.pairs.iter().all(|pair| choices.get(pair.dim as usize).copied().flatten() == Some(pair.better))
+        self.pairs
+            .iter()
+            .all(|pair| choices.get(pair.dim as usize).copied().flatten() == Some(pair.better))
     }
 
     /// True when every pair of the condition can be derived from the given implicit preference
@@ -142,7 +144,10 @@ impl MdcIndex {
 
     /// MDCs of a specific point id, if it is part of the indexed skyline.
     pub fn mdcs_of_point(&self, p: PointId) -> Option<&[Mdc]> {
-        self.skyline.iter().position(|&s| s == p).map(|i| self.mdcs[i].as_slice())
+        self.skyline
+            .iter()
+            .position(|&s| s == p)
+            .map(|i| self.mdcs[i].as_slice())
     }
 
     /// Indexes (into the skyline ordering) of the points disqualified by a combination of
@@ -248,7 +253,11 @@ pub fn compute_mdcs_with_dominators(
                     // never dominate p.
                     continue 'next_q;
                 } else {
-                    pairs.push(MdcPair { dim: j as u16, better: qv, worse: pv });
+                    pairs.push(MdcPair {
+                        dim: j as u16,
+                        better: qv,
+                        worse: pv,
+                    });
                 }
             }
             if pairs.is_empty() {
@@ -261,7 +270,10 @@ pub fn compute_mdcs_with_dominators(
         }
         mdcs.push(minimalize(candidates));
     }
-    MdcIndex { skyline: skyline.to_vec(), mdcs }
+    MdcIndex {
+        skyline: skyline.to_vec(),
+        mdcs,
+    }
 }
 
 /// Removes duplicate conditions and prunes conditions that strictly contain a kept single-pair
@@ -318,17 +330,30 @@ mod tests {
             (2400.0, 2.0, "M"),
             (3000.0, 3.0, "M"),
         ] {
-            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()]).unwrap();
+            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()])
+                .unwrap();
         }
         b.build().unwrap()
     }
 
     #[test]
     fn mdc_subset_and_implication() {
-        let a = Mdc::new(vec![MdcPair { dim: 0, better: 1, worse: 2 }]);
+        let a = Mdc::new(vec![MdcPair {
+            dim: 0,
+            better: 1,
+            worse: 2,
+        }]);
         let b = Mdc::new(vec![
-            MdcPair { dim: 0, better: 1, worse: 2 },
-            MdcPair { dim: 1, better: 0, worse: 3 },
+            MdcPair {
+                dim: 0,
+                better: 1,
+                worse: 2,
+            },
+            MdcPair {
+                dim: 1,
+                better: 0,
+                worse: 3,
+            },
         ]);
         assert!(a.is_subset_of(&b));
         assert!(!b.is_subset_of(&a));
@@ -366,10 +391,10 @@ mod tests {
         assert!(!index.is_empty());
 
         let cases = [
-            ("T < M < *", vec![4, 5]),  // Alice keeps {a, c}
-            ("H < M < *", vec![5]),     // Chris keeps {a, c, e}
-            ("H < T < *", vec![4, 5]),  // Emily keeps {a, c}
-            ("M < *", vec![]),          // Fred keeps all four
+            ("T < M < *", vec![4, 5]), // Alice keeps {a, c}
+            ("H < M < *", vec![5]),    // Chris keeps {a, c, e}
+            ("H < T < *", vec![4, 5]), // Emily keeps {a, c}
+            ("M < *", vec![]),         // Fred keeps all four
         ];
         for (text, expected_disqualified) in cases {
             let pref = Preference::parse(&schema, [("hotel-group", text)]).unwrap();
@@ -416,13 +441,34 @@ mod tests {
 
     #[test]
     fn minimalize_prunes_supersets_and_duplicates() {
-        let small = Mdc::new(vec![MdcPair { dim: 0, better: 1, worse: 0 }]);
+        let small = Mdc::new(vec![MdcPair {
+            dim: 0,
+            better: 1,
+            worse: 0,
+        }]);
         let big = Mdc::new(vec![
-            MdcPair { dim: 0, better: 1, worse: 0 },
-            MdcPair { dim: 1, better: 2, worse: 0 },
+            MdcPair {
+                dim: 0,
+                better: 1,
+                worse: 0,
+            },
+            MdcPair {
+                dim: 1,
+                better: 2,
+                worse: 0,
+            },
         ]);
-        let other = Mdc::new(vec![MdcPair { dim: 1, better: 2, worse: 0 }]);
-        let kept = minimalize(vec![big.clone(), small.clone(), small.clone(), other.clone()]);
+        let other = Mdc::new(vec![MdcPair {
+            dim: 1,
+            better: 2,
+            worse: 0,
+        }]);
+        let kept = minimalize(vec![
+            big.clone(),
+            small.clone(),
+            small.clone(),
+            other.clone(),
+        ]);
         assert_eq!(kept.len(), 2);
         assert!(kept.contains(&small));
         assert!(kept.contains(&other));

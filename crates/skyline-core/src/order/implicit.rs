@@ -161,7 +161,9 @@ pub struct Preference {
 impl Preference {
     /// A preference with no special choices on any of the `nominal_count` dimensions.
     pub fn none(nominal_count: usize) -> Self {
-        Self { dims: vec![ImplicitPreference::none(); nominal_count] }
+        Self {
+            dims: vec![ImplicitPreference::none(); nominal_count],
+        }
     }
 
     /// Builds a preference from one implicit preference per nominal dimension.
@@ -197,7 +199,11 @@ impl Preference {
 
     /// The order of the preference: `maxᵢ order(R̃ᵢ)` (Definition 2).
     pub fn order(&self) -> usize {
-        self.dims.iter().map(ImplicitPreference::order).max().unwrap_or(0)
+        self.dims
+            .iter()
+            .map(ImplicitPreference::order)
+            .max()
+            .unwrap_or(0)
     }
 
     /// True when no dimension lists any value.
@@ -218,12 +224,18 @@ impl Preference {
         for (j, pref) in self.dims.iter().enumerate() {
             let card = schema.nominal_domain(j).map_or(0, |d| d.cardinality());
             pref.validate(card).map_err(|e| match e {
-                SkylineError::ValueOutOfDomain { value, cardinality, .. } => {
+                SkylineError::ValueOutOfDomain {
+                    value, cardinality, ..
+                } => {
                     let name = schema
                         .dimension(schema.schema_index_of_nominal(j).unwrap_or(0))
                         .map(|d| d.name().to_string())
                         .unwrap_or_default();
-                    SkylineError::ValueOutOfDomain { dimension: name, value, cardinality }
+                    SkylineError::ValueOutOfDomain {
+                        dimension: name,
+                        value,
+                        cardinality,
+                    }
                 }
                 other => other,
             })?;
@@ -295,7 +307,11 @@ impl fmt::Display for PreferenceDisplay<'_> {
             }
             first = false;
             let schema_index = self.schema.schema_index_of_nominal(j).unwrap_or(0);
-            let name = self.schema.dimension(schema_index).map(|d| d.name()).unwrap_or("?");
+            let name = self
+                .schema
+                .dimension(schema_index)
+                .map(|d| d.name())
+                .unwrap_or("?");
             write!(f, "{name}: ")?;
             let domain = self.schema.nominal_domain(j);
             for v in dim_pref.choices() {
@@ -316,8 +332,12 @@ fn parse_implicit(
     text: &str,
     mut resolve: impl FnMut(&str) -> Result<ValueId>,
 ) -> Result<ImplicitPreference> {
-    let normalized = text.replace('≺', "<").replace(',', "<");
-    let tokens: Vec<&str> = normalized.split('<').map(str::trim).filter(|t| !t.is_empty()).collect();
+    let normalized = text.replace(['≺', ','], "<");
+    let tokens: Vec<&str> = normalized
+        .split('<')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect();
     let mut choices = Vec::new();
     for (i, token) in tokens.iter().enumerate() {
         if *token == "*" {
@@ -365,7 +385,10 @@ mod tests {
     #[test]
     fn duplicates_rejected() {
         let err = ImplicitPreference::new([1, 1]).unwrap_err();
-        assert!(matches!(err, SkylineError::DuplicatePreferenceValue { value: 1, .. }));
+        assert!(matches!(
+            err,
+            SkylineError::DuplicatePreferenceValue { value: 1, .. }
+        ));
     }
 
     #[test]
@@ -438,7 +461,11 @@ mod tests {
     #[test]
     fn parse_textual_preferences() {
         let schema = schema();
-        let pref = Preference::parse(&schema, [("hotel-group", "M < H < *"), ("airline", "G < *")]).unwrap();
+        let pref = Preference::parse(
+            &schema,
+            [("hotel-group", "M < H < *"), ("airline", "G < *")],
+        )
+        .unwrap();
         assert_eq!(pref.dim(0).choices(), &[2, 1]);
         assert_eq!(pref.dim(1).choices(), &[0]);
 
@@ -478,8 +505,14 @@ mod tests {
         let text = format!("{}", pref.display(&schema));
         assert_eq!(text, "hotel-group: M < H < *");
         let none = Preference::none(2);
-        assert_eq!(format!("{}", none.display(&schema)), "(no special preference)");
-        assert_eq!(format!("{}", ImplicitPreference::new([3, 1]).unwrap()), "3 < 1 < *");
+        assert_eq!(
+            format!("{}", none.display(&schema)),
+            "(no special preference)"
+        );
+        assert_eq!(
+            format!("{}", ImplicitPreference::new([3, 1]).unwrap()),
+            "3 < 1 < *"
+        );
         assert_eq!(format!("{}", ImplicitPreference::none()), "*");
     }
 

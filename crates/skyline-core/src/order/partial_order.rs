@@ -22,7 +22,10 @@ pub struct PartialOrder {
 impl PartialOrder {
     /// The empty order (no value preferred to any other) over `cardinality` values.
     pub fn empty(cardinality: usize) -> Self {
-        Self { cardinality, better: vec![BitSet::new(cardinality); cardinality] }
+        Self {
+            cardinality,
+            better: vec![BitSet::new(cardinality); cardinality],
+        }
     }
 
     /// Builds an order from explicit `(preferred, less_preferred)` pairs and closes it
@@ -59,7 +62,9 @@ impl PartialOrder {
         }
         self.close_transitively();
         if (0..self.cardinality).any(|u| self.better[u].contains(u)) {
-            return Err(SkylineError::CyclicOrder { dimension: String::new() });
+            return Err(SkylineError::CyclicOrder {
+                dimension: String::new(),
+            });
         }
         Ok(())
     }
@@ -110,22 +115,25 @@ impl PartialOrder {
 
     /// Iterates over all pairs `(u, v)` with `u ≺ v` in the closure.
     pub fn pairs(&self) -> impl Iterator<Item = (ValueId, ValueId)> + '_ {
-        self.better.iter().enumerate().flat_map(|(u, row)| {
-            row.iter().map(move |v| (u as ValueId, v as ValueId))
-        })
+        self.better
+            .iter()
+            .enumerate()
+            .flat_map(|(u, row)| row.iter().map(move |v| (u as ValueId, v as ValueId)))
     }
 
     /// True when the order is total: every two distinct values are related.
     pub fn is_total(&self) -> bool {
-        (0..self.cardinality as ValueId).all(|u| {
-            (0..self.cardinality as ValueId).all(|v| u == v || !self.incomparable(u, v))
-        })
+        (0..self.cardinality as ValueId)
+            .all(|u| (0..self.cardinality as ValueId).all(|v| u == v || !self.incomparable(u, v)))
     }
 
     /// Containment of orders (Section 2): `self ⊆ other`, i.e. `other` refines `self`.
     pub fn is_contained_in(&self, other: &PartialOrder) -> bool {
         debug_assert_eq!(self.cardinality, other.cardinality);
-        self.better.iter().zip(&other.better).all(|(a, b)| a.is_subset_of(b))
+        self.better
+            .iter()
+            .zip(&other.better)
+            .all(|(a, b)| a.is_subset_of(b))
     }
 
     /// True when `other` is a refinement of `self` (same as [`PartialOrder::is_contained_in`]
@@ -199,7 +207,10 @@ mod tests {
     #[test]
     fn out_of_domain_pairs_are_rejected() {
         let err = PartialOrder::from_pairs(2, [(0, 5)]).unwrap_err();
-        assert!(matches!(err, SkylineError::ValueOutOfDomain { value: 5, .. }));
+        assert!(matches!(
+            err,
+            SkylineError::ValueOutOfDomain { value: 5, .. }
+        ));
     }
 
     #[test]
@@ -217,7 +228,7 @@ mod tests {
     fn conflict_freedom() {
         let m_first = PartialOrder::from_pairs(3, [(2, 1), (2, 0)]).unwrap(); // M ≺ *
         let h_first = PartialOrder::from_pairs(3, [(1, 2), (1, 0)]).unwrap(); // H ≺ *
-        // They disagree on (M, H) vs (H, M): not conflict-free (Figure 1 discussion).
+                                                                              // They disagree on (M, H) vs (H, M): not conflict-free (Figure 1 discussion).
         assert!(!m_first.conflict_free_with(&h_first));
         assert!(!h_first.conflict_free_with(&m_first));
         // T ≺ M and H ≺ M never reverse each other's pairs.

@@ -33,13 +33,19 @@ impl Template {
             .into_iter()
             .map(PartialOrder::empty)
             .collect();
-        Self { orders, implicit: Some(Preference::none(schema.nominal_count())) }
+        Self {
+            orders,
+            implicit: Some(Preference::none(schema.nominal_count())),
+        }
     }
 
     /// A template built from an implicit preference profile.
     pub fn from_preference(schema: &Schema, pref: Preference) -> Result<Self> {
         let orders = pref.to_partial_orders(schema)?;
-        Ok(Self { orders, implicit: Some(pref) })
+        Ok(Self {
+            orders,
+            implicit: Some(pref),
+        })
     }
 
     /// A template built from arbitrary per-dimension partial orders (general model of §2).
@@ -60,7 +66,10 @@ impl Template {
                 )));
             }
         }
-        Ok(Self { orders, implicit: None })
+        Ok(Self {
+            orders,
+            implicit: None,
+        })
     }
 
     /// The paper's experimental default: on every nominal dimension, the most frequent value
@@ -107,7 +116,11 @@ impl Template {
     /// For an implicit template this additionally enforces the prefix-refinement property the
     /// paper assumes (the template's listed values must be a prefix of the query's); for a
     /// general template only conflict-freedom is required.
-    pub fn effective_orders(&self, schema: &Schema, query: &Preference) -> Result<Vec<PartialOrder>> {
+    pub fn effective_orders(
+        &self,
+        schema: &Schema,
+        query: &Preference,
+    ) -> Result<Vec<PartialOrder>> {
         query.validate(schema)?;
         if let Some(implicit) = &self.implicit {
             if !implicit.is_none() && !query.refines(implicit) {
@@ -143,7 +156,10 @@ impl Template {
 
     /// Approximate heap footprint in bytes.
     pub fn approximate_bytes(&self) -> usize {
-        self.orders.iter().map(PartialOrder::approximate_bytes).sum()
+        self.orders
+            .iter()
+            .map(PartialOrder::approximate_bytes)
+            .sum()
     }
 }
 
@@ -227,7 +243,11 @@ mod tests {
         .unwrap();
 
         // Query that extends the template: OK.
-        let good = Preference::parse(&schema, [("hotel-group", "H < M < *"), ("airline", "G < *")]).unwrap();
+        let good = Preference::parse(
+            &schema,
+            [("hotel-group", "H < M < *"), ("airline", "G < *")],
+        )
+        .unwrap();
         let orders = template.effective_orders(&schema, &good).unwrap();
         assert!(orders[0].strictly_preferred(1, 2));
         assert!(orders[0].strictly_preferred(2, 0));
@@ -247,7 +267,10 @@ mod tests {
         // General (non-implicit) template: T ≺ M on hotel-group.
         let template = Template::from_partial_orders(
             &schema,
-            vec![PartialOrder::from_pairs(3, [(0, 2)]).unwrap(), PartialOrder::empty(3)],
+            vec![
+                PartialOrder::from_pairs(3, [(0, 2)]).unwrap(),
+                PartialOrder::empty(3),
+            ],
         )
         .unwrap();
         // A query listing H first is fine (no conflict with T ≺ M)…

@@ -5,7 +5,6 @@ use crate::value::NominalDomain;
 
 /// Kind of one dimension (the paper uses "attribute" and "dimension" interchangeably).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DimensionKind {
     /// Totally-ordered numeric attribute. Following the paper's convention, **smaller is
     /// better** (price, number of stops…). Attributes where larger is better (hotel class)
@@ -30,7 +29,6 @@ impl DimensionKind {
 
 /// One dimension of a schema: a name plus its kind.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dimension {
     name: String,
     kind: DimensionKind,
@@ -39,12 +37,18 @@ pub struct Dimension {
 impl Dimension {
     /// Creates a numeric (smaller-is-better) dimension.
     pub fn numeric(name: impl Into<String>) -> Self {
-        Self { name: name.into(), kind: DimensionKind::Numeric }
+        Self {
+            name: name.into(),
+            kind: DimensionKind::Numeric,
+        }
     }
 
     /// Creates a nominal dimension with the given value domain.
     pub fn nominal(name: impl Into<String>, domain: NominalDomain) -> Self {
-        Self { name: name.into(), kind: DimensionKind::Nominal(domain) }
+        Self {
+            name: name.into(),
+            kind: DimensionKind::Nominal(domain),
+        }
     }
 
     /// Creates a nominal dimension whose domain is built from the given labels.
@@ -95,7 +99,6 @@ impl Dimension {
 /// `j` (0-based among nominal dimensions), matching the paper's `D1 … Dm'` numbering of
 /// nominal attributes.
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Schema {
     dims: Vec<Dimension>,
     numeric_dims: Vec<usize>,
@@ -111,7 +114,11 @@ impl Schema {
                 return Err(SkylineError::DuplicateDimension(dim.name().to_string()));
             }
         }
-        let mut schema = Schema { dims, numeric_dims: Vec::new(), nominal_dims: Vec::new() };
+        let mut schema = Schema {
+            dims,
+            numeric_dims: Vec::new(),
+            nominal_dims: Vec::new(),
+        };
         schema.rebuild_kind_indexes();
         Ok(schema)
     }
@@ -182,10 +189,11 @@ impl Schema {
         let schema_index = self
             .index_of(name)
             .ok_or_else(|| SkylineError::UnknownDimension(name.to_string()))?;
-        self.nominal_index_of(schema_index).ok_or_else(|| SkylineError::KindMismatch {
-            dimension: name.to_string(),
-            detail: "expected a nominal dimension".to_string(),
-        })
+        self.nominal_index_of(schema_index)
+            .ok_or_else(|| SkylineError::KindMismatch {
+                dimension: name.to_string(),
+                detail: "expected a nominal dimension".to_string(),
+            })
     }
 
     /// Domain of the `j`-th nominal dimension.

@@ -84,7 +84,11 @@ impl ScoreFn {
     /// order is deterministic).
     pub fn sort_by_score(&self, data: &Dataset, points: &[PointId]) -> Vec<PointId> {
         let mut scored = self.score_subset(data, points);
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         scored.into_iter().map(|(p, _)| p).collect()
     }
 }

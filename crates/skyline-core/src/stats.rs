@@ -57,8 +57,7 @@ pub fn affected_points(data: &Dataset, skyline: &[PointId], pref: &Preference) -
         .iter()
         .copied()
         .filter(|&p| {
-            (0..data.schema().nominal_count())
-                .any(|j| pref.dim(j).contains(data.nominal(p, j)))
+            (0..data.schema().nominal_count()).any(|j| pref.dim(j).contains(data.nominal(p, j)))
         })
         .collect()
 }
@@ -109,7 +108,10 @@ mod tests {
         ]);
         // Points 1 (g=b) and 3 (h=q) carry listed values; 1 carries both.
         assert_eq!(affected_points(&data, &[0, 1, 2, 3], &pref), vec![1, 3]);
-        assert_eq!(affected_points(&data, &[0, 2], &pref), Vec::<PointId>::new());
+        assert_eq!(
+            affected_points(&data, &[0, 2], &pref),
+            Vec::<PointId>::new()
+        );
     }
 
     #[test]
@@ -131,7 +133,12 @@ mod tests {
 
     #[test]
     fn empty_denominators_do_not_divide_by_zero() {
-        let stats = SkylineStats { dataset_size: 0, template_skyline: 0, affected: 0, query_skyline: 0 };
+        let stats = SkylineStats {
+            dataset_size: 0,
+            template_skyline: 0,
+            affected: 0,
+            query_skyline: 0,
+        };
         assert_eq!(stats.template_skyline_pct(), 0.0);
         assert_eq!(stats.affected_pct(), 0.0);
         assert_eq!(stats.query_skyline_pct(), 0.0);

@@ -21,10 +21,8 @@ pub type ValueId = u16;
 /// `0..cardinality`. All preference machinery works on ids; labels only matter at the API
 /// boundary (building data, parsing preferences, formatting results).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NominalDomain {
     labels: Vec<String>,
-    #[cfg_attr(feature = "serde", serde(skip))]
     index: HashMap<String, ValueId>,
 }
 
@@ -152,7 +150,10 @@ mod tests {
         let err = domain.require_id("hotel-group", "Z").unwrap_err();
         assert_eq!(
             err,
-            SkylineError::UnknownValue { dimension: "hotel-group".into(), value: "Z".into() }
+            SkylineError::UnknownValue {
+                dimension: "hotel-group".into(),
+                value: "Z".into()
+            }
         );
     }
 

@@ -59,8 +59,10 @@ pub fn children_labels() -> &'static [&'static str] {
 /// Generates the full 12,960-row Nursery data set (the Cartesian product of all domains).
 pub fn generate() -> Dataset {
     let schema = nursery_schema();
-    let mut numeric_cols: Vec<Vec<f64>> = vec![Vec::with_capacity(NURSERY_ROWS); 6];
-    let mut nominal_cols: Vec<Vec<u16>> = vec![Vec::with_capacity(NURSERY_ROWS); 2];
+    let mut numeric_cols: Vec<Vec<f64>> =
+        (0..6).map(|_| Vec::with_capacity(NURSERY_ROWS)).collect();
+    let mut nominal_cols: Vec<Vec<u16>> =
+        (0..2).map(|_| Vec::with_capacity(NURSERY_ROWS)).collect();
 
     for parents in 0..PARENTS.len() {
         for has_nurs in 0..HAS_NURS.len() {
@@ -87,7 +89,8 @@ pub fn generate() -> Dataset {
         }
     }
 
-    Dataset::from_columns(schema, numeric_cols, nominal_cols).expect("nursery columns are consistent")
+    Dataset::from_columns(schema, numeric_cols, nominal_cols)
+        .expect("nursery columns are consistent")
 }
 
 /// Generates a deterministic sample of the Nursery data set containing every `stride`-th row.
@@ -106,7 +109,8 @@ pub fn generate_sampled(stride: usize) -> Dataset {
     let nominal_cols = (0..2)
         .map(|j| keep.iter().map(|&p| full.nominal(p, j)).collect())
         .collect();
-    Dataset::from_columns(schema, numeric_cols, nominal_cols).expect("sampled columns are consistent")
+    Dataset::from_columns(schema, numeric_cols, nominal_cols)
+        .expect("sampled columns are consistent")
 }
 
 #[cfg(test)]
@@ -154,7 +158,7 @@ mod tests {
         for (j, &max) in maxes.iter().enumerate() {
             let col = data.numeric_column(j);
             assert!(col.iter().all(|&v| v >= 0.0 && v <= max));
-            assert!(col.iter().any(|&v| v == max), "value {max} missing in column {j}");
+            assert!(col.contains(&max), "value {max} missing in column {j}");
         }
     }
 

@@ -61,7 +61,10 @@ pub fn synthetic_schema(numeric_dims: usize, nominal_dims: usize, cardinality: u
         dims.push(Dimension::numeric(format!("n{i}")));
     }
     for i in 0..nominal_dims {
-        dims.push(Dimension::nominal(format!("c{i}"), NominalDomain::anonymous(cardinality)));
+        dims.push(Dimension::nominal(
+            format!("c{i}"),
+            NominalDomain::anonymous(cardinality),
+        ));
     }
     Schema::new(dims).expect("generated dimension names are unique")
 }
@@ -94,12 +97,21 @@ pub fn generate(
         }
     }
 
-    let zipf = if nominal_dims > 0 { Some(Zipf::new(cardinality, theta)) } else { None };
+    let zipf = if nominal_dims > 0 {
+        Some(Zipf::new(cardinality, theta))
+    } else {
+        None
+    };
     let nominal_cols: Vec<Vec<u16>> = (0..nominal_dims)
-        .map(|_| zipf.as_ref().expect("zipf built when nominal dims exist").sample_many(&mut rng, n))
+        .map(|_| {
+            zipf.as_ref()
+                .expect("zipf built when nominal dims exist")
+                .sample_many(&mut rng, n)
+        })
         .collect();
 
-    Dataset::from_columns(schema, numeric_cols, nominal_cols).expect("generated columns are consistent")
+    Dataset::from_columns(schema, numeric_cols, nominal_cols)
+        .expect("generated columns are consistent")
 }
 
 /// Fills `out` with one numeric row drawn from `distribution`.
@@ -175,10 +187,19 @@ mod tests {
 
     #[test]
     fn values_stay_in_unit_interval_and_domain() {
-        for dist in [Distribution::Independent, Distribution::Correlated, Distribution::AntiCorrelated] {
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::AntiCorrelated,
+        ] {
             let data = generate(500, 4, 2, 8, dist, 1.0, 7);
             for j in 0..4 {
-                assert!(data.numeric_column(j).iter().all(|v| (0.0..=1.0).contains(v)), "{dist:?}");
+                assert!(
+                    data.numeric_column(j)
+                        .iter()
+                        .all(|v| (0.0..=1.0).contains(v)),
+                    "{dist:?}"
+                );
             }
             for j in 0..2 {
                 assert!(data.nominal_column(j).iter().all(|&v| v < 8), "{dist:?}");
@@ -197,25 +218,42 @@ mod tests {
     #[test]
     fn anti_correlated_has_larger_skyline_than_correlated() {
         let n = 2_000;
-        let sizes: Vec<usize> = [Distribution::Correlated, Distribution::Independent, Distribution::AntiCorrelated]
-            .into_iter()
-            .map(|dist| {
-                let data = generate(n, 3, 0, 1, dist, 1.0, 11);
-                let template = Template::empty(data.schema());
-                let ctx = DominanceContext::for_template(&data, &template).unwrap();
-                bnl::skyline(&ctx).len()
-            })
-            .collect();
-        assert!(sizes[0] < sizes[1], "correlated skyline should be smaller than independent");
-        assert!(sizes[1] < sizes[2], "independent skyline should be smaller than anti-correlated");
+        let sizes: Vec<usize> = [
+            Distribution::Correlated,
+            Distribution::Independent,
+            Distribution::AntiCorrelated,
+        ]
+        .into_iter()
+        .map(|dist| {
+            let data = generate(n, 3, 0, 1, dist, 1.0, 11);
+            let template = Template::empty(data.schema());
+            let ctx = DominanceContext::for_template(&data, &template).unwrap();
+            bnl::skyline(&ctx).len()
+        })
+        .collect();
+        assert!(
+            sizes[0] < sizes[1],
+            "correlated skyline should be smaller than independent"
+        );
+        assert!(
+            sizes[1] < sizes[2],
+            "independent skyline should be smaller than anti-correlated"
+        );
     }
 
     #[test]
     fn distribution_parse_roundtrip() {
-        for dist in [Distribution::Independent, Distribution::Correlated, Distribution::AntiCorrelated] {
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::AntiCorrelated,
+        ] {
             assert_eq!(Distribution::parse(dist.name()), Some(dist));
         }
-        assert_eq!(Distribution::parse("anti"), Some(Distribution::AntiCorrelated));
+        assert_eq!(
+            Distribution::parse("anti"),
+            Some(Distribution::AntiCorrelated)
+        );
         assert_eq!(Distribution::parse("nonsense"), None);
     }
 

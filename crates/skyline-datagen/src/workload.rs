@@ -45,7 +45,10 @@ impl ExperimentConfig {
     /// The same parameter shape scaled down so a full figure sweep runs in seconds on a laptop.
     /// Only `n` changes; every other Table 4 default is kept.
     pub fn scaled_default() -> Self {
-        Self { n: 20_000, ..Self::paper_default() }
+        Self {
+            n: 20_000,
+            ..Self::paper_default()
+        }
     }
 
     /// Total dimensionality (numeric + nominal), the x-axis of Figure 5.
@@ -74,7 +77,11 @@ impl ExperimentConfig {
 
     /// A query generator seeded deterministically from this configuration.
     pub fn query_generator(&self) -> QueryGenerator {
-        QueryGenerator::new(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+        QueryGenerator::new(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(1),
+        )
     }
 }
 
@@ -98,7 +105,9 @@ pub struct QueryGenerator {
 impl QueryGenerator {
     /// Creates a generator with a fixed seed (reproducible workloads).
     pub fn new(seed: u64) -> Self {
-        Self { rng: SmallRng::seed_from_u64(seed) }
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Generates one random preference of the given per-dimension order.
@@ -173,7 +182,11 @@ mod tests {
     use super::*;
 
     fn small_config() -> ExperimentConfig {
-        ExperimentConfig { n: 500, cardinality: 8, ..ExperimentConfig::scaled_default() }
+        ExperimentConfig {
+            n: 500,
+            cardinality: 8,
+            ..ExperimentConfig::scaled_default()
+        }
     }
 
     #[test]
@@ -187,7 +200,10 @@ mod tests {
         assert_eq!(cfg.pref_order, 3);
         assert_eq!(cfg.distribution, Distribution::AntiCorrelated);
         assert_eq!(cfg.total_dims(), 5);
-        assert_eq!(ExperimentConfig::default(), ExperimentConfig::scaled_default());
+        assert_eq!(
+            ExperimentConfig::default(),
+            ExperimentConfig::scaled_default()
+        );
     }
 
     #[test]
@@ -209,7 +225,10 @@ mod tests {
         let queries = gen.random_preferences(data.schema(), &template, 3, 25, None);
         assert_eq!(queries.len(), 25);
         for q in &queries {
-            assert!(q.refines(template.implicit().unwrap()), "query must refine the template");
+            assert!(
+                q.refines(template.implicit().unwrap()),
+                "query must refine the template"
+            );
             assert_eq!(q.order(), 3);
             q.validate(data.schema()).unwrap();
         }
@@ -236,9 +255,9 @@ mod tests {
         let mut gen = cfg.query_generator();
         for _ in 0..20 {
             let q = gen.random_preference(data.schema(), &template, 3, Some(&allowed));
-            for j in 0..2 {
+            for (j, pool) in allowed.iter().enumerate() {
                 for &v in q.dim(j).choices() {
-                    let in_pool = allowed[j].contains(&v);
+                    let in_pool = pool.contains(&v);
                     let in_template = template.implicit().unwrap().dim(j).contains(v);
                     assert!(in_pool || in_template);
                 }
@@ -248,7 +267,11 @@ mod tests {
 
     #[test]
     fn order_is_capped_by_cardinality() {
-        let cfg = ExperimentConfig { cardinality: 2, n: 200, ..ExperimentConfig::scaled_default() };
+        let cfg = ExperimentConfig {
+            cardinality: 2,
+            n: 200,
+            ..ExperimentConfig::scaled_default()
+        };
         let data = cfg.generate_dataset();
         let template = cfg.template(&data);
         let mut gen = cfg.query_generator();
@@ -275,9 +298,9 @@ mod tests {
         let cfg = small_config();
         let data = cfg.generate_dataset();
         let top = top_k_values(&data, 4);
-        for j in 0..2 {
+        for (j, top_j) in top.iter().enumerate() {
             let freq = data.nominal_value_frequencies(j);
-            for w in top[j].windows(2) {
+            for w in top_j.windows(2) {
                 assert!(freq[w[0] as usize] >= freq[w[1] as usize]);
             }
         }

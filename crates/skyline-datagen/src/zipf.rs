@@ -18,9 +18,17 @@ impl Zipf {
     /// `theta = 0` degenerates to the uniform distribution; larger values concentrate the mass
     /// on the first few ids. Panics if `cardinality` is zero or `theta` is negative/not finite.
     pub fn new(cardinality: usize, theta: f64) -> Self {
-        assert!(cardinality > 0, "Zipf distribution needs at least one value");
-        assert!(theta >= 0.0 && theta.is_finite(), "theta must be a non-negative finite number");
-        let mut weights: Vec<f64> = (0..cardinality).map(|k| 1.0 / ((k + 1) as f64).powf(theta)).collect();
+        assert!(
+            cardinality > 0,
+            "Zipf distribution needs at least one value"
+        );
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be a non-negative finite number"
+        );
+        let mut weights: Vec<f64> = (0..cardinality)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(theta))
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
         for w in &mut weights {
@@ -31,7 +39,9 @@ impl Zipf {
         if let Some(last) = weights.last_mut() {
             *last = 1.0;
         }
-        Self { cumulative: weights }
+        Self {
+            cumulative: weights,
+        }
     }
 
     /// Number of values the distribution ranges over.

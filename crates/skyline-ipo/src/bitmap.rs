@@ -91,7 +91,10 @@ impl BitmapIpoTree {
 
     fn child_of(&self, node: u32, label: Option<ValueId>) -> Option<u32> {
         let children = &self.nodes[node as usize].children;
-        children.binary_search_by_key(&label, |(l, _)| *l).ok().map(|i| children[i].1)
+        children
+            .binary_search_by_key(&label, |(l, _)| *l)
+            .ok()
+            .map(|i| children[i].1)
     }
 
     /// Evaluates an implicit-preference query; same contract as [`IpoTree::query`].
@@ -109,7 +112,9 @@ impl BitmapIpoTree {
         pref.validate(schema)?;
         if let Some(template_pref) = self.template.implicit() {
             if !pref.refines(template_pref) {
-                return Err(SkylineError::NotARefinement { dimension: String::new() });
+                return Err(SkylineError::NotARefinement {
+                    dimension: String::new(),
+                });
             }
         }
         for j in 0..self.nominal_count() {
@@ -119,7 +124,10 @@ impl BitmapIpoTree {
                         .dimension(schema.schema_index_of_nominal(j).unwrap_or(0))
                         .map(|d| d.name().to_string())
                         .unwrap_or_default();
-                    return Err(SkylineError::NotMaterialized { dimension: name, value: v as u32 });
+                    return Err(SkylineError::NotMaterialized {
+                        dimension: name,
+                        value: v as u32,
+                    });
                 }
             }
         }
@@ -150,7 +158,9 @@ impl BitmapIpoTree {
         }
         let mut partials = Vec::with_capacity(dim_pref.order());
         for &v in dim_pref.choices() {
-            let child = self.child_of(node, Some(v)).expect("materialization checked");
+            let child = self
+                .child_of(node, Some(v))
+                .expect("materialization checked");
             let mut reduced = s.clone();
             reduced.difference_with(&self.nodes[child as usize].disqualified);
             stats.set_operations += 1;
@@ -168,7 +178,9 @@ impl BitmapIpoTree {
         stats: &mut QueryStats,
     ) -> BitSet {
         let mut partials = partials.into_iter();
-        let mut x = partials.next().unwrap_or_else(|| BitSet::new(self.skyline.len()));
+        let mut x = partials
+            .next()
+            .unwrap_or_else(|| BitSet::new(self.skyline.len()));
         for (i, y) in partials.enumerate() {
             let prefix = &choices[..=i];
             stats.set_operations += 3;
@@ -219,8 +231,13 @@ mod tests {
             (2400.0, 2.0, "M", "R"),
             (3000.0, 3.0, "M", "W"),
         ] {
-            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into(), airline.into()])
-                .unwrap();
+            b.push_row([
+                RowValue::Num(price),
+                RowValue::Num(-class),
+                group.into(),
+                airline.into(),
+            ])
+            .unwrap();
         }
         b.build().unwrap()
     }
@@ -235,7 +252,10 @@ mod tests {
         assert_eq!(bitmap_tree.skyline(), set_tree.skyline());
         assert!(bitmap_tree.approximate_bytes() > 0);
         assert_eq!(bitmap_tree.template().nominal_count(), 2);
-        assert_eq!(bitmap_tree.inverted().skyline_len(), set_tree.skyline().len());
+        assert_eq!(
+            bitmap_tree.inverted().skyline_len(),
+            set_tree.skyline().len()
+        );
 
         let values: Vec<u16> = vec![0, 1, 2];
         let mut prefs = vec![ImplicitPreference::none()];
@@ -263,7 +283,10 @@ mod tests {
     fn bitmap_tree_rejects_non_materialized_values() {
         let data = table3_data();
         let template = Template::empty(data.schema());
-        let set_tree = IpoTreeBuilder::new().top_k_values(1).build(&data, &template).unwrap();
+        let set_tree = IpoTreeBuilder::new()
+            .top_k_values(1)
+            .build(&data, &template)
+            .unwrap();
         let bitmap_tree = BitmapIpoTree::from_tree(&set_tree, &data);
         let schema = data.schema().clone();
         let pref = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
@@ -280,8 +303,11 @@ mod tests {
         let set_tree = IpoTreeBuilder::new().build(&data, &template).unwrap();
         let bitmap_tree = BitmapIpoTree::from_tree(&set_tree, &data);
         let schema = data.schema().clone();
-        let pref =
-            Preference::parse(&schema, [("hotel-group", "M < H < *"), ("airline", "G < R < *")]).unwrap();
+        let pref = Preference::parse(
+            &schema,
+            [("hotel-group", "M < H < *"), ("airline", "G < R < *")],
+        )
+        .unwrap();
         let (_, set_stats) = set_tree.query_with_stats(&data, &pref).unwrap();
         let (_, bitmap_stats) = bitmap_tree.query_with_stats(&data, &pref).unwrap();
         assert_eq!(set_stats.leaf_results, bitmap_stats.leaf_results);

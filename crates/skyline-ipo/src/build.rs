@@ -97,7 +97,11 @@ impl IpoTreeBuilder {
     /// The template must have an implicit form (the experiments' templates always do); general
     /// partial-order templates are rejected because query evaluation relies on the
     /// prefix-refinement property of implicit preferences.
-    pub fn build_with_stats(&self, data: &Dataset, template: &Template) -> Result<(IpoTree, BuildStats)> {
+    pub fn build_with_stats(
+        &self,
+        data: &Dataset,
+        template: &Template,
+    ) -> Result<(IpoTree, BuildStats)> {
         let started = Instant::now();
         let schema = data.schema();
         if template.implicit().is_none() {
@@ -146,9 +150,11 @@ impl IpoTreeBuilder {
 
         // 4. Precompute MDCs if requested.
         let mdc_index: Option<MdcIndex> = match self.strategy {
-            BuildStrategy::Mdc => {
-                Some(compute_mdcs_with_dominators(&base_ctx, &skyline, &base_skyline))
-            }
+            BuildStrategy::Mdc => Some(compute_mdcs_with_dominators(
+                &base_ctx,
+                &skyline,
+                &base_skyline,
+            )),
             BuildStrategy::Direct => None,
         };
 
@@ -161,17 +167,22 @@ impl IpoTreeBuilder {
         }];
         // Frontier entries: (node id, the first-order choices along its path).
         let mut frontier: Vec<(u32, Vec<Option<ValueId>>)> = vec![(0, Vec::new())];
-        for dim in 0..schema.nominal_count() {
-            let mut next_frontier = Vec::with_capacity(frontier.len() * (materialized[dim].len() + 1));
+        for (dim, dim_values) in materialized.iter().enumerate().take(schema.nominal_count()) {
+            let mut next_frontier = Vec::with_capacity(frontier.len() * (dim_values.len() + 1));
             // Create children (φ first, then the materialized values) for every frontier node.
             let mut pending: Vec<(u32, Vec<Option<ValueId>>)> = Vec::new();
             for (parent, path) in &frontier {
-                let mut labels: Vec<Option<ValueId>> = Vec::with_capacity(materialized[dim].len() + 1);
+                let mut labels: Vec<Option<ValueId>> = Vec::with_capacity(dim_values.len() + 1);
                 labels.push(None);
-                labels.extend(materialized[dim].iter().copied().map(Some));
+                labels.extend(dim_values.iter().copied().map(Some));
                 for label in labels {
                     let id = nodes.len() as u32;
-                    nodes.push(IpoNode { dim, label, disqualified: Vec::new(), children: Vec::new() });
+                    nodes.push(IpoNode {
+                        dim,
+                        label,
+                        disqualified: Vec::new(),
+                        children: Vec::new(),
+                    });
                     let mut child_path = path.clone();
                     child_path.push(label);
                     nodes[*parent as usize].children.push((label, id));
@@ -205,7 +216,12 @@ impl IpoTreeBuilder {
             mdc_conditions: mdc_index.as_ref().map_or(0, MdcIndex::condition_count),
             build_seconds: started.elapsed().as_secs_f64(),
         };
-        let tree = IpoTree { template: template.clone(), skyline, materialized, nodes };
+        let tree = IpoTree {
+            template: template.clone(),
+            skyline,
+            materialized,
+            nodes,
+        };
         Ok((tree, stats))
     }
 
@@ -237,7 +253,10 @@ impl IpoTreeBuilder {
             return work.iter().map(|(_, path)| eval(path)).collect();
         }
 
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(work.len());
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(work.len());
         let chunk_size = work.len().div_ceil(threads);
         let eval = &eval;
         let mut results: Vec<Vec<Vec<PointId>>> = Vec::new();
@@ -245,7 +264,8 @@ impl IpoTreeBuilder {
             let handles: Vec<_> = work
                 .chunks(chunk_size)
                 .map(|chunk| {
-                    scope.spawn(move || chunk.iter().map(|(_, path)| eval(path)).collect::<Vec<_>>())
+                    scope
+                        .spawn(move || chunk.iter().map(|(_, path)| eval(path)).collect::<Vec<_>>())
                 })
                 .collect();
             for handle in handles {
@@ -319,8 +339,13 @@ mod tests {
             (2400.0, 2.0, "M", "R"), // e = 4
             (3000.0, 3.0, "M", "W"), // f = 5
         ] {
-            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into(), airline.into()])
-                .unwrap();
+            b.push_row([
+                RowValue::Num(price),
+                RowValue::Num(-class),
+                group.into(),
+                airline.into(),
+            ])
+            .unwrap();
         }
         b.build().unwrap()
     }
@@ -329,7 +354,9 @@ mod tests {
     fn figure2_tree_shape_and_sets() {
         let data = table3_data();
         let template = Template::empty(data.schema());
-        let (tree, stats) = IpoTreeBuilder::new().build_with_stats(&data, &template).unwrap();
+        let (tree, stats) = IpoTreeBuilder::new()
+            .build_with_stats(&data, &template)
+            .unwrap();
 
         // Root skyline S = {a, c, d, e, f} (Figure 2).
         assert_eq!(tree.skyline(), &[0, 2, 3, 4, 5]);
@@ -362,9 +389,14 @@ mod tests {
     fn direct_and_mdc_strategies_agree() {
         let data = table3_data();
         let template = Template::empty(data.schema());
-        let mdc_tree = IpoTreeBuilder::new().strategy(BuildStrategy::Mdc).build(&data, &template).unwrap();
-        let direct_tree =
-            IpoTreeBuilder::new().strategy(BuildStrategy::Direct).build(&data, &template).unwrap();
+        let mdc_tree = IpoTreeBuilder::new()
+            .strategy(BuildStrategy::Mdc)
+            .build(&data, &template)
+            .unwrap();
+        let direct_tree = IpoTreeBuilder::new()
+            .strategy(BuildStrategy::Direct)
+            .build(&data, &template)
+            .unwrap();
         assert_eq!(mdc_tree.node_count(), direct_tree.node_count());
         for ((_, a), (_, b)) in mdc_tree.iter_nodes().zip(direct_tree.iter_nodes()) {
             assert_eq!(a.disqualified(), b.disqualified());
@@ -377,7 +409,10 @@ mod tests {
         let data = table3_data();
         let template = Template::empty(data.schema());
         let seq = IpoTreeBuilder::new().build(&data, &template).unwrap();
-        let par = IpoTreeBuilder::new().parallel(true).build(&data, &template).unwrap();
+        let par = IpoTreeBuilder::new()
+            .parallel(true)
+            .build(&data, &template)
+            .unwrap();
         assert_eq!(seq.node_count(), par.node_count());
         for ((_, a), (_, b)) in seq.iter_nodes().zip(par.iter_nodes()) {
             assert_eq!(a.disqualified(), b.disqualified());
@@ -388,7 +423,10 @@ mod tests {
     fn top_k_limits_materialized_values() {
         let data = table3_data();
         let template = Template::empty(data.schema());
-        let (tree, stats) = IpoTreeBuilder::new().top_k_values(1).build_with_stats(&data, &template).unwrap();
+        let (tree, stats) = IpoTreeBuilder::new()
+            .top_k_values(1)
+            .build_with_stats(&data, &template)
+            .unwrap();
         // Only the most frequent value per dimension: hotel-group T or H (both appear twice,
         // frequency ties broken by id → T), airline G (3 rows).
         assert_eq!(tree.materialized_values(0).len(), 1);
@@ -397,7 +435,11 @@ mod tests {
         assert_eq!(stats.node_count, 7);
         assert!(tree.node_for_choices(&[Some(2), None]).is_none());
         // Back to the full tree with `all_values`.
-        let full = IpoTreeBuilder::new().top_k_values(1).all_values().build(&data, &template).unwrap();
+        let full = IpoTreeBuilder::new()
+            .top_k_values(1)
+            .all_values()
+            .build(&data, &template)
+            .unwrap();
         assert_eq!(full.node_count(), 21);
     }
 
@@ -410,7 +452,9 @@ mod tests {
             Preference::parse(&schema, [("hotel-group", "T < *")]).unwrap(),
         )
         .unwrap();
-        let (tree, stats) = IpoTreeBuilder::new().build_with_stats(&data, &template).unwrap();
+        let (tree, stats) = IpoTreeBuilder::new()
+            .build_with_stats(&data, &template)
+            .unwrap();
         // Under T ≺ ∗ the skyline of the whole dataset is {a, c, d} minus what T-preference
         // removes: a dominates e and f (airline G vs R/W incomparable? no: e,f have R/W).
         // Recompute expectations directly for safety.
@@ -426,7 +470,10 @@ mod tests {
         let schema = data.schema().clone();
         let template = Template::from_partial_orders(
             &schema,
-            vec![PartialOrder::from_pairs(3, [(0, 1)]).unwrap(), PartialOrder::empty(3)],
+            vec![
+                PartialOrder::from_pairs(3, [(0, 1)]).unwrap(),
+                PartialOrder::empty(3),
+            ],
         )
         .unwrap();
         assert!(matches!(

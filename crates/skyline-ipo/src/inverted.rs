@@ -29,7 +29,10 @@ impl InvertedIndex {
             }
             lists.push(per_value);
         }
-        Self { lists, skyline_len: skyline.len() }
+        Self {
+            lists,
+            skyline_len: skyline.len(),
+        }
     }
 
     /// Number of skyline positions covered (capacity of every bitmap).

@@ -74,7 +74,10 @@ impl IpoTree {
                         .dimension(schema.schema_index_of_nominal(j).unwrap_or(0))
                         .map(|d| d.name().to_string())
                         .unwrap_or_default();
-                    return Err(SkylineError::NotMaterialized { dimension: name, value: v as u32 });
+                    return Err(SkylineError::NotMaterialized {
+                        dimension: name,
+                        value: v as u32,
+                    });
                 }
             }
         }
@@ -174,8 +177,13 @@ mod tests {
             (2400.0, 2.0, "M", "R"),
             (3000.0, 3.0, "M", "W"),
         ] {
-            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into(), airline.into()])
-                .unwrap();
+            b.push_row([
+                RowValue::Num(price),
+                RowValue::Num(-class),
+                group.into(),
+                airline.into(),
+            ])
+            .unwrap();
         }
         b.build().unwrap()
     }
@@ -197,9 +205,18 @@ mod tests {
         // Q_D: "M ≺ H ≺ ∗, G ≺ R ≺ ∗"         → {a, c, e, f}
         let cases = [
             (vec![("hotel-group", "M < *")], vec![0, 2, 3, 4, 5]),
-            (vec![("hotel-group", "M < *"), ("airline", "G < *")], vec![0, 2, 4, 5]),
-            (vec![("hotel-group", "M < H < *"), ("airline", "G < *")], vec![0, 2, 4, 5]),
-            (vec![("hotel-group", "M < H < *"), ("airline", "G < R < *")], vec![0, 2, 4, 5]),
+            (
+                vec![("hotel-group", "M < *"), ("airline", "G < *")],
+                vec![0, 2, 4, 5],
+            ),
+            (
+                vec![("hotel-group", "M < H < *"), ("airline", "G < *")],
+                vec![0, 2, 4, 5],
+            ),
+            (
+                vec![("hotel-group", "M < H < *"), ("airline", "G < R < *")],
+                vec![0, 2, 4, 5],
+            ),
         ];
         for (spec, expected) in cases {
             let pref = Preference::parse(&schema, spec.clone()).unwrap();
@@ -240,7 +257,11 @@ mod tests {
     fn query_stats_are_reported() {
         let (tree, data) = tree_and_data();
         let schema = data.schema().clone();
-        let pref = Preference::parse(&schema, [("hotel-group", "M < H < *"), ("airline", "G < R < *")]).unwrap();
+        let pref = Preference::parse(
+            &schema,
+            [("hotel-group", "M < H < *"), ("airline", "G < R < *")],
+        )
+        .unwrap();
         let (result, stats) = tree.query_with_stats(&data, &pref).unwrap();
         assert_eq!(result, vec![0, 2, 4, 5]);
         // Figure 3: the evaluation touches 4 leaf combinations for a 2×2 order query.
@@ -253,7 +274,10 @@ mod tests {
     fn non_materialized_values_are_reported() {
         let data = table3_data();
         let template = Template::empty(data.schema());
-        let tree = IpoTreeBuilder::new().top_k_values(1).build(&data, &template).unwrap();
+        let tree = IpoTreeBuilder::new()
+            .top_k_values(1)
+            .build(&data, &template)
+            .unwrap();
         let schema = data.schema().clone();
         let pref = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
         assert!(matches!(
@@ -261,7 +285,8 @@ mod tests {
             Err(SkylineError::NotMaterialized { .. })
         ));
         // A query that only uses materialized values still works.
-        let ok = Preference::parse(&schema, [("hotel-group", "T < *"), ("airline", "G < *")]).unwrap();
+        let ok =
+            Preference::parse(&schema, [("hotel-group", "T < *"), ("airline", "G < *")]).unwrap();
         assert_eq!(tree.query(&data, &ok).unwrap(), vec![0, 2]);
     }
 
@@ -276,8 +301,15 @@ mod tests {
         .unwrap();
         let tree = IpoTreeBuilder::new().build(&data, &template).unwrap();
         let bad = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
-        assert!(matches!(tree.query(&data, &bad), Err(SkylineError::NotARefinement { .. })));
-        let good = Preference::parse(&schema, [("hotel-group", "T < M < *"), ("airline", "G < *")]).unwrap();
+        assert!(matches!(
+            tree.query(&data, &bad),
+            Err(SkylineError::NotARefinement { .. })
+        ));
+        let good = Preference::parse(
+            &schema,
+            [("hotel-group", "T < M < *"), ("airline", "G < *")],
+        )
+        .unwrap();
         let ctx = DominanceContext::for_query(&data, &template, &good).unwrap();
         assert_eq!(tree.query(&data, &good).unwrap(), bnl::skyline(&ctx));
     }

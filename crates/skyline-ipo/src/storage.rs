@@ -37,11 +37,10 @@ impl StorageReport {
 
 /// Storage report of a set-based [`IpoTree`].
 pub fn ipo_tree_storage(tree: &IpoTree) -> StorageReport {
-    let id = std::mem::size_of::<PointId>();
-    let skyline_bytes = tree.skyline().len() * id;
+    let skyline_bytes = std::mem::size_of_val(tree.skyline());
     let node_set_bytes = tree
         .iter_nodes()
-        .map(|(_, n)| n.disqualified().len() * id)
+        .map(|(_, n)| std::mem::size_of_val(n.disqualified()))
         .sum();
     let topology_bytes = tree
         .iter_nodes()
@@ -58,8 +57,7 @@ pub fn ipo_tree_storage(tree: &IpoTree) -> StorageReport {
 
 /// Storage report of a [`BitmapIpoTree`] (nodes + inverted lists).
 pub fn bitmap_tree_storage(tree: &BitmapIpoTree) -> StorageReport {
-    let id = std::mem::size_of::<PointId>();
-    let skyline_bytes = tree.skyline().len() * id;
+    let skyline_bytes = std::mem::size_of_val(tree.skyline());
     let total = tree.approximate_bytes();
     let auxiliary_bytes = tree.inverted().approximate_bytes();
     StorageReport {
@@ -75,7 +73,8 @@ pub fn bitmap_tree_storage(tree: &BitmapIpoTree) -> StorageReport {
 /// order and per-point scores).
 pub fn sorted_list_storage(skyline_len: usize) -> usize {
     // point id + f64 score per entry, plus the sorted index.
-    skyline_len * (std::mem::size_of::<PointId>() + std::mem::size_of::<f64>() + std::mem::size_of::<u32>())
+    skyline_len
+        * (std::mem::size_of::<PointId>() + std::mem::size_of::<f64>() + std::mem::size_of::<u32>())
 }
 
 #[cfg(test)]
@@ -107,7 +106,10 @@ mod tests {
         assert_eq!(report.node_count, tree.node_count());
         assert_eq!(
             report.total_bytes(),
-            report.skyline_bytes + report.node_set_bytes + report.topology_bytes + report.auxiliary_bytes
+            report.skyline_bytes
+                + report.node_set_bytes
+                + report.topology_bytes
+                + report.auxiliary_bytes
         );
         assert!(report.total_bytes() > 0);
         assert!(report.total_megabytes() > 0.0);
@@ -127,7 +129,10 @@ mod tests {
     fn truncated_tree_uses_less_storage() {
         let (full, data) = tree();
         let template = Template::empty(data.schema());
-        let truncated = IpoTreeBuilder::new().top_k_values(1).build(&data, &template).unwrap();
+        let truncated = IpoTreeBuilder::new()
+            .top_k_values(1)
+            .build(&data, &template)
+            .unwrap();
         assert!(ipo_tree_storage(&truncated).total_bytes() < ipo_tree_storage(&full).total_bytes());
     }
 

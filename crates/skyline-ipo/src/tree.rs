@@ -179,9 +179,18 @@ mod tests {
             disqualified: vec![],
             children: vec![],
         }];
-        let add = |dim: usize, label: Option<ValueId>, disq: Vec<PointId>, nodes: &mut Vec<IpoNode>| -> u32 {
+        let add = |dim: usize,
+                   label: Option<ValueId>,
+                   disq: Vec<PointId>,
+                   nodes: &mut Vec<IpoNode>|
+         -> u32 {
             let id = nodes.len() as u32;
-            nodes.push(IpoNode { dim, label, disqualified: disq, children: vec![] });
+            nodes.push(IpoNode {
+                dim,
+                label,
+                disqualified: disq,
+                children: vec![],
+            });
             id
         };
         let g_phi = add(0, None, vec![], &mut nodes);
@@ -236,10 +245,22 @@ mod tests {
     #[test]
     fn first_order_skyline_subtracts_the_deepest_labelled_set() {
         let tree = tiny_tree();
-        assert_eq!(tree.first_order_skyline(&[None, None]).unwrap(), vec![10, 20, 30]);
-        assert_eq!(tree.first_order_skyline(&[Some(0), None]).unwrap(), vec![10, 20]);
-        assert_eq!(tree.first_order_skyline(&[Some(1), Some(1)]).unwrap(), vec![20, 30]);
-        assert_eq!(tree.first_order_skyline(&[None, Some(0)]).unwrap(), vec![10, 30]);
+        assert_eq!(
+            tree.first_order_skyline(&[None, None]).unwrap(),
+            vec![10, 20, 30]
+        );
+        assert_eq!(
+            tree.first_order_skyline(&[Some(0), None]).unwrap(),
+            vec![10, 20]
+        );
+        assert_eq!(
+            tree.first_order_skyline(&[Some(1), Some(1)]).unwrap(),
+            vec![20, 30]
+        );
+        assert_eq!(
+            tree.first_order_skyline(&[None, Some(0)]).unwrap(),
+            vec![10, 30]
+        );
         assert!(tree.first_order_skyline(&[Some(9), None]).is_none());
     }
 }

@@ -69,8 +69,15 @@ fn main() -> Result<()> {
         // Random traveller preference of order 2 on both nominal dimensions.
         let pref = generator.random_preference(&schema, &template_for_queries, 2, None);
         let skyline = inventory.query(&pref)?;
-        println!("\nRound {round}: traveller preference [{}]", pref.display(&schema));
-        println!("  {} skyline flights out of {} live flights", skyline.len(), inventory.live_rows());
+        println!(
+            "\nRound {round}: traveller preference [{}]",
+            pref.display(&schema)
+        );
+        println!(
+            "  {} skyline flights out of {} live flights",
+            skyline.len(),
+            inventory.live_rows()
+        );
         for &p in skyline.iter().take(3) {
             println!(
                 "    flight #{p:<5} {:>6.0} EUR  {:>4.1} h  {} stops  {:10} via {}",
@@ -89,7 +96,10 @@ fn main() -> Result<()> {
         }
         if let Some(&sold_out) = skyline.first() {
             inventory.delete_row(sold_out)?;
-            println!("  flight #{sold_out} sold out; skyline size is now {}", inventory.skyline_size());
+            println!(
+                "  flight #{sold_out} sold out; skyline size is now {}",
+                inventory.skyline_size()
+            );
         }
     }
     Ok(())

@@ -15,7 +15,11 @@ use skyline_core::stats;
 
 fn main() -> Result<()> {
     let data = nursery::generate();
-    println!("Nursery data set: {} rows, {} attributes", data.len(), data.schema().arity());
+    println!(
+        "Nursery data set: {} rows, {} attributes",
+        data.len(),
+        data.schema().arity()
+    );
     println!(
         "Nominal attributes: form (cardinality {}), children (cardinality {})",
         data.schema().nominal_domain(0).unwrap().cardinality(),

@@ -30,7 +30,12 @@ fn main() -> Result<()> {
         ("f", 3000.0, 3.0, "Mozilla", "Wings"),
     ];
     for (_, price, class, group, airline) in rows {
-        builder.push_row([RowValue::Num(price), RowValue::Num(-class), group.into(), airline.into()])?;
+        builder.push_row([
+            RowValue::Num(price),
+            RowValue::Num(-class),
+            group.into(),
+            airline.into(),
+        ])?;
     }
     let data = builder.build()?;
     let names: Vec<&str> = rows.iter().map(|r| r.0).collect();
@@ -45,19 +50,32 @@ fn main() -> Result<()> {
     // 5. Ask the four queries of Example 1 plus a couple of customer preferences from Table 2.
     let queries = [
         ("Q_A: Mozilla first", vec![("hotel-group", "Mozilla < *")]),
-        ("Q_B: Mozilla first, Gonna first", vec![("hotel-group", "Mozilla < *"), ("airline", "Gonna < *")]),
+        (
+            "Q_B: Mozilla first, Gonna first",
+            vec![("hotel-group", "Mozilla < *"), ("airline", "Gonna < *")],
+        ),
         (
             "Q_D: Mozilla then Horizon, Gonna then Redish",
-            vec![("hotel-group", "Mozilla < Horizon < *"), ("airline", "Gonna < Redish < *")],
+            vec![
+                ("hotel-group", "Mozilla < Horizon < *"),
+                ("airline", "Gonna < Redish < *"),
+            ],
         ),
-        ("Alice: Tulips then Mozilla", vec![("hotel-group", "Tulips < Mozilla < *")]),
+        (
+            "Alice: Tulips then Mozilla",
+            vec![("hotel-group", "Tulips < Mozilla < *")],
+        ),
         ("Bob: no special preference", vec![]),
     ];
     for (label, spec) in queries {
         let pref = Preference::parse(data.schema(), spec)?;
         let outcome = engine.query(&pref)?;
         let members: Vec<&str> = outcome.skyline.iter().map(|&p| names[p as usize]).collect();
-        println!("{label:<45} -> skyline {{{}}} (answered by {:?})", members.join(", "), outcome.method);
+        println!(
+            "{label:<45} -> skyline {{{}}} (answered by {:?})",
+            members.join(", "),
+            outcome.method
+        );
     }
 
     Ok(())

@@ -13,7 +13,14 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use skyline::prelude::*;
 
-const REGIONS: [&str; 6] = ["downtown", "harbor", "old-town", "suburb-north", "suburb-south", "riverside"];
+const REGIONS: [&str; 6] = [
+    "downtown",
+    "harbor",
+    "old-town",
+    "suburb-north",
+    "suburb-south",
+    "riverside",
+];
 const TYPES: [&str; 4] = ["apartment", "townhouse", "detached", "loft"];
 
 fn build_listings(n: usize, seed: u64) -> Result<Dataset> {
@@ -47,7 +54,12 @@ fn build_listings(n: usize, seed: u64) -> Result<Dataset> {
             "harbor" | "old-town" | "riverside" => rng.gen_range(10.0..35.0),
             _ => rng.gen_range(25.0..60.0),
         };
-        builder.push_row([RowValue::Num(price), RowValue::Num(commute), region.into(), ptype.into()])?;
+        builder.push_row([
+            RowValue::Num(price),
+            RowValue::Num(commute),
+            region.into(),
+            ptype.into(),
+        ])?;
     }
     builder.build()
 }
@@ -66,10 +78,25 @@ fn main() -> Result<()> {
     println!();
 
     let buyers = [
-        ("Young professional", vec![("region", "downtown < harbor < *"), ("type", "loft < apartment < *")]),
-        ("Family with kids", vec![("region", "suburb-north < suburb-south < *"), ("type", "detached < townhouse < *")]),
+        (
+            "Young professional",
+            vec![
+                ("region", "downtown < harbor < *"),
+                ("type", "loft < apartment < *"),
+            ],
+        ),
+        (
+            "Family with kids",
+            vec![
+                ("region", "suburb-north < suburb-south < *"),
+                ("type", "detached < townhouse < *"),
+            ],
+        ),
         ("Retiree", vec![("region", "riverside < old-town < *")]),
-        ("Investor (no area preference)", vec![("type", "apartment < *")]),
+        (
+            "Investor (no area preference)",
+            vec![("type", "apartment < *")],
+        ),
     ];
 
     for (buyer, spec) in buyers {
@@ -79,7 +106,10 @@ fn main() -> Result<()> {
         assert_eq!(outcome.skyline, adaptive_answer, "both methods must agree");
         println!(
             "{buyer:<30} preference [{}]",
-            spec.iter().map(|(d, p)| format!("{d}: {p}")).collect::<Vec<_>>().join("; ")
+            spec.iter()
+                .map(|(d, p)| format!("{d}: {p}"))
+                .collect::<Vec<_>>()
+                .join("; ")
         );
         println!(
             "  -> {} skyline listings (answered by {:?}); best 5 by preference score:",

@@ -24,7 +24,11 @@ fn main() -> Result<()> {
         ("f", 3000.0, 3, "M"),
     ];
     for (_, price, class, group) in rows {
-        builder.push_row([RowValue::Num(price), RowValue::Num(-(class as f64)), group.into()])?;
+        builder.push_row([
+            RowValue::Num(price),
+            RowValue::Num(-(class as f64)),
+            group.into(),
+        ])?;
     }
     let data = builder.build()?;
     let names: Vec<&str> = rows.iter().map(|r| r.0).collect();
@@ -54,12 +58,18 @@ fn main() -> Result<()> {
         data.len()
     );
     println!();
-    println!("{:<8} {:<16} {:<20} {}", "Customer", "Preference", "Skyline", "Progressive order");
+    println!(
+        "{:<8} {:<16} {:<20} Progressive order",
+        "Customer", "Preference", "Skyline"
+    );
     for (customer, pref_text) in customers {
         let pref = Preference::parse(data.schema(), [("hotel-group", pref_text)])?;
         let skyline = asfs.query(&pref)?;
         let members: Vec<&str> = skyline.iter().map(|&p| names[p as usize]).collect();
-        let streamed: Vec<&str> = asfs.query_progressive(&pref)?.map(|p| names[p as usize]).collect();
+        let streamed: Vec<&str> = asfs
+            .query_progressive(&pref)?
+            .map(|p| names[p as usize])
+            .collect();
         println!(
             "{customer:<8} {pref_text:<16} {{{:<18}}} {}",
             members.join(", "),

@@ -2,7 +2,9 @@
 
 use skyline_adaptive::AdaptiveSfs;
 use skyline_core::algo::sfs;
-use skyline_core::{Dataset, DominanceContext, PointId, Preference, Result, SkylineError, Template};
+use skyline_core::{
+    Dataset, DominanceContext, PointId, Preference, Result, SkylineError, Template,
+};
 use skyline_ipo::{BitmapIpoTree, IpoTree, IpoTreeBuilder};
 
 /// Which algorithm an engine instance materializes and uses to answer queries.
@@ -62,7 +64,14 @@ pub struct SkylineEngine<'a> {
 impl<'a> SkylineEngine<'a> {
     /// Builds the engine, performing whatever preprocessing the configuration requires.
     pub fn build(data: &'a Dataset, template: Template, config: EngineConfig) -> Result<Self> {
-        let mut engine = Self { data, template, config, ipo: None, bitmap: None, asfs: None };
+        let mut engine = Self {
+            data,
+            template,
+            config,
+            ipo: None,
+            bitmap: None,
+            asfs: None,
+        };
         match config {
             EngineConfig::SfsD => {}
             EngineConfig::AdaptiveSfs => {
@@ -72,14 +81,20 @@ impl<'a> SkylineEngine<'a> {
                 engine.ipo = Some(IpoTreeBuilder::new().build(data, &engine.template)?);
             }
             EngineConfig::IpoTreeTopK(k) => {
-                engine.ipo = Some(IpoTreeBuilder::new().top_k_values(k).build(data, &engine.template)?);
+                engine.ipo = Some(
+                    IpoTreeBuilder::new()
+                        .top_k_values(k)
+                        .build(data, &engine.template)?,
+                );
             }
             EngineConfig::BitmapIpoTree => {
                 let tree = IpoTreeBuilder::new().build(data, &engine.template)?;
                 engine.bitmap = Some(BitmapIpoTree::from_tree(&tree, data));
             }
             EngineConfig::Hybrid { top_k } => {
-                let tree = IpoTreeBuilder::new().top_k_values(top_k).build(data, &engine.template)?;
+                let tree = IpoTreeBuilder::new()
+                    .top_k_values(top_k)
+                    .build(data, &engine.template)?;
                 engine.asfs = Some(AdaptiveSfs::from_precomputed_skyline(
                     data,
                     engine.template.clone(),
@@ -122,20 +137,32 @@ impl<'a> SkylineEngine<'a> {
             EngineConfig::SfsD => self.query_sfs_d(pref),
             EngineConfig::AdaptiveSfs => {
                 let asfs = self.asfs.as_ref().expect("built in build()");
-                Ok(QueryOutcome { skyline: asfs.query(pref)?, method: MethodUsed::AdaptiveSfs })
+                Ok(QueryOutcome {
+                    skyline: asfs.query(pref)?,
+                    method: MethodUsed::AdaptiveSfs,
+                })
             }
             EngineConfig::IpoTree | EngineConfig::IpoTreeTopK(_) => {
                 let tree = self.ipo.as_ref().expect("built in build()");
-                Ok(QueryOutcome { skyline: tree.query(self.data, pref)?, method: MethodUsed::IpoTree })
+                Ok(QueryOutcome {
+                    skyline: tree.query(self.data, pref)?,
+                    method: MethodUsed::IpoTree,
+                })
             }
             EngineConfig::BitmapIpoTree => {
                 let tree = self.bitmap.as_ref().expect("built in build()");
-                Ok(QueryOutcome { skyline: tree.query(self.data, pref)?, method: MethodUsed::IpoTree })
+                Ok(QueryOutcome {
+                    skyline: tree.query(self.data, pref)?,
+                    method: MethodUsed::IpoTree,
+                })
             }
             EngineConfig::Hybrid { .. } => {
                 let tree = self.ipo.as_ref().expect("built in build()");
                 match tree.query(self.data, pref) {
-                    Ok(skyline) => Ok(QueryOutcome { skyline, method: MethodUsed::IpoTree }),
+                    Ok(skyline) => Ok(QueryOutcome {
+                        skyline,
+                        method: MethodUsed::IpoTree,
+                    }),
                     Err(SkylineError::NotMaterialized { .. }) => {
                         let asfs = self.asfs.as_ref().expect("built in build()");
                         Ok(QueryOutcome {
@@ -153,7 +180,10 @@ impl<'a> SkylineEngine<'a> {
     fn query_sfs_d(&self, pref: &Preference) -> Result<QueryOutcome> {
         let ctx = DominanceContext::for_query(self.data, &self.template, pref)?;
         let skyline = sfs::sfs_d(&ctx, &self.template, pref)?;
-        Ok(QueryOutcome { skyline, method: MethodUsed::SfsD })
+        Ok(QueryOutcome {
+            skyline,
+            method: MethodUsed::SfsD,
+        })
     }
 }
 
@@ -180,8 +210,13 @@ mod tests {
             (2400.0, 2.0, "M", "R"),
             (3000.0, 3.0, "M", "W"),
         ] {
-            b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into(), airline.into()])
-                .unwrap();
+            b.push_row([
+                RowValue::Num(price),
+                RowValue::Num(-class),
+                group.into(),
+                airline.into(),
+            ])
+            .unwrap();
         }
         b.build().unwrap()
     }
@@ -212,7 +247,10 @@ mod tests {
                 let ctx = DominanceContext::for_query(&data, &template, &pref).unwrap();
                 let expected = bnl::skyline(&ctx);
                 let outcome = engine.query(&pref).unwrap();
-                assert_eq!(outcome.skyline, expected, "config {config:?}, spec {spec:?}");
+                assert_eq!(
+                    outcome.skyline, expected,
+                    "config {config:?}, spec {spec:?}"
+                );
             }
         }
     }
@@ -222,7 +260,9 @@ mod tests {
         let data = table3_data();
         let schema = data.schema().clone();
         let template = Template::empty(&schema);
-        let engine = SkylineEngine::build(&data, template.clone(), EngineConfig::Hybrid { top_k: 1 }).unwrap();
+        let engine =
+            SkylineEngine::build(&data, template.clone(), EngineConfig::Hybrid { top_k: 1 })
+                .unwrap();
         // Airline G (id 0) is the most frequent: materialized → answered by the IPO tree.
         let popular = Preference::parse(&schema, [("airline", "G < *")]).unwrap();
         assert_eq!(engine.query(&popular).unwrap().method, MethodUsed::IpoTree);

@@ -1,0 +1,44 @@
+//! Smoke test: the `quickstart` and `nursery_real_data` examples must run to successful exit.
+//!
+//! `cargo test` compiles every example of the package before running integration tests, so the
+//! binaries are guaranteed to exist under `target/<profile>/examples/` next to this test
+//! binary (which lives in `target/<profile>/deps/`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn example_path(name: &str) -> PathBuf {
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop(); // deps/
+    path.pop(); // <profile>/
+    path.push("examples");
+    path.push(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+fn run_example(name: &str) {
+    let path = example_path(name);
+    assert!(
+        path.exists(),
+        "example binary {} not found; `cargo test` should have built it",
+        path.display()
+    );
+    let output = Command::new(&path).output().expect("example spawns");
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn quickstart_example_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn nursery_real_data_example_runs() {
+    run_example("nursery_real_data");
+}

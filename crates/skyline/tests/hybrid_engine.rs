@@ -26,7 +26,8 @@ fn synthetic() -> (Dataset, Template) {
 #[test]
 fn hybrid_answers_every_query_correctly_and_uses_both_paths() {
     let (data, template) = synthetic();
-    let engine = SkylineEngine::build(&data, template.clone(), EngineConfig::Hybrid { top_k: 3 }).unwrap();
+    let engine =
+        SkylineEngine::build(&data, template.clone(), EngineConfig::Hybrid { top_k: 3 }).unwrap();
 
     let mut generator = QueryGenerator::new(11);
     let mut used_tree = 0;
@@ -49,15 +50,20 @@ fn hybrid_answers_every_query_correctly_and_uses_both_paths() {
         assert_eq!(outcome.skyline, bnl::skyline(&ctx), "query {i}");
     }
     assert!(used_tree > 0, "the materialized tree was never used");
-    assert!(used_fallback > 0, "the Adaptive SFS fallback was never used");
+    assert!(
+        used_fallback > 0,
+        "the Adaptive SFS fallback was never used"
+    );
 }
 
 #[test]
 fn hybrid_matches_the_dedicated_engines() {
     let (data, template) = synthetic();
-    let hybrid = SkylineEngine::build(&data, template.clone(), EngineConfig::Hybrid { top_k: 4 }).unwrap();
+    let hybrid =
+        SkylineEngine::build(&data, template.clone(), EngineConfig::Hybrid { top_k: 4 }).unwrap();
     let full_tree = SkylineEngine::build(&data, template.clone(), EngineConfig::IpoTree).unwrap();
-    let adaptive = SkylineEngine::build(&data, template.clone(), EngineConfig::AdaptiveSfs).unwrap();
+    let adaptive =
+        SkylineEngine::build(&data, template.clone(), EngineConfig::AdaptiveSfs).unwrap();
 
     let mut generator = QueryGenerator::new(23);
     for _ in 0..30 {
@@ -72,7 +78,10 @@ fn hybrid_matches_the_dedicated_engines() {
 fn truncated_tree_is_smaller_than_the_full_tree() {
     let (data, template) = synthetic();
     let full = IpoTreeBuilder::new().build(&data, &template).unwrap();
-    let truncated = IpoTreeBuilder::new().top_k_values(3).build(&data, &template).unwrap();
+    let truncated = IpoTreeBuilder::new()
+        .top_k_values(3)
+        .build(&data, &template)
+        .unwrap();
     assert!(truncated.node_count() < full.node_count());
     let full_storage = skyline::ipo::storage::ipo_tree_storage(&full);
     let truncated_storage = skyline::ipo::storage::ipo_tree_storage(&truncated);

@@ -10,8 +10,13 @@ const CARD: usize = 3;
 
 #[derive(Debug, Clone)]
 enum Update {
-    Insert { numeric: Vec<f64>, nominal: Vec<ValueId> },
-    Delete { index: usize },
+    Insert {
+        numeric: Vec<f64>,
+        nominal: Vec<ValueId>,
+    },
+    Delete {
+        index: usize,
+    },
 }
 
 fn update_strategy() -> impl Strategy<Value = Update> {

@@ -21,7 +21,8 @@ fn table1() -> Dataset {
         (2400.0, 2.0, "M"),
         (3000.0, 3.0, "M"),
     ] {
-        b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()]).unwrap();
+        b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()])
+            .unwrap();
     }
     b.build().unwrap()
 }
@@ -44,7 +45,13 @@ fn table3() -> Dataset {
         (2400.0, 2.0, "M", "R"),
         (3000.0, 3.0, "M", "W"),
     ] {
-        b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into(), airline.into()]).unwrap();
+        b.push_row([
+            RowValue::Num(price),
+            RowValue::Num(-class),
+            group.into(),
+            airline.into(),
+        ])
+        .unwrap();
     }
     b.build().unwrap()
 }
@@ -81,7 +88,11 @@ fn table2_customer_preferences() {
         for (customer, pref_text, expected) in &customers {
             let pref = Preference::parse(data.schema(), [("hotel-group", *pref_text)]).unwrap();
             let outcome = engine.query(&pref).unwrap();
-            assert_eq!(&named(&outcome.skyline), expected, "{customer} under {config:?}");
+            assert_eq!(
+                &named(&outcome.skyline),
+                expected,
+                "{customer} under {config:?}"
+            );
         }
     }
 }
@@ -110,8 +121,13 @@ fn figure2_ipo_tree_contents() {
     // The R ≺ ∗ and W ≺ ∗ airline children disqualify nothing, as drawn.
     for group_choice in [None, Some(0), Some(1), Some(2)] {
         for airline in [1u16, 2u16] {
-            let node = tree.node_for_choices(&[group_choice, Some(airline)]).unwrap();
-            assert!(tree.node(node).disqualified().is_empty(), "{group_choice:?}, airline {airline}");
+            let node = tree
+                .node_for_choices(&[group_choice, Some(airline)])
+                .unwrap();
+            assert!(
+                tree.node(node).disqualified().is_empty(),
+                "{group_choice:?}, airline {airline}"
+            );
         }
     }
 }
@@ -124,23 +140,45 @@ fn example1_query_walkthrough() {
 
     // Q_A = "M ≺ ∗"                          → {a, c, d, e, f}
     let q_a = Preference::parse(data.schema(), [("hotel-group", "M < *")]).unwrap();
-    assert_eq!(named(&tree.query(&data, &q_a).unwrap()), vec!["a", "c", "d", "e", "f"]);
+    assert_eq!(
+        named(&tree.query(&data, &q_a).unwrap()),
+        vec!["a", "c", "d", "e", "f"]
+    );
 
     // Q_B = "M ≺ ∗, G ≺ ∗"                   → {a, c, e, f}
-    let q_b = Preference::parse(data.schema(), [("hotel-group", "M < *"), ("airline", "G < *")]).unwrap();
-    assert_eq!(named(&tree.query(&data, &q_b).unwrap()), vec!["a", "c", "e", "f"]);
+    let q_b = Preference::parse(
+        data.schema(),
+        [("hotel-group", "M < *"), ("airline", "G < *")],
+    )
+    .unwrap();
+    assert_eq!(
+        named(&tree.query(&data, &q_b).unwrap()),
+        vec!["a", "c", "e", "f"]
+    );
 
     // Q_C = "M ≺ H ≺ ∗, G ≺ ∗"               → {a, c, e, f}
-    let q_c =
-        Preference::parse(data.schema(), [("hotel-group", "M < H < *"), ("airline", "G < *")]).unwrap();
-    assert_eq!(named(&tree.query(&data, &q_c).unwrap()), vec!["a", "c", "e", "f"]);
+    let q_c = Preference::parse(
+        data.schema(),
+        [("hotel-group", "M < H < *"), ("airline", "G < *")],
+    )
+    .unwrap();
+    assert_eq!(
+        named(&tree.query(&data, &q_c).unwrap()),
+        vec!["a", "c", "e", "f"]
+    );
 
     // Q_D = "M ≺ H ≺ ∗, G ≺ R ≺ ∗" (Figure 3) → {a, c, e, f}, evaluated through 4 leaves.
-    let q_d = Preference::parse(data.schema(), [("hotel-group", "M < H < *"), ("airline", "G < R < *")])
-        .unwrap();
+    let q_d = Preference::parse(
+        data.schema(),
+        [("hotel-group", "M < H < *"), ("airline", "G < R < *")],
+    )
+    .unwrap();
     let (result, stats) = tree.query_with_stats(&data, &q_d).unwrap();
     assert_eq!(named(&result), vec!["a", "c", "e", "f"]);
-    assert_eq!(stats.leaf_results, 4, "Figure 3 processes 4 leaf sub-queries");
+    assert_eq!(
+        stats.leaf_results, 4,
+        "Figure 3 processes 4 leaf sub-queries"
+    );
 }
 
 #[test]
@@ -199,7 +237,10 @@ fn nursery_real_data_setup_matches_section_5_2() {
     let engine = SkylineEngine::build(&data, template.clone(), EngineConfig::IpoTree).unwrap();
     let pref = Preference::parse(
         data.schema(),
-        [("form", "complete < foster < *"), ("children", "1 < more < *")],
+        [
+            ("form", "complete < foster < *"),
+            ("children", "1 < more < *"),
+        ],
     )
     .unwrap();
     let from_tree = engine.query(&pref).unwrap().skyline;

@@ -14,13 +14,12 @@ const CARD: usize = 4;
 fn dataset_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<Vec<ValueId>>)> {
     (1usize..35).prop_flat_map(|rows| {
         let numeric = proptest::collection::vec(
-            proptest::collection::vec(0i32..5, rows).prop_map(|v| v.into_iter().map(f64::from).collect()),
+            proptest::collection::vec(0i32..5, rows)
+                .prop_map(|v| v.into_iter().map(f64::from).collect()),
             2,
         );
-        let nominal = proptest::collection::vec(
-            proptest::collection::vec(0..(CARD as ValueId), rows),
-            2,
-        );
+        let nominal =
+            proptest::collection::vec(proptest::collection::vec(0..(CARD as ValueId), rows), 2);
         (numeric, nominal)
     })
 }
@@ -38,14 +37,18 @@ fn build(numeric: Vec<Vec<f64>>, nominal: Vec<Vec<ValueId>>) -> Dataset {
 
 fn preference_strategy() -> impl Strategy<Value = Vec<Vec<ValueId>>> {
     proptest::collection::vec(
-        proptest::sample::subsequence((0..CARD as ValueId).collect::<Vec<_>>(), 0..=3).prop_shuffle(),
+        proptest::sample::subsequence((0..CARD as ValueId).collect::<Vec<_>>(), 0..=3)
+            .prop_shuffle(),
         2,
     )
 }
 
 fn to_preference(choices: &[Vec<ValueId>]) -> Preference {
     Preference::from_dims(
-        choices.iter().map(|c| ImplicitPreference::new(c.clone()).unwrap()).collect(),
+        choices
+            .iter()
+            .map(|c| ImplicitPreference::new(c.clone()).unwrap())
+            .collect(),
     )
 }
 

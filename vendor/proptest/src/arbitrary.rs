@@ -1,0 +1,41 @@
+//! The `any::<T>()` entry point for types with a canonical strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::{Rng, StandardSample};
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Returns the canonical strategy for `T` (uniform over the type's domain for integers and
+/// `bool`, `[0, 1)` for floats).
+pub fn any<T: StandardSample + Debug>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: StandardSample + Debug> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = TestRng::from_seed(29);
+        let s = any::<bool>();
+        let mut seen = [false, false];
+        for _ in 0..50 {
+            seen[usize::from(s.generate(&mut rng))] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

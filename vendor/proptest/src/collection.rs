@@ -1,0 +1,90 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// An inclusive length range for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+
+    pub(crate) fn clamped_pick(&self, max: usize, rng: &mut TestRng) -> usize {
+        let hi = self.hi.min(max);
+        let lo = self.lo.min(hi);
+        rng.gen_range(lo..=hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self { lo: len, hi: len }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(range: std::ops::Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        Self {
+            lo: range.start,
+            hi: range.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty size range");
+        Self {
+            lo: *range.start(),
+            hi: *range.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec`s whose elements come from `element` and whose length lies in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::from_seed(3);
+        assert_eq!(vec(0i32..5, 4).generate(&mut rng).len(), 4);
+        for _ in 0..100 {
+            let v = vec(0i32..5, 1..20).generate(&mut rng);
+            assert!((1..20).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline, API-compatible subset of the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment for this repository cannot reach a crates registry, so the workspace
+//! vendors the slice of the proptest API its test suites use: the [`strategy::Strategy`]
+//! trait with `prop_map` / `prop_flat_map` / `prop_shuffle`, [`collection::vec`],
+//! [`sample::subsequence`], [`option::of`], [`arbitrary::any`], the [`proptest!`],
+//! [`prop_oneof!`] and `prop_assert*` macros, and [`test_runner::Config`].
+//!
+//! Semantics differ from upstream in one deliberate way: failing inputs are **not shrunk**
+//! (the failing case is printed verbatim instead), and case generation is fully
+//! deterministic per test name, so failures always reproduce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Asserts a condition inside a [`proptest!`] body (delegates to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tok:tt)*) => { assert!($($tok)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body (delegates to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tok:tt)*) => { assert_eq!($($tok)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body (delegates to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tok:tt)*) => { assert_ne!($($tok)*) };
+}
+
+/// Uniformly picks one of several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests.
+///
+/// Supported form (the one upstream documents most prominently):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_property(x in 0i32..10, v in proptest::collection::vec(0u8..5, 3)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr);
+     $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                    // Snapshot the RNG so the failing inputs can be regenerated (and only
+                    // then Debug-formatted) in the failure branch; passing cases pay nothing.
+                    let __snapshot = __rng.clone();
+                    let ($($arg,)+) = (
+                        $($crate::strategy::Strategy::generate(&($strategy), __rng),)+
+                    );
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || { $body })
+                    );
+                    if let Err(__panic) = __outcome {
+                        let mut __replay = __snapshot;
+                        let __values = (
+                            $($crate::strategy::Strategy::generate(&($strategy), &mut __replay),)+
+                        );
+                        eprintln!(
+                            "proptest: {} failed with inputs:\n{:#?}",
+                            stringify!($name),
+                            __values
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

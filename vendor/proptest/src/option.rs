@@ -1,0 +1,52 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy producing `Some` of the inner strategy's value three times out of four,
+/// `None` otherwise (matching upstream's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.gen_range(0u32..4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::from_seed(23);
+        let s = of(0i32..5);
+        let mut some = false;
+        let mut none = false;
+        for _ in 0..100 {
+            match s.generate(&mut rng) {
+                Some(v) => {
+                    assert!((0..5).contains(&v));
+                    some = true;
+                }
+                None => none = true,
+            }
+        }
+        assert!(some && none);
+    }
+}

@@ -1,0 +1,65 @@
+//! Sampling strategies (`proptest::sample::subsequence`).
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::seq::SliceRandom;
+use std::fmt::Debug;
+
+/// Strategy producing order-preserving subsequences of `values` whose length lies in `size`
+/// (clamped to `values.len()`).
+pub fn subsequence<T: Clone + Debug>(values: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        values,
+        size: size.into(),
+    }
+}
+
+/// See [`subsequence`].
+#[derive(Debug, Clone)]
+pub struct Subsequence<T> {
+    values: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone + Debug> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let len = self.size.clamped_pick(self.values.len(), rng);
+        let mut indices: Vec<usize> = (0..self.values.len()).collect();
+        indices.shuffle(rng);
+        indices.truncate(len);
+        indices.sort_unstable();
+        indices
+            .into_iter()
+            .map(|i| self.values[i].clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsequences_preserve_order_and_distinctness() {
+        let mut rng = TestRng::from_seed(17);
+        let base: Vec<u16> = (0..5).collect();
+        for _ in 0..200 {
+            let sub = subsequence(base.clone(), 0..=3).generate(&mut rng);
+            assert!(sub.len() <= 3);
+            assert!(
+                sub.windows(2).all(|w| w[0] < w[1]),
+                "not an ordered subsequence: {sub:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn size_is_clamped_to_len() {
+        let mut rng = TestRng::from_seed(18);
+        let sub = subsequence(vec![1u16, 2], 0..=10).generate(&mut rng);
+        assert!(sub.len() <= 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Deterministic case runner and configuration.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for a [`proptest!`](crate::proptest) block, mirroring
+/// `proptest::test_runner::Config` for the fields this workspace uses.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented, so this is unused.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Random source handed to strategies. Wraps the vendored [`SmallRng`] so strategies can use
+/// the full `rand::Rng` surface through [`RngCore`].
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn from_seed(seed: u64) -> Self {
+        Self(SmallRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Runs `config.cases` deterministic cases of `body`. The per-case seed is derived from the
+/// test name and case index, so a failure reported for case `i` always reproduces.
+pub fn run_cases<F: FnMut(&mut TestRng)>(config: &Config, name: &str, mut body: F) {
+    let base = fnv1a(name.as_bytes());
+    for case in 0..config.cases {
+        let mut rng =
+            TestRng::from_seed(base ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "proptest: property {name} failed on case {case}/{}",
+                config.cases
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_runs_256_cases() {
+        let mut count = 0;
+        run_cases(&Config::default(), "counting", |_| count += 1);
+        assert_eq!(count, 256);
+    }
+
+    #[test]
+    fn seeds_are_deterministic_per_case() {
+        let mut first: Vec<u64> = Vec::new();
+        run_cases(
+            &Config {
+                cases: 5,
+                ..Config::default()
+            },
+            "det",
+            |rng| {
+                first.push(rng.next_u64());
+            },
+        );
+        let mut second: Vec<u64> = Vec::new();
+        run_cases(
+            &Config {
+                cases: 5,
+                ..Config::default()
+            },
+            "det",
+            |rng| {
+                second.push(rng.next_u64());
+            },
+        );
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 5);
+    }
+}

@@ -1,0 +1,31 @@
+//! Exercises the `proptest!` macro exactly as dependent crates use it: config header,
+//! doc comments, tuple patterns, multiple arguments, and the failure path.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Doc comments and multiple `pattern in strategy` arguments must parse.
+    #[test]
+    fn passing_property(
+        (a, b) in (0i32..10, 0i32..10),
+        v in proptest::collection::vec(0u16..4, 1..6),
+    ) {
+        prop_assert!(a < 10 && b < 10);
+        prop_assert!((1..6).contains(&v.len()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// The failure branch regenerates and reports the inputs, then resumes the panic.
+    #[test]
+    #[should_panic(expected = "deliberate failure")]
+    fn failing_property_panics(x in 0i32..100) {
+        // Consume `x` by value to mirror bodies that move their inputs.
+        let owned = Vec::from([x]);
+        prop_assert!(owned.is_empty(), "deliberate failure on {}", owned[0]);
+    }
+}
