@@ -9,6 +9,7 @@ use skyline_core::{
     Dataset, DominanceContext, PointId, Preference, Result, SkylineError, Template,
 };
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How the elimination pass of Algorithm 4 is executed.
@@ -47,21 +48,27 @@ pub struct QueryStats {
 }
 
 /// The Adaptive SFS query structure over an immutable dataset.
+///
+/// The dataset is held by shared ownership ([`Arc`]), so the structure is `Send + Sync` and
+/// one build can serve queries from many threads concurrently (`&self` queries only read).
 #[derive(Debug, Clone)]
-pub struct AdaptiveSfs<'a> {
-    data: &'a Dataset,
+pub struct AdaptiveSfs {
+    data: Arc<Dataset>,
     template: Template,
     entries: Vec<ScoredEntry>,
     index: SkylineValueIndex,
     stats: PreprocessStats,
 }
 
-impl<'a> AdaptiveSfs<'a> {
+impl AdaptiveSfs {
     /// Algorithm 3: computes `SKY(R̃)`, scores it under the template ranking and sorts it.
     ///
-    /// Requires a template with an implicit form (the sorted list's ranking is derived from
-    /// it); general partial-order templates are rejected.
-    pub fn build(data: &'a Dataset, template: &Template) -> Result<Self> {
+    /// Accepts either an owned [`Dataset`] or an [`Arc<Dataset>`] (share the same `Arc` across
+    /// engines and threads to avoid copying the data). Requires a template with an implicit
+    /// form (the sorted list's ranking is derived from it); general partial-order templates
+    /// are rejected.
+    pub fn build(data: impl Into<Arc<Dataset>>, template: &Template) -> Result<Self> {
+        let data = data.into();
         let started = Instant::now();
         let template_pref = template.implicit().cloned().ok_or_else(|| {
             SkylineError::InvalidArgument(
@@ -70,7 +77,7 @@ impl<'a> AdaptiveSfs<'a> {
         })?;
         template_pref.validate(data.schema())?;
         let score = ScoreFn::for_preference(data.schema(), &template_pref)?;
-        let ctx = DominanceContext::for_template(data, template)?;
+        let ctx = DominanceContext::for_template(&data, template)?;
         let all: Vec<PointId> = data.point_ids().collect();
         let skyline = sfs::skyline_sorted(&ctx, &score, &all);
         let mut this = Self::from_precomputed_skyline(data, template.clone(), skyline)?;
@@ -82,10 +89,11 @@ impl<'a> AdaptiveSfs<'a> {
     /// engine, which shares one skyline computation between the IPO tree and Adaptive SFS, and
     /// by the maintained variant).
     pub fn from_precomputed_skyline(
-        data: &'a Dataset,
+        data: impl Into<Arc<Dataset>>,
         template: Template,
         skyline: Vec<PointId>,
     ) -> Result<Self> {
+        let data = data.into();
         let template_pref = template.implicit().cloned().ok_or_else(|| {
             SkylineError::InvalidArgument(
                 "Adaptive SFS requires a template with an implicit form".into(),
@@ -94,10 +102,10 @@ impl<'a> AdaptiveSfs<'a> {
         let score = ScoreFn::for_preference(data.schema(), &template_pref)?;
         let mut entries: Vec<ScoredEntry> = skyline
             .iter()
-            .map(|&p| ScoredEntry::new(p, score.score(data, p)))
+            .map(|&p| ScoredEntry::new(p, score.score(&data, p)))
             .collect();
         entries.sort();
-        let index = SkylineValueIndex::build(data, &skyline);
+        let index = SkylineValueIndex::build(&data, &skyline);
         let stats = PreprocessStats {
             dataset_size: data.len(),
             template_skyline_size: entries.len(),
@@ -113,8 +121,13 @@ impl<'a> AdaptiveSfs<'a> {
     }
 
     /// The dataset the structure is bound to.
-    pub fn dataset(&self) -> &'a Dataset {
-        self.data
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Shared handle to the dataset (cheap to clone; hand it to sibling engines or threads).
+    pub fn dataset_arc(&self) -> &Arc<Dataset> {
+        &self.data
     }
 
     /// The template the structure was preprocessed for.
@@ -162,7 +175,7 @@ impl<'a> AdaptiveSfs<'a> {
         mode: ScanMode,
     ) -> Result<(Vec<PointId>, QueryStats)> {
         let (mut result, stats) = evaluate_query(
-            self.data,
+            &self.data,
             &self.template,
             &self.entries,
             &self.index,
@@ -176,9 +189,9 @@ impl<'a> AdaptiveSfs<'a> {
     /// Progressive evaluation: returns an iterator that yields skyline points in ascending
     /// query-score order. Every yielded point is already guaranteed to be in `SKY(R̃′)`, so a
     /// caller can stop early (e.g. "give me the first 10 results") without any wasted work.
-    pub fn query_progressive(&self, pref: &Preference) -> Result<ProgressiveScan<'a>> {
-        let ctx = DominanceContext::for_query(self.data, &self.template, pref)?;
-        let merged = merged_order(self.data, &self.template, &self.entries, &self.index, pref)?;
+    pub fn query_progressive(&self, pref: &Preference) -> Result<ProgressiveScan<'_>> {
+        let ctx = DominanceContext::for_query(&self.data, &self.template, pref)?;
+        let merged = merged_order(&self.data, &self.template, &self.entries, &self.index, pref)?;
         Ok(ProgressiveScan {
             ctx,
             merged,
@@ -198,13 +211,7 @@ fn merged_order(
     pref: &Preference,
 ) -> Result<Vec<(PointId, bool)>> {
     pref.validate(data.schema())?;
-    if let Some(template_pref) = template.implicit() {
-        if !pref.refines(template_pref) {
-            return Err(SkylineError::NotARefinement {
-                dimension: String::new(),
-            });
-        }
-    }
+    template.check_refinement(data.schema(), pref)?;
     let query_score = ScoreFn::for_preference(data.schema(), pref)?;
     let affected: HashSet<PointId> = index.affected_by(pref).into_iter().collect();
 
@@ -334,7 +341,7 @@ mod tests {
     use skyline_core::algo::bnl;
     use skyline_core::{DatasetBuilder, Dimension, ImplicitPreference, RowValue, Schema};
 
-    fn vacation_data() -> Dataset {
+    fn vacation_data() -> Arc<Dataset> {
         let schema = Schema::new(vec![
             Dimension::numeric("price"),
             Dimension::numeric("class-neg"),
@@ -353,21 +360,22 @@ mod tests {
             b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()])
                 .unwrap();
         }
-        b.build().unwrap()
+        Arc::new(b.build().unwrap())
     }
 
     #[test]
     fn build_materializes_template_skyline() {
         let data = vacation_data();
         let template = Template::empty(data.schema());
-        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let asfs = AdaptiveSfs::build(data.clone(), &template).unwrap();
         assert_eq!(asfs.template_skyline(), vec![0, 2, 4, 5]);
         assert_eq!(asfs.preprocess_stats().template_skyline_size, 4);
         assert_eq!(asfs.preprocess_stats().dataset_size, 6);
         assert!(asfs.approximate_bytes() > 0);
         assert_eq!(asfs.sorted_entries().len(), 4);
         assert_eq!(asfs.template().nominal_count(), 1);
-        assert!(std::ptr::eq(asfs.dataset(), &data));
+        assert!(std::ptr::eq(asfs.dataset(), &*data));
+        assert!(Arc::ptr_eq(asfs.dataset_arc(), &data));
     }
 
     #[test]
@@ -375,7 +383,7 @@ mod tests {
         let data = vacation_data();
         let schema = data.schema().clone();
         let template = Template::empty(&schema);
-        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let asfs = AdaptiveSfs::build(data.clone(), &template).unwrap();
         for text in [
             "*",
             "T < M < *",
@@ -398,7 +406,7 @@ mod tests {
         let data = vacation_data();
         let schema = data.schema().clone();
         let template = Template::empty(&schema);
-        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let asfs = AdaptiveSfs::build(data.clone(), &template).unwrap();
         let pref = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
         let (result, stats) = asfs
             .query_with_stats(&pref, ScanMode::AffectedOnly)
@@ -414,7 +422,7 @@ mod tests {
         let data = vacation_data();
         let schema = data.schema().clone();
         let template = Template::empty(&schema);
-        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let asfs = AdaptiveSfs::build(data.clone(), &template).unwrap();
         let pref = Preference::parse(&schema, [("hotel-group", "T < M < *")]).unwrap();
         let full = asfs.query(&pref).unwrap();
         let mut streamed: Vec<PointId> = Vec::new();
@@ -442,7 +450,7 @@ mod tests {
             Preference::parse(&schema, [("hotel-group", "H < *")]).unwrap(),
         )
         .unwrap();
-        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let asfs = AdaptiveSfs::build(data.clone(), &template).unwrap();
         let bad = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
         assert!(asfs.query(&bad).is_err());
         let good = Preference::parse(&schema, [("hotel-group", "H < M < *")]).unwrap();
@@ -460,7 +468,7 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(
-            AdaptiveSfs::build(&data, &template),
+            AdaptiveSfs::build(data.clone(), &template),
             Err(SkylineError::InvalidArgument(_))
         ));
     }
@@ -469,7 +477,7 @@ mod tests {
     fn wrong_arity_preferences_are_rejected() {
         let data = vacation_data();
         let template = Template::empty(data.schema());
-        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let asfs = AdaptiveSfs::build(data.clone(), &template).unwrap();
         let pref =
             Preference::from_dims(vec![ImplicitPreference::none(), ImplicitPreference::none()]);
         assert!(asfs.query(&pref).is_err());
@@ -480,7 +488,7 @@ mod tests {
         let data = vacation_data();
         let schema = data.schema().clone();
         let template = Template::empty(&schema);
-        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let asfs = AdaptiveSfs::build(data.clone(), &template).unwrap();
         let values: Vec<u16> = vec![0, 1, 2];
         for &a in &values {
             for &b in &values {

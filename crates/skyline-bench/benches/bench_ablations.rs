@@ -19,7 +19,7 @@ fn bench_ablations(c: &mut Criterion) {
         cardinality: 12,
         ..ExperimentConfig::paper_default()
     };
-    let data = config.generate_dataset();
+    let data = std::sync::Arc::new(config.generate_dataset());
     let template = config.template(&data);
     let mut generator = config.query_generator();
     let queries =
@@ -82,7 +82,7 @@ fn bench_ablations(c: &mut Criterion) {
     repr_group.finish();
 
     // --- Adaptive SFS scan mode ablation. -----------------------------------------------------
-    let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+    let asfs = AdaptiveSfs::build(data.clone(), &template).unwrap();
     let mut scan_group = c.benchmark_group("ablation_asfs_scan_mode");
     scan_group.sample_size(20);
     scan_group.bench_function("affected_only", |b| {

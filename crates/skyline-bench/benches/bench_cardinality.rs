@@ -19,7 +19,7 @@ fn bench_vs_cardinality(c: &mut Criterion) {
             cardinality,
             ..ExperimentConfig::paper_default()
         };
-        let data = config.generate_dataset();
+        let data = std::sync::Arc::new(config.generate_dataset());
         let template = config.template(&data);
         build_group.bench_with_input(
             BenchmarkId::new("ipo_tree_build", cardinality),
@@ -51,7 +51,7 @@ fn bench_vs_cardinality(c: &mut Criterion) {
             cardinality,
             ..ExperimentConfig::paper_default()
         };
-        let data = config.generate_dataset();
+        let data = std::sync::Arc::new(config.generate_dataset());
         let template = config.template(&data);
         let mut generator = config.query_generator();
         let queries = generator.random_preferences(
@@ -62,7 +62,7 @@ fn bench_vs_cardinality(c: &mut Criterion) {
             None,
         );
         let tree = IpoTreeBuilder::new().build(&data, &template).unwrap();
-        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let asfs = AdaptiveSfs::build(data.clone(), &template).unwrap();
 
         query_group.bench_with_input(
             BenchmarkId::new("ipo_tree", cardinality),

@@ -20,7 +20,7 @@ fn bench_query_time_vs_db_size(c: &mut Criterion) {
             n,
             ..ExperimentConfig::paper_default()
         };
-        let data = config.generate_dataset();
+        let data = std::sync::Arc::new(config.generate_dataset());
         let template = config.template(&data);
         let mut generator = config.query_generator();
         let queries = generator.random_preferences(
@@ -34,8 +34,8 @@ fn bench_query_time_vs_db_size(c: &mut Criterion) {
         let tree = IpoTreeBuilder::new()
             .build(&data, &template)
             .expect("tree builds");
-        let asfs = AdaptiveSfs::build(&data, &template).expect("adaptive builds");
-        let sfsd = SkylineEngine::build(&data, template.clone(), EngineConfig::SfsD)
+        let asfs = AdaptiveSfs::build(data.clone(), &template).expect("adaptive builds");
+        let sfsd = SkylineEngine::build(data.clone(), template.clone(), EngineConfig::SfsD)
             .expect("baseline builds");
 
         group.bench_with_input(BenchmarkId::new("ipo_tree", n), &n, |b, _| {

@@ -20,7 +20,7 @@ fn bench_query_time_vs_dimensionality(c: &mut Criterion) {
             cardinality: 10,
             ..ExperimentConfig::paper_default()
         };
-        let data = config.generate_dataset();
+        let data = std::sync::Arc::new(config.generate_dataset());
         let template = config.template(&data);
         let mut generator = config.query_generator();
         let queries = generator.random_preferences(
@@ -35,7 +35,7 @@ fn bench_query_time_vs_dimensionality(c: &mut Criterion) {
         let tree = IpoTreeBuilder::new()
             .build(&data, &template)
             .expect("tree builds");
-        let asfs = AdaptiveSfs::build(&data, &template).expect("adaptive builds");
+        let asfs = AdaptiveSfs::build(data.clone(), &template).expect("adaptive builds");
 
         group.bench_with_input(
             BenchmarkId::new("ipo_tree", total_dims),

@@ -11,16 +11,16 @@ use std::hint::black_box;
 const QUERIES: usize = 10;
 
 fn bench_nursery_query_time(c: &mut Criterion) {
-    let data = nursery::generate();
+    let data = std::sync::Arc::new(nursery::generate());
     // Empty template: every Nursery value is equally frequent, so there is no meaningful
     // "most frequent value" preference (see `run_nursery_cell`).
     let template = Template::empty(data.schema());
     let tree = IpoTreeBuilder::new()
         .build(&data, &template)
         .expect("tree builds");
-    let asfs = AdaptiveSfs::build(&data, &template).expect("adaptive builds");
-    let sfsd =
-        SkylineEngine::build(&data, template.clone(), EngineConfig::SfsD).expect("baseline builds");
+    let asfs = AdaptiveSfs::build(data.clone(), &template).expect("adaptive builds");
+    let sfsd = SkylineEngine::build(data.clone(), template.clone(), EngineConfig::SfsD)
+        .expect("baseline builds");
 
     let mut group = c.benchmark_group("fig8_nursery_query_time");
     group.sample_size(10);

@@ -17,14 +17,14 @@ fn bench_query_time_vs_order(c: &mut Criterion) {
         n: N,
         ..ExperimentConfig::paper_default()
     };
-    let data = config.generate_dataset();
+    let data = std::sync::Arc::new(config.generate_dataset());
     let template = config.template(&data);
     let tree = IpoTreeBuilder::new()
         .build(&data, &template)
         .expect("tree builds");
-    let asfs = AdaptiveSfs::build(&data, &template).expect("adaptive builds");
-    let sfsd =
-        SkylineEngine::build(&data, template.clone(), EngineConfig::SfsD).expect("baseline builds");
+    let asfs = AdaptiveSfs::build(data.clone(), &template).expect("adaptive builds");
+    let sfsd = SkylineEngine::build(data.clone(), template.clone(), EngineConfig::SfsD)
+        .expect("baseline builds");
 
     let mut group = c.benchmark_group("fig7_query_time_vs_pref_order");
     group.sample_size(10);

@@ -278,6 +278,8 @@ fn run_hybrid(options: &Options) {
         options.queries.max(20),
         None,
     );
+    // Wrap once outside the timed sections: each engine below clones the Arc, not the data.
+    let data = std::sync::Arc::new(data);
 
     for (name, engine_config) in [
         (
@@ -288,8 +290,8 @@ fn run_hybrid(options: &Options) {
         ("SFS-A", EngineConfig::AdaptiveSfs),
     ] {
         let build_start = Instant::now();
-        let engine =
-            SkylineEngine::build(&data, template.clone(), engine_config).expect("engine builds");
+        let engine = SkylineEngine::build(data.clone(), template.clone(), engine_config)
+            .expect("engine builds");
         let build_s = build_start.elapsed().as_secs_f64();
         let mut tree_answers = 0usize;
         let query_start = Instant::now();

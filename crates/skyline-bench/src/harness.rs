@@ -117,6 +117,8 @@ fn run_cell_on(
     popular_queries: Vec<Preference>,
     label: String,
 ) -> CellResult {
+    // Shared ownership: every engine below clones the `Arc`, not the data.
+    let data = std::sync::Arc::new(data);
     // --- IPO Tree (full materialization). -------------------------------------------------
     let started = Instant::now();
     let ipo_full = IpoTreeBuilder::new()
@@ -146,7 +148,7 @@ fn run_cell_on(
 
     // --- SFS-A (Adaptive SFS). --------------------------------------------------------------
     let started = Instant::now();
-    let asfs = AdaptiveSfs::build(&data, &template).expect("adaptive SFS builds");
+    let asfs = AdaptiveSfs::build(data.clone(), &template).expect("adaptive SFS builds");
     let asfs_build = started.elapsed().as_secs_f64();
     let asfs_storage = asfs.approximate_bytes();
     let asfs_query = time_queries(queries.len(), |i| {
@@ -154,7 +156,7 @@ fn run_cell_on(
     });
 
     // --- SFS-D (baseline, no preprocessing). ------------------------------------------------
-    let sfsd_engine = SkylineEngine::build(&data, template.clone(), EngineConfig::SfsD)
+    let sfsd_engine = SkylineEngine::build(data.clone(), template.clone(), EngineConfig::SfsD)
         .expect("baseline engine builds");
     // At most 5 timed runs (SFS-D is the slow baseline); 0 queries → 0 runs, not a panic.
     let sfsd_runs = queries.len().min(5);

@@ -2,13 +2,13 @@
 //!
 //! These are the reference algorithms the paper builds on and compares against:
 //!
-//! * [`bnl`] — Block-Nested-Loop (Börzsönyi et al. [1]), the simplest correct algorithm;
+//! * [`bnl`] — Block-Nested-Loop (Börzsönyi et al. \[1\]), the simplest correct algorithm;
 //!   used in this workspace mainly as a test oracle.
-//! * [`sfs`] — Sort-First Skyline (Chomicki et al. [7]): presort by a monotone preference
+//! * [`sfs`] — Sort-First Skyline (Chomicki et al. \[7\]): presort by a monotone preference
 //!   function, then a single elimination scan. Run over the full dataset with the query's
 //!   ranking it is exactly the paper's **SFS-D** baseline.
 //!
-//! Both operate on a [`DominanceContext`](crate::DominanceContext), so they work for any
+//! Both operate on a [`crate::DominanceContext`], so they work for any
 //! combination of numeric dimensions and nominal dimensions with partial-order preferences.
 
 pub mod bnl;

@@ -45,6 +45,6 @@ pub use bitset::BitSet;
 pub use dataset::{Dataset, DatasetBuilder, RowValue};
 pub use dominance::{DomRelation, DominanceContext};
 pub use error::{Result, SkylineError};
-pub use order::{ImplicitPreference, PartialOrder, Preference, Template};
+pub use order::{CanonicalPreference, ImplicitPreference, PartialOrder, Preference, Template};
 pub use schema::{Dimension, DimensionKind, Schema};
 pub use value::{NominalDomain, PointId, ValueId};

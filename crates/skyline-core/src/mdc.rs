@@ -4,7 +4,7 @@
 //! set of extra value pairs `R'` (disjoint from and conflict-free with `R`) whose addition makes
 //! some other point dominate `p`. A **minimal** disqualifying condition (MDC) is one with no
 //! proper subset that already disqualifies `p`. The concept comes from the authors' earlier
-//! "Mining favorable facets" work ([20]) and is used here exactly the way Section 3.1 describes:
+//! "Mining favorable facets" work (\[20\]) and is used here exactly the way Section 3.1 describes:
 //! during IPO-tree construction, a node's disqualified set `A` is found by checking, for every
 //! template skyline point, whether one of its MDCs is contained in the node's implicit
 //! preference.

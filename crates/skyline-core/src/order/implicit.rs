@@ -226,17 +226,11 @@ impl Preference {
             pref.validate(card).map_err(|e| match e {
                 SkylineError::ValueOutOfDomain {
                     value, cardinality, ..
-                } => {
-                    let name = schema
-                        .dimension(schema.schema_index_of_nominal(j).unwrap_or(0))
-                        .map(|d| d.name().to_string())
-                        .unwrap_or_default();
-                    SkylineError::ValueOutOfDomain {
-                        dimension: name,
-                        value,
-                        cardinality,
-                    }
-                }
+                } => SkylineError::ValueOutOfDomain {
+                    dimension: schema.nominal_dimension_name(j),
+                    value,
+                    cardinality,
+                },
                 other => other,
             })?;
         }
@@ -286,6 +280,12 @@ impl Preference {
     /// Formats the preference using the schema's dimension names and value labels.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> PreferenceDisplay<'a> {
         PreferenceDisplay { pref: self, schema }
+    }
+
+    /// The canonical cache key of this preference over `schema`: equivalent preferences (same
+    /// induced partial orders) map to equal keys. See [`crate::order::CanonicalPreference`].
+    pub fn canonicalize(&self, schema: &Schema) -> Result<crate::order::CanonicalPreference> {
+        crate::order::CanonicalPreference::new(schema, self)
     }
 }
 

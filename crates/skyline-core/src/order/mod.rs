@@ -10,10 +10,12 @@
 //! "no special preference", like Bob in Table 2). A [`Template`] is the preference information
 //! shared by *all* users (Section 2); each query must refine it.
 
+mod canon;
 mod implicit;
 mod partial_order;
 mod template;
 
+pub use canon::CanonicalPreference;
 pub use implicit::{ImplicitPreference, Preference};
 pub use partial_order::PartialOrder;
 pub use template::Template;

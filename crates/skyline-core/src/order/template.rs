@@ -110,6 +110,31 @@ impl Template {
         self.orders.iter().all(PartialOrder::is_empty)
     }
 
+    /// Checks the prefix-refinement property the paper assumes for implicit templates: the
+    /// template's listed values must be a prefix of the query's on every dimension.
+    ///
+    /// Shared by dominance setup ([`Template::effective_orders`]), the materialized query
+    /// structures and the serving layer, so "does this query refine the template?" has one
+    /// answer (and one error message) everywhere. General (non-implicit) templates always
+    /// pass; they are checked for conflict-freedom per query instead.
+    pub fn check_refinement(&self, schema: &Schema, query: &Preference) -> Result<()> {
+        let Some(implicit) = &self.implicit else {
+            return Ok(());
+        };
+        if implicit.is_none() || query.refines(implicit) {
+            return Ok(());
+        }
+        let offending = implicit
+            .dims()
+            .iter()
+            .zip(query.dims())
+            .position(|(t, q)| !q.refines(t))
+            .unwrap_or(0);
+        Err(SkylineError::NotARefinement {
+            dimension: schema.nominal_dimension_name(offending),
+        })
+    }
+
     /// Checks that `query` is a valid refinement of this template and returns the **effective
     /// per-dimension orders** `R ∪ P(R̃′)` used for dominance.
     ///
@@ -122,34 +147,18 @@ impl Template {
         query: &Preference,
     ) -> Result<Vec<PartialOrder>> {
         query.validate(schema)?;
-        if let Some(implicit) = &self.implicit {
-            if !implicit.is_none() && !query.refines(implicit) {
-                let offending = implicit
-                    .dims()
-                    .iter()
-                    .zip(query.dims())
-                    .position(|(t, q)| !q.refines(t))
-                    .unwrap_or(0);
-                let name = schema
-                    .dimension(schema.schema_index_of_nominal(offending).unwrap_or(0))
-                    .map(|d| d.name().to_string())
-                    .unwrap_or_default();
-                return Err(SkylineError::NotARefinement { dimension: name });
-            }
-        }
+        self.check_refinement(schema, query)?;
         let query_orders = query.to_partial_orders(schema)?;
         self.orders
             .iter()
             .zip(query_orders)
             .enumerate()
             .map(|(j, (template_order, query_order))| {
-                template_order.union(&query_order).map_err(|_| {
-                    let name = schema
-                        .dimension(schema.schema_index_of_nominal(j).unwrap_or(0))
-                        .map(|d| d.name().to_string())
-                        .unwrap_or_default();
-                    SkylineError::ConflictingOrders { dimension: name }
-                })
+                template_order
+                    .union(&query_order)
+                    .map_err(|_| SkylineError::ConflictingOrders {
+                        dimension: schema.nominal_dimension_name(j),
+                    })
             })
             .collect()
     }

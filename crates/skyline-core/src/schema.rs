@@ -184,6 +184,15 @@ impl Schema {
         self.nominal_dims.get(nominal_index).copied()
     }
 
+    /// Display name of the `j`-th nominal dimension for error messages (empty when the index
+    /// is out of range). The one place error sites resolve "nominal index → name".
+    pub fn nominal_dimension_name(&self, nominal_index: usize) -> String {
+        self.schema_index_of_nominal(nominal_index)
+            .and_then(|i| self.dimension(i))
+            .map(|d| d.name().to_string())
+            .unwrap_or_default()
+    }
+
     /// The nominal index of the dimension called `name`, if it exists and is nominal.
     pub fn nominal_index_by_name(&self, name: &str) -> Result<usize> {
         let schema_index = self

@@ -10,7 +10,7 @@
 //!   good in one dimension tends to be bad in the others), which produces large skylines and
 //!   is the workload the paper reports in detail.
 //!
-//! Nominal dimensions draw value ids from a [`Zipf`](crate::zipf::Zipf) distribution with skew
+//! Nominal dimensions draw value ids from a [`crate::zipf::Zipf`] distribution with skew
 //! θ, so value id 0 is the most frequent — matching the paper's template choice "the most
 //! frequent value is universally preferred".
 

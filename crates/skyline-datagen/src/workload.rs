@@ -167,6 +167,37 @@ impl QueryGenerator {
     pub fn rng(&mut self) -> &mut impl Rng {
         &mut self.rng
     }
+
+    /// A Zipf-skewed **multi-user** query stream: `count` queries drawn (with repetition) from
+    /// a pool of up to `pool_size` random preference profiles (independent draws, so the pool
+    /// itself may contain repeats on small domains), where pool index `k` is requested with
+    /// probability `∝ 1/(k+1)^θ`.
+    ///
+    /// This mirrors how a served system actually sees the paper's workload: many users, a few
+    /// very popular preference profiles (the same skew the nominal *values* follow, Table 4)
+    /// and a long tail of rare ones. A result cache keyed on canonical preferences should
+    /// therefore see a hit rate approaching `1 - pool_size/count` for strong skew — the
+    /// workload `skyline-service` benchmarks its throughput on.
+    pub fn zipf_workload(
+        &mut self,
+        schema: &Schema,
+        template: &Template,
+        order: usize,
+        pool_size: usize,
+        count: usize,
+        theta: f64,
+    ) -> Vec<Preference> {
+        assert!(pool_size > 0, "pool_size must be positive");
+        assert!(
+            pool_size <= u16::MAX as usize,
+            "pool_size must fit the Zipf sampler's id range"
+        );
+        let pool = self.random_preferences(schema, template, order, pool_size, None);
+        let zipf = crate::zipf::Zipf::new(pool.len(), theta);
+        (0..count)
+            .map(|_| pool[zipf.sample(&mut self.rng) as usize].clone())
+            .collect()
+    }
 }
 
 /// The `k` most frequent values of every nominal dimension of `dataset` (used both by the
@@ -291,6 +322,63 @@ mod tests {
         assert_eq!(q.order(), 2);
         assert!(q.dim(0).order() == 2 && q.dim(1).order() == 2);
         let _ = gen.rng().gen::<u32>();
+    }
+
+    #[test]
+    fn zipf_workload_repeats_popular_preferences() {
+        let cfg = small_config();
+        let data = cfg.generate_dataset();
+        let template = cfg.template(&data);
+        let mut gen = cfg.query_generator();
+        let queries = gen.zipf_workload(data.schema(), &template, 2, 20, 400, 1.0);
+        assert_eq!(queries.len(), 400);
+        for q in &queries {
+            assert!(q.refines(template.implicit().unwrap()));
+            q.validate(data.schema()).unwrap();
+        }
+        // At most pool_size distinct preferences, and the skew forces actual repetition.
+        let mut distinct: Vec<&Preference> = Vec::new();
+        for q in &queries {
+            if !distinct.contains(&q) {
+                distinct.push(q);
+            }
+        }
+        assert!(distinct.len() <= 20);
+        assert!(
+            distinct.len() < queries.len(),
+            "a Zipf-skewed stream of 400 over a pool of 20 must repeat"
+        );
+        // The most common preference should clearly dominate under θ = 1.
+        let max_count = distinct
+            .iter()
+            .map(|d| queries.iter().filter(|q| q == d).count())
+            .max()
+            .unwrap();
+        assert!(max_count > 400 / 20, "skew concentrates on the pool head");
+    }
+
+    #[test]
+    fn zipf_workload_is_reproducible() {
+        let cfg = small_config();
+        let data = cfg.generate_dataset();
+        let template = cfg.template(&data);
+        let a = cfg
+            .query_generator()
+            .zipf_workload(data.schema(), &template, 2, 8, 50, 1.0);
+        let b = cfg
+            .query_generator()
+            .zipf_workload(data.schema(), &template, 2, 8, 50, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool_size must be positive")]
+    fn zipf_workload_rejects_empty_pool() {
+        let cfg = small_config();
+        let data = cfg.generate_dataset();
+        let template = cfg.template(&data);
+        cfg.query_generator()
+            .zipf_workload(data.schema(), &template, 2, 0, 10, 1.0);
     }
 
     #[test]

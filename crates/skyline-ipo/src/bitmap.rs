@@ -89,6 +89,36 @@ impl BitmapIpoTree {
         self.materialized[nominal_index].contains(&v)
     }
 
+    /// The first `(nominal dimension, value)` listed by `pref` that is **not** materialized,
+    /// or `None` when this tree can answer the preference (same predicate as
+    /// [`IpoTree::first_unmaterialized`]).
+    pub fn first_unmaterialized(&self, pref: &Preference) -> Option<(usize, ValueId)> {
+        (0..self.nominal_count().min(pref.nominal_count())).find_map(|j| {
+            pref.dim(j)
+                .choices()
+                .iter()
+                .find(|&&v| !self.is_materialized(j, v))
+                .map(|&v| (j, v))
+        })
+    }
+
+    /// Errors with [`SkylineError::NotMaterialized`] when the tree cannot answer `pref`;
+    /// mirrors [`IpoTree::require_materialized`] so the two representations reject
+    /// identically.
+    pub fn require_materialized(
+        &self,
+        schema: &skyline_core::Schema,
+        pref: &Preference,
+    ) -> Result<()> {
+        let Some((j, v)) = self.first_unmaterialized(pref) else {
+            return Ok(());
+        };
+        Err(SkylineError::NotMaterialized {
+            dimension: schema.nominal_dimension_name(j),
+            value: v as u32,
+        })
+    }
+
     fn child_of(&self, node: u32, label: Option<ValueId>) -> Option<u32> {
         let children = &self.nodes[node as usize].children;
         children
@@ -110,27 +140,8 @@ impl BitmapIpoTree {
     ) -> Result<(Vec<PointId>, QueryStats)> {
         let schema = data.schema();
         pref.validate(schema)?;
-        if let Some(template_pref) = self.template.implicit() {
-            if !pref.refines(template_pref) {
-                return Err(SkylineError::NotARefinement {
-                    dimension: String::new(),
-                });
-            }
-        }
-        for j in 0..self.nominal_count() {
-            for &v in pref.dim(j).choices() {
-                if !self.is_materialized(j, v) {
-                    let name = schema
-                        .dimension(schema.schema_index_of_nominal(j).unwrap_or(0))
-                        .map(|d| d.name().to_string())
-                        .unwrap_or_default();
-                    return Err(SkylineError::NotMaterialized {
-                        dimension: name,
-                        value: v as u32,
-                    });
-                }
-            }
-        }
+        self.template.check_refinement(schema, pref)?;
+        self.require_materialized(schema, pref)?;
         let mut stats = QueryStats::default();
         let all = BitSet::full(self.skyline.len());
         let bits = self.query_rec(pref, 0, 0, all, &mut stats);

@@ -19,7 +19,7 @@
 
 use crate::setops;
 use crate::tree::IpoTree;
-use skyline_core::{Dataset, PointId, Preference, Result, SkylineError};
+use skyline_core::{Dataset, PointId, Preference, Result};
 
 /// Work counters for one query evaluation (the paper bounds the number of set operations by
 /// `O(x^{m'})`).
@@ -37,7 +37,7 @@ impl IpoTree {
     /// Evaluates an implicit-preference query and returns the skyline as sorted point ids.
     ///
     /// The preference must refine the tree's template and may only list values that are
-    /// materialized in the tree; otherwise [`SkylineError::NotMaterialized`] (or a refinement
+    /// materialized in the tree; otherwise [`skyline_core::SkylineError::NotMaterialized`] (or a refinement
     /// error) is returned so a caller can fall back to Adaptive SFS, as Section 3.1 recommends
     /// for unpopular values.
     pub fn query(&self, data: &Dataset, pref: &Preference) -> Result<Vec<PointId>> {
@@ -52,35 +52,8 @@ impl IpoTree {
     ) -> Result<(Vec<PointId>, QueryStats)> {
         let schema = data.schema();
         pref.validate(schema)?;
-        if let Some(template_pref) = self.template.implicit() {
-            if !pref.refines(template_pref) {
-                let offending = template_pref
-                    .dims()
-                    .iter()
-                    .zip(pref.dims())
-                    .position(|(t, q)| !q.refines(t))
-                    .unwrap_or(0);
-                let name = schema
-                    .dimension(schema.schema_index_of_nominal(offending).unwrap_or(0))
-                    .map(|d| d.name().to_string())
-                    .unwrap_or_default();
-                return Err(SkylineError::NotARefinement { dimension: name });
-            }
-        }
-        for j in 0..self.nominal_count() {
-            for &v in pref.dim(j).choices() {
-                if !self.is_materialized(j, v) {
-                    let name = schema
-                        .dimension(schema.schema_index_of_nominal(j).unwrap_or(0))
-                        .map(|d| d.name().to_string())
-                        .unwrap_or_default();
-                    return Err(SkylineError::NotMaterialized {
-                        dimension: name,
-                        value: v as u32,
-                    });
-                }
-            }
-        }
+        self.template.check_refinement(schema, pref)?;
+        self.require_materialized(schema, pref)?;
         let mut stats = QueryStats::default();
         let result = self.query_rec(data, pref, 0, 0, self.skyline.clone(), &mut stats);
         Ok((result, stats))
@@ -155,6 +128,7 @@ mod tests {
     use super::*;
     use crate::build::IpoTreeBuilder;
     use skyline_core::algo::bnl;
+    use skyline_core::SkylineError;
     use skyline_core::{
         DatasetBuilder, Dimension, DominanceContext, ImplicitPreference, RowValue, Schema, Template,
     };

@@ -8,7 +8,7 @@
 //! first-order choices along its path removes from the skyline, so that `SKY(R) − A` is the
 //! skyline for that combination.
 
-use skyline_core::{PointId, Template, ValueId};
+use skyline_core::{PointId, Preference, Template, ValueId};
 
 /// One node of the IPO-tree.
 #[derive(Debug, Clone)]
@@ -94,6 +94,49 @@ impl IpoTree {
     /// True when value `v` of dimension `j` has materialized nodes.
     pub fn is_materialized(&self, nominal_index: usize, v: ValueId) -> bool {
         self.materialized[nominal_index].contains(&v)
+    }
+
+    /// The first `(nominal dimension, value)` listed by `pref` that this tree has **not**
+    /// materialized, or `None` when the tree can answer the preference.
+    ///
+    /// This is the single source of truth for "is this preference materialized?": query
+    /// rejection ([`SkylineError::NotMaterialized`](skyline_core::SkylineError::NotMaterialized))
+    /// and the hybrid engine's Adaptive-SFS fallback both consult it, so the two can never
+    /// diverge. The preference's arity must match the tree (extra dimensions are ignored;
+    /// missing ones count as "no preference").
+    pub fn first_unmaterialized(&self, pref: &Preference) -> Option<(usize, ValueId)> {
+        (0..self.nominal_count().min(pref.nominal_count())).find_map(|j| {
+            pref.dim(j)
+                .choices()
+                .iter()
+                .find(|&&v| !self.is_materialized(j, v))
+                .map(|&v| (j, v))
+        })
+    }
+
+    /// True when every value listed by `pref` is materialized in this tree, i.e. the tree can
+    /// answer the query without falling back to another method (Section 5.3).
+    pub fn materializes(&self, pref: &Preference) -> bool {
+        self.first_unmaterialized(pref).is_none()
+    }
+
+    /// Errors with [`SkylineError::NotMaterialized`](skyline_core::SkylineError::NotMaterialized)
+    /// — naming the offending dimension and value — when the tree cannot answer `pref`.
+    ///
+    /// The one place the rejection error is constructed; query evaluation and the serving
+    /// layer both call it.
+    pub fn require_materialized(
+        &self,
+        schema: &skyline_core::Schema,
+        pref: &Preference,
+    ) -> skyline_core::Result<()> {
+        let Some((j, v)) = self.first_unmaterialized(pref) else {
+            return Ok(());
+        };
+        Err(skyline_core::SkylineError::NotMaterialized {
+            dimension: schema.nominal_dimension_name(j),
+            value: v as u32,
+        })
     }
 
     /// Total number of nodes (the paper's `O(c^{m'})` size measure).
@@ -230,6 +273,46 @@ mod tests {
         assert!(tree.child_of(0, Some(9)).is_none());
         assert_eq!(tree.iter_nodes().count(), 13);
         assert!(tree.total_disqualified_entries() > 0);
+    }
+
+    #[test]
+    fn materialization_predicate_reports_the_first_gap() {
+        use skyline_core::{ImplicitPreference, Preference};
+        let mut tree = tiny_tree();
+        // Truncate: dimension 0 only materializes value 0, dimension 1 both values.
+        tree.materialized = vec![vec![0], vec![0, 1]];
+
+        let ok = Preference::from_dims(vec![
+            ImplicitPreference::new([0]).unwrap(),
+            ImplicitPreference::new([1, 0]).unwrap(),
+        ]);
+        assert!(tree.materializes(&ok));
+        assert_eq!(tree.first_unmaterialized(&ok), None);
+
+        let gap_dim0 = Preference::from_dims(vec![
+            ImplicitPreference::new([0, 1]).unwrap(),
+            ImplicitPreference::none(),
+        ]);
+        assert!(!tree.materializes(&gap_dim0));
+        assert_eq!(tree.first_unmaterialized(&gap_dim0), Some((0, 1)));
+
+        // The first gap in dimension order is reported, not a later one.
+        let gaps_everywhere = Preference::from_dims(vec![
+            ImplicitPreference::new([1]).unwrap(),
+            ImplicitPreference::new([1]).unwrap(),
+        ]);
+        assert_eq!(tree.first_unmaterialized(&gaps_everywhere), Some((0, 1)));
+
+        // An empty preference is always answerable.
+        assert!(tree.materializes(&Preference::none(2)));
+        // Extra dimensions beyond the tree's arity are ignored by the predicate
+        // (arity errors are query validation's job).
+        let extra = Preference::from_dims(vec![
+            ImplicitPreference::new([0]).unwrap(),
+            ImplicitPreference::none(),
+            ImplicitPreference::new([1]).unwrap(),
+        ]);
+        assert!(tree.materializes(&extra));
     }
 
     #[test]

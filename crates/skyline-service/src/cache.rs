@@ -1,0 +1,253 @@
+//! Sharded LRU result cache keyed on canonical preferences.
+//!
+//! Thousands of users sharing the exact same preference is the normal case in the paper's
+//! workload (nominal values — and hence stated preferences — follow a Zipfian skew), so the
+//! service memoizes full query answers. Keys are [`skyline_core::CanonicalPreference`]s: two
+//! textually different but semantically equal preferences hit the same entry.
+//!
+//! The cache is split into independently locked shards so concurrent workers rarely contend;
+//! a key's shard is chosen from its stable fingerprint. Each shard runs the classic
+//! stamp-queue LRU: every touch pushes a fresh `(stamp, key)` pair onto a queue, and eviction
+//! pops queue entries until one's stamp matches the live entry — amortized O(1), no linked
+//! lists, no unsafe.
+
+use skyline::QueryOutcome;
+use skyline_core::CanonicalPreference;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// A sharded, thread-safe LRU cache from canonical preferences to query outcomes.
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CanonicalPreference, Entry>,
+    /// `(stamp, key)` pairs, oldest first; an entry is stale when its stamp no longer matches
+    /// the map entry's current stamp (the key was touched again later).
+    queue: VecDeque<(u64, CanonicalPreference)>,
+    next_stamp: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<QueryOutcome>,
+    stamp: u64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` entries spread over `shards` locks.
+    ///
+    /// A `capacity` of 0 disables caching (every lookup misses, inserts are dropped); `shards`
+    /// is clamped to at least 1 and at most `capacity.max(1)`. When `capacity` is not a
+    /// multiple of the shard count, the per-shard budget rounds **up**, so the effective
+    /// maximum — reported by [`ResultCache::capacity`] — can exceed the request by up to
+    /// `shards - 1` entries.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shard_count = shards.clamp(1, capacity.max(1));
+        let capacity_per_shard = capacity.div_ceil(shard_count);
+        Self {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            capacity_per_shard,
+        }
+    }
+
+    /// Number of shards the key space is split over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Maximum number of entries the cache will hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity_per_shard * self.shards.len()
+    }
+
+    /// Current number of cached entries (sums per-shard sizes; a racing snapshot).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, key: &CanonicalPreference) -> &Mutex<Shard> {
+        // The map itself re-hashes the fingerprint, so using its upper bits for shard
+        // selection does not correlate with bucket placement inside the shard.
+        let idx = (key.fingerprint() >> 32) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Looks up a cached outcome, refreshing the entry's recency on a hit.
+    pub fn get(&self, key: &CanonicalPreference) -> Option<Arc<QueryOutcome>> {
+        if self.capacity_per_shard == 0 {
+            return None;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let stamp = shard.bump_stamp();
+        let entry = shard.map.get_mut(key)?;
+        entry.stamp = stamp;
+        let value = entry.value.clone();
+        shard.queue.push_back((stamp, key.clone()));
+        shard.compact_if_bloated();
+        Some(value)
+    }
+
+    /// Inserts (or refreshes) an outcome, evicting least-recently-used entries over capacity.
+    pub fn insert(&self, key: CanonicalPreference, value: Arc<QueryOutcome>) {
+        if self.capacity_per_shard == 0 {
+            return;
+        }
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let stamp = shard.bump_stamp();
+        shard.queue.push_back((stamp, key.clone()));
+        shard.map.insert(key, Entry { value, stamp });
+        while shard.map.len() > self.capacity_per_shard {
+            let Some((stamp, key)) = shard.queue.pop_front() else {
+                break; // Unreachable: every map entry has a live queue pair.
+            };
+            if shard.map.get(&key).is_some_and(|e| e.stamp == stamp) {
+                shard.map.remove(&key);
+            }
+        }
+        shard.compact_if_bloated();
+    }
+}
+
+impl Shard {
+    fn bump_stamp(&mut self) -> u64 {
+        self.next_stamp += 1;
+        self.next_stamp
+    }
+
+    /// Drops stale queue pairs when hits have let the queue outgrow the map, so a read-heavy
+    /// steady state cannot grow memory without bound.
+    fn compact_if_bloated(&mut self) {
+        if self.queue.len() > 2 * self.map.len() + 16 {
+            let map = &self.map;
+            self.queue
+                .retain(|(stamp, key)| map.get(key).is_some_and(|e| e.stamp == *stamp));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline::{MethodUsed, QueryOutcome};
+    use skyline_core::{Dimension, NominalDomain, Preference, Schema};
+
+    fn schema(cardinality: usize) -> Schema {
+        Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::nominal("g", NominalDomain::anonymous(cardinality)),
+        ])
+        .unwrap()
+    }
+
+    fn key(schema: &Schema, choices: &[u16]) -> CanonicalPreference {
+        let pref = Preference::from_dims(vec![skyline_core::ImplicitPreference::new(
+            choices.iter().copied(),
+        )
+        .unwrap()]);
+        CanonicalPreference::new(schema, &pref).unwrap()
+    }
+
+    fn outcome(id: u32) -> Arc<QueryOutcome> {
+        Arc::new(QueryOutcome {
+            skyline: vec![id],
+            method: MethodUsed::IpoTree,
+        })
+    }
+
+    #[test]
+    fn get_after_insert_round_trips() {
+        let schema = schema(8);
+        let cache = ResultCache::new(16, 4);
+        assert!(cache.is_empty());
+        let k = key(&schema, &[3]);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), outcome(7));
+        assert_eq!(cache.get(&k).unwrap().skyline, vec![7]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.capacity(), 16);
+        assert_eq!(cache.shard_count(), 4);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let schema = schema(16);
+        // Single shard so recency order is deterministic.
+        let cache = ResultCache::new(3, 1);
+        let keys: Vec<CanonicalPreference> = (0u16..4).map(|v| key(&schema, &[v])).collect();
+        for (i, k) in keys.iter().take(3).enumerate() {
+            cache.insert(k.clone(), outcome(i as u32));
+        }
+        // Touch key 0 so key 1 becomes the LRU victim.
+        assert!(cache.get(&keys[0]).is_some());
+        cache.insert(keys[3].clone(), outcome(3));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(&keys[0]).is_some());
+        assert!(cache.get(&keys[1]).is_none(), "coldest entry must be gone");
+        assert!(cache.get(&keys[2]).is_some());
+        assert!(cache.get(&keys[3]).is_some());
+    }
+
+    #[test]
+    fn reinserting_a_key_refreshes_instead_of_growing() {
+        let schema = schema(8);
+        let cache = ResultCache::new(2, 1);
+        let k = key(&schema, &[1]);
+        cache.insert(k.clone(), outcome(1));
+        cache.insert(k.clone(), outcome(2));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&k).unwrap().skyline, vec![2]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let schema = schema(8);
+        let cache = ResultCache::new(0, 8);
+        let k = key(&schema, &[1]);
+        cache.insert(k.clone(), outcome(1));
+        assert!(cache.get(&k).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 0);
+    }
+
+    #[test]
+    fn hit_heavy_workloads_do_not_grow_the_queue_without_bound() {
+        let schema = schema(8);
+        let cache = ResultCache::new(4, 1);
+        let k = key(&schema, &[2]);
+        cache.insert(k.clone(), outcome(1));
+        for _ in 0..10_000 {
+            assert!(cache.get(&k).is_some());
+        }
+        let shard = cache.shards[0].lock().unwrap();
+        assert!(
+            shard.queue.len() <= 2 * shard.map.len() + 17,
+            "queue length {} not compacted",
+            shard.queue.len()
+        );
+    }
+
+    #[test]
+    fn equivalent_preferences_share_an_entry() {
+        let schema = schema(2);
+        let cache = ResultCache::new(8, 2);
+        // On a 2-value domain, [0, 1] and [0] are the same partial order.
+        cache.insert(key(&schema, &[0, 1]), outcome(9));
+        assert_eq!(cache.get(&key(&schema, &[0])).unwrap().skyline, vec![9]);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Worker-pool batch executor on `std::thread` + channels (no external dependencies).
+//!
+//! A batch is pushed through one shared task channel that `workers` scoped threads drain;
+//! results flow back over a second channel tagged with their input index, so the output vector
+//! preserves input order regardless of which worker finished first. Scoped threads let workers
+//! borrow the batch and the service directly — no `'static` bounds, no cloning per task.
+
+use std::sync::{mpsc, Mutex};
+use std::thread;
+
+/// Applies `f` to every item of `items` on a pool of `workers` threads, returning the results
+/// in input order.
+///
+/// `workers` is clamped to `1..=items.len()`; with one worker (or one item) the pool is skipped
+/// entirely and the batch runs inline on the caller's thread.
+pub(crate) fn run_indexed<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, items.len());
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let (task_tx, task_rx) = mpsc::channel::<usize>();
+    // mpsc receivers are single-consumer; the mutex turns the pool into work stealing — an
+    // idle worker grabs the next index as soon as it finishes, so skewed per-item costs
+    // (cache hit vs. full engine query) still balance.
+    let task_rx = Mutex::new(task_rx);
+    let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
+
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let result_tx = result_tx.clone();
+            let task_rx = &task_rx;
+            let f = &f;
+            scope.spawn(move || loop {
+                let next = task_rx.lock().expect("task channel poisoned").recv();
+                match next {
+                    Ok(i) => {
+                        if result_tx.send((i, f(i, &items[i]))).is_err() {
+                            break; // Receiver gone: the batch was abandoned.
+                        }
+                    }
+                    Err(_) => break, // Sender dropped: batch fully dispatched.
+                }
+            });
+        }
+        for i in 0..items.len() {
+            task_tx.send(i).expect("workers outlive dispatch");
+        }
+        drop(task_tx);
+        drop(result_tx);
+        for (i, r) in result_rx {
+            results[i] = Some(r);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index produced exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = run_indexed(&items, 8, |i, &x| {
+            // Stagger completion so out-of-order finishes are likely.
+            std::thread::sleep(std::time::Duration::from_micros((100 - i as u64) % 7));
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let out: Vec<u32> = run_indexed(&[] as &[u32], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let calls = AtomicUsize::new(0);
+        let items = [1, 2, 3];
+        let out = run_indexed(&items, 1, |i, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x + i
+        });
+        assert_eq!(out, vec![1, 3, 5]);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn oversized_worker_count_is_clamped() {
+        let items = [10, 20];
+        let out = run_indexed(&items, 64, |_, &x| x);
+        assert_eq!(out, vec![10, 20]);
+    }
+}

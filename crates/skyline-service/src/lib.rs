@@ -1,0 +1,66 @@
+//! # skyline-service
+//!
+//! A concurrent, cache-backed query service over the engines of the `skyline` facade —
+//! the serving layer the paper's premise calls for: *many* users issue implicit-preference
+//! skyline queries over the *same* dataset, and popular preferences repeat with the same
+//! Zipfian skew as the nominal values themselves.
+//!
+//! Three pieces:
+//!
+//! * [`SkylineService`] — wraps an `Arc<SkylineEngine>` (the engine is `Send + Sync`, so one
+//!   preprocessing pass serves every thread) and answers queries via
+//!   [`SkylineService::serve`] / [`SkylineService::serve_batch`];
+//! * [`cache::ResultCache`] — a sharded LRU keyed on [`skyline_core::CanonicalPreference`],
+//!   so semantically equal preferences share one memoized answer;
+//! * a worker-pool batch executor on `std::thread` + channels, plus lock-free
+//!   [`stats`] (hit rate, p50/p99 latency).
+//!
+//! ```
+//! use skyline::prelude::*;
+//! use skyline_service::{ServiceConfig, SkylineService};
+//! use std::sync::Arc;
+//!
+//! // Table 1 of the paper, served to a crowd.
+//! let schema = Schema::new(vec![
+//!     Dimension::numeric("price"),
+//!     Dimension::numeric("class-neg"),
+//!     Dimension::nominal_with_labels("hotel-group", ["T", "H", "M"]),
+//! ]).unwrap();
+//! let mut builder = DatasetBuilder::new(schema);
+//! for (price, class, group) in [
+//!     (1600.0, 4.0, "T"), (2400.0, 1.0, "T"), (3000.0, 5.0, "H"),
+//!     (3600.0, 4.0, "H"), (2400.0, 2.0, "M"), (3000.0, 3.0, "M"),
+//! ] {
+//!     builder.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()]).unwrap();
+//! }
+//! let data = Arc::new(builder.build().unwrap());
+//! let template = Template::empty(data.schema());
+//! let engine = SkylineEngine::build(data, template, EngineConfig::Hybrid { top_k: 10 }).unwrap();
+//! // One worker keeps the miss count deterministic for this example; with a pool, concurrent
+//! // workers may each miss the cold cache for the same key (there is no single-flight yet).
+//! let service = SkylineService::with_config(
+//!     Arc::new(engine),
+//!     ServiceConfig { workers: 1, ..ServiceConfig::default() },
+//! );
+//!
+//! let alice = Preference::parse(service.engine().dataset().schema(),
+//!                               [("hotel-group", "T < M < *")]).unwrap();
+//! let batch: Vec<Preference> = std::iter::repeat(alice).take(100).collect();
+//! let answers = service.serve_batch(&batch);
+//! assert!(answers.iter().all(|a| a.as_ref().unwrap().outcome.skyline == vec![0, 2]));
+//! // 100 equivalent queries, one engine evaluation.
+//! assert_eq!(service.stats().misses, 1);
+//! assert_eq!(service.stats().hits, 99);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod executor;
+pub mod service;
+pub mod stats;
+
+pub use cache::ResultCache;
+pub use service::{Served, ServiceConfig, SkylineService};
+pub use stats::{ServiceMetrics, StatsSnapshot};

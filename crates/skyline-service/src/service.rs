@@ -1,0 +1,353 @@
+//! The concurrent query service: one shared engine, many users.
+
+use crate::cache::ResultCache;
+use crate::executor;
+use crate::stats::{ServiceMetrics, StatsSnapshot};
+use skyline::{QueryOutcome, SkylineEngine};
+use skyline_core::{CanonicalPreference, Preference, Result};
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`SkylineService`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Maximum number of cached query results (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+    /// Worker threads used by [`SkylineService::serve_batch`] (0 = one per available core).
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            cache_capacity: 4096,
+            cache_shards: 16,
+            workers: 0,
+        }
+    }
+}
+
+/// One answered query, with serving provenance.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The query answer. On a cache hit this is the memoized outcome, shared (not copied)
+    /// between every user asking the equivalent preference; `outcome.method` then reports the
+    /// algorithm that computed the *original* answer.
+    pub outcome: Arc<QueryOutcome>,
+    /// Whether the answer came from the result cache.
+    pub cache_hit: bool,
+    /// Wall-clock time spent serving this query.
+    pub latency: Duration,
+}
+
+/// A concurrent, cache-backed skyline query service over one shared [`SkylineEngine`].
+///
+/// The engine is `Send + Sync` (it holds its dataset in an `Arc`), so a single preprocessing
+/// pass serves every user: wrap the service itself in an `Arc` and call
+/// [`serve`](SkylineService::serve) from as many threads as you like, or hand a whole batch to
+/// [`serve_batch`](SkylineService::serve_batch) and let the built-in worker pool spread it
+/// over the cores. Results are memoized in a sharded LRU cache keyed on
+/// [`CanonicalPreference`], so the Zipf-skewed preference streams of the paper's workload
+/// (many users, few popular preferences) are mostly answered without touching the engine.
+#[derive(Debug)]
+pub struct SkylineService {
+    engine: Arc<SkylineEngine>,
+    cache: ResultCache,
+    metrics: ServiceMetrics,
+    workers: usize,
+}
+
+impl SkylineService {
+    /// Wraps an engine with the default configuration.
+    pub fn new(engine: Arc<SkylineEngine>) -> Self {
+        Self::with_config(engine, ServiceConfig::default())
+    }
+
+    /// Wraps an engine with explicit cache/worker settings.
+    pub fn with_config(engine: Arc<SkylineEngine>, config: ServiceConfig) -> Self {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        Self {
+            engine,
+            cache: ResultCache::new(config.cache_capacity, config.cache_shards),
+            metrics: ServiceMetrics::new(),
+            workers,
+        }
+    }
+
+    /// The shared engine answering cache misses.
+    pub fn engine(&self) -> &Arc<SkylineEngine> {
+        &self.engine
+    }
+
+    /// Worker threads a batch is spread over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Current number of cached results.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Counters accumulated since the service was built.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Answers one query, consulting the result cache first.
+    ///
+    /// Errors (invalid preference, refinement violation, …) are returned verbatim and never
+    /// cached.
+    pub fn serve(&self, pref: &Preference) -> Result<Served> {
+        let started = Instant::now();
+        let key = CanonicalPreference::new(self.engine.dataset().schema(), pref)
+            .inspect_err(|_| self.metrics.record_error())?;
+        // Servability (refinement, materialization) is judged on the *written* preference
+        // while canonical keys are *semantic*, so the engine's acceptance policy must run
+        // before the cache lookup: a preference the engine would reject could otherwise be
+        // answered from an entry cached by an equivalent accepted one, making the same input
+        // succeed or fail depending on cache state.
+        self.engine
+            .check_servable(pref)
+            .inspect_err(|_| self.metrics.record_error())?;
+        if let Some(outcome) = self.cache.get(&key) {
+            let latency = started.elapsed();
+            self.metrics.record(true, latency);
+            return Ok(Served {
+                outcome,
+                cache_hit: true,
+                latency,
+            });
+        }
+        let outcome = self
+            .engine
+            .query(pref)
+            .map(Arc::new)
+            .inspect_err(|_| self.metrics.record_error())?;
+        self.cache.insert(key, outcome.clone());
+        let latency = started.elapsed();
+        self.metrics.record(false, latency);
+        Ok(Served {
+            outcome,
+            cache_hit: false,
+            latency,
+        })
+    }
+
+    /// Answers a batch of queries on the worker pool, preserving input order.
+    ///
+    /// Each worker pulls the next query as soon as it finishes its previous one (work
+    /// stealing), so a mix of cache hits and expensive misses still balances across threads.
+    pub fn serve_batch(&self, prefs: &[Preference]) -> Vec<Result<Served>> {
+        executor::run_indexed(prefs, self.workers, |_, pref| self.serve(pref))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline::prelude::*;
+
+    fn engine() -> Arc<SkylineEngine> {
+        let config = ExperimentConfig {
+            n: 300,
+            numeric_dims: 2,
+            nominal_dims: 2,
+            cardinality: 6,
+            theta: 1.0,
+            pref_order: 2,
+            distribution: Distribution::AntiCorrelated,
+            seed: 5,
+        };
+        let data = Arc::new(config.generate_dataset());
+        let template = config.template(&data);
+        Arc::new(SkylineEngine::build(data, template, EngineConfig::Hybrid { top_k: 3 }).unwrap())
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SkylineService>();
+        assert_send_sync::<Served>();
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache_with_identical_answers() {
+        let engine = engine();
+        let service = SkylineService::new(engine.clone());
+        let schema = engine.dataset().schema().clone();
+        let template = engine.template().clone();
+        let mut generator = QueryGenerator::new(77);
+        let pref = generator.random_preference(&schema, &template, 2, None);
+
+        let first = service.serve(&pref).unwrap();
+        assert!(!first.cache_hit);
+        let second = service.serve(&pref).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(first.outcome.skyline, second.outcome.skyline);
+        assert_eq!(first.outcome.skyline, engine.query(&pref).unwrap().skyline);
+
+        let stats = service.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(service.cache_len(), 1);
+    }
+
+    #[test]
+    fn serve_batch_preserves_order_and_matches_serial() {
+        let engine = engine();
+        let service = SkylineService::with_config(
+            engine.clone(),
+            ServiceConfig {
+                workers: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let schema = engine.dataset().schema().clone();
+        let template = engine.template().clone();
+        let mut generator = QueryGenerator::new(13);
+        let prefs = generator.zipf_workload(&schema, &template, 2, 10, 80, 1.0);
+
+        let served = service.serve_batch(&prefs);
+        assert_eq!(served.len(), prefs.len());
+        for (pref, result) in prefs.iter().zip(&served) {
+            let served_skyline = &result.as_ref().unwrap().outcome.skyline;
+            assert_eq!(served_skyline, &engine.query(pref).unwrap().skyline);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.served(), 80);
+        assert!(stats.hit_rate() > 0.5, "hit rate {}", stats.hit_rate());
+    }
+
+    #[test]
+    fn errors_pass_through_and_are_counted() {
+        let engine = engine();
+        let service = SkylineService::new(engine);
+        // Wrong arity: one nominal dimension instead of two.
+        let bad = Preference::none(1);
+        assert!(service.serve(&bad).is_err());
+        let stats = service.stats();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.served(), 0);
+        assert_eq!(service.cache_len(), 0);
+    }
+
+    #[test]
+    fn non_refining_queries_error_even_after_an_equivalent_entry_was_cached() {
+        // Template with the *full-domain* implicit list [0, 1] on a cardinality-2 dimension:
+        // the refining query [0, 1] and the non-refining query [0] induce the same partial
+        // order, hence share a canonical cache key — but only the first may be answered.
+        let schema = Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::nominal("g", NominalDomain::anonymous(2)),
+        ])
+        .unwrap();
+        let data = Arc::new(
+            Dataset::from_columns(schema.clone(), vec![vec![1.0, 2.0]], vec![vec![0, 1]]).unwrap(),
+        );
+        let template = Template::from_preference(
+            &schema,
+            Preference::from_dims(vec![ImplicitPreference::new([0, 1]).unwrap()]),
+        )
+        .unwrap();
+        let engine =
+            Arc::new(SkylineEngine::build(data, template, EngineConfig::AdaptiveSfs).unwrap());
+        let service = SkylineService::new(engine.clone());
+
+        let refining = Preference::from_dims(vec![ImplicitPreference::new([0, 1]).unwrap()]);
+        let non_refining = Preference::from_dims(vec![ImplicitPreference::new([0]).unwrap()]);
+        // Same canonical key, different refinement status.
+        assert_eq!(
+            refining.canonicalize(&schema).unwrap(),
+            non_refining.canonicalize(&schema).unwrap()
+        );
+        assert!(engine.query(&non_refining).is_err());
+
+        assert!(service.serve(&refining).is_ok());
+        assert!(
+            matches!(
+                service.serve(&non_refining),
+                Err(SkylineError::NotARefinement { .. })
+            ),
+            "cache state must not change which inputs are rejected"
+        );
+        assert_eq!(service.stats().errors, 1);
+    }
+
+    #[test]
+    fn unmaterialized_queries_error_even_after_an_equivalent_entry_was_cached() {
+        // IpoTreeTopK(1) over a cardinality-2 dimension materializes only the most frequent
+        // value 0. `[0]` (servable) and `[0, 1]` (lists unmaterialized value 1) share a
+        // canonical key, so the rejection must run before the cache lookup.
+        let schema = Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::nominal("g", NominalDomain::anonymous(2)),
+        ])
+        .unwrap();
+        let data = Arc::new(
+            Dataset::from_columns(
+                schema.clone(),
+                vec![vec![1.0, 2.0, 3.0]],
+                vec![vec![0, 0, 1]],
+            )
+            .unwrap(),
+        );
+        let template = Template::empty(&schema);
+        let engine =
+            Arc::new(SkylineEngine::build(data, template, EngineConfig::IpoTreeTopK(1)).unwrap());
+        let service = SkylineService::new(engine.clone());
+
+        let servable = Preference::from_dims(vec![ImplicitPreference::new([0]).unwrap()]);
+        let unmaterialized = Preference::from_dims(vec![ImplicitPreference::new([0, 1]).unwrap()]);
+        assert_eq!(
+            servable.canonicalize(&schema).unwrap(),
+            unmaterialized.canonicalize(&schema).unwrap()
+        );
+        assert!(engine.query(&unmaterialized).is_err());
+
+        assert!(service.serve(&servable).is_ok());
+        assert!(
+            matches!(
+                service.serve(&unmaterialized),
+                Err(SkylineError::NotMaterialized { .. })
+            ),
+            "cache state must not change which inputs are rejected"
+        );
+        // The hybrid engine keeps answering the same shape of query via its fallback.
+        let data = Arc::new(
+            Dataset::from_columns(
+                schema.clone(),
+                vec![vec![1.0, 2.0, 3.0]],
+                vec![vec![0, 0, 1]],
+            )
+            .unwrap(),
+        );
+        let hybrid = Arc::new(
+            SkylineEngine::build(
+                data,
+                Template::empty(&schema),
+                EngineConfig::Hybrid { top_k: 1 },
+            )
+            .unwrap(),
+        );
+        let hybrid_service = SkylineService::new(hybrid);
+        assert!(hybrid_service.serve(&servable).is_ok());
+        assert!(hybrid_service.serve(&unmaterialized).is_ok());
+    }
+
+    #[test]
+    fn workers_default_to_available_parallelism() {
+        let service = SkylineService::new(engine());
+        assert!(service.workers() >= 1);
+        assert!(!service.engine().dataset().is_empty());
+    }
+}

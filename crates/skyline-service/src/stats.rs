@@ -1,0 +1,186 @@
+//! Lock-free service metrics: hit/miss/error counters and a latency histogram.
+//!
+//! Per-query latencies land in power-of-two buckets (bucket `i` covers
+//! `[2^i, 2^{i+1})` nanoseconds), so recording is a single relaxed atomic increment and
+//! percentile estimates are a scan over 64 counters — no locks on the serve path, which is
+//! exactly where a throughput-bound service cannot afford them. The price is quantization:
+//! a reported percentile is the *upper bound* of its bucket (within 2× of the true value).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// Shared, lock-free counters updated by every served query.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    errors: AtomicU64,
+    latency_ns: [AtomicU64; BUCKETS],
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self {
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ServiceMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one answered query.
+    pub fn record(&self, cache_hit: bool, latency: Duration) {
+        if cache_hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let ns = latency.as_nanos().max(1) as u64;
+        let bucket = (63 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.latency_ns[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one failed query (failures are not cached and carry no latency sample).
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot of the counters (individual loads are relaxed).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        let errors = self.errors.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self
+            .latency_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        StatsSnapshot {
+            hits,
+            misses,
+            errors,
+            p50: percentile(&buckets, 0.50),
+            p99: percentile(&buckets, 0.99),
+        }
+    }
+}
+
+/// Upper bound of the bucket containing the `q`-quantile sample.
+fn percentile(buckets: &[u64], q: f64) -> Duration {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            let upper_ns = if i + 1 >= BUCKETS {
+                u64::MAX
+            } else {
+                1u64 << (i + 1)
+            };
+            return Duration::from_nanos(upper_ns);
+        }
+    }
+    Duration::from_nanos(u64::MAX)
+}
+
+/// Point-in-time view of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Queries answered from the result cache.
+    pub hits: u64,
+    /// Queries that had to run the engine.
+    pub misses: u64,
+    /// Queries that returned an error (not cached, not counted in `hits`/`misses`).
+    pub errors: u64,
+    /// Median latency (upper bound of its power-of-two bucket).
+    pub p50: Duration,
+    /// 99th-percentile latency (upper bound of its power-of-two bucket).
+    pub p99: Duration,
+}
+
+impl StatsSnapshot {
+    /// Total successfully served queries.
+    pub fn served(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of served queries answered from the cache (0 when nothing was served).
+    pub fn hit_rate(&self) -> f64 {
+        if self.served() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.served() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServiceMetrics::new();
+        m.record(true, Duration::from_micros(10));
+        m.record(false, Duration::from_micros(100));
+        m.record(false, Duration::from_micros(100));
+        m.record_error();
+        let s = m.snapshot();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.served(), 3);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = ServiceMetrics::new().snapshot();
+        assert_eq!(s.served(), 0);
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.p50, Duration::ZERO);
+        assert_eq!(s.p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_bound_the_recorded_latencies() {
+        let m = ServiceMetrics::new();
+        // 99 fast queries at ~1 µs, one slow outlier at ~1 ms.
+        for _ in 0..99 {
+            m.record(false, Duration::from_micros(1));
+        }
+        m.record(false, Duration::from_millis(1));
+        let s = m.snapshot();
+        // p50 is in the microsecond range (within its 2× bucket), p99 well below p100.
+        assert!(s.p50 >= Duration::from_micros(1));
+        assert!(s.p50 <= Duration::from_micros(4));
+        assert!(s.p99 <= Duration::from_micros(4));
+        // And the p100-ish quantile catches the outlier.
+        let buckets: Vec<u64> = m
+            .latency_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        assert!(percentile(&buckets, 1.0) >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn subnanosecond_latencies_do_not_panic() {
+        let m = ServiceMetrics::new();
+        m.record(true, Duration::ZERO);
+        assert_eq!(m.snapshot().served(), 1);
+    }
+}

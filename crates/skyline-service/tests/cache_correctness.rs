@@ -1,0 +1,152 @@
+//! Cache-correctness property: over random datasets and random preference streams (with
+//! repetition, so hits actually occur), serving with the cache enabled is indistinguishable
+//! from serving without it — and both equal the bare engine.
+
+use proptest::prelude::*;
+use skyline::prelude::*;
+use skyline_service::{ServiceConfig, SkylineService};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct StreamInstance {
+    numeric: Vec<Vec<f64>>,
+    nominal: Vec<Vec<ValueId>>,
+    cardinalities: Vec<usize>,
+    /// Choice lists for a small pool of distinct preferences.
+    pool_choices: Vec<Vec<Vec<ValueId>>>,
+    /// The stream: indices into the pool (repetition produces cache hits).
+    stream: Vec<usize>,
+    /// Cache capacity, possibly smaller than the pool (exercises eviction).
+    cache_capacity: usize,
+}
+
+fn instance_strategy() -> impl Strategy<Value = StreamInstance> {
+    let cards = vec![3usize, 4usize];
+    (1usize..30, 1usize..=4).prop_flat_map(move |(rows, pool)| {
+        let cards = cards.clone();
+        let numeric = proptest::collection::vec(
+            proptest::collection::vec(0i32..5, rows)
+                .prop_map(|v| v.into_iter().map(f64::from).collect::<Vec<f64>>()),
+            2,
+        );
+        let nominal = cards
+            .iter()
+            .map(|&c| proptest::collection::vec(0..(c as ValueId), rows))
+            .collect::<Vec<_>>();
+        let pool_choices = proptest::collection::vec(
+            cards
+                .iter()
+                .map(|&c| {
+                    proptest::sample::subsequence((0..c as ValueId).collect::<Vec<_>>(), 0..=c)
+                        .prop_shuffle()
+                })
+                .collect::<Vec<_>>(),
+            pool,
+        );
+        let stream = proptest::collection::vec(0..pool, 1..40);
+        (numeric, nominal, pool_choices, stream, 0usize..6).prop_map(
+            move |(numeric, nominal, pool_choices, stream, cache_capacity)| StreamInstance {
+                numeric,
+                nominal,
+                cardinalities: cards.clone(),
+                pool_choices,
+                stream,
+                cache_capacity,
+            },
+        )
+    })
+}
+
+fn build_engine(instance: &StreamInstance) -> Arc<SkylineEngine> {
+    let schema = Schema::new(vec![
+        Dimension::numeric("x"),
+        Dimension::numeric("y"),
+        Dimension::nominal("g", NominalDomain::anonymous(instance.cardinalities[0])),
+        Dimension::nominal("h", NominalDomain::anonymous(instance.cardinalities[1])),
+    ])
+    .unwrap();
+    let data = Arc::new(
+        Dataset::from_columns(schema, instance.numeric.clone(), instance.nominal.clone()).unwrap(),
+    );
+    let template = Template::empty(data.schema());
+    // Hybrid with a small top_k: the stream exercises both the tree and the fallback.
+    Arc::new(SkylineEngine::build(data, template, EngineConfig::Hybrid { top_k: 2 }).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn serving_with_cache_equals_serving_without(instance in instance_strategy()) {
+        let engine = build_engine(&instance);
+        let pool: Vec<Preference> = instance
+            .pool_choices
+            .iter()
+            .map(|dims| {
+                Preference::from_dims(
+                    dims.iter()
+                        .map(|c| ImplicitPreference::new(c.clone()).unwrap())
+                        .collect(),
+                )
+            })
+            .collect();
+        let stream: Vec<Preference> =
+            instance.stream.iter().map(|&i| pool[i].clone()).collect();
+
+        let cached = SkylineService::with_config(
+            engine.clone(),
+            ServiceConfig {
+                cache_capacity: instance.cache_capacity,
+                cache_shards: 2,
+                workers: 1,
+            },
+        );
+        let uncached = SkylineService::with_config(
+            engine.clone(),
+            ServiceConfig { cache_capacity: 0, cache_shards: 1, workers: 1 },
+        );
+        for (i, pref) in stream.iter().enumerate() {
+            let expected = engine.query(pref).unwrap().skyline;
+            let with_cache = cached.serve(pref).unwrap();
+            let without_cache = uncached.serve(pref).unwrap();
+            prop_assert_eq!(&with_cache.outcome.skyline, &expected, "cached, step {}", i);
+            prop_assert_eq!(&without_cache.outcome.skyline, &expected, "uncached, step {}", i);
+        }
+        // The cached service never invents or loses queries.
+        prop_assert_eq!(cached.stats().served(), stream.len() as u64);
+        prop_assert_eq!(uncached.stats().hits, 0);
+    }
+
+    /// The batched worker-pool path agrees with the serial path on the same stream.
+    #[test]
+    fn batched_serving_equals_serial_serving(instance in instance_strategy()) {
+        let engine = build_engine(&instance);
+        let pool: Vec<Preference> = instance
+            .pool_choices
+            .iter()
+            .map(|dims| {
+                Preference::from_dims(
+                    dims.iter()
+                        .map(|c| ImplicitPreference::new(c.clone()).unwrap())
+                        .collect(),
+                )
+            })
+            .collect();
+        let stream: Vec<Preference> =
+            instance.stream.iter().map(|&i| pool[i].clone()).collect();
+        let service = SkylineService::with_config(
+            engine.clone(),
+            ServiceConfig {
+                cache_capacity: instance.cache_capacity,
+                cache_shards: 2,
+                workers: 4,
+            },
+        );
+        let batched = service.serve_batch(&stream);
+        prop_assert_eq!(batched.len(), stream.len());
+        for (i, (pref, result)) in stream.iter().zip(batched).enumerate() {
+            let expected = engine.query(pref).unwrap().skyline;
+            prop_assert_eq!(&result.unwrap().outcome.skyline, &expected, "step {}", i);
+        }
+    }
+}

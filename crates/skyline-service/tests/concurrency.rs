@@ -1,0 +1,166 @@
+//! Concurrency suite: N threads × M queries against one shared engine must produce exactly
+//! the answers serial `SkylineEngine::query` produces, with and without the result cache.
+
+use skyline::prelude::*;
+use skyline_service::{ServiceConfig, SkylineService};
+use std::sync::Arc;
+use std::thread;
+
+fn build_engine(seed: u64, config: EngineConfig) -> Arc<SkylineEngine> {
+    let experiment = ExperimentConfig {
+        n: 800,
+        numeric_dims: 2,
+        nominal_dims: 2,
+        cardinality: 8,
+        theta: 1.0,
+        pref_order: 2,
+        distribution: Distribution::AntiCorrelated,
+        seed,
+    };
+    let data = Arc::new(experiment.generate_dataset());
+    let template = experiment.template(&data);
+    Arc::new(SkylineEngine::build(data, template, config).unwrap())
+}
+
+fn workload(engine: &SkylineEngine, seed: u64, count: usize) -> Vec<Preference> {
+    let mut generator = QueryGenerator::new(seed);
+    generator.zipf_workload(
+        engine.dataset().schema(),
+        engine.template(),
+        3,
+        24,
+        count,
+        1.0,
+    )
+}
+
+#[test]
+fn engine_is_shareable_across_threads() {
+    // Compile-time: the refactor to Arc<Dataset> must keep the engine Send + Sync.
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SkylineEngine>();
+    assert_send_sync::<SkylineService>();
+
+    // Runtime: raw engine queries from 8 threads agree with the serial answers.
+    let engine = build_engine(3, EngineConfig::Hybrid { top_k: 4 });
+    let queries = workload(&engine, 17, 64);
+    let serial: Vec<Vec<PointId>> = queries
+        .iter()
+        .map(|q| engine.query(q).unwrap().skyline)
+        .collect();
+
+    let threads = 8;
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let engine = engine.clone();
+            let queries = &queries;
+            let serial = &serial;
+            scope.spawn(move || {
+                // Each thread walks the workload at a different offset.
+                for i in 0..queries.len() {
+                    let idx = (i + t * 7) % queries.len();
+                    let got = engine.query(&queries[idx]).unwrap().skyline;
+                    assert_eq!(got, serial[idx], "thread {t}, query {idx}");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn threaded_service_matches_serial_engine_for_every_config() {
+    let configs = [
+        EngineConfig::SfsD,
+        EngineConfig::AdaptiveSfs,
+        EngineConfig::IpoTree,
+        EngineConfig::BitmapIpoTree,
+        EngineConfig::Hybrid { top_k: 3 },
+    ];
+    for config in configs {
+        let engine = build_engine(11, config);
+        let queries = workload(&engine, 29, 120);
+        let serial: Vec<Vec<PointId>> = queries
+            .iter()
+            .map(|q| engine.query(q).unwrap().skyline)
+            .collect();
+
+        let service = Arc::new(SkylineService::with_config(
+            engine,
+            ServiceConfig {
+                workers: 6,
+                ..ServiceConfig::default()
+            },
+        ));
+        // serve_batch: the pool spreads the batch over its workers.
+        for (i, result) in service.serve_batch(&queries).into_iter().enumerate() {
+            assert_eq!(
+                result.unwrap().outcome.skyline,
+                serial[i],
+                "config {config:?}, batched query {i}"
+            );
+        }
+        // And explicit user threads hammering `serve` concurrently.
+        thread::scope(|scope| {
+            for t in 0..4 {
+                let service = service.clone();
+                let queries = &queries;
+                let serial = &serial;
+                scope.spawn(move || {
+                    for (i, q) in queries.iter().enumerate() {
+                        let served = service.serve(q).unwrap();
+                        assert_eq!(
+                            served.outcome.skyline, serial[i],
+                            "config {config:?}, thread {t}, query {i}"
+                        );
+                    }
+                });
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.served(), (queries.len() * 5) as u64);
+        assert!(
+            stats.hit_rate() > 0.5,
+            "Zipf workload should mostly hit the cache, got {}",
+            stats.hit_rate()
+        );
+    }
+}
+
+#[test]
+fn cache_disabled_service_still_agrees() {
+    let engine = build_engine(23, EngineConfig::AdaptiveSfs);
+    let queries = workload(&engine, 31, 60);
+    let service = SkylineService::with_config(
+        engine.clone(),
+        ServiceConfig {
+            cache_capacity: 0,
+            workers: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    for (q, r) in queries.iter().zip(service.serve_batch(&queries)) {
+        let served = r.unwrap();
+        assert!(!served.cache_hit);
+        assert_eq!(served.outcome.skyline, engine.query(q).unwrap().skyline);
+    }
+    assert_eq!(service.stats().hits, 0);
+    assert_eq!(service.cache_len(), 0);
+}
+
+#[test]
+fn tiny_cache_evicts_but_never_corrupts() {
+    let engine = build_engine(41, EngineConfig::Hybrid { top_k: 2 });
+    let queries = workload(&engine, 43, 200);
+    let service = SkylineService::with_config(
+        engine.clone(),
+        ServiceConfig {
+            cache_capacity: 4,
+            cache_shards: 2,
+            workers: 6,
+        },
+    );
+    for (q, r) in queries.iter().zip(service.serve_batch(&queries)) {
+        assert_eq!(r.unwrap().outcome.skyline, engine.query(q).unwrap().skyline);
+    }
+    assert!(service.cache_len() <= 4);
+}

@@ -30,8 +30,10 @@ fn main() -> Result<()> {
     // "most frequent value" template would be arbitrary and collapse the skyline to one point;
     // the real-data experiment therefore uses an empty template.
     let template = Template::empty(data.schema());
-    let engine_ipo = SkylineEngine::build(&data, template.clone(), EngineConfig::IpoTree)?;
-    let asfs = AdaptiveSfs::build(&data, &template)?;
+    // One shared copy of the data feeds both engines.
+    let data = std::sync::Arc::new(data);
+    let engine_ipo = SkylineEngine::build(data.clone(), template.clone(), EngineConfig::IpoTree)?;
+    let asfs = AdaptiveSfs::build(data.clone(), &template)?;
     let template_skyline = asfs.template_skyline();
     println!(
         "Template skyline: {} points ({:.1}% of the data set)\n",

@@ -8,6 +8,7 @@
 //! Run with: `cargo run -p skyline --example quickstart`
 
 use skyline::prelude::*;
+use std::sync::Arc;
 
 fn main() -> Result<()> {
     // 1. Describe the data: numeric dimensions are "smaller is better", so hotel class is
@@ -37,14 +38,16 @@ fn main() -> Result<()> {
             airline.into(),
         ])?;
     }
-    let data = builder.build()?;
+    let data = Arc::new(builder.build()?);
     let names: Vec<&str> = rows.iter().map(|r| r.0).collect();
 
     // 3. No universal preference on the nominal attributes: an empty template.
     let template = Template::empty(data.schema());
 
     // 4. Build the hybrid engine (IPO tree for popular values + Adaptive SFS fallback).
-    let engine = SkylineEngine::build(&data, template, EngineConfig::Hybrid { top_k: 10 })?;
+    //    The `Arc` is shared, not copied — clone it freely into as many engines or threads
+    //    as you need.
+    let engine = SkylineEngine::build(data.clone(), template, EngineConfig::Hybrid { top_k: 10 })?;
     println!("Loaded {} vacation packages.", data.len());
 
     // 5. Ask the four queries of Example 1 plus a couple of customer preferences from Table 2.

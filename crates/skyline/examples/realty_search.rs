@@ -65,11 +65,16 @@ fn build_listings(n: usize, seed: u64) -> Result<Dataset> {
 }
 
 fn main() -> Result<()> {
-    let data = build_listings(5_000, 20_08)?;
+    // One shared copy of the listings feeds both engines (Arc clone, not a data copy).
+    let data = std::sync::Arc::new(build_listings(5_000, 20_08)?);
     let template = Template::empty(data.schema());
 
-    let engine = SkylineEngine::build(&data, template.clone(), EngineConfig::Hybrid { top_k: 4 })?;
-    let asfs = AdaptiveSfs::build(&data, &template)?;
+    let engine = SkylineEngine::build(
+        data.clone(),
+        template.clone(),
+        EngineConfig::Hybrid { top_k: 4 },
+    )?;
+    let asfs = AdaptiveSfs::build(data.clone(), &template)?;
     println!(
         "{} listings, template skyline has {} entries",
         data.len(),

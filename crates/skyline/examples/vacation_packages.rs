@@ -30,7 +30,7 @@ fn main() -> Result<()> {
             group.into(),
         ])?;
     }
-    let data = builder.build()?;
+    let data = std::sync::Arc::new(builder.build()?);
     let names: Vec<&str> = rows.iter().map(|r| r.0).collect();
     let template = Template::empty(data.schema());
 
@@ -51,7 +51,7 @@ fn main() -> Result<()> {
         ("Fred", "M < *"),
     ];
 
-    let asfs = AdaptiveSfs::build(&data, &template)?;
+    let asfs = AdaptiveSfs::build(data.clone(), &template)?;
     println!(
         "Preprocessing: |SKY(template)| = {} of {} packages",
         asfs.preprocess_stats().template_skyline_size,

@@ -2,10 +2,9 @@
 
 use skyline_adaptive::AdaptiveSfs;
 use skyline_core::algo::sfs;
-use skyline_core::{
-    Dataset, DominanceContext, PointId, Preference, Result, SkylineError, Template,
-};
+use skyline_core::{Dataset, DominanceContext, PointId, Preference, Result, Template};
 use skyline_ipo::{BitmapIpoTree, IpoTree, IpoTreeBuilder};
+use std::sync::Arc;
 
 /// Which algorithm an engine instance materializes and uses to answer queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,19 +50,32 @@ pub struct QueryOutcome {
 }
 
 /// A configured skyline query engine bound to a dataset and a template.
+///
+/// The dataset is held by shared ownership ([`Arc`]), which makes the engine `Send + Sync`:
+/// build it once, wrap it in an `Arc`, and answer queries from as many threads as you like
+/// (`query` takes `&self` and only reads). The `skyline-service` crate builds its concurrent,
+/// cache-backed query service on exactly this property.
 #[derive(Debug)]
-pub struct SkylineEngine<'a> {
-    data: &'a Dataset,
+pub struct SkylineEngine {
+    data: Arc<Dataset>,
     template: Template,
     config: EngineConfig,
     ipo: Option<IpoTree>,
     bitmap: Option<BitmapIpoTree>,
-    asfs: Option<AdaptiveSfs<'a>>,
+    asfs: Option<AdaptiveSfs>,
 }
 
-impl<'a> SkylineEngine<'a> {
+impl SkylineEngine {
     /// Builds the engine, performing whatever preprocessing the configuration requires.
-    pub fn build(data: &'a Dataset, template: Template, config: EngineConfig) -> Result<Self> {
+    ///
+    /// Accepts either an owned [`Dataset`] or an [`Arc<Dataset>`]; pass the same `Arc` to
+    /// several engines to share one copy of the data between them.
+    pub fn build(
+        data: impl Into<Arc<Dataset>>,
+        template: Template,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        let data = data.into();
         let mut engine = Self {
             data,
             template,
@@ -72,10 +84,11 @@ impl<'a> SkylineEngine<'a> {
             bitmap: None,
             asfs: None,
         };
+        let data = &engine.data;
         match config {
             EngineConfig::SfsD => {}
             EngineConfig::AdaptiveSfs => {
-                engine.asfs = Some(AdaptiveSfs::build(data, &engine.template)?);
+                engine.asfs = Some(AdaptiveSfs::build(data.clone(), &engine.template)?);
             }
             EngineConfig::IpoTree => {
                 engine.ipo = Some(IpoTreeBuilder::new().build(data, &engine.template)?);
@@ -96,7 +109,7 @@ impl<'a> SkylineEngine<'a> {
                     .top_k_values(top_k)
                     .build(data, &engine.template)?;
                 engine.asfs = Some(AdaptiveSfs::from_precomputed_skyline(
-                    data,
+                    data.clone(),
                     engine.template.clone(),
                     tree.skyline().to_vec(),
                 )?);
@@ -107,8 +120,13 @@ impl<'a> SkylineEngine<'a> {
     }
 
     /// The dataset the engine is bound to.
-    pub fn dataset(&self) -> &'a Dataset {
-        self.data
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Shared handle to the dataset (cheap to clone; hand it to sibling engines or threads).
+    pub fn dataset_arc(&self) -> &Arc<Dataset> {
+        &self.data
     }
 
     /// The template shared by all queries.
@@ -127,8 +145,33 @@ impl<'a> SkylineEngine<'a> {
     }
 
     /// The Adaptive SFS structure, when the configuration has one.
-    pub fn adaptive(&self) -> Option<&AdaptiveSfs<'a>> {
+    pub fn adaptive(&self) -> Option<&AdaptiveSfs> {
         self.asfs.as_ref()
+    }
+
+    /// Errors exactly when [`SkylineEngine::query`] would reject `pref` without computing a
+    /// skyline: schema validation, template refinement, and — for configurations whose query
+    /// path rejects unmaterialized values — the materialization predicate.
+    ///
+    /// This is the engine-level servability policy in one place; the `skyline-service` result
+    /// cache consults it before a lookup so that cache state can never change which inputs
+    /// are accepted. The hybrid configuration needs no materialization check: it answers
+    /// unmaterialized preferences via its Adaptive-SFS fallback.
+    pub fn check_servable(&self, pref: &Preference) -> Result<()> {
+        let schema = self.data.schema();
+        pref.validate(schema)?;
+        self.template.check_refinement(schema, pref)?;
+        match self.config {
+            EngineConfig::IpoTree | EngineConfig::IpoTreeTopK(_) => {
+                let tree = self.ipo.as_ref().expect("built in build()");
+                tree.require_materialized(schema, pref)
+            }
+            EngineConfig::BitmapIpoTree => {
+                let tree = self.bitmap.as_ref().expect("built in build()");
+                tree.require_materialized(schema, pref)
+            }
+            EngineConfig::SfsD | EngineConfig::AdaptiveSfs | EngineConfig::Hybrid { .. } => Ok(()),
+        }
     }
 
     /// Answers an implicit-preference query.
@@ -145,32 +188,33 @@ impl<'a> SkylineEngine<'a> {
             EngineConfig::IpoTree | EngineConfig::IpoTreeTopK(_) => {
                 let tree = self.ipo.as_ref().expect("built in build()");
                 Ok(QueryOutcome {
-                    skyline: tree.query(self.data, pref)?,
+                    skyline: tree.query(&self.data, pref)?,
                     method: MethodUsed::IpoTree,
                 })
             }
             EngineConfig::BitmapIpoTree => {
                 let tree = self.bitmap.as_ref().expect("built in build()");
                 Ok(QueryOutcome {
-                    skyline: tree.query(self.data, pref)?,
+                    skyline: tree.query(&self.data, pref)?,
                     method: MethodUsed::IpoTree,
                 })
             }
             EngineConfig::Hybrid { .. } => {
+                // Same predicate the truncated tree's query rejection uses (Section 5.3):
+                // popular (fully materialized) preferences go to the IPO tree, everything
+                // else to Adaptive SFS.
                 let tree = self.ipo.as_ref().expect("built in build()");
-                match tree.query(self.data, pref) {
-                    Ok(skyline) => Ok(QueryOutcome {
-                        skyline,
+                if tree.materializes(pref) {
+                    Ok(QueryOutcome {
+                        skyline: tree.query(&self.data, pref)?,
                         method: MethodUsed::IpoTree,
-                    }),
-                    Err(SkylineError::NotMaterialized { .. }) => {
-                        let asfs = self.asfs.as_ref().expect("built in build()");
-                        Ok(QueryOutcome {
-                            skyline: asfs.query(pref)?,
-                            method: MethodUsed::AdaptiveSfs,
-                        })
-                    }
-                    Err(other) => Err(other),
+                    })
+                } else {
+                    let asfs = self.asfs.as_ref().expect("built in build()");
+                    Ok(QueryOutcome {
+                        skyline: asfs.query(pref)?,
+                        method: MethodUsed::AdaptiveSfs,
+                    })
                 }
             }
         }
@@ -178,7 +222,7 @@ impl<'a> SkylineEngine<'a> {
 
     /// The SFS-D baseline path (also used directly by the benchmark harness).
     fn query_sfs_d(&self, pref: &Preference) -> Result<QueryOutcome> {
-        let ctx = DominanceContext::for_query(self.data, &self.template, pref)?;
+        let ctx = DominanceContext::for_query(&self.data, &self.template, pref)?;
         let skyline = sfs::sfs_d(&ctx, &self.template, pref)?;
         Ok(QueryOutcome {
             skyline,
@@ -191,9 +235,9 @@ impl<'a> SkylineEngine<'a> {
 mod tests {
     use super::*;
     use skyline_core::algo::bnl;
-    use skyline_core::{DatasetBuilder, Dimension, RowValue, Schema};
+    use skyline_core::{DatasetBuilder, Dimension, RowValue, Schema, SkylineError};
 
-    fn table3_data() -> Dataset {
+    fn table3_data() -> Arc<Dataset> {
         let schema = Schema::new(vec![
             Dimension::numeric("price"),
             Dimension::numeric("class-neg"),
@@ -218,7 +262,7 @@ mod tests {
             ])
             .unwrap();
         }
-        b.build().unwrap()
+        Arc::new(b.build().unwrap())
     }
 
     #[test]
@@ -240,7 +284,7 @@ mod tests {
             vec![],
         ];
         for config in configs {
-            let engine = SkylineEngine::build(&data, template.clone(), config).unwrap();
+            let engine = SkylineEngine::build(data.clone(), template.clone(), config).unwrap();
             assert_eq!(engine.config(), config);
             for spec in &specs {
                 let pref = Preference::parse(&schema, spec.clone()).unwrap();
@@ -260,9 +304,12 @@ mod tests {
         let data = table3_data();
         let schema = data.schema().clone();
         let template = Template::empty(&schema);
-        let engine =
-            SkylineEngine::build(&data, template.clone(), EngineConfig::Hybrid { top_k: 1 })
-                .unwrap();
+        let engine = SkylineEngine::build(
+            data.clone(),
+            template.clone(),
+            EngineConfig::Hybrid { top_k: 1 },
+        )
+        .unwrap();
         // Airline G (id 0) is the most frequent: materialized → answered by the IPO tree.
         let popular = Preference::parse(&schema, [("airline", "G < *")]).unwrap();
         assert_eq!(engine.query(&popular).unwrap().method, MethodUsed::IpoTree);
@@ -279,7 +326,8 @@ mod tests {
         let data = table3_data();
         let schema = data.schema().clone();
         let template = Template::empty(&schema);
-        let engine = SkylineEngine::build(&data, template, EngineConfig::IpoTreeTopK(1)).unwrap();
+        let engine =
+            SkylineEngine::build(data.clone(), template, EngineConfig::IpoTreeTopK(1)).unwrap();
         let unpopular = Preference::parse(&schema, [("airline", "W < *")]).unwrap();
         assert!(matches!(
             engine.query(&unpopular),
@@ -290,11 +338,22 @@ mod tests {
     }
 
     #[test]
+    fn engine_is_send_and_sync() {
+        // Compile-time assertion: one engine build must be shareable across threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SkylineEngine>();
+        assert_send_sync::<AdaptiveSfs>();
+        assert_send_sync::<QueryOutcome>();
+    }
+
+    #[test]
     fn accessors_expose_bound_state() {
         let data = table3_data();
         let template = Template::empty(data.schema());
-        let engine = SkylineEngine::build(&data, template, EngineConfig::AdaptiveSfs).unwrap();
-        assert!(std::ptr::eq(engine.dataset(), &data));
+        let engine =
+            SkylineEngine::build(data.clone(), template, EngineConfig::AdaptiveSfs).unwrap();
+        assert!(std::ptr::eq(engine.dataset(), &*data));
+        assert!(Arc::ptr_eq(engine.dataset_arc(), &data));
         assert_eq!(engine.template().nominal_count(), 2);
         assert!(engine.adaptive().is_some());
         assert!(engine.ipo_tree().is_none());

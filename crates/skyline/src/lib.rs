@@ -31,9 +31,11 @@
 //! ] {
 //!     builder.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()]).unwrap();
 //! }
-//! let data = builder.build().unwrap();
+//! // Shared ownership: the engine holds an `Arc<Dataset>`, so it is `Send + Sync` and one
+//! // build can serve queries from many threads (see the `skyline-service` crate).
+//! let data = std::sync::Arc::new(builder.build().unwrap());
 //! let template = Template::empty(data.schema());
-//! let engine = SkylineEngine::build(&data, template, EngineConfig::Hybrid { top_k: 10 }).unwrap();
+//! let engine = SkylineEngine::build(data.clone(), template, EngineConfig::Hybrid { top_k: 10 }).unwrap();
 //!
 //! // Alice prefers Tulips, then Mozilla: her skyline is {a, c}.
 //! let alice = Preference::parse(data.schema(), [("hotel-group", "T < M < *")]).unwrap();

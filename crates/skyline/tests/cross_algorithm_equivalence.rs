@@ -53,7 +53,7 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
     })
 }
 
-fn build_dataset(instance: &Instance) -> Dataset {
+fn build_dataset(instance: &Instance) -> std::sync::Arc<Dataset> {
     let schema = Schema::new(vec![
         Dimension::numeric("x"),
         Dimension::numeric("y"),
@@ -61,7 +61,9 @@ fn build_dataset(instance: &Instance) -> Dataset {
         Dimension::nominal("h", NominalDomain::anonymous(instance.cardinalities[1])),
     ])
     .unwrap();
-    Dataset::from_columns(schema, instance.numeric.clone(), instance.nominal.clone()).unwrap()
+    std::sync::Arc::new(
+        Dataset::from_columns(schema, instance.numeric.clone(), instance.nominal.clone()).unwrap(),
+    )
 }
 
 /// Builds the query so that it refines the template (template prefix first).
@@ -101,11 +103,11 @@ proptest! {
         let expected = bnl::skyline(&ctx);
 
         // SFS-D.
-        let sfsd = SkylineEngine::build(&data, template.clone(), EngineConfig::SfsD).unwrap();
+        let sfsd = SkylineEngine::build(data.clone(), template.clone(), EngineConfig::SfsD).unwrap();
         prop_assert_eq!(&sfsd.query(&query).unwrap().skyline, &expected);
 
         // Adaptive SFS, both scan modes.
-        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let asfs = AdaptiveSfs::build(data.clone(), &template).unwrap();
         prop_assert_eq!(&asfs.query(&query).unwrap(), &expected);
         let (full, _) = asfs
             .query_with_stats(&query, skyline::adaptive::ScanMode::FullRescan)
@@ -128,7 +130,7 @@ proptest! {
         prop_assert_eq!(&bitmap.query(&data, &query).unwrap(), &expected);
 
         // Hybrid engine (small top_k so the fallback path is exercised often).
-        let hybrid = SkylineEngine::build(&data, template.clone(), EngineConfig::Hybrid { top_k: 2 }).unwrap();
+        let hybrid = SkylineEngine::build(data.clone(), template.clone(), EngineConfig::Hybrid { top_k: 2 }).unwrap();
         prop_assert_eq!(&hybrid.query(&query).unwrap().skyline, &expected);
     }
 
@@ -138,7 +140,7 @@ proptest! {
         let template = Template::empty(data.schema());
         let query = build_query(&data, &template, &instance);
         let ctx = DominanceContext::for_query(&data, &template, &query).unwrap();
-        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let asfs = AdaptiveSfs::build(data.clone(), &template).unwrap();
         let skyline = asfs.query(&query).unwrap();
         for &p in &skyline {
             for q in data.point_ids() {
@@ -197,7 +199,7 @@ fn wide_instance_strategy() -> impl Strategy<Value = WideInstance> {
     )
 }
 
-fn build_wide_dataset(instance: &WideInstance) -> Dataset {
+fn build_wide_dataset(instance: &WideInstance) -> std::sync::Arc<Dataset> {
     let mut dims = Vec::new();
     for i in 0..instance.numeric.len() {
         dims.push(Dimension::numeric(format!("n{i}")));
@@ -209,7 +211,9 @@ fn build_wide_dataset(instance: &WideInstance) -> Dataset {
         ));
     }
     let schema = Schema::new(dims).unwrap();
-    Dataset::from_columns(schema, instance.numeric.clone(), instance.nominal.clone()).unwrap()
+    std::sync::Arc::new(
+        Dataset::from_columns(schema, instance.numeric.clone(), instance.nominal.clone()).unwrap(),
+    )
 }
 
 proptest! {
@@ -243,7 +247,7 @@ proptest! {
             EngineConfig::Hybrid { top_k: 1 },
         ];
         for config in configs {
-            let engine = SkylineEngine::build(&data, template.clone(), config).unwrap();
+            let engine = SkylineEngine::build(data.clone(), template.clone(), config).unwrap();
             let outcome = engine.query(&query).unwrap();
             prop_assert_eq!(&outcome.skyline, &expected, "config {:?} diverged", config);
         }
@@ -300,7 +304,7 @@ proptest! {
             prop_assert!(base_sky.contains(p), "refinement admitted new member {}", p);
         }
 
-        let engine = SkylineEngine::build(&data, template.clone(), EngineConfig::IpoTree).unwrap();
+        let engine = SkylineEngine::build(data.clone(), template.clone(), EngineConfig::IpoTree).unwrap();
         prop_assert_eq!(&engine.query(&base).unwrap().skyline, &base_sky);
         prop_assert_eq!(&engine.query(&refined).unwrap().skyline, &refined_sky);
     }

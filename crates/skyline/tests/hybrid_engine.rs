@@ -5,9 +5,10 @@
 use skyline::datagen::workload::top_k_values;
 use skyline::prelude::*;
 use skyline_core::algo::bnl;
+use std::sync::Arc;
 
 /// A Zipf-skewed synthetic workload (popular values exist, so the truncated tree makes sense).
-fn synthetic() -> (Dataset, Template) {
+fn synthetic() -> (Arc<Dataset>, Template) {
     let config = ExperimentConfig {
         n: 1_500,
         numeric_dims: 2,
@@ -20,14 +21,18 @@ fn synthetic() -> (Dataset, Template) {
     };
     let data = config.generate_dataset();
     let template = config.template(&data);
-    (data, template)
+    (Arc::new(data), template)
 }
 
 #[test]
 fn hybrid_answers_every_query_correctly_and_uses_both_paths() {
     let (data, template) = synthetic();
-    let engine =
-        SkylineEngine::build(&data, template.clone(), EngineConfig::Hybrid { top_k: 3 }).unwrap();
+    let engine = SkylineEngine::build(
+        data.clone(),
+        template.clone(),
+        EngineConfig::Hybrid { top_k: 3 },
+    )
+    .unwrap();
 
     let mut generator = QueryGenerator::new(11);
     let mut used_tree = 0;
@@ -59,11 +64,16 @@ fn hybrid_answers_every_query_correctly_and_uses_both_paths() {
 #[test]
 fn hybrid_matches_the_dedicated_engines() {
     let (data, template) = synthetic();
-    let hybrid =
-        SkylineEngine::build(&data, template.clone(), EngineConfig::Hybrid { top_k: 4 }).unwrap();
-    let full_tree = SkylineEngine::build(&data, template.clone(), EngineConfig::IpoTree).unwrap();
+    let hybrid = SkylineEngine::build(
+        data.clone(),
+        template.clone(),
+        EngineConfig::Hybrid { top_k: 4 },
+    )
+    .unwrap();
+    let full_tree =
+        SkylineEngine::build(data.clone(), template.clone(), EngineConfig::IpoTree).unwrap();
     let adaptive =
-        SkylineEngine::build(&data, template.clone(), EngineConfig::AdaptiveSfs).unwrap();
+        SkylineEngine::build(data.clone(), template.clone(), EngineConfig::AdaptiveSfs).unwrap();
 
     let mut generator = QueryGenerator::new(23);
     for _ in 0..30 {

@@ -23,7 +23,7 @@ fn dataset_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<Vec<ValueId>>
     })
 }
 
-fn build(numeric: Vec<Vec<f64>>, nominal: Vec<Vec<ValueId>>) -> Dataset {
+fn build(numeric: Vec<Vec<f64>>, nominal: Vec<Vec<ValueId>>) -> std::sync::Arc<Dataset> {
     let schema = Schema::new(vec![
         Dimension::numeric("x"),
         Dimension::numeric("y"),
@@ -31,7 +31,7 @@ fn build(numeric: Vec<Vec<f64>>, nominal: Vec<Vec<ValueId>>) -> Dataset {
         Dimension::nominal("h", NominalDomain::anonymous(CARD)),
     ])
     .unwrap();
-    Dataset::from_columns(schema, numeric, nominal).unwrap()
+    std::sync::Arc::new(Dataset::from_columns(schema, numeric, nominal).unwrap())
 }
 
 fn preference_strategy() -> impl Strategy<Value = Vec<Vec<ValueId>>> {
@@ -64,7 +64,7 @@ proptest! {
         let data = build(numeric, nominal);
         let template = Template::empty(data.schema());
         let pref = to_preference(&choices);
-        let asfs = AdaptiveSfs::build(&data, &template).unwrap();
+        let asfs = AdaptiveSfs::build(data.clone(), &template).unwrap();
         let full = asfs.query(&pref).unwrap();
         let score = skyline_core::score::ScoreFn::for_preference(data.schema(), &pref).unwrap();
 
@@ -177,10 +177,14 @@ fn hybrid_engine_total_over_valid_queries() {
         distribution: Distribution::AntiCorrelated,
         seed: 77,
     };
-    let data = config.generate_dataset();
+    let data = std::sync::Arc::new(config.generate_dataset());
     let template = config.template(&data);
-    let engine =
-        SkylineEngine::build(&data, template.clone(), EngineConfig::Hybrid { top_k: 2 }).unwrap();
+    let engine = SkylineEngine::build(
+        data.clone(),
+        template.clone(),
+        EngineConfig::Hybrid { top_k: 2 },
+    )
+    .unwrap();
     let mut generator = config.query_generator();
     for order in 1..=4 {
         for _ in 0..10 {

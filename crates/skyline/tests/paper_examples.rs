@@ -5,7 +5,7 @@
 use skyline::prelude::*;
 
 /// Table 1: vacation packages with one nominal attribute.
-fn table1() -> Dataset {
+fn table1() -> std::sync::Arc<Dataset> {
     let schema = Schema::new(vec![
         Dimension::numeric("price"),
         Dimension::numeric("class-neg"),
@@ -24,11 +24,11 @@ fn table1() -> Dataset {
         b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()])
             .unwrap();
     }
-    b.build().unwrap()
+    std::sync::Arc::new(b.build().unwrap())
 }
 
 /// Table 3: the same packages with a second nominal attribute (airline).
-fn table3() -> Dataset {
+fn table3() -> std::sync::Arc<Dataset> {
     let schema = Schema::new(vec![
         Dimension::numeric("price"),
         Dimension::numeric("class-neg"),
@@ -53,7 +53,7 @@ fn table3() -> Dataset {
         ])
         .unwrap();
     }
-    b.build().unwrap()
+    std::sync::Arc::new(b.build().unwrap())
 }
 
 /// Package names in row order, for readable assertions.
@@ -84,7 +84,7 @@ fn table2_customer_preferences() {
         ("Fred", "M < *", vec!["a", "c", "e", "f"]),
     ];
     for config in configs {
-        let engine = SkylineEngine::build(&data, template.clone(), config).unwrap();
+        let engine = SkylineEngine::build(data.clone(), template.clone(), config).unwrap();
         for (customer, pref_text, expected) in &customers {
             let pref = Preference::parse(data.schema(), [("hotel-group", *pref_text)]).unwrap();
             let outcome = engine.query(&pref).unwrap();
@@ -187,7 +187,7 @@ fn figure1_merging_property_example() {
     // SKY(M ≺ H ≺ ∗) = (SKY1 ∩ SKY2) ∪ PSKY1 = {a, c, e, f}   (over the Table 1 data).
     let data = table1();
     let template = Template::empty(data.schema());
-    let engine = SkylineEngine::build(&data, template, EngineConfig::SfsD).unwrap();
+    let engine = SkylineEngine::build(data.clone(), template, EngineConfig::SfsD).unwrap();
 
     let sky1 = engine
         .query(&Preference::parse(data.schema(), [("hotel-group", "M < *")]).unwrap())
@@ -225,7 +225,7 @@ fn figure1_merging_property_example() {
 #[test]
 fn nursery_real_data_setup_matches_section_5_2() {
     // 12,960 instances, 8 attributes, two nominal attributes of cardinality 4.
-    let data = skyline::datagen::nursery::generate();
+    let data = std::sync::Arc::new(skyline::datagen::nursery::generate());
     assert_eq!(data.len(), 12_960);
     assert_eq!(data.schema().arity(), 8);
     assert_eq!(data.schema().nominal_count(), 2);
@@ -233,8 +233,9 @@ fn nursery_real_data_setup_matches_section_5_2() {
 
     // The paper's algorithms all agree on it with the default template.
     let template = Template::most_frequent_value(&data).unwrap();
-    let asfs = AdaptiveSfs::build(&data, &template).unwrap();
-    let engine = SkylineEngine::build(&data, template.clone(), EngineConfig::IpoTree).unwrap();
+    let asfs = AdaptiveSfs::build(data.clone(), &template).unwrap();
+    let engine =
+        SkylineEngine::build(data.clone(), template.clone(), EngineConfig::IpoTree).unwrap();
     let pref = Preference::parse(
         data.schema(),
         [

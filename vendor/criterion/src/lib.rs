@@ -11,6 +11,14 @@
 //! iterations, reporting min/mean — because the workspace uses these benches for relative
 //! comparisons and compile coverage (`cargo bench --no-run` in CI), not publication-grade
 //! statistics. Swap in the real criterion once a registry is reachable.
+//!
+//! Two environment variables gate CI behaviour:
+//!
+//! * `SKYLINE_BENCH_SAMPLES` — overrides every benchmark's sample count (the CI `bench-smoke`
+//!   job sets it to a tiny budget so `cargo bench` finishes in seconds);
+//! * `SKYLINE_BENCH_JSON` — path of a file to append one JSON line per benchmark to
+//!   (`{"bench", "samples", "min_ns", "mean_ns"}`), which CI uploads as the per-PR
+//!   `BENCH_*.json` perf-trajectory artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -182,7 +190,41 @@ impl Bencher {
     }
 }
 
+/// Sample count actually used: the `SKYLINE_BENCH_SAMPLES` override when set and positive,
+/// the configured count otherwise.
+fn effective_sample_size(configured: usize) -> usize {
+    std::env::var("SKYLINE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(configured)
+}
+
+/// Appends one JSON line for a finished benchmark to the `SKYLINE_BENCH_JSON` file, if set.
+/// IO errors are swallowed: reporting must never fail a bench run.
+fn append_json_report(label: &str, samples: usize, min: Duration, mean: Duration) {
+    let Ok(path) = std::env::var("SKYLINE_BENCH_JSON") else {
+        return;
+    };
+    if path.trim().is_empty() {
+        return;
+    }
+    // `{label:?}` escapes quotes and backslashes, which is JSON-compatible for the ASCII
+    // benchmark names this workspace uses.
+    let line = format!(
+        "{{\"bench\":{label:?},\"samples\":{samples},\"min_ns\":{},\"mean_ns\":{}}}\n",
+        min.as_nanos(),
+        mean.as_nanos()
+    );
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let sample_size = effective_sample_size(sample_size);
     let mut bencher = Bencher {
         samples: Vec::with_capacity(sample_size),
         iters_wanted: sample_size,
@@ -192,13 +234,14 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
         println!("  {label}: no samples recorded");
         return;
     }
-    let min = bencher.samples.iter().min().expect("nonempty samples");
+    let min = *bencher.samples.iter().min().expect("nonempty samples");
     let total: Duration = bencher.samples.iter().sum();
     let mean = total / bencher.samples.len() as u32;
     println!(
         "  {label}: min {min:?}, mean {mean:?} over {} samples",
         bencher.samples.len()
     );
+    append_json_report(label, bencher.samples.len(), min, mean);
 }
 
 /// Declares a group of benchmark functions, mirroring `criterion::criterion_group!`.
@@ -226,8 +269,16 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Serializes tests that read or write the process-global env knobs.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn group_runs_configured_sample_count() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // A pre-set environment (e.g. reproducing the CI bench-smoke setup locally) must not
+        // change the counts these tests assert.
+        std::env::remove_var("SKYLINE_BENCH_SAMPLES");
+        std::env::remove_var("SKYLINE_BENCH_JSON");
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
         group.sample_size(3);
@@ -240,6 +291,11 @@ mod tests {
 
     #[test]
     fn bench_with_input_passes_input_through() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // A pre-set environment (e.g. reproducing the CI bench-smoke setup locally) must not
+        // change the counts these tests assert.
+        std::env::remove_var("SKYLINE_BENCH_SAMPLES");
+        std::env::remove_var("SKYLINE_BENCH_JSON");
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
         group.sample_size(2);
@@ -248,6 +304,48 @@ mod tests {
             b.iter(|| seen = i)
         });
         assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn env_gates_sample_budget_and_json_report() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let json_path = std::env::temp_dir().join(format!(
+            "skyline_bench_report_{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&json_path);
+        std::env::set_var("SKYLINE_BENCH_SAMPLES", "2");
+        std::env::set_var("SKYLINE_BENCH_JSON", &json_path);
+
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50); // Overridden down to 2 by the env var.
+        let mut runs = 0;
+        group.bench_function("gated", |b| b.iter(|| runs += 1));
+        group.finish();
+
+        std::env::remove_var("SKYLINE_BENCH_SAMPLES");
+        std::env::remove_var("SKYLINE_BENCH_JSON");
+
+        // One warm-up plus two timed samples.
+        assert_eq!(runs, 3);
+        let report = std::fs::read_to_string(&json_path).expect("JSON report written");
+        let _ = std::fs::remove_file(&json_path);
+        let line = report.lines().next().expect("one line per benchmark");
+        assert!(line.starts_with("{\"bench\":\"g/gated\",\"samples\":2,\"min_ns\":"));
+        assert!(line.ends_with('}'));
+        assert!(line.contains("\"mean_ns\":"));
+    }
+
+    #[test]
+    fn invalid_sample_override_is_ignored() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(effective_sample_size(7), 7);
+        std::env::set_var("SKYLINE_BENCH_SAMPLES", "zero");
+        assert_eq!(effective_sample_size(7), 7);
+        std::env::set_var("SKYLINE_BENCH_SAMPLES", "0");
+        assert_eq!(effective_sample_size(7), 7);
+        std::env::remove_var("SKYLINE_BENCH_SAMPLES");
     }
 
     #[test]
