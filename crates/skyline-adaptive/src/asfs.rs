@@ -4,13 +4,17 @@
 use crate::index::SkylineValueIndex;
 use crate::sorted_list::ScoredEntry;
 use skyline_core::algo::sfs;
+use skyline_core::kernel::{CompiledRelation, DenseWindow, PointBlock};
 use skyline_core::score::ScoreFn;
-use skyline_core::{
-    Dataset, DominanceContext, PointId, Preference, Result, SkylineError, Template,
-};
+use skyline_core::{Dataset, Dominance, PointId, Preference, Result, SkylineError, Template};
 use std::collections::HashSet;
+use std::num::NonZeroUsize;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Datasets below this size skip thread spawning in the auto-parallel [`AdaptiveSfs::build`]:
+/// the chunked scan's merge pass costs more than it saves on small inputs.
+const PARALLEL_BUILD_THRESHOLD: usize = 4096;
 
 /// How the elimination pass of Algorithm 4 is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,6 +38,8 @@ pub struct PreprocessStats {
     pub template_skyline_size: usize,
     /// Wall-clock seconds spent computing and sorting the template skyline.
     pub preprocess_seconds: f64,
+    /// Worker threads the template-skyline scan was chunked over (1 = serial).
+    pub workers: usize,
 }
 
 /// Statistics recorded by one query evaluation.
@@ -54,6 +60,7 @@ pub struct QueryStats {
 #[derive(Debug, Clone)]
 pub struct AdaptiveSfs {
     data: Arc<Dataset>,
+    block: Arc<PointBlock>,
     template: Template,
     entries: Vec<ScoredEntry>,
     index: SkylineValueIndex,
@@ -67,7 +74,38 @@ impl AdaptiveSfs {
     /// engines and threads to avoid copying the data). Requires a template with an implicit
     /// form (the sorted list's ranking is derived from it); general partial-order templates
     /// are rejected.
+    ///
+    /// Large datasets are preprocessed in parallel: the score-sorted candidate list is split
+    /// into chunks whose local skylines are computed on one thread per available core and
+    /// merged with a final elimination pass (divide and conquer; the result is bit-for-bit
+    /// identical to a serial scan). Use [`AdaptiveSfs::build_with_workers`] to pin the worker
+    /// count or [`AdaptiveSfs::build_serial`] to force the single-threaded reference path.
     pub fn build(data: impl Into<Arc<Dataset>>, template: &Template) -> Result<Self> {
+        let data = data.into();
+        let workers = if data.len() >= PARALLEL_BUILD_THRESHOLD {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            1
+        };
+        Self::build_with_workers(data, template, workers)
+    }
+
+    /// [`AdaptiveSfs::build`] pinned to one thread (the reference preprocessing path).
+    pub fn build_serial(data: impl Into<Arc<Dataset>>, template: &Template) -> Result<Self> {
+        Self::build_with_workers(data, template, 1)
+    }
+
+    /// [`AdaptiveSfs::build`] with an explicit preprocessing worker count (clamped to ≥ 1).
+    ///
+    /// Unlike the auto path this honours `workers > 1` regardless of dataset size, which the
+    /// equivalence test suites use to exercise the chunked scan on small inputs.
+    pub fn build_with_workers(
+        data: impl Into<Arc<Dataset>>,
+        template: &Template,
+        workers: usize,
+    ) -> Result<Self> {
         let data = data.into();
         let started = Instant::now();
         let template_pref = template.implicit().cloned().ok_or_else(|| {
@@ -77,11 +115,15 @@ impl AdaptiveSfs {
         })?;
         template_pref.validate(data.schema())?;
         let score = ScoreFn::for_preference(data.schema(), &template_pref)?;
-        let ctx = DominanceContext::for_template(&data, template)?;
+        let block = Arc::new(PointBlock::new(&data));
+        let compiled = CompiledRelation::for_template(block.clone(), template)?;
         let all: Vec<PointId> = data.point_ids().collect();
-        let skyline = sfs::skyline_sorted(&ctx, &score, &all);
-        let mut this = Self::from_precomputed_skyline(data, template.clone(), skyline)?;
+        let sorted = score.sort_by_score(&data, &all);
+        let workers = workers.max(1);
+        let skyline = chunked_scan_presorted(&compiled, &sorted, workers);
+        let mut this = Self::from_precomputed_with_block(data, block, template.clone(), skyline)?;
         this.stats.preprocess_seconds = started.elapsed().as_secs_f64();
+        this.stats.workers = workers;
         Ok(this)
     }
 
@@ -94,6 +136,27 @@ impl AdaptiveSfs {
         skyline: Vec<PointId>,
     ) -> Result<Self> {
         let data = data.into();
+        let block = Arc::new(PointBlock::new(&data));
+        Self::from_precomputed_with_block(data, block, template, skyline)
+    }
+
+    /// Like [`AdaptiveSfs::from_precomputed_skyline`], reusing an existing [`PointBlock`] of
+    /// the same dataset instead of transposing it again (the hybrid engine shares one block
+    /// between its own query path and this fallback structure).
+    pub fn from_precomputed_with_block(
+        data: impl Into<Arc<Dataset>>,
+        block: Arc<PointBlock>,
+        template: Template,
+        skyline: Vec<PointId>,
+    ) -> Result<Self> {
+        let data = data.into();
+        if block.len() != data.len() {
+            return Err(SkylineError::InvalidArgument(format!(
+                "point block holds {} points but the dataset has {}",
+                block.len(),
+                data.len()
+            )));
+        }
         let template_pref = template.implicit().cloned().ok_or_else(|| {
             SkylineError::InvalidArgument(
                 "Adaptive SFS requires a template with an implicit form".into(),
@@ -110,9 +173,11 @@ impl AdaptiveSfs {
             dataset_size: data.len(),
             template_skyline_size: entries.len(),
             preprocess_seconds: 0.0,
+            workers: 1,
         };
         Ok(Self {
             data,
+            block,
             template,
             entries,
             index,
@@ -157,6 +222,11 @@ impl AdaptiveSfs {
         &self.index
     }
 
+    /// The shared row-major point layout the compiled query kernel evaluates over.
+    pub fn point_block(&self) -> &Arc<PointBlock> {
+        &self.block
+    }
+
     /// Approximate heap footprint in bytes (sorted list + value index), for the storage plots.
     pub fn approximate_bytes(&self) -> usize {
         self.entries.len() * std::mem::size_of::<ScoredEntry>() + self.index.approximate_bytes()
@@ -168,19 +238,51 @@ impl AdaptiveSfs {
             .map(|(r, _)| r)
     }
 
+    /// Like [`AdaptiveSfs::query`], reusing caller-owned scratch buffers across queries.
+    ///
+    /// Hand one [`QueryScratch`] to a loop of queries (e.g. a service worker thread draining a
+    /// batch) and the merge/elimination buffers are reused instead of reallocated per query.
+    pub fn query_with_scratch(
+        &self,
+        pref: &Preference,
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<PointId>> {
+        self.query_with_stats_scratch(pref, ScanMode::default(), scratch)
+            .map(|(r, _)| r)
+    }
+
     /// Algorithm 4 with an explicit scan mode, reporting per-query statistics.
     pub fn query_with_stats(
         &self,
         pref: &Preference,
         mode: ScanMode,
     ) -> Result<(Vec<PointId>, QueryStats)> {
+        let mut scratch = QueryScratch::default();
+        self.query_with_stats_scratch(pref, mode, &mut scratch)
+    }
+
+    /// [`AdaptiveSfs::query_with_stats`] with caller-owned scratch buffers.
+    pub fn query_with_stats_scratch(
+        &self,
+        pref: &Preference,
+        mode: ScanMode,
+        scratch: &mut QueryScratch,
+    ) -> Result<(Vec<PointId>, QueryStats)> {
+        let dom = CompiledRelation::for_query(
+            self.block.clone(),
+            self.data.schema(),
+            &self.template,
+            pref,
+        )?;
         let (mut result, stats) = evaluate_query(
+            &dom,
             &self.data,
             &self.template,
             &self.entries,
             &self.index,
             pref,
             mode,
+            scratch,
         )?;
         result.sort_unstable();
         Ok((result, stats))
@@ -189,47 +291,131 @@ impl AdaptiveSfs {
     /// Progressive evaluation: returns an iterator that yields skyline points in ascending
     /// query-score order. Every yielded point is already guaranteed to be in `SKY(R̃′)`, so a
     /// caller can stop early (e.g. "give me the first 10 results") without any wasted work.
-    pub fn query_progressive(&self, pref: &Preference) -> Result<ProgressiveScan<'_>> {
-        let ctx = DominanceContext::for_query(&self.data, &self.template, pref)?;
-        let merged = merged_order(&self.data, &self.template, &self.entries, &self.index, pref)?;
+    pub fn query_progressive(&self, pref: &Preference) -> Result<ProgressiveScan> {
+        let dom = CompiledRelation::for_query(
+            self.block.clone(),
+            self.data.schema(),
+            &self.template,
+            pref,
+        )?;
+        let mut scratch = QueryScratch::default();
+        merged_order(
+            &self.data,
+            &self.template,
+            &self.entries,
+            &self.index,
+            pref,
+            &mut scratch,
+        )?;
+        let mut window_all = DenseWindow::default();
+        let mut window_affected = DenseWindow::default();
+        dom.reset_window(&mut window_all);
+        dom.reset_window(&mut window_affected);
         Ok(ProgressiveScan {
-            ctx,
-            merged,
+            dom,
+            merged: std::mem::take(&mut scratch.merged),
             pos: 0,
-            accepted: Vec::new(),
-            accepted_affected: Vec::new(),
+            window_all,
+            window_affected,
         })
     }
 }
 
-/// Builds the query-score-ordered candidate list: `(point, is_affected)` pairs.
-fn merged_order(
+/// Divide-and-conquer presorted elimination scan.
+///
+/// The score-sorted candidate list is split into contiguous chunks; each worker thread
+/// computes its chunk-local skyline (any point it removes is dominated by an earlier-sorted
+/// point, so it cannot be in the global skyline), and one final scan over the concatenated
+/// survivors — which is still in global score order — removes cross-chunk dominated points.
+/// The output is **bit-for-bit identical** to a serial [`sfs::scan_presorted`] over the full
+/// list: the monotone score guarantees dominators sort strictly earlier, so both scans accept
+/// exactly the global skyline in score order.
+fn chunked_scan_presorted(
+    compiled: &CompiledRelation,
+    sorted: &[PointId],
+    workers: usize,
+) -> Vec<PointId> {
+    if workers <= 1 || sorted.len() < workers * 2 {
+        return sfs::scan_presorted(compiled, sorted);
+    }
+    let chunk = sorted.len().div_ceil(workers);
+    let locals: Vec<Vec<PointId>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sorted
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || sfs::scan_presorted(compiled, part)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("skyline scan worker panicked"))
+            .collect()
+    });
+    let survivors: Vec<PointId> = locals.concat();
+    sfs::scan_presorted(compiled, &survivors)
+}
+
+/// Reusable buffers for Adaptive SFS query evaluation, generic over the dominance
+/// implementation's window representation.
+///
+/// One query needs a re-scored entry list, the merged candidate order and the elimination
+/// windows; allocating them per query is wasteful when a worker thread serves thousands of
+/// queries back to back. A scratch starts empty ([`Default`]) and grows to the high-water
+/// mark of the queries it served. [`QueryScratch`] is the kernel-windowed alias every public
+/// query path uses.
+#[derive(Debug, Default)]
+pub struct EvalScratch<W: Default> {
+    affected: HashSet<PointId>,
+    reinserted: Vec<ScoredEntry>,
+    merged: Vec<(PointId, bool)>,
+    window_all: W,
+    window_affected: W,
+}
+
+/// Scratch buffers for the compiled-kernel query path (see [`EvalScratch`]).
+pub type QueryScratch = EvalScratch<DenseWindow>;
+
+impl QueryScratch {
+    /// Creates an empty scratch (equivalent to [`QueryScratch::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Builds the query-score-ordered candidate list into `scratch.merged` as
+/// `(point, is_affected)` pairs.
+fn merged_order<W: Default>(
     data: &Dataset,
     template: &Template,
     entries: &[ScoredEntry],
     index: &SkylineValueIndex,
     pref: &Preference,
-) -> Result<Vec<(PointId, bool)>> {
+    scratch: &mut EvalScratch<W>,
+) -> Result<()> {
     pref.validate(data.schema())?;
     template.check_refinement(data.schema(), pref)?;
     let query_score = ScoreFn::for_preference(data.schema(), pref)?;
-    let affected: HashSet<PointId> = index.affected_by(pref).into_iter().collect();
+    scratch.affected.clear();
+    scratch.affected.extend(index.affected_by(pref));
 
     // Affected points are deleted from the sorted list and re-inserted with their new score;
     // everything else keeps its template-score position (listed-value ranks only ever move
     // points towards the front, unlisted ranks are unchanged).
-    let mut reinserted: Vec<ScoredEntry> = affected
-        .iter()
-        .map(|&p| ScoredEntry::new(p, query_score.score(data, p)))
-        .collect();
-    reinserted.sort();
+    scratch.reinserted.clear();
+    scratch.reinserted.extend(
+        scratch
+            .affected
+            .iter()
+            .map(|&p| ScoredEntry::new(p, query_score.score(data, p))),
+    );
+    scratch.reinserted.sort();
 
-    let mut merged = Vec::with_capacity(entries.len());
+    scratch.merged.clear();
+    scratch.merged.reserve(entries.len());
+    let merged = &mut scratch.merged;
     let mut kept = entries
         .iter()
-        .filter(|e| !affected.contains(&e.point))
+        .filter(|e| !scratch.affected.contains(&e.point))
         .peekable();
-    let mut moved = reinserted.iter().peekable();
+    let mut moved = scratch.reinserted.iter().peekable();
     loop {
         match (kept.peek(), moved.peek()) {
             (Some(&&k), Some(&&m)) => {
@@ -252,44 +438,59 @@ fn merged_order(
             (None, None) => break,
         }
     }
-    Ok(merged)
+    Ok(())
 }
 
 /// The core of Algorithm 4, shared by [`AdaptiveSfs`] and the maintained variant.
-pub(crate) fn evaluate_query(
+///
+/// Generic over [`Dominance`]: the static structure passes the compiled kernel (its dataset
+/// is immutable, so the point block is built once) with dense elimination windows, while the
+/// maintained variant passes a fresh [`skyline_core::DominanceContext`] over its mutable
+/// dataset with plain id windows.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn evaluate_query<D: Dominance>(
+    dom: &D,
     data: &Dataset,
     template: &Template,
     entries: &[ScoredEntry],
     index: &SkylineValueIndex,
     pref: &Preference,
     mode: ScanMode,
+    scratch: &mut EvalScratch<D::Window>,
 ) -> Result<(Vec<PointId>, QueryStats)> {
-    let ctx = DominanceContext::for_query(data, template, pref)?;
-    let merged = merged_order(data, template, entries, index, pref)?;
+    merged_order(data, template, entries, index, pref, scratch)?;
     let mut stats = QueryStats {
-        affected: merged.iter().filter(|(_, a)| *a).count(),
+        affected: scratch.merged.iter().filter(|(_, a)| *a).count(),
         ..QueryStats::default()
     };
 
     let mut accepted: Vec<PointId> = Vec::new();
-    let mut accepted_affected: Vec<PointId> = Vec::new();
-    for &(p, is_affected) in &merged {
-        let opponents: &[PointId] = match mode {
-            ScanMode::AffectedOnly if !is_affected => &accepted_affected,
-            _ => &accepted,
+    let mut all_len = 0u64;
+    let mut affected_len = 0u64;
+    dom.reset_window(&mut scratch.window_all);
+    dom.reset_window(&mut scratch.window_affected);
+    for &(p, is_affected) in &scratch.merged {
+        let (window, window_len) = match mode {
+            ScanMode::AffectedOnly if !is_affected => (&mut scratch.window_affected, affected_len),
+            _ => (&mut scratch.window_all, all_len),
         };
-        let mut dominated = false;
-        for &q in opponents {
-            stats.dominance_tests += 1;
-            if ctx.dominates(q, p) {
-                dominated = true;
-                break;
+        let dominated = match dom.window_first_dominator(window, p) {
+            Some(i) => {
+                stats.dominance_tests += i as u64 + 1;
+                true
             }
-        }
+            None => {
+                stats.dominance_tests += window_len;
+                false
+            }
+        };
         if !dominated {
             accepted.push(p);
+            dom.push_window(&mut scratch.window_all, p);
+            all_len += 1;
             if is_affected {
-                accepted_affected.push(p);
+                dom.push_window(&mut scratch.window_affected, p);
+                affected_len += 1;
             }
         }
     }
@@ -300,33 +501,35 @@ pub(crate) fn evaluate_query(
 /// Iterator returned by [`AdaptiveSfs::query_progressive`].
 ///
 /// Yields the members of `SKY(R̃′)` in ascending query-score order; each item is final as soon
-/// as it is produced (the progressiveness property of Section 4.3).
+/// as it is produced (the progressiveness property of Section 4.3). Owns its compiled
+/// dominance kernel (the point block is shared with the parent structure), so the iterator
+/// carries no borrow of the [`AdaptiveSfs`] it came from.
 #[derive(Debug)]
-pub struct ProgressiveScan<'a> {
-    ctx: DominanceContext<'a>,
+pub struct ProgressiveScan {
+    dom: CompiledRelation,
     merged: Vec<(PointId, bool)>,
     pos: usize,
-    accepted: Vec<PointId>,
-    accepted_affected: Vec<PointId>,
+    window_all: DenseWindow,
+    window_affected: DenseWindow,
 }
 
-impl Iterator for ProgressiveScan<'_> {
+impl Iterator for ProgressiveScan {
     type Item = PointId;
 
     fn next(&mut self) -> Option<PointId> {
         while self.pos < self.merged.len() {
             let (p, is_affected) = self.merged[self.pos];
             self.pos += 1;
-            let opponents = if is_affected {
-                &self.accepted
+            let window = if is_affected {
+                &mut self.window_all
             } else {
-                &self.accepted_affected
+                &mut self.window_affected
             };
-            let dominated = opponents.iter().any(|&q| self.ctx.dominates(q, p));
+            let dominated = self.dom.window_first_dominator(window, p).is_some();
             if !dominated {
-                self.accepted.push(p);
+                self.dom.push_window(&mut self.window_all, p);
                 if is_affected {
-                    self.accepted_affected.push(p);
+                    self.dom.push_window(&mut self.window_affected, p);
                 }
                 return Some(p);
             }
@@ -339,7 +542,9 @@ impl Iterator for ProgressiveScan<'_> {
 mod tests {
     use super::*;
     use skyline_core::algo::bnl;
-    use skyline_core::{DatasetBuilder, Dimension, ImplicitPreference, RowValue, Schema};
+    use skyline_core::{
+        DatasetBuilder, Dimension, DominanceContext, ImplicitPreference, RowValue, Schema,
+    };
 
     fn vacation_data() -> Arc<Dataset> {
         let schema = Schema::new(vec![
@@ -456,6 +661,29 @@ mod tests {
         let good = Preference::parse(&schema, [("hotel-group", "H < M < *")]).unwrap();
         let ctx = DominanceContext::for_query(&data, &template, &good).unwrap();
         assert_eq!(asfs.query(&good).unwrap(), bnl::skyline(&ctx));
+    }
+
+    #[test]
+    fn mismatched_point_blocks_are_rejected() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        // A block over a one-row dataset cannot serve the six-row dataset.
+        let tiny = Dataset::from_columns(
+            data.schema().clone(),
+            vec![vec![1.0], vec![1.0]],
+            vec![vec![0]],
+        )
+        .unwrap();
+        let wrong_block = Arc::new(skyline_core::PointBlock::new(&tiny));
+        assert!(matches!(
+            AdaptiveSfs::from_precomputed_with_block(
+                data.clone(),
+                wrong_block,
+                template.clone(),
+                vec![0, 2, 4, 5],
+            ),
+            Err(SkylineError::InvalidArgument(_))
+        ));
     }
 
     #[test]

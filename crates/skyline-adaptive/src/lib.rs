@@ -27,7 +27,9 @@ pub mod index;
 pub mod maintenance;
 pub mod sorted_list;
 
-pub use asfs::{AdaptiveSfs, PreprocessStats, QueryStats, ScanMode};
+pub use asfs::{
+    AdaptiveSfs, EvalScratch, PreprocessStats, ProgressiveScan, QueryScratch, QueryStats, ScanMode,
+};
 pub use index::SkylineValueIndex;
 pub use maintenance::MaintainedAdaptiveSfs;
 pub use sorted_list::{ScoredEntry, SortedList};

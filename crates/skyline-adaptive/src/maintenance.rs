@@ -11,7 +11,7 @@
 //! list updates). Deleting a skyline member is inherently more expensive because previously
 //! dominated points may resurface; that path rescans the live points once.
 
-use crate::asfs::{evaluate_query, QueryStats, ScanMode};
+use crate::asfs::{evaluate_query, EvalScratch, QueryStats, ScanMode};
 use crate::index::SkylineValueIndex;
 use crate::sorted_list::{ScoredEntry, SortedList};
 use skyline_core::algo::sfs;
@@ -180,15 +180,23 @@ impl MaintainedAdaptiveSfs {
     }
 
     /// Like [`MaintainedAdaptiveSfs::query`], reporting per-query statistics.
+    ///
+    /// The dataset is mutable here, so the elimination pass runs on a per-query
+    /// [`DominanceContext`] rather than a cached compiled kernel (the static
+    /// [`crate::AdaptiveSfs`] takes the compiled path).
     pub fn query_with_stats(&self, pref: &Preference) -> Result<(Vec<PointId>, QueryStats)> {
+        let ctx = DominanceContext::for_query(&self.data, &self.template, pref)?;
         let entries = self.list.to_vec();
+        let mut scratch = EvalScratch::<Vec<PointId>>::default();
         let (mut result, stats) = evaluate_query(
+            &ctx,
             &self.data,
             &self.template,
             &entries,
             &self.index,
             pref,
             ScanMode::AffectedOnly,
+            &mut scratch,
         )?;
         result.sort_unstable();
         Ok((result, stats))

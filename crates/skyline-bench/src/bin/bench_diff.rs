@@ -1,0 +1,90 @@
+//! Diffs a freshly produced `BENCH_<sha>.json` perf report against the checked-in
+//! `BENCH_baseline.json` and prints warnings — never failures — for regressions.
+//!
+//! ```text
+//! cargo run -p skyline-bench --bin bench_diff -- BENCH_baseline.json BENCH_abc123.json
+//! ```
+//!
+//! Exit code is non-zero only when a report file cannot be read or parsed at all; timing
+//! regressions emit GitHub `::warning::` annotations (visible on the job summary) and exit 0,
+//! because shared CI runners are far too noisy for hard perf gates.
+
+use skyline_bench::perf::{diff_reports, parse_report, BenchRecord, REGRESSION_RATIO};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Vec<BenchRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let records = parse_report(&text);
+    if records.is_empty() {
+        return Err(format!("{path} contains no parseable benchmark lines"));
+    }
+    Ok(records)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.json> <current.json>");
+        return ExitCode::FAILURE;
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_diff: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let diff = diff_reports(&baseline, &current);
+    println!(
+        "perf diff vs {baseline_path}: {} compared, {} new, {} missing (warn threshold: \
+         >{:.0}% slower mean)",
+        diff.compared.len(),
+        diff.only_in_current.len(),
+        diff.only_in_baseline.len(),
+        (REGRESSION_RATIO - 1.0) * 100.0
+    );
+    println!(
+        "{:<55} {:>14} {:>14} {:>8}",
+        "benchmark", "baseline mean", "current mean", "ratio"
+    );
+    for c in &diff.compared {
+        let flag = if c.is_regression() {
+            "  <-- regression"
+        } else {
+            ""
+        };
+        println!(
+            "{:<55} {:>12}ns {:>12}ns {:>7.2}x{flag}",
+            c.bench, c.baseline_mean_ns, c.current_mean_ns, c.ratio
+        );
+    }
+    for name in &diff.only_in_current {
+        println!("{name:<55} (new benchmark, no baseline)");
+    }
+    for name in &diff.only_in_baseline {
+        println!("{name:<55} (in baseline but not in this run)");
+    }
+
+    for c in diff.regressions() {
+        // GitHub Actions annotation; shows up on the workflow summary but does not fail it.
+        println!(
+            "::warning title=bench regression::{} mean {:.0}% over baseline ({}ns -> {}ns); \
+             noisy-runner variance is expected — investigate only if it persists",
+            c.bench,
+            (c.ratio - 1.0) * 100.0,
+            c.baseline_mean_ns,
+            c.current_mean_ns
+        );
+    }
+    if !diff.only_in_baseline.is_empty() {
+        println!(
+            "::warning title=bench coverage::{} baseline benchmark(s) missing from this run: {}",
+            diff.only_in_baseline.len(),
+            diff.only_in_baseline.join(", ")
+        );
+    }
+    ExitCode::SUCCESS
+}

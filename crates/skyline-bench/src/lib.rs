@@ -18,7 +18,9 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod perf;
 pub mod report;
 
 pub use harness::{run_nursery_cell, run_synthetic_cell, CellResult, MethodMetrics, RatioMetrics};
+pub use perf::{diff_reports, parse_report, BenchRecord, Comparison, Diff};
 pub use report::{print_cells, print_figure_header};

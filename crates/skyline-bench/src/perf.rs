@@ -1,0 +1,207 @@
+//! Parsing and comparison of the `BENCH_*.json` perf-trajectory artifacts.
+//!
+//! The vendored criterion shim appends one JSON line per finished benchmark
+//! (`{"bench": …, "samples": …, "min_ns": …, "mean_ns": …}`) to the file named by
+//! `SKYLINE_BENCH_JSON`. CI uploads one such report per commit and diffs it against the
+//! checked-in `BENCH_baseline.json` with the `bench_diff` binary — **warning-only**: timing
+//! noise on shared runners must never fail a build, but a >25 % mean regression should be
+//! visible in the job log.
+//!
+//! No `serde` in this workspace (offline vendored dependencies only), so the single line
+//! shape the shim emits is parsed by hand.
+
+use std::collections::BTreeMap;
+
+/// Mean-time ratio (current / baseline) above which a benchmark counts as regressed.
+pub const REGRESSION_RATIO: f64 = 1.25;
+
+/// One benchmark measurement from a perf report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Fully qualified benchmark label (`group/function`).
+    pub bench: String,
+    /// Number of timed samples.
+    pub samples: u64,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: u128,
+    /// Mean sample in nanoseconds.
+    pub mean_ns: u128,
+}
+
+/// Parses a JSON-lines perf report. Unparseable lines are skipped (the report is advisory);
+/// when a benchmark appears more than once the last line wins.
+pub fn parse_report(text: &str) -> Vec<BenchRecord> {
+    let mut by_name: BTreeMap<String, BenchRecord> = BTreeMap::new();
+    for line in text.lines() {
+        if let Some(record) = parse_line(line.trim()) {
+            by_name.insert(record.bench.clone(), record);
+        }
+    }
+    by_name.into_values().collect()
+}
+
+/// Parses one `{"bench":"…","samples":N,"min_ns":N,"mean_ns":N}` line.
+fn parse_line(line: &str) -> Option<BenchRecord> {
+    if !line.starts_with('{') {
+        return None;
+    }
+    let bench = string_field(line, "bench")?;
+    Some(BenchRecord {
+        bench,
+        samples: number_field(line, "samples")? as u64,
+        min_ns: number_field(line, "min_ns")?,
+        mean_ns: number_field(line, "mean_ns")?,
+    })
+}
+
+/// Extracts a JSON string field, handling the `{:?}`-style escapes the shim emits.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Extracts an unsigned JSON number field.
+fn number_field(line: &str, key: &str) -> Option<u128> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// The verdict for one benchmark present in both reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Benchmark label.
+    pub bench: String,
+    /// Baseline mean in nanoseconds.
+    pub baseline_mean_ns: u128,
+    /// Current mean in nanoseconds.
+    pub current_mean_ns: u128,
+    /// `current / baseline` mean ratio (`> 1` is slower than baseline).
+    pub ratio: f64,
+}
+
+impl Comparison {
+    /// True when the current mean exceeds the baseline by more than [`REGRESSION_RATIO`].
+    pub fn is_regression(&self) -> bool {
+        self.ratio > REGRESSION_RATIO
+    }
+}
+
+/// Result of diffing a current report against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diff {
+    /// Benchmarks present in both reports, in name order.
+    pub compared: Vec<Comparison>,
+    /// Benchmarks only in the baseline (removed or not run).
+    pub only_in_baseline: Vec<String>,
+    /// Benchmarks only in the current report (newly added).
+    pub only_in_current: Vec<String>,
+}
+
+impl Diff {
+    /// The regressed subset of [`Diff::compared`].
+    pub fn regressions(&self) -> Vec<&Comparison> {
+        self.compared.iter().filter(|c| c.is_regression()).collect()
+    }
+}
+
+/// Diffs two parsed reports by benchmark name.
+pub fn diff_reports(baseline: &[BenchRecord], current: &[BenchRecord]) -> Diff {
+    let base: BTreeMap<&str, &BenchRecord> =
+        baseline.iter().map(|r| (r.bench.as_str(), r)).collect();
+    let cur: BTreeMap<&str, &BenchRecord> = current.iter().map(|r| (r.bench.as_str(), r)).collect();
+    let mut diff = Diff::default();
+    for (name, b) in &base {
+        match cur.get(name) {
+            Some(c) => diff.compared.push(Comparison {
+                bench: (*name).to_string(),
+                baseline_mean_ns: b.mean_ns,
+                current_mean_ns: c.mean_ns,
+                ratio: c.mean_ns as f64 / (b.mean_ns as f64).max(1.0),
+            }),
+            None => diff.only_in_baseline.push((*name).to_string()),
+        }
+    }
+    for name in cur.keys() {
+        if !base.contains_key(name) {
+            diff.only_in_current.push((*name).to_string());
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{"bench":"group/fast","samples":2,"min_ns":100,"mean_ns":120}
+{"bench":"group/slow","samples":2,"min_ns":2000,"mean_ns":2400}
+not json at all
+{"bench":"group/slow","samples":3,"min_ns":1900,"mean_ns":2000}
+"#;
+
+    #[test]
+    fn parses_lines_last_wins_and_skips_garbage() {
+        let records = parse_report(REPORT);
+        assert_eq!(records.len(), 2);
+        let slow = records.iter().find(|r| r.bench == "group/slow").unwrap();
+        assert_eq!(slow.samples, 3);
+        assert_eq!(slow.min_ns, 1900);
+        assert_eq!(slow.mean_ns, 2000);
+    }
+
+    #[test]
+    fn parses_escaped_names() {
+        let line = r#"{"bench":"odd \"name\"","samples":1,"min_ns":5,"mean_ns":6}"#;
+        let record = parse_line(line).unwrap();
+        assert_eq!(record.bench, "odd \"name\"");
+    }
+
+    #[test]
+    fn diff_classifies_regressions_additions_and_removals() {
+        let baseline = parse_report(
+            r#"{"bench":"a","samples":2,"min_ns":100,"mean_ns":100}
+{"bench":"b","samples":2,"min_ns":100,"mean_ns":100}
+{"bench":"gone","samples":2,"min_ns":1,"mean_ns":1}"#,
+        );
+        let current = parse_report(
+            r#"{"bench":"a","samples":2,"min_ns":90,"mean_ns":110}
+{"bench":"b","samples":2,"min_ns":100,"mean_ns":200}
+{"bench":"new","samples":2,"min_ns":1,"mean_ns":1}"#,
+        );
+        let diff = diff_reports(&baseline, &current);
+        assert_eq!(diff.compared.len(), 2);
+        assert_eq!(diff.only_in_baseline, vec!["gone".to_string()]);
+        assert_eq!(diff.only_in_current, vec!["new".to_string()]);
+        // +10% is within the noise allowance, +100% is a regression.
+        let regressions = diff.regressions();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].bench, "b");
+        assert!((regressions[0].ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baseline_mean_does_not_divide_by_zero() {
+        let baseline = parse_report(r#"{"bench":"a","samples":1,"min_ns":0,"mean_ns":0}"#);
+        let current = parse_report(r#"{"bench":"a","samples":1,"min_ns":5,"mean_ns":5}"#);
+        let diff = diff_reports(&baseline, &current);
+        assert!(diff.compared[0].ratio.is_finite());
+    }
+}

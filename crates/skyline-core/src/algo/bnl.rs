@@ -11,7 +11,7 @@
 //! other algorithm against.
 
 use super::AlgoStats;
-use crate::dominance::DominanceContext;
+use crate::dominance::{Dominance, DominanceContext};
 use crate::value::PointId;
 
 /// Computes the skyline of the whole dataset bound to `ctx`.
@@ -20,14 +20,15 @@ pub fn skyline(ctx: &DominanceContext<'_>) -> Vec<PointId> {
     skyline_of(ctx, &points)
 }
 
-/// Computes the skyline of an arbitrary subset of points.
-pub fn skyline_of(ctx: &DominanceContext<'_>, points: &[PointId]) -> Vec<PointId> {
+/// Computes the skyline of an arbitrary subset of points under any [`Dominance`]
+/// implementation (the reference context or the compiled kernel).
+pub fn skyline_of<D: Dominance + ?Sized>(ctx: &D, points: &[PointId]) -> Vec<PointId> {
     skyline_of_with_stats(ctx, points).0
 }
 
 /// Computes the skyline of a subset and reports work counters.
-pub fn skyline_of_with_stats(
-    ctx: &DominanceContext<'_>,
+pub fn skyline_of_with_stats<D: Dominance + ?Sized>(
+    ctx: &D,
     points: &[PointId],
 ) -> (Vec<PointId>, AlgoStats) {
     let mut window: Vec<PointId> = Vec::new();

@@ -8,13 +8,15 @@
 //!   function, then a single elimination scan. Run over the full dataset with the query's
 //!   ranking it is exactly the paper's **SFS-D** baseline.
 //!
-//! Both operate on a [`crate::DominanceContext`], so they work for any
-//! combination of numeric dimensions and nominal dimensions with partial-order preferences.
+//! Both are generic over the [`crate::dominance::Dominance`] trait, so the same elimination
+//! loops run against the reference [`crate::DominanceContext`] or the compiled
+//! [`crate::kernel::CompiledRelation`] kernel, for any combination of numeric dimensions and
+//! nominal dimensions with partial-order preferences.
 
 pub mod bnl;
 pub mod sfs;
 
-use crate::dominance::DominanceContext;
+use crate::dominance::Dominance;
 use crate::value::PointId;
 
 /// Counters describing the work done by a skyline computation. Useful for the benchmark
@@ -34,7 +36,11 @@ pub struct AlgoStats {
 ///
 /// This is an O(|points|·|skyline|) brute-force check intended for tests and debug assertions,
 /// not for production use.
-pub fn verify_skyline(ctx: &DominanceContext<'_>, points: &[PointId], skyline: &[PointId]) -> bool {
+pub fn verify_skyline<D: Dominance + ?Sized>(
+    ctx: &D,
+    points: &[PointId],
+    skyline: &[PointId],
+) -> bool {
     use std::collections::HashSet;
     let skyline_set: HashSet<PointId> = skyline.iter().copied().collect();
     // Every skyline member must be non-dominated; every non-member must be dominated by someone.
@@ -54,6 +60,7 @@ pub fn verify_skyline(ctx: &DominanceContext<'_>, points: &[PointId], skyline: &
 mod tests {
     use super::*;
     use crate::dataset::Dataset;
+    use crate::dominance::DominanceContext;
     use crate::order::Template;
     use crate::schema::{Dimension, Schema};
 

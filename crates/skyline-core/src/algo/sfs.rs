@@ -11,7 +11,7 @@
 //! full `O(N log N + N·n)` cost on every query.
 
 use super::AlgoStats;
-use crate::dominance::DominanceContext;
+use crate::dominance::{Dominance, DominanceContext};
 use crate::error::Result;
 use crate::order::{Preference, Template};
 use crate::score::ScoreFn;
@@ -43,30 +43,33 @@ pub fn skyline_sorted_with_stats(
 ///
 /// Exposed separately because Adaptive SFS maintains its own sorted list and only needs the
 /// scan. Points are emitted in scan order; the returned vector is therefore sorted by score,
-/// not by point id.
-pub fn scan_presorted(ctx: &DominanceContext<'_>, sorted: &[PointId]) -> Vec<PointId> {
+/// not by point id. Generic over [`Dominance`], so the scan runs against either the
+/// reference context or the compiled kernel.
+pub fn scan_presorted<D: Dominance + ?Sized>(ctx: &D, sorted: &[PointId]) -> Vec<PointId> {
     scan_presorted_with_stats(ctx, sorted).0
 }
 
 /// Like [`scan_presorted`] but also reports work counters.
-pub fn scan_presorted_with_stats(
-    ctx: &DominanceContext<'_>,
+pub fn scan_presorted_with_stats<D: Dominance + ?Sized>(
+    ctx: &D,
     sorted: &[PointId],
 ) -> (Vec<PointId>, AlgoStats) {
     let mut stats = AlgoStats::default();
     let mut skyline: Vec<PointId> = Vec::new();
+    // The accepted window lives in the implementation's own representation (the compiled
+    // kernel densifies accepted rows for sequential walks); the test count matches the naive
+    // loop — tests up to and including the first dominator.
+    let mut window = D::Window::default();
+    ctx.reset_window(&mut window);
     for &p in sorted {
         stats.points_scanned += 1;
-        let mut dominated = false;
-        for &s in &skyline {
-            stats.dominance_tests += 1;
-            if ctx.dominates(s, p) {
-                dominated = true;
-                break;
+        match ctx.window_first_dominator(&mut window, p) {
+            Some(i) => stats.dominance_tests += i as u64 + 1,
+            None => {
+                stats.dominance_tests += skyline.len() as u64;
+                ctx.push_window(&mut window, p);
+                skyline.push(p);
             }
-        }
-        if !dominated {
-            skyline.push(p);
         }
     }
     stats.skyline_size = skyline.len();

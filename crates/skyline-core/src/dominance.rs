@@ -5,6 +5,57 @@ use crate::error::{Result, SkylineError};
 use crate::order::{PartialOrder, Preference, Template};
 use crate::value::PointId;
 
+/// Pairwise dominance testing, implemented by both the reference [`DominanceContext`] and the
+/// compiled kernel ([`crate::kernel::CompiledRelation`]).
+///
+/// The skyline algorithms ([`crate::algo::bnl`], [`crate::algo::sfs`]) are generic over this
+/// trait, so the same elimination loops run against either implementation: the context is the
+/// executable specification, the kernel is the fast path, and the `kernel_equivalence`
+/// property suite holds the two together.
+pub trait Dominance {
+    /// Accumulator for the accepted window of an elimination scan.
+    ///
+    /// Implementations choose their own representation: the reference context keeps plain
+    /// point ids, while the compiled kernel densifies accepted rows into contiguous buffers
+    /// ([`crate::kernel::DenseWindow`]) so the window walk is purely sequential memory.
+    /// A `Default` window is empty and must be [`reset`](Dominance::reset_window) against
+    /// the relation before reuse.
+    type Window: Default;
+
+    /// Empties `window` and binds it to this relation's dimensions, keeping its allocations.
+    fn reset_window(&self, window: &mut Self::Window);
+
+    /// Appends point `p` to the accepted window.
+    fn push_window(&self, window: &mut Self::Window, p: PointId);
+
+    /// Index (in push order) of the first window member dominating `p`, if any.
+    ///
+    /// The caller guarantees `p` itself was never pushed into `window`. The window is `&mut`
+    /// because implementations may keep per-call scratch inside it (the compiled kernel
+    /// stages the candidate's nominal keys there); the accepted contents are not modified.
+    fn window_first_dominator(&self, window: &mut Self::Window, p: PointId) -> Option<usize>;
+
+    /// True when `p` dominates `q`: `p ⪯ q` on every dimension and `p ≺ q` on at least one.
+    fn dominates(&self, p: PointId, q: PointId) -> bool;
+
+    /// Full three-way (plus equality) comparison of two points.
+    fn compare(&self, p: PointId, q: PointId) -> DomRelation;
+
+    /// Index into `candidates` of the first point that dominates `p`, if any.
+    ///
+    /// This is the innermost operation of every elimination scan (one candidate point tested
+    /// against the accepted window); implementations can batch it far more cheaply than a
+    /// `dominates` call per candidate — the compiled kernel hoists `p`'s rows out of the loop.
+    fn first_dominator(&self, p: PointId, candidates: &[PointId]) -> Option<usize> {
+        candidates.iter().position(|&q| self.dominates(q, p))
+    }
+
+    /// True when point `p` is dominated by at least one point of `candidates`.
+    fn dominated_by_any(&self, p: PointId, candidates: &[PointId]) -> bool {
+        self.first_dominator(p, candidates).is_some()
+    }
+}
+
 /// Outcome of comparing two points under a dominance relation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DomRelation {
@@ -168,6 +219,32 @@ impl<'a> DominanceContext<'a> {
     /// True when point `p` is dominated by at least one point of `candidates`.
     pub fn dominated_by_any(&self, p: PointId, candidates: &[PointId]) -> bool {
         candidates.iter().any(|&q| self.dominates(q, p))
+    }
+}
+
+impl Dominance for DominanceContext<'_> {
+    /// The reference window is just the accepted point ids.
+    type Window = Vec<PointId>;
+
+    fn reset_window(&self, window: &mut Vec<PointId>) {
+        window.clear();
+    }
+
+    fn push_window(&self, window: &mut Vec<PointId>, p: PointId) {
+        window.push(p);
+    }
+
+    fn window_first_dominator(&self, window: &mut Vec<PointId>, p: PointId) -> Option<usize> {
+        window.iter().position(|&q| self.dominates(q, p))
+    }
+
+    #[inline]
+    fn dominates(&self, p: PointId, q: PointId) -> bool {
+        DominanceContext::dominates(self, p, q)
+    }
+
+    fn compare(&self, p: PointId, q: PointId) -> DomRelation {
+        DominanceContext::compare(self, p, q)
     }
 }
 

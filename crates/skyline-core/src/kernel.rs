@@ -1,0 +1,860 @@
+//! Compiled dominance kernel: query-compiled orders over a cache-friendly point layout.
+//!
+//! [`crate::DominanceContext`] is the *reference* dominance implementation: per-column lookups
+//! into the columnar [`Dataset`] plus a [`PartialOrder`] closure probe per nominal dimension.
+//! Correct, but every pairwise test pays strided column access (one cache line per dimension
+//! per point) and several layers of bounds-checked indirection — and the pairwise test is the
+//! innermost loop of every algorithm in this workspace (BNL, SFS, Adaptive SFS, the hybrid
+//! engine's fallback), each of which performs an O(n²)-shaped number of them.
+//!
+//! This module compiles the same relation into a form the hardware likes:
+//!
+//! * [`PointBlock`] — a **row-major, interleaved layout** of the dataset: all numeric values
+//!   of one point are contiguous, and so are its nominal value ids. One pairwise test touches
+//!   two short contiguous runs instead of `d` strided columns. A block depends only on the
+//!   dataset, so it is built **once** and shared (`Arc`) across every query, engine and
+//!   worker thread.
+//! * [`CompiledOrder`] — one nominal dimension's strict order flattened into **dense per-value
+//!   closure bitmask rows** (`u64` words: bit `v` of row `u` says `u ≺ v`) plus **layered
+//!   ranks** (topological depth in the order's DAG), giving a branch-light `u ≺ v` probe with
+//!   a one-compare early out. Compiling is O(c²) bit probes over a cardinality-`c` domain —
+//!   nominal cardinalities are tiny (4–40 in the paper), so this costs well under a
+//!   microsecond per query.
+//! * [`CompiledRelation`] — the kernel itself: a shared block plus one compiled order per
+//!   nominal dimension. Behaviourally identical to [`DominanceContext`] (asserted by the
+//!   `kernel_equivalence` property suite) but with the inner loop reduced to contiguous loads,
+//!   integer compares and single-word bit tests.
+//!
+//! Algorithms accept either implementation through the [`Dominance`] trait, keeping
+//! [`DominanceContext`] as the executable specification the kernel is checked against.
+
+use crate::dataset::Dataset;
+use crate::dominance::{DomRelation, Dominance, DominanceContext};
+use crate::error::{Result, SkylineError};
+use crate::order::{PartialOrder, Preference, Template};
+use crate::schema::Schema;
+use crate::value::{PointId, ValueId};
+use std::sync::Arc;
+
+/// Row-major, interleaved copy of a dataset's values, shared by every compiled relation.
+///
+/// Point `p` occupies `numeric_dims` contiguous `f64`s in [`PointBlock::numeric_row`] and
+/// `nominal_dims` contiguous [`ValueId`]s in [`PointBlock::nominal_row`], so a pairwise
+/// dominance test reads two short cache-resident runs instead of one strided cell per column.
+/// The block is query-independent: build it once per dataset (an O(n·d) transpose) and hand
+/// the same `Arc` to every [`CompiledRelation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointBlock {
+    len: usize,
+    numeric_dims: usize,
+    nominal_dims: usize,
+    nums: Vec<f64>,
+    noms: Vec<ValueId>,
+    /// Per nominal dimension: the largest value id present (0 for empty datasets); used to
+    /// validate compiled orders against the block without retaining the schema.
+    max_value: Vec<ValueId>,
+}
+
+impl PointBlock {
+    /// Transposes `data` into the interleaved row-major layout.
+    pub fn new(data: &Dataset) -> Self {
+        let schema = data.schema();
+        let len = data.len();
+        let numeric_dims = schema.numeric_count();
+        let nominal_dims = schema.nominal_count();
+        let mut nums = Vec::with_capacity(len * numeric_dims);
+        let mut noms = Vec::with_capacity(len * nominal_dims);
+        for p in 0..len as PointId {
+            for j in 0..numeric_dims {
+                nums.push(data.numeric(p, j));
+            }
+            for j in 0..nominal_dims {
+                noms.push(data.nominal(p, j));
+            }
+        }
+        let max_value = (0..nominal_dims)
+            .map(|j| {
+                data.nominal_column(j)
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or_default()
+            })
+            .collect();
+        Self {
+            len,
+            numeric_dims,
+            nominal_dims,
+            nums,
+            noms,
+            max_value,
+        }
+    }
+
+    /// Number of points in the block.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the block holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of numeric dimensions per point.
+    pub fn numeric_dims(&self) -> usize {
+        self.numeric_dims
+    }
+
+    /// Number of nominal dimensions per point.
+    pub fn nominal_dims(&self) -> usize {
+        self.nominal_dims
+    }
+
+    /// The contiguous numeric values of point `p`.
+    #[inline]
+    pub fn numeric_row(&self, p: PointId) -> &[f64] {
+        let start = p as usize * self.numeric_dims;
+        &self.nums[start..start + self.numeric_dims]
+    }
+
+    /// The contiguous nominal value ids of point `p`.
+    #[inline]
+    pub fn nominal_row(&self, p: PointId) -> &[ValueId] {
+        let start = p as usize * self.nominal_dims;
+        &self.noms[start..start + self.nominal_dims]
+    }
+
+    /// Approximate heap footprint in bytes (for the storage plots).
+    pub fn approximate_bytes(&self) -> usize {
+        self.nums.len() * std::mem::size_of::<f64>()
+            + self.noms.len() * std::mem::size_of::<ValueId>()
+    }
+}
+
+/// One nominal dimension's strict order, compiled to dense closure bitmasks and layered ranks.
+///
+/// Row `u` of the bitmask (`words_per_row` `u64`s) has bit `v` set exactly when `u ≺ v` in the
+/// transitive closure, so the strict-preference probe is one shift-and-mask on a flat array.
+/// The **layer** of a value is its depth in the order's DAG (longest strict chain of better
+/// values above it); `u ≺ v` implies `layer(u) < layer(v)`, and for **ranked** orders (weak
+/// orders, which every implicit preference induces — see [`CompiledOrder::is_ranked`]) the
+/// implication is an equivalence, so the kernel's window walk replaces the bit probe by two
+/// integer compares on data streaming through the scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledOrder {
+    cardinality: usize,
+    words_per_row: usize,
+    strict: Vec<u64>,
+    layers: Vec<u16>,
+    ranked: bool,
+}
+
+impl CompiledOrder {
+    /// Flattens `order`'s closure into bitmask rows and computes the layered ranks.
+    pub fn compile(order: &PartialOrder) -> Self {
+        let cardinality = order.cardinality();
+        let words_per_row = cardinality.div_ceil(64).max(1);
+        let mut strict = vec![0u64; cardinality * words_per_row];
+        for u in 0..cardinality {
+            for v in 0..cardinality {
+                if order.strictly_preferred(u as ValueId, v as ValueId) {
+                    strict[u * words_per_row + (v >> 6)] |= 1 << (v & 63);
+                }
+            }
+        }
+        // Layer = longest chain of strictly-better values above a value. Orders are acyclic
+        // (PartialOrder construction rejects cycles), so relaxing `cardinality` times reaches
+        // the fixpoint.
+        let mut layers = vec![0u16; cardinality];
+        for _ in 0..cardinality {
+            let mut changed = false;
+            for u in 0..cardinality {
+                for v in 0..cardinality {
+                    if strict[u * words_per_row + (v >> 6)] >> (v & 63) & 1 != 0
+                        && layers[v] <= layers[u]
+                    {
+                        layers[v] = layers[u] + 1;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Rankedness: the layers are a *faithful* linearization (`u ≺ v ⟺ layer(u) <
+        // layer(v)`) exactly when the order is a weak order — which every implicit-preference
+        // order is, so the hot window walk can replace the closure probe by two integer
+        // compares. General partial orders that fail the check keep the bitmask path.
+        let ranked = (0..cardinality).all(|u| {
+            (0..cardinality).all(|v| {
+                u == v
+                    || ((strict[u * words_per_row + (v >> 6)] >> (v & 63) & 1 != 0)
+                        == (layers[u] < layers[v]))
+            })
+        });
+        Self {
+            cardinality,
+            words_per_row,
+            strict,
+            layers,
+            ranked,
+        }
+    }
+
+    /// True when the layers are a faithful linearization of the order (`u ≺ v ⟺ layer(u) <
+    /// layer(v)`), i.e. the order is a weak order. Every implicit-preference order is ranked;
+    /// the compiled window walk then tests dominance with integer compares instead of bitmask
+    /// probes.
+    pub fn is_ranked(&self) -> bool {
+        self.ranked
+    }
+
+    /// Number of values in the dimension's domain.
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// True when `u ≺ v` in the compiled closure.
+    #[inline]
+    pub fn strictly_preferred(&self, u: ValueId, v: ValueId) -> bool {
+        let (u, v) = (u as usize, v as usize);
+        self.strict[u * self.words_per_row + (v >> 6)] >> (v & 63) & 1 != 0
+    }
+
+    /// Layered rank of `v`: its depth in the order's DAG. `u ≺ v` implies
+    /// `layer(u) < layer(v)`, so equal layers mean "not strictly related".
+    #[inline]
+    pub fn layer(&self, v: ValueId) -> u16 {
+        self.layers[v as usize]
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.strict.len() * std::mem::size_of::<u64>()
+            + self.layers.len() * std::mem::size_of::<u16>()
+    }
+}
+
+/// Densified accepted window for elimination scans over a [`CompiledRelation`].
+///
+/// Every accepted point's rows are *copied* into contiguous buffers, so testing the next
+/// candidate against the whole window is one sequential walk — no id indirection, no strided
+/// loads. Nominal cells are stored as `(value id, layered rank)` pairs: for ranked (weak)
+/// orders the dominance test is then two integer compares on data already streaming through
+/// the loop, with no closure-probe loads at all. Windows are reusable scratch:
+/// [`Dominance::reset_window`] keeps the allocations, so a worker thread serving thousands of
+/// queries re-runs its scans allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct DenseWindow {
+    numeric_dims: usize,
+    nominal_dims: usize,
+    nums: Vec<f64>,
+    /// `(id, rank)` interleaved: stride `2 * nominal_dims` per point.
+    noms: Vec<u16>,
+    /// Per-call scratch holding the candidate point's `(id, rank)` pairs.
+    probe: Vec<u16>,
+    len: usize,
+}
+
+impl DenseWindow {
+    /// Number of points in the window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no point has been pushed since the last reset.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The compiled dominance kernel: a shared [`PointBlock`] plus one [`CompiledOrder`] per
+/// nominal dimension.
+///
+/// Semantically identical to a [`DominanceContext`] over the same dataset and orders (the
+/// `kernel_equivalence` property suite asserts `dominates` and `compare` agree point-for-point)
+/// but an order of magnitude cheaper per pairwise test: contiguous row loads, no per-cell
+/// column indirection, and single-word bit probes for the nominal orders.
+///
+/// The block is shared via `Arc`, so compiling a relation for a new query preference costs
+/// only the per-dimension O(c²) order flattening — the point layout is reused across every
+/// query, engine and thread.
+#[derive(Debug, Clone)]
+pub struct CompiledRelation {
+    block: Arc<PointBlock>,
+    orders: Vec<CompiledOrder>,
+    /// True when every order is ranked (a weak order) — the window walk then skips the order
+    /// objects entirely and compares layered ranks.
+    all_ranked: bool,
+}
+
+impl CompiledRelation {
+    /// Compiles per-nominal-dimension orders against a shared block.
+    ///
+    /// Fails when the number of orders does not match the block's nominal dimensions or an
+    /// order's cardinality cannot cover a value id present in the block.
+    pub fn new(block: Arc<PointBlock>, orders: &[PartialOrder]) -> Result<Self> {
+        if orders.len() != block.nominal_dims() {
+            return Err(SkylineError::InvalidArgument(format!(
+                "expected {} nominal orders, got {}",
+                block.nominal_dims(),
+                orders.len()
+            )));
+        }
+        for (j, order) in orders.iter().enumerate() {
+            let needed = if block.is_empty() {
+                0
+            } else {
+                block.max_value[j] as usize + 1
+            };
+            if order.cardinality() < needed {
+                return Err(SkylineError::InvalidArgument(format!(
+                    "order on nominal dimension {j} has cardinality {} but the data holds \
+                     value id {}",
+                    order.cardinality(),
+                    block.max_value[j]
+                )));
+            }
+        }
+        let orders: Vec<CompiledOrder> = orders.iter().map(CompiledOrder::compile).collect();
+        let all_ranked = orders.iter().all(CompiledOrder::is_ranked);
+        Ok(Self {
+            block,
+            orders,
+            all_ranked,
+        })
+    }
+
+    /// Compiles the relation of a template alone (`R`).
+    pub fn for_template(block: Arc<PointBlock>, template: &Template) -> Result<Self> {
+        Self::new(block, template.orders())
+    }
+
+    /// Compiles the relation of a query preference evaluated against a template
+    /// (`R ∪ P(R̃′)`), mirroring [`DominanceContext::for_query`].
+    pub fn for_query(
+        block: Arc<PointBlock>,
+        schema: &Schema,
+        template: &Template,
+        query: &Preference,
+    ) -> Result<Self> {
+        let orders = template.effective_orders(schema, query)?;
+        Self::new(block, &orders)
+    }
+
+    /// One-shot convenience: builds the block *and* compiles the query relation.
+    ///
+    /// Prefer [`CompiledRelation::for_query`] with a cached block on any hot path — this
+    /// variant re-transposes the dataset every call.
+    pub fn compile_query(data: &Dataset, template: &Template, query: &Preference) -> Result<Self> {
+        Self::for_query(
+            Arc::new(PointBlock::new(data)),
+            data.schema(),
+            template,
+            query,
+        )
+    }
+
+    /// The shared point layout the relation evaluates over.
+    pub fn block(&self) -> &Arc<PointBlock> {
+        &self.block
+    }
+
+    /// The compiled per-nominal-dimension orders.
+    pub fn orders(&self) -> &[CompiledOrder] {
+        &self.orders
+    }
+
+    /// True when `p` dominates `q`: `p ⪯ q` on every dimension and `p ≺ q` on at least one.
+    ///
+    /// Same contract as [`DominanceContext::dominates`], compiled form.
+    #[inline]
+    pub fn dominates(&self, p: PointId, q: PointId) -> bool {
+        if p == q {
+            return false;
+        }
+        let mut strict = false;
+        for (pv, qv) in self
+            .block
+            .numeric_row(p)
+            .iter()
+            .zip(self.block.numeric_row(q))
+        {
+            if pv > qv {
+                return false;
+            }
+            strict |= pv < qv;
+        }
+        for (order, (&pv, &qv)) in self.orders.iter().zip(
+            self.block
+                .nominal_row(p)
+                .iter()
+                .zip(self.block.nominal_row(q)),
+        ) {
+            if pv != qv {
+                if !order.strictly_preferred(pv, qv) {
+                    return false;
+                }
+                strict = true;
+            }
+        }
+        strict
+    }
+
+    /// Index into `candidates` of the first point dominating `p`, with `p`'s rows hoisted out
+    /// of the candidate loop and the same branchless per-candidate evaluation as the dense
+    /// window walk.
+    // `!(qv > pv)` is deliberate, not `qv <= pv`: NaN must neither block nor establish
+    // dominance, exactly mirroring the reference `if pv > qv { return false }`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn first_dominator(&self, p: PointId, candidates: &[PointId]) -> Option<usize> {
+        let pn = self.block.numeric_row(p);
+        let pm = self.block.nominal_row(p);
+        for (i, &q) in candidates.iter().enumerate() {
+            if q == p {
+                continue;
+            }
+            let mut not_worse = true;
+            let mut strict = false;
+            for (qv, pv) in self.block.numeric_row(q).iter().zip(pn) {
+                not_worse &= !(qv > pv);
+                strict |= qv < pv;
+            }
+            for (order, (&qv, &pv)) in self
+                .orders
+                .iter()
+                .zip(self.block.nominal_row(q).iter().zip(pm))
+            {
+                let differs = qv != pv;
+                let preferred = order.strictly_preferred(qv, pv);
+                not_worse &= !differs | preferred;
+                strict |= differs & preferred;
+            }
+            if not_worse && strict {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Full three-way (plus equality) comparison, mirroring [`DominanceContext::compare`].
+    pub fn compare(&self, p: PointId, q: PointId) -> DomRelation {
+        if p == q {
+            return DomRelation::Equal;
+        }
+        let mut p_strict = false;
+        let mut q_strict = false;
+        let mut p_ok = true;
+        let mut q_ok = true;
+        for (pv, qv) in self
+            .block
+            .numeric_row(p)
+            .iter()
+            .zip(self.block.numeric_row(q))
+        {
+            if pv < qv {
+                p_strict = true;
+                q_ok = false;
+            } else if qv < pv {
+                q_strict = true;
+                p_ok = false;
+            }
+            if !p_ok && !q_ok {
+                return DomRelation::Incomparable;
+            }
+        }
+        let mut all_equal = !p_strict && !q_strict;
+        for (order, (&pv, &qv)) in self.orders.iter().zip(
+            self.block
+                .nominal_row(p)
+                .iter()
+                .zip(self.block.nominal_row(q)),
+        ) {
+            if pv == qv {
+                continue;
+            }
+            all_equal = false;
+            if order.strictly_preferred(pv, qv) {
+                p_strict = true;
+                q_ok = false;
+            } else if order.strictly_preferred(qv, pv) {
+                q_strict = true;
+                p_ok = false;
+            } else {
+                p_ok = false;
+                q_ok = false;
+            }
+            if !p_ok && !q_ok {
+                return DomRelation::Incomparable;
+            }
+        }
+        if all_equal {
+            DomRelation::Equal
+        } else if p_ok && p_strict {
+            DomRelation::Dominates
+        } else if q_ok && q_strict {
+            DomRelation::DominatedBy
+        } else {
+            DomRelation::Incomparable
+        }
+    }
+
+    /// True when point `p` is dominated by at least one point of `candidates`.
+    pub fn dominated_by_any(&self, p: PointId, candidates: &[PointId]) -> bool {
+        candidates.iter().any(|&q| self.dominates(q, p))
+    }
+
+    /// Compiles the same relation a [`DominanceContext`] evaluates, sharing `block`.
+    pub fn from_context(block: Arc<PointBlock>, ctx: &DominanceContext<'_>) -> Result<Self> {
+        Self::new(block, ctx.orders())
+    }
+
+    /// Approximate heap footprint of the compiled orders in bytes (the block is shared and
+    /// accounted once via [`PointBlock::approximate_bytes`]).
+    pub fn approximate_bytes(&self) -> usize {
+        self.orders
+            .iter()
+            .map(CompiledOrder::approximate_bytes)
+            .sum()
+    }
+}
+
+impl CompiledRelation {
+    /// Appends point `p`'s `(id, rank)` nominal pairs to `out`.
+    fn extend_nominal_keys(&self, out: &mut Vec<u16>, p: PointId) {
+        for (order, &v) in self.orders.iter().zip(self.block.nominal_row(p)) {
+            out.push(v);
+            out.push(order.layer(v));
+        }
+    }
+
+    /// The dense-window walk, monomorphized on the numeric arity (`ND == 0` is the
+    /// any-arity fallback) and on whether every nominal order is ranked. Early-out on the
+    /// first worse dimension; ranked (weak) nominal orders test with two integer compares on
+    /// streaming data, general orders probe the closure bitmask.
+    fn walk_window<const ND: usize, const ALL_RANKED: bool>(
+        &self,
+        window: &DenseWindow,
+        pn: &[f64],
+        md2: usize,
+    ) -> Option<usize> {
+        let nd = if ND == 0 { window.numeric_dims } else { ND };
+        debug_assert_eq!(nd, pn.len());
+        let probe = &window.probe;
+        'candidates: for i in 0..window.len {
+            let mut strict = false;
+            if ND == 0 {
+                for (qv, pv) in window.nums[i * nd..(i + 1) * nd].iter().zip(pn) {
+                    if qv > pv {
+                        continue 'candidates;
+                    }
+                    strict |= qv < pv;
+                }
+            } else {
+                let qn = &window.nums[i * ND..i * ND + ND];
+                for j in 0..ND {
+                    if qn[j] > pn[j] {
+                        continue 'candidates;
+                    }
+                    strict |= qn[j] < pn[j];
+                }
+            }
+            let qm = &window.noms[i * md2..(i + 1) * md2];
+            if ALL_RANKED {
+                // Branchless: `q ⪯ p ⟺ q = p ∨ rank(q) < rank(p)`, folded into booleans.
+                let mut not_worse = true;
+                for (qc, pc) in qm.chunks_exact(2).zip(probe.chunks_exact(2)) {
+                    not_worse &= (qc[0] == pc[0]) | (qc[1] < pc[1]);
+                    strict |= qc[1] < pc[1];
+                }
+                if !not_worse {
+                    continue 'candidates;
+                }
+            } else {
+                for ((order, qc), pc) in self
+                    .orders
+                    .iter()
+                    .zip(qm.chunks_exact(2))
+                    .zip(probe.chunks_exact(2))
+                {
+                    if qc[0] != pc[0] {
+                        let preferred = if order.ranked {
+                            qc[1] < pc[1]
+                        } else {
+                            order.strictly_preferred(qc[0], pc[0])
+                        };
+                        if !preferred {
+                            continue 'candidates;
+                        }
+                        strict = true;
+                    }
+                }
+            }
+            if strict {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+impl Dominance for CompiledRelation {
+    type Window = DenseWindow;
+
+    fn reset_window(&self, window: &mut DenseWindow) {
+        window.numeric_dims = self.block.numeric_dims();
+        window.nominal_dims = self.block.nominal_dims();
+        window.nums.clear();
+        window.noms.clear();
+        window.len = 0;
+    }
+
+    fn push_window(&self, window: &mut DenseWindow, p: PointId) {
+        debug_assert_eq!(window.numeric_dims, self.block.numeric_dims());
+        window.nums.extend_from_slice(self.block.numeric_row(p));
+        self.extend_nominal_keys(&mut window.noms, p);
+        window.len += 1;
+    }
+
+    fn window_first_dominator(&self, window: &mut DenseWindow, p: PointId) -> Option<usize> {
+        let pn = self.block.numeric_row(p);
+        let nd = window.numeric_dims;
+        let md2 = window.nominal_dims * 2;
+        // Hoist the candidate's (id, rank) pairs once per call.
+        window.probe.clear();
+        self.extend_nominal_keys(&mut window.probe, p);
+        // Monomorphize the walk on the (small) numeric arity so the inner numeric loop fully
+        // unrolls with no counters or per-row bounds checks, and on the all-ranked flag so
+        // the common weak-order case runs with pure integer compares.
+        if self.all_ranked {
+            match nd {
+                2 => self.walk_window::<2, true>(window, pn, md2),
+                3 => self.walk_window::<3, true>(window, pn, md2),
+                4 => self.walk_window::<4, true>(window, pn, md2),
+                5 => self.walk_window::<5, true>(window, pn, md2),
+                _ => self.walk_window::<0, true>(window, pn, md2),
+            }
+        } else {
+            match nd {
+                2 => self.walk_window::<2, false>(window, pn, md2),
+                3 => self.walk_window::<3, false>(window, pn, md2),
+                4 => self.walk_window::<4, false>(window, pn, md2),
+                5 => self.walk_window::<5, false>(window, pn, md2),
+                _ => self.walk_window::<0, false>(window, pn, md2),
+            }
+        }
+    }
+
+    #[inline]
+    fn dominates(&self, p: PointId, q: PointId) -> bool {
+        CompiledRelation::dominates(self, p, q)
+    }
+
+    fn compare(&self, p: PointId, q: PointId) -> DomRelation {
+        CompiledRelation::compare(self, p, q)
+    }
+
+    #[inline]
+    fn first_dominator(&self, p: PointId, candidates: &[PointId]) -> Option<usize> {
+        CompiledRelation::first_dominator(self, p, candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::order::ImplicitPreference;
+    use crate::schema::Dimension;
+
+    fn vacation_data() -> Dataset {
+        let schema = Schema::new(vec![
+            Dimension::numeric("price"),
+            Dimension::numeric("class-neg"),
+            Dimension::nominal_with_labels("hotel-group", ["T", "H", "M"]),
+        ])
+        .unwrap();
+        let mut b = DatasetBuilder::new(schema);
+        for (price, class, group) in [
+            (1600.0, 4.0, "T"),
+            (2400.0, 1.0, "T"),
+            (3000.0, 5.0, "H"),
+            (3600.0, 4.0, "H"),
+            (2400.0, 2.0, "M"),
+            (3000.0, 3.0, "M"),
+        ] {
+            b.push_row([
+                crate::dataset::RowValue::Num(price),
+                crate::dataset::RowValue::Num(-class),
+                group.into(),
+            ])
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// The unranked (general partial order) window walk, including the mixed
+    /// ranked/unranked case, against the reference context and the plain-id window.
+    #[test]
+    fn unranked_orders_take_the_probe_path_and_match_the_reference() {
+        use crate::algo::sfs;
+        use crate::score::ScoreFn;
+
+        let schema = Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::nominal("g", crate::value::NominalDomain::anonymous(5)),
+            Dimension::nominal("h", crate::value::NominalDomain::anonymous(3)),
+        ])
+        .unwrap();
+        let mut data = Dataset::empty(schema);
+        // Exhaustive little grid: every (g, h) combination at two numeric levels.
+        for g in 0..5u16 {
+            for h in 0..3u16 {
+                data.push_row_ids(&[f64::from(g) + f64::from(h)], &[g, h])
+                    .unwrap();
+                data.push_row_ids(&[f64::from(5 - g)], &[g, h]).unwrap();
+            }
+        }
+        // `g`: 0 ≺ 2 ≺ 1 plus the island 3 ≺ 4 — NOT a weak order (0 and 3 share a layer
+        // with 1 and 4 incomparable across chains); `h`: implicit-style weak order.
+        let g_order = PartialOrder::from_pairs(5, [(0, 2), (2, 1), (3, 4)]).unwrap();
+        let h_order = PartialOrder::from_pairs(3, [(1, 0), (1, 2)]).unwrap();
+        let template =
+            Template::from_partial_orders(data.schema(), vec![g_order, h_order]).unwrap();
+
+        let ctx = DominanceContext::for_template(&data, &template).unwrap();
+        let kernel =
+            CompiledRelation::for_template(Arc::new(PointBlock::new(&data)), &template).unwrap();
+        assert!(!kernel.orders()[0].is_ranked(), "g must be unranked");
+        assert!(kernel.orders()[1].is_ranked(), "h must be ranked");
+
+        // Pairwise agreement plus the full elimination scan (dense window vs. id window).
+        for p in data.point_ids() {
+            for q in data.point_ids() {
+                assert_eq!(kernel.dominates(p, q), ctx.dominates(p, q), "({p}, {q})");
+                assert_eq!(kernel.compare(p, q), ctx.compare(p, q), "({p}, {q})");
+            }
+        }
+        let score = ScoreFn::default_ranking(data.schema());
+        let sorted = score.sort_by_score(&data, &data.point_ids().collect::<Vec<_>>());
+        assert_eq!(
+            sfs::scan_presorted(&kernel, &sorted),
+            sfs::scan_presorted(&ctx, &sorted),
+            "dense-window scan must match the reference scan on unranked orders"
+        );
+    }
+
+    #[test]
+    fn block_layout_roundtrips_the_dataset() {
+        let data = vacation_data();
+        let block = PointBlock::new(&data);
+        assert_eq!(block.len(), 6);
+        assert!(!block.is_empty());
+        assert_eq!(block.numeric_dims(), 2);
+        assert_eq!(block.nominal_dims(), 1);
+        for p in data.point_ids() {
+            assert_eq!(
+                block.numeric_row(p),
+                &[data.numeric(p, 0), data.numeric(p, 1)]
+            );
+            assert_eq!(block.nominal_row(p), &[data.nominal(p, 0)]);
+        }
+        assert_eq!(block.max_value, vec![2]);
+        assert!(block.approximate_bytes() >= 6 * (2 * 8 + 2));
+    }
+
+    #[test]
+    fn compiled_order_matches_partial_order() {
+        let order = PartialOrder::from_pairs(5, [(0, 2), (2, 1), (3, 4)]).unwrap();
+        let compiled = CompiledOrder::compile(&order);
+        assert_eq!(compiled.cardinality(), 5);
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(
+                    compiled.strictly_preferred(u, v),
+                    order.strictly_preferred(u, v),
+                    "({u}, {v})"
+                );
+                if order.strictly_preferred(u, v) {
+                    assert!(
+                        compiled.layer(u) < compiled.layer(v),
+                        "layers of ({u}, {v})"
+                    );
+                }
+            }
+        }
+        // Chain 0 ≺ 2 ≺ 1 produces layers 0, 2, 1; independent chain 3 ≺ 4 restarts at 0.
+        assert_eq!(
+            (0..5).map(|v| compiled.layer(v)).collect::<Vec<_>>(),
+            vec![0, 2, 1, 0, 1]
+        );
+        assert!(compiled.approximate_bytes() > 0);
+    }
+
+    #[test]
+    fn wide_domains_use_multiple_words_per_row() {
+        let order = PartialOrder::from_pairs(70, [(0, 69), (69, 1)]).unwrap();
+        let compiled = CompiledOrder::compile(&order);
+        assert!(compiled.strictly_preferred(0, 69));
+        assert!(compiled.strictly_preferred(69, 1));
+        assert!(compiled.strictly_preferred(0, 1));
+        assert!(!compiled.strictly_preferred(1, 0));
+    }
+
+    #[test]
+    fn kernel_agrees_with_the_reference_context() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let query = Preference::from_dims(vec![ImplicitPreference::new([0, 2]).unwrap()]);
+        let ctx = DominanceContext::for_query(&data, &template, &query).unwrap();
+        let kernel = CompiledRelation::compile_query(&data, &template, &query).unwrap();
+        for p in data.point_ids() {
+            for q in data.point_ids() {
+                assert_eq!(kernel.dominates(p, q), ctx.dominates(p, q), "({p}, {q})");
+                assert_eq!(kernel.compare(p, q), ctx.compare(p, q), "({p}, {q})");
+            }
+        }
+        assert!(kernel.dominated_by_any(1, &[0]));
+        assert!(!kernel.dominated_by_any(0, &[]));
+        assert_eq!(kernel.orders().len(), 1);
+        assert_eq!(kernel.block().len(), 6);
+        assert!(kernel.approximate_bytes() > 0);
+    }
+
+    #[test]
+    fn from_context_shares_the_block() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let ctx = DominanceContext::for_template(&data, &template).unwrap();
+        let block = Arc::new(PointBlock::new(&data));
+        let kernel = CompiledRelation::from_context(block.clone(), &ctx).unwrap();
+        assert!(Arc::ptr_eq(kernel.block(), &block));
+        assert!(kernel.dominates(0, 1));
+        assert!(!kernel.dominates(0, 2));
+    }
+
+    #[test]
+    fn validation_rejects_mismatched_orders() {
+        let data = vacation_data();
+        let block = Arc::new(PointBlock::new(&data));
+        assert!(CompiledRelation::new(block.clone(), &[]).is_err());
+        // Cardinality 2 cannot cover value id 2 present in the data.
+        assert!(CompiledRelation::new(block.clone(), &[PartialOrder::empty(2)]).is_err());
+        assert!(CompiledRelation::new(block, &[PartialOrder::empty(3)]).is_ok());
+    }
+
+    #[test]
+    fn empty_dataset_accepts_any_cardinality() {
+        let schema = Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::nominal_with_labels("g", ["a", "b"]),
+        ])
+        .unwrap();
+        let data = Dataset::from_columns(schema, vec![vec![]], vec![vec![]]).unwrap();
+        let block = Arc::new(PointBlock::new(&data));
+        assert!(block.is_empty());
+        assert!(CompiledRelation::new(block, &[PartialOrder::empty(0)]).is_ok());
+    }
+}

@@ -16,6 +16,8 @@
 //!   [`order::Template`]s shared by all users;
 //! * dominance testing ([`DominanceContext`]) and the monotone scoring function used by the
 //!   SFS family ([`score::ScoreFn`]);
+//! * the compiled dominance kernel ([`kernel`]): query-compiled closure bitmasks over a
+//!   cache-friendly row-major point layout, behind the shared [`dominance::Dominance`] trait;
 //! * baseline full-dataset skyline algorithms: block-nested-loop ([`algo::bnl`]) and
 //!   sort-first-skyline ([`algo::sfs`], the paper's **SFS-D** baseline);
 //! * minimal disqualifying conditions ([`mdc`]) used by the IPO-tree construction;
@@ -34,6 +36,7 @@ pub mod bitset;
 pub mod dataset;
 pub mod dominance;
 pub mod error;
+pub mod kernel;
 pub mod mdc;
 pub mod order;
 pub mod schema;
@@ -43,8 +46,9 @@ pub mod value;
 
 pub use bitset::BitSet;
 pub use dataset::{Dataset, DatasetBuilder, RowValue};
-pub use dominance::{DomRelation, DominanceContext};
+pub use dominance::{DomRelation, Dominance, DominanceContext};
 pub use error::{Result, SkylineError};
+pub use kernel::{CompiledOrder, CompiledRelation, DenseWindow, PointBlock};
 pub use order::{CanonicalPreference, ImplicitPreference, PartialOrder, Preference, Template};
 pub use schema::{Dimension, DimensionKind, Schema};
 pub use value::{NominalDomain, PointId, ValueId};

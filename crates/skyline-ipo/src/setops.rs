@@ -6,8 +6,25 @@
 
 use skyline_core::PointId;
 
+/// Size ratio at which [`intersection`] switches from the linear merge to the galloping
+/// (exponential-search) walk: when one input is at least this many times larger than the
+/// other, skipping through the big side beats scanning it.
+const GALLOP_RATIO: usize = 8;
+
 /// `a ∩ b` for sorted, duplicate-free inputs.
+///
+/// Size-adaptive: comparably sized inputs take the linear merge (the dense-case path, O(|a| +
+/// |b|)); when one side is ≫ smaller the merge walks the small side and **gallops** through
+/// the large side with exponential + binary search, giving O(|small| · log |large|) instead of
+/// a full scan. The IPO-tree merge (Algorithm 2) hits exactly this shape whenever one
+/// first-order sub-skyline is much more selective than the other.
 pub fn intersection(a: &[PointId], b: &[PointId]) -> Vec<PointId> {
+    if a.len().saturating_mul(GALLOP_RATIO) < b.len() {
+        return gallop_intersection(a, b);
+    }
+    if b.len().saturating_mul(GALLOP_RATIO) < a.len() {
+        return gallop_intersection(b, a);
+    }
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -22,6 +39,41 @@ pub fn intersection(a: &[PointId], b: &[PointId]) -> Vec<PointId> {
         }
     }
     out
+}
+
+/// Intersection walking the small side, galloping through the large side.
+fn gallop_intersection(small: &[PointId], large: &[PointId]) -> Vec<PointId> {
+    let mut out = Vec::with_capacity(small.len());
+    let mut base = 0;
+    for &x in small {
+        base += gallop_to(&large[base..], x);
+        if base >= large.len() {
+            break;
+        }
+        if large[base] == x {
+            out.push(x);
+            base += 1;
+        }
+    }
+    out
+}
+
+/// Index of the first element of sorted `slice` that is `>= x` (or `slice.len()`): probe at
+/// exponentially growing steps to bracket `x`, then binary-search the bracket.
+fn gallop_to(slice: &[PointId], x: PointId) -> usize {
+    if slice.first().is_none_or(|&first| first >= x) {
+        return 0;
+    }
+    // Invariant: slice[lo] < x. Double the step until the probe overshoots (or runs out).
+    let mut lo = 0;
+    let mut step = 1;
+    while lo + step < slice.len() && slice[lo + step] < x {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step).min(slice.len());
+    lo += 1 + slice[lo + 1..hi].partition_point(|&v| v < x);
+    lo
 }
 
 /// `a ∪ b` for sorted, duplicate-free inputs.
@@ -116,6 +168,55 @@ mod tests {
         assert!(is_subset(&[], &[1]));
         assert!(!is_subset(&[2, 5], &[1, 2, 3, 4]));
         assert!(!is_subset(&[0], &[]));
+    }
+
+    /// The plain two-pointer merge, kept as the oracle for the size-adaptive dispatch.
+    fn linear_intersection(a: &[PointId], b: &[PointId]) -> Vec<PointId> {
+        a.iter().copied().filter(|x| b.contains(x)).collect()
+    }
+
+    #[test]
+    fn galloping_matches_linear_on_skewed_inputs() {
+        // Large side triggers the galloping path (ratio ≥ 8) in both argument orders.
+        let large: Vec<PointId> = (0..1000).map(|i| i * 3).collect();
+        let cases: Vec<Vec<PointId>> = vec![
+            vec![],
+            vec![0],
+            vec![2999],
+            vec![1, 2, 4],                            // nothing in common
+            vec![0, 3, 2997],                         // first, early, last
+            (0..40).map(|i| i * 75).collect(),        // spread across the range
+            vec![2996, 2997, 2998, 2999, 3000, 4000], // clustered past the end
+        ];
+        for small in cases {
+            let expected = linear_intersection(&small, &large);
+            assert_eq!(intersection(&small, &large), expected, "small={small:?}");
+            assert_eq!(
+                intersection(&large, &small),
+                expected,
+                "flipped small={small:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn galloping_handles_dense_runs_in_the_large_side() {
+        let large: Vec<PointId> = (0..500).collect();
+        let small: Vec<PointId> = vec![0, 1, 2, 250, 498, 499];
+        assert_eq!(intersection(&small, &large), small);
+        assert_eq!(intersection(&large, &small), small);
+    }
+
+    #[test]
+    fn gallop_to_finds_the_first_not_less_position() {
+        let v: Vec<PointId> = vec![2, 4, 8, 16, 32, 64];
+        assert_eq!(gallop_to(&v, 0), 0);
+        assert_eq!(gallop_to(&v, 2), 0);
+        assert_eq!(gallop_to(&v, 3), 1);
+        assert_eq!(gallop_to(&v, 33), 5);
+        assert_eq!(gallop_to(&v, 64), 5);
+        assert_eq!(gallop_to(&v, 65), 6);
+        assert_eq!(gallop_to(&[], 5), 0);
     }
 
     #[test]

@@ -9,22 +9,37 @@ use std::sync::{mpsc, Mutex};
 use std::thread;
 
 /// Applies `f` to every item of `items` on a pool of `workers` threads, returning the results
-/// in input order.
+/// in input order. Every worker owns one scratch value created by `init`, reused across all
+/// tasks that worker processes.
 ///
-/// `workers` is clamped to `1..=items.len()`; with one worker (or one item) the pool is skipped
-/// entirely and the batch runs inline on the caller's thread.
-pub(crate) fn run_indexed<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+/// `workers` is clamped to `1..=items.len()`; with one worker (or one item) the pool is
+/// skipped entirely and the batch runs inline on the caller's thread (still with exactly one
+/// scratch). The per-worker scratch is how the service avoids per-query allocations: a worker
+/// drains hundreds of queries with a single set of candidate/kernel buffers instead of
+/// allocating fresh ones per task.
+pub(crate) fn run_indexed_scratch<T, R, S, I, F>(
+    items: &[T],
+    workers: usize,
+    init: I,
+    f: F,
+) -> Vec<R>
 where
     T: Sync,
     R: Send,
-    F: Fn(usize, &T) -> R + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &T, &mut S) -> R + Sync,
 {
     if items.is_empty() {
         return Vec::new();
     }
     let workers = workers.clamp(1, items.len());
     if workers == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut scratch = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t, &mut scratch))
+            .collect();
     }
 
     let (task_tx, task_rx) = mpsc::channel::<usize>();
@@ -40,15 +55,19 @@ where
             let result_tx = result_tx.clone();
             let task_rx = &task_rx;
             let f = &f;
-            scope.spawn(move || loop {
-                let next = task_rx.lock().expect("task channel poisoned").recv();
-                match next {
-                    Ok(i) => {
-                        if result_tx.send((i, f(i, &items[i]))).is_err() {
-                            break; // Receiver gone: the batch was abandoned.
+            let init = &init;
+            scope.spawn(move || {
+                let mut scratch = init();
+                loop {
+                    let next = task_rx.lock().expect("task channel poisoned").recv();
+                    match next {
+                        Ok(i) => {
+                            if result_tx.send((i, f(i, &items[i], &mut scratch))).is_err() {
+                                break; // Receiver gone: the batch was abandoned.
+                            }
                         }
+                        Err(_) => break, // Sender dropped: batch fully dispatched.
                     }
-                    Err(_) => break, // Sender dropped: batch fully dispatched.
                 }
             });
         }
@@ -75,17 +94,22 @@ mod tests {
     #[test]
     fn results_come_back_in_input_order() {
         let items: Vec<usize> = (0..100).collect();
-        let out = run_indexed(&items, 8, |i, &x| {
-            // Stagger completion so out-of-order finishes are likely.
-            std::thread::sleep(std::time::Duration::from_micros((100 - i as u64) % 7));
-            x * 2
-        });
+        let out = run_indexed_scratch(
+            &items,
+            8,
+            || (),
+            |i, &x, ()| {
+                // Stagger completion so out-of-order finishes are likely.
+                std::thread::sleep(std::time::Duration::from_micros((100 - i as u64) % 7));
+                x * 2
+            },
+        );
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn empty_batch_returns_empty() {
-        let out: Vec<u32> = run_indexed(&[] as &[u32], 4, |_, &x| x);
+        let out: Vec<u32> = run_indexed_scratch(&[] as &[u32], 4, || (), |_, &x, ()| x);
         assert!(out.is_empty());
     }
 
@@ -93,10 +117,15 @@ mod tests {
     fn single_worker_runs_inline() {
         let calls = AtomicUsize::new(0);
         let items = [1, 2, 3];
-        let out = run_indexed(&items, 1, |i, &x| {
-            calls.fetch_add(1, Ordering::Relaxed);
-            x + i
-        });
+        let out = run_indexed_scratch(
+            &items,
+            1,
+            || (),
+            |i, &x, ()| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                x + i
+            },
+        );
         assert_eq!(out, vec![1, 3, 5]);
         assert_eq!(calls.load(Ordering::Relaxed), 3);
     }
@@ -104,7 +133,54 @@ mod tests {
     #[test]
     fn oversized_worker_count_is_clamped() {
         let items = [10, 20];
-        let out = run_indexed(&items, 64, |_, &x| x);
+        let out = run_indexed_scratch(&items, 64, || (), |_, &x, ()| x);
         assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn scratch_is_created_once_per_worker_and_reused() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let out = run_indexed_scratch(
+            &items,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |_, &x, buf| {
+                buf.push(x);
+                buf.len()
+            },
+        );
+        assert_eq!(out.len(), 64);
+        assert!(
+            inits.load(Ordering::Relaxed) <= 4,
+            "at most one scratch per worker"
+        );
+        assert!(
+            out.iter().any(|&n| n > 1),
+            "some worker must reuse its scratch across tasks"
+        );
+    }
+
+    #[test]
+    fn inline_path_uses_a_single_scratch() {
+        let inits = AtomicUsize::new(0);
+        let items = [1, 2, 3];
+        let out = run_indexed_scratch(
+            &items,
+            1,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |_, &x, acc| {
+                *acc += x;
+                *acc
+            },
+        );
+        assert_eq!(out, vec![1, 3, 6]);
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
     }
 }

@@ -3,7 +3,7 @@
 use crate::cache::ResultCache;
 use crate::executor;
 use crate::stats::{ServiceMetrics, StatsSnapshot};
-use skyline::{QueryOutcome, SkylineEngine};
+use skyline::{EngineScratch, QueryOutcome, SkylineEngine};
 use skyline_core::{CanonicalPreference, Preference, Result};
 use std::num::NonZeroUsize;
 use std::sync::Arc;
@@ -108,6 +108,17 @@ impl SkylineService {
     /// Errors (invalid preference, refinement violation, …) are returned verbatim and never
     /// cached.
     pub fn serve(&self, pref: &Preference) -> Result<Served> {
+        let mut scratch = EngineScratch::default();
+        self.serve_with_scratch(pref, &mut scratch)
+    }
+
+    /// Like [`SkylineService::serve`] with caller-owned engine scratch buffers, reused across
+    /// calls (each batch worker keeps one scratch for its whole share of the batch).
+    pub fn serve_with_scratch(
+        &self,
+        pref: &Preference,
+        scratch: &mut EngineScratch,
+    ) -> Result<Served> {
         let started = Instant::now();
         let key = CanonicalPreference::new(self.engine.dataset().schema(), pref)
             .inspect_err(|_| self.metrics.record_error())?;
@@ -130,7 +141,7 @@ impl SkylineService {
         }
         let outcome = self
             .engine
-            .query(pref)
+            .query_with_scratch(pref, scratch)
             .map(Arc::new)
             .inspect_err(|_| self.metrics.record_error())?;
         self.cache.insert(key, outcome.clone());
@@ -146,9 +157,16 @@ impl SkylineService {
     /// Answers a batch of queries on the worker pool, preserving input order.
     ///
     /// Each worker pulls the next query as soon as it finishes its previous one (work
-    /// stealing), so a mix of cache hits and expensive misses still balances across threads.
+    /// stealing), so a mix of cache hits and expensive misses still balances across threads,
+    /// and keeps one [`EngineScratch`] for its whole share of the batch so per-query candidate
+    /// and kernel buffers are reused instead of reallocated.
     pub fn serve_batch(&self, prefs: &[Preference]) -> Vec<Result<Served>> {
-        executor::run_indexed(prefs, self.workers, |_, pref| self.serve(pref))
+        executor::run_indexed_scratch(
+            prefs,
+            self.workers,
+            EngineScratch::default,
+            |_, pref, scratch| self.serve_with_scratch(pref, scratch),
+        )
     }
 }
 

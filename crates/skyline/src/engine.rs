@@ -1,8 +1,10 @@
 //! A unified query engine over the paper's algorithms, including the hybrid strategy of §5.3.
 
-use skyline_adaptive::AdaptiveSfs;
+use skyline_adaptive::{AdaptiveSfs, QueryScratch};
 use skyline_core::algo::sfs;
-use skyline_core::{Dataset, DominanceContext, PointId, Preference, Result, Template};
+use skyline_core::kernel::{CompiledRelation, PointBlock};
+use skyline_core::score::ScoreFn;
+use skyline_core::{Dataset, PointId, Preference, Result, Template};
 use skyline_ipo::{BitmapIpoTree, IpoTree, IpoTreeBuilder};
 use std::sync::Arc;
 
@@ -58,11 +60,33 @@ pub struct QueryOutcome {
 #[derive(Debug)]
 pub struct SkylineEngine {
     data: Arc<Dataset>,
+    /// Row-major interleaved copy of the dataset for the compiled dominance kernel; built
+    /// once per engine and shared with the Adaptive SFS structure when there is one. `None`
+    /// for pure IPO-tree configurations, whose query paths never run a dominance scan — the
+    /// block would be an O(n·d) copy that is never read.
+    block: Option<Arc<PointBlock>>,
     template: Template,
     config: EngineConfig,
     ipo: Option<IpoTree>,
     bitmap: Option<BitmapIpoTree>,
     asfs: Option<AdaptiveSfs>,
+}
+
+/// Reusable per-thread buffers for [`SkylineEngine::query_with_scratch`].
+///
+/// A worker thread serving many queries hands the same scratch to every call so the
+/// per-query candidate and elimination buffers are reused instead of reallocated (the
+/// `skyline-service` batch executor keeps one per worker).
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    asfs: QueryScratch,
+}
+
+impl EngineScratch {
+    /// Creates an empty scratch (equivalent to [`EngineScratch::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl SkylineEngine {
@@ -76,47 +100,62 @@ impl SkylineEngine {
         config: EngineConfig,
     ) -> Result<Self> {
         let data = data.into();
-        let mut engine = Self {
-            data,
-            template,
-            config,
-            ipo: None,
-            bitmap: None,
-            asfs: None,
-        };
-        let data = &engine.data;
+        let mut ipo = None;
+        let mut bitmap = None;
+        let mut asfs = None;
+        // The point block is built exactly once per engine; configurations that carry an
+        // Adaptive SFS structure share theirs instead of transposing the dataset twice.
+        let mut block: Option<Arc<PointBlock>> = None;
         match config {
             EngineConfig::SfsD => {}
             EngineConfig::AdaptiveSfs => {
-                engine.asfs = Some(AdaptiveSfs::build(data.clone(), &engine.template)?);
+                let built = AdaptiveSfs::build(data.clone(), &template)?;
+                block = Some(built.point_block().clone());
+                asfs = Some(built);
             }
             EngineConfig::IpoTree => {
-                engine.ipo = Some(IpoTreeBuilder::new().build(data, &engine.template)?);
+                ipo = Some(IpoTreeBuilder::new().build(&data, &template)?);
             }
             EngineConfig::IpoTreeTopK(k) => {
-                engine.ipo = Some(
+                ipo = Some(
                     IpoTreeBuilder::new()
                         .top_k_values(k)
-                        .build(data, &engine.template)?,
+                        .build(&data, &template)?,
                 );
             }
             EngineConfig::BitmapIpoTree => {
-                let tree = IpoTreeBuilder::new().build(data, &engine.template)?;
-                engine.bitmap = Some(BitmapIpoTree::from_tree(&tree, data));
+                let tree = IpoTreeBuilder::new().build(&data, &template)?;
+                bitmap = Some(BitmapIpoTree::from_tree(&tree, &data));
             }
             EngineConfig::Hybrid { top_k } => {
                 let tree = IpoTreeBuilder::new()
                     .top_k_values(top_k)
-                    .build(data, &engine.template)?;
-                engine.asfs = Some(AdaptiveSfs::from_precomputed_skyline(
+                    .build(&data, &template)?;
+                let shared = Arc::new(PointBlock::new(&data));
+                asfs = Some(AdaptiveSfs::from_precomputed_with_block(
                     data.clone(),
-                    engine.template.clone(),
+                    shared.clone(),
+                    template.clone(),
                     tree.skyline().to_vec(),
                 )?);
-                engine.ipo = Some(tree);
+                ipo = Some(tree);
+                block = Some(shared);
             }
         }
-        Ok(engine)
+        // SFS-D scans the whole dataset per query, so it needs the block too; the IPO-tree
+        // configurations answer purely from materialized sets and skip the copy.
+        if block.is_none() && config == EngineConfig::SfsD {
+            block = Some(Arc::new(PointBlock::new(&data)));
+        }
+        Ok(Self {
+            data,
+            block,
+            template,
+            config,
+            ipo,
+            bitmap,
+            asfs,
+        })
     }
 
     /// The dataset the engine is bound to.
@@ -127,6 +166,14 @@ impl SkylineEngine {
     /// Shared handle to the dataset (cheap to clone; hand it to sibling engines or threads).
     pub fn dataset_arc(&self) -> &Arc<Dataset> {
         &self.data
+    }
+
+    /// The shared row-major point layout the compiled dominance kernel evaluates over.
+    ///
+    /// `None` for pure IPO-tree configurations, which answer queries from materialized sets
+    /// and never run a dominance scan.
+    pub fn point_block(&self) -> Option<&Arc<PointBlock>> {
+        self.block.as_ref()
     }
 
     /// The template shared by all queries.
@@ -176,12 +223,26 @@ impl SkylineEngine {
 
     /// Answers an implicit-preference query.
     pub fn query(&self, pref: &Preference) -> Result<QueryOutcome> {
+        let mut scratch = EngineScratch::default();
+        self.query_with_scratch(pref, &mut scratch)
+    }
+
+    /// Like [`SkylineEngine::query`], reusing caller-owned scratch buffers across queries.
+    ///
+    /// Threads that answer many queries (the `skyline-service` worker pool) keep one
+    /// [`EngineScratch`] each so the per-query merge and elimination buffers are recycled
+    /// instead of reallocated.
+    pub fn query_with_scratch(
+        &self,
+        pref: &Preference,
+        scratch: &mut EngineScratch,
+    ) -> Result<QueryOutcome> {
         match self.config {
             EngineConfig::SfsD => self.query_sfs_d(pref),
             EngineConfig::AdaptiveSfs => {
                 let asfs = self.asfs.as_ref().expect("built in build()");
                 Ok(QueryOutcome {
-                    skyline: asfs.query(pref)?,
+                    skyline: asfs.query_with_scratch(pref, &mut scratch.asfs)?,
                     method: MethodUsed::AdaptiveSfs,
                 })
             }
@@ -212,7 +273,7 @@ impl SkylineEngine {
                 } else {
                     let asfs = self.asfs.as_ref().expect("built in build()");
                     Ok(QueryOutcome {
-                        skyline: asfs.query(pref)?,
+                        skyline: asfs.query_with_scratch(pref, &mut scratch.asfs)?,
                         method: MethodUsed::AdaptiveSfs,
                     })
                 }
@@ -220,10 +281,21 @@ impl SkylineEngine {
         }
     }
 
-    /// The SFS-D baseline path (also used directly by the benchmark harness).
+    /// The SFS-D baseline path: score-sort the whole dataset with the query ranking, then run
+    /// the elimination scan on the compiled dominance kernel (the engine's shared point block
+    /// plus orders compiled for this query).
     fn query_sfs_d(&self, pref: &Preference) -> Result<QueryOutcome> {
-        let ctx = DominanceContext::for_query(&self.data, &self.template, pref)?;
-        let skyline = sfs::sfs_d(&ctx, &self.template, pref)?;
+        let block = self
+            .block
+            .as_ref()
+            .expect("SfsD engines build their point block in build()");
+        let dom =
+            CompiledRelation::for_query(block.clone(), self.data.schema(), &self.template, pref)?;
+        let score = ScoreFn::for_preference(self.data.schema(), pref)?;
+        let all: Vec<PointId> = self.data.point_ids().collect();
+        let sorted = score.sort_by_score(&self.data, &all);
+        let mut skyline = sfs::scan_presorted(&dom, &sorted);
+        skyline.sort_unstable();
         Ok(QueryOutcome {
             skyline,
             method: MethodUsed::SfsD,
@@ -235,7 +307,9 @@ impl SkylineEngine {
 mod tests {
     use super::*;
     use skyline_core::algo::bnl;
-    use skyline_core::{DatasetBuilder, Dimension, RowValue, Schema, SkylineError};
+    use skyline_core::{
+        DatasetBuilder, Dimension, DominanceContext, RowValue, Schema, SkylineError,
+    };
 
     fn table3_data() -> Arc<Dataset> {
         let schema = Schema::new(vec![
@@ -344,6 +418,41 @@ mod tests {
         assert_send_sync::<SkylineEngine>();
         assert_send_sync::<AdaptiveSfs>();
         assert_send_sync::<QueryOutcome>();
+    }
+
+    #[test]
+    fn point_block_exists_exactly_for_dominance_scanning_configs() {
+        let data = table3_data();
+        let template = Template::empty(data.schema());
+        for (config, expects_block) in [
+            (EngineConfig::SfsD, true),
+            (EngineConfig::AdaptiveSfs, true),
+            (EngineConfig::Hybrid { top_k: 2 }, true),
+            (EngineConfig::IpoTree, false),
+            (EngineConfig::IpoTreeTopK(2), false),
+            (EngineConfig::BitmapIpoTree, false),
+        ] {
+            let engine = SkylineEngine::build(data.clone(), template.clone(), config).unwrap();
+            assert_eq!(
+                engine.point_block().is_some(),
+                expects_block,
+                "config {config:?}"
+            );
+            if let Some(block) = engine.point_block() {
+                assert_eq!(block.len(), data.len());
+            }
+        }
+        // Hybrid engines share one block between the engine and the aSFS fallback.
+        let hybrid = SkylineEngine::build(
+            data.clone(),
+            template.clone(),
+            EngineConfig::Hybrid { top_k: 2 },
+        )
+        .unwrap();
+        assert!(Arc::ptr_eq(
+            hybrid.point_block().unwrap(),
+            hybrid.adaptive().unwrap().point_block()
+        ));
     }
 
     #[test]

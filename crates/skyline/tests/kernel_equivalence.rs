@@ -1,0 +1,233 @@
+//! Property-based equivalence of the compiled dominance kernel and the parallel
+//! preprocessing path against their reference implementations.
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. [`CompiledRelation`] ≡ [`DominanceContext`]: `dominates` and `compare` agree on every
+//!    point pair, for random datasets, templates and query preferences.
+//! 2. Parallel divide-and-conquer preprocessing ≡ serial: `AdaptiveSfs::build_with_workers`
+//!    produces a **bit-for-bit identical** sorted list for any worker count, and engines of
+//!    every [`EngineConfig`] answer queries identically no matter how their Adaptive SFS
+//!    structure was preprocessed.
+
+use proptest::prelude::*;
+use skyline::prelude::*;
+use skyline_core::algo::bnl;
+
+/// A compact description of a random test instance.
+#[derive(Debug, Clone)]
+struct Instance {
+    numeric: Vec<Vec<f64>>,
+    nominal: Vec<Vec<ValueId>>,
+    cardinalities: Vec<usize>,
+    /// Per nominal dimension: the query's ordered choice list.
+    query_choices: Vec<Vec<ValueId>>,
+    /// Whether the template prefers the most frequent value.
+    template_most_frequent: bool,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    // 2 numeric dimensions, 2 nominal dimensions with cardinalities 3 and 4.
+    let cardinalities = vec![3usize, 4usize];
+    let n = 1usize..48;
+    n.prop_flat_map(move |rows| {
+        let cards = cardinalities.clone();
+        let numeric = proptest::collection::vec(
+            proptest::collection::vec(0i32..6, rows)
+                .prop_map(|v| v.into_iter().map(f64::from).collect()),
+            2,
+        );
+        let nominal = cards
+            .iter()
+            .map(|&c| proptest::collection::vec(0..(c as ValueId), rows))
+            .collect::<Vec<_>>();
+        let query = cards
+            .iter()
+            .map(|&c| {
+                proptest::sample::subsequence((0..c as ValueId).collect::<Vec<_>>(), 0..=c.min(3))
+                    .prop_shuffle()
+            })
+            .collect::<Vec<_>>();
+        (numeric, nominal, query, any::<bool>()).prop_map(
+            move |(numeric, nominal, query_choices, tmpl)| Instance {
+                numeric,
+                nominal,
+                cardinalities: cards.clone(),
+                query_choices,
+                template_most_frequent: tmpl,
+            },
+        )
+    })
+}
+
+fn build_dataset(instance: &Instance) -> std::sync::Arc<Dataset> {
+    let schema = Schema::new(vec![
+        Dimension::numeric("x"),
+        Dimension::numeric("y"),
+        Dimension::nominal("g", NominalDomain::anonymous(instance.cardinalities[0])),
+        Dimension::nominal("h", NominalDomain::anonymous(instance.cardinalities[1])),
+    ])
+    .unwrap();
+    std::sync::Arc::new(
+        Dataset::from_columns(schema, instance.numeric.clone(), instance.nominal.clone()).unwrap(),
+    )
+}
+
+fn build_template(data: &Dataset, instance: &Instance) -> Template {
+    if instance.template_most_frequent {
+        Template::most_frequent_value(data).unwrap()
+    } else {
+        Template::empty(data.schema())
+    }
+}
+
+/// Builds the query so that it refines the template (template prefix first).
+fn build_query(template: &Template, instance: &Instance) -> Preference {
+    let mut pref = Preference::none(2);
+    for j in 0..2 {
+        let mut choices: Vec<ValueId> = template
+            .implicit()
+            .map(|t| t.dim(j).choices().to_vec())
+            .unwrap_or_default();
+        for &v in &instance.query_choices[j] {
+            if !choices.contains(&v) {
+                choices.push(v);
+            }
+        }
+        pref.set_dim(j, ImplicitPreference::new(choices).unwrap());
+    }
+    pref
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn kernel_agrees_with_dominance_context_on_every_pair(instance in instance_strategy()) {
+        let data = build_dataset(&instance);
+        let template = build_template(&data, &instance);
+        let query = build_query(&template, &instance);
+
+        let ctx = DominanceContext::for_query(&data, &template, &query).unwrap();
+        let kernel = CompiledRelation::compile_query(&data, &template, &query).unwrap();
+        for p in data.point_ids() {
+            for q in data.point_ids() {
+                prop_assert_eq!(
+                    kernel.dominates(p, q),
+                    ctx.dominates(p, q),
+                    "dominates({}, {})", p, q
+                );
+                prop_assert_eq!(
+                    kernel.compare(p, q),
+                    ctx.compare(p, q),
+                    "compare({}, {})", p, q
+                );
+            }
+        }
+
+        // Template-only relations must agree as well (the preprocessing path).
+        let ctx = DominanceContext::for_template(&data, &template).unwrap();
+        let kernel = CompiledRelation::for_template(
+            std::sync::Arc::new(PointBlock::new(&data)),
+            &template,
+        )
+        .unwrap();
+        for p in data.point_ids() {
+            for q in data.point_ids() {
+                prop_assert_eq!(kernel.dominates(p, q), ctx.dominates(p, q));
+                prop_assert_eq!(kernel.compare(p, q), ctx.compare(p, q));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_preprocessing_is_bit_for_bit_serial(instance in instance_strategy()) {
+        let data = build_dataset(&instance);
+        let template = build_template(&data, &instance);
+        let query = build_query(&template, &instance);
+
+        let serial = AdaptiveSfs::build_serial(data.clone(), &template).unwrap();
+        prop_assert_eq!(serial.preprocess_stats().workers, 1);
+        for workers in [2, 3, 4, 7] {
+            let parallel =
+                AdaptiveSfs::build_with_workers(data.clone(), &template, workers).unwrap();
+            prop_assert_eq!(parallel.preprocess_stats().workers, workers);
+            // Bit-for-bit: identical entries (points AND f64 scores) in identical order.
+            prop_assert_eq!(
+                serial.sorted_entries(),
+                parallel.sorted_entries(),
+                "workers = {}", workers
+            );
+            prop_assert_eq!(serial.template_skyline(), parallel.template_skyline());
+            prop_assert_eq!(
+                serial.query(&query).unwrap(),
+                parallel.query(&query).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn every_engine_config_answers_identically_under_parallel_preprocessing(
+        instance in instance_strategy()
+    ) {
+        let data = build_dataset(&instance);
+        let template = build_template(&data, &instance);
+        let query = build_query(&template, &instance);
+
+        let ctx = DominanceContext::for_query(&data, &template, &query).unwrap();
+        let expected = bnl::skyline(&ctx);
+        let configs = [
+            EngineConfig::SfsD,
+            EngineConfig::AdaptiveSfs,
+            EngineConfig::IpoTree,
+            EngineConfig::BitmapIpoTree,
+            EngineConfig::Hybrid { top_k: 2 },
+        ];
+        for config in configs {
+            let engine =
+                SkylineEngine::build(data.clone(), template.clone(), config).unwrap();
+            prop_assert_eq!(
+                &engine.query(&query).unwrap().skyline,
+                &expected,
+                "config {:?}", config
+            );
+            // Scratch reuse must not change answers: ask twice through one scratch.
+            let mut scratch = EngineScratch::new();
+            prop_assert_eq!(
+                &engine.query_with_scratch(&query, &mut scratch).unwrap().skyline,
+                &expected,
+                "scratch first pass, config {:?}", config
+            );
+            prop_assert_eq!(
+                &engine.query_with_scratch(&query, &mut scratch).unwrap().skyline,
+                &expected,
+                "scratch second pass, config {:?}", config
+            );
+        }
+    }
+}
+
+/// Deterministic spot check: the auto-parallel `build` and the pinned variants agree on a
+/// dataset large enough to cross the parallel threshold.
+#[test]
+fn auto_build_matches_serial_on_a_large_dataset() {
+    let config = ExperimentConfig {
+        n: 6000,
+        numeric_dims: 2,
+        nominal_dims: 2,
+        cardinality: 5,
+        theta: 1.0,
+        pref_order: 2,
+        distribution: Distribution::AntiCorrelated,
+        seed: 11,
+    };
+    let data = std::sync::Arc::new(config.generate_dataset());
+    let template = config.template(&data);
+    let auto = AdaptiveSfs::build(data.clone(), &template).unwrap();
+    let serial = AdaptiveSfs::build_serial(data.clone(), &template).unwrap();
+    let four = AdaptiveSfs::build_with_workers(data, &template, 4).unwrap();
+    assert_eq!(auto.sorted_entries(), serial.sorted_entries());
+    assert_eq!(serial.sorted_entries(), four.sorted_entries());
+    assert_eq!(four.preprocess_stats().workers, 4);
+    assert!(auto.preprocess_stats().workers >= 1);
+}
