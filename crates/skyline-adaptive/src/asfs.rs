@@ -1,12 +1,18 @@
-//! Adaptive SFS (the paper's **SFS-A**): preprocessing (Algorithm 3) and query processing
-//! (Algorithm 4), with a progressive result iterator.
+//! Adaptive SFS (the paper's **SFS-A**): preprocessing (Algorithm 3), query processing
+//! (Algorithm 4) with a progressive result iterator, and incremental maintenance
+//! (Section 4.3) — row insertions and logical deletions keep the sorted list and the value
+//! index up to date in place, with periodic compaction back to the parallel build path.
 
-use crate::index::SkylineValueIndex;
+use crate::index::{LiveRowIndex, SkylineValueIndex};
 use crate::sorted_list::ScoredEntry;
 use skyline_core::algo::sfs;
-use skyline_core::kernel::{CompiledRelation, DenseWindow, PointBlock};
+use skyline_core::kernel::{
+    CompiledOrder, CompiledRelation, DatasetEpoch, DenseWindow, PointBlock,
+};
 use skyline_core::score::ScoreFn;
-use skyline_core::{Dataset, Dominance, PointId, Preference, Result, SkylineError, Template};
+use skyline_core::{
+    Dataset, Dominance, PointId, Preference, Result, SkylineError, Template, ValueId,
+};
 use std::collections::HashSet;
 use std::num::NonZeroUsize;
 use std::sync::Arc;
@@ -15,6 +21,12 @@ use std::time::Instant;
 /// Datasets below this size skip thread spawning in the auto-parallel [`AdaptiveSfs::build`]:
 /// the chunked scan's merge pass costs more than it saves on small inputs.
 const PARALLEL_BUILD_THRESHOLD: usize = 4096;
+
+/// Mutations between automatic [`AdaptiveSfs::compact`] passes. Each insert or delete is an
+/// exact in-place update, so compaction is not needed for correctness — it re-runs the
+/// parallel preprocessing over the live rows as a periodic self-check and the hook where
+/// physical row reclamation will land.
+const AUTO_COMPACT_INTERVAL: usize = 4096;
 
 /// How the elimination pass of Algorithm 4 is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,17 +65,55 @@ pub struct QueryStats {
     pub result_size: usize,
 }
 
-/// The Adaptive SFS query structure over an immutable dataset.
+/// Counters accumulated by the incremental-maintenance mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Rows inserted since the structure was built.
+    pub inserts: u64,
+    /// Rows logically deleted (tombstoned) since the structure was built.
+    pub deletes: u64,
+    /// Candidate rows actually tested by delete resurface passes (the quantity the
+    /// dominance-region restriction shrinks).
+    pub resurface_candidates: u64,
+    /// Compaction passes run (automatic or explicit).
+    pub compactions: u64,
+}
+
+/// The Adaptive SFS query structure.
 ///
 /// The dataset is held by shared ownership ([`Arc`]), so the structure is `Send + Sync` and
 /// one build can serve queries from many threads concurrently (`&self` queries only read).
+///
+/// # Incremental maintenance (Section 4.3)
+///
+/// [`AdaptiveSfs::insert_row`] and [`AdaptiveSfs::delete_row`] mutate the dataset in place —
+/// appending to the shared [`PointBlock`] or tombstoning a row — and update the sorted list
+/// and the value index incrementally: an insert is one dominance check against the current
+/// skyline plus an `O(log n)` list update, a delete of a skyline member additionally scans the
+/// deleted point's *dominance region* for resurfacing rows. Every mutation bumps the
+/// structure's [`DatasetEpoch`]; queries answer against the current epoch.
+///
+/// Mutations take `&mut self`. When other `Arc` handles to the dataset or block are still
+/// alive (for example a [`ProgressiveScan`] in flight), the first mutation copies the shared
+/// state (`Arc::make_mut`) so those handles keep an immutable snapshot; subsequent mutations
+/// are in place.
 #[derive(Debug, Clone)]
 pub struct AdaptiveSfs {
     data: Arc<Dataset>,
     block: Arc<PointBlock>,
     template: Template,
+    /// The template's ranking, shared by the sorted list and every mutation.
+    template_score: ScoreFn,
+    /// The template's nominal orders, compiled once at construction; mutations reuse them
+    /// instead of re-deriving the dominance closure per call.
+    template_compiled: Vec<CompiledOrder>,
     entries: Vec<ScoredEntry>,
     index: SkylineValueIndex,
+    /// Value → live-row index over the whole dataset; built lazily by the first deletion and
+    /// maintained incrementally afterwards.
+    row_index: Option<LiveRowIndex>,
+    updates_since_compact: usize,
+    maintenance: MaintenanceStats,
     stats: PreprocessStats,
 }
 
@@ -163,6 +213,11 @@ impl AdaptiveSfs {
             )
         })?;
         let score = ScoreFn::for_preference(data.schema(), &template_pref)?;
+        let template_compiled: Vec<CompiledOrder> = template
+            .orders()
+            .iter()
+            .map(CompiledOrder::compile)
+            .collect();
         let mut entries: Vec<ScoredEntry> = skyline
             .iter()
             .map(|&p| ScoredEntry::new(p, score.score(&data, p)))
@@ -179,8 +234,13 @@ impl AdaptiveSfs {
             data,
             block,
             template,
+            template_score: score,
+            template_compiled,
             entries,
             index,
+            row_index: None,
+            updates_since_compact: 0,
+            maintenance: MaintenanceStats::default(),
             stats,
         })
     }
@@ -318,6 +378,216 @@ impl AdaptiveSfs {
             window_all,
             window_affected,
         })
+    }
+}
+
+/// Incremental maintenance (Section 4.3): in-place inserts, logical deletes, compaction.
+impl AdaptiveSfs {
+    /// The structure's current mutation epoch (bumped by every insert or live delete).
+    pub fn epoch(&self) -> DatasetEpoch {
+        self.block.epoch()
+    }
+
+    /// Number of live (non-deleted) rows.
+    pub fn live_rows(&self) -> usize {
+        self.block.live_count()
+    }
+
+    /// Current size of the sorted list (`|SKY(R̃)|`).
+    pub fn skyline_size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when a row has been logically deleted (or never existed).
+    pub fn is_deleted(&self, p: PointId) -> bool {
+        !self.block.is_live(p)
+    }
+
+    /// Counters accumulated by the maintenance mode.
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        self.maintenance
+    }
+
+    /// Mutations applied since the last [`AdaptiveSfs::compact`] (or since the build).
+    pub fn updates_since_compact(&self) -> usize {
+        self.updates_since_compact
+    }
+
+    /// The template relation over the current block, from the orders compiled at construction
+    /// (no per-mutation closure derivation).
+    fn template_relation(&self) -> CompiledRelation {
+        CompiledRelation::from_compiled_orders(self.block.clone(), self.template_compiled.clone())
+            .expect("template orders cover the schema domains by construction")
+    }
+
+    /// Inserts a row (numeric values in numeric-index order, nominal value ids in
+    /// nominal-index order) and updates the skyline structures in place. Returns the new
+    /// row id.
+    ///
+    /// Cost: one dominance check of the new point against the current template skyline plus
+    /// `O(log n)` sorted-list updates — the cheap path the paper's maintenance analysis
+    /// promises. The structure's [`DatasetEpoch`] is bumped.
+    pub fn insert_row(&mut self, numeric: &[f64], nominal: &[ValueId]) -> Result<PointId> {
+        let p = Arc::make_mut(&mut self.data).push_row_ids(numeric, nominal)?;
+        Arc::make_mut(&mut self.block).append_row(numeric, nominal)?;
+        if let Some(idx) = &mut self.row_index {
+            idx.insert(&self.data, p);
+        }
+        self.maintenance.inserts += 1;
+        self.updates_since_compact += 1;
+
+        let rel = self.template_relation();
+        let members: Vec<PointId> = self.entries.iter().map(|e| e.point).collect();
+        // If an existing skyline member dominates the new point, the skyline is unchanged.
+        if rel.first_dominator(p, &members).is_none() {
+            // Otherwise the new point joins the skyline and evicts the members it dominates.
+            let evicted: Vec<PointId> = members
+                .iter()
+                .copied()
+                .filter(|&q| rel.dominates(p, q))
+                .collect();
+            if !evicted.is_empty() {
+                self.entries.retain(|e| !evicted.contains(&e.point));
+                for &q in &evicted {
+                    self.index.remove(&self.data, q);
+                }
+            }
+            let entry = ScoredEntry::new(p, self.template_score.score(&self.data, p));
+            if let Err(pos) = self.entries.binary_search(&entry) {
+                self.entries.insert(pos, entry);
+            }
+            self.index.insert(&self.data, p);
+        }
+        self.maybe_compact();
+        Ok(p)
+    }
+
+    /// Logically deletes a row, updating the skyline structures in place. Returns `true` when
+    /// the row was live before the call (double deletes are a no-op that does not bump the
+    /// epoch); rows that never existed are an error.
+    ///
+    /// Deleting a non-member is `O(log n)`. Deleting a skyline member runs a resurface pass
+    /// restricted to the member's *dominance region*: only live rows carrying the deleted
+    /// point's value (or a template-order-worse one) on the most selective nominal dimension
+    /// are tested, instead of every live row. [`AdaptiveSfs::delete_row_rescan_all`] is the
+    /// unrestricted reference path the equivalence tests pin this against.
+    pub fn delete_row(&mut self, p: PointId) -> Result<bool> {
+        self.delete_row_impl(p, true)
+    }
+
+    /// [`AdaptiveSfs::delete_row`] with the resurface pass scanning **all** live rows (the
+    /// ablation/reference path; same result, more dominance tests).
+    pub fn delete_row_rescan_all(&mut self, p: PointId) -> Result<bool> {
+        self.delete_row_impl(p, false)
+    }
+
+    fn delete_row_impl(&mut self, p: PointId, restrict: bool) -> Result<bool> {
+        if !Arc::make_mut(&mut self.block).tombstone(p)? {
+            return Ok(false);
+        }
+        if let Some(idx) = &mut self.row_index {
+            idx.remove(&self.data, p);
+        }
+        self.maintenance.deletes += 1;
+        self.updates_since_compact += 1;
+
+        let entry = ScoredEntry::new(p, self.template_score.score(&self.data, p));
+        let Ok(pos) = self.entries.binary_search(&entry) else {
+            // Not a skyline member: nothing else changes.
+            self.maybe_compact();
+            return Ok(true);
+        };
+        self.entries.remove(pos);
+        self.index.remove(&self.data, p);
+
+        // Rows previously shadowed (possibly only by p) may resurface: a live non-member
+        // joins the skyline when no remaining member dominates it. Any such row was dominated
+        // by p (it was shadowed before, and every other shadow still stands), so the scan can
+        // be restricted to p's dominance region.
+        let rel = self.template_relation();
+        let members: Vec<PointId> = self.entries.iter().map(|e| e.point).collect();
+        let member_set: HashSet<PointId> = members.iter().copied().collect();
+        let region = if restrict {
+            self.ensure_row_index();
+            self.row_index.as_ref().and_then(|idx| {
+                idx.dominance_region_candidates(&self.data, &self.template_compiled, p)
+            })
+        } else {
+            None
+        };
+        let candidates: Vec<PointId> = match region {
+            Some(rows) => rows,
+            None => self.block.live_ids().collect(),
+        };
+        let mut resurfaced: Vec<PointId> = Vec::new();
+        for q in candidates {
+            if !self.block.is_live(q) || member_set.contains(&q) || !rel.dominates(p, q) {
+                continue;
+            }
+            self.maintenance.resurface_candidates += 1;
+            if rel.first_dominator(q, &members).is_none() {
+                resurfaced.push(q);
+            }
+        }
+        // Resurfacing candidates can shadow each other; only the mutually undominated ones
+        // join the skyline.
+        let confirmed: Vec<PointId> = resurfaced
+            .iter()
+            .copied()
+            .filter(|&q| !resurfaced.iter().any(|&r| rel.dominates(r, q)))
+            .collect();
+        for q in confirmed {
+            let entry = ScoredEntry::new(q, self.template_score.score(&self.data, q));
+            if let Err(pos) = self.entries.binary_search(&entry) {
+                self.entries.insert(pos, entry);
+            }
+            self.index.insert(&self.data, q);
+        }
+        self.maybe_compact();
+        Ok(true)
+    }
+
+    /// Recomputes the maintained structures from scratch over the live rows, via the same
+    /// parallel preprocessing path as [`AdaptiveSfs::build`].
+    ///
+    /// Every mutation is an exact in-place update, so compaction does not change the answer
+    /// set (the maintenance proptests pin maintained ≡ recomputed); it runs automatically
+    /// every few thousand mutations as a drift bound and is the hook where physical
+    /// reclamation of tombstoned rows (dropping them from the dataset and block) will land.
+    pub fn compact(&mut self) {
+        let rel = self.template_relation();
+        let live: Vec<PointId> = self.block.live_ids().collect();
+        let sorted = self.template_score.sort_by_score(&self.data, &live);
+        let workers = if live.len() >= PARALLEL_BUILD_THRESHOLD {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            1
+        };
+        let skyline = chunked_scan_presorted(&rel, &sorted, workers);
+        self.entries = skyline
+            .iter()
+            .map(|&p| ScoredEntry::new(p, self.template_score.score(&self.data, p)))
+            .collect();
+        self.entries.sort();
+        self.index = SkylineValueIndex::build(&self.data, &skyline);
+        self.stats.template_skyline_size = self.entries.len();
+        self.updates_since_compact = 0;
+        self.maintenance.compactions += 1;
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.updates_since_compact >= AUTO_COMPACT_INTERVAL {
+            self.compact();
+        }
+    }
+
+    fn ensure_row_index(&mut self) {
+        if self.row_index.is_none() {
+            let block = &self.block;
+            self.row_index = Some(LiveRowIndex::build(&self.data, |q| block.is_live(q)));
+        }
     }
 }
 
@@ -709,6 +979,159 @@ mod tests {
         let pref =
             Preference::from_dims(vec![ImplicitPreference::none(), ImplicitPreference::none()]);
         assert!(asfs.query(&pref).is_err());
+    }
+
+    /// Brute-force skyline of the live rows only.
+    fn oracle(asfs: &AdaptiveSfs, pref: &Preference) -> Vec<PointId> {
+        let ctx = DominanceContext::for_query(asfs.dataset(), asfs.template(), pref).unwrap();
+        let live: Vec<PointId> = asfs.point_block().live_ids().collect();
+        bnl::skyline_of(&ctx, &live)
+    }
+
+    #[test]
+    fn inserting_a_dominated_row_changes_nothing() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let mut asfs = AdaptiveSfs::build(data, &template).unwrap();
+        assert_eq!(asfs.epoch(), skyline_core::DatasetEpoch::INITIAL);
+        // Worse than a in every way, same group.
+        let p = asfs.insert_row(&[5000.0, 0.0], &[0]).unwrap();
+        assert_eq!(p, 6);
+        assert_eq!(asfs.template_skyline(), vec![0, 2, 4, 5]);
+        assert_eq!(asfs.live_rows(), 7);
+        assert_eq!(asfs.epoch().get(), 1);
+        assert_eq!(asfs.maintenance_stats().inserts, 1);
+    }
+
+    #[test]
+    fn inserting_a_dominating_row_evicts_members() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let mut asfs = AdaptiveSfs::build(data, &template).unwrap();
+        // Cheaper and better class than every Tulips package.
+        let p = asfs.insert_row(&[1000.0, -5.0], &[0]).unwrap();
+        assert_eq!(asfs.template_skyline(), vec![2, 4, 5, p]);
+        // Query results stay consistent with the oracle.
+        let schema = asfs.dataset().schema().clone();
+        let pref = Preference::parse(&schema, [("hotel-group", "T < M < *")]).unwrap();
+        assert_eq!(asfs.query(&pref).unwrap(), oracle(&asfs, &pref));
+    }
+
+    #[test]
+    fn deleting_a_skyline_member_resurfaces_shadowed_points() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let mut asfs = AdaptiveSfs::build(data, &template).unwrap();
+        // Deleting a (id 0) lets b (id 1, the other Tulips package) resurface.
+        assert!(asfs.delete_row(0).unwrap());
+        let epoch = asfs.epoch();
+        assert!(!asfs.delete_row(0).unwrap(), "double delete is a no-op");
+        assert_eq!(asfs.epoch(), epoch, "no-op must not bump the epoch");
+        assert_eq!(asfs.template_skyline(), vec![1, 2, 4, 5]);
+        assert_eq!(asfs.live_rows(), 5);
+        assert!(asfs.is_deleted(0));
+        assert!(!asfs.is_deleted(1));
+        assert!(asfs.is_deleted(99), "rows that never existed are not live");
+        let schema = asfs.dataset().schema().clone();
+        for text in ["*", "T < M < *", "H < M < *", "M < *"] {
+            let pref = Preference::parse(&schema, [("hotel-group", text)]).unwrap();
+            assert_eq!(
+                asfs.query(&pref).unwrap(),
+                oracle(&asfs, &pref),
+                "preference {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn deleting_a_non_member_is_cheap_and_correct() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let mut asfs = AdaptiveSfs::build(data, &template).unwrap();
+        assert!(asfs.delete_row(1).unwrap());
+        assert_eq!(asfs.template_skyline(), vec![0, 2, 4, 5]);
+        assert_eq!(
+            asfs.maintenance_stats().resurface_candidates,
+            0,
+            "non-member deletes must not scan"
+        );
+        assert!(asfs.delete_row(999).is_err());
+    }
+
+    #[test]
+    fn restricted_and_full_resurface_scans_agree() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let mut restricted = AdaptiveSfs::build(data, &template).unwrap();
+        let mut full = restricted.clone();
+        for p in [0, 4, 2] {
+            assert_eq!(
+                restricted.delete_row(p).unwrap(),
+                full.delete_row_rescan_all(p).unwrap(),
+                "deleting {p}"
+            );
+            assert_eq!(
+                restricted.template_skyline(),
+                full.template_skyline(),
+                "after deleting {p}"
+            );
+        }
+        assert!(
+            restricted.maintenance_stats().resurface_candidates
+                <= full.maintenance_stats().resurface_candidates,
+            "the dominance-region restriction must never test more rows"
+        );
+    }
+
+    #[test]
+    fn mixed_update_sequence_stays_consistent_with_rebuild_and_compaction() {
+        let data = vacation_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let mut asfs = AdaptiveSfs::build(data, &template).unwrap();
+        asfs.insert_row(&[2000.0, -3.0], &[1]).unwrap();
+        asfs.delete_row(2).unwrap();
+        asfs.insert_row(&[1500.0, -1.0], &[2]).unwrap();
+        asfs.delete_row(4).unwrap();
+        asfs.insert_row(&[1500.0, -1.0], &[2]).unwrap();
+        assert_eq!(asfs.updates_since_compact(), 5);
+
+        let pref = Preference::parse(&schema, [("hotel-group", "M < H < *")]).unwrap();
+        assert_eq!(asfs.query(&pref).unwrap(), oracle(&asfs, &pref));
+        // The maintained skyline equals a from-scratch skyline of the live rows, and an
+        // explicit compaction (the parallel build path) leaves it unchanged.
+        let before = asfs.template_skyline();
+        let ctx = DominanceContext::for_template(asfs.dataset(), asfs.template()).unwrap();
+        let live: Vec<PointId> = asfs.point_block().live_ids().collect();
+        assert_eq!(&before, &bnl::skyline_of(&ctx, &live));
+        asfs.compact();
+        assert_eq!(asfs.template_skyline(), before);
+        assert_eq!(asfs.updates_since_compact(), 0);
+        assert_eq!(asfs.maintenance_stats().compactions, 1);
+        assert_eq!(asfs.query(&pref).unwrap(), oracle(&asfs, &pref));
+    }
+
+    #[test]
+    fn progressive_scans_keep_a_snapshot_across_mutations() {
+        let data = vacation_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let mut asfs = AdaptiveSfs::build(data, &template).unwrap();
+        let pref = Preference::parse(&schema, [("hotel-group", "T < M < *")]).unwrap();
+        let snapshot = asfs.query_progressive(&pref).unwrap();
+        let before: Vec<PointId> = {
+            let mut v = asfs.query(&pref).unwrap();
+            v.sort_unstable();
+            v
+        };
+        // Mutating while the scan is alive copies the shared block; the scan still yields
+        // the pre-mutation answer.
+        asfs.insert_row(&[100.0, -5.0], &[0]).unwrap();
+        let mut streamed: Vec<PointId> = snapshot.collect();
+        streamed.sort_unstable();
+        assert_eq!(streamed, before);
+        // New queries see the new row.
+        assert_eq!(asfs.query(&pref).unwrap(), oracle(&asfs, &pref));
     }
 
     #[test]

@@ -3,7 +3,12 @@
 //! Algorithm 4 (step 2) needs "an index for each nominal dimension" so that the data points of
 //! `SKY(R̃)` carrying a particular value can be found without scanning the whole sorted list.
 //! [`SkylineValueIndex`] is that index: `(nominal dimension, value id) → point ids`.
+//!
+//! [`LiveRowIndex`] is the same shape over **all live rows** (not just the skyline). The
+//! incremental-maintenance delete path uses it to restrict the resurface scan to the deleted
+//! member's dominance region instead of rescanning every live row.
 
+use skyline_core::kernel::CompiledOrder;
 use skyline_core::{Dataset, PointId, Preference, ValueId};
 
 /// Value → skyline-point lookup for every nominal dimension.
@@ -90,6 +95,111 @@ impl SkylineValueIndex {
     }
 }
 
+/// Value → live-row lookup for every nominal dimension, over the **whole dataset**.
+///
+/// Built lazily by the incremental-maintenance mode on its first mutation (a one-off O(n·m')
+/// pass) and updated per row afterwards with a binary search plus an in-place `Vec`
+/// insert/remove — O(log n) to locate, O(k) element shifting within the touched value's list
+/// (k can approach n on heavily skewed dimensions; acceptable because deletes already pay a
+/// resurface scan, and fresh inserts append at the tail). When a skyline member is deleted, only
+/// rows inside its *dominance region* can resurface — on each nominal dimension they must
+/// carry the deleted member's value or one the template order ranks strictly worse. The index
+/// makes that candidate set enumerable per dimension, so the resurface pass scans the most
+/// selective dimension's list instead of every live row.
+#[derive(Debug, Clone, Default)]
+pub struct LiveRowIndex {
+    /// `lists[j][v]` = live rows whose value on nominal dimension `j` is `v` (ascending ids).
+    lists: Vec<Vec<Vec<PointId>>>,
+}
+
+impl LiveRowIndex {
+    /// Builds the index over the rows for which `is_live` holds.
+    pub fn build(data: &Dataset, is_live: impl Fn(PointId) -> bool) -> Self {
+        let schema = data.schema();
+        let mut lists = Vec::with_capacity(schema.nominal_count());
+        for j in 0..schema.nominal_count() {
+            let cardinality = schema.nominal_domain(j).map_or(0, |d| d.cardinality());
+            let mut per_value = vec![Vec::new(); cardinality];
+            for p in data.point_ids().filter(|&p| is_live(p)) {
+                per_value[data.nominal(p, j) as usize].push(p);
+            }
+            lists.push(per_value);
+        }
+        Self { lists }
+    }
+
+    /// Live rows carrying value `v` on nominal dimension `j`.
+    pub fn rows_with(&self, nominal_index: usize, v: ValueId) -> &[PointId] {
+        &self.lists[nominal_index][v as usize]
+    }
+
+    /// Adds one (newly live) row.
+    pub fn insert(&mut self, data: &Dataset, p: PointId) {
+        for (j, lists) in self.lists.iter_mut().enumerate() {
+            let list = &mut lists[data.nominal(p, j) as usize];
+            if let Err(pos) = list.binary_search(&p) {
+                list.insert(pos, p);
+            }
+        }
+    }
+
+    /// Removes one (tombstoned) row.
+    pub fn remove(&mut self, data: &Dataset, p: PointId) {
+        for (j, lists) in self.lists.iter_mut().enumerate() {
+            let list = &mut lists[data.nominal(p, j) as usize];
+            if let Ok(pos) = list.binary_search(&p) {
+                list.remove(pos);
+            }
+        }
+    }
+
+    /// The candidate rows of point `p`'s dominance region, restricted along the most selective
+    /// nominal dimension, or `None` when no dimension narrows the scan.
+    ///
+    /// A row `q` dominated by `p` must, on every nominal dimension `j`, carry `p`'s value or
+    /// one strictly worse under the template order. This returns the per-dimension candidate
+    /// union for whichever dimension yields the fewest rows — a superset of the dominance
+    /// region, so callers still run the full pairwise test on each candidate. With no nominal
+    /// dimensions the caller falls back to the full live scan.
+    pub fn dominance_region_candidates(
+        &self,
+        data: &Dataset,
+        orders: &[CompiledOrder],
+        p: PointId,
+    ) -> Option<Vec<PointId>> {
+        let mut best: Option<(usize, usize, Vec<ValueId>)> = None; // (count, dim, worse values)
+        for (j, order) in orders.iter().enumerate() {
+            let pv = data.nominal(p, j);
+            let worse: Vec<ValueId> = (0..order.cardinality() as ValueId)
+                .filter(|&v| v == pv || order.strictly_preferred(pv, v))
+                .collect();
+            let count: usize = worse.iter().map(|&v| self.rows_with(j, v).len()).sum();
+            if best.as_ref().is_none_or(|(c, _, _)| count < *c) {
+                best = Some((count, j, worse));
+            }
+        }
+        let (_, dim, worse) = best?;
+        let mut candidates: Vec<PointId> = worse
+            .iter()
+            .flat_map(|&v| self.rows_with(dim, v).iter().copied())
+            .collect();
+        candidates.sort_unstable();
+        Some(candidates)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.lists
+            .iter()
+            .flat_map(|per_value| {
+                per_value
+                    .iter()
+                    .map(|l| l.len() * std::mem::size_of::<PointId>())
+            })
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +257,48 @@ mod tests {
         index.remove(&data, 0);
         assert_eq!(index.points_with(0, 0), &[3]);
         assert_eq!(index.points_with(0, 1), &[1]);
+    }
+
+    #[test]
+    fn live_row_index_tracks_all_live_rows() {
+        let data = data();
+        let mut index = LiveRowIndex::build(&data, |p| p != 2);
+        assert_eq!(index.rows_with(0, 0), &[0, 3]);
+        assert_eq!(index.rows_with(0, 2), &[] as &[PointId]);
+        index.insert(&data, 2);
+        assert_eq!(index.rows_with(0, 2), &[2]);
+        index.remove(&data, 3);
+        assert_eq!(index.rows_with(0, 0), &[0]);
+        assert!(index.approximate_bytes() > 0);
+    }
+
+    #[test]
+    fn dominance_region_picks_the_most_selective_dimension() {
+        use skyline_core::PartialOrder;
+        let data = data();
+        let index = LiveRowIndex::build(&data, |_| true);
+        // Empty template orders: the region of a value is the value itself.
+        let empty = [
+            CompiledOrder::compile(&PartialOrder::empty(3)),
+            CompiledOrder::compile(&PartialOrder::empty(2)),
+        ];
+        // Point 2 carries g=2 (1 row) and h=0 (2 rows): dimension g is more selective.
+        let candidates = index.dominance_region_candidates(&data, &empty, 2).unwrap();
+        assert_eq!(candidates, vec![2]);
+        // With a template order 0 ≺ 1 on h, point 0 (h=0) dominates rows with h ∈ {0, 1}:
+        // the g dimension (value 0 → rows {0, 3}) still ties or wins.
+        let ordered = [
+            CompiledOrder::compile(&PartialOrder::empty(3)),
+            CompiledOrder::compile(&PartialOrder::from_pairs(2, [(0, 1)]).unwrap()),
+        ];
+        let candidates = index
+            .dominance_region_candidates(&data, &ordered, 0)
+            .unwrap();
+        assert_eq!(candidates, vec![0, 3]);
+        // No nominal dimensions → no restriction possible.
+        let numeric_only = Schema::new(vec![Dimension::numeric("x")]).unwrap();
+        let tiny = Dataset::from_columns(numeric_only, vec![vec![1.0]], vec![]).unwrap();
+        let bare = LiveRowIndex::build(&tiny, |_| true);
+        assert!(bare.dominance_region_candidates(&tiny, &[], 0).is_none());
     }
 }

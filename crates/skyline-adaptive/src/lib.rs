@@ -10,26 +10,27 @@
 //! re-ranked ones — produces `SKY(R̃′)`. Results stream out progressively in score order, and
 //! the sorted list supports incremental maintenance when the underlying data changes.
 //!
-//! * [`asfs::AdaptiveSfs`] — the query structure over an immutable dataset (the paper's
-//!   **SFS-A**).
-//! * [`sorted_list`] — the scored, ordered container shared by the static and maintained
-//!   variants.
+//! * [`asfs::AdaptiveSfs`] — the query structure (the paper's **SFS-A**), including the
+//!   incremental-maintenance mode of Section 4.3: [`AdaptiveSfs::insert_row`] and
+//!   [`AdaptiveSfs::delete_row`] update the sorted list and indexes in place (bumping the
+//!   structure's [`skyline_core::DatasetEpoch`]), with periodic compaction back through the
+//!   parallel build path.
+//! * [`sorted_list`] — the scored entries behind the sorted list.
 //! * [`index::SkylineValueIndex`] — per-dimension value → skyline-point lookup used to find
 //!   the affected points without scanning the whole list.
-//! * [`maintenance::MaintainedAdaptiveSfs`] — an owning variant that keeps `SKY(R̃)` (and the
-//!   sorted list) up to date under row insertions and deletions (Section 4.3).
+//! * [`index::LiveRowIndex`] — value → live-row lookup over the whole dataset, which lets the
+//!   delete path restrict its resurface scan to the deleted member's dominance region.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asfs;
 pub mod index;
-pub mod maintenance;
 pub mod sorted_list;
 
 pub use asfs::{
-    AdaptiveSfs, EvalScratch, PreprocessStats, ProgressiveScan, QueryScratch, QueryStats, ScanMode,
+    AdaptiveSfs, EvalScratch, MaintenanceStats, PreprocessStats, ProgressiveScan, QueryScratch,
+    QueryStats, ScanMode,
 };
-pub use index::SkylineValueIndex;
-pub use maintenance::MaintainedAdaptiveSfs;
-pub use sorted_list::{ScoredEntry, SortedList};
+pub use index::{LiveRowIndex, SkylineValueIndex};
+pub use sorted_list::ScoredEntry;

@@ -1,12 +1,11 @@
-//! The scored, sorted list at the heart of Adaptive SFS.
+//! The scored entries of the sorted list at the heart of Adaptive SFS.
 //!
 //! Every entry pairs a template-skyline point with its preference score `f(p)` under the
-//! template ranking. The static query structure keeps the entries in a sorted `Vec`; the
-//! maintained variant keeps them in an ordered set so single insertions and deletions cost
-//! `O(log n)`, which is the property Section 4.3 relies on.
+//! template ranking. [`crate::AdaptiveSfs`] keeps its entries in a sorted `Vec<ScoredEntry>`;
+//! the total `(score, point)` order below is what makes binary-search insertion and removal
+//! during incremental maintenance deterministic even when scores tie.
 
 use skyline_core::PointId;
-use std::collections::BTreeSet;
 
 /// One `(score, point)` entry. Ordering is by score first (ascending), then by point id so the
 /// order is total and deterministic even when scores tie.
@@ -41,78 +40,6 @@ impl Ord for ScoredEntry {
     }
 }
 
-/// An ordered collection of [`ScoredEntry`] values with logarithmic insertion and removal.
-#[derive(Debug, Clone, Default)]
-pub struct SortedList {
-    entries: BTreeSet<ScoredEntry>,
-}
-
-impl SortedList {
-    /// Creates an empty list.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Builds a list from entries (duplicates by `(score, point)` collapse).
-    pub fn from_entries<I: IntoIterator<Item = ScoredEntry>>(entries: I) -> Self {
-        Self {
-            entries: entries.into_iter().collect(),
-        }
-    }
-
-    /// Number of entries.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// True when the list is empty.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Inserts an entry (`O(log n)`). Returns `true` if it was not present yet.
-    pub fn insert(&mut self, entry: ScoredEntry) -> bool {
-        self.entries.insert(entry)
-    }
-
-    /// Removes an entry (`O(log n)`). The score must match the one used at insertion; callers
-    /// track scores through their value index.
-    pub fn remove(&mut self, entry: &ScoredEntry) -> bool {
-        self.entries.remove(entry)
-    }
-
-    /// True when the exact entry is present.
-    pub fn contains(&self, entry: &ScoredEntry) -> bool {
-        self.entries.contains(entry)
-    }
-
-    /// Iterates entries in ascending score order.
-    pub fn iter(&self) -> impl Iterator<Item = &ScoredEntry> {
-        self.entries.iter()
-    }
-
-    /// Materializes the entries into a `Vec` in ascending score order.
-    pub fn to_vec(&self) -> Vec<ScoredEntry> {
-        self.entries.iter().copied().collect()
-    }
-
-    /// The points in ascending score order.
-    pub fn points_in_order(&self) -> Vec<PointId> {
-        self.entries.iter().map(|e| e.point).collect()
-    }
-
-    /// Approximate heap footprint in bytes (for the storage plots).
-    pub fn approximate_bytes(&self) -> usize {
-        self.entries.len() * (std::mem::size_of::<ScoredEntry>() + 16)
-    }
-}
-
-impl FromIterator<ScoredEntry> for SortedList {
-    fn from_iter<I: IntoIterator<Item = ScoredEntry>>(iter: I) -> Self {
-        Self::from_entries(iter)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,42 +57,12 @@ mod tests {
     }
 
     #[test]
-    fn insert_remove_iterate() {
-        let mut list = SortedList::new();
-        assert!(list.is_empty());
-        assert!(list.insert(ScoredEntry::new(7, 3.5)));
-        assert!(list.insert(ScoredEntry::new(2, 1.5)));
-        assert!(list.insert(ScoredEntry::new(9, 2.5)));
-        assert!(
-            !list.insert(ScoredEntry::new(9, 2.5)),
-            "duplicate insert is a no-op"
-        );
-        assert_eq!(list.len(), 3);
-        assert_eq!(list.points_in_order(), vec![2, 9, 7]);
-        assert!(list.contains(&ScoredEntry::new(9, 2.5)));
-        assert!(list.remove(&ScoredEntry::new(9, 2.5)));
-        assert!(!list.remove(&ScoredEntry::new(9, 2.5)));
-        assert_eq!(list.points_in_order(), vec![2, 7]);
-        assert!(list.approximate_bytes() > 0);
-    }
-
-    #[test]
-    fn from_iterator_and_to_vec() {
-        let list: SortedList = [ScoredEntry::new(1, 9.0), ScoredEntry::new(2, 0.5)]
-            .into_iter()
-            .collect();
-        let v = list.to_vec();
+    fn nan_scores_keep_the_order_total() {
+        // total_cmp gives NaN a fixed position instead of panicking, so binary-search
+        // insertion during maintenance cannot fail on degenerate scores.
+        let mut v = [ScoredEntry::new(1, f64::NAN), ScoredEntry::new(2, 0.0)];
+        v.sort();
         assert_eq!(v.len(), 2);
         assert_eq!(v[0].point, 2);
-        assert_eq!(list.iter().count(), 2);
-    }
-
-    #[test]
-    fn nan_scores_do_not_break_total_order() {
-        // total_cmp gives NaN a fixed position instead of panicking.
-        let mut list = SortedList::new();
-        list.insert(ScoredEntry::new(1, f64::NAN));
-        list.insert(ScoredEntry::new(2, 0.0));
-        assert_eq!(list.len(), 2);
     }
 }

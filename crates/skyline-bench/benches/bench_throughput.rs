@@ -19,20 +19,24 @@ const TUPLES: usize = 2_000;
 const POOL: usize = 48;
 const QUERIES: usize = 300;
 
-fn setup() -> (Arc<SkylineEngine>, Vec<Preference>) {
+fn setup() -> (SharedEngine, Vec<Preference>) {
     let config = ExperimentConfig {
         n: TUPLES,
         ..ExperimentConfig::paper_default()
     };
     let data = Arc::new(config.generate_dataset());
     let template = config.template(&data);
-    let engine = Arc::new(
-        SkylineEngine::build(data, template.clone(), EngineConfig::Hybrid { top_k: 10 })
-            .expect("hybrid engine builds"),
+    let engine = SharedEngine::new(
+        SkylineEngine::build(
+            data.clone(),
+            template.clone(),
+            EngineConfig::Hybrid { top_k: 10 },
+        )
+        .expect("hybrid engine builds"),
     );
     let mut generator = config.query_generator();
     let queries = generator.zipf_workload(
-        engine.dataset().schema(),
+        data.schema(),
         &template,
         config.pref_order,
         POOL,
@@ -49,6 +53,7 @@ fn bench_throughput(c: &mut Criterion) {
 
     group.bench_function("serial_engine", |b| {
         b.iter(|| {
+            let engine = engine.read();
             for q in &queries {
                 black_box(engine.query(q).expect("query succeeds"));
             }
@@ -79,8 +84,11 @@ fn bench_throughput(c: &mut Criterion) {
     // One extra measured pass to report the acceptance numbers alongside the timings.
     let service = SkylineService::with_config(engine.clone(), ServiceConfig::default());
     let started = std::time::Instant::now();
-    for q in &queries {
-        engine.query(q).expect("query succeeds");
+    {
+        let engine = engine.read();
+        for q in &queries {
+            engine.query(q).expect("query succeeds");
+        }
     }
     let serial = started.elapsed();
     let started = std::time::Instant::now();

@@ -1,0 +1,194 @@
+//! Dynamic-dataset maintenance: incremental insert+query vs full rebuild+query, plus the
+//! end-to-end service serving a mixed read/write stream.
+//!
+//! Three benchmarks on the n=2000 hybrid workload (anti-correlated numerics, Zipf(θ=1)
+//! nominals — the same shape as `bench_throughput`):
+//!
+//! * `incremental_insert_query` — clone the pre-built hybrid engine, absorb a batch of
+//!   inserts via `SkylineEngine::insert_row` (incremental maintenance) and answer the query
+//!   mix. The first insert of each iteration pays the documented copy-once of the shared
+//!   dataset; everything after is in place.
+//! * `rebuild_insert_query` — the frozen-dataset alternative: append the same batch to a
+//!   dataset copy, rebuild the whole engine from scratch, answer the same queries.
+//! * `service_mixed_stream` — `SkylineService` over a `SharedEngine` draining a 10%-write
+//!   mixed stream with the epoch-tagged result cache on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skyline::prelude::*;
+use skyline_service::{ServiceConfig, SkylineService};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const TUPLES: usize = 2_000;
+const BATCH: usize = 32;
+const QUERIES: usize = 20;
+const STREAM: usize = 300;
+
+struct Setup {
+    data: Arc<Dataset>,
+    template: Template,
+    engine: SkylineEngine,
+    inserts: Vec<(Vec<f64>, Vec<ValueId>)>,
+    queries: Vec<Preference>,
+    mixed: Vec<WorkloadOp>,
+}
+
+fn setup() -> Setup {
+    let config = ExperimentConfig {
+        n: TUPLES,
+        ..ExperimentConfig::paper_default()
+    };
+    let data = Arc::new(config.generate_dataset());
+    let template = config.template(&data);
+    let engine = SkylineEngine::build(
+        data.clone(),
+        template.clone(),
+        EngineConfig::Hybrid { top_k: 10 },
+    )
+    .expect("hybrid engine builds");
+    let mut generator = config.query_generator();
+    let queries =
+        generator.random_preferences(data.schema(), &template, config.pref_order, QUERIES, None);
+    let inserts: Vec<(Vec<f64>, Vec<ValueId>)> = generator
+        .mixed_workload(
+            data.schema(),
+            &template,
+            config.pref_order,
+            1,
+            BATCH * 3,
+            config.theta,
+            1.0,
+            0,
+        )
+        .into_iter()
+        .filter_map(|op| match op {
+            WorkloadOp::Insert { numeric, nominal } => Some((numeric, nominal)),
+            _ => None,
+        })
+        .take(BATCH)
+        .collect();
+    assert_eq!(inserts.len(), BATCH);
+    let mixed = generator.mixed_workload(
+        data.schema(),
+        &template,
+        config.pref_order,
+        48,
+        STREAM,
+        config.theta,
+        0.1,
+        data.len(),
+    );
+    Setup {
+        data,
+        template,
+        engine,
+        inserts,
+        queries,
+        mixed,
+    }
+}
+
+/// The incremental arm: absorb the batch in place, then answer the query mix.
+fn run_incremental(s: &Setup) -> usize {
+    let mut engine = s.engine.clone();
+    for (numeric, nominal) in &s.inserts {
+        engine.insert_row(numeric, nominal).expect("insert");
+    }
+    let mut total = 0usize;
+    for q in &s.queries {
+        total += engine.query(q).expect("query").skyline.len();
+    }
+    total
+}
+
+/// The rebuild arm: append the same batch to a dataset copy, rebuild, answer the same mix.
+fn run_rebuild(s: &Setup) -> usize {
+    let mut data = (*s.data).clone();
+    for (numeric, nominal) in &s.inserts {
+        data.push_row_ids(numeric, nominal).expect("push");
+    }
+    let engine = SkylineEngine::build(data, s.template.clone(), EngineConfig::Hybrid { top_k: 10 })
+        .expect("rebuild");
+    let mut total = 0usize;
+    for q in &s.queries {
+        total += engine.query(q).expect("query").skyline.len();
+    }
+    total
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("updates_dynamic");
+    group.sample_size(5);
+
+    group.bench_function("incremental_insert_query", |b| {
+        b.iter(|| black_box(run_incremental(&s)))
+    });
+    group.bench_function("rebuild_insert_query", |b| {
+        b.iter(|| black_box(run_rebuild(&s)))
+    });
+    group.bench_function("service_mixed_stream", |b| {
+        b.iter(|| {
+            let service = SkylineService::with_config(
+                SharedEngine::new(s.engine.clone()),
+                ServiceConfig::default(),
+            );
+            for op in &s.mixed {
+                match op {
+                    WorkloadOp::Query(pref) => {
+                        black_box(service.serve(pref).expect("serve"));
+                    }
+                    WorkloadOp::Insert { numeric, nominal } => {
+                        service.insert_row(numeric, nominal).expect("insert");
+                    }
+                    WorkloadOp::Delete { row } => {
+                        service.delete_row(*row).expect("delete");
+                    }
+                }
+            }
+            black_box(service.stats().served())
+        })
+    });
+    group.finish();
+
+    // Extra measured passes reporting the acceptance numbers alongside the timings: three
+    // interleaved rounds per arm, best-of taken, so a single noisy pass cannot skew the
+    // printed (and locally asserted) speedup. Both arms must agree on every answer.
+    let mut incremental = std::time::Duration::MAX;
+    let mut rebuild = std::time::Duration::MAX;
+    for _ in 0..3 {
+        let started = std::time::Instant::now();
+        let a = run_incremental(&s);
+        incremental = incremental.min(started.elapsed());
+        let started = std::time::Instant::now();
+        let b = run_rebuild(&s);
+        rebuild = rebuild.min(started.elapsed());
+        assert_eq!(
+            a, b,
+            "incremental maintenance and full rebuild must produce identical skylines"
+        );
+    }
+    let speedup = rebuild.as_secs_f64() / incremental.as_secs_f64();
+    println!(
+        "  summary: {BATCH} inserts + {QUERIES} queries at n={TUPLES}; \
+         incremental {:.2}ms vs rebuild {:.2}ms — {speedup:.1}x",
+        incremental.as_secs_f64() * 1e3,
+        rebuild.as_secs_f64() * 1e3,
+    );
+    // Hard-assert only on full local runs; the CI smoke job (SKYLINE_BENCH_SAMPLES set) runs
+    // on noisy shared runners where a hard perf gate would flake.
+    if std::env::var("SKYLINE_BENCH_SAMPLES").is_err() {
+        assert!(
+            speedup > 1.0,
+            "incremental insert+query must beat full rebuild+query, got {speedup:.2}x"
+        );
+    } else if speedup < 1.0 {
+        println!(
+            "::warning title=updates bench::incremental path slower than rebuild \
+             ({speedup:.2}x) in this smoke run"
+        );
+    }
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! regressions emit GitHub `::warning::` annotations (visible on the job summary) and exit 0,
 //! because shared CI runners are far too noisy for hard perf gates.
 
-use skyline_bench::perf::{diff_reports, parse_report, BenchRecord, REGRESSION_RATIO};
+use skyline_bench::perf::{diff_reports, parse_report, BenchRecord};
 use std::process::ExitCode;
 
 fn load(path: &str) -> Result<Vec<BenchRecord>, String> {
@@ -38,53 +38,12 @@ fn main() -> ExitCode {
     };
 
     let diff = diff_reports(&baseline, &current);
-    println!(
-        "perf diff vs {baseline_path}: {} compared, {} new, {} missing (warn threshold: \
-         >{:.0}% slower mean)",
-        diff.compared.len(),
-        diff.only_in_current.len(),
-        diff.only_in_baseline.len(),
-        (REGRESSION_RATIO - 1.0) * 100.0
-    );
-    println!(
-        "{:<55} {:>14} {:>14} {:>8}",
-        "benchmark", "baseline mean", "current mean", "ratio"
-    );
-    for c in &diff.compared {
-        let flag = if c.is_regression() {
-            "  <-- regression"
-        } else {
-            ""
-        };
-        println!(
-            "{:<55} {:>12}ns {:>12}ns {:>7.2}x{flag}",
-            c.bench, c.baseline_mean_ns, c.current_mean_ns, c.ratio
-        );
-    }
-    for name in &diff.only_in_current {
-        println!("{name:<55} (new benchmark, no baseline)");
-    }
-    for name in &diff.only_in_baseline {
-        println!("{name:<55} (in baseline but not in this run)");
-    }
-
-    for c in diff.regressions() {
-        // GitHub Actions annotation; shows up on the workflow summary but does not fail it.
-        println!(
-            "::warning title=bench regression::{} mean {:.0}% over baseline ({}ns -> {}ns); \
-             noisy-runner variance is expected — investigate only if it persists",
-            c.bench,
-            (c.ratio - 1.0) * 100.0,
-            c.baseline_mean_ns,
-            c.current_mean_ns
-        );
-    }
-    if !diff.only_in_baseline.is_empty() {
-        println!(
-            "::warning title=bench coverage::{} baseline benchmark(s) missing from this run: {}",
-            diff.only_in_baseline.len(),
-            diff.only_in_baseline.join(", ")
-        );
+    // Both the table (with explicit "new"/"missing" lines) and the GitHub `::warning::`
+    // annotations are rendered by unit-tested code in `skyline_bench::perf`; annotations show
+    // up on the workflow summary but never fail it.
+    print!("{}", diff.format_report(baseline_path));
+    for warning in diff.warning_annotations() {
+        println!("{warning}");
     }
     ExitCode::SUCCESS
 }

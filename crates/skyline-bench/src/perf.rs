@@ -120,6 +120,77 @@ impl Diff {
     pub fn regressions(&self) -> Vec<&Comparison> {
         self.compared.iter().filter(|c| c.is_regression()).collect()
     }
+
+    /// Renders the whole diff as the human-readable report `bench_diff` prints: the comparison
+    /// table, then — explicitly, so a renamed or deleted benchmark can never silently vanish
+    /// from the regression report — one line per benchmark that is new in the current run and
+    /// one per benchmark present in the baseline but missing from it.
+    pub fn format_report(&self, baseline_label: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perf diff vs {baseline_label}: {} compared, {} new, {} missing (warn threshold: \
+             >{:.0}% slower mean)",
+            self.compared.len(),
+            self.only_in_current.len(),
+            self.only_in_baseline.len(),
+            (REGRESSION_RATIO - 1.0) * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "{:<55} {:>14} {:>14} {:>8}",
+            "benchmark", "baseline mean", "current mean", "ratio"
+        );
+        for c in &self.compared {
+            let flag = if c.is_regression() {
+                "  <-- regression"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "{:<55} {:>12}ns {:>12}ns {:>7.2}x{flag}",
+                c.bench, c.baseline_mean_ns, c.current_mean_ns, c.ratio
+            );
+        }
+        for name in &self.only_in_current {
+            let _ = writeln!(out, "{name:<55} (new benchmark, no baseline)");
+        }
+        for name in &self.only_in_baseline {
+            let _ = writeln!(out, "{name:<55} (in baseline but NOT in this run)");
+        }
+        out
+    }
+
+    /// GitHub Actions `::warning::` annotation lines for this diff: one per regression, plus
+    /// a coverage warning naming every baseline benchmark the current run is missing.
+    pub fn warning_annotations(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .regressions()
+            .iter()
+            .map(|c| {
+                format!(
+                    "::warning title=bench regression::{} mean {:.0}% over baseline \
+                     ({}ns -> {}ns); noisy-runner variance is expected — investigate only if \
+                     it persists",
+                    c.bench,
+                    (c.ratio - 1.0) * 100.0,
+                    c.baseline_mean_ns,
+                    c.current_mean_ns
+                )
+            })
+            .collect();
+        if !self.only_in_baseline.is_empty() {
+            out.push(format!(
+                "::warning title=bench coverage::{} baseline benchmark(s) missing from this \
+                 run: {}",
+                self.only_in_baseline.len(),
+                self.only_in_baseline.join(", ")
+            ));
+        }
+        out
+    }
 }
 
 /// Diffs two parsed reports by benchmark name.
@@ -195,6 +266,42 @@ not json at all
         assert_eq!(regressions.len(), 1);
         assert_eq!(regressions[0].bench, "b");
         assert!((regressions[0].ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_names_missing_and_new_benchmarks_explicitly() {
+        let baseline = parse_report(
+            r#"{"bench":"kept","samples":2,"min_ns":100,"mean_ns":100}
+{"bench":"renamed_away","samples":2,"min_ns":1,"mean_ns":1}"#,
+        );
+        let current = parse_report(
+            r#"{"bench":"kept","samples":2,"min_ns":90,"mean_ns":300}
+{"bench":"renamed_to","samples":2,"min_ns":1,"mean_ns":1}"#,
+        );
+        let diff = diff_reports(&baseline, &current);
+        let report = diff.format_report("BENCH_baseline.json");
+        // A renamed benchmark must show up on BOTH sides of the report, not vanish.
+        assert!(
+            report.contains("renamed_away"),
+            "missing bench not named:\n{report}"
+        );
+        assert!(report.contains("(in baseline but NOT in this run)"));
+        assert!(report.contains("renamed_to"));
+        assert!(report.contains("(new benchmark, no baseline)"));
+        assert!(report.contains("2 compared") || report.contains("1 compared"));
+        assert!(report.contains("<-- regression"));
+
+        let warnings = diff.warning_annotations();
+        assert_eq!(warnings.len(), 2, "one regression + one coverage warning");
+        assert!(warnings[0].contains("bench regression"));
+        assert!(warnings[0].contains("kept"));
+        assert!(warnings[1].contains("bench coverage"));
+        assert!(warnings[1].contains("renamed_away"));
+
+        // A complete run emits no coverage warning.
+        let clean = diff_reports(&baseline, &baseline);
+        assert!(clean.warning_annotations().is_empty());
+        assert!(!clean.format_report("b").contains("NOT in this run"));
     }
 
     #[test]

@@ -74,6 +74,14 @@ pub enum SkylineError {
         /// The value id that is not materialized.
         value: u32,
     },
+    /// A caller expected a dataset at one mutation epoch but the engine has moved on (rows
+    /// were inserted or deleted in between); any derived result would be stale.
+    EpochMismatch {
+        /// The epoch the caller computed against.
+        expected: u64,
+        /// The engine's current epoch.
+        actual: u64,
+    },
     /// Parsing a textual preference such as `"T < M < *"` failed.
     ParseError(String),
     /// The operation requires a non-empty dataset.
@@ -119,6 +127,10 @@ impl fmt::Display for SkylineError {
             SkylineError::NotMaterialized { dimension, value } => write!(
                 f,
                 "value id {value} of dimension `{dimension}` is not materialized in the index"
+            ),
+            SkylineError::EpochMismatch { expected, actual } => write!(
+                f,
+                "dataset moved from epoch {expected} to epoch {actual}; the result would be stale"
             ),
             SkylineError::ParseError(msg) => write!(f, "preference parse error: {msg}"),
             SkylineError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),

@@ -34,7 +34,33 @@ use crate::error::{Result, SkylineError};
 use crate::order::{PartialOrder, Preference, Template};
 use crate::schema::Schema;
 use crate::value::{PointId, ValueId};
+use std::fmt;
 use std::sync::Arc;
+
+/// Version counter of a mutable dataset: every row insertion or logical deletion bumps it.
+///
+/// Query answers are only meaningful relative to the epoch they were computed at, so serving
+/// layers tag derived artifacts (cached skylines, materialized statistics) with the epoch and
+/// treat a mismatch as staleness. Epochs are totally ordered; [`DatasetEpoch::INITIAL`] is the
+/// epoch of a freshly built, never-mutated block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DatasetEpoch(u64);
+
+impl DatasetEpoch {
+    /// The epoch of a freshly built, never-mutated dataset.
+    pub const INITIAL: Self = Self(0);
+
+    /// The raw counter value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for DatasetEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch {}", self.0)
+    }
+}
 
 /// Row-major, interleaved copy of a dataset's values, shared by every compiled relation.
 ///
@@ -43,6 +69,12 @@ use std::sync::Arc;
 /// dominance test reads two short cache-resident runs instead of one strided cell per column.
 /// The block is query-independent: build it once per dataset (an O(n·d) transpose) and hand
 /// the same `Arc` to every [`CompiledRelation`].
+///
+/// Blocks support **dynamic datasets** without a rebuild: [`PointBlock::append_row`] adds a
+/// point at the end and [`PointBlock::tombstone`] logically deletes one. Both bump the block's
+/// [`DatasetEpoch`]. Tombstoned rows keep their id (so existing query answers stay
+/// addressable) but are excluded from [`PointBlock::live_ids`], which is what the elimination
+/// scans enumerate — dead rows simply never enter a window or candidate list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointBlock {
     len: usize,
@@ -53,6 +85,10 @@ pub struct PointBlock {
     /// Per nominal dimension: the largest value id present (0 for empty datasets); used to
     /// validate compiled orders against the block without retaining the schema.
     max_value: Vec<ValueId>,
+    /// `live[p]` is false when row `p` has been tombstoned.
+    live: Vec<bool>,
+    live_len: usize,
+    epoch: u64,
 }
 
 impl PointBlock {
@@ -88,17 +124,89 @@ impl PointBlock {
             nums,
             noms,
             max_value,
+            live: vec![true; len],
+            live_len: len,
+            epoch: 0,
         }
     }
 
-    /// Number of points in the block.
+    /// Number of points in the block, **including** tombstoned rows.
     pub fn len(&self) -> usize {
         self.len
     }
 
-    /// True when the block holds no points.
+    /// True when the block holds no points at all (live or dead).
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// The block's current mutation epoch (bumped by every append or tombstone).
+    pub fn epoch(&self) -> DatasetEpoch {
+        DatasetEpoch(self.epoch)
+    }
+
+    /// Number of live (non-tombstoned) rows.
+    pub fn live_count(&self) -> usize {
+        self.live_len
+    }
+
+    /// True when row `p` exists and has not been tombstoned.
+    #[inline]
+    pub fn is_live(&self, p: PointId) -> bool {
+        self.live.get(p as usize).copied().unwrap_or(false)
+    }
+
+    /// The ids of all live rows, in ascending order — what elimination scans over a mutable
+    /// dataset enumerate so compiled scans skip dead rows without a rebuild.
+    pub fn live_ids(&self) -> impl Iterator<Item = PointId> + '_ {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l)
+            .map(|(p, _)| p as PointId)
+    }
+
+    /// Appends one row (numeric values in numeric-index order, nominal value ids in
+    /// nominal-index order) and bumps the epoch. Returns the new row id.
+    ///
+    /// The caller is responsible for keeping the block in sync with its [`Dataset`]
+    /// (values are validated against the schema when they are pushed into the dataset).
+    pub fn append_row(&mut self, numeric: &[f64], nominal: &[ValueId]) -> Result<PointId> {
+        if numeric.len() != self.numeric_dims || nominal.len() != self.nominal_dims {
+            return Err(SkylineError::RowShapeMismatch {
+                expected: self.numeric_dims + self.nominal_dims,
+                got: numeric.len() + nominal.len(),
+            });
+        }
+        self.nums.extend_from_slice(numeric);
+        self.noms.extend_from_slice(nominal);
+        for (m, &v) in self.max_value.iter_mut().zip(nominal) {
+            *m = (*m).max(v);
+        }
+        let id = self.len as PointId;
+        self.len += 1;
+        self.live.push(true);
+        self.live_len += 1;
+        self.epoch += 1;
+        Ok(id)
+    }
+
+    /// Logically deletes row `p`, bumping the epoch. Returns `true` when the row was live
+    /// (tombstoning an already-dead row is a no-op that leaves the epoch untouched); rows that
+    /// never existed are an error.
+    pub fn tombstone(&mut self, p: PointId) -> Result<bool> {
+        let Some(slot) = self.live.get_mut(p as usize) else {
+            return Err(SkylineError::InvalidArgument(format!(
+                "row {p} does not exist"
+            )));
+        };
+        if !*slot {
+            return Ok(false);
+        }
+        *slot = false;
+        self.live_len -= 1;
+        self.epoch += 1;
+        Ok(true)
     }
 
     /// Number of numeric dimensions per point.
@@ -129,6 +237,7 @@ impl PointBlock {
     pub fn approximate_bytes(&self) -> usize {
         self.nums.len() * std::mem::size_of::<f64>()
             + self.noms.len() * std::mem::size_of::<ValueId>()
+            + self.live.len()
     }
 }
 
@@ -296,28 +405,7 @@ impl CompiledRelation {
     /// Fails when the number of orders does not match the block's nominal dimensions or an
     /// order's cardinality cannot cover a value id present in the block.
     pub fn new(block: Arc<PointBlock>, orders: &[PartialOrder]) -> Result<Self> {
-        if orders.len() != block.nominal_dims() {
-            return Err(SkylineError::InvalidArgument(format!(
-                "expected {} nominal orders, got {}",
-                block.nominal_dims(),
-                orders.len()
-            )));
-        }
-        for (j, order) in orders.iter().enumerate() {
-            let needed = if block.is_empty() {
-                0
-            } else {
-                block.max_value[j] as usize + 1
-            };
-            if order.cardinality() < needed {
-                return Err(SkylineError::InvalidArgument(format!(
-                    "order on nominal dimension {j} has cardinality {} but the data holds \
-                     value id {}",
-                    order.cardinality(),
-                    block.max_value[j]
-                )));
-            }
-        }
+        Self::validate_cardinalities(&block, orders.len(), |j| orders[j].cardinality())?;
         let orders: Vec<CompiledOrder> = orders.iter().map(CompiledOrder::compile).collect();
         let all_ranked = orders.iter().all(CompiledOrder::is_ranked);
         Ok(Self {
@@ -325,6 +413,56 @@ impl CompiledRelation {
             orders,
             all_ranked,
         })
+    }
+
+    /// Builds a relation from **already compiled** orders, skipping the O(c²) closure
+    /// flattening.
+    ///
+    /// Incremental-maintenance paths evaluate the *same* template relation on every row
+    /// insertion or deletion; they compile the template orders once at construction and clone
+    /// the (tiny) compiled form per mutation instead of re-deriving the closure each time.
+    pub fn from_compiled_orders(
+        block: Arc<PointBlock>,
+        orders: Vec<CompiledOrder>,
+    ) -> Result<Self> {
+        Self::validate_cardinalities(&block, orders.len(), |j| orders[j].cardinality())?;
+        let all_ranked = orders.iter().all(CompiledOrder::is_ranked);
+        Ok(Self {
+            block,
+            orders,
+            all_ranked,
+        })
+    }
+
+    /// Shared validation: one order per nominal dimension, each covering every value id the
+    /// block holds on that dimension.
+    fn validate_cardinalities(
+        block: &PointBlock,
+        count: usize,
+        cardinality_of: impl Fn(usize) -> usize,
+    ) -> Result<()> {
+        if count != block.nominal_dims() {
+            return Err(SkylineError::InvalidArgument(format!(
+                "expected {} nominal orders, got {count}",
+                block.nominal_dims(),
+            )));
+        }
+        for j in 0..count {
+            let needed = if block.is_empty() {
+                0
+            } else {
+                block.max_value[j] as usize + 1
+            };
+            if cardinality_of(j) < needed {
+                return Err(SkylineError::InvalidArgument(format!(
+                    "order on nominal dimension {j} has cardinality {} but the data holds \
+                     value id {}",
+                    cardinality_of(j),
+                    block.max_value[j]
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Compiles the relation of a template alone (`R`).
@@ -843,6 +981,57 @@ mod tests {
         // Cardinality 2 cannot cover value id 2 present in the data.
         assert!(CompiledRelation::new(block.clone(), &[PartialOrder::empty(2)]).is_err());
         assert!(CompiledRelation::new(block, &[PartialOrder::empty(3)]).is_ok());
+    }
+
+    #[test]
+    fn append_and_tombstone_bump_the_epoch_and_track_liveness() {
+        let data = vacation_data();
+        let mut block = PointBlock::new(&data);
+        assert_eq!(block.epoch(), DatasetEpoch::INITIAL);
+        assert_eq!(block.live_count(), 6);
+        assert_eq!(block.live_ids().count(), 6);
+
+        let p = block.append_row(&[1000.0, -5.0], &[1]).unwrap();
+        assert_eq!(p, 6);
+        assert_eq!(block.len(), 7);
+        assert_eq!(block.live_count(), 7);
+        assert_eq!(block.epoch().get(), 1);
+        assert_eq!(block.numeric_row(p), &[1000.0, -5.0]);
+        assert_eq!(block.nominal_row(p), &[1]);
+
+        assert!(block.tombstone(2).unwrap());
+        assert!(!block.is_live(2));
+        assert_eq!(block.live_count(), 6);
+        assert_eq!(block.epoch().get(), 2);
+        assert!(!block.tombstone(2).unwrap(), "double tombstone is a no-op");
+        assert_eq!(block.epoch().get(), 2, "no-op must not bump the epoch");
+        assert!(block.tombstone(99).is_err());
+        assert_eq!(block.live_ids().collect::<Vec<_>>(), vec![0, 1, 3, 4, 5, 6]);
+        // Appends keep the max-value validation in sync.
+        let mut grown = PointBlock::new(&data);
+        grown.append_row(&[1.0, 1.0], &[2]).unwrap();
+        assert!(grown.append_row(&[1.0], &[2]).is_err(), "arity checked");
+        assert!(DatasetEpoch::INITIAL < grown.epoch());
+        assert_eq!(format!("{}", grown.epoch()), "epoch 1");
+    }
+
+    #[test]
+    fn from_compiled_orders_matches_the_fresh_compilation() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let block = Arc::new(PointBlock::new(&data));
+        let fresh = CompiledRelation::for_template(block.clone(), &template).unwrap();
+        let reused =
+            CompiledRelation::from_compiled_orders(block.clone(), fresh.orders().to_vec()).unwrap();
+        for p in data.point_ids() {
+            for q in data.point_ids() {
+                assert_eq!(fresh.dominates(p, q), reused.dominates(p, q), "({p}, {q})");
+            }
+        }
+        // Validation still applies: wrong count and undersized cardinality are rejected.
+        assert!(CompiledRelation::from_compiled_orders(block.clone(), vec![]).is_err());
+        let tiny = CompiledOrder::compile(&PartialOrder::empty(1));
+        assert!(CompiledRelation::from_compiled_orders(block, vec![tiny]).is_err());
     }
 
     #[test]

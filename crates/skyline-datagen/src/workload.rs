@@ -1,10 +1,11 @@
-//! Experiment configurations (Table 4) and random implicit-preference query workloads.
+//! Experiment configurations (Table 4), random implicit-preference query workloads, and
+//! mixed read/write streams for dynamic-dataset benchmarks.
 
 use crate::synthetic::{self, Distribution};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use skyline_core::{Dataset, ImplicitPreference, Preference, Schema, Template, ValueId};
+use skyline_core::{Dataset, ImplicitPreference, PointId, Preference, Schema, Template, ValueId};
 
 /// The experimental parameters of Table 4 plus the knobs the figures sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,6 +199,87 @@ impl QueryGenerator {
             .map(|_| pool[zipf.sample(&mut self.rng) as usize].clone())
             .collect()
     }
+
+    /// A **mixed read/write stream** over a dynamic dataset: queries drawn from a Zipf-skewed
+    /// preference pool (exactly like [`QueryGenerator::zipf_workload`]) interleaved with row
+    /// insertions and deletions.
+    ///
+    /// Each of the `count` operations is a write with probability `write_fraction` (clamped
+    /// to `[0, 1]`), split evenly between inserts and deletes. Inserted rows carry uniform
+    /// numeric values in `[0, 1)` and Zipf(θ)-skewed nominal values — the same per-value skew
+    /// the synthetic datasets use, so popular values keep arriving. Delete targets are drawn
+    /// uniformly from every row id that exists at that point of the stream (`initial_rows`
+    /// plus the inserts emitted so far); replaying a delete of an already-deleted row is the
+    /// consumer's no-op, exactly as `SkylineEngine::delete_row` treats it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mixed_workload(
+        &mut self,
+        schema: &Schema,
+        template: &Template,
+        order: usize,
+        pool_size: usize,
+        count: usize,
+        theta: f64,
+        write_fraction: f64,
+        initial_rows: usize,
+    ) -> Vec<WorkloadOp> {
+        let write_fraction = write_fraction.clamp(0.0, 1.0);
+        let pool = self.random_preferences(schema, template, order, pool_size.max(1), None);
+        let zipf = crate::zipf::Zipf::new(pool.len(), theta);
+        let value_skews: Vec<crate::zipf::Zipf> = (0..schema.nominal_count())
+            .map(|j| {
+                let cardinality = schema
+                    .nominal_domain(j)
+                    .map_or(1, |d| d.cardinality().max(1));
+                crate::zipf::Zipf::new(cardinality, theta)
+            })
+            .collect();
+        let mut total_rows = initial_rows;
+        let mut ops = Vec::with_capacity(count);
+        for _ in 0..count {
+            let is_write = self.rng.gen::<f64>() < write_fraction;
+            // Deletes need at least one addressable row.
+            if is_write && (total_rows == 0 || self.rng.gen::<bool>()) {
+                let numeric: Vec<f64> = (0..schema.numeric_count())
+                    .map(|_| self.rng.gen::<f64>())
+                    .collect();
+                let nominal: Vec<ValueId> = value_skews
+                    .iter()
+                    .map(|z| z.sample(&mut self.rng))
+                    .collect();
+                total_rows += 1;
+                ops.push(WorkloadOp::Insert { numeric, nominal });
+            } else if is_write {
+                let row = self.rng.gen_range(0..total_rows) as PointId;
+                ops.push(WorkloadOp::Delete { row });
+            } else {
+                let pref = pool[zipf.sample(&mut self.rng) as usize].clone();
+                ops.push(WorkloadOp::Query(pref));
+            }
+        }
+        ops
+    }
+}
+
+/// One operation of a mixed read/write stream (see [`QueryGenerator::mixed_workload`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadOp {
+    /// Answer an implicit-preference query.
+    Query(Preference),
+    /// Insert a row (numeric values in numeric-index order, nominal value ids in
+    /// nominal-index order).
+    Insert {
+        /// Values for the numeric dimensions.
+        numeric: Vec<f64>,
+        /// Value ids for the nominal dimensions.
+        nominal: Vec<ValueId>,
+    },
+    /// Logically delete a row that exists at this point of the stream (it may already have
+    /// been deleted by an earlier operation — consumers treat that as a no-op).
+    Delete {
+        /// The target row id.
+        row: PointId,
+    },
 }
 
 /// The `k` most frequent values of every nominal dimension of `dataset` (used both by the
@@ -379,6 +461,104 @@ mod tests {
         let template = cfg.template(&data);
         cfg.query_generator()
             .zipf_workload(data.schema(), &template, 2, 0, 10, 1.0);
+    }
+
+    #[test]
+    fn mixed_workload_interleaves_valid_reads_and_writes() {
+        let cfg = small_config();
+        let data = cfg.generate_dataset();
+        let template = cfg.template(&data);
+        let mut gen = cfg.query_generator();
+        let ops = gen.mixed_workload(data.schema(), &template, 2, 12, 400, 1.0, 0.3, data.len());
+        assert_eq!(ops.len(), 400);
+        let mut total_rows = data.len();
+        let (mut queries, mut inserts, mut deletes) = (0usize, 0usize, 0usize);
+        for op in &ops {
+            match op {
+                WorkloadOp::Query(pref) => {
+                    pref.validate(data.schema()).unwrap();
+                    assert!(pref.refines(template.implicit().unwrap()));
+                    queries += 1;
+                }
+                WorkloadOp::Insert { numeric, nominal } => {
+                    assert_eq!(numeric.len(), data.schema().numeric_count());
+                    assert_eq!(nominal.len(), data.schema().nominal_count());
+                    for (j, &v) in nominal.iter().enumerate() {
+                        let card = data.schema().nominal_domain(j).unwrap().cardinality();
+                        assert!((v as usize) < card, "value {v} outside domain {card}");
+                    }
+                    total_rows += 1;
+                    inserts += 1;
+                }
+                WorkloadOp::Delete { row } => {
+                    assert!(
+                        (*row as usize) < total_rows,
+                        "delete target {row} must exist at this stream position"
+                    );
+                    deletes += 1;
+                }
+            }
+        }
+        // ~30% writes: both kinds occur, reads still dominate.
+        assert!(queries > 200, "got {queries} queries");
+        assert!(inserts > 10, "got {inserts} inserts");
+        assert!(deletes > 10, "got {deletes} deletes");
+    }
+
+    #[test]
+    fn mixed_workload_is_reproducible_and_clamps_write_fraction() {
+        let cfg = small_config();
+        let data = cfg.generate_dataset();
+        let template = cfg.template(&data);
+        let a = cfg.query_generator().mixed_workload(
+            data.schema(),
+            &template,
+            2,
+            8,
+            60,
+            1.0,
+            0.5,
+            data.len(),
+        );
+        let b = cfg.query_generator().mixed_workload(
+            data.schema(),
+            &template,
+            2,
+            8,
+            60,
+            1.0,
+            0.5,
+            data.len(),
+        );
+        assert_eq!(a, b);
+        // write_fraction 0 → pure query stream; > 1 clamps to all-writes.
+        let reads = cfg.query_generator().mixed_workload(
+            data.schema(),
+            &template,
+            2,
+            8,
+            40,
+            1.0,
+            0.0,
+            data.len(),
+        );
+        assert!(reads.iter().all(|op| matches!(op, WorkloadOp::Query(_))));
+        let writes = cfg.query_generator().mixed_workload(
+            data.schema(),
+            &template,
+            2,
+            8,
+            40,
+            1.0,
+            7.5,
+            data.len(),
+        );
+        assert!(writes.iter().all(|op| !matches!(op, WorkloadOp::Query(_))));
+        // Starting from an empty dataset, the first write must be an insert.
+        let from_empty =
+            cfg.query_generator()
+                .mixed_workload(data.schema(), &template, 2, 8, 40, 1.0, 1.0, 0);
+        assert!(matches!(from_empty[0], WorkloadOp::Insert { .. }));
     }
 
     #[test]

@@ -24,11 +24,7 @@ fn main() -> Result<()> {
     );
 
     // One build serves everyone: the engine is Send + Sync.
-    let engine = Arc::new(SkylineEngine::build(
-        data,
-        template.clone(),
-        EngineConfig::Hybrid { top_k: 10 },
-    )?);
+    let engine = SkylineEngine::build(data, template.clone(), EngineConfig::Hybrid { top_k: 10 })?;
 
     // A multi-user workload: 2000 queries drawn from a pool of 64 preference profiles with
     // Zipf(θ=1) popularity — a few profiles are asked over and over, as in production.
@@ -41,11 +37,15 @@ fn main() -> Result<()> {
         2_000,
         1.0,
     );
+    let engine = SharedEngine::new(engine);
 
     // Serial baseline: every query runs the engine from scratch.
     let started = Instant::now();
-    for q in &queries {
-        engine.query(q)?;
+    {
+        let engine = engine.read();
+        for q in &queries {
+            engine.query(q)?;
+        }
     }
     let serial = started.elapsed();
     println!(

@@ -1,9 +1,16 @@
-//! Sharded LRU result cache keyed on canonical preferences.
+//! Sharded LRU result cache keyed on canonical preferences, tagged with dataset epochs.
 //!
 //! Thousands of users sharing the exact same preference is the normal case in the paper's
 //! workload (nominal values — and hence stated preferences — follow a Zipfian skew), so the
 //! service memoizes full query answers. Keys are [`skyline_core::CanonicalPreference`]s: two
 //! textually different but semantically equal preferences hit the same entry.
+//!
+//! Every entry carries the [`DatasetEpoch`] it was computed at. A lookup passes the engine's
+//! *current* epoch; an entry from another epoch is stale, counts as a miss and is dropped on
+//! the spot. A dataset mutation therefore invalidates every cached result **atomically** (the
+//! epoch moved, so no stale entry can ever be returned) without flushing anything — stale
+//! entries expire lazily, one by one, exactly when they are next touched or evicted by
+//! capacity.
 //!
 //! The cache is split into independently locked shards so concurrent workers rarely contend;
 //! a key's shard is chosen from its stable fingerprint. Each shard runs the classic
@@ -12,15 +19,19 @@
 //! lists, no unsafe.
 
 use skyline::QueryOutcome;
-use skyline_core::CanonicalPreference;
+use skyline_core::{CanonicalPreference, DatasetEpoch};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// A sharded, thread-safe LRU cache from canonical preferences to query outcomes.
+/// A sharded, thread-safe LRU cache from canonical preferences to epoch-tagged query
+/// outcomes.
 #[derive(Debug)]
 pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
+    /// Entries dropped because their epoch no longer matched the engine's (lazy expiry).
+    stale_evictions: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -36,6 +47,8 @@ struct Shard {
 struct Entry {
     value: Arc<QueryOutcome>,
     stamp: u64,
+    /// The dataset epoch the outcome was computed at.
+    epoch: DatasetEpoch,
 }
 
 impl ResultCache {
@@ -54,7 +67,13 @@ impl ResultCache {
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             capacity_per_shard,
+            stale_evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Entries dropped so far because their epoch no longer matched the lookup's.
+    pub fn stale_evictions(&self) -> u64 {
+        self.stale_evictions.load(Ordering::Relaxed)
     }
 
     /// Number of shards the key space is split over.
@@ -87,14 +106,21 @@ impl ResultCache {
         &self.shards[idx]
     }
 
-    /// Looks up a cached outcome, refreshing the entry's recency on a hit.
-    pub fn get(&self, key: &CanonicalPreference) -> Option<Arc<QueryOutcome>> {
+    /// Looks up a cached outcome computed at exactly `epoch`, refreshing the entry's recency
+    /// on a hit. An entry tagged with any other epoch is stale: it is dropped immediately,
+    /// counted in [`ResultCache::stale_evictions`], and the lookup misses.
+    pub fn get(&self, key: &CanonicalPreference, epoch: DatasetEpoch) -> Option<Arc<QueryOutcome>> {
         if self.capacity_per_shard == 0 {
             return None;
         }
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         let stamp = shard.bump_stamp();
         let entry = shard.map.get_mut(key)?;
+        if entry.epoch != epoch {
+            shard.map.remove(key);
+            self.stale_evictions.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         entry.stamp = stamp;
         let value = entry.value.clone();
         shard.queue.push_back((stamp, key.clone()));
@@ -102,15 +128,23 @@ impl ResultCache {
         Some(value)
     }
 
-    /// Inserts (or refreshes) an outcome, evicting least-recently-used entries over capacity.
-    pub fn insert(&self, key: CanonicalPreference, value: Arc<QueryOutcome>) {
+    /// Inserts (or refreshes) an outcome computed at `epoch`, evicting least-recently-used
+    /// entries over capacity.
+    pub fn insert(&self, key: CanonicalPreference, epoch: DatasetEpoch, value: Arc<QueryOutcome>) {
         if self.capacity_per_shard == 0 {
             return;
         }
         let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
         let stamp = shard.bump_stamp();
         shard.queue.push_back((stamp, key.clone()));
-        shard.map.insert(key, Entry { value, stamp });
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                stamp,
+                epoch,
+            },
+        );
         while shard.map.len() > self.capacity_per_shard {
             let Some((stamp, key)) = shard.queue.pop_front() else {
                 break; // Unreachable: every map entry has a live queue pair.
@@ -146,6 +180,8 @@ mod tests {
     use skyline::{MethodUsed, QueryOutcome};
     use skyline_core::{Dimension, NominalDomain, Preference, Schema};
 
+    const E0: DatasetEpoch = DatasetEpoch::INITIAL;
+
     fn schema(cardinality: usize) -> Schema {
         Schema::new(vec![
             Dimension::numeric("x"),
@@ -175,9 +211,9 @@ mod tests {
         let cache = ResultCache::new(16, 4);
         assert!(cache.is_empty());
         let k = key(&schema, &[3]);
-        assert!(cache.get(&k).is_none());
-        cache.insert(k.clone(), outcome(7));
-        assert_eq!(cache.get(&k).unwrap().skyline, vec![7]);
+        assert!(cache.get(&k, E0).is_none());
+        cache.insert(k.clone(), E0, outcome(7));
+        assert_eq!(cache.get(&k, E0).unwrap().skyline, vec![7]);
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.capacity(), 16);
         assert_eq!(cache.shard_count(), 4);
@@ -190,16 +226,19 @@ mod tests {
         let cache = ResultCache::new(3, 1);
         let keys: Vec<CanonicalPreference> = (0u16..4).map(|v| key(&schema, &[v])).collect();
         for (i, k) in keys.iter().take(3).enumerate() {
-            cache.insert(k.clone(), outcome(i as u32));
+            cache.insert(k.clone(), E0, outcome(i as u32));
         }
         // Touch key 0 so key 1 becomes the LRU victim.
-        assert!(cache.get(&keys[0]).is_some());
-        cache.insert(keys[3].clone(), outcome(3));
+        assert!(cache.get(&keys[0], E0).is_some());
+        cache.insert(keys[3].clone(), E0, outcome(3));
         assert_eq!(cache.len(), 3);
-        assert!(cache.get(&keys[0]).is_some());
-        assert!(cache.get(&keys[1]).is_none(), "coldest entry must be gone");
-        assert!(cache.get(&keys[2]).is_some());
-        assert!(cache.get(&keys[3]).is_some());
+        assert!(cache.get(&keys[0], E0).is_some());
+        assert!(
+            cache.get(&keys[1], E0).is_none(),
+            "coldest entry must be gone"
+        );
+        assert!(cache.get(&keys[2], E0).is_some());
+        assert!(cache.get(&keys[3], E0).is_some());
     }
 
     #[test]
@@ -207,10 +246,10 @@ mod tests {
         let schema = schema(8);
         let cache = ResultCache::new(2, 1);
         let k = key(&schema, &[1]);
-        cache.insert(k.clone(), outcome(1));
-        cache.insert(k.clone(), outcome(2));
+        cache.insert(k.clone(), E0, outcome(1));
+        cache.insert(k.clone(), E0, outcome(2));
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.get(&k).unwrap().skyline, vec![2]);
+        assert_eq!(cache.get(&k, E0).unwrap().skyline, vec![2]);
     }
 
     #[test]
@@ -218,8 +257,8 @@ mod tests {
         let schema = schema(8);
         let cache = ResultCache::new(0, 8);
         let k = key(&schema, &[1]);
-        cache.insert(k.clone(), outcome(1));
-        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), E0, outcome(1));
+        assert!(cache.get(&k, E0).is_none());
         assert!(cache.is_empty());
         assert_eq!(cache.capacity(), 0);
     }
@@ -229,9 +268,9 @@ mod tests {
         let schema = schema(8);
         let cache = ResultCache::new(4, 1);
         let k = key(&schema, &[2]);
-        cache.insert(k.clone(), outcome(1));
+        cache.insert(k.clone(), E0, outcome(1));
         for _ in 0..10_000 {
-            assert!(cache.get(&k).is_some());
+            assert!(cache.get(&k, E0).is_some());
         }
         let shard = cache.shards[0].lock().unwrap();
         assert!(
@@ -242,12 +281,48 @@ mod tests {
     }
 
     #[test]
+    fn epoch_mismatch_expires_lazily_and_is_counted() {
+        let schema = schema(8);
+        let cache = ResultCache::new(8, 2);
+        let (k1, k2) = (key(&schema, &[1]), key(&schema, &[2]));
+        cache.insert(k1.clone(), E0, outcome(1));
+        cache.insert(k2.clone(), E0, outcome(2));
+        assert_eq!(cache.len(), 2);
+
+        // The "mutation": lookups now run at a later epoch. Nothing is flushed eagerly…
+        let bumped = {
+            let mut block = skyline_core::PointBlock::new(
+                &skyline_core::Dataset::from_columns(
+                    schema.clone(),
+                    vec![vec![1.0]],
+                    vec![vec![0]],
+                )
+                .unwrap(),
+            );
+            block.tombstone(0).unwrap();
+            block.epoch()
+        };
+        assert_eq!(cache.len(), 2, "no global flush");
+        // …but a stale entry can never be returned: it expires on first touch.
+        assert!(cache.get(&k1, bumped).is_none());
+        assert_eq!(cache.stale_evictions(), 1);
+        assert_eq!(cache.len(), 1, "expired entry is dropped in place");
+        // A fresh answer cached at the new epoch serves normally.
+        cache.insert(k1.clone(), bumped, outcome(9));
+        assert_eq!(cache.get(&k1, bumped).unwrap().skyline, vec![9]);
+        // The untouched key still holds its stale entry until it is looked up.
+        assert!(cache.get(&k2, bumped).is_none());
+        assert_eq!(cache.stale_evictions(), 2);
+        assert!(cache.get(&k2, E0).is_none(), "dropped, not resurrected");
+    }
+
+    #[test]
     fn equivalent_preferences_share_an_entry() {
         let schema = schema(2);
         let cache = ResultCache::new(8, 2);
         // On a 2-value domain, [0, 1] and [0] are the same partial order.
-        cache.insert(key(&schema, &[0, 1]), outcome(9));
-        assert_eq!(cache.get(&key(&schema, &[0])).unwrap().skyline, vec![9]);
+        cache.insert(key(&schema, &[0, 1]), E0, outcome(9));
+        assert_eq!(cache.get(&key(&schema, &[0]), E0).unwrap().skyline, vec![9]);
         assert_eq!(cache.len(), 1);
     }
 }

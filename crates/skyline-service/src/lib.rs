@@ -39,18 +39,26 @@
 //! // One worker keeps the miss count deterministic for this example; with a pool, concurrent
 //! // workers may each miss the cold cache for the same key (there is no single-flight yet).
 //! let service = SkylineService::with_config(
-//!     Arc::new(engine),
+//!     engine,
 //!     ServiceConfig { workers: 1, ..ServiceConfig::default() },
 //! );
 //!
-//! let alice = Preference::parse(service.engine().dataset().schema(),
-//!                               [("hotel-group", "T < M < *")]).unwrap();
-//! let batch: Vec<Preference> = std::iter::repeat(alice).take(100).collect();
+//! let schema = service.engine().read().dataset().schema().clone();
+//! let alice = Preference::parse(&schema, [("hotel-group", "T < M < *")]).unwrap();
+//! let batch: Vec<Preference> = std::iter::repeat(alice.clone()).take(100).collect();
 //! let answers = service.serve_batch(&batch);
 //! assert!(answers.iter().all(|a| a.as_ref().unwrap().outcome.skyline == vec![0, 2]));
 //! // 100 equivalent queries, one engine evaluation.
 //! assert_eq!(service.stats().misses, 1);
 //! assert_eq!(service.stats().hits, 99);
+//!
+//! // Dynamic data: a mutation bumps the dataset epoch, which atomically invalidates every
+//! // cached result — the next serve recomputes instead of replaying the stale answer.
+//! service.insert_row(&[1000.0, -5.0], &[0]).unwrap(); // an even better Tulips package
+//! let fresh = service.serve(&alice).unwrap();
+//! assert!(!fresh.cache_hit);
+//! assert_eq!(fresh.outcome.skyline, vec![6]);
+//! assert_eq!(service.stats().mutations, 1);
 //! ```
 
 #![forbid(unsafe_code)]

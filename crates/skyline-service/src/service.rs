@@ -1,10 +1,10 @@
-//! The concurrent query service: one shared engine, many users.
+//! The concurrent query service: one shared engine, many users, dynamic data.
 
 use crate::cache::ResultCache;
 use crate::executor;
 use crate::stats::{ServiceMetrics, StatsSnapshot};
-use skyline::{EngineScratch, QueryOutcome, SkylineEngine};
-use skyline_core::{CanonicalPreference, Preference, Result};
+use skyline::{EngineScratch, QueryOutcome, SharedEngine};
+use skyline_core::{CanonicalPreference, DatasetEpoch, PointId, Preference, Result, ValueId};
 use std::num::NonZeroUsize;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -39,35 +39,47 @@ pub struct Served {
     pub outcome: Arc<QueryOutcome>,
     /// Whether the answer came from the result cache.
     pub cache_hit: bool,
+    /// The dataset epoch the answer is valid for.
+    pub epoch: DatasetEpoch,
     /// Wall-clock time spent serving this query.
     pub latency: Duration,
 }
 
-/// A concurrent, cache-backed skyline query service over one shared [`SkylineEngine`].
+/// A concurrent, cache-backed skyline query service over one [`SharedEngine`].
 ///
-/// The engine is `Send + Sync` (it holds its dataset in an `Arc`), so a single preprocessing
+/// Queries take the engine's read lock (many concurrent readers), so a single preprocessing
 /// pass serves every user: wrap the service itself in an `Arc` and call
 /// [`serve`](SkylineService::serve) from as many threads as you like, or hand a whole batch to
 /// [`serve_batch`](SkylineService::serve_batch) and let the built-in worker pool spread it
 /// over the cores. Results are memoized in a sharded LRU cache keyed on
 /// [`CanonicalPreference`], so the Zipf-skewed preference streams of the paper's workload
 /// (many users, few popular preferences) are mostly answered without touching the engine.
+///
+/// # Dynamic datasets
+///
+/// [`SkylineService::insert_row`] and [`SkylineService::delete_row`] mutate the engine under
+/// its write lock. Every cached result is tagged with the [`DatasetEpoch`] it was computed at
+/// and every lookup runs at the engine's current epoch, so one mutation atomically invalidates
+/// the whole cached state — without a flush: stale entries expire lazily on their next touch
+/// (counted in [`StatsSnapshot::stale_evictions`]). A mutated engine can therefore never serve
+/// a stale skyline.
 #[derive(Debug)]
 pub struct SkylineService {
-    engine: Arc<SkylineEngine>,
+    engine: SharedEngine,
     cache: ResultCache,
     metrics: ServiceMetrics,
     workers: usize,
 }
 
 impl SkylineService {
-    /// Wraps an engine with the default configuration.
-    pub fn new(engine: Arc<SkylineEngine>) -> Self {
+    /// Wraps an engine with the default configuration. Accepts an owned
+    /// [`skyline::SkylineEngine`] or an existing [`SharedEngine`] clone.
+    pub fn new(engine: impl Into<SharedEngine>) -> Self {
         Self::with_config(engine, ServiceConfig::default())
     }
 
     /// Wraps an engine with explicit cache/worker settings.
-    pub fn with_config(engine: Arc<SkylineEngine>, config: ServiceConfig) -> Self {
+    pub fn with_config(engine: impl Into<SharedEngine>, config: ServiceConfig) -> Self {
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()
                 .map(NonZeroUsize::get)
@@ -76,15 +88,16 @@ impl SkylineService {
             config.workers
         };
         Self {
-            engine,
+            engine: engine.into(),
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
             metrics: ServiceMetrics::new(),
             workers,
         }
     }
 
-    /// The shared engine answering cache misses.
-    pub fn engine(&self) -> &Arc<SkylineEngine> {
+    /// The shared engine answering cache misses (read-lock it to inspect or query directly;
+    /// do not hold the guard across service calls).
+    pub fn engine(&self) -> &SharedEngine {
         &self.engine
     }
 
@@ -98,9 +111,46 @@ impl SkylineService {
         self.cache.len()
     }
 
+    /// The engine's current mutation epoch.
+    pub fn epoch(&self) -> DatasetEpoch {
+        self.engine.read().epoch()
+    }
+
     /// Counters accumulated since the service was built.
     pub fn stats(&self) -> StatsSnapshot {
-        self.metrics.snapshot()
+        let mut snapshot = self.metrics.snapshot();
+        snapshot.stale_evictions = self.cache.stale_evictions();
+        snapshot
+    }
+
+    /// Inserts a row into the served dataset and returns the new epoch.
+    ///
+    /// Takes the engine's write lock; in-flight queries finish first (tagged with the old
+    /// epoch), queries starting afterwards run — and cache — at the new one. Stale cached
+    /// results are invalidated atomically by the epoch bump and expire lazily.
+    pub fn insert_row(&self, numeric: &[f64], nominal: &[ValueId]) -> Result<DatasetEpoch> {
+        let mut engine = self.engine.write();
+        let epoch = engine
+            .insert_row(numeric, nominal)
+            .inspect_err(|_| self.metrics.record_error())?;
+        drop(engine);
+        self.metrics.record_mutation();
+        Ok(epoch)
+    }
+
+    /// Logically deletes a row from the served dataset and returns the new epoch. Deleting an
+    /// already-deleted row is a no-op (the epoch — and hence the cache — is untouched).
+    pub fn delete_row(&self, p: PointId) -> Result<DatasetEpoch> {
+        let mut engine = self.engine.write();
+        let before = engine.epoch();
+        let epoch = engine
+            .delete_row(p)
+            .inspect_err(|_| self.metrics.record_error())?;
+        drop(engine);
+        if epoch != before {
+            self.metrics.record_mutation();
+        }
+        Ok(epoch)
     }
 
     /// Answers one query, consulting the result cache first.
@@ -120,36 +170,44 @@ impl SkylineService {
         scratch: &mut EngineScratch,
     ) -> Result<Served> {
         let started = Instant::now();
-        let key = CanonicalPreference::new(self.engine.dataset().schema(), pref)
+        // The read guard is held across epoch read, cache lookup and (on a miss) the engine
+        // query: mutations cannot interleave, so the answer, its epoch tag and the cache entry
+        // are mutually consistent.
+        let engine = self.engine.read();
+        let epoch = engine.epoch();
+        let key = CanonicalPreference::new(engine.dataset().schema(), pref)
             .inspect_err(|_| self.metrics.record_error())?;
         // Servability (refinement, materialization) is judged on the *written* preference
         // while canonical keys are *semantic*, so the engine's acceptance policy must run
         // before the cache lookup: a preference the engine would reject could otherwise be
         // answered from an entry cached by an equivalent accepted one, making the same input
         // succeed or fail depending on cache state.
-        self.engine
+        engine
             .check_servable(pref)
             .inspect_err(|_| self.metrics.record_error())?;
-        if let Some(outcome) = self.cache.get(&key) {
+        if let Some(outcome) = self.cache.get(&key, epoch) {
             let latency = started.elapsed();
             self.metrics.record(true, latency);
             return Ok(Served {
                 outcome,
                 cache_hit: true,
+                epoch,
                 latency,
             });
         }
-        let outcome = self
-            .engine
-            .query_with_scratch(pref, scratch)
+        // `query_at` re-validates the epoch inside the engine — free under the read lock, and
+        // it keeps the "answer matches its tag" property even if this code is ever rearranged.
+        let outcome = engine
+            .query_at(pref, epoch, scratch)
             .map(Arc::new)
             .inspect_err(|_| self.metrics.record_error())?;
-        self.cache.insert(key, outcome.clone());
+        self.cache.insert(key, epoch, outcome.clone());
         let latency = started.elapsed();
         self.metrics.record(false, latency);
         Ok(Served {
             outcome,
             cache_hit: false,
+            epoch,
             latency,
         })
     }
@@ -175,7 +233,7 @@ mod tests {
     use super::*;
     use skyline::prelude::*;
 
-    fn engine() -> Arc<SkylineEngine> {
+    fn engine() -> SharedEngine {
         let config = ExperimentConfig {
             n: 300,
             numeric_dims: 2,
@@ -188,7 +246,9 @@ mod tests {
         };
         let data = Arc::new(config.generate_dataset());
         let template = config.template(&data);
-        Arc::new(SkylineEngine::build(data, template, EngineConfig::Hybrid { top_k: 3 }).unwrap())
+        SharedEngine::new(
+            SkylineEngine::build(data, template, EngineConfig::Hybrid { top_k: 3 }).unwrap(),
+        )
     }
 
     #[test]
@@ -202,8 +262,8 @@ mod tests {
     fn repeated_queries_hit_the_cache_with_identical_answers() {
         let engine = engine();
         let service = SkylineService::new(engine.clone());
-        let schema = engine.dataset().schema().clone();
-        let template = engine.template().clone();
+        let schema = engine.read().dataset().schema().clone();
+        let template = engine.read().template().clone();
         let mut generator = QueryGenerator::new(77);
         let pref = generator.random_preference(&schema, &template, 2, None);
 
@@ -211,8 +271,12 @@ mod tests {
         assert!(!first.cache_hit);
         let second = service.serve(&pref).unwrap();
         assert!(second.cache_hit);
+        assert_eq!(first.epoch, second.epoch);
         assert_eq!(first.outcome.skyline, second.outcome.skyline);
-        assert_eq!(first.outcome.skyline, engine.query(&pref).unwrap().skyline);
+        assert_eq!(
+            first.outcome.skyline,
+            engine.read().query(&pref).unwrap().skyline
+        );
 
         let stats = service.stats();
         assert_eq!(stats.hits, 1);
@@ -230,8 +294,8 @@ mod tests {
                 ..ServiceConfig::default()
             },
         );
-        let schema = engine.dataset().schema().clone();
-        let template = engine.template().clone();
+        let schema = engine.read().dataset().schema().clone();
+        let template = engine.read().template().clone();
         let mut generator = QueryGenerator::new(13);
         let prefs = generator.zipf_workload(&schema, &template, 2, 10, 80, 1.0);
 
@@ -239,7 +303,7 @@ mod tests {
         assert_eq!(served.len(), prefs.len());
         for (pref, result) in prefs.iter().zip(&served) {
             let served_skyline = &result.as_ref().unwrap().outcome.skyline;
-            assert_eq!(served_skyline, &engine.query(pref).unwrap().skyline);
+            assert_eq!(served_skyline, &engine.read().query(pref).unwrap().skyline);
         }
         let stats = service.stats();
         assert_eq!(stats.served(), 80);
@@ -260,6 +324,27 @@ mod tests {
     }
 
     #[test]
+    fn mutations_bump_the_epoch_and_are_counted() {
+        let engine = engine();
+        let service = SkylineService::new(engine.clone());
+        let e0 = service.epoch();
+        assert_eq!(e0, DatasetEpoch::INITIAL);
+        let e1 = service.insert_row(&[0.5, 0.5], &[0, 0]).unwrap();
+        assert!(e1 > e0);
+        let e2 = service.delete_row(0).unwrap();
+        assert!(e2 > e1);
+        // Deleting the same row again is a no-op: same epoch, no mutation counted.
+        let e3 = service.delete_row(0).unwrap();
+        assert_eq!(e3, e2);
+        // Deleting a row that never existed is an error.
+        assert!(service.delete_row(999_999).is_err());
+        let stats = service.stats();
+        assert_eq!(stats.mutations, 2);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(service.epoch(), engine.read().epoch());
+    }
+
+    #[test]
     fn non_refining_queries_error_even_after_an_equivalent_entry_was_cached() {
         // Template with the *full-domain* implicit list [0, 1] on a cardinality-2 dimension:
         // the refining query [0, 1] and the non-refining query [0] induce the same partial
@@ -277,8 +362,9 @@ mod tests {
             Preference::from_dims(vec![ImplicitPreference::new([0, 1]).unwrap()]),
         )
         .unwrap();
-        let engine =
-            Arc::new(SkylineEngine::build(data, template, EngineConfig::AdaptiveSfs).unwrap());
+        let engine = SharedEngine::new(
+            SkylineEngine::build(data, template, EngineConfig::AdaptiveSfs).unwrap(),
+        );
         let service = SkylineService::new(engine.clone());
 
         let refining = Preference::from_dims(vec![ImplicitPreference::new([0, 1]).unwrap()]);
@@ -288,7 +374,7 @@ mod tests {
             refining.canonicalize(&schema).unwrap(),
             non_refining.canonicalize(&schema).unwrap()
         );
-        assert!(engine.query(&non_refining).is_err());
+        assert!(engine.read().query(&non_refining).is_err());
 
         assert!(service.serve(&refining).is_ok());
         assert!(
@@ -320,8 +406,9 @@ mod tests {
             .unwrap(),
         );
         let template = Template::empty(&schema);
-        let engine =
-            Arc::new(SkylineEngine::build(data, template, EngineConfig::IpoTreeTopK(1)).unwrap());
+        let engine = SharedEngine::new(
+            SkylineEngine::build(data, template, EngineConfig::IpoTreeTopK(1)).unwrap(),
+        );
         let service = SkylineService::new(engine.clone());
 
         let servable = Preference::from_dims(vec![ImplicitPreference::new([0]).unwrap()]);
@@ -330,7 +417,7 @@ mod tests {
             servable.canonicalize(&schema).unwrap(),
             unmaterialized.canonicalize(&schema).unwrap()
         );
-        assert!(engine.query(&unmaterialized).is_err());
+        assert!(engine.read().query(&unmaterialized).is_err());
 
         assert!(service.serve(&servable).is_ok());
         assert!(
@@ -349,14 +436,12 @@ mod tests {
             )
             .unwrap(),
         );
-        let hybrid = Arc::new(
-            SkylineEngine::build(
-                data,
-                Template::empty(&schema),
-                EngineConfig::Hybrid { top_k: 1 },
-            )
-            .unwrap(),
-        );
+        let hybrid = SkylineEngine::build(
+            data,
+            Template::empty(&schema),
+            EngineConfig::Hybrid { top_k: 1 },
+        )
+        .unwrap();
         let hybrid_service = SkylineService::new(hybrid);
         assert!(hybrid_service.serve(&servable).is_ok());
         assert!(hybrid_service.serve(&unmaterialized).is_ok());
@@ -366,6 +451,6 @@ mod tests {
     fn workers_default_to_available_parallelism() {
         let service = SkylineService::new(engine());
         assert!(service.workers() >= 1);
-        assert!(!service.engine().dataset().is_empty());
+        assert!(!service.engine().read().dataset().is_empty());
     }
 }

@@ -17,6 +17,7 @@ pub struct ServiceMetrics {
     hits: AtomicU64,
     misses: AtomicU64,
     errors: AtomicU64,
+    mutations: AtomicU64,
     latency_ns: [AtomicU64; BUCKETS],
 }
 
@@ -26,6 +27,7 @@ impl Default for ServiceMetrics {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
             latency_ns: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -54,6 +56,11 @@ impl ServiceMetrics {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one dataset mutation (an insert or a live delete that bumped the epoch).
+    pub fn record_mutation(&self) {
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot of the counters (individual loads are relaxed).
     pub fn snapshot(&self) -> StatsSnapshot {
         let hits = self.hits.load(Ordering::Relaxed);
@@ -68,6 +75,8 @@ impl ServiceMetrics {
             hits,
             misses,
             errors,
+            mutations: self.mutations.load(Ordering::Relaxed),
+            stale_evictions: 0,
             p50: percentile(&buckets, 0.50),
             p99: percentile(&buckets, 0.99),
         }
@@ -105,6 +114,11 @@ pub struct StatsSnapshot {
     pub misses: u64,
     /// Queries that returned an error (not cached, not counted in `hits`/`misses`).
     pub errors: u64,
+    /// Dataset mutations served (inserts and live deletes; each bumped the epoch).
+    pub mutations: u64,
+    /// Cached results dropped because a mutation made their epoch stale (lazy expiry; filled
+    /// in from the result cache by `SkylineService::stats`).
+    pub stale_evictions: u64,
     /// Median latency (upper bound of its power-of-two bucket).
     pub p50: Duration,
     /// 99th-percentile latency (upper bound of its power-of-two bucket).

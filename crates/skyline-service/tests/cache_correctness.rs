@@ -57,7 +57,7 @@ fn instance_strategy() -> impl Strategy<Value = StreamInstance> {
     })
 }
 
-fn build_engine(instance: &StreamInstance) -> Arc<SkylineEngine> {
+fn build_engine(instance: &StreamInstance) -> SharedEngine {
     let schema = Schema::new(vec![
         Dimension::numeric("x"),
         Dimension::numeric("y"),
@@ -70,7 +70,9 @@ fn build_engine(instance: &StreamInstance) -> Arc<SkylineEngine> {
     );
     let template = Template::empty(data.schema());
     // Hybrid with a small top_k: the stream exercises both the tree and the fallback.
-    Arc::new(SkylineEngine::build(data, template, EngineConfig::Hybrid { top_k: 2 }).unwrap())
+    SharedEngine::new(
+        SkylineEngine::build(data, template, EngineConfig::Hybrid { top_k: 2 }).unwrap(),
+    )
 }
 
 proptest! {
@@ -106,7 +108,7 @@ proptest! {
             ServiceConfig { cache_capacity: 0, cache_shards: 1, workers: 1 },
         );
         for (i, pref) in stream.iter().enumerate() {
-            let expected = engine.query(pref).unwrap().skyline;
+            let expected = engine.read().query(pref).unwrap().skyline;
             let with_cache = cached.serve(pref).unwrap();
             let without_cache = uncached.serve(pref).unwrap();
             prop_assert_eq!(&with_cache.outcome.skyline, &expected, "cached, step {}", i);
@@ -145,7 +147,7 @@ proptest! {
         let batched = service.serve_batch(&stream);
         prop_assert_eq!(batched.len(), stream.len());
         for (i, (pref, result)) in stream.iter().zip(batched).enumerate() {
-            let expected = engine.query(pref).unwrap().skyline;
+            let expected = engine.read().query(pref).unwrap().skyline;
             prop_assert_eq!(&result.unwrap().outcome.skyline, &expected, "step {}", i);
         }
     }

@@ -6,7 +6,7 @@ use skyline_service::{ServiceConfig, SkylineService};
 use std::sync::Arc;
 use std::thread;
 
-fn build_engine(seed: u64, config: EngineConfig) -> Arc<SkylineEngine> {
+fn build_engine(seed: u64, config: EngineConfig) -> SharedEngine {
     let experiment = ExperimentConfig {
         n: 800,
         numeric_dims: 2,
@@ -19,10 +19,11 @@ fn build_engine(seed: u64, config: EngineConfig) -> Arc<SkylineEngine> {
     };
     let data = Arc::new(experiment.generate_dataset());
     let template = experiment.template(&data);
-    Arc::new(SkylineEngine::build(data, template, config).unwrap())
+    SharedEngine::new(SkylineEngine::build(data, template, config).unwrap())
 }
 
-fn workload(engine: &SkylineEngine, seed: u64, count: usize) -> Vec<Preference> {
+fn workload(engine: &SharedEngine, seed: u64, count: usize) -> Vec<Preference> {
+    let engine = engine.read();
     let mut generator = QueryGenerator::new(seed);
     generator.zipf_workload(
         engine.dataset().schema(),
@@ -46,7 +47,7 @@ fn engine_is_shareable_across_threads() {
     let queries = workload(&engine, 17, 64);
     let serial: Vec<Vec<PointId>> = queries
         .iter()
-        .map(|q| engine.query(q).unwrap().skyline)
+        .map(|q| engine.read().query(q).unwrap().skyline)
         .collect();
 
     let threads = 8;
@@ -59,7 +60,7 @@ fn engine_is_shareable_across_threads() {
                 // Each thread walks the workload at a different offset.
                 for i in 0..queries.len() {
                     let idx = (i + t * 7) % queries.len();
-                    let got = engine.query(&queries[idx]).unwrap().skyline;
+                    let got = engine.read().query(&queries[idx]).unwrap().skyline;
                     assert_eq!(got, serial[idx], "thread {t}, query {idx}");
                 }
             });
@@ -81,7 +82,7 @@ fn threaded_service_matches_serial_engine_for_every_config() {
         let queries = workload(&engine, 29, 120);
         let serial: Vec<Vec<PointId>> = queries
             .iter()
-            .map(|q| engine.query(q).unwrap().skyline)
+            .map(|q| engine.read().query(q).unwrap().skyline)
             .collect();
 
         let service = Arc::new(SkylineService::with_config(
@@ -141,7 +142,10 @@ fn cache_disabled_service_still_agrees() {
     for (q, r) in queries.iter().zip(service.serve_batch(&queries)) {
         let served = r.unwrap();
         assert!(!served.cache_hit);
-        assert_eq!(served.outcome.skyline, engine.query(q).unwrap().skyline);
+        assert_eq!(
+            served.outcome.skyline,
+            engine.read().query(q).unwrap().skyline
+        );
     }
     assert_eq!(service.stats().hits, 0);
     assert_eq!(service.cache_len(), 0);
@@ -160,7 +164,10 @@ fn tiny_cache_evicts_but_never_corrupts() {
         },
     );
     for (q, r) in queries.iter().zip(service.serve_batch(&queries)) {
-        assert_eq!(r.unwrap().outcome.skyline, engine.query(q).unwrap().skyline);
+        assert_eq!(
+            r.unwrap().outcome.skyline,
+            engine.read().query(q).unwrap().skyline
+        );
     }
     assert!(service.cache_len() <= 4);
 }

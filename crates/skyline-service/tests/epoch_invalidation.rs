@@ -1,0 +1,199 @@
+//! Regression suite for the dynamic-dataset service: a mutated engine must never serve a
+//! stale cached skyline. On the pre-epoch cache (entries not tagged with a [`DatasetEpoch`])
+//! these tests fail — the second serve after a mutation replays the memoized pre-mutation
+//! answer; with epoch-tagged entries the mutation atomically invalidates the cached state and
+//! every answer matches a from-scratch computation over the live rows.
+
+use proptest::prelude::*;
+use skyline::prelude::*;
+use skyline_core::algo::bnl;
+use skyline_service::{ServiceConfig, SkylineService};
+
+fn vacation_service() -> SkylineService {
+    let schema = Schema::new(vec![
+        Dimension::numeric("price"),
+        Dimension::numeric("class-neg"),
+        Dimension::nominal_with_labels("hotel-group", ["T", "H", "M"]),
+    ])
+    .unwrap();
+    let mut b = DatasetBuilder::new(schema);
+    for (price, class, group) in [
+        (1600.0, 4.0, "T"),
+        (2400.0, 1.0, "T"),
+        (3000.0, 5.0, "H"),
+        (3600.0, 4.0, "H"),
+        (2400.0, 2.0, "M"),
+        (3000.0, 3.0, "M"),
+    ] {
+        b.push_row([RowValue::Num(price), RowValue::Num(-class), group.into()])
+            .unwrap();
+    }
+    let data = b.build().unwrap();
+    let template = Template::empty(data.schema());
+    let engine = SkylineEngine::build(data, template, EngineConfig::Hybrid { top_k: 3 }).unwrap();
+    SkylineService::with_config(
+        engine,
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// Brute-force skyline over the service engine's live rows.
+fn live_oracle(service: &SkylineService, pref: &Preference) -> Vec<PointId> {
+    let engine = service.engine().read();
+    let ctx = DominanceContext::for_query(engine.dataset(), engine.template(), pref).unwrap();
+    let live: Vec<PointId> = engine
+        .dataset()
+        .point_ids()
+        .filter(|&p| engine.is_row_live(p))
+        .collect();
+    bnl::skyline_of(&ctx, &live)
+}
+
+#[test]
+fn a_cached_result_is_never_served_across_an_insert() {
+    let service = vacation_service();
+    let schema = service.engine().read().dataset().schema().clone();
+    let alice = Preference::parse(&schema, [("hotel-group", "T < M < *")]).unwrap();
+
+    let first = service.serve(&alice).unwrap();
+    assert!(!first.cache_hit);
+    assert_eq!(first.outcome.skyline, vec![0, 2]);
+    let hit = service.serve(&alice).unwrap();
+    assert!(hit.cache_hit, "warm cache must hit before the mutation");
+    assert_eq!(hit.epoch, first.epoch);
+
+    // Insert a Tulips package that dominates the whole cached answer.
+    let epoch = service.insert_row(&[1000.0, -5.0], &[0]).unwrap();
+    assert!(epoch > first.epoch);
+
+    let fresh = service.serve(&alice).unwrap();
+    assert!(
+        !fresh.cache_hit,
+        "a cached result must never be served across an epoch bump"
+    );
+    assert_eq!(fresh.epoch, epoch);
+    assert_eq!(fresh.outcome.skyline, vec![6]);
+    assert_eq!(fresh.outcome.skyline, live_oracle(&service, &alice));
+
+    let stats = service.stats();
+    assert_eq!(stats.mutations, 1);
+    assert_eq!(
+        stats.stale_evictions, 1,
+        "the stale entry expires lazily on its next touch"
+    );
+    // The recomputed answer is cached at the new epoch and hits again.
+    assert!(service.serve(&alice).unwrap().cache_hit);
+}
+
+#[test]
+fn a_cached_result_is_never_served_across_a_delete() {
+    let service = vacation_service();
+    let schema = service.engine().read().dataset().schema().clone();
+    let pref = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
+
+    let first = service.serve(&pref).unwrap();
+    assert!(service.serve(&pref).unwrap().cache_hit);
+    assert!(first.outcome.skyline.contains(&4));
+
+    // Delete skyline member e (the cheap Mozilla package): b resurfaces options.
+    service.delete_row(4).unwrap();
+    let fresh = service.serve(&pref).unwrap();
+    assert!(!fresh.cache_hit);
+    assert!(!fresh.outcome.skyline.contains(&4));
+    assert_eq!(fresh.outcome.skyline, live_oracle(&service, &pref));
+
+    // A no-op delete keeps the epoch, so the fresh answer still hits.
+    service.delete_row(4).unwrap();
+    assert!(service.serve(&pref).unwrap().cache_hit);
+    assert_eq!(service.stats().mutations, 1);
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Serve {
+        choices: Vec<ValueId>,
+    },
+    Insert {
+        numeric: Vec<f64>,
+        nominal: Vec<ValueId>,
+    },
+    Delete {
+        index: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        proptest::sample::subsequence(vec![0u16, 1, 2], 0..=2)
+            .prop_shuffle()
+            .prop_map(|choices| Op::Serve { choices }),
+        (
+            proptest::collection::vec(0i32..6, 2),
+            proptest::collection::vec(0u16..3, 1),
+        )
+            .prop_map(|(n, c)| Op::Insert {
+                numeric: n.into_iter().map(f64::from).collect(),
+                nominal: c,
+            }),
+        (0usize..32).prop_map(|index| Op::Delete { index }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Any interleaving of serves, inserts and deletes: every served answer equals the
+    /// brute-force skyline of the rows live at that moment, cache or no cache.
+    #[test]
+    fn served_answers_always_match_the_live_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..30),
+    ) {
+        let schema = Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::numeric("y"),
+            Dimension::nominal("g", NominalDomain::anonymous(3)),
+        ])
+        .unwrap();
+        let mut data = Dataset::empty(schema.clone());
+        for (x, y, g) in [(1.0, 4.0, 0), (2.0, 3.0, 1), (3.0, 2.0, 2), (4.0, 1.0, 0)] {
+            data.push_row_ids(&[x, y], &[g]).unwrap();
+        }
+        let template = Template::empty(&schema);
+        let engine =
+            SkylineEngine::build(data, template, EngineConfig::AdaptiveSfs).unwrap();
+        let service = SkylineService::with_config(
+            engine,
+            ServiceConfig { workers: 1, cache_capacity: 8, cache_shards: 1 },
+        );
+
+        for op in ops {
+            match op {
+                Op::Serve { choices } => {
+                    let pref = Preference::from_dims(vec![
+                        ImplicitPreference::new(choices).unwrap(),
+                    ]);
+                    let served = service.serve(&pref).unwrap();
+                    prop_assert_eq!(
+                        &served.outcome.skyline,
+                        &live_oracle(&service, &pref),
+                        "epoch {:?}",
+                        served.epoch
+                    );
+                    prop_assert_eq!(served.epoch, service.epoch());
+                }
+                Op::Insert { numeric, nominal } => {
+                    service.insert_row(&numeric, &nominal).unwrap();
+                }
+                Op::Delete { index } => {
+                    let len = service.engine().read().dataset().len();
+                    service.delete_row((index % len) as PointId).unwrap();
+                }
+            }
+        }
+        let stats = service.stats();
+        prop_assert_eq!(stats.errors, 0);
+    }
+}

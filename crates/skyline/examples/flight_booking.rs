@@ -4,8 +4,8 @@
 //! This example stresses the *variability* of preferences: a stream of travellers, each with a
 //! randomly generated implicit preference on airline and transition airport, is answered
 //! online. It also demonstrates incremental maintenance: new flights appear and sold-out
-//! flights disappear between queries, and the maintained Adaptive-SFS structure keeps serving
-//! correct skylines without a rebuild.
+//! flights disappear between queries, and the Adaptive-SFS structure keeps serving correct
+//! skylines without a rebuild.
 //!
 //! Run with: `cargo run -p skyline --example flight_booking --release`
 
@@ -53,7 +53,7 @@ fn main() -> Result<()> {
     }
     let data = Dataset::from_columns(schema, columns_numeric, columns_nominal)?;
     let template = Template::empty(data.schema());
-    let mut inventory = MaintainedAdaptiveSfs::new(data, template)?;
+    let mut inventory = AdaptiveSfs::build(data, &template)?;
     println!(
         "Initial inventory: {} flights, {} in the template skyline",
         inventory.live_rows(),

@@ -1,12 +1,13 @@
-//! A unified query engine over the paper's algorithms, including the hybrid strategy of §5.3.
+//! A unified query engine over the paper's algorithms, including the hybrid strategy of §5.3
+//! and a dynamic-dataset mutation path (epoch-tracked inserts and logical deletes).
 
 use skyline_adaptive::{AdaptiveSfs, QueryScratch};
 use skyline_core::algo::sfs;
-use skyline_core::kernel::{CompiledRelation, PointBlock};
+use skyline_core::kernel::{CompiledRelation, DatasetEpoch, PointBlock};
 use skyline_core::score::ScoreFn;
-use skyline_core::{Dataset, PointId, Preference, Result, Template};
+use skyline_core::{Dataset, PointId, Preference, Result, SkylineError, Template, ValueId};
 use skyline_ipo::{BitmapIpoTree, IpoTree, IpoTreeBuilder};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Which algorithm an engine instance materializes and uses to answer queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,19 +58,75 @@ pub struct QueryOutcome {
 /// build it once, wrap it in an `Arc`, and answer queries from as many threads as you like
 /// (`query` takes `&self` and only reads). The `skyline-service` crate builds its concurrent,
 /// cache-backed query service on exactly this property.
-#[derive(Debug)]
+///
+/// # Dynamic datasets
+///
+/// [`SkylineEngine::insert_row`] and [`SkylineEngine::delete_row`] mutate the bound dataset in
+/// place (`&mut self`) and return the new [`DatasetEpoch`]; every answered query is implicitly
+/// relative to the epoch it ran at, and [`SkylineEngine::query_at`] rejects a stale
+/// expectation with [`SkylineError::EpochMismatch`]. Configurations that answer purely from
+/// materialized IPO structures ([`EngineConfig::IpoTree`], [`EngineConfig::IpoTreeTopK`],
+/// [`EngineConfig::BitmapIpoTree`]) are frozen and reject mutations — rebuild them instead.
+/// The hybrid configuration stays fully servable: after a mutation its truncated tree is
+/// stale, so every query routes to the incrementally maintained Adaptive-SFS side until the
+/// engine is rebuilt. To share one mutable engine between threads, wrap it in a
+/// [`SharedEngine`].
+#[derive(Debug, Clone)]
 pub struct SkylineEngine {
-    data: Arc<Dataset>,
-    /// Row-major interleaved copy of the dataset for the compiled dominance kernel; built
-    /// once per engine and shared with the Adaptive SFS structure when there is one. `None`
-    /// for pure IPO-tree configurations, whose query paths never run a dominance scan — the
-    /// block would be an O(n·d) copy that is never read.
+    /// Dataset handle; `None` when an Adaptive SFS structure owns the data (the
+    /// [`EngineConfig::AdaptiveSfs`] and [`EngineConfig::Hybrid`] configurations), so mutable
+    /// state has exactly one owner and incremental updates never copy it.
+    data: Option<Arc<Dataset>>,
+    /// Row-major interleaved copy of the dataset for the compiled dominance kernel. `Some`
+    /// only for [`EngineConfig::SfsD`]: Adaptive-SFS configurations expose their structure's
+    /// block, and pure IPO-tree configurations never run a dominance scan.
     block: Option<Arc<PointBlock>>,
     template: Template,
     config: EngineConfig,
     ipo: Option<IpoTree>,
     bitmap: Option<BitmapIpoTree>,
     asfs: Option<AdaptiveSfs>,
+    /// Epoch the materialized IPO structures were built at; when the dataset has moved past
+    /// it, the hybrid configuration stops consulting its (stale) tree.
+    tree_epoch: DatasetEpoch,
+}
+
+/// A skyline engine shared between readers and writers: `Arc<RwLock<SkylineEngine>>` with the
+/// lock handling folded in.
+///
+/// Queries take the read lock (many concurrent readers); [`SkylineEngine::insert_row`] /
+/// [`SkylineEngine::delete_row`] take the write lock through [`SharedEngine::write`] and
+/// update the engine in place. Cloning a `SharedEngine` is one `Arc` clone — every clone sees
+/// the same engine and the same mutations. Do not hold a guard across calls that re-lock the
+/// same `SharedEngine` (the usual read-vs-write deadlock rules of [`RwLock`] apply).
+#[derive(Debug, Clone)]
+pub struct SharedEngine {
+    inner: Arc<RwLock<SkylineEngine>>,
+}
+
+impl SharedEngine {
+    /// Wraps an engine for shared mutable access.
+    pub fn new(engine: SkylineEngine) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(engine)),
+        }
+    }
+
+    /// Read access (shared, concurrent).
+    pub fn read(&self) -> RwLockReadGuard<'_, SkylineEngine> {
+        self.inner.read().expect("engine lock poisoned")
+    }
+
+    /// Write access (exclusive) for mutations.
+    pub fn write(&self) -> RwLockWriteGuard<'_, SkylineEngine> {
+        self.inner.write().expect("engine lock poisoned")
+    }
+}
+
+impl From<SkylineEngine> for SharedEngine {
+    fn from(engine: SkylineEngine) -> Self {
+        Self::new(engine)
+    }
 }
 
 /// Reusable per-thread buffers for [`SkylineEngine::query_with_scratch`].
@@ -104,17 +161,21 @@ impl SkylineEngine {
         let mut bitmap = None;
         let mut asfs = None;
         // The point block is built exactly once per engine; configurations that carry an
-        // Adaptive SFS structure share theirs instead of transposing the dataset twice.
+        // Adaptive SFS structure let it own the block (the engine exposes it by delegation),
+        // so mutations have a single owner and never transpose the dataset twice.
         let mut block: Option<Arc<PointBlock>> = None;
+        let mut owned_data = None;
         match config {
-            EngineConfig::SfsD => {}
+            EngineConfig::SfsD => {
+                block = Some(Arc::new(PointBlock::new(&data)));
+                owned_data = Some(data);
+            }
             EngineConfig::AdaptiveSfs => {
-                let built = AdaptiveSfs::build(data.clone(), &template)?;
-                block = Some(built.point_block().clone());
-                asfs = Some(built);
+                asfs = Some(AdaptiveSfs::build(data, &template)?);
             }
             EngineConfig::IpoTree => {
                 ipo = Some(IpoTreeBuilder::new().build(&data, &template)?);
+                owned_data = Some(data);
             }
             EngineConfig::IpoTreeTopK(k) => {
                 ipo = Some(
@@ -122,10 +183,12 @@ impl SkylineEngine {
                         .top_k_values(k)
                         .build(&data, &template)?,
                 );
+                owned_data = Some(data);
             }
             EngineConfig::BitmapIpoTree => {
                 let tree = IpoTreeBuilder::new().build(&data, &template)?;
                 bitmap = Some(BitmapIpoTree::from_tree(&tree, &data));
+                owned_data = Some(data);
             }
             EngineConfig::Hybrid { top_k } => {
                 let tree = IpoTreeBuilder::new()
@@ -133,39 +196,37 @@ impl SkylineEngine {
                     .build(&data, &template)?;
                 let shared = Arc::new(PointBlock::new(&data));
                 asfs = Some(AdaptiveSfs::from_precomputed_with_block(
-                    data.clone(),
-                    shared.clone(),
+                    data,
+                    shared,
                     template.clone(),
                     tree.skyline().to_vec(),
                 )?);
                 ipo = Some(tree);
-                block = Some(shared);
             }
         }
-        // SFS-D scans the whole dataset per query, so it needs the block too; the IPO-tree
-        // configurations answer purely from materialized sets and skip the copy.
-        if block.is_none() && config == EngineConfig::SfsD {
-            block = Some(Arc::new(PointBlock::new(&data)));
-        }
         Ok(Self {
-            data,
+            data: owned_data,
             block,
             template,
             config,
             ipo,
             bitmap,
             asfs,
+            tree_epoch: DatasetEpoch::INITIAL,
         })
     }
 
     /// The dataset the engine is bound to.
     pub fn dataset(&self) -> &Dataset {
-        &self.data
+        self.dataset_arc()
     }
 
     /// Shared handle to the dataset (cheap to clone; hand it to sibling engines or threads).
     pub fn dataset_arc(&self) -> &Arc<Dataset> {
-        &self.data
+        match &self.asfs {
+            Some(asfs) => asfs.dataset_arc(),
+            None => self.data.as_ref().expect("set in build()"),
+        }
     }
 
     /// The shared row-major point layout the compiled dominance kernel evaluates over.
@@ -173,7 +234,31 @@ impl SkylineEngine {
     /// `None` for pure IPO-tree configurations, which answer queries from materialized sets
     /// and never run a dominance scan.
     pub fn point_block(&self) -> Option<&Arc<PointBlock>> {
-        self.block.as_ref()
+        match &self.asfs {
+            Some(asfs) => Some(asfs.point_block()),
+            None => self.block.as_ref(),
+        }
+    }
+
+    /// The engine's current mutation epoch (bumped by every insert and every live delete).
+    pub fn epoch(&self) -> DatasetEpoch {
+        self.point_block()
+            .map(|b| b.epoch())
+            .unwrap_or(DatasetEpoch::INITIAL)
+    }
+
+    /// Number of live (non-deleted) rows the engine serves.
+    pub fn live_rows(&self) -> usize {
+        self.point_block()
+            .map(|b| b.live_count())
+            .unwrap_or_else(|| self.dataset().len())
+    }
+
+    /// True when row `p` exists and has not been logically deleted.
+    pub fn is_row_live(&self, p: PointId) -> bool {
+        self.point_block()
+            .map(|b| b.is_live(p))
+            .unwrap_or_else(|| (p as usize) < self.dataset().len())
     }
 
     /// The template shared by all queries.
@@ -196,6 +281,12 @@ impl SkylineEngine {
         self.asfs.as_ref()
     }
 
+    /// Mutable access to the Adaptive SFS structure (e.g. to trigger an explicit
+    /// [`AdaptiveSfs::compact`]); requires a mutable configuration.
+    pub fn adaptive_mut(&mut self) -> Option<&mut AdaptiveSfs> {
+        self.asfs.as_mut()
+    }
+
     /// Errors exactly when [`SkylineEngine::query`] would reject `pref` without computing a
     /// skyline: schema validation, template refinement, and — for configurations whose query
     /// path rejects unmaterialized values — the materialization predicate.
@@ -205,7 +296,7 @@ impl SkylineEngine {
     /// are accepted. The hybrid configuration needs no materialization check: it answers
     /// unmaterialized preferences via its Adaptive-SFS fallback.
     pub fn check_servable(&self, pref: &Preference) -> Result<()> {
-        let schema = self.data.schema();
+        let schema = self.dataset().schema();
         pref.validate(schema)?;
         self.template.check_refinement(schema, pref)?;
         match self.config {
@@ -221,10 +312,103 @@ impl SkylineEngine {
         }
     }
 
+    /// Like [`SkylineEngine::check_servable`], additionally failing with
+    /// [`SkylineError::EpochMismatch`] when the engine has moved past `epoch` — the check a
+    /// caller holding epoch-tagged derived state (a result cache, a materialized view) runs
+    /// before trusting that state.
+    pub fn check_servable_at(&self, pref: &Preference, epoch: DatasetEpoch) -> Result<()> {
+        self.ensure_epoch(epoch)?;
+        self.check_servable(pref)
+    }
+
+    /// True when this configuration supports [`SkylineEngine::insert_row`] /
+    /// [`SkylineEngine::delete_row`]. Pure IPO-tree configurations are frozen.
+    pub fn supports_mutation(&self) -> bool {
+        matches!(
+            self.config,
+            EngineConfig::SfsD | EngineConfig::AdaptiveSfs | EngineConfig::Hybrid { .. }
+        )
+    }
+
+    /// Inserts a row (numeric values in numeric-index order, nominal value ids in
+    /// nominal-index order) and returns the new [`DatasetEpoch`].
+    ///
+    /// Adaptive-SFS-backed configurations update their skyline structures incrementally (one
+    /// dominance check against the current skyline plus `O(log n)` list updates); SFS-D only
+    /// appends to its data and point block, since it scans per query anyway. Pure IPO-tree
+    /// configurations reject mutations. If other `Arc` handles to the dataset are still held
+    /// outside the engine, the first mutation copies the data once so those handles keep an
+    /// immutable snapshot; afterwards the engine owns its copy and mutates in place.
+    pub fn insert_row(&mut self, numeric: &[f64], nominal: &[ValueId]) -> Result<DatasetEpoch> {
+        self.require_mutable()?;
+        if let Some(asfs) = &mut self.asfs {
+            asfs.insert_row(numeric, nominal)?;
+        } else {
+            let data = self.data.as_mut().expect("mutable configs hold data");
+            Arc::make_mut(data).push_row_ids(numeric, nominal)?;
+            let block = self.block.as_mut().expect("SfsD builds its block");
+            Arc::make_mut(block).append_row(numeric, nominal)?;
+        }
+        Ok(self.epoch())
+    }
+
+    /// Logically deletes a row and returns the new [`DatasetEpoch`].
+    ///
+    /// Deleting an already-deleted row is a no-op that returns the current epoch unchanged;
+    /// rows that never existed are an error. See [`SkylineEngine::insert_row`] for the
+    /// configuration and sharing rules.
+    pub fn delete_row(&mut self, p: PointId) -> Result<DatasetEpoch> {
+        self.require_mutable()?;
+        if let Some(asfs) = &mut self.asfs {
+            asfs.delete_row(p)?;
+        } else {
+            let block = self.block.as_mut().expect("SfsD builds its block");
+            Arc::make_mut(block).tombstone(p)?;
+        }
+        Ok(self.epoch())
+    }
+
+    fn require_mutable(&self) -> Result<()> {
+        if self.supports_mutation() {
+            Ok(())
+        } else {
+            Err(SkylineError::InvalidArgument(format!(
+                "engine configuration {:?} answers from frozen materialized structures and \
+                 does not support mutation; rebuild the engine instead",
+                self.config
+            )))
+        }
+    }
+
+    fn ensure_epoch(&self, expected: DatasetEpoch) -> Result<()> {
+        let actual = self.epoch();
+        if actual == expected {
+            Ok(())
+        } else {
+            Err(SkylineError::EpochMismatch {
+                expected: expected.get(),
+                actual: actual.get(),
+            })
+        }
+    }
+
     /// Answers an implicit-preference query.
     pub fn query(&self, pref: &Preference) -> Result<QueryOutcome> {
         let mut scratch = EngineScratch::default();
         self.query_with_scratch(pref, &mut scratch)
+    }
+
+    /// Like [`SkylineEngine::query_with_scratch`], validating that the engine is still at
+    /// `epoch` first — the answer is guaranteed to be computed against exactly that dataset
+    /// version or the call fails with [`SkylineError::EpochMismatch`].
+    pub fn query_at(
+        &self,
+        pref: &Preference,
+        epoch: DatasetEpoch,
+        scratch: &mut EngineScratch,
+    ) -> Result<QueryOutcome> {
+        self.ensure_epoch(epoch)?;
+        self.query_with_scratch(pref, scratch)
     }
 
     /// Like [`SkylineEngine::query`], reusing caller-owned scratch buffers across queries.
@@ -249,25 +433,27 @@ impl SkylineEngine {
             EngineConfig::IpoTree | EngineConfig::IpoTreeTopK(_) => {
                 let tree = self.ipo.as_ref().expect("built in build()");
                 Ok(QueryOutcome {
-                    skyline: tree.query(&self.data, pref)?,
+                    skyline: tree.query(self.dataset(), pref)?,
                     method: MethodUsed::IpoTree,
                 })
             }
             EngineConfig::BitmapIpoTree => {
                 let tree = self.bitmap.as_ref().expect("built in build()");
                 Ok(QueryOutcome {
-                    skyline: tree.query(&self.data, pref)?,
+                    skyline: tree.query(self.dataset(), pref)?,
                     method: MethodUsed::IpoTree,
                 })
             }
             EngineConfig::Hybrid { .. } => {
                 // Same predicate the truncated tree's query rejection uses (Section 5.3):
                 // popular (fully materialized) preferences go to the IPO tree, everything
-                // else to Adaptive SFS.
+                // else to Adaptive SFS. The tree was materialized at `tree_epoch`; once the
+                // dataset moves past it, every query routes to the incrementally maintained
+                // fallback so a stale tree can never answer.
                 let tree = self.ipo.as_ref().expect("built in build()");
-                if tree.materializes(pref) {
+                if self.epoch() == self.tree_epoch && tree.materializes(pref) {
                     Ok(QueryOutcome {
-                        skyline: tree.query(&self.data, pref)?,
+                        skyline: tree.query(self.dataset(), pref)?,
                         method: MethodUsed::IpoTree,
                     })
                 } else {
@@ -281,19 +467,20 @@ impl SkylineEngine {
         }
     }
 
-    /// The SFS-D baseline path: score-sort the whole dataset with the query ranking, then run
+    /// The SFS-D baseline path: score-sort the live rows with the query ranking, then run
     /// the elimination scan on the compiled dominance kernel (the engine's shared point block
-    /// plus orders compiled for this query).
+    /// plus orders compiled for this query). Tombstoned rows never enter the candidate list,
+    /// so the compiled scan skips them without any rebuild.
     fn query_sfs_d(&self, pref: &Preference) -> Result<QueryOutcome> {
         let block = self
             .block
             .as_ref()
             .expect("SfsD engines build their point block in build()");
-        let dom =
-            CompiledRelation::for_query(block.clone(), self.data.schema(), &self.template, pref)?;
-        let score = ScoreFn::for_preference(self.data.schema(), pref)?;
-        let all: Vec<PointId> = self.data.point_ids().collect();
-        let sorted = score.sort_by_score(&self.data, &all);
+        let data = self.dataset();
+        let dom = CompiledRelation::for_query(block.clone(), data.schema(), &self.template, pref)?;
+        let score = ScoreFn::for_preference(data.schema(), pref)?;
+        let all: Vec<PointId> = block.live_ids().collect();
+        let sorted = score.sort_by_score(data, &all);
         let mut skyline = sfs::scan_presorted(&dom, &sorted);
         skyline.sort_unstable();
         Ok(QueryOutcome {
@@ -418,6 +605,83 @@ mod tests {
         assert_send_sync::<SkylineEngine>();
         assert_send_sync::<AdaptiveSfs>();
         assert_send_sync::<QueryOutcome>();
+        assert_send_sync::<SharedEngine>();
+    }
+
+    #[test]
+    fn sfs_d_mutations_tombstone_and_append_without_rebuild() {
+        let data = table3_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let mut engine =
+            SkylineEngine::build(data.clone(), template.clone(), EngineConfig::SfsD).unwrap();
+        let pref = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
+        assert_eq!(engine.epoch(), DatasetEpoch::INITIAL);
+
+        // Delete skyline member e (id 4: the cheap M package): the answer must change.
+        let before = engine.query(&pref).unwrap().skyline;
+        assert!(before.contains(&4));
+        let epoch = engine.delete_row(4).unwrap();
+        assert_eq!(epoch.get(), 1);
+        assert!(!engine.is_row_live(4));
+        assert_eq!(engine.live_rows(), 5);
+        let after = engine.query(&pref).unwrap().skyline;
+        assert!(!after.contains(&4), "tombstoned rows must never be served");
+        let ctx = DominanceContext::for_query(engine.dataset(), &template, &pref).unwrap();
+        let live: Vec<PointId> = engine
+            .dataset()
+            .point_ids()
+            .filter(|&p| engine.is_row_live(p))
+            .collect();
+        assert_eq!(after, bnl::skyline_of(&ctx, &live));
+
+        // Insert a dominating row: it must appear in the next answer.
+        let epoch = engine.insert_row(&[100.0, -9.0], &[2, 0]).unwrap();
+        assert_eq!(epoch.get(), 2);
+        assert_eq!(engine.dataset().len(), 7);
+        let answer = engine.query(&pref).unwrap().skyline;
+        assert!(answer.contains(&6));
+    }
+
+    #[test]
+    fn query_at_rejects_stale_epochs() {
+        let data = table3_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let mut engine = SkylineEngine::build(data, template, EngineConfig::AdaptiveSfs).unwrap();
+        let pref = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
+        let mut scratch = EngineScratch::default();
+        let epoch = engine.epoch();
+        assert!(engine.query_at(&pref, epoch, &mut scratch).is_ok());
+        assert!(engine.check_servable_at(&pref, epoch).is_ok());
+        engine.insert_row(&[1.0, 1.0], &[0, 0]).unwrap();
+        assert!(matches!(
+            engine.query_at(&pref, epoch, &mut scratch),
+            Err(SkylineError::EpochMismatch { .. })
+        ));
+        assert!(matches!(
+            engine.check_servable_at(&pref, epoch),
+            Err(SkylineError::EpochMismatch { .. })
+        ));
+        assert!(engine.query_at(&pref, engine.epoch(), &mut scratch).is_ok());
+    }
+
+    #[test]
+    fn shared_engine_mutations_are_visible_to_every_clone() {
+        let data = table3_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let shared = SharedEngine::from(
+            SkylineEngine::build(data, template, EngineConfig::Hybrid { top_k: 2 }).unwrap(),
+        );
+        let clone = shared.clone();
+        let pref = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
+        let before = shared.read().query(&pref).unwrap().skyline;
+        let epoch = clone.write().insert_row(&[1.0, -9.0], &[2, 0]).unwrap();
+        assert_eq!(epoch, shared.read().epoch());
+        let after = shared.read().query(&pref).unwrap().skyline;
+        assert_ne!(before, after, "clones must observe the mutation");
+        assert!(after.contains(&6));
     }
 
     #[test]

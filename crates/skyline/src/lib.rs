@@ -48,7 +48,9 @@
 
 pub mod engine;
 
-pub use engine::{EngineConfig, EngineScratch, MethodUsed, QueryOutcome, SkylineEngine};
+pub use engine::{
+    EngineConfig, EngineScratch, MethodUsed, QueryOutcome, SharedEngine, SkylineEngine,
+};
 
 pub use skyline_adaptive as adaptive;
 pub use skyline_core as model;
@@ -57,13 +59,15 @@ pub use skyline_ipo as ipo;
 
 /// Convenient glob import for applications: `use skyline::prelude::*;`.
 pub mod prelude {
-    pub use crate::engine::{EngineConfig, EngineScratch, MethodUsed, QueryOutcome, SkylineEngine};
-    pub use skyline_adaptive::{AdaptiveSfs, MaintainedAdaptiveSfs};
-    pub use skyline_core::{
-        CompiledRelation, Dataset, DatasetBuilder, Dimension, DimensionKind, DomRelation,
-        Dominance, DominanceContext, ImplicitPreference, NominalDomain, PartialOrder, PointBlock,
-        PointId, Preference, Result, RowValue, Schema, SkylineError, Template, ValueId,
+    pub use crate::engine::{
+        EngineConfig, EngineScratch, MethodUsed, QueryOutcome, SharedEngine, SkylineEngine,
     };
-    pub use skyline_datagen::{Distribution, ExperimentConfig, QueryGenerator};
+    pub use skyline_adaptive::{AdaptiveSfs, MaintenanceStats};
+    pub use skyline_core::{
+        CompiledRelation, Dataset, DatasetBuilder, DatasetEpoch, Dimension, DimensionKind,
+        DomRelation, Dominance, DominanceContext, ImplicitPreference, NominalDomain, PartialOrder,
+        PointBlock, PointId, Preference, Result, RowValue, Schema, SkylineError, Template, ValueId,
+    };
+    pub use skyline_datagen::{Distribution, ExperimentConfig, QueryGenerator, WorkloadOp};
     pub use skyline_ipo::{BitmapIpoTree, BuildStrategy, IpoTree, IpoTreeBuilder};
 }

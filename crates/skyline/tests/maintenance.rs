@@ -1,10 +1,13 @@
-//! Property-based tests of incremental maintenance (Section 4.3): after any sequence of row
-//! insertions and deletions, the maintained structure answers queries exactly like a
-//! from-scratch computation over the live rows.
+//! Property-based tests of incremental maintenance (Section 4.3), now at the engine level:
+//! after any interleaved sequence of row insertions, logical deletions and compactions, every
+//! mutable engine configuration answers queries exactly like a from-scratch computation over
+//! the live rows — and the dominance-region-restricted delete path is equivalent to the full
+//! rescan. Frozen (pure IPO-tree) configurations must reject mutations.
 
 use proptest::prelude::*;
 use skyline::prelude::*;
 use skyline_core::algo::bnl;
+use std::sync::Arc;
 
 const CARD: usize = 3;
 
@@ -17,9 +20,12 @@ enum Update {
     Delete {
         index: usize,
     },
+    Compact,
 }
 
 fn update_strategy() -> impl Strategy<Value = Update> {
+    // The vendored proptest shim's `prop_oneof!` is unweighted: compaction ops come out as
+    // often as inserts/deletes, which just exercises the compact path harder.
     prop_oneof![
         (
             proptest::collection::vec(0i32..6, 2),
@@ -30,6 +36,8 @@ fn update_strategy() -> impl Strategy<Value = Update> {
                 nominal: c,
             }),
         (0usize..64).prop_map(|index| Update::Delete { index }),
+        (0usize..64).prop_map(|index| Update::Delete { index: index / 2 }),
+        Just(Update::Compact),
     ]
 }
 
@@ -47,51 +55,212 @@ fn initial_dataset(rows: &[(Vec<f64>, Vec<ValueId>)]) -> Dataset {
     data
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+type Rows = Vec<(Vec<f64>, Vec<ValueId>)>;
 
-    #[test]
-    fn maintained_structure_matches_rebuild(
-        initial in proptest::collection::vec(
-            (
-                proptest::collection::vec(0i32..6, 2).prop_map(|v| v.into_iter().map(f64::from).collect::<Vec<f64>>()),
-                proptest::collection::vec(0..(CARD as ValueId), 1),
-            ),
-            1..20,
+fn rows_strategy() -> impl Strategy<Value = Rows> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0i32..6, 2)
+                .prop_map(|v| v.into_iter().map(f64::from).collect::<Vec<f64>>()),
+            proptest::collection::vec(0..(CARD as ValueId), 1),
         ),
+        1..20,
+    )
+}
+
+/// Brute-force skyline over the engine's live rows.
+fn live_oracle(engine: &SkylineEngine, pref: &Preference) -> Vec<PointId> {
+    let ctx = DominanceContext::for_query(engine.dataset(), engine.template(), pref).unwrap();
+    let live: Vec<PointId> = engine
+        .dataset()
+        .point_ids()
+        .filter(|&p| engine.is_row_live(p))
+        .collect();
+    bnl::skyline_of(&ctx, &live)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Mutable configurations: maintained answers equal a from-scratch rebuild after every
+    /// interleaving of inserts, deletes and compactions.
+    #[test]
+    fn mutated_engines_match_rebuild_for_every_mutable_config(
+        initial in rows_strategy(),
         updates in proptest::collection::vec(update_strategy(), 0..25),
         query_choices in proptest::sample::subsequence((0..CARD as ValueId).collect::<Vec<_>>(), 0..=2).prop_shuffle(),
     ) {
         let data = initial_dataset(&initial);
         let template = Template::empty(data.schema());
-        let mut maintained = MaintainedAdaptiveSfs::new(data, template.clone()).unwrap();
+        let data = Arc::new(data);
+        let pref = Preference::from_dims(vec![ImplicitPreference::new(query_choices).unwrap()]);
 
-        for update in updates {
-            match update {
-                Update::Insert { numeric, nominal } => {
-                    maintained.insert_row(&numeric, &nominal).unwrap();
-                }
-                Update::Delete { index } => {
-                    let total = maintained.dataset().len();
-                    let target = (index % total) as PointId;
-                    maintained.delete_row(target).unwrap();
+        for config in [
+            EngineConfig::SfsD,
+            EngineConfig::AdaptiveSfs,
+            EngineConfig::Hybrid { top_k: 2 },
+        ] {
+            let mut engine =
+                SkylineEngine::build(data.clone(), template.clone(), config).unwrap();
+            prop_assert!(engine.supports_mutation());
+            let mut epoch = engine.epoch();
+            prop_assert_eq!(epoch, DatasetEpoch::INITIAL);
+
+            for update in &updates {
+                match update {
+                    Update::Insert { numeric, nominal } => {
+                        let next = engine.insert_row(numeric, nominal).unwrap();
+                        prop_assert!(next > epoch, "inserts must bump the epoch");
+                        epoch = next;
+                    }
+                    Update::Delete { index } => {
+                        let total = engine.dataset().len();
+                        let target = (index % total) as PointId;
+                        let was_live = engine.is_row_live(target);
+                        let next = engine.delete_row(target).unwrap();
+                        prop_assert_eq!(
+                            next > epoch,
+                            was_live,
+                            "exactly the live deletes bump the epoch"
+                        );
+                        epoch = next;
+                    }
+                    Update::Compact => {
+                        if let Some(asfs) = engine.adaptive_mut() {
+                            asfs.compact();
+                        }
+                    }
                 }
             }
+
+            // The engine's answers equal the brute-force skyline over the live rows.
+            let expected = live_oracle(&engine, &pref);
+            prop_assert_eq!(
+                engine.query(&pref).unwrap().skyline,
+                expected,
+                "config {:?}",
+                config
+            );
+            // And the maintained template skyline (when there is one) equals a rebuild.
+            if let Some(asfs) = engine.adaptive() {
+                let ctx = DominanceContext::for_template(
+                    engine.dataset(),
+                    engine.template(),
+                ).unwrap();
+                let live: Vec<PointId> = engine
+                    .dataset()
+                    .point_ids()
+                    .filter(|&p| engine.is_row_live(p))
+                    .collect();
+                prop_assert_eq!(asfs.template_skyline(), bnl::skyline_of(&ctx, &live));
+            }
+            // query_at: the current epoch is accepted, a stale one is rejected.
+            let mut scratch = EngineScratch::default();
+            prop_assert!(engine.query_at(&pref, engine.epoch(), &mut scratch).is_ok());
+            engine.insert_row(&[0.0, 0.0], &[0]).unwrap();
+            prop_assert!(matches!(
+                engine.query_at(&pref, epoch, &mut scratch),
+                Err(SkylineError::EpochMismatch { .. })
+            ));
         }
-
-        // 1. The maintained template skyline equals a from-scratch skyline over the live rows.
-        let ctx = DominanceContext::for_template(maintained.dataset(), &template).unwrap();
-        let live: Vec<PointId> = maintained
-            .dataset()
-            .point_ids()
-            .filter(|&p| !maintained.is_deleted(p))
-            .collect();
-        prop_assert_eq!(maintained.template_skyline(), bnl::skyline_of(&ctx, &live));
-
-        // 2. Query answers equal the brute-force skyline over the live rows.
-        let pref = Preference::from_dims(vec![ImplicitPreference::new(query_choices).unwrap()]);
-        let query_ctx = DominanceContext::for_query(maintained.dataset(), &template, &pref).unwrap();
-        let expected = bnl::skyline_of(&query_ctx, &live);
-        prop_assert_eq!(maintained.query(&pref).unwrap(), expected);
     }
+
+    /// The dominance-region-restricted delete path is exactly equivalent to the full live
+    /// rescan, and never tests more resurface candidates.
+    #[test]
+    fn restricted_delete_equals_full_rescan(
+        initial in rows_strategy(),
+        updates in proptest::collection::vec(update_strategy(), 0..25),
+    ) {
+        let data = initial_dataset(&initial);
+        let template = Template::empty(data.schema());
+        let mut restricted = AdaptiveSfs::build(data, &template).unwrap();
+        let mut full = restricted.clone();
+
+        for update in &updates {
+            match update {
+                Update::Insert { numeric, nominal } => {
+                    restricted.insert_row(numeric, nominal).unwrap();
+                    full.insert_row(numeric, nominal).unwrap();
+                }
+                Update::Delete { index } => {
+                    let target = (index % restricted.dataset().len()) as PointId;
+                    let a = restricted.delete_row(target).unwrap();
+                    let b = full.delete_row_rescan_all(target).unwrap();
+                    prop_assert_eq!(a, b);
+                }
+                Update::Compact => {
+                    restricted.compact();
+                    full.compact();
+                }
+            }
+            prop_assert_eq!(restricted.template_skyline(), full.template_skyline());
+        }
+        prop_assert!(
+            restricted.maintenance_stats().resurface_candidates
+                <= full.maintenance_stats().resurface_candidates,
+            "restricted path tested {} candidates, full path {}",
+            restricted.maintenance_stats().resurface_candidates,
+            full.maintenance_stats().resurface_candidates,
+        );
+    }
+
+    /// Frozen configurations reject mutations and stay at the initial epoch.
+    #[test]
+    fn frozen_configs_reject_mutations(initial in rows_strategy()) {
+        let data = Arc::new(initial_dataset(&initial));
+        let template = Template::empty(data.schema());
+        for config in [
+            EngineConfig::IpoTree,
+            EngineConfig::IpoTreeTopK(2),
+            EngineConfig::BitmapIpoTree,
+        ] {
+            let mut engine =
+                SkylineEngine::build(data.clone(), template.clone(), config).unwrap();
+            prop_assert!(!engine.supports_mutation());
+            prop_assert!(engine.insert_row(&[0.0, 0.0], &[0]).is_err());
+            prop_assert!(engine.delete_row(0).is_err());
+            prop_assert_eq!(engine.epoch(), DatasetEpoch::INITIAL);
+            prop_assert_eq!(engine.live_rows(), engine.dataset().len());
+        }
+    }
+}
+
+/// The hybrid engine never answers from its stale tree after a mutation: every preference —
+/// including ones the tree fully materializes — routes to the maintained Adaptive-SFS side
+/// and matches the oracle.
+#[test]
+fn hybrid_engine_abandons_stale_tree_after_mutation() {
+    let schema = Schema::new(vec![
+        Dimension::numeric("x"),
+        Dimension::nominal("g", NominalDomain::anonymous(3)),
+    ])
+    .unwrap();
+    let mut data = Dataset::empty(schema.clone());
+    for (x, g) in [(3.0, 0), (2.0, 1), (1.0, 2), (5.0, 0)] {
+        data.push_row_ids(&[x], &[g]).unwrap();
+    }
+    let template = Template::empty(&schema);
+    let mut engine =
+        SkylineEngine::build(data, template, EngineConfig::Hybrid { top_k: 3 }).unwrap();
+    let pref = Preference::from_dims(vec![ImplicitPreference::new([0]).unwrap()]);
+
+    // Fresh engine: the fully materialized preference is answered by the tree.
+    assert_eq!(engine.query(&pref).unwrap().method, MethodUsed::IpoTree);
+
+    // Insert a row that changes this very answer: value 0 with the global minimum x.
+    engine.insert_row(&[0.0], &[0]).unwrap();
+    let outcome = engine.query(&pref).unwrap();
+    assert_eq!(
+        outcome.method,
+        MethodUsed::AdaptiveSfs,
+        "a stale tree must never answer"
+    );
+    assert_eq!(outcome.skyline, live_oracle(&engine, &pref));
+
+    // Deletes reroute too, and answers track the shrinking live set.
+    engine.delete_row(4).unwrap();
+    let outcome = engine.query(&pref).unwrap();
+    assert_eq!(outcome.method, MethodUsed::AdaptiveSfs);
+    assert_eq!(outcome.skyline, live_oracle(&engine, &pref));
 }
