@@ -7,7 +7,7 @@ use crate::index::{LiveRowIndex, SkylineValueIndex};
 use crate::sorted_list::ScoredEntry;
 use skyline_core::algo::sfs;
 use skyline_core::kernel::{
-    CompiledOrder, CompiledRelation, DatasetEpoch, DenseWindow, PointBlock,
+    CompiledOrder, CompiledRelation, DatasetEpoch, DenseWindow, PointBlock, RowIdRemap,
 };
 use skyline_core::score::ScoreFn;
 use skyline_core::{
@@ -75,8 +75,30 @@ pub struct MaintenanceStats {
     /// Candidate rows actually tested by delete resurface passes (the quantity the
     /// dominance-region restriction shrinks).
     pub resurface_candidates: u64,
-    /// Compaction passes run (automatic or explicit).
+    /// Compaction passes run (automatic or explicit, logical or physical).
     pub compactions: u64,
+    /// Tombstoned rows physically reclaimed — dropped from the dataset and block — by
+    /// [`AdaptiveSfs::compact_physical`] or an engine-level generation rebuild.
+    pub reclaimed_rows: u64,
+    /// Generational rebuilds installed. Always 0 on a standalone structure (a rebuild
+    /// *replaces* the structure); the engine lifecycle layer counts installs and merges them
+    /// in via [`MaintenanceStats::merged`].
+    pub rebuilds: u64,
+}
+
+impl MaintenanceStats {
+    /// Field-wise sum of two counter sets — how the engine lifecycle layer carries the
+    /// counters of a replaced generation's structure into the totals it reports.
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            inserts: self.inserts + other.inserts,
+            deletes: self.deletes + other.deletes,
+            resurface_candidates: self.resurface_candidates + other.resurface_candidates,
+            compactions: self.compactions + other.compactions,
+            reclaimed_rows: self.reclaimed_rows + other.reclaimed_rows,
+            rebuilds: self.rebuilds + other.rebuilds,
+        }
+    }
 }
 
 /// The Adaptive SFS query structure.
@@ -157,6 +179,44 @@ impl AdaptiveSfs {
         workers: usize,
     ) -> Result<Self> {
         let data = data.into();
+        let block = Arc::new(PointBlock::new(&data));
+        Self::build_on_block(data, block, template, workers)
+    }
+
+    /// Rebases a structure onto an existing (typically physically compacted) [`PointBlock`]
+    /// of the same rows as `data`, recomputing the template skyline over the block's live
+    /// rows through the parallel preprocessing path.
+    ///
+    /// This is the engine lifecycle's entry point for building the next generation's query
+    /// structure off a remapped snapshot: the block — with whatever [`DatasetEpoch`] the
+    /// compaction stamped on it — is adopted as-is instead of being re-transposed at epoch
+    /// zero, so epoch-tagged artifacts built against the old generation keep failing their
+    /// staleness checks against the new one.
+    pub fn rebased(
+        data: impl Into<Arc<Dataset>>,
+        block: Arc<PointBlock>,
+        template: &Template,
+    ) -> Result<Self> {
+        let data = data.into();
+        let workers = if block.live_count() >= PARALLEL_BUILD_THRESHOLD {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            1
+        };
+        Self::build_on_block(data, block, template, workers)
+    }
+
+    /// The shared preprocessing path behind [`AdaptiveSfs::build_with_workers`] and
+    /// [`AdaptiveSfs::rebased`]: score-sort the block's live rows, run the (possibly chunked)
+    /// elimination scan, assemble the structure around the given block.
+    fn build_on_block(
+        data: Arc<Dataset>,
+        block: Arc<PointBlock>,
+        template: &Template,
+        workers: usize,
+    ) -> Result<Self> {
         let started = Instant::now();
         let template_pref = template.implicit().cloned().ok_or_else(|| {
             SkylineError::InvalidArgument(
@@ -165,9 +225,8 @@ impl AdaptiveSfs {
         })?;
         template_pref.validate(data.schema())?;
         let score = ScoreFn::for_preference(data.schema(), &template_pref)?;
-        let block = Arc::new(PointBlock::new(&data));
         let compiled = CompiledRelation::for_template(block.clone(), template)?;
-        let all: Vec<PointId> = data.point_ids().collect();
+        let all: Vec<PointId> = block.live_ids().collect();
         let sorted = score.sort_by_score(&data, &all);
         let workers = workers.max(1);
         let skyline = chunked_scan_presorted(&compiled, &sorted, workers);
@@ -572,9 +631,31 @@ impl AdaptiveSfs {
             .collect();
         self.entries.sort();
         self.index = SkylineValueIndex::build(&self.data, &skyline);
+        self.stats.dataset_size = self.data.len();
         self.stats.template_skyline_size = self.entries.len();
         self.updates_since_compact = 0;
         self.maintenance.compactions += 1;
+    }
+
+    /// Physically compacts the structure in place: tombstoned rows are dropped from the
+    /// dataset and the block ([`PointBlock::compacted`]), the survivors renumbered, and the
+    /// maintained structures recomputed over the compacted snapshot. Returns the
+    /// [`RowIdRemap`] translating the old row ids, so callers holding stale ids (cached
+    /// skylines, external row handles) can rewrite them instead of discarding them.
+    ///
+    /// Every id the structure ever handed out is stale after this call; the block's
+    /// [`DatasetEpoch`] moves past every previously observed epoch, so epoch-tagged artifacts
+    /// fail their staleness checks rather than misread renumbered rows. Counted in
+    /// [`MaintenanceStats::reclaimed_rows`] (and as a compaction).
+    pub fn compact_physical(&mut self) -> RowIdRemap {
+        let (block, remap) = self.block.compacted();
+        self.data = Arc::new(self.data.retained(remap.kept_old_ids()));
+        self.block = Arc::new(block);
+        // The whole id space moved: the lazily built live-row index is rebuilt on demand.
+        self.row_index = None;
+        self.maintenance.reclaimed_rows += remap.reclaimed() as u64;
+        self.compact();
+        remap
     }
 
     fn maybe_compact(&mut self) {
@@ -1109,6 +1190,89 @@ mod tests {
         assert_eq!(asfs.updates_since_compact(), 0);
         assert_eq!(asfs.maintenance_stats().compactions, 1);
         assert_eq!(asfs.query(&pref).unwrap(), oracle(&asfs, &pref));
+    }
+
+    #[test]
+    fn physical_compaction_reclaims_rows_and_remaps_ids() {
+        let data = vacation_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let mut asfs = AdaptiveSfs::build(data, &template).unwrap();
+        asfs.delete_row(0).unwrap();
+        asfs.delete_row(3).unwrap();
+        asfs.insert_row(&[1000.0, -5.0], &[0]).unwrap();
+        let before_epoch = asfs.epoch();
+        let logical_skyline = asfs.template_skyline();
+
+        let remap = asfs.compact_physical();
+        // Dead rows are physically gone: the dataset and block shrink to the live rows.
+        assert_eq!(asfs.dataset().len(), 5);
+        assert_eq!(asfs.point_block().len(), 5);
+        assert_eq!(asfs.point_block().live_count(), 5);
+        assert_eq!(remap.reclaimed(), 2);
+        assert!(asfs.epoch() > before_epoch, "compaction moves the epoch");
+        assert_eq!(asfs.maintenance_stats().reclaimed_rows, 2);
+        assert_eq!(asfs.maintenance_stats().compactions, 1);
+        // The maintained skyline is the logical one translated through the remap.
+        let translated = remap.translate_ids(&logical_skyline).unwrap();
+        assert_eq!(asfs.template_skyline(), translated);
+        // Queries over the compacted structure match the oracle over its (all-live) rows.
+        for text in ["*", "T < M < *", "M < *"] {
+            let pref = Preference::parse(&schema, [("hotel-group", text)]).unwrap();
+            assert_eq!(
+                asfs.query(&pref).unwrap(),
+                oracle(&asfs, &pref),
+                "preference {text}"
+            );
+        }
+        // Mutations keep working in the new id space.
+        assert!(asfs.delete_row(0).unwrap());
+        assert_eq!(asfs.query(&Preference::none(1)).unwrap(), {
+            let pref = Preference::none(1);
+            oracle(&asfs, &pref)
+        });
+    }
+
+    #[test]
+    fn rebased_matches_a_fresh_build_and_keeps_the_block_epoch() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let mut asfs = AdaptiveSfs::build(data, &template).unwrap();
+        asfs.delete_row(1).unwrap();
+        asfs.delete_row(4).unwrap();
+        let (block, remap) = asfs.point_block().compacted();
+        let compact_data = Arc::new(asfs.dataset().retained(remap.kept_old_ids()));
+        let epoch = block.epoch();
+
+        let rebased =
+            AdaptiveSfs::rebased(compact_data.clone(), Arc::new(block), &template).unwrap();
+        assert_eq!(rebased.epoch(), epoch, "the compacted epoch is adopted");
+        let fresh = AdaptiveSfs::build(compact_data, &template).unwrap();
+        assert_eq!(rebased.template_skyline(), fresh.template_skyline());
+        assert_eq!(
+            rebased.preprocess_stats().dataset_size,
+            fresh.preprocess_stats().dataset_size
+        );
+    }
+
+    #[test]
+    fn maintenance_stats_merge_field_wise() {
+        let a = MaintenanceStats {
+            inserts: 1,
+            deletes: 2,
+            resurface_candidates: 3,
+            compactions: 4,
+            reclaimed_rows: 5,
+            rebuilds: 6,
+        };
+        let b = MaintenanceStats {
+            inserts: 10,
+            ..MaintenanceStats::default()
+        };
+        let m = a.merged(b);
+        assert_eq!(m.inserts, 11);
+        assert_eq!(m.deletes, 2);
+        assert_eq!(m.rebuilds, 6);
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Dynamic-dataset maintenance: incremental insert+query vs full rebuild+query, plus the
-//! end-to-end service serving a mixed read/write stream.
+//! Dynamic-dataset maintenance: incremental insert+query vs full rebuild+query, the
+//! end-to-end service serving a mixed read/write stream, and the payoff of the generational
+//! lifecycle (background compaction + IPO re-materialization).
 //!
-//! Three benchmarks on the n=2000 hybrid workload (anti-correlated numerics, Zipf(θ=1)
+//! Benchmarks on the n=2000 hybrid workload (anti-correlated numerics, Zipf(θ=1)
 //! nominals — the same shape as `bench_throughput`):
 //!
 //! * `incremental_insert_query` — clone the pre-built hybrid engine, absorb a batch of
@@ -12,6 +13,10 @@
 //!   dataset copy, rebuild the whole engine from scratch, answer the same queries.
 //! * `service_mixed_stream` — `SkylineService` over a `SharedEngine` draining a 10%-write
 //!   mixed stream with the epoch-tagged result cache on.
+//! * `fallback_query_mutated_hybrid` vs `tree_query_rebuilt_hybrid` — what a generation
+//!   rebuild buys at query time: the same tree-materialized queries answered by a mutated
+//!   hybrid (stale tree → Adaptive-SFS fallback on every query) and by the same engine after
+//!   one `SharedEngine::rebuild_now` swap (compacted block, re-materialized tree).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use skyline::prelude::*;
@@ -31,6 +36,12 @@ struct Setup {
     inserts: Vec<(Vec<f64>, Vec<ValueId>)>,
     queries: Vec<Preference>,
     mixed: Vec<WorkloadOp>,
+    /// A hybrid whose tree is stale (mutations applied): every query fallback-served.
+    mutated: SkylineEngine,
+    /// The same engine after one generation rebuild: compacted, tree-served again.
+    rebuilt: SkylineEngine,
+    /// Queries the rebuilt tree fully materializes (tree-served post-rebuild).
+    tree_queries: Vec<Preference>,
 }
 
 fn setup() -> Setup {
@@ -78,6 +89,56 @@ fn setup() -> Setup {
         0.1,
         data.len(),
     );
+
+    // The compaction-vs-fallback pair: mutate a hybrid (stale tree, tombstones), then swap
+    // in a rebuilt generation. Both engines hold the same live rows.
+    let mut mutated = engine.clone();
+    let (numeric, nominal) = &inserts[0];
+    mutated.insert_row(numeric, nominal).expect("insert");
+    for p in 0..32u32 {
+        mutated.delete_row(p).expect("delete");
+    }
+    let shared = SharedEngine::new(mutated.clone());
+    shared.rebuild_now().expect("generation rebuild");
+    let rebuilt = shared.read().clone();
+    // Preferences over the rebuilt tree's materialized (popular) values only — the queries a
+    // production hybrid serves from the tree, and exactly the ones a stale tree sends to the
+    // fallback instead.
+    let allowed: Vec<Vec<ValueId>> = (0..data.schema().nominal_count())
+        .map(|j| {
+            rebuilt
+                .ipo_tree()
+                .expect("hybrid engines carry a tree")
+                .materialized_values(j)
+                .to_vec()
+        })
+        .collect();
+    let tree_queries: Vec<Preference> = generator
+        .random_preferences(
+            data.schema(),
+            &template,
+            config.pref_order,
+            QUERIES * 4,
+            Some(&allowed),
+        )
+        .into_iter()
+        .filter(|q| rebuilt.serves_from_tree(q))
+        .take(QUERIES)
+        .collect();
+    assert_eq!(tree_queries.len(), QUERIES, "enough materialized queries");
+    for q in &tree_queries {
+        assert_eq!(
+            mutated.query(q).expect("query").method,
+            MethodUsed::AdaptiveSfs,
+            "the mutated hybrid must be fallback-served"
+        );
+        assert_eq!(
+            rebuilt.query(q).expect("query").method,
+            MethodUsed::IpoTree,
+            "the rebuilt hybrid must be tree-served"
+        );
+    }
+
     Setup {
         data,
         template,
@@ -85,7 +146,19 @@ fn setup() -> Setup {
         inserts,
         queries,
         mixed,
+        mutated,
+        rebuilt,
+        tree_queries,
     }
+}
+
+/// Answer the tree-materialized query mix on one engine; returns total result size.
+fn run_tree_queries(engine: &SkylineEngine, queries: &[Preference]) -> usize {
+    let mut total = 0usize;
+    for q in queries {
+        total += engine.query(q).expect("query").skyline.len();
+    }
+    total
 }
 
 /// The incremental arm: absorb the batch in place, then answer the query mix.
@@ -126,6 +199,12 @@ fn bench_updates(c: &mut Criterion) {
     });
     group.bench_function("rebuild_insert_query", |b| {
         b.iter(|| black_box(run_rebuild(&s)))
+    });
+    group.bench_function("fallback_query_mutated_hybrid", |b| {
+        b.iter(|| black_box(run_tree_queries(&s.mutated, &s.tree_queries)))
+    });
+    group.bench_function("tree_query_rebuilt_hybrid", |b| {
+        b.iter(|| black_box(run_tree_queries(&s.rebuilt, &s.tree_queries)))
     });
     group.bench_function("service_mixed_stream", |b| {
         b.iter(|| {
@@ -186,6 +265,43 @@ fn bench_updates(c: &mut Criterion) {
         println!(
             "::warning title=updates bench::incremental path slower than rebuild \
              ({speedup:.2}x) in this smoke run"
+        );
+    }
+
+    // Compaction vs fallback: the same materialized queries on the mutated hybrid (every
+    // query through the Adaptive-SFS fallback) vs after one generation rebuild (tree-served).
+    // Best-of-3 interleaved passes; both engines must agree on every answer size (ids differ
+    // — the rebuild renumbered the rows).
+    let mut fallback = std::time::Duration::MAX;
+    let mut tree = std::time::Duration::MAX;
+    for _ in 0..3 {
+        let started = std::time::Instant::now();
+        let a = run_tree_queries(&s.mutated, &s.tree_queries);
+        fallback = fallback.min(started.elapsed());
+        let started = std::time::Instant::now();
+        let b = run_tree_queries(&s.rebuilt, &s.tree_queries);
+        tree = tree.min(started.elapsed());
+        assert_eq!(
+            a, b,
+            "fallback and rebuilt-tree serving must produce identically sized skylines"
+        );
+    }
+    let tree_speedup = fallback.as_secs_f64() / tree.as_secs_f64();
+    println!(
+        "  summary: {QUERIES} tree-materialized queries at n={TUPLES}; mutated-hybrid \
+         fallback {:.2}ms vs post-rebuild tree {:.2}ms — {tree_speedup:.1}x",
+        fallback.as_secs_f64() * 1e3,
+        tree.as_secs_f64() * 1e3,
+    );
+    if std::env::var("SKYLINE_BENCH_SAMPLES").is_err() {
+        assert!(
+            tree_speedup > 1.0,
+            "rebuild-served queries must beat the fallback path, got {tree_speedup:.2}x"
+        );
+    } else if tree_speedup < 1.0 {
+        println!(
+            "::warning title=updates bench::post-rebuild tree slower than fallback \
+             ({tree_speedup:.2}x) in this smoke run"
         );
     }
 }

@@ -209,6 +209,32 @@ impl Dataset {
         Ok(id)
     }
 
+    /// Builds a new dataset holding exactly the rows of `keep`, renumbered in the given
+    /// order — the dataset-level half of physical compaction (the block-level half is
+    /// [`crate::kernel::PointBlock::compacted`], whose remap's surviving old ids are the
+    /// natural `keep` list).
+    ///
+    /// Out-of-range ids panic (the caller derives `keep` from this dataset's own liveness, so
+    /// a bad id is a logic error, not input validation).
+    pub fn retained(&self, keep: &[PointId]) -> Self {
+        let numeric_cols = self
+            .numeric_cols
+            .iter()
+            .map(|col| keep.iter().map(|&p| col[p as usize]).collect())
+            .collect();
+        let nominal_cols = self
+            .nominal_cols
+            .iter()
+            .map(|col| keep.iter().map(|&p| col[p as usize]).collect())
+            .collect();
+        Self {
+            schema: self.schema.clone(),
+            numeric_cols,
+            nominal_cols,
+            len: keep.len(),
+        }
+    }
+
     /// Counts how many rows carry each value of the `j`-th nominal dimension.
     ///
     /// Index `v` of the returned vector is the frequency of value id `v`. Used to pick the
@@ -463,6 +489,27 @@ mod tests {
         assert!(d.push_row_ids(&[2.0, 1.0], &[0]).is_err());
         assert_eq!(d.len(), 2);
         assert_eq!(d.nominal(0, 0), 1);
+    }
+
+    #[test]
+    fn retained_renumbers_rows_in_order() {
+        let schema = Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::nominal_with_labels("g", ["a", "b", "c"]),
+        ])
+        .unwrap();
+        let d = Dataset::from_columns(
+            schema,
+            vec![vec![1.0, 2.0, 3.0, 4.0]],
+            vec![vec![0, 1, 2, 1]],
+        )
+        .unwrap();
+        let kept = d.retained(&[0, 2, 3]);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept.numeric_column(0), &[1.0, 3.0, 4.0]);
+        assert_eq!(kept.nominal_column(0), &[0, 2, 1]);
+        assert_eq!(kept.schema(), d.schema());
+        assert!(d.retained(&[]).is_empty());
     }
 
     #[test]

@@ -62,6 +62,100 @@ impl fmt::Display for DatasetEpoch {
     }
 }
 
+/// Mapping between the row-id spaces of a [`PointBlock`] and its physically compacted
+/// successor.
+///
+/// Compaction ([`PointBlock::compacted`]) drops tombstoned rows and renumbers the survivors,
+/// so every id minted before the compaction is stale afterwards. The remap is the published
+/// translation: `new_id(old)` is the surviving row's new id (or `None` when the old row was
+/// dead and physically reclaimed), `old_id(new)` goes the other way. Both directions are
+/// **order-preserving** — compaction keeps surviving rows in their original relative order and
+/// appends replayed rows at the end — so translating a sorted id list yields a sorted list.
+///
+/// Serving layers hold the remap next to the epochs it bridges so derived artifacts (cached
+/// skylines, caller-held row handles) can be translated instead of discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowIdRemap {
+    /// `forward[old]` = the row's id in the new space, `None` when it was reclaimed.
+    forward: Vec<Option<PointId>>,
+    /// `backward[new]` = the row's id in the old space.
+    backward: Vec<PointId>,
+}
+
+impl RowIdRemap {
+    /// Builds the remap for a compaction that keeps exactly the rows where `live` is true,
+    /// in order.
+    fn from_liveness(live: &[bool]) -> Self {
+        let mut forward = Vec::with_capacity(live.len());
+        let mut backward = Vec::new();
+        for (old, &is_live) in live.iter().enumerate() {
+            if is_live {
+                forward.push(Some(backward.len() as PointId));
+                backward.push(old as PointId);
+            } else {
+                forward.push(None);
+            }
+        }
+        Self { forward, backward }
+    }
+
+    /// The new id of old row `old`, or `None` when the row was physically reclaimed (it was
+    /// tombstoned before the compaction) or never existed.
+    pub fn new_id(&self, old: PointId) -> Option<PointId> {
+        self.forward.get(old as usize).copied().flatten()
+    }
+
+    /// The old id of new row `new`, or `None` when `new` is out of range.
+    pub fn old_id(&self, new: PointId) -> Option<PointId> {
+        self.backward.get(new as usize).copied()
+    }
+
+    /// Number of rows in the old id space (including the reclaimed ones).
+    pub fn old_len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Number of rows in the new id space.
+    pub fn new_len(&self) -> usize {
+        self.backward.len()
+    }
+
+    /// Number of old rows physically reclaimed by the compaction.
+    pub fn reclaimed(&self) -> usize {
+        self.old_len() - self.new_len()
+    }
+
+    /// True when the compaction dropped nothing (every old id maps to itself).
+    pub fn is_identity(&self) -> bool {
+        self.old_len() == self.new_len()
+    }
+
+    /// The old ids of the surviving rows, in new-id order (`kept_old_ids()[new] == old`) —
+    /// exactly the `keep` list [`crate::Dataset::retained`] expects for the dataset half of a
+    /// compaction.
+    pub fn kept_old_ids(&self) -> &[PointId] {
+        &self.backward
+    }
+
+    /// Records a row appended (in both spaces) **after** the compaction snapshot was taken:
+    /// the next old id maps to `new`. The generation-swap replay path uses this to keep the
+    /// published remap covering rows inserted while the new generation was being built.
+    /// Replayed rows land at the tail of the new space, so `new` must equal
+    /// [`RowIdRemap::new_len`].
+    pub fn push_appended(&mut self, new: PointId) {
+        debug_assert_eq!(new as usize, self.backward.len());
+        let old = self.forward.len() as PointId;
+        self.forward.push(Some(new));
+        self.backward.push(old);
+    }
+
+    /// Translates a list of old ids, preserving order; `None` when any id has no mapping
+    /// (i.e. some listed row was reclaimed — the caller's artifact is unsalvageable).
+    pub fn translate_ids(&self, old: &[PointId]) -> Option<Vec<PointId>> {
+        old.iter().map(|&p| self.new_id(p)).collect()
+    }
+}
+
 /// Row-major, interleaved copy of a dataset's values, shared by every compiled relation.
 ///
 /// Point `p` occupies `numeric_dims` contiguous `f64`s in [`PointBlock::numeric_row`] and
@@ -148,6 +242,58 @@ impl PointBlock {
     /// Number of live (non-tombstoned) rows.
     pub fn live_count(&self) -> usize {
         self.live_len
+    }
+
+    /// Number of tombstoned rows still physically occupying the block.
+    pub fn dead_count(&self) -> usize {
+        self.len - self.live_len
+    }
+
+    /// Fraction of the block's rows that are tombstoned (0 for an empty block) — the quantity
+    /// maintenance policies watch to decide when physical compaction pays off.
+    pub fn dead_ratio(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.dead_count() as f64 / self.len as f64
+        }
+    }
+
+    /// Physically compacts the block: tombstoned rows are dropped, survivors renumbered in
+    /// order. Returns the new block — every row live, `len() == live_count()` — and the
+    /// [`RowIdRemap`] translating old ids to new ones.
+    ///
+    /// The compacted block's epoch is the source epoch **plus one**: renumbering invalidates
+    /// every id minted against the old block, so derived artifacts tagged with the old epoch
+    /// must observe a mismatch. Per-dimension `max_value` bounds are recomputed over the
+    /// surviving rows, so order-cardinality validation stays as tight as a fresh build.
+    pub fn compacted(&self) -> (Self, RowIdRemap) {
+        let remap = RowIdRemap::from_liveness(&self.live);
+        let live_len = remap.new_len();
+        let mut nums = Vec::with_capacity(live_len * self.numeric_dims);
+        let mut noms = Vec::with_capacity(live_len * self.nominal_dims);
+        let mut max_value = vec![ValueId::default(); self.nominal_dims];
+        for new in 0..live_len as PointId {
+            let old = remap.old_id(new).expect("new id in range by construction");
+            nums.extend_from_slice(self.numeric_row(old));
+            let row = self.nominal_row(old);
+            noms.extend_from_slice(row);
+            for (m, &v) in max_value.iter_mut().zip(row) {
+                *m = (*m).max(v);
+            }
+        }
+        let block = Self {
+            len: live_len,
+            numeric_dims: self.numeric_dims,
+            nominal_dims: self.nominal_dims,
+            nums,
+            noms,
+            max_value,
+            live: vec![true; live_len],
+            live_len,
+            epoch: self.epoch + 1,
+        };
+        (block, remap)
     }
 
     /// True when row `p` exists and has not been tombstoned.
@@ -1013,6 +1159,76 @@ mod tests {
         assert!(grown.append_row(&[1.0], &[2]).is_err(), "arity checked");
         assert!(DatasetEpoch::INITIAL < grown.epoch());
         assert_eq!(format!("{}", grown.epoch()), "epoch 1");
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_rows_and_publishes_a_remap() {
+        let data = vacation_data();
+        let mut block = PointBlock::new(&data);
+        assert_eq!(block.dead_count(), 0);
+        assert_eq!(block.dead_ratio(), 0.0);
+        block.tombstone(1).unwrap();
+        block.tombstone(3).unwrap();
+        let p = block.append_row(&[100.0, -9.0], &[2]).unwrap();
+        assert_eq!(p, 6);
+        assert_eq!(block.dead_count(), 2);
+        assert!((block.dead_ratio() - 2.0 / 7.0).abs() < 1e-12);
+        let before_epoch = block.epoch();
+
+        let (compact, remap) = block.compacted();
+        // Only live rows survive, all live, renumbered in order.
+        assert_eq!(compact.len(), 5);
+        assert_eq!(compact.live_count(), compact.len());
+        assert_eq!(compact.dead_count(), 0);
+        assert_eq!(
+            compact.live_ids().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4],
+            "every surviving row is live"
+        );
+        assert!(
+            compact.epoch() > before_epoch,
+            "renumbering moves the epoch"
+        );
+        // The remap round-trips: survivors keep their values under new ids.
+        assert_eq!(remap.old_len(), 7);
+        assert_eq!(remap.new_len(), 5);
+        assert_eq!(remap.reclaimed(), 2);
+        assert!(!remap.is_identity());
+        assert_eq!(remap.new_id(0), Some(0));
+        assert_eq!(remap.new_id(1), None, "reclaimed rows have no new id");
+        assert_eq!(remap.new_id(2), Some(1));
+        assert_eq!(remap.new_id(6), Some(4));
+        assert_eq!(remap.new_id(99), None);
+        assert_eq!(remap.old_id(4), Some(6));
+        assert_eq!(remap.old_id(5), None);
+        for new in 0..compact.len() as PointId {
+            let old = remap.old_id(new).unwrap();
+            assert_eq!(compact.numeric_row(new), block.numeric_row(old));
+            assert_eq!(compact.nominal_row(new), block.nominal_row(old));
+        }
+        // Sorted translation stays sorted; lists naming a reclaimed row are unsalvageable.
+        assert_eq!(remap.translate_ids(&[0, 2, 6]), Some(vec![0, 1, 4]));
+        assert_eq!(remap.translate_ids(&[0, 1]), None);
+        // max_value is recomputed over the survivors.
+        assert_eq!(compact.max_value, vec![2]);
+    }
+
+    #[test]
+    fn remap_extends_over_replayed_appends() {
+        let data = vacation_data();
+        let mut block = PointBlock::new(&data);
+        block.tombstone(0).unwrap();
+        let (mut compact, mut remap) = block.compacted();
+        // A mutation that arrived mid-build is replayed onto the new block and recorded.
+        let new = compact.append_row(&[1.0, 1.0], &[0]).unwrap();
+        remap.push_appended(new);
+        assert_eq!(remap.old_len(), 7);
+        assert_eq!(remap.new_id(6), Some(5));
+        assert_eq!(remap.old_id(5), Some(6));
+        // An identity compaction (nothing dead) maps every id to itself.
+        let (_, identity) = compact.compacted();
+        assert!(identity.is_identity());
+        assert_eq!(identity.translate_ids(&[0, 3, 5]), Some(vec![0, 3, 5]));
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub use bitset::BitSet;
 pub use dataset::{Dataset, DatasetBuilder, RowValue};
 pub use dominance::{DomRelation, Dominance, DominanceContext};
 pub use error::{Result, SkylineError};
-pub use kernel::{CompiledOrder, CompiledRelation, DatasetEpoch, DenseWindow, PointBlock};
+pub use kernel::{
+    CompiledOrder, CompiledRelation, DatasetEpoch, DenseWindow, PointBlock, RowIdRemap,
+};
 pub use order::{CanonicalPreference, ImplicitPreference, PartialOrder, Preference, Template};
 pub use schema::{Dimension, DimensionKind, Schema};
 pub use value::{NominalDomain, PointId, ValueId};

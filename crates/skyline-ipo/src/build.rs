@@ -221,6 +221,7 @@ impl IpoTreeBuilder {
             skyline,
             materialized,
             nodes,
+            top_k: self.top_k,
         };
         Ok((tree, stats))
     }
@@ -441,6 +442,36 @@ mod tests {
             .build(&data, &template)
             .unwrap();
         assert_eq!(full.node_count(), 21);
+    }
+
+    #[test]
+    fn rebuilt_for_preserves_the_truncation_policy() {
+        let data = table3_data();
+        let template = Template::empty(data.schema());
+        let truncated = IpoTreeBuilder::new()
+            .top_k_values(1)
+            .build(&data, &template)
+            .unwrap();
+        assert_eq!(truncated.top_k(), Some(1));
+        // Rebuild over data with one more W-airline row: same policy, fresh sets.
+        let mut grown = data.clone();
+        grown.push_row_ids(&[100.0, -9.0], &[2, 2]).unwrap();
+        let rebuilt = truncated.rebuilt_for(&grown, &template).unwrap();
+        assert_eq!(rebuilt.top_k(), Some(1));
+        assert_eq!(rebuilt.materialized_values(0).len(), 1);
+        assert_eq!(
+            rebuilt.skyline(),
+            IpoTreeBuilder::new()
+                .top_k_values(1)
+                .build(&grown, &template)
+                .unwrap()
+                .skyline()
+        );
+        // A full tree rebuilds full.
+        let full = IpoTreeBuilder::new().build(&data, &template).unwrap();
+        assert_eq!(full.top_k(), None);
+        let rebuilt_full = full.rebuilt_for(&grown, &template).unwrap();
+        assert!(rebuilt_full.node_count() > truncated.node_count());
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub struct IpoTree {
     pub(crate) materialized: Vec<Vec<ValueId>>,
     /// Node arena; index 0 is the root.
     pub(crate) nodes: Vec<IpoNode>,
+    /// The truncation the tree was built with (`None` = every value materialized), recorded
+    /// so [`IpoTree::rebuilt_for`] can re-materialize an equivalent tree over changed data.
+    pub(crate) top_k: Option<usize>,
 }
 
 impl IpoTree {
@@ -89,6 +92,32 @@ impl IpoTree {
     /// The value ids materialized for nominal dimension `j`.
     pub fn materialized_values(&self, nominal_index: usize) -> &[ValueId] {
         &self.materialized[nominal_index]
+    }
+
+    /// The per-dimension truncation the tree was built with (`None` = full materialization,
+    /// the paper's *IPO Tree*; `Some(k)` = *IPO Tree-k*).
+    pub fn top_k(&self) -> Option<usize> {
+        self.top_k
+    }
+
+    /// Re-materializes an equivalent tree — same truncation policy — over (typically
+    /// compacted or otherwise mutated) `data` under `template`.
+    ///
+    /// This is the rebuild entry point the background maintenance worker uses to bring a
+    /// mutated hybrid engine's tree back in sync with its dataset: the worker does not need
+    /// to remember how the original tree was configured, the tree itself does. Note that the
+    /// *values* materialized may differ from the old tree's when the data's value frequencies
+    /// shifted — the policy (top-`k` most frequent per dimension) is what is preserved.
+    pub fn rebuilt_for(
+        &self,
+        data: &skyline_core::Dataset,
+        template: &Template,
+    ) -> skyline_core::Result<IpoTree> {
+        let mut builder = crate::build::IpoTreeBuilder::new();
+        if let Some(k) = self.top_k {
+            builder = builder.top_k_values(k);
+        }
+        builder.build(data, template)
     }
 
     /// True when value `v` of dimension `j` has materialized nodes.
@@ -252,6 +281,7 @@ mod tests {
             skyline: vec![10, 20, 30],
             materialized: vec![vec![0, 1], vec![0, 1]],
             nodes,
+            top_k: None,
         }
     }
 

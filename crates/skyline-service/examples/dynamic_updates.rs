@@ -3,12 +3,17 @@
 //! atomically invalidates the cached skylines (no flush; stale entries expire lazily), and
 //! the Adaptive-SFS engine absorbs each update incrementally instead of rebuilding.
 //!
+//! The second half shows the **generational lifecycle**: a mutated hybrid engine falls back
+//! to Adaptive SFS for every query (its truncated IPO tree is stale), until the background
+//! maintenance worker compacts the dataset — physically reclaiming tombstoned rows — and
+//! re-materializes the tree, after which popular queries are tree-served again.
+//!
 //! Run with: `cargo run -p skyline-service --release --example dynamic_updates`
 
 use skyline::prelude::*;
 use skyline_service::{ServiceConfig, SkylineService};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() -> Result<()> {
     // A scaled-down Table 4 configuration: anti-correlated numerics, Zipfian nominals.
@@ -119,5 +124,93 @@ fn main() -> Result<()> {
         rebuild.as_secs_f64() * 1e3
     );
     drop(rebuilt);
+
+    // ---- The generational lifecycle: a hybrid engine recovering its IPO tree. ----
+    println!("\n-- background maintenance on a hybrid engine --");
+    let config = ExperimentConfig {
+        n: 2_000,
+        ..ExperimentConfig::paper_default()
+    };
+    let data = Arc::new(config.generate_dataset());
+    let template = config.template(&data);
+    // `top_k` = the full cardinality keeps the demo deterministic: a truncated tree's top-k
+    // *values* can shift when deletions move the frequency ranking, in which case a
+    // previously popular preference may (correctly) stay on the fallback after the rebuild.
+    let hybrid = SharedEngine::new(SkylineEngine::build(
+        data.clone(),
+        template.clone(),
+        EngineConfig::Hybrid { top_k: 20 },
+    )?);
+    // Production settings would use something like `dead_row_ratio: 0.25` and
+    // `max_mutations_since_rebuild: 4096` (the defaults) and let the worker fire on its own;
+    // this demo keeps the thresholds out of reach and triggers the cycle explicitly so the
+    // before/after states are deterministic to read.
+    let service = SkylineService::with_config(
+        hybrid.clone(),
+        ServiceConfig {
+            maintenance: Some(MaintenancePolicy {
+                dead_row_ratio: 1.0,
+                max_mutations_since_rebuild: u64::MAX,
+                poll_interval: Duration::from_millis(20),
+            }),
+            ..ServiceConfig::default()
+        },
+    );
+    // A popular preference the truncated tree fully materializes (tree-served when fresh).
+    let mut generator = config.query_generator();
+    let popular = generator
+        .random_preferences(data.schema(), &template, config.pref_order, 64, None)
+        .into_iter()
+        .find(|p| hybrid.read().serves_from_tree(p))
+        .expect("some generated preference is fully materialized");
+    assert_eq!(
+        service.serve(&popular)?.outcome.method,
+        MethodUsed::IpoTree,
+        "fresh hybrid: tree-served"
+    );
+
+    // Mutations stale the tree: every query now routes to the Adaptive-SFS fallback, and
+    // tombstones pile up in the block.
+    for p in 0..100u32 {
+        service.delete_row(p)?;
+    }
+    assert_eq!(
+        service.serve(&popular)?.outcome.method,
+        MethodUsed::AdaptiveSfs,
+        "mutated hybrid: fallback-served"
+    );
+    println!(
+        "after 100 deletes: {} dead rows in the block, queries fallback-served",
+        hybrid.read().dead_rows()
+    );
+
+    // Run one rebuild cycle on the worker thread: snapshot → compact + re-materialize with
+    // no lock held (readers keep serving) → atomic swap.
+    assert!(service.force_rebuild()?);
+    // The answer cached just before the swap survives it: the service translates its row ids
+    // through the published remap instead of recomputing.
+    let served = service.serve(&popular)?;
+    assert!(served.cache_hit, "the swap keeps the cache warm");
+    // And the engine itself serves popular preferences from the re-materialized tree again
+    // (engine introspection — the hybrid's routing predicate, not timing).
+    assert!(hybrid.read().serves_from_tree(&popular));
+    assert_eq!(
+        hybrid.read().query(&popular)?.method,
+        MethodUsed::IpoTree,
+        "rebuilt hybrid: tree-served again"
+    );
+    let stats = service.stats();
+    println!(
+        "after {} background rebuild(s): {} rows physically reclaimed, {} dead rows left, \
+         fresh evaluations tree-served again",
+        stats.rebuilds,
+        stats.reclaimed_rows,
+        hybrid.read().dead_rows(),
+    );
+    println!(
+        "cache after the swap: {} entr{} translated through the row-id remap instead of dropped",
+        stats.remapped_hits,
+        if stats.remapped_hits == 1 { "y" } else { "ies" }
+    );
     Ok(())
 }

@@ -18,7 +18,7 @@
 //! pops queue entries until one's stamp matches the live entry — amortized O(1), no linked
 //! lists, no unsafe.
 
-use skyline::QueryOutcome;
+use skyline::{GenerationRemap, QueryOutcome};
 use skyline_core::{CanonicalPreference, DatasetEpoch};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -110,6 +110,27 @@ impl ResultCache {
     /// on a hit. An entry tagged with any other epoch is stale: it is dropped immediately,
     /// counted in [`ResultCache::stale_evictions`], and the lookup misses.
     pub fn get(&self, key: &CanonicalPreference, epoch: DatasetEpoch) -> Option<Arc<QueryOutcome>> {
+        self.get_or_translate(key, epoch, None).map(|(v, _)| v)
+    }
+
+    /// Like [`ResultCache::get`], but **remap-aware**: when the engine's most recent
+    /// generation swap is the *only* thing separating an entry from the lookup — the entry is
+    /// tagged with exactly [`GenerationRemap::from`] and the lookup runs at
+    /// [`GenerationRemap::to`] — the entry's skyline is semantically still correct, just
+    /// written in the old (pre-compaction) row-id space. Instead of dropping it, the ids are
+    /// rewritten through the remap and the entry is re-tagged at the new epoch, so a swap does
+    /// not cold-start the cache. Returns the outcome plus whether a translation happened.
+    ///
+    /// Entries from *earlier* epochs predate real mutations the remap knows nothing about and
+    /// expire as usual. A skyline at `from` only names rows live at `from`, all of which
+    /// survive the compaction (it reclaims rows that were already dead), so the translation
+    /// itself cannot fail; if it ever did, the entry is dropped as stale.
+    pub fn get_or_translate(
+        &self,
+        key: &CanonicalPreference,
+        epoch: DatasetEpoch,
+        remap: Option<&GenerationRemap>,
+    ) -> Option<(Arc<QueryOutcome>, bool)> {
         if self.capacity_per_shard == 0 {
             return None;
         }
@@ -117,15 +138,30 @@ impl ResultCache {
         let stamp = shard.bump_stamp();
         let entry = shard.map.get_mut(key)?;
         if entry.epoch != epoch {
-            shard.map.remove(key);
-            self.stale_evictions.fetch_add(1, Ordering::Relaxed);
-            return None;
+            let translated = remap
+                .filter(|r| entry.epoch == r.from && epoch == r.to)
+                .and_then(|r| r.remap.translate_ids(&entry.value.skyline));
+            let Some(skyline) = translated else {
+                shard.map.remove(key);
+                self.stale_evictions.fetch_add(1, Ordering::Relaxed);
+                return None;
+            };
+            entry.value = Arc::new(QueryOutcome {
+                skyline,
+                method: entry.value.method,
+            });
+            entry.epoch = epoch;
+            entry.stamp = stamp;
+            let value = entry.value.clone();
+            shard.queue.push_back((stamp, key.clone()));
+            shard.compact_if_bloated();
+            return Some((value, true));
         }
         entry.stamp = stamp;
         let value = entry.value.clone();
         shard.queue.push_back((stamp, key.clone()));
         shard.compact_if_bloated();
-        Some(value)
+        Some((value, false))
     }
 
     /// Inserts (or refreshes) an outcome computed at `epoch`, evicting least-recently-used
@@ -314,6 +350,63 @@ mod tests {
         assert!(cache.get(&k2, bumped).is_none());
         assert_eq!(cache.stale_evictions(), 2);
         assert!(cache.get(&k2, E0).is_none(), "dropped, not resurrected");
+    }
+
+    #[test]
+    fn generation_swaps_translate_entries_instead_of_dropping_them() {
+        use skyline_core::{Dataset, PointBlock};
+
+        let schema = schema(8);
+        let cache = ResultCache::new(8, 2);
+        let k = key(&schema, &[1]);
+
+        // A block whose rows 0 and 2 are dead; the swap compacts it.
+        let data = Dataset::from_columns(
+            schema.clone(),
+            vec![vec![1.0, 2.0, 3.0, 4.0, 5.0]],
+            vec![vec![0, 1, 2, 3, 4]],
+        )
+        .unwrap();
+        let mut block = PointBlock::new(&data);
+        block.tombstone(0).unwrap();
+        block.tombstone(2).unwrap();
+        let from = block.epoch();
+        let (compact, remap) = block.compacted();
+        let swap = GenerationRemap {
+            remap: Arc::new(remap),
+            from,
+            to: compact.epoch(),
+        };
+
+        // An entry cached at exactly the pre-swap epoch, naming (live) rows 1, 3, 4.
+        cache.insert(
+            k.clone(),
+            from,
+            Arc::new(QueryOutcome {
+                skyline: vec![1, 3, 4],
+                method: MethodUsed::AdaptiveSfs,
+            }),
+        );
+        // Looked up at the post-swap epoch with the remap: translated, not dropped.
+        let (outcome, translated) = cache.get_or_translate(&k, swap.to, Some(&swap)).unwrap();
+        assert!(translated);
+        assert_eq!(
+            outcome.skyline,
+            vec![0, 1, 2],
+            "ids rewritten to the new space"
+        );
+        assert_eq!(outcome.method, MethodUsed::AdaptiveSfs);
+        assert_eq!(cache.stale_evictions(), 0);
+        // The entry is now re-tagged: a plain lookup at the new epoch hits without a remap.
+        let (again, translated) = cache.get_or_translate(&k, swap.to, None).unwrap();
+        assert!(!translated);
+        assert_eq!(again.skyline, vec![0, 1, 2]);
+
+        // An entry from an *older* epoch is not translatable and expires as usual.
+        let k2 = key(&schema, &[2]);
+        cache.insert(k2.clone(), E0, outcome.clone());
+        assert!(cache.get_or_translate(&k2, swap.to, Some(&swap)).is_none());
+        assert_eq!(cache.stale_evictions(), 1);
     }
 
     #[test]

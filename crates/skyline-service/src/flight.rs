@@ -1,0 +1,183 @@
+//! Per-key single-flight latch for cache misses.
+//!
+//! Right after a mutation (or a generation swap) empties the epoch-tagged cache, a popular
+//! preference's next wave of queries all miss at once; without coordination each of them runs
+//! the engine for the same answer. The latch collapses the wave: the first thread to miss a
+//! `(canonical key, epoch)` pair becomes the **leader** and computes, the rest become
+//! **followers** and block until the leader finishes, then re-check the cache — in the normal
+//! case hitting the entry the leader just inserted.
+//!
+//! Followers block while holding the engine's *read* lock, which is safe: the leader also
+//! only holds a read lock, so it always makes progress and wakes them. The latch is keyed on
+//! the epoch too, so flights for different dataset versions never interfere. A leader that
+//! fails (query error) still releases and wakes its followers, who then compute individually
+//! — single-flight is an optimization of the success path, never a correctness gate.
+
+use skyline_core::{CanonicalPreference, DatasetEpoch};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct Latch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+type Key = (CanonicalPreference, DatasetEpoch);
+
+/// The in-flight registry (one per service).
+#[derive(Debug, Default)]
+pub struct SingleFlight {
+    inflight: Mutex<HashMap<Key, Arc<Latch>>>,
+}
+
+/// What `join` decided for the calling thread.
+#[derive(Debug)]
+pub enum FlightRole<'a> {
+    /// This thread computes; dropping the guard (success, error or panic) releases the latch
+    /// and wakes every follower.
+    Leader(FlightGuard<'a>),
+    /// Another thread was already computing this key at this epoch; it has since finished.
+    /// Re-check the cache — and on a second miss (the leader failed), compute directly.
+    Followed,
+}
+
+/// Leader's release-on-drop guard.
+#[derive(Debug)]
+pub struct FlightGuard<'a> {
+    flight: &'a SingleFlight,
+    key: Key,
+    latch: Arc<Latch>,
+}
+
+impl SingleFlight {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Joins the flight for `(key, epoch)`: returns [`FlightRole::Leader`] when this thread
+    /// should compute, or — after having **blocked until the current leader finished** —
+    /// [`FlightRole::Followed`].
+    pub fn join(&self, key: &CanonicalPreference, epoch: DatasetEpoch) -> FlightRole<'_> {
+        let full_key = (key.clone(), epoch);
+        let latch = {
+            let mut inflight = self.inflight.lock().expect("flight registry poisoned");
+            match inflight.get(&full_key) {
+                Some(latch) => latch.clone(),
+                None => {
+                    let latch = Arc::new(Latch::default());
+                    inflight.insert(full_key.clone(), latch.clone());
+                    return FlightRole::Leader(FlightGuard {
+                        flight: self,
+                        key: full_key,
+                        latch,
+                    });
+                }
+            }
+        };
+        let mut done = latch.done.lock().expect("flight latch poisoned");
+        while !*done {
+            done = latch.cv.wait(done).expect("flight latch poisoned");
+        }
+        FlightRole::Followed
+    }
+
+    /// Number of flights currently in progress (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.inflight
+            .lock()
+            .expect("flight registry poisoned")
+            .len()
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut inflight = self
+            .flight
+            .inflight
+            .lock()
+            .expect("flight registry poisoned");
+        inflight.remove(&self.key);
+        drop(inflight);
+        let mut done = self.latch.done.lock().expect("flight latch poisoned");
+        *done = true;
+        self.latch.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::{Dimension, NominalDomain, Preference, Schema};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    fn key(v: u16) -> CanonicalPreference {
+        let schema = Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::nominal("g", NominalDomain::anonymous(8)),
+        ])
+        .unwrap();
+        let pref = Preference::from_dims(vec![skyline_core::ImplicitPreference::new([v]).unwrap()]);
+        CanonicalPreference::new(&schema, &pref).unwrap()
+    }
+
+    #[test]
+    fn one_leader_many_followers() {
+        const THREADS: usize = 8;
+        let flight = SingleFlight::new();
+        let leaders = AtomicUsize::new(0);
+        let followers = AtomicUsize::new(0);
+        let barrier = Barrier::new(THREADS);
+        let k = key(1);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    barrier.wait();
+                    match flight.join(&k, DatasetEpoch::INITIAL) {
+                        FlightRole::Leader(_guard) => {
+                            // Hold the flight long enough that the others pile up behind it.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                        FlightRole::Followed => {
+                            followers.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        // Followers may re-join as a new leader only if they arrived after the release; with
+        // the barrier + sleep, everyone piles onto the first flight.
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+        assert_eq!(followers.load(Ordering::SeqCst), THREADS - 1);
+        assert_eq!(flight.in_flight(), 0, "guard drop cleans the registry");
+    }
+
+    #[test]
+    fn distinct_keys_and_epochs_fly_separately() {
+        let flight = SingleFlight::new();
+        let a = flight.join(&key(1), DatasetEpoch::INITIAL);
+        let b = flight.join(&key(2), DatasetEpoch::INITIAL);
+        assert!(matches!(a, FlightRole::Leader(_)));
+        assert!(matches!(b, FlightRole::Leader(_)));
+        assert_eq!(flight.in_flight(), 2);
+        drop(a);
+        drop(b);
+        // Same key, new epoch: a fresh flight (the epoch is part of the key).
+        let mut block = skyline_core::PointBlock::new(
+            &skyline_core::Dataset::from_columns(
+                Schema::new(vec![Dimension::numeric("x")]).unwrap(),
+                vec![vec![1.0]],
+                vec![],
+            )
+            .unwrap(),
+        );
+        block.tombstone(0).unwrap();
+        let later = block.epoch();
+        let c = flight.join(&key(1), later);
+        assert!(matches!(c, FlightRole::Leader(_)));
+    }
+}

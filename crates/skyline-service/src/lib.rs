@@ -36,8 +36,10 @@
 //! let data = Arc::new(builder.build().unwrap());
 //! let template = Template::empty(data.schema());
 //! let engine = SkylineEngine::build(data, template, EngineConfig::Hybrid { top_k: 10 }).unwrap();
-//! // One worker keeps the miss count deterministic for this example; with a pool, concurrent
-//! // workers may each miss the cold cache for the same key (there is no single-flight yet).
+//! // One worker keeps the miss count exactly 1 for this example. With a pool, the per-key
+//! // single-flight latch collapses concurrent cold misses onto one engine run — but a worker
+//! // that misses just after the leader released can still recompute, so the count is "very
+//! // few", not "one".
 //! let service = SkylineService::with_config(
 //!     engine,
 //!     ServiceConfig { workers: 1, ..ServiceConfig::default() },
@@ -66,9 +68,11 @@
 
 pub mod cache;
 mod executor;
+pub mod flight;
 pub mod service;
 pub mod stats;
 
 pub use cache::ResultCache;
+pub use flight::SingleFlight;
 pub use service::{Served, ServiceConfig, SkylineService};
 pub use stats::{ServiceMetrics, StatsSnapshot};

@@ -2,15 +2,19 @@
 
 use crate::cache::ResultCache;
 use crate::executor;
+use crate::flight::{FlightRole, SingleFlight};
 use crate::stats::{ServiceMetrics, StatsSnapshot};
-use skyline::{EngineScratch, QueryOutcome, SharedEngine};
+use skyline::{
+    EngineScratch, MaintenanceHandle, MaintenancePolicy, MaintenanceWorker, QueryOutcome,
+    SharedEngine,
+};
 use skyline_core::{CanonicalPreference, DatasetEpoch, PointId, Preference, Result, ValueId};
 use std::num::NonZeroUsize;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`SkylineService`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
     /// Maximum number of cached query results (0 disables the cache).
     pub cache_capacity: usize,
@@ -18,6 +22,11 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// Worker threads used by [`SkylineService::serve_batch`] (0 = one per available core).
     pub workers: usize,
+    /// When set, the service spawns a background [`MaintenanceWorker`] that rebuilds the
+    /// engine's generation — physical compaction, row-id remapping, IPO re-materialization —
+    /// under this policy. The worker is nudged after every mutation the service applies and
+    /// shuts down when the service is dropped.
+    pub maintenance: Option<MaintenancePolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -26,6 +35,7 @@ impl Default for ServiceConfig {
             cache_capacity: 4096,
             cache_shards: 16,
             workers: 0,
+            maintenance: None,
         }
     }
 }
@@ -68,6 +78,8 @@ pub struct SkylineService {
     engine: SharedEngine,
     cache: ResultCache,
     metrics: ServiceMetrics,
+    flight: SingleFlight,
+    maintenance: Option<MaintenanceHandle>,
     workers: usize,
 }
 
@@ -87,10 +99,16 @@ impl SkylineService {
         } else {
             config.workers
         };
+        let engine = engine.into();
+        let maintenance = config
+            .maintenance
+            .map(|policy| MaintenanceWorker::spawn(engine.clone(), policy));
         Self {
-            engine: engine.into(),
+            engine,
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
             metrics: ServiceMetrics::new(),
+            flight: SingleFlight::new(),
+            maintenance,
             workers,
         }
     }
@@ -116,11 +134,30 @@ impl SkylineService {
         self.engine.read().epoch()
     }
 
-    /// Counters accumulated since the service was built.
+    /// Counters accumulated since the service was built, including the engine's maintenance
+    /// lifecycle (generation rebuilds installed, rows physically reclaimed).
     pub fn stats(&self) -> StatsSnapshot {
         let mut snapshot = self.metrics.snapshot();
         snapshot.stale_evictions = self.cache.stale_evictions();
+        let maintenance = self.engine.read().maintenance_stats();
+        snapshot.rebuilds = maintenance.rebuilds;
+        snapshot.reclaimed_rows = maintenance.reclaimed_rows;
         snapshot
+    }
+
+    /// The background maintenance handle, when [`ServiceConfig::maintenance`] enabled one.
+    pub fn maintenance(&self) -> Option<&MaintenanceHandle> {
+        self.maintenance.as_ref()
+    }
+
+    /// Runs one generation rebuild right now and waits for it: through the background worker
+    /// when one is enabled, synchronously via [`SharedEngine::rebuild_now`] otherwise.
+    /// Returns whether a new generation was installed.
+    pub fn force_rebuild(&self) -> Result<bool> {
+        match &self.maintenance {
+            Some(handle) => handle.force_rebuild(),
+            None => self.engine.rebuild_now().map(|_| true),
+        }
     }
 
     /// Inserts a row into the served dataset and returns the new epoch.
@@ -135,6 +172,9 @@ impl SkylineService {
             .inspect_err(|_| self.metrics.record_error())?;
         drop(engine);
         self.metrics.record_mutation();
+        if let Some(handle) = &self.maintenance {
+            handle.notify();
+        }
         Ok(epoch)
     }
 
@@ -149,6 +189,9 @@ impl SkylineService {
         drop(engine);
         if epoch != before {
             self.metrics.record_mutation();
+            if let Some(handle) = &self.maintenance {
+                handle.notify();
+            }
         }
         Ok(epoch)
     }
@@ -185,9 +228,18 @@ impl SkylineService {
         engine
             .check_servable(pref)
             .inspect_err(|_| self.metrics.record_error())?;
-        if let Some(outcome) = self.cache.get(&key, epoch) {
+        // Remap-aware lookup: an entry tagged with the epoch right before the engine's most
+        // recent generation swap is still semantically correct — the swap only renumbered
+        // rows — so it is translated through the published remap instead of dropped.
+        if let Some((outcome, translated)) =
+            self.cache
+                .get_or_translate(&key, epoch, engine.last_remap())
+        {
             let latency = started.elapsed();
             self.metrics.record(true, latency);
+            if translated {
+                self.metrics.record_remapped_hit();
+            }
             return Ok(Served {
                 outcome,
                 cache_hit: true,
@@ -195,6 +247,46 @@ impl SkylineService {
                 latency,
             });
         }
+        // Cold miss: collapse concurrent identical misses into one engine run. The first
+        // thread to miss this (key, epoch) leads and computes; the rest block until it
+        // finishes, then hit the entry it cached. Both sides hold the engine read lock
+        // throughout, so the leader always makes progress.
+        match self.flight.join(&key, epoch) {
+            FlightRole::Leader(guard) => {
+                let served = self.compute_and_cache(&engine, pref, key, epoch, scratch, started);
+                drop(guard); // wakes followers (also on the error path, via Drop on `?`)
+                served
+            }
+            FlightRole::Followed => {
+                self.metrics.record_coalesced();
+                if let Some(outcome) = self.cache.get(&key, epoch) {
+                    let latency = started.elapsed();
+                    self.metrics.record(true, latency);
+                    return Ok(Served {
+                        outcome,
+                        cache_hit: true,
+                        epoch,
+                        latency,
+                    });
+                }
+                // The leader failed (errors are never cached); compute individually so every
+                // caller gets its own verbatim error or answer.
+                self.compute_and_cache(&engine, pref, key, epoch, scratch, started)
+            }
+        }
+    }
+
+    /// The cache-miss path: run the engine under the (already held) read guard, cache the
+    /// answer at its epoch, record the miss.
+    fn compute_and_cache(
+        &self,
+        engine: &skyline::SkylineEngine,
+        pref: &Preference,
+        key: CanonicalPreference,
+        epoch: DatasetEpoch,
+        scratch: &mut EngineScratch,
+        started: Instant,
+    ) -> Result<Served> {
         // `query_at` re-validates the epoch inside the engine — free under the read lock, and
         // it keeps the "answer matches its tag" property even if this code is ever rearranged.
         let outcome = engine

@@ -18,6 +18,8 @@ pub struct ServiceMetrics {
     misses: AtomicU64,
     errors: AtomicU64,
     mutations: AtomicU64,
+    remapped_hits: AtomicU64,
+    coalesced: AtomicU64,
     latency_ns: [AtomicU64; BUCKETS],
 }
 
@@ -28,6 +30,8 @@ impl Default for ServiceMetrics {
             misses: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             mutations: AtomicU64::new(0),
+            remapped_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             latency_ns: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -61,6 +65,18 @@ impl ServiceMetrics {
         self.mutations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a cache hit served by translating a pre-swap entry through the generation
+    /// remap (already counted as a hit by [`ServiceMetrics::record`]).
+    pub fn record_remapped_hit(&self) {
+        self.remapped_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a query that waited on another thread's in-flight computation of the same
+    /// canonical key instead of running the engine itself (single-flight).
+    pub fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot of the counters (individual loads are relaxed).
     pub fn snapshot(&self) -> StatsSnapshot {
         let hits = self.hits.load(Ordering::Relaxed);
@@ -77,6 +93,10 @@ impl ServiceMetrics {
             errors,
             mutations: self.mutations.load(Ordering::Relaxed),
             stale_evictions: 0,
+            remapped_hits: self.remapped_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            rebuilds: 0,
+            reclaimed_rows: 0,
             p50: percentile(&buckets, 0.50),
             p99: percentile(&buckets, 0.99),
         }
@@ -119,6 +139,18 @@ pub struct StatsSnapshot {
     /// Cached results dropped because a mutation made their epoch stale (lazy expiry; filled
     /// in from the result cache by `SkylineService::stats`).
     pub stale_evictions: u64,
+    /// Cache hits served by translating a pre-swap entry's row ids through the generation
+    /// remap (a subset of `hits`): how much of the cache a compaction swap *kept* warm.
+    pub remapped_hits: u64,
+    /// Queries that waited on another thread's identical in-flight computation instead of
+    /// running the engine themselves (single-flight collapses of concurrent cold misses).
+    pub coalesced: u64,
+    /// Generation rebuilds installed on the engine — background compaction + IPO
+    /// re-materialization swaps (filled in from the engine by `SkylineService::stats`).
+    pub rebuilds: u64,
+    /// Tombstoned rows physically reclaimed by those rebuilds (filled in from the engine by
+    /// `SkylineService::stats`).
+    pub reclaimed_rows: u64,
     /// Median latency (upper bound of its power-of-two bucket).
     pub p50: Duration,
     /// 99th-percentile latency (upper bound of its power-of-two bucket).

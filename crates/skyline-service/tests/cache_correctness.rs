@@ -100,12 +100,11 @@ proptest! {
             ServiceConfig {
                 cache_capacity: instance.cache_capacity,
                 cache_shards: 2,
-                workers: 1,
-            },
+                workers: 1, ..ServiceConfig::default() },
         );
         let uncached = SkylineService::with_config(
             engine.clone(),
-            ServiceConfig { cache_capacity: 0, cache_shards: 1, workers: 1 },
+            ServiceConfig { cache_capacity: 0, cache_shards: 1, workers: 1, ..ServiceConfig::default() },
         );
         for (i, pref) in stream.iter().enumerate() {
             let expected = engine.read().query(pref).unwrap().skyline;
@@ -141,8 +140,7 @@ proptest! {
             ServiceConfig {
                 cache_capacity: instance.cache_capacity,
                 cache_shards: 2,
-                workers: 4,
-            },
+                workers: 4, ..ServiceConfig::default() },
         );
         let batched = service.serve_batch(&stream);
         prop_assert_eq!(batched.len(), stream.len());

@@ -161,6 +161,7 @@ fn tiny_cache_evicts_but_never_corrupts() {
             cache_capacity: 4,
             cache_shards: 2,
             workers: 6,
+            ..ServiceConfig::default()
         },
     );
     for (q, r) in queries.iter().zip(service.serve_batch(&queries)) {

@@ -166,7 +166,7 @@ proptest! {
             SkylineEngine::build(data, template, EngineConfig::AdaptiveSfs).unwrap();
         let service = SkylineService::with_config(
             engine,
-            ServiceConfig { workers: 1, cache_capacity: 8, cache_shards: 1 },
+            ServiceConfig { workers: 1, cache_capacity: 8, cache_shards: 1, ..ServiceConfig::default() },
         );
 
         for op in ops {

@@ -1,9 +1,13 @@
-//! A unified query engine over the paper's algorithms, including the hybrid strategy of §5.3
-//! and a dynamic-dataset mutation path (epoch-tracked inserts and logical deletes).
+//! A unified query engine over the paper's algorithms, including the hybrid strategy of §5.3,
+//! a dynamic-dataset mutation path (epoch-tracked inserts and logical deletes), and a
+//! **generational lifecycle**: the serving state lives in an immutable [`Generation`]
+//! snapshot, and a rebuild — physical compaction with row-id remapping plus IPO
+//! re-materialization — constructs the *next* generation off the live rows without blocking
+//! readers, replays mutations that arrived mid-build, and swaps it in atomically.
 
-use skyline_adaptive::{AdaptiveSfs, QueryScratch};
+use skyline_adaptive::{AdaptiveSfs, MaintenanceStats, QueryScratch};
 use skyline_core::algo::sfs;
-use skyline_core::kernel::{CompiledRelation, DatasetEpoch, PointBlock};
+use skyline_core::kernel::{CompiledRelation, DatasetEpoch, PointBlock, RowIdRemap};
 use skyline_core::score::ScoreFn;
 use skyline_core::{Dataset, PointId, Preference, Result, SkylineError, Template, ValueId};
 use skyline_ipo::{BitmapIpoTree, IpoTree, IpoTreeBuilder};
@@ -52,6 +56,249 @@ pub struct QueryOutcome {
     pub method: MethodUsed,
 }
 
+/// One immutable serving snapshot of an engine: the dataset/block pair plus whatever derived
+/// structures the configuration materializes.
+///
+/// Queries only ever read a generation; mutations apply to the *current* generation in place
+/// (epoch-bumped appends and tombstones), and the background lifecycle builds the **next**
+/// generation — physically compacted, renumbered, re-materialized — off the live rows, then
+/// swaps it in atomically under the engine's write lock. The generation [`Generation::id`] is
+/// a monotonic counter (0 for the generation [`SkylineEngine::build`] creates, +1 per
+/// installed rebuild) that lets a finished build detect that the engine has moved on.
+#[derive(Debug, Clone)]
+pub struct Generation {
+    /// Monotonic generation number.
+    id: u64,
+    /// Dataset handle; `None` when an Adaptive SFS structure owns the data (the
+    /// [`EngineConfig::AdaptiveSfs`] and [`EngineConfig::Hybrid`] configurations), so mutable
+    /// state has exactly one owner and incremental updates never copy it.
+    data: Option<Arc<Dataset>>,
+    /// Row-major interleaved copy of the dataset for the compiled dominance kernel. `Some`
+    /// only for [`EngineConfig::SfsD`]: Adaptive-SFS configurations expose their structure's
+    /// block, and pure IPO-tree configurations never run a dominance scan.
+    block: Option<Arc<PointBlock>>,
+    /// Shared so a rebuild snapshot can carry the tree's materialization policy without
+    /// deep-copying the node arena under the engine's write lock.
+    ipo: Option<Arc<IpoTree>>,
+    bitmap: Option<BitmapIpoTree>,
+    asfs: Option<AdaptiveSfs>,
+    /// Epoch the materialized IPO structures were built at; when the dataset has moved past
+    /// it, the hybrid configuration stops consulting its (stale) tree.
+    tree_epoch: DatasetEpoch,
+}
+
+impl Generation {
+    /// The generation's monotonic sequence number.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The generation's mutation epoch (from its point block).
+    pub fn epoch(&self) -> DatasetEpoch {
+        self.point_block()
+            .map(|b| b.epoch())
+            .unwrap_or(DatasetEpoch::INITIAL)
+    }
+
+    /// Epoch the generation's IPO structures were materialized at.
+    pub fn tree_epoch(&self) -> DatasetEpoch {
+        self.tree_epoch
+    }
+
+    /// The shared point layout, when the configuration runs dominance scans.
+    pub fn point_block(&self) -> Option<&Arc<PointBlock>> {
+        match &self.asfs {
+            Some(asfs) => Some(asfs.point_block()),
+            None => self.block.as_ref(),
+        }
+    }
+
+    fn dataset_arc(&self) -> &Arc<Dataset> {
+        match &self.asfs {
+            Some(asfs) => asfs.dataset_arc(),
+            None => self.data.as_ref().expect("set at construction"),
+        }
+    }
+
+    /// Applies one insert to this generation, returning the new row id.
+    fn apply_insert(&mut self, numeric: &[f64], nominal: &[ValueId]) -> Result<PointId> {
+        if let Some(asfs) = &mut self.asfs {
+            asfs.insert_row(numeric, nominal)
+        } else {
+            let data = self.data.as_mut().expect("mutable configs hold data");
+            Arc::make_mut(data).push_row_ids(numeric, nominal)?;
+            let block = self.block.as_mut().expect("SfsD builds its block");
+            Arc::make_mut(block).append_row(numeric, nominal)
+        }
+    }
+
+    /// Applies one logical delete; `true` when the row was live (and the epoch bumped).
+    fn apply_delete(&mut self, p: PointId) -> Result<bool> {
+        if let Some(asfs) = &mut self.asfs {
+            asfs.delete_row(p)
+        } else {
+            let block = self.block.as_mut().expect("SfsD builds its block");
+            Arc::make_mut(block).tombstone(p)
+        }
+    }
+}
+
+/// The row-id translation published by a generation swap, bridging the epochs on either side.
+///
+/// Compaction renumbers rows, so every id minted before the swap is stale afterwards. Callers
+/// holding old ids — result caches, external row handles — translate them through
+/// [`GenerationRemap::remap`] **iff** their artifact is tagged with exactly
+/// [`GenerationRemap::from`] (the engine epoch right before the swap): at that epoch the old
+/// ids were current, so the translation is lossless. Artifacts from earlier epochs predate
+/// mutations the remap knows nothing about and must be discarded as usual.
+#[derive(Debug, Clone)]
+pub struct GenerationRemap {
+    /// Old row ids → new row ids (order-preserving; reclaimed rows map to `None`).
+    pub remap: Arc<RowIdRemap>,
+    /// The engine epoch immediately before the swap (the last epoch of the old id space).
+    pub from: DatasetEpoch,
+    /// The installed generation's epoch (strictly greater than `from`).
+    pub to: DatasetEpoch,
+}
+
+/// An epoch-bumping mutation recorded while a rebuild is in flight, replayed onto the next
+/// generation before the swap.
+#[derive(Debug, Clone)]
+enum LoggedMutation {
+    Insert {
+        numeric: Vec<f64>,
+        nominal: Vec<ValueId>,
+    },
+    /// Row id in the **pre-swap** id space (translated through the remap at replay time).
+    Delete { row: PointId },
+}
+
+/// The armed replay log of an in-flight rebuild: the epoch the snapshot was taken at plus
+/// every epoch-bumping mutation applied since. A pending generation is only installable when
+/// it was built from exactly this snapshot — the log covers nothing earlier.
+#[derive(Debug, Clone)]
+struct ReplayLog {
+    /// Engine epoch when [`SkylineEngine::begin_rebuild`] armed the log (the snapshot epoch).
+    from_epoch: DatasetEpoch,
+    mutations: Vec<LoggedMutation>,
+}
+
+/// The cheap, immutable state a rebuild needs, captured under the engine's write lock by
+/// [`SkylineEngine::begin_rebuild`]. Everything here is an `Arc` clone or a small copy, so the
+/// lock is held for microseconds; the expensive work happens in
+/// [`GenerationSnapshot::build_next`] with no lock held at all.
+#[derive(Debug, Clone)]
+pub struct GenerationSnapshot {
+    template: Template,
+    config: EngineConfig,
+    data: Arc<Dataset>,
+    block: Arc<PointBlock>,
+    /// The current tree (for its materialization policy), when the configuration has one.
+    tree: Option<Arc<IpoTree>>,
+    epoch: DatasetEpoch,
+    generation_id: u64,
+}
+
+impl GenerationSnapshot {
+    /// The epoch the snapshot was taken at.
+    pub fn epoch(&self) -> DatasetEpoch {
+        self.epoch
+    }
+
+    /// The id of the generation the snapshot was taken from.
+    pub fn generation_id(&self) -> u64 {
+        self.generation_id
+    }
+
+    /// Builds the next generation off the snapshot's live rows: a physically compacted
+    /// dataset/block pair (dead rows dropped, survivors renumbered, epoch moved past the
+    /// snapshot's), the Adaptive-SFS structure rebased through the parallel build path, and —
+    /// for the hybrid configuration — the IPO tree re-materialized so tree-served queries
+    /// come back after the swap.
+    ///
+    /// Runs with **no engine lock held**; concurrent readers keep serving the old generation
+    /// throughout. Hand the result to [`SkylineEngine::install_generation`] under the write
+    /// lock to swap it in.
+    pub fn build_next(&self) -> Result<PendingGeneration> {
+        let (block, remap) = self.block.compacted();
+        let data = Arc::new(self.data.retained(remap.kept_old_ids()));
+        let block = Arc::new(block);
+        let tree_epoch = block.epoch();
+        let generation = match self.config {
+            EngineConfig::SfsD => Generation {
+                id: self.generation_id,
+                data: Some(data),
+                block: Some(block),
+                ipo: None,
+                bitmap: None,
+                asfs: None,
+                tree_epoch,
+            },
+            EngineConfig::AdaptiveSfs => Generation {
+                id: self.generation_id,
+                data: None,
+                block: None,
+                ipo: None,
+                bitmap: None,
+                asfs: Some(AdaptiveSfs::rebased(data, block, &self.template)?),
+                tree_epoch,
+            },
+            EngineConfig::Hybrid { .. } => {
+                let old_tree = self.tree.as_ref().expect("hybrid engines carry a tree");
+                let tree = old_tree.rebuilt_for(&data, &self.template)?;
+                let asfs = AdaptiveSfs::from_precomputed_with_block(
+                    data,
+                    block,
+                    self.template.clone(),
+                    tree.skyline().to_vec(),
+                )?;
+                Generation {
+                    id: self.generation_id,
+                    data: None,
+                    block: None,
+                    ipo: Some(Arc::new(tree)),
+                    bitmap: None,
+                    asfs: Some(asfs),
+                    tree_epoch,
+                }
+            }
+            EngineConfig::IpoTree | EngineConfig::IpoTreeTopK(_) | EngineConfig::BitmapIpoTree => {
+                return Err(SkylineError::InvalidArgument(
+                    "frozen configurations have no generational lifecycle".into(),
+                ))
+            }
+        };
+        Ok(PendingGeneration {
+            generation,
+            remap,
+            source_epoch: self.epoch,
+            source_generation: self.generation_id,
+        })
+    }
+}
+
+/// A fully built next generation, waiting to be swapped in by
+/// [`SkylineEngine::install_generation`].
+#[derive(Debug)]
+pub struct PendingGeneration {
+    generation: Generation,
+    remap: RowIdRemap,
+    source_epoch: DatasetEpoch,
+    source_generation: u64,
+}
+
+impl PendingGeneration {
+    /// Number of tombstoned rows the compaction physically reclaimed.
+    pub fn reclaimed(&self) -> usize {
+        self.remap.reclaimed()
+    }
+
+    /// The epoch of the snapshot this generation was built from.
+    pub fn source_epoch(&self) -> DatasetEpoch {
+        self.source_epoch
+    }
+}
+
 /// A configured skyline query engine bound to a dataset and a template.
 ///
 /// The dataset is held by shared ownership ([`Arc`]), which makes the engine `Send + Sync`:
@@ -68,27 +315,47 @@ pub struct QueryOutcome {
 /// materialized IPO structures ([`EngineConfig::IpoTree`], [`EngineConfig::IpoTreeTopK`],
 /// [`EngineConfig::BitmapIpoTree`]) are frozen and reject mutations — rebuild them instead.
 /// The hybrid configuration stays fully servable: after a mutation its truncated tree is
-/// stale, so every query routes to the incrementally maintained Adaptive-SFS side until the
-/// engine is rebuilt. To share one mutable engine between threads, wrap it in a
-/// [`SharedEngine`].
+/// stale, so every query routes to the incrementally maintained Adaptive-SFS side until a
+/// generation rebuild re-materializes the tree. To share one mutable engine between threads,
+/// wrap it in a [`SharedEngine`].
+///
+/// # Generational lifecycle
+///
+/// The serving state lives in a [`Generation`]. Sustained write workloads accumulate
+/// tombstoned rows (memory) and — for the hybrid — a stale tree (latency); the lifecycle
+/// fixes both without ever blocking readers on a build:
+///
+/// 1. [`SkylineEngine::begin_rebuild`] (write lock, microseconds) captures a
+///    [`GenerationSnapshot`] and starts recording epoch-bumping mutations in a replay log;
+/// 2. [`GenerationSnapshot::build_next`] (**no lock**) compacts, renumbers and
+///    re-materializes the next generation;
+/// 3. [`SkylineEngine::install_generation`] (write lock) replays the logged mutations onto
+///    the new generation, swaps it in atomically, and publishes a [`GenerationRemap`] so
+///    callers can translate stale row ids.
+///
+/// [`SharedEngine::rebuild_now`] packages the three steps for synchronous use; the
+/// [`crate::maintenance::MaintenanceWorker`] drives them from a background thread under a
+/// [`crate::maintenance::MaintenancePolicy`].
 #[derive(Debug, Clone)]
 pub struct SkylineEngine {
-    /// Dataset handle; `None` when an Adaptive SFS structure owns the data (the
-    /// [`EngineConfig::AdaptiveSfs`] and [`EngineConfig::Hybrid`] configurations), so mutable
-    /// state has exactly one owner and incremental updates never copy it.
-    data: Option<Arc<Dataset>>,
-    /// Row-major interleaved copy of the dataset for the compiled dominance kernel. `Some`
-    /// only for [`EngineConfig::SfsD`]: Adaptive-SFS configurations expose their structure's
-    /// block, and pure IPO-tree configurations never run a dominance scan.
-    block: Option<Arc<PointBlock>>,
     template: Template,
     config: EngineConfig,
-    ipo: Option<IpoTree>,
-    bitmap: Option<BitmapIpoTree>,
-    asfs: Option<AdaptiveSfs>,
-    /// Epoch the materialized IPO structures were built at; when the dataset has moved past
-    /// it, the hybrid configuration stops consulting its (stale) tree.
-    tree_epoch: DatasetEpoch,
+    generation: Generation,
+    /// `Some` while a rebuild is in flight: every epoch-bumping mutation is recorded for
+    /// replay onto the next generation before the swap.
+    replay_log: Option<ReplayLog>,
+    /// Epoch-bumping mutations applied since the last installed generation (or the build) —
+    /// one of the two quantities maintenance policies watch.
+    mutations_since_rebuild: u64,
+    /// Counters of structures replaced by past generation swaps, plus the engine-level
+    /// `rebuilds`/`reclaimed_rows` — merged with the live structure's counters by
+    /// [`SkylineEngine::maintenance_stats`].
+    carried_stats: MaintenanceStats,
+    /// Mutation counters for [`EngineConfig::SfsD`], which has no maintained structure of its
+    /// own to count them.
+    sfsd_stats: MaintenanceStats,
+    /// The translation published by the most recent generation swap.
+    last_remap: Option<GenerationRemap>,
 }
 
 /// A skyline engine shared between readers and writers: `Arc<RwLock<SkylineEngine>>` with the
@@ -120,6 +387,28 @@ impl SharedEngine {
     /// Write access (exclusive) for mutations.
     pub fn write(&self) -> RwLockWriteGuard<'_, SkylineEngine> {
         self.inner.write().expect("engine lock poisoned")
+    }
+
+    /// Runs one full generation rebuild synchronously: snapshot under the write lock
+    /// (microseconds), [`GenerationSnapshot::build_next`] with **no lock held** — concurrent
+    /// readers keep serving the old generation, and mutations keep landing (they are
+    /// replayed) — then the atomic swap under the write lock. Returns the published
+    /// [`GenerationRemap`].
+    ///
+    /// This is the same three-step cycle the background
+    /// [`crate::maintenance::MaintenanceWorker`] drives; call it directly for deterministic
+    /// rebuilds in tests or batch jobs. Fails on frozen configurations and when another
+    /// rebuild is already in flight.
+    pub fn rebuild_now(&self) -> Result<GenerationRemap> {
+        let snapshot = self.write().begin_rebuild()?;
+        let pending = match snapshot.build_next() {
+            Ok(pending) => pending,
+            Err(e) => {
+                self.write().abort_rebuild();
+                return Err(e);
+            }
+        };
+        self.write().install_generation(pending)
     }
 }
 
@@ -205,14 +494,22 @@ impl SkylineEngine {
             }
         }
         Ok(Self {
-            data: owned_data,
-            block,
             template,
             config,
-            ipo,
-            bitmap,
-            asfs,
-            tree_epoch: DatasetEpoch::INITIAL,
+            generation: Generation {
+                id: 0,
+                data: owned_data,
+                block,
+                ipo: ipo.map(Arc::new),
+                bitmap,
+                asfs,
+                tree_epoch: DatasetEpoch::INITIAL,
+            },
+            replay_log: None,
+            mutations_since_rebuild: 0,
+            carried_stats: MaintenanceStats::default(),
+            sfsd_stats: MaintenanceStats::default(),
+            last_remap: None,
         })
     }
 
@@ -223,10 +520,12 @@ impl SkylineEngine {
 
     /// Shared handle to the dataset (cheap to clone; hand it to sibling engines or threads).
     pub fn dataset_arc(&self) -> &Arc<Dataset> {
-        match &self.asfs {
-            Some(asfs) => asfs.dataset_arc(),
-            None => self.data.as_ref().expect("set in build()"),
-        }
+        self.generation.dataset_arc()
+    }
+
+    /// The serving generation (snapshot introspection: id, epochs, block).
+    pub fn generation(&self) -> &Generation {
+        &self.generation
     }
 
     /// The shared row-major point layout the compiled dominance kernel evaluates over.
@@ -234,17 +533,13 @@ impl SkylineEngine {
     /// `None` for pure IPO-tree configurations, which answer queries from materialized sets
     /// and never run a dominance scan.
     pub fn point_block(&self) -> Option<&Arc<PointBlock>> {
-        match &self.asfs {
-            Some(asfs) => Some(asfs.point_block()),
-            None => self.block.as_ref(),
-        }
+        self.generation.point_block()
     }
 
-    /// The engine's current mutation epoch (bumped by every insert and every live delete).
+    /// The engine's current mutation epoch (bumped by every insert, every live delete, and
+    /// every generation swap).
     pub fn epoch(&self) -> DatasetEpoch {
-        self.point_block()
-            .map(|b| b.epoch())
-            .unwrap_or(DatasetEpoch::INITIAL)
+        self.generation.epoch()
     }
 
     /// Number of live (non-deleted) rows the engine serves.
@@ -273,18 +568,18 @@ impl SkylineEngine {
 
     /// The materialized IPO tree, when the configuration has one.
     pub fn ipo_tree(&self) -> Option<&IpoTree> {
-        self.ipo.as_ref()
+        self.generation.ipo.as_deref()
     }
 
     /// The Adaptive SFS structure, when the configuration has one.
     pub fn adaptive(&self) -> Option<&AdaptiveSfs> {
-        self.asfs.as_ref()
+        self.generation.asfs.as_ref()
     }
 
     /// Mutable access to the Adaptive SFS structure (e.g. to trigger an explicit
     /// [`AdaptiveSfs::compact`]); requires a mutable configuration.
     pub fn adaptive_mut(&mut self) -> Option<&mut AdaptiveSfs> {
-        self.asfs.as_mut()
+        self.generation.asfs.as_mut()
     }
 
     /// Errors exactly when [`SkylineEngine::query`] would reject `pref` without computing a
@@ -301,11 +596,11 @@ impl SkylineEngine {
         self.template.check_refinement(schema, pref)?;
         match self.config {
             EngineConfig::IpoTree | EngineConfig::IpoTreeTopK(_) => {
-                let tree = self.ipo.as_ref().expect("built in build()");
+                let tree = self.generation.ipo.as_ref().expect("built in build()");
                 tree.require_materialized(schema, pref)
             }
             EngineConfig::BitmapIpoTree => {
-                let tree = self.bitmap.as_ref().expect("built in build()");
+                let tree = self.generation.bitmap.as_ref().expect("built in build()");
                 tree.require_materialized(schema, pref)
             }
             EngineConfig::SfsD | EngineConfig::AdaptiveSfs | EngineConfig::Hybrid { .. } => Ok(()),
@@ -341,13 +636,16 @@ impl SkylineEngine {
     /// immutable snapshot; afterwards the engine owns its copy and mutates in place.
     pub fn insert_row(&mut self, numeric: &[f64], nominal: &[ValueId]) -> Result<DatasetEpoch> {
         self.require_mutable()?;
-        if let Some(asfs) = &mut self.asfs {
-            asfs.insert_row(numeric, nominal)?;
-        } else {
-            let data = self.data.as_mut().expect("mutable configs hold data");
-            Arc::make_mut(data).push_row_ids(numeric, nominal)?;
-            let block = self.block.as_mut().expect("SfsD builds its block");
-            Arc::make_mut(block).append_row(numeric, nominal)?;
+        self.generation.apply_insert(numeric, nominal)?;
+        if self.generation.asfs.is_none() {
+            self.sfsd_stats.inserts += 1;
+        }
+        self.mutations_since_rebuild += 1;
+        if let Some(log) = &mut self.replay_log {
+            log.mutations.push(LoggedMutation::Insert {
+                numeric: numeric.to_vec(),
+                nominal: nominal.to_vec(),
+            });
         }
         Ok(self.epoch())
     }
@@ -359,13 +657,196 @@ impl SkylineEngine {
     /// configuration and sharing rules.
     pub fn delete_row(&mut self, p: PointId) -> Result<DatasetEpoch> {
         self.require_mutable()?;
-        if let Some(asfs) = &mut self.asfs {
-            asfs.delete_row(p)?;
-        } else {
-            let block = self.block.as_mut().expect("SfsD builds its block");
-            Arc::make_mut(block).tombstone(p)?;
+        let was_live = self.generation.apply_delete(p)?;
+        if was_live {
+            if self.generation.asfs.is_none() {
+                self.sfsd_stats.deletes += 1;
+            }
+            self.mutations_since_rebuild += 1;
+            if let Some(log) = &mut self.replay_log {
+                log.mutations.push(LoggedMutation::Delete { row: p });
+            }
         }
         Ok(self.epoch())
+    }
+
+    /// Epoch-bumping mutations applied since the last generation swap (or the build).
+    pub fn mutations_since_rebuild(&self) -> u64 {
+        self.mutations_since_rebuild
+    }
+
+    /// Tombstoned rows still physically occupying the engine's block (0 for frozen configs).
+    pub fn dead_rows(&self) -> usize {
+        self.point_block().map(|b| b.dead_count()).unwrap_or(0)
+    }
+
+    /// The translation published by the most recent generation swap, when one has happened.
+    pub fn last_remap(&self) -> Option<&GenerationRemap> {
+        self.last_remap.as_ref()
+    }
+
+    /// True while a [`SkylineEngine::begin_rebuild`] snapshot is outstanding (mutations are
+    /// being recorded for replay).
+    pub fn rebuild_in_flight(&self) -> bool {
+        self.replay_log.is_some()
+    }
+
+    /// Maintenance counters across the engine's whole lifetime: the live structure's
+    /// incremental-maintenance counters plus everything carried over from generations
+    /// replaced by past swaps, including [`MaintenanceStats::rebuilds`] (installed swaps) and
+    /// [`MaintenanceStats::reclaimed_rows`] (rows physically reclaimed by compactions).
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        let live = match &self.generation.asfs {
+            Some(asfs) => asfs.maintenance_stats(),
+            None => self.sfsd_stats,
+        };
+        self.carried_stats.merged(live)
+    }
+
+    /// True when `pref` would currently be answered from a materialized IPO tree: always for
+    /// the frozen tree configurations (when they accept it at all), and for the hybrid exactly
+    /// when its tree is current (no mutation since materialization) and materializes every
+    /// listed value. This is the introspection hook tests and monitors use to observe a
+    /// mutated hybrid recovering tree-served queries after a generation rebuild.
+    pub fn serves_from_tree(&self, pref: &Preference) -> bool {
+        match self.config {
+            EngineConfig::IpoTree | EngineConfig::IpoTreeTopK(_) | EngineConfig::BitmapIpoTree => {
+                true
+            }
+            EngineConfig::Hybrid { .. } => {
+                let tree = self.generation.ipo.as_ref().expect("built in build()");
+                self.epoch() == self.generation.tree_epoch && tree.materializes(pref)
+            }
+            EngineConfig::SfsD | EngineConfig::AdaptiveSfs => false,
+        }
+    }
+
+    /// Starts a generation rebuild: captures a cheap [`GenerationSnapshot`] and arms the
+    /// replay log, so every epoch-bumping mutation from here on is recorded and replayed onto
+    /// the next generation before [`SkylineEngine::install_generation`] swaps it in.
+    ///
+    /// Call under the write lock (the snapshot is a handful of `Arc` clones — microseconds),
+    /// then run [`GenerationSnapshot::build_next`] with **no lock held**. Fails on frozen
+    /// configurations and when a rebuild is already in flight; a build that is abandoned
+    /// without installing must call [`SkylineEngine::abort_rebuild`] to disarm the log.
+    pub fn begin_rebuild(&mut self) -> Result<GenerationSnapshot> {
+        self.require_mutable()?;
+        if self.replay_log.is_some() {
+            return Err(SkylineError::InvalidArgument(
+                "a generation rebuild is already in flight".into(),
+            ));
+        }
+        let snapshot = GenerationSnapshot {
+            template: self.template.clone(),
+            config: self.config,
+            data: self.dataset_arc().clone(),
+            block: self
+                .point_block()
+                .expect("mutable configs build a block")
+                .clone(),
+            tree: self.generation.ipo.clone(),
+            epoch: self.epoch(),
+            generation_id: self.generation.id,
+        };
+        self.replay_log = Some(ReplayLog {
+            from_epoch: snapshot.epoch,
+            mutations: Vec::new(),
+        });
+        Ok(snapshot)
+    }
+
+    /// Abandons an in-flight rebuild: disarms the replay log without swapping anything.
+    pub fn abort_rebuild(&mut self) {
+        self.replay_log = None;
+    }
+
+    /// Atomically swaps in a built generation (call under the write lock): replays the
+    /// mutations that arrived while the build ran — translating deleted row ids through the
+    /// remap — installs the new generation, and publishes the [`GenerationRemap`] bridging
+    /// the old id space to the new one.
+    ///
+    /// The installed epoch is strictly greater than every epoch the old generation ever
+    /// served, so epoch-tagged artifacts built against old row ids can never be misread
+    /// against the renumbered block. Fails — leaving the old generation serving — when the
+    /// pending generation is stale (the engine was swapped by someone else in between) or no
+    /// rebuild was begun.
+    pub fn install_generation(&mut self, pending: PendingGeneration) -> Result<GenerationRemap> {
+        // Validate BEFORE consuming the log: a rejected stale pending (e.g. one built before
+        // an abort, or for another generation) must leave the legitimately armed rebuild —
+        // and its mutation recording — intact.
+        {
+            let Some(log) = self.replay_log.as_ref() else {
+                return Err(SkylineError::InvalidArgument(
+                    "no generation rebuild in flight".into(),
+                ));
+            };
+            if pending.source_generation != self.generation.id
+                || pending.source_epoch != log.from_epoch
+            {
+                return Err(SkylineError::InvalidArgument(format!(
+                    "pending generation was built from generation {} at {} but the armed \
+                     rebuild snapshotted generation {} at {}",
+                    pending.source_generation,
+                    pending.source_epoch,
+                    self.generation.id,
+                    log.from_epoch
+                )));
+            }
+        }
+        let log = self.replay_log.take().expect("validated above");
+        let mut generation = pending.generation;
+        let mut remap = pending.remap;
+        // Logical mutations replayed here were already counted by the old generation's
+        // structure when they were applied live; the new structure counts them a second time
+        // during the replay. Track them so the merge below deducts the duplicates (pure work
+        // counters like `resurface_candidates` keep both sides — both scans really ran).
+        let mut replayed_inserts = 0u64;
+        let mut replayed_deletes = 0u64;
+        for mutation in log.mutations {
+            match mutation {
+                LoggedMutation::Insert { numeric, nominal } => {
+                    let new = generation.apply_insert(&numeric, &nominal)?;
+                    remap.push_appended(new);
+                    replayed_inserts += 1;
+                }
+                LoggedMutation::Delete { row } => {
+                    // Logged deletes target rows live at snapshot time or appended after it,
+                    // so the translation cannot fail; skip defensively if it ever does.
+                    if let Some(new) = remap.new_id(row) {
+                        generation.apply_delete(new)?;
+                        replayed_deletes += 1;
+                    } else {
+                        debug_assert!(false, "logged delete of an unmapped row {row}");
+                    }
+                }
+            }
+        }
+        let from = self.epoch();
+        let to = generation.epoch();
+        debug_assert!(to > from, "the installed epoch must move past the old one");
+        generation.id = self.generation.id + 1;
+        let old = std::mem::replace(&mut self.generation, generation);
+        let old_stats = match &old.asfs {
+            Some(asfs) => asfs.maintenance_stats(),
+            None => std::mem::take(&mut self.sfsd_stats),
+        };
+        self.carried_stats = self.carried_stats.merged(old_stats);
+        if old.asfs.is_some() {
+            // SfsD replay bypasses `sfsd_stats`, so only the Adaptive-SFS-backed
+            // configurations double-count and need the deduction.
+            self.carried_stats.inserts -= replayed_inserts;
+            self.carried_stats.deletes -= replayed_deletes;
+        }
+        self.carried_stats.rebuilds += 1;
+        self.carried_stats.reclaimed_rows += remap.reclaimed() as u64;
+        self.mutations_since_rebuild = 0;
+        let published = GenerationRemap {
+            remap: Arc::new(remap),
+            from,
+            to,
+        };
+        self.last_remap = Some(published.clone());
+        Ok(published)
     }
 
     fn require_mutable(&self) -> Result<()> {
@@ -424,21 +905,21 @@ impl SkylineEngine {
         match self.config {
             EngineConfig::SfsD => self.query_sfs_d(pref),
             EngineConfig::AdaptiveSfs => {
-                let asfs = self.asfs.as_ref().expect("built in build()");
+                let asfs = self.generation.asfs.as_ref().expect("built in build()");
                 Ok(QueryOutcome {
                     skyline: asfs.query_with_scratch(pref, &mut scratch.asfs)?,
                     method: MethodUsed::AdaptiveSfs,
                 })
             }
             EngineConfig::IpoTree | EngineConfig::IpoTreeTopK(_) => {
-                let tree = self.ipo.as_ref().expect("built in build()");
+                let tree = self.generation.ipo.as_ref().expect("built in build()");
                 Ok(QueryOutcome {
                     skyline: tree.query(self.dataset(), pref)?,
                     method: MethodUsed::IpoTree,
                 })
             }
             EngineConfig::BitmapIpoTree => {
-                let tree = self.bitmap.as_ref().expect("built in build()");
+                let tree = self.generation.bitmap.as_ref().expect("built in build()");
                 Ok(QueryOutcome {
                     skyline: tree.query(self.dataset(), pref)?,
                     method: MethodUsed::IpoTree,
@@ -447,17 +928,20 @@ impl SkylineEngine {
             EngineConfig::Hybrid { .. } => {
                 // Same predicate the truncated tree's query rejection uses (Section 5.3):
                 // popular (fully materialized) preferences go to the IPO tree, everything
-                // else to Adaptive SFS. The tree was materialized at `tree_epoch`; once the
-                // dataset moves past it, every query routes to the incrementally maintained
-                // fallback so a stale tree can never answer.
-                let tree = self.ipo.as_ref().expect("built in build()");
-                if self.epoch() == self.tree_epoch && tree.materializes(pref) {
+                // else to Adaptive SFS. The tree was materialized at the generation's
+                // `tree_epoch`; once the dataset moves past it, every query routes to the
+                // incrementally maintained fallback so a stale tree can never answer — until
+                // a generation rebuild re-materializes the tree and tree-served queries
+                // resume. `serves_from_tree` is the same predicate, exposed for
+                // introspection.
+                if self.serves_from_tree(pref) {
+                    let tree = self.generation.ipo.as_ref().expect("built in build()");
                     Ok(QueryOutcome {
                         skyline: tree.query(self.dataset(), pref)?,
                         method: MethodUsed::IpoTree,
                     })
                 } else {
-                    let asfs = self.asfs.as_ref().expect("built in build()");
+                    let asfs = self.generation.asfs.as_ref().expect("built in build()");
                     Ok(QueryOutcome {
                         skyline: asfs.query_with_scratch(pref, &mut scratch.asfs)?,
                         method: MethodUsed::AdaptiveSfs,
@@ -473,6 +957,7 @@ impl SkylineEngine {
     /// so the compiled scan skips them without any rebuild.
     fn query_sfs_d(&self, pref: &Preference) -> Result<QueryOutcome> {
         let block = self
+            .generation
             .block
             .as_ref()
             .expect("SfsD engines build their point block in build()");

@@ -47,10 +47,13 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod maintenance;
 
 pub use engine::{
-    EngineConfig, EngineScratch, MethodUsed, QueryOutcome, SharedEngine, SkylineEngine,
+    EngineConfig, EngineScratch, Generation, GenerationRemap, GenerationSnapshot, MethodUsed,
+    PendingGeneration, QueryOutcome, SharedEngine, SkylineEngine,
 };
+pub use maintenance::{MaintenanceHandle, MaintenancePolicy, MaintenanceWorker};
 
 pub use skyline_adaptive as adaptive;
 pub use skyline_core as model;
@@ -60,13 +63,16 @@ pub use skyline_ipo as ipo;
 /// Convenient glob import for applications: `use skyline::prelude::*;`.
 pub mod prelude {
     pub use crate::engine::{
-        EngineConfig, EngineScratch, MethodUsed, QueryOutcome, SharedEngine, SkylineEngine,
+        EngineConfig, EngineScratch, Generation, GenerationRemap, MethodUsed, QueryOutcome,
+        SharedEngine, SkylineEngine,
     };
+    pub use crate::maintenance::{MaintenanceHandle, MaintenancePolicy, MaintenanceWorker};
     pub use skyline_adaptive::{AdaptiveSfs, MaintenanceStats};
     pub use skyline_core::{
         CompiledRelation, Dataset, DatasetBuilder, DatasetEpoch, Dimension, DimensionKind,
         DomRelation, Dominance, DominanceContext, ImplicitPreference, NominalDomain, PartialOrder,
-        PointBlock, PointId, Preference, Result, RowValue, Schema, SkylineError, Template, ValueId,
+        PointBlock, PointId, Preference, Result, RowIdRemap, RowValue, Schema, SkylineError,
+        Template, ValueId,
     };
     pub use skyline_datagen::{Distribution, ExperimentConfig, QueryGenerator, WorkloadOp};
     pub use skyline_ipo::{BitmapIpoTree, BuildStrategy, IpoTree, IpoTreeBuilder};

@@ -1,0 +1,289 @@
+//! Background engine maintenance: a worker thread that watches a [`SharedEngine`] and runs
+//! generation rebuilds — physical compaction with row-id remapping plus IPO
+//! re-materialization — when a [`MaintenancePolicy`] says the accumulated debt is worth
+//! paying.
+//!
+//! Production skyline systems treat index maintenance as a lifecycle concern rather than a
+//! foreground cost: mutations stay cheap in-place updates, and a background thread
+//! periodically folds the accumulated tombstones and stale materializations back into a
+//! fresh, compact generation. The worker here is exactly the three-step cycle of
+//! [`SharedEngine::rebuild_now`] driven off-thread: snapshot under the write lock
+//! (microseconds), build with **no lock held** (readers are never blocked on a build), swap
+//! atomically. Mutations that land mid-build are replayed onto the new generation before the
+//! swap.
+
+use crate::engine::SharedEngine;
+use skyline_core::Result;
+use std::sync::mpsc::{self, RecvTimeoutError, Sender, SyncSender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// When the background worker should rebuild the engine's generation.
+///
+/// Two debts accumulate under sustained writes, and each has a knob:
+///
+/// * **memory** — tombstoned rows still physically occupy the dataset and block until a
+///   compaction reclaims them: [`MaintenancePolicy::dead_row_ratio`];
+/// * **latency** — a mutated hybrid engine abandons its IPO tree and serves every query from
+///   the slower Adaptive-SFS fallback until the tree is re-materialized:
+///   [`MaintenancePolicy::max_mutations_since_rebuild`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintenancePolicy {
+    /// Rebuild when at least this fraction of the block's rows are tombstoned (and at least
+    /// one is). `1.0` effectively disables the ratio trigger.
+    pub dead_row_ratio: f64,
+    /// Rebuild when this many epoch-bumping mutations have been applied since the last swap
+    /// (or the build). For a hybrid engine this bounds how long queries stay on the fallback
+    /// path; `1` re-materializes after every mutation burst, `u64::MAX` disables the trigger.
+    pub max_mutations_since_rebuild: u64,
+    /// How often the worker wakes up to evaluate the policy when nobody nudges it.
+    pub poll_interval: Duration,
+}
+
+impl Default for MaintenancePolicy {
+    fn default() -> Self {
+        Self {
+            dead_row_ratio: 0.25,
+            max_mutations_since_rebuild: 4096,
+            poll_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+impl MaintenancePolicy {
+    /// True when the engine's accumulated debt crosses either threshold. Frozen
+    /// configurations (no mutation path, hence no debt) are never due; neither is an engine
+    /// with a rebuild already in flight.
+    pub fn due(&self, engine: &crate::SkylineEngine) -> bool {
+        if !engine.supports_mutation() || engine.rebuild_in_flight() {
+            return false;
+        }
+        let Some(block) = engine.point_block() else {
+            return false;
+        };
+        let dead_due = block.dead_count() > 0 && block.dead_ratio() >= self.dead_row_ratio;
+        let mutation_due = engine.mutations_since_rebuild() >= self.max_mutations_since_rebuild
+            && engine.mutations_since_rebuild() > 0;
+        dead_due || mutation_due
+    }
+}
+
+enum Signal {
+    /// Evaluate the policy now (sent after mutations so due rebuilds start promptly).
+    Nudge,
+    /// Run a rebuild cycle regardless of the policy; ack with whether a swap was installed.
+    Force(SyncSender<Result<bool>>),
+    Shutdown,
+}
+
+/// Handle to a running [`MaintenanceWorker`]; dropping it shuts the worker down (joining the
+/// thread).
+#[derive(Debug)]
+pub struct MaintenanceHandle {
+    tx: Sender<Signal>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MaintenanceHandle {
+    /// Nudges the worker to evaluate its policy now instead of waiting for the next poll
+    /// tick. Non-blocking and cheap — call it after every mutation.
+    pub fn notify(&self) {
+        let _ = self.tx.send(Signal::Nudge);
+    }
+
+    /// Runs one rebuild cycle right now, regardless of the policy, and waits for it to
+    /// finish. Returns `Ok(true)` when a new generation was installed, `Ok(false)` when the
+    /// worker skipped (e.g. a rebuild was already in flight), and the build error otherwise.
+    /// Deterministic tests and pre-traffic warmup hooks use this; steady-state operation
+    /// relies on the policy.
+    pub fn force_rebuild(&self) -> Result<bool> {
+        let (ack, done) = mpsc::sync_channel(1);
+        if self.tx.send(Signal::Force(ack)).is_err() {
+            return Ok(false);
+        }
+        done.recv().unwrap_or(Ok(false))
+    }
+}
+
+impl Drop for MaintenanceHandle {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Signal::Shutdown);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The background maintenance worker (see the module docs).
+pub struct MaintenanceWorker;
+
+impl MaintenanceWorker {
+    /// Spawns the worker thread watching `engine` under `policy` and returns its handle.
+    ///
+    /// The worker wakes on every [`MaintenanceHandle::notify`] and at least every
+    /// [`MaintenancePolicy::poll_interval`]; when [`MaintenancePolicy::due`] holds it runs one
+    /// rebuild cycle. Build errors leave the old generation serving and are retried on the
+    /// next due evaluation.
+    pub fn spawn(engine: SharedEngine, policy: MaintenancePolicy) -> MaintenanceHandle {
+        let (tx, rx) = mpsc::channel();
+        let poll = policy.poll_interval;
+        let thread = std::thread::Builder::new()
+            .name("skyline-maintenance".into())
+            .spawn(move || loop {
+                match rx.recv_timeout(poll) {
+                    Ok(Signal::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+                    Ok(Signal::Nudge) | Err(RecvTimeoutError::Timeout) => {
+                        if policy.due(&engine.read()) {
+                            let _ = run_cycle(&engine);
+                        }
+                    }
+                    Ok(Signal::Force(ack)) => {
+                        let _ = ack.send(run_cycle(&engine));
+                    }
+                }
+            })
+            .expect("spawning the maintenance worker thread");
+        MaintenanceHandle {
+            tx,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// One rebuild cycle; `Ok(false)` when skipped because a rebuild was already in flight.
+fn run_cycle(engine: &SharedEngine) -> Result<bool> {
+    if engine.read().rebuild_in_flight() {
+        return Ok(false);
+    }
+    engine.rebuild_now().map(|_| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineConfig, SkylineEngine};
+    use skyline_core::{Dataset, Dimension, NominalDomain, Schema, Template};
+    use std::sync::Arc;
+
+    fn shared(config: EngineConfig) -> SharedEngine {
+        let schema = Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::nominal("g", NominalDomain::anonymous(3)),
+        ])
+        .unwrap();
+        let mut data = Dataset::empty(schema.clone());
+        for (x, g) in [(3.0, 0), (2.0, 1), (1.0, 2), (5.0, 0), (4.0, 1)] {
+            data.push_row_ids(&[x], &[g]).unwrap();
+        }
+        let template = Template::empty(&schema);
+        SharedEngine::new(SkylineEngine::build(Arc::new(data), template, config).unwrap())
+    }
+
+    #[test]
+    fn policy_triggers_on_either_threshold() {
+        let policy = MaintenancePolicy {
+            dead_row_ratio: 0.3,
+            max_mutations_since_rebuild: 3,
+            ..MaintenancePolicy::default()
+        };
+        let engine = shared(EngineConfig::AdaptiveSfs);
+        assert!(!policy.due(&engine.read()), "fresh engines owe nothing");
+
+        // One delete: 1/5 dead < 0.3, 1 mutation < 3 → not due.
+        engine.write().delete_row(0).unwrap();
+        assert!(!policy.due(&engine.read()));
+        // Second delete crosses the dead-row ratio (2/5 ≥ 0.3).
+        engine.write().delete_row(1).unwrap();
+        assert!(policy.due(&engine.read()));
+
+        // A swap clears the debt.
+        engine.rebuild_now().unwrap();
+        assert!(!policy.due(&engine.read()));
+
+        // Pure inserts never add dead rows but do cross the mutation threshold.
+        for _ in 0..3 {
+            engine.write().insert_row(&[9.0], &[0]).unwrap();
+        }
+        assert!(policy.due(&engine.read()));
+    }
+
+    #[test]
+    fn policy_ignores_frozen_and_in_flight_engines() {
+        let policy = MaintenancePolicy {
+            max_mutations_since_rebuild: 1,
+            ..MaintenancePolicy::default()
+        };
+        let frozen = shared(EngineConfig::IpoTree);
+        assert!(!policy.due(&frozen.read()));
+
+        let engine = shared(EngineConfig::AdaptiveSfs);
+        engine.write().delete_row(0).unwrap();
+        assert!(policy.due(&engine.read()));
+        let _snapshot = engine.write().begin_rebuild().unwrap();
+        assert!(
+            !policy.due(&engine.read()),
+            "one rebuild in flight is enough"
+        );
+        engine.write().abort_rebuild();
+        assert!(policy.due(&engine.read()));
+    }
+
+    #[test]
+    fn worker_compacts_when_forced_and_shuts_down_on_drop() {
+        let engine = shared(EngineConfig::Hybrid { top_k: 2 });
+        engine.write().delete_row(0).unwrap();
+        engine.write().delete_row(3).unwrap();
+        let handle = MaintenanceWorker::spawn(
+            engine.clone(),
+            MaintenancePolicy {
+                // Thresholds the test never crosses: only the forced cycle may rebuild.
+                dead_row_ratio: 1.0,
+                max_mutations_since_rebuild: u64::MAX,
+                poll_interval: Duration::from_millis(10),
+            },
+        );
+        assert!(handle.force_rebuild().unwrap());
+        {
+            let engine = engine.read();
+            let block = engine.point_block().unwrap();
+            assert_eq!(block.len(), block.live_count(), "only live rows remain");
+            assert_eq!(engine.generation().id(), 1);
+            assert_eq!(engine.maintenance_stats().rebuilds, 1);
+            assert_eq!(engine.maintenance_stats().reclaimed_rows, 2);
+        }
+        drop(handle); // joins the thread
+        assert!(!engine.read().rebuild_in_flight());
+    }
+
+    #[test]
+    fn worker_rebuilds_in_the_background_when_due() {
+        let engine = shared(EngineConfig::AdaptiveSfs);
+        let handle = MaintenanceWorker::spawn(
+            engine.clone(),
+            MaintenancePolicy {
+                dead_row_ratio: 0.2,
+                max_mutations_since_rebuild: u64::MAX,
+                poll_interval: Duration::from_millis(5),
+            },
+        );
+        engine.write().delete_row(0).unwrap();
+        engine.write().delete_row(1).unwrap();
+        handle.notify();
+        // The worker races this loop; give it ample time before declaring failure.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            if engine.read().maintenance_stats().rebuilds >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker never compacted"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let engine_guard = engine.read();
+        let block = engine_guard.point_block().unwrap();
+        assert_eq!(block.dead_count(), 0);
+        assert_eq!(block.len(), 3);
+    }
+}
