@@ -5,7 +5,7 @@
 
 use crate::index::{LiveRowIndex, SkylineValueIndex};
 use crate::sorted_list::ScoredEntry;
-use skyline_core::algo::sfs;
+use skyline_core::algo::{merge_skylines, sfs};
 use skyline_core::kernel::{
     CompiledOrder, CompiledRelation, DatasetEpoch, DenseWindow, PointBlock, RowIdRemap,
 };
@@ -680,7 +680,9 @@ impl AdaptiveSfs {
 /// survivors — which is still in global score order — removes cross-chunk dominated points.
 /// The output is **bit-for-bit identical** to a serial [`sfs::scan_presorted`] over the full
 /// list: the monotone score guarantees dominators sort strictly earlier, so both scans accept
-/// exactly the global skyline in score order.
+/// exactly the global skyline in score order. The cross-chunk pass is the shared
+/// [`merge_skylines`] operator (order-preserving, so the score order survives the merge) —
+/// the same machinery a sharded service uses to gather per-shard skylines.
 fn chunked_scan_presorted(
     compiled: &CompiledRelation,
     sorted: &[PointId],
@@ -700,8 +702,8 @@ fn chunked_scan_presorted(
             .map(|h| h.join().expect("skyline scan worker panicked"))
             .collect()
     });
-    let survivors: Vec<PointId> = locals.concat();
-    sfs::scan_presorted(compiled, &survivors)
+    let fragments: Vec<&[PointId]> = locals.iter().map(Vec::as_slice).collect();
+    merge_skylines(compiled, &fragments)
 }
 
 /// Reusable buffers for Adaptive SFS query evaluation, generic over the dominance

@@ -1,0 +1,186 @@
+//! Sharded scatter-gather scaling: the same mixed read/write Zipf workload drained through
+//! `ShardedService` at 1, 2 and 4 shards.
+//!
+//! Each service partitions the identical dataset (hash on the first nominal dimension),
+//! keeps the epoch-vector result cache on (writes invalidate it exactly as production
+//! would), and scatters every cache miss across its shards on the worker pool before the
+//! cross-shard dominance merge. The per-shard engines are Adaptive-SFS — the fallback whose
+//! query cost is proportional to shard size, so scatter parallelism is what the shard count
+//! buys.
+//!
+//! On a full local run (`SKYLINE_BENCH_SAMPLES` unset) the workload holds n = 100 000 rows
+//! and the summary hard-asserts ≥ 1.5× query throughput at 4 shards vs 1 shard — but only
+//! when the host actually has ≥ 4 cores: the scatter of a 4-shard service on a single-core
+//! box is correctly serialized and the assertion would only measure the merge overhead. The
+//! CI smoke job (`SKYLINE_BENCH_SAMPLES` set) runs a scaled-down n on shared runners and
+//! never hard-asserts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skyline::prelude::*;
+use skyline_service::{GlobalRowId, ShardPartition, ShardedConfig, ShardedService};
+use std::hint::black_box;
+use std::sync::Mutex;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct Arm {
+    shards: usize,
+    service: ShardedService,
+    /// Logical row → current global id (None once deleted); the stream's delete targets
+    /// address rows by logical insertion order.
+    rows: Mutex<Vec<Option<GlobalRowId>>>,
+}
+
+struct Setup {
+    arms: Vec<Arm>,
+    stream: Vec<WorkloadOp>,
+    queries_in_stream: usize,
+    tuples: usize,
+}
+
+fn setup() -> Setup {
+    let smoke = std::env::var("SKYLINE_BENCH_SAMPLES").is_ok();
+    let (tuples, ops) = if smoke { (4_000, 120) } else { (100_000, 400) };
+    let config = ExperimentConfig {
+        n: tuples,
+        ..ExperimentConfig::paper_default()
+    };
+    let data = config.generate_dataset();
+    let template = config.template(&data);
+    let mut generator = config.query_generator();
+    let stream = generator.mixed_workload(
+        data.schema(),
+        &template,
+        config.pref_order,
+        32,
+        ops,
+        config.theta,
+        0.1,
+        data.len(),
+    );
+    let queries_in_stream = stream
+        .iter()
+        .filter(|op| matches!(op, WorkloadOp::Query(_)))
+        .count();
+
+    let partition = ShardPartition::HashNominal { dim: 0 };
+    let arms = SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let service = ShardedService::build(
+                &data,
+                template.clone(),
+                EngineConfig::AdaptiveSfs,
+                ShardedConfig {
+                    shards,
+                    partition: partition.clone(),
+                    ..ShardedConfig::default()
+                },
+            )
+            .expect("sharded service builds");
+            let rows = ShardedService::partition_rows(&partition, shards, &data)
+                .into_iter()
+                .map(Some)
+                .collect();
+            Arm {
+                shards,
+                service,
+                rows: Mutex::new(rows),
+            }
+        })
+        .collect();
+    Setup {
+        arms,
+        stream,
+        queries_in_stream,
+        tuples,
+    }
+}
+
+/// Drains the whole mixed stream through one arm; returns total skyline rows served.
+///
+/// Deletes of rows a previous pass already removed are the service's documented no-op, and
+/// the few inserts per pass (~10% of ops, half of the write share) grow the dataset by well
+/// under 0.1% per pass — every pass measures essentially the same workload.
+fn drain_stream(arm: &Arm, stream: &[WorkloadOp]) -> usize {
+    let mut total = 0usize;
+    for op in stream {
+        match op {
+            WorkloadOp::Query(pref) => {
+                total += arm
+                    .service
+                    .serve(pref)
+                    .expect("serve")
+                    .outcome
+                    .skyline
+                    .len();
+            }
+            WorkloadOp::Insert { numeric, nominal } => {
+                let id = arm.service.insert_row(numeric, nominal).expect("insert");
+                arm.rows.lock().unwrap().push(Some(id));
+            }
+            WorkloadOp::Delete { row } => {
+                let target = arm.rows.lock().unwrap()[*row as usize].take();
+                if let Some(id) = target {
+                    arm.service.delete_row(id).expect("delete");
+                }
+            }
+        }
+    }
+    total
+}
+
+fn bench_shards(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("sharded_scatter_gather");
+    group.sample_size(5);
+    for arm in &s.arms {
+        group.bench_function(format!("mixed_stream/shards_{}", arm.shards), |b| {
+            b.iter(|| black_box(drain_stream(arm, &s.stream)))
+        });
+    }
+    group.finish();
+
+    // Summary passes: best-of-3 interleaved drains per arm, throughput = queries/second.
+    let mut best: Vec<std::time::Duration> = vec![std::time::Duration::MAX; s.arms.len()];
+    for _ in 0..3 {
+        for (i, arm) in s.arms.iter().enumerate() {
+            let started = std::time::Instant::now();
+            black_box(drain_stream(arm, &s.stream));
+            best[i] = best[i].min(started.elapsed());
+        }
+    }
+    for (arm, elapsed) in s.arms.iter().zip(&best) {
+        println!(
+            "  summary: shards={} — {} queries (of {} mixed ops) at n={} in {:.2}ms \
+             ({:.0} q/s)",
+            arm.shards,
+            s.queries_in_stream,
+            s.stream.len(),
+            s.tuples,
+            elapsed.as_secs_f64() * 1e3,
+            s.queries_in_stream as f64 / elapsed.as_secs_f64(),
+        );
+    }
+    let speedup = best[0].as_secs_f64() / best[SHARD_COUNTS.len() - 1].as_secs_f64();
+    println!("  summary: 4-shard vs 1-shard query throughput: {speedup:.2}x");
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    // Hard-assert only on full local runs on hosts with enough cores for the scatter to
+    // actually run 4-wide; the CI smoke job and small boxes get a warning instead.
+    if std::env::var("SKYLINE_BENCH_SAMPLES").is_err() && cores >= 4 {
+        assert!(
+            speedup >= 1.5,
+            "4-shard scatter-gather must reach 1.5x the 1-shard throughput on a \
+             {cores}-core host, got {speedup:.2}x"
+        );
+    } else if speedup < 1.5 {
+        println!(
+            "::warning title=shards bench::4-shard speedup only {speedup:.2}x \
+             (cores={cores}, smoke={})",
+            std::env::var("SKYLINE_BENCH_SAMPLES").is_ok()
+        );
+    }
+}
+
+criterion_group!(benches, bench_shards);
+criterion_main!(benches);

@@ -1,0 +1,376 @@
+//! Cross-fragment skyline merge: the divide-and-conquer merge step promoted to a
+//! first-class query-time operator.
+//!
+//! The union property behind both entry points: for any partition `D = D₁ ∪ … ∪ Dₘ`,
+//! `SKY(D) ⊆ SKY(D₁) ∪ … ∪ SKY(Dₘ)` — a point dominated inside its own fragment is dominated
+//! in the union, so merging the per-fragment skylines with one cross-fragment elimination
+//! pass yields exactly the global skyline. This holds for the paper's partial-order
+//! preferences because dominance is transitive (numeric `≤` composed with strict-order
+//! closures), not just for total orders.
+//!
+//! Two forms:
+//!
+//! * [`merge_skylines`] — all fragments live in **one** [`PointBlock`](crate::PointBlock) (the Adaptive-SFS
+//!   parallel build merges its per-chunk skylines this way);
+//! * [`SkylineMerger`] — fragments come from **different** sources with their own row-id
+//!   spaces (a sharded service merges per-shard skylines this way): callers push each
+//!   candidate's raw values and get back `(source, id)` tags.
+//!
+//! Both preserve the input/push order of the surviving points, so feeding score-sorted
+//! candidates yields a score-sorted skyline (what the SFS machinery relies on).
+
+use crate::error::{Result, SkylineError};
+use crate::kernel::{CompiledOrder, CompiledRelation};
+use crate::value::{PointId, ValueId};
+
+/// Merges per-fragment skylines of disjoint row sets of one block into the skyline of their
+/// union, preserving the concatenated input order of the survivors.
+///
+/// Each fragment must already be a skyline of its own rows (points dominated by a
+/// fragment-mate would be eliminated here too, so the answer stays correct — it is the
+/// near-quadratic merge that is sized for pre-reduced inputs). Fragments must not repeat a
+/// row id: duplicates are never dominated by themselves and would both survive.
+pub fn merge_skylines(relation: &CompiledRelation, fragments: &[&[PointId]]) -> Vec<PointId> {
+    let total = fragments.iter().map(|f| f.len()).sum();
+    let mut candidates: Vec<PointId> = Vec::with_capacity(total);
+    for fragment in fragments {
+        candidates.extend_from_slice(fragment);
+    }
+    let alive = eliminate(candidates.len(), |p, q| {
+        relation.dominates(candidates[p], candidates[q])
+    });
+    candidates
+        .into_iter()
+        .zip(alive)
+        .filter_map(|(p, keep)| keep.then_some(p))
+        .collect()
+}
+
+/// The shared cross-candidate elimination: index `c` dies when an earlier survivor dominates
+/// it, and kills earlier survivors it dominates. Output flags preserve input order.
+fn eliminate(n: usize, dominates: impl Fn(usize, usize) -> bool) -> Vec<bool> {
+    let mut alive = vec![true; n];
+    for c in 0..n {
+        if !alive[c] {
+            continue;
+        }
+        for k in 0..c {
+            if !alive[k] {
+                continue;
+            }
+            if dominates(k, c) {
+                alive[c] = false;
+                break;
+            }
+            if dominates(c, k) {
+                alive[k] = false;
+            }
+        }
+    }
+    alive
+}
+
+/// Push-based cross-source skyline merge on compiled nominal orders.
+///
+/// Sources with different row-id spaces (dataset shards, remote partitions) cannot share a
+/// [`PointBlock`](crate::PointBlock), so the merger owns a row-major copy of the candidate values instead:
+/// push every per-source skyline member with its raw values, then [`SkylineMerger::merge`]
+/// returns the `(source, id)` tags of the global skyline in push order.
+///
+/// Dominance matches [`CompiledRelation::dominates`] exactly — numeric smaller-is-better
+/// with NaN neither blocking nor establishing dominance, nominal strict preference through
+/// the compiled closures, and value-identical candidates co-existing.
+#[derive(Debug, Clone)]
+pub struct SkylineMerger {
+    orders: Vec<CompiledOrder>,
+    numeric_dims: usize,
+    numerics: Vec<f64>,
+    nominals: Vec<ValueId>,
+    tags: Vec<(usize, PointId)>,
+}
+
+impl SkylineMerger {
+    /// An empty merger over `numeric_dims` numeric dimensions and one compiled order per
+    /// nominal dimension (compile them once per query and reuse across sources).
+    pub fn new(orders: Vec<CompiledOrder>, numeric_dims: usize) -> Self {
+        Self {
+            orders,
+            numeric_dims,
+            numerics: Vec::new(),
+            nominals: Vec::new(),
+            tags: Vec::new(),
+        }
+    }
+
+    /// Number of candidates pushed so far.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// True when no candidate has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Pushes one candidate: its source index, its id within that source, and its raw values
+    /// in dimension-index order. Values must match the merger's dimensionality, and every
+    /// nominal value must be inside its compiled order's domain.
+    pub fn push(
+        &mut self,
+        source: usize,
+        id: PointId,
+        numeric: &[f64],
+        nominal: &[ValueId],
+    ) -> Result<()> {
+        if numeric.len() != self.numeric_dims || nominal.len() != self.orders.len() {
+            return Err(SkylineError::InvalidArgument(format!(
+                "candidate has {} numeric / {} nominal values but the merger expects {} / {}",
+                numeric.len(),
+                nominal.len(),
+                self.numeric_dims,
+                self.orders.len()
+            )));
+        }
+        for (j, (&v, order)) in nominal.iter().zip(&self.orders).enumerate() {
+            if (v as usize) >= order.cardinality() {
+                return Err(SkylineError::InvalidArgument(format!(
+                    "nominal value {v} on dimension {j} is outside the compiled order's \
+                     cardinality {}",
+                    order.cardinality()
+                )));
+            }
+        }
+        self.numerics.extend_from_slice(numeric);
+        self.nominals.extend_from_slice(nominal);
+        self.tags.push((source, id));
+        Ok(())
+    }
+
+    /// Runs the cross-source elimination and returns the surviving `(source, id)` tags in
+    /// push order. The merger is left empty, ready for the next query.
+    pub fn merge(&mut self) -> Vec<(usize, PointId)> {
+        let alive = eliminate(self.tags.len(), |p, q| self.dominates(p, q));
+        let survivors = self
+            .tags
+            .iter()
+            .zip(alive)
+            .filter_map(|(&tag, keep)| keep.then_some(tag))
+            .collect();
+        self.numerics.clear();
+        self.nominals.clear();
+        self.tags.clear();
+        survivors
+    }
+
+    fn numeric_row(&self, c: usize) -> &[f64] {
+        &self.numerics[c * self.numeric_dims..(c + 1) * self.numeric_dims]
+    }
+
+    fn nominal_row(&self, c: usize) -> &[ValueId] {
+        let dims = self.orders.len();
+        &self.nominals[c * dims..(c + 1) * dims]
+    }
+
+    /// Candidate-index dominance, mirroring [`CompiledRelation::dominates`].
+    fn dominates(&self, p: usize, q: usize) -> bool {
+        let mut strict = false;
+        for (pv, qv) in self.numeric_row(p).iter().zip(self.numeric_row(q)) {
+            if pv > qv {
+                return false;
+            }
+            strict |= pv < qv;
+        }
+        for (order, (&pv, &qv)) in self
+            .orders
+            .iter()
+            .zip(self.nominal_row(p).iter().zip(self.nominal_row(q)))
+        {
+            if pv != qv {
+                if !order.strictly_preferred(pv, qv) {
+                    return false;
+                }
+                strict = true;
+            }
+        }
+        strict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::bnl;
+    use crate::dataset::{Dataset, DatasetBuilder, RowValue};
+    use crate::dominance::DominanceContext;
+    use crate::kernel::PointBlock;
+    use crate::order::{Preference, Template};
+    use crate::schema::{Dimension, Schema};
+    use std::sync::Arc;
+
+    /// Table 3 of the paper: two numeric + two nominal dimensions, six rows.
+    fn table3_data() -> Dataset {
+        let schema = Schema::new(vec![
+            Dimension::numeric("price"),
+            Dimension::numeric("class-neg"),
+            Dimension::nominal_with_labels("hotel-group", ["T", "H", "M"]),
+            Dimension::nominal_with_labels("airline", ["G", "R", "W"]),
+        ])
+        .unwrap();
+        let mut b = DatasetBuilder::new(schema);
+        for (price, class, group, airline) in [
+            (1600.0, 4.0, "T", "G"),
+            (2400.0, 1.0, "T", "G"),
+            (3000.0, 5.0, "H", "G"),
+            (3600.0, 4.0, "H", "R"),
+            (2400.0, 2.0, "M", "R"),
+            (3000.0, 3.0, "M", "W"),
+        ] {
+            b.push_row([
+                RowValue::Num(price),
+                RowValue::Num(-class),
+                group.into(),
+                airline.into(),
+            ])
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn query_relation(data: &Dataset, spec: &[(&str, &str)]) -> (CompiledRelation, Preference) {
+        let template = Template::empty(data.schema());
+        let pref = Preference::parse(data.schema(), spec.to_vec()).unwrap();
+        let rel = CompiledRelation::for_query(
+            Arc::new(PointBlock::new(data)),
+            data.schema(),
+            &template,
+            &pref,
+        )
+        .unwrap();
+        (rel, pref)
+    }
+
+    fn oracle(data: &Dataset, pref: &Preference) -> Vec<PointId> {
+        let template = Template::empty(data.schema());
+        let ctx = DominanceContext::for_query(data, &template, pref).unwrap();
+        let mut sky = bnl::skyline(&ctx);
+        sky.sort_unstable();
+        sky
+    }
+
+    #[test]
+    fn merge_of_every_two_way_split_is_the_global_skyline() {
+        let data = table3_data();
+        let (rel, pref) = query_relation(&data, &[("hotel-group", "T < *"), ("airline", "G < *")]);
+        let expected = oracle(&data, &pref);
+        let all: Vec<PointId> = data.point_ids().collect();
+        for cut in 0..=all.len() {
+            let (left, right) = all.split_at(cut);
+            // Per-fragment skylines first (the operator's contract), then the merge.
+            let ctx =
+                DominanceContext::for_query(&data, &Template::empty(data.schema()), &pref).unwrap();
+            let left_sky = bnl::skyline_of(&ctx, left);
+            let right_sky = bnl::skyline_of(&ctx, right);
+            let mut merged = merge_skylines(&rel, &[&left_sky, &right_sky]);
+            merged.sort_unstable();
+            assert_eq!(merged, expected, "split at {cut}");
+        }
+    }
+
+    #[test]
+    fn merge_preserves_input_order() {
+        let data = table3_data();
+        let (rel, _) = query_relation(&data, &[("hotel-group", "T < *")]);
+        // Feed raw fragments (each a singleton, trivially its own skyline) in a fixed order:
+        // the survivors must come back in that order, not sorted.
+        let fragments: Vec<Vec<PointId>> =
+            (0..data.len() as PointId).rev().map(|p| vec![p]).collect();
+        let views: Vec<&[PointId]> = fragments.iter().map(Vec::as_slice).collect();
+        let merged = merge_skylines(&rel, &views);
+        let mut sorted_back = merged.clone();
+        sorted_back.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(
+            merged, sorted_back,
+            "survivors stay in (descending) feed order"
+        );
+    }
+
+    #[test]
+    fn merger_matches_single_block_merge_across_sources() {
+        let data = table3_data();
+        let template = Template::empty(data.schema());
+        let pref = Preference::parse(
+            data.schema(),
+            [("hotel-group", "T < *"), ("airline", "G < *")],
+        )
+        .unwrap();
+        let orders: Vec<CompiledOrder> = template
+            .effective_orders(data.schema(), &pref)
+            .unwrap()
+            .iter()
+            .map(CompiledOrder::compile)
+            .collect();
+
+        // Split the rows across two "shards" (even/odd), push each shard's local skyline.
+        let ctx = DominanceContext::for_query(&data, &template, &pref).unwrap();
+        let shard_rows: [Vec<PointId>; 2] = [
+            data.point_ids().filter(|p| p % 2 == 0).collect(),
+            data.point_ids().filter(|p| p % 2 == 1).collect(),
+        ];
+        let mut merger = SkylineMerger::new(orders, data.schema().numeric_count());
+        for (s, rows) in shard_rows.iter().enumerate() {
+            for &p in &bnl::skyline_of(&ctx, rows) {
+                let numeric: Vec<f64> = (0..data.schema().numeric_count())
+                    .map(|j| data.numeric(p, j))
+                    .collect();
+                let nominal: Vec<ValueId> = (0..data.schema().nominal_count())
+                    .map(|j| data.nominal(p, j))
+                    .collect();
+                merger.push(s, p, &numeric, &nominal).unwrap();
+            }
+        }
+        assert!(!merger.is_empty());
+        let mut global: Vec<PointId> = merger.merge().into_iter().map(|(_, p)| p).collect();
+        global.sort_unstable();
+        assert_eq!(global, oracle(&data, &pref));
+        assert!(merger.is_empty(), "merge drains the candidates");
+    }
+
+    #[test]
+    fn value_identical_candidates_across_sources_both_survive() {
+        let orders = vec![CompiledOrder::compile(&crate::order::PartialOrder::empty(
+            2,
+        ))];
+        let mut merger = SkylineMerger::new(orders, 1);
+        merger.push(0, 7, &[1.0], &[0]).unwrap();
+        merger.push(1, 3, &[1.0], &[0]).unwrap();
+        assert_eq!(merger.merge(), vec![(0, 7), (1, 3)]);
+    }
+
+    #[test]
+    fn merger_rejects_mismatched_rows() {
+        let orders = vec![CompiledOrder::compile(&crate::order::PartialOrder::empty(
+            2,
+        ))];
+        let mut merger = SkylineMerger::new(orders, 2);
+        assert!(merger.push(0, 0, &[1.0], &[0]).is_err(), "numeric arity");
+        assert!(
+            merger.push(0, 0, &[1.0, 2.0], &[]).is_err(),
+            "nominal arity"
+        );
+        assert!(
+            merger.push(0, 0, &[1.0, 2.0], &[5]).is_err(),
+            "value outside the order's domain"
+        );
+        assert_eq!(merger.len(), 0);
+    }
+
+    #[test]
+    fn nan_values_neither_block_nor_establish_dominance() {
+        let orders: Vec<CompiledOrder> = Vec::new();
+        let mut merger = SkylineMerger::new(orders, 2);
+        // (NaN, 1) vs (2, 1): no strict edge either way — both survive.
+        merger.push(0, 0, &[f64::NAN, 1.0], &[]).unwrap();
+        merger.push(0, 1, &[2.0, 1.0], &[]).unwrap();
+        assert_eq!(merger.merge(), vec![(0, 0), (0, 1)]);
+    }
+}

@@ -7,6 +7,9 @@
 //! * [`sfs`] — Sort-First Skyline (Chomicki et al. \[7\]): presort by a monotone preference
 //!   function, then a single elimination scan. Run over the full dataset with the query's
 //!   ranking it is exactly the paper's **SFS-D** baseline.
+//! * [`merge`] — the divide-and-conquer merge as a first-class operator: combine
+//!   per-fragment skylines (chunks of one block, or shards with separate id spaces) into the
+//!   skyline of the union.
 //!
 //! Both are generic over the [`crate::dominance::Dominance`] trait, so the same elimination
 //! loops run against the reference [`crate::DominanceContext`] or the compiled
@@ -14,7 +17,10 @@
 //! nominal dimensions with partial-order preferences.
 
 pub mod bnl;
+pub mod merge;
 pub mod sfs;
+
+pub use merge::{merge_skylines, SkylineMerger};
 
 use crate::dominance::Dominance;
 use crate::value::PointId;

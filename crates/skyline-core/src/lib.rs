@@ -44,6 +44,7 @@ pub mod score;
 pub mod stats;
 pub mod value;
 
+pub use algo::{merge_skylines, SkylineMerger};
 pub use bitset::BitSet;
 pub use dataset::{Dataset, DatasetBuilder, RowValue};
 pub use dominance::{DomRelation, Dominance, DominanceContext};

@@ -57,6 +57,7 @@ pub struct BuildStats {
 pub struct IpoTreeBuilder {
     strategy: BuildStrategy,
     top_k: Option<usize>,
+    explicit: Option<Vec<Vec<ValueId>>>,
     parallel: bool,
 }
 
@@ -83,6 +84,21 @@ impl IpoTreeBuilder {
     /// Materializes every value of every nominal dimension (the default).
     pub fn all_values(mut self) -> Self {
         self.top_k = None;
+        self.explicit = None;
+        self
+    }
+
+    /// Materializes exactly the given value sets (one per nominal dimension), overriding the
+    /// frequency-based selection — the *recorded* truncation policy
+    /// ([`IpoTreeBuilder::top_k_values`]) is unchanged, so a later rebuild still knows it is
+    /// a top-`k` tree.
+    ///
+    /// This is the hook [`IpoTree::rebuilt_for`] uses for its hysteresis: a rebuilt
+    /// truncated tree materializes the union of the fresh top-`k` with previously
+    /// materialized values that have not yet fallen well out of the top `k`, so preferences
+    /// served from the tree do not flap to the fallback path on every small frequency shift.
+    pub fn materialize_values(mut self, sets: Vec<Vec<ValueId>>) -> Self {
+        self.explicit = Some(sets);
         self
     }
 
@@ -138,15 +154,36 @@ impl IpoTreeBuilder {
         };
 
         // 3. Values to materialize, per dimension (most frequent first).
-        let materialized: Vec<Vec<ValueId>> = (0..schema.nominal_count())
-            .map(|j| {
-                let by_freq = data.values_by_frequency(j);
-                match self.top_k {
-                    Some(k) => by_freq.into_iter().take(k).collect(),
-                    None => by_freq,
+        let materialized: Vec<Vec<ValueId>> = match &self.explicit {
+            Some(sets) => {
+                if sets.len() != schema.nominal_count() {
+                    return Err(SkylineError::InvalidArgument(format!(
+                        "explicit materialization covers {} nominal dimensions but the schema \
+                         has {}",
+                        sets.len(),
+                        schema.nominal_count()
+                    )));
                 }
-            })
-            .collect();
+                for (j, set) in sets.iter().enumerate() {
+                    let card = schema.nominal_domain(j).map_or(0, |d| d.cardinality());
+                    if let Some(&v) = set.iter().find(|&&v| (v as usize) >= card) {
+                        return Err(SkylineError::InvalidArgument(format!(
+                            "value {v} is outside nominal dimension {j}'s domain of {card}"
+                        )));
+                    }
+                }
+                sets.clone()
+            }
+            None => (0..schema.nominal_count())
+                .map(|j| {
+                    let by_freq = data.values_by_frequency(j);
+                    match self.top_k {
+                        Some(k) => by_freq.into_iter().take(k).collect(),
+                        None => by_freq,
+                    }
+                })
+                .collect(),
+        };
 
         // 4. Precompute MDCs if requested.
         let mdc_index: Option<MdcIndex> = match self.strategy {
@@ -453,12 +490,20 @@ mod tests {
             .build(&data, &template)
             .unwrap();
         assert_eq!(truncated.top_k(), Some(1));
-        // Rebuild over data with one more W-airline row: same policy, fresh sets.
+        assert_eq!(truncated.materialized_values(0), &[0]); // hotel-group T
+                                                            // Rebuild over data with one more (M, W) row: M overtakes T on hotel-group, but the
+                                                            // previously materialized T is still rank 2 (within 2k), so hysteresis keeps it.
         let mut grown = data.clone();
         grown.push_row_ids(&[100.0, -9.0], &[2, 2]).unwrap();
         let rebuilt = truncated.rebuilt_for(&grown, &template).unwrap();
-        assert_eq!(rebuilt.top_k(), Some(1));
-        assert_eq!(rebuilt.materialized_values(0).len(), 1);
+        assert_eq!(rebuilt.top_k(), Some(1), "the recorded policy is preserved");
+        assert_eq!(
+            rebuilt.materialized_values(0),
+            &[2, 0],
+            "fresh top-1 (M) plus the retained old value (T), most frequent first"
+        );
+        // Airline: G stays the most frequent value, so nothing extra is retained.
+        assert_eq!(rebuilt.materialized_values(1), &[0]);
         assert_eq!(
             rebuilt.skyline(),
             IpoTreeBuilder::new()
@@ -472,6 +517,73 @@ mod tests {
         assert_eq!(full.top_k(), None);
         let rebuilt_full = full.rebuilt_for(&grown, &template).unwrap();
         assert!(rebuilt_full.node_count() > truncated.node_count());
+    }
+
+    /// The drift regression: before hysteresis, the rebuild above would materialize only the
+    /// new top-1 and every preference on the old value silently fell back; and the retention
+    /// must *release* once a value falls well out of the top k.
+    #[test]
+    fn hysteresis_retains_then_releases_displaced_values() {
+        let data = table3_data();
+        let template = Template::empty(data.schema());
+        let tree = IpoTreeBuilder::new()
+            .top_k_values(1)
+            .build(&data, &template)
+            .unwrap();
+        assert!(tree.is_materialized(0, 0)); // hotel-group T is the top value
+
+        // Churn: M gains rows until T sits at rank 2 — retained by hysteresis.
+        let mut churned = data.clone();
+        churned.push_row_ids(&[100.0, -9.0], &[2, 2]).unwrap();
+        let rebuilt = tree.rebuilt_for(&churned, &template).unwrap();
+        assert!(rebuilt.is_materialized(0, 2), "fresh top value");
+        assert!(rebuilt.is_materialized(0, 0), "displaced value retained");
+        let pref = Preference::from_dims(vec![
+            ImplicitPreference::first_order(0),
+            ImplicitPreference::none(),
+        ]);
+        assert!(rebuilt.materializes(&pref), "old preference keeps serving");
+
+        // More churn: H also overtakes T (rank 3, outside 2k = 2) — now T is demoted, and a
+        // fresh build from the *rebuilt* tree confirms retention does not compound.
+        for _ in 0..2 {
+            churned.push_row_ids(&[100.0, -9.0], &[1, 2]).unwrap();
+        }
+        let demoted = rebuilt.rebuilt_for(&churned, &template).unwrap();
+        assert!(demoted.is_materialized(0, 2));
+        assert!(
+            !demoted.is_materialized(0, 0),
+            "a value well out of the top k is released"
+        );
+        assert!(!demoted.materializes(&pref));
+    }
+
+    #[test]
+    fn explicit_materialization_is_validated() {
+        let data = table3_data();
+        let template = Template::empty(data.schema());
+        // Wrong dimension count.
+        assert!(matches!(
+            IpoTreeBuilder::new()
+                .materialize_values(vec![vec![0]])
+                .build(&data, &template),
+            Err(SkylineError::InvalidArgument(_))
+        ));
+        // Out-of-domain value.
+        assert!(matches!(
+            IpoTreeBuilder::new()
+                .materialize_values(vec![vec![0], vec![9]])
+                .build(&data, &template),
+            Err(SkylineError::InvalidArgument(_))
+        ));
+        // A valid explicit set is honored verbatim.
+        let tree = IpoTreeBuilder::new()
+            .top_k_values(1)
+            .materialize_values(vec![vec![2, 0], vec![0]])
+            .build(&data, &template)
+            .unwrap();
+        assert_eq!(tree.materialized_values(0), &[2, 0]);
+        assert_eq!(tree.top_k(), Some(1));
     }
 
     #[test]

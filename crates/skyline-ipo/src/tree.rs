@@ -105,9 +105,19 @@ impl IpoTree {
     ///
     /// This is the rebuild entry point the background maintenance worker uses to bring a
     /// mutated hybrid engine's tree back in sync with its dataset: the worker does not need
-    /// to remember how the original tree was configured, the tree itself does. Note that the
-    /// *values* materialized may differ from the old tree's when the data's value frequencies
-    /// shifted — the policy (top-`k` most frequent per dimension) is what is preserved.
+    /// to remember how the original tree was configured, the tree itself does.
+    ///
+    /// # Materialization hysteresis
+    ///
+    /// A truncated (top-`k`) tree does **not** simply re-take the `k` most frequent values:
+    /// churn would then flap values in and out of the tree on every small frequency shift,
+    /// and a preference served from the tree before the rebuild could silently regress to
+    /// the engine's fallback path afterwards. Instead the rebuilt tree materializes, per
+    /// dimension, the union of the fresh top-`k` with every *previously materialized* value
+    /// that is still within the top `2k` by frequency — a value must fall well out of the
+    /// top `k` before it is demoted. The recorded policy ([`IpoTree::top_k`]) is preserved,
+    /// so hysteresis does not compound across rebuilds: values a past rebuild retained are
+    /// re-examined against the same `2k` window every time.
     pub fn rebuilt_for(
         &self,
         data: &skyline_core::Dataset,
@@ -115,9 +125,26 @@ impl IpoTree {
     ) -> skyline_core::Result<IpoTree> {
         let mut builder = crate::build::IpoTreeBuilder::new();
         if let Some(k) = self.top_k {
-            builder = builder.top_k_values(k);
+            builder = builder
+                .top_k_values(k)
+                .materialize_values(self.hysteresis_values(data, k));
         }
         builder.build(data, template)
+    }
+
+    /// Per-dimension value sets for a top-`k` rebuild over `data`: the fresh top-`k` plus
+    /// previously materialized values still within the top `2k`, most frequent first.
+    fn hysteresis_values(&self, data: &skyline_core::Dataset, k: usize) -> Vec<Vec<ValueId>> {
+        (0..self.nominal_count())
+            .map(|j| {
+                data.values_by_frequency(j)
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(rank, v)| rank < k || (rank < 2 * k && self.is_materialized(j, v)))
+                    .map(|(_, v)| v)
+                    .collect()
+            })
+            .collect()
     }
 
     /// True when value `v` of dimension `j` has materialized nodes.

@@ -15,6 +15,7 @@
 
 use skyline_core::{CanonicalPreference, DatasetEpoch};
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::{Arc, Condvar, Mutex};
 
 #[derive(Debug, Default)]
@@ -23,20 +24,29 @@ struct Latch {
     cv: Condvar,
 }
 
-type Key = (CanonicalPreference, DatasetEpoch);
+type Key<E> = (CanonicalPreference, E);
 
-/// The in-flight registry (one per service).
-#[derive(Debug, Default)]
-pub struct SingleFlight {
-    inflight: Mutex<HashMap<Key, Arc<Latch>>>,
+/// The in-flight registry (one per service). Generic over the epoch tag `E` — a
+/// [`DatasetEpoch`] for a single-engine service, a per-shard epoch vector for a sharded one.
+#[derive(Debug)]
+pub struct SingleFlight<E = DatasetEpoch> {
+    inflight: Mutex<HashMap<Key<E>, Arc<Latch>>>,
+}
+
+impl<E> Default for SingleFlight<E> {
+    fn default() -> Self {
+        Self {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 /// What `join` decided for the calling thread.
 #[derive(Debug)]
-pub enum FlightRole<'a> {
+pub enum FlightRole<'a, E: Hash + Eq = DatasetEpoch> {
     /// This thread computes; dropping the guard (success, error or panic) releases the latch
     /// and wakes every follower.
-    Leader(FlightGuard<'a>),
+    Leader(FlightGuard<'a, E>),
     /// Another thread was already computing this key at this epoch; it has since finished.
     /// Re-check the cache — and on a second miss (the leader failed), compute directly.
     Followed,
@@ -44,13 +54,13 @@ pub enum FlightRole<'a> {
 
 /// Leader's release-on-drop guard.
 #[derive(Debug)]
-pub struct FlightGuard<'a> {
-    flight: &'a SingleFlight,
-    key: Key,
+pub struct FlightGuard<'a, E: Hash + Eq = DatasetEpoch> {
+    flight: &'a SingleFlight<E>,
+    key: Key<E>,
     latch: Arc<Latch>,
 }
 
-impl SingleFlight {
+impl<E: Hash + Eq + Clone> SingleFlight<E> {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
@@ -59,7 +69,7 @@ impl SingleFlight {
     /// Joins the flight for `(key, epoch)`: returns [`FlightRole::Leader`] when this thread
     /// should compute, or — after having **blocked until the current leader finished** —
     /// [`FlightRole::Followed`].
-    pub fn join(&self, key: &CanonicalPreference, epoch: DatasetEpoch) -> FlightRole<'_> {
+    pub fn join(&self, key: &CanonicalPreference, epoch: E) -> FlightRole<'_, E> {
         let full_key = (key.clone(), epoch);
         let latch = {
             let mut inflight = self.inflight.lock().expect("flight registry poisoned");
@@ -92,7 +102,7 @@ impl SingleFlight {
     }
 }
 
-impl Drop for FlightGuard<'_> {
+impl<E: Hash + Eq> Drop for FlightGuard<'_, E> {
     fn drop(&mut self) {
         let mut inflight = self
             .flight

@@ -70,9 +70,13 @@ pub mod cache;
 mod executor;
 pub mod flight;
 pub mod service;
+pub mod sharded;
 pub mod stats;
 
 pub use cache::ResultCache;
 pub use flight::SingleFlight;
 pub use service::{Served, ServiceConfig, SkylineService};
+pub use sharded::{
+    GlobalRowId, ShardPartition, ShardedConfig, ShardedOutcome, ShardedServed, ShardedService,
+};
 pub use stats::{ServiceMetrics, StatsSnapshot};

@@ -139,6 +139,7 @@ impl SkylineService {
     pub fn stats(&self) -> StatsSnapshot {
         let mut snapshot = self.metrics.snapshot();
         snapshot.stale_evictions = self.cache.stale_evictions();
+        snapshot.remap_misses = self.cache.remap_misses();
         let maintenance = self.engine.read().maintenance_stats();
         snapshot.rebuilds = maintenance.rebuilds;
         snapshot.reclaimed_rows = maintenance.reclaimed_rows;
@@ -228,12 +229,13 @@ impl SkylineService {
         engine
             .check_servable(pref)
             .inspect_err(|_| self.metrics.record_error())?;
-        // Remap-aware lookup: an entry tagged with the epoch right before the engine's most
-        // recent generation swap is still semantically correct — the swap only renumbered
-        // rows — so it is translated through the published remap instead of dropped.
+        // Remap-aware lookup: an entry tagged with an epoch some generation swaps behind is
+        // still semantically correct — the swaps only renumbered rows — so it is translated
+        // through the engine's published remap chain (back-to-back rebuilds compose) instead
+        // of dropped.
         if let Some((outcome, translated)) =
             self.cache
-                .get_or_translate(&key, epoch, engine.last_remap())
+                .get_or_translate(&key, epoch, engine.remap_chain())
         {
             let latency = started.elapsed();
             self.metrics.record(true, latency);
@@ -537,6 +539,56 @@ mod tests {
         let hybrid_service = SkylineService::new(hybrid);
         assert!(hybrid_service.serve(&servable).is_ok());
         assert!(hybrid_service.serve(&unmaterialized).is_ok());
+    }
+
+    /// Satellite regression: entries cached *before* two back-to-back generation rebuilds
+    /// used to be silently dropped (translation only looked at the latest remap); they must
+    /// now compose through the engine's remap chain and keep serving as hits.
+    #[test]
+    fn back_to_back_rebuilds_keep_pre_swap_entries_warm() {
+        let engine = engine();
+        let service = SkylineService::new(engine.clone());
+        let schema = engine.read().dataset().schema().clone();
+        let template = engine.read().template().clone();
+        let mut generator = QueryGenerator::new(21);
+        let pref = generator.random_preference(&schema, &template, 2, None);
+
+        // A tombstone gives the first rebuild something to reclaim (non-trivial remap); the
+        // entry is cached *after* it, at the epoch the rebuild will snapshot from.
+        service.delete_row(0).unwrap();
+        let before = service.serve(&pref).unwrap();
+        assert!(!before.cache_hit);
+
+        // Two back-to-back rebuilds: swap 1 compacts, swap 2 has nothing to reclaim but
+        // still opens a fresh epoch.
+        assert!(service.force_rebuild().unwrap());
+        assert!(service.force_rebuild().unwrap());
+        assert_eq!(service.stats().rebuilds, 2);
+
+        // The entry is now two swaps behind — it must translate, not drop.
+        let after = service.serve(&pref).unwrap();
+        assert!(after.cache_hit, "pre-swap entry must survive both swaps");
+        assert_eq!(
+            after.outcome.skyline,
+            engine.read().query(&pref).unwrap().skyline,
+            "translated ids must name the same rows in the new id space"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.remapped_hits, 1);
+        assert_eq!(stats.remap_misses, 0);
+        assert_eq!(stats.stale_evictions, 0);
+
+        // Push the entry's swaps off the bounded chain: it becomes an unrecoverable
+        // (counted) remap miss instead of a silent drop.
+        let other = generator.random_preference(&schema, &template, 2, None);
+        let cached_at = service.serve(&other).unwrap();
+        assert!(!cached_at.cache_hit);
+        for _ in 0..=skyline::REMAP_CHAIN_LIMIT {
+            service.force_rebuild().unwrap();
+        }
+        let recomputed = service.serve(&other).unwrap();
+        assert!(!recomputed.cache_hit, "entry fell off the remap chain");
+        assert_eq!(service.stats().remap_misses, 1);
     }
 
     #[test]

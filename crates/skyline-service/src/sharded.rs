@@ -1,0 +1,998 @@
+//! Sharded scatter-gather serving: N dataset shards, each its own generational
+//! [`SharedEngine`], answered as one logical service.
+//!
+//! The paper's algorithms are single-node by construction, but the serving layer does not
+//! have to be: the skyline union property — `SKY(D₁ ∪ … ∪ Dₘ) ⊆ SKY(D₁) ∪ … ∪ SKY(Dₘ)`,
+//! valid under any strict partial order because dominance is transitive — means a query can
+//! **scatter** to per-shard engines (each running the paper's IPO-tree/Adaptive-SFS
+//! machinery over its slice of the data) and **gather** by a cross-shard dominance merge of
+//! the per-shard skylines ([`skyline_core::merge_skylines`]' operator, here via
+//! [`skyline_core::SkylineMerger`]). Per-shard skylines are tiny compared to their shards,
+//! so the merge is cheap and the scatter parallelizes the expensive part.
+//!
+//! The pieces:
+//!
+//! * [`ShardPartition`] — how rows map to shards: hash on a nominal dimension or range on a
+//!   numeric one. Mutations route to their owning shard and touch only that engine's lock.
+//! * [`ShardedService`] — the facade: scatter-gather queries with an epoch-**vector**-tagged
+//!   result cache (the tag is every shard's [`DatasetEpoch`], so a mutation on one shard
+//!   invalidates exactly what it must), per-key single-flight, and remap-aware salvage: when
+//!   only generation swaps moved a shard's epoch, the cached global skyline is translated
+//!   through that shard's remap chain instead of dropped.
+//! * a shared [`BuildPool`]: one small set of build threads maintains every shard under a
+//!   global in-flight cap, instead of one maintenance thread per shard.
+
+use crate::cache::{translate_through_chain, ResultCache, Salvage, TranslateFailure};
+use crate::executor;
+use crate::flight::{FlightRole, SingleFlight};
+use crate::stats::{ServiceMetrics, StatsSnapshot};
+use skyline::{
+    BuildHandle, BuildPool, BuildPoolConfig, EngineConfig, EngineScratch, MaintenancePolicy,
+    MethodUsed, SharedEngine, SkylineEngine,
+};
+use skyline_core::{
+    CanonicalPreference, CompiledOrder, Dataset, DatasetEpoch, PointId, Preference, Result, Schema,
+    SkylineError, SkylineMerger, Template, ValueId,
+};
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How rows are assigned to shards. The assignment is a pure function of a row's values, so
+/// routing a mutation needs no directory — and both sides (initial partitioning and later
+/// inserts) can never disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardPartition {
+    /// Hash of the value id of nominal dimension `dim` (a *nominal index*). Rows sharing a
+    /// nominal value land on the same shard — frequency skew and all — which keeps
+    /// per-shard nominal domains dense.
+    HashNominal {
+        /// Nominal index of the dimension hashed.
+        dim: usize,
+    },
+    /// Range partition on numeric dimension `dim` (a *numeric index*): `bounds` are the
+    /// ascending split points, `shards - 1` of them; shard `i` owns values in
+    /// `[bounds[i-1], bounds[i])` (unbounded at both ends). `NaN` routes to shard 0.
+    RangeNumeric {
+        /// Numeric index of the dimension split.
+        dim: usize,
+        /// Ascending split points (`shards - 1` entries).
+        bounds: Vec<f64>,
+    },
+}
+
+impl ShardPartition {
+    /// The shard owning a row with the given values.
+    pub fn shard_of(&self, shards: usize, numeric: &[f64], nominal: &[ValueId]) -> usize {
+        match self {
+            Self::HashNominal { dim } => {
+                // splitmix64 finalizer: adjacent value ids spread over all shards.
+                let mut h = nominal[*dim] as u64;
+                h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
+                (h ^ (h >> 31)) as usize % shards
+            }
+            Self::RangeNumeric { dim, bounds } => {
+                let x = numeric[*dim];
+                bounds.partition_point(|&b| x >= b).min(shards - 1)
+            }
+        }
+    }
+
+    /// Checks the partition against a schema and shard count.
+    fn validate(&self, schema: &Schema, shards: usize) -> Result<()> {
+        match self {
+            Self::HashNominal { dim } => {
+                if *dim >= schema.nominal_count() {
+                    return Err(SkylineError::InvalidArgument(format!(
+                        "hash partition on nominal dimension {dim} but the schema has {}",
+                        schema.nominal_count()
+                    )));
+                }
+            }
+            Self::RangeNumeric { dim, bounds } => {
+                if *dim >= schema.numeric_count() {
+                    return Err(SkylineError::InvalidArgument(format!(
+                        "range partition on numeric dimension {dim} but the schema has {}",
+                        schema.numeric_count()
+                    )));
+                }
+                if bounds.len() != shards - 1 {
+                    return Err(SkylineError::InvalidArgument(format!(
+                        "range partition over {shards} shards needs {} bounds, got {}",
+                        shards - 1,
+                        bounds.len()
+                    )));
+                }
+                if bounds.iter().any(|b| b.is_nan()) || bounds.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(SkylineError::InvalidArgument(
+                        "range partition bounds must be ascending (and not NaN)".into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A row's global identity: which shard owns it and its row id *inside that shard's engine*.
+///
+/// Shard-local ids are renumbered by that shard's generation swaps (compaction), exactly
+/// like a single engine's ids — translate through the shard's remap chain across rebuilds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalRowId {
+    /// Index of the owning shard.
+    pub shard: usize,
+    /// Row id inside that shard's engine.
+    pub row: PointId,
+}
+
+/// One merged scatter-gather answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedOutcome {
+    /// The global skyline: per-shard skyline survivors of the cross-shard dominance merge,
+    /// grouped by shard in shard order (each shard's survivors keep their engine's order).
+    pub skyline: Vec<GlobalRowId>,
+    /// Which algorithm answered on each shard (shards age independently: one may serve from
+    /// its IPO tree while a recently mutated neighbor is on the Adaptive-SFS fallback).
+    pub methods: Vec<MethodUsed>,
+}
+
+/// One answered sharded query, with serving provenance.
+#[derive(Debug, Clone)]
+pub struct ShardedServed {
+    /// The merged answer (shared, not copied, between users asking equivalent preferences).
+    pub outcome: Arc<ShardedOutcome>,
+    /// Whether the answer came from the result cache.
+    pub cache_hit: bool,
+    /// The per-shard epoch vector the answer is valid for.
+    pub epochs: Arc<[DatasetEpoch]>,
+    /// Wall-clock time spent serving this query.
+    pub latency: Duration,
+}
+
+/// Tuning knobs for a [`ShardedService`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedConfig {
+    /// Number of dataset shards (clamped to at least 1).
+    pub shards: usize,
+    /// How rows map to shards.
+    pub partition: ShardPartition,
+    /// Maximum number of cached merged results (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards (unrelated to dataset shards).
+    pub cache_shards: usize,
+    /// Worker threads for the query scatter and [`ShardedService::serve_batch`]
+    /// (0 = one per available core).
+    pub workers: usize,
+    /// When set, a shared [`BuildPool`] maintains every shard under this policy.
+    pub maintenance: Option<MaintenancePolicy>,
+    /// Build threads in the shared pool (only with `maintenance`).
+    pub build_threads: usize,
+    /// Global cap on concurrently running shard rebuilds (only with `maintenance`).
+    pub max_in_flight_builds: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            partition: ShardPartition::HashNominal { dim: 0 },
+            cache_capacity: 4096,
+            cache_shards: 16,
+            workers: 0,
+            maintenance: None,
+            build_threads: 2,
+            max_in_flight_builds: 2,
+        }
+    }
+}
+
+type EpochVector = Arc<[DatasetEpoch]>;
+
+/// A concurrent scatter-gather skyline service over N independently maintained dataset
+/// shards (see the module docs).
+#[derive(Debug)]
+pub struct ShardedService {
+    shards: Vec<SharedEngine>,
+    partition: ShardPartition,
+    schema: Schema,
+    template: Template,
+    cache: ResultCache<EpochVector, ShardedOutcome>,
+    flight: SingleFlight<EpochVector>,
+    metrics: ServiceMetrics,
+    handles: Vec<BuildHandle>,
+    /// Dropped after `handles`: shuts the build threads down.
+    pool: Option<BuildPool>,
+    workers: usize,
+}
+
+impl ShardedService {
+    /// Partitions `data` under `config.partition`, builds one engine per shard with the
+    /// given `engine` configuration and shared `template`, and wires the serving machinery.
+    ///
+    /// Row `p` of `data` becomes row `i` of its shard, where `i` counts the rows of `data`
+    /// routed to that shard before `p` — the deterministic order
+    /// [`ShardedService::partition_rows`] reports.
+    pub fn build(
+        data: &Dataset,
+        template: Template,
+        engine: EngineConfig,
+        config: ShardedConfig,
+    ) -> Result<Self> {
+        let shard_count = config.shards.max(1);
+        let schema = data.schema().clone();
+        config.partition.validate(&schema, shard_count)?;
+
+        let mut parts: Vec<Dataset> = (0..shard_count)
+            .map(|_| Dataset::empty(schema.clone()))
+            .collect();
+        let mut numeric = vec![0.0f64; schema.numeric_count()];
+        let mut nominal = vec![ValueId::default(); schema.nominal_count()];
+        for p in 0..data.len() as PointId {
+            for (j, v) in numeric.iter_mut().enumerate() {
+                *v = data.numeric(p, j);
+            }
+            for (j, v) in nominal.iter_mut().enumerate() {
+                *v = data.nominal(p, j);
+            }
+            let s = config.partition.shard_of(shard_count, &numeric, &nominal);
+            parts[s].push_row_ids(&numeric, &nominal)?;
+        }
+
+        let shards: Vec<SharedEngine> = parts
+            .into_iter()
+            .map(|part| {
+                SkylineEngine::build(Arc::new(part), template.clone(), engine)
+                    .map(SharedEngine::new)
+            })
+            .collect::<Result<_>>()?;
+
+        let (pool, handles) = match &config.maintenance {
+            Some(policy) => {
+                let pool = BuildPool::new(BuildPoolConfig {
+                    threads: config.build_threads,
+                    max_in_flight: config.max_in_flight_builds,
+                    poll_interval: policy.poll_interval,
+                });
+                let handles = shards
+                    .iter()
+                    .map(|s| pool.register(s.clone(), policy.clone()))
+                    .collect();
+                (Some(pool), handles)
+            }
+            None => (None, Vec::new()),
+        };
+
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        Ok(Self {
+            shards,
+            partition: config.partition,
+            schema,
+            template,
+            cache: ResultCache::new(config.cache_capacity, config.cache_shards),
+            flight: SingleFlight::new(),
+            metrics: ServiceMetrics::new(),
+            handles,
+            pool,
+            workers,
+        })
+    }
+
+    /// The deterministic initial placement of `data`'s rows: entry `p` is the
+    /// [`GlobalRowId`] row `p` received from [`ShardedService::build`] with the same
+    /// partition. Useful for callers that track external ids across the partitioning.
+    pub fn partition_rows(
+        partition: &ShardPartition,
+        shards: usize,
+        data: &Dataset,
+    ) -> Vec<GlobalRowId> {
+        let shards = shards.max(1);
+        let schema = data.schema();
+        let mut next_row = vec![0 as PointId; shards];
+        let mut numeric = vec![0.0f64; schema.numeric_count()];
+        let mut nominal = vec![ValueId::default(); schema.nominal_count()];
+        (0..data.len() as PointId)
+            .map(|p| {
+                for (j, v) in numeric.iter_mut().enumerate() {
+                    *v = data.numeric(p, j);
+                }
+                for (j, v) in nominal.iter_mut().enumerate() {
+                    *v = data.nominal(p, j);
+                }
+                let shard = partition.shard_of(shards, &numeric, &nominal);
+                let row = next_row[shard];
+                next_row[shard] += 1;
+                GlobalRowId { shard, row }
+            })
+            .collect()
+    }
+
+    /// Number of dataset shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The engine serving shard `s` (read-lock it to inspect; do not hold the guard across
+    /// service calls).
+    pub fn shard(&self, s: usize) -> &SharedEngine {
+        &self.shards[s]
+    }
+
+    /// The row-to-shard mapping.
+    pub fn partition(&self) -> &ShardPartition {
+        &self.partition
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The shared template every shard was built under.
+    pub fn template(&self) -> &Template {
+        &self.template
+    }
+
+    /// Worker threads the scatter (and batches) spread over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Current number of cached merged results.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Every shard's current mutation epoch, in shard order.
+    pub fn epochs(&self) -> Vec<DatasetEpoch> {
+        self.shards.iter().map(|s| s.read().epoch()).collect()
+    }
+
+    /// Total live rows across all shards.
+    pub fn live_rows(&self) -> usize {
+        self.shards.iter().map(|s| s.read().live_rows()).sum()
+    }
+
+    /// Counters accumulated since the service was built; `rebuilds` and `reclaimed_rows`
+    /// aggregate over every shard's maintenance lifecycle.
+    pub fn stats(&self) -> StatsSnapshot {
+        let mut snapshot = self.metrics.snapshot();
+        snapshot.stale_evictions = self.cache.stale_evictions();
+        snapshot.remap_misses = self.cache.remap_misses();
+        for shard in &self.shards {
+            let maintenance = shard.read().maintenance_stats();
+            snapshot.rebuilds += maintenance.rebuilds;
+            snapshot.reclaimed_rows += maintenance.reclaimed_rows;
+        }
+        snapshot
+    }
+
+    /// The shared build pool, when [`ShardedConfig::maintenance`] enabled one.
+    pub fn build_pool(&self) -> Option<&BuildPool> {
+        self.pool.as_ref()
+    }
+
+    /// Rebuilds shard `s`'s generation right now and waits for it; returns whether a new
+    /// generation was installed.
+    pub fn force_rebuild_shard(&self, s: usize) -> Result<bool> {
+        let shard = self.shards.get(s).ok_or_else(|| {
+            SkylineError::InvalidArgument(format!(
+                "shard {s} does not exist ({} shards)",
+                self.shards.len()
+            ))
+        })?;
+        if shard.read().rebuild_in_flight() {
+            return Ok(false);
+        }
+        shard.rebuild_now().map(|_| true)
+    }
+
+    /// Rebuilds every shard's generation (sequentially); returns how many installed a new
+    /// generation.
+    pub fn force_rebuild_all(&self) -> Result<usize> {
+        let mut installed = 0;
+        for s in 0..self.shards.len() {
+            if self.force_rebuild_shard(s)? {
+                installed += 1;
+            }
+        }
+        Ok(installed)
+    }
+
+    /// Inserts a row, routed to its owning shard (only that shard's lock is taken), and
+    /// returns its global id.
+    pub fn insert_row(&self, numeric: &[f64], nominal: &[ValueId]) -> Result<GlobalRowId> {
+        if numeric.len() != self.schema.numeric_count()
+            || nominal.len() != self.schema.nominal_count()
+        {
+            self.metrics.record_error();
+            return Err(SkylineError::RowShapeMismatch {
+                expected: self.schema.arity(),
+                got: numeric.len() + nominal.len(),
+            });
+        }
+        let s = self.partition.shard_of(self.shards.len(), numeric, nominal);
+        let mut engine = self.shards[s].write();
+        engine
+            .insert_row(numeric, nominal)
+            .inspect_err(|_| self.metrics.record_error())?;
+        let row = (engine.dataset().len() - 1) as PointId;
+        drop(engine);
+        self.metrics.record_mutation();
+        if let Some(handle) = self.handles.get(s) {
+            handle.notify();
+        }
+        Ok(GlobalRowId { shard: s, row })
+    }
+
+    /// Logically deletes a row on its owning shard. Returns whether the row was live
+    /// (deleting an already-deleted row is a no-op that moves no epoch).
+    pub fn delete_row(&self, id: GlobalRowId) -> Result<bool> {
+        let shard = self.shards.get(id.shard).ok_or_else(|| {
+            self.metrics.record_error();
+            SkylineError::InvalidArgument(format!(
+                "shard {} does not exist ({} shards)",
+                id.shard,
+                self.shards.len()
+            ))
+        })?;
+        let mut engine = shard.write();
+        let before = engine.epoch();
+        let epoch = engine
+            .delete_row(id.row)
+            .inspect_err(|_| self.metrics.record_error())?;
+        drop(engine);
+        let was_live = epoch != before;
+        if was_live {
+            self.metrics.record_mutation();
+            if let Some(handle) = self.handles.get(id.shard) {
+                handle.notify();
+            }
+        }
+        Ok(was_live)
+    }
+
+    /// Answers one query by scatter-gather, consulting the merged-result cache first.
+    ///
+    /// A preference any shard's engine would reject (refinement violation, unmaterialized
+    /// value on a frozen tree) is rejected for the whole service, so sharding never changes
+    /// which inputs are servable — a shard count of 1 behaves exactly like the engine alone.
+    pub fn serve(&self, pref: &Preference) -> Result<ShardedServed> {
+        let started = Instant::now();
+        // Read guards for every shard, acquired in fixed index order and held across the
+        // epoch snapshot, cache lookup and (on a miss) the scatter: the epoch vector, the
+        // merged answer and the cache entry are mutually consistent, and writers (which take
+        // exactly one shard's lock) cannot interleave mid-serve.
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let epochs: EpochVector = guards.iter().map(|g| g.epoch()).collect::<Vec<_>>().into();
+        let key = CanonicalPreference::new(&self.schema, pref)
+            .inspect_err(|_| self.metrics.record_error())?;
+        for guard in &guards {
+            guard
+                .check_servable(pref)
+                .inspect_err(|_| self.metrics.record_error())?;
+        }
+        if let Some((outcome, translated)) = self.lookup(&key, &epochs, &guards) {
+            let latency = started.elapsed();
+            self.metrics.record(true, latency);
+            if translated {
+                self.metrics.record_remapped_hit();
+            }
+            return Ok(ShardedServed {
+                outcome,
+                cache_hit: true,
+                epochs,
+                latency,
+            });
+        }
+        match self.flight.join(&key, epochs.clone()) {
+            FlightRole::Leader(flight_guard) => {
+                let served = self.scatter_gather(&guards, pref, key, epochs, started);
+                drop(flight_guard); // wakes followers (also on the error path)
+                served
+            }
+            FlightRole::Followed => {
+                self.metrics.record_coalesced();
+                if let Some(outcome) = self.cache.get(&key, epochs.clone()) {
+                    let latency = started.elapsed();
+                    self.metrics.record(true, latency);
+                    return Ok(ShardedServed {
+                        outcome,
+                        cache_hit: true,
+                        epochs,
+                        latency,
+                    });
+                }
+                self.scatter_gather(&guards, pref, key, epochs, started)
+            }
+        }
+    }
+
+    /// Answers a batch of queries on the worker pool, preserving input order.
+    pub fn serve_batch(&self, prefs: &[Preference]) -> Vec<Result<ShardedServed>> {
+        executor::run_indexed_scratch(prefs, self.workers, || (), |_, pref, ()| self.serve(pref))
+    }
+
+    /// Remap-aware cache lookup: entries whose epoch vector differs only by generation swaps
+    /// are translated per shard through that shard's remap chain (see
+    /// [`ResultCache::get_or_translate`] for the single-engine analogue).
+    fn lookup(
+        &self,
+        key: &CanonicalPreference,
+        epochs: &EpochVector,
+        guards: &[parking_lot_free::Guard<'_>],
+    ) -> Option<(Arc<ShardedOutcome>, bool)> {
+        self.cache.get_or_salvage(key, epochs, |old, value| {
+            match translate_vector(old, epochs, value, guards) {
+                Ok(translated) => Salvage::Translated(translated),
+                Err(TranslateFailure::Stale) => Salvage::Stale,
+                Err(TranslateFailure::ChainTruncated) => Salvage::RemapMiss,
+            }
+        })
+    }
+
+    /// The cache-miss path: scatter the query to every shard on the worker pool (under the
+    /// already-held read guards), gather by cross-shard dominance merge, cache at the epoch
+    /// vector.
+    fn scatter_gather(
+        &self,
+        guards: &[parking_lot_free::Guard<'_>],
+        pref: &Preference,
+        key: CanonicalPreference,
+        epochs: EpochVector,
+        started: Instant,
+    ) -> Result<ShardedServed> {
+        let shard_ids: Vec<usize> = (0..guards.len()).collect();
+        let scattered = executor::run_indexed_scratch(
+            &shard_ids,
+            self.workers.min(guards.len()),
+            EngineScratch::default,
+            |_, &s, scratch| guards[s].query_at(pref, epochs[s], scratch),
+        );
+        let mut outcomes = Vec::with_capacity(scattered.len());
+        for result in scattered {
+            outcomes.push(result.inspect_err(|_| self.metrics.record_error())?);
+        }
+
+        // Gather: cross-shard dominance merge under the query's effective orders.
+        let orders: Vec<CompiledOrder> = self
+            .template
+            .effective_orders(&self.schema, pref)?
+            .iter()
+            .map(CompiledOrder::compile)
+            .collect();
+        let mut merger = SkylineMerger::new(orders, self.schema.numeric_count());
+        let mut numeric = vec![0.0f64; self.schema.numeric_count()];
+        let mut nominal = vec![ValueId::default(); self.schema.nominal_count()];
+        for (s, outcome) in outcomes.iter().enumerate() {
+            let data = guards[s].dataset();
+            for &p in &outcome.skyline {
+                for (j, v) in numeric.iter_mut().enumerate() {
+                    *v = data.numeric(p, j);
+                }
+                for (j, v) in nominal.iter_mut().enumerate() {
+                    *v = data.nominal(p, j);
+                }
+                merger.push(s, p, &numeric, &nominal)?;
+            }
+        }
+        let value = Arc::new(ShardedOutcome {
+            skyline: merger
+                .merge()
+                .into_iter()
+                .map(|(shard, row)| GlobalRowId { shard, row })
+                .collect(),
+            methods: outcomes.iter().map(|o| o.method).collect(),
+        });
+        self.cache.insert(key, epochs.clone(), value.clone());
+        let latency = started.elapsed();
+        self.metrics.record(false, latency);
+        Ok(ShardedServed {
+            outcome: value,
+            cache_hit: false,
+            epochs,
+            latency,
+        })
+    }
+}
+
+/// Translates a cached outcome from epoch vector `old` to `new`, shard by shard, through
+/// each changed shard's remap chain. All-or-nothing: every changed shard must bridge
+/// entirely via swaps. A shard with real mutations in between makes the entry
+/// [`TranslateFailure::Stale`]; when swaps alone separate the vectors but some shard's
+/// translations already fell off its bounded chain, the entry is an unrecoverable
+/// [`TranslateFailure::ChainTruncated`] (counted as a remap miss).
+fn translate_vector(
+    old: &EpochVector,
+    new: &EpochVector,
+    value: &ShardedOutcome,
+    guards: &[parking_lot_free::Guard<'_>],
+) -> std::result::Result<ShardedOutcome, TranslateFailure> {
+    if old.len() != new.len() {
+        return Err(TranslateFailure::Stale);
+    }
+    let mut skyline = value.skyline.clone();
+    let mut truncated = false;
+    for s in 0..new.len() {
+        if old[s] == new[s] {
+            continue;
+        }
+        let ids: Vec<PointId> = skyline
+            .iter()
+            .filter(|g| g.shard == s)
+            .map(|g| g.row)
+            .collect();
+        match translate_through_chain(&ids, old[s], new[s], guards[s].remap_chain()) {
+            Ok(translated) => {
+                let mut next = translated.into_iter();
+                for g in skyline.iter_mut().filter(|g| g.shard == s) {
+                    g.row = next.next().expect("one translated id per input id");
+                }
+            }
+            // Stale dominates: real mutations anywhere make the whole entry outdated.
+            Err(TranslateFailure::Stale) => return Err(TranslateFailure::Stale),
+            Err(TranslateFailure::ChainTruncated) => truncated = true,
+        }
+    }
+    if truncated {
+        return Err(TranslateFailure::ChainTruncated);
+    }
+    Ok(ShardedOutcome {
+        skyline,
+        methods: value.methods.clone(),
+    })
+}
+
+/// Local alias spelling out the guard type the scatter borrows (std's rwlock read guard over
+/// the engine).
+mod parking_lot_free {
+    pub(super) type Guard<'a> = std::sync::RwLockReadGuard<'a, skyline::SkylineEngine>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::{Dimension, NominalDomain};
+    use skyline_datagen::{Distribution, ExperimentConfig, QueryGenerator};
+
+    fn experiment(n: usize, seed: u64) -> (Arc<Dataset>, Template) {
+        let config = ExperimentConfig {
+            n,
+            numeric_dims: 2,
+            nominal_dims: 2,
+            cardinality: 8,
+            theta: 1.0,
+            pref_order: 2,
+            distribution: Distribution::AntiCorrelated,
+            seed,
+        };
+        let data = Arc::new(config.generate_dataset());
+        let template = config.template(&data);
+        (data, template)
+    }
+
+    fn value_key(data: &Dataset, p: PointId) -> (Vec<u64>, Vec<ValueId>) {
+        let schema = data.schema();
+        (
+            (0..schema.numeric_count())
+                .map(|j| data.numeric(p, j).to_bits())
+                .collect(),
+            (0..schema.nominal_count())
+                .map(|j| data.nominal(p, j))
+                .collect(),
+        )
+    }
+
+    /// The sharded skyline as a sorted multiset of row values (global ids are incomparable
+    /// across different shard counts; values are the invariant).
+    fn sharded_values(
+        service: &ShardedService,
+        served: &ShardedServed,
+    ) -> Vec<(Vec<u64>, Vec<ValueId>)> {
+        let mut values: Vec<_> = served
+            .outcome
+            .skyline
+            .iter()
+            .map(|g| value_key(service.shard(g.shard).read().dataset(), g.row))
+            .collect();
+        values.sort();
+        values
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_on_a_static_dataset() {
+        let (data, template) = experiment(600, 11);
+        let unsharded =
+            SkylineEngine::build(data.clone(), template.clone(), EngineConfig::AdaptiveSfs)
+                .unwrap();
+        let mut generator = QueryGenerator::new(7);
+        let prefs = generator.random_preferences(data.schema(), &template, 2, 12, None);
+        for shards in [1, 2, 3, 5] {
+            let service = ShardedService::build(
+                &data,
+                template.clone(),
+                EngineConfig::AdaptiveSfs,
+                ShardedConfig {
+                    shards,
+                    workers: 2,
+                    ..ShardedConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(service.shard_count(), shards);
+            assert_eq!(service.live_rows(), data.len());
+            for pref in &prefs {
+                let served = service.serve(pref).unwrap();
+                let mut expected: Vec<_> = unsharded
+                    .query(pref)
+                    .unwrap()
+                    .skyline
+                    .iter()
+                    .map(|&p| value_key(&data, p))
+                    .collect();
+                expected.sort();
+                assert_eq!(
+                    sharded_values(&service, &served),
+                    expected,
+                    "shards={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_vector_cache_hits_and_per_shard_invalidation() {
+        let (data, template) = experiment(300, 3);
+        let service = ShardedService::build(
+            &data,
+            template.clone(),
+            EngineConfig::AdaptiveSfs,
+            ShardedConfig {
+                shards: 3,
+                workers: 1,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        let mut generator = QueryGenerator::new(5);
+        let pref = generator.random_preference(data.schema(), &template, 2, None);
+
+        let first = service.serve(&pref).unwrap();
+        assert!(!first.cache_hit);
+        let second = service.serve(&pref).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(first.outcome.skyline, second.outcome.skyline);
+        assert_eq!(first.outcome.methods.len(), 3);
+
+        // A mutation on one shard bumps only that shard's epoch — and still invalidates.
+        let id = service.insert_row(&[0.01, 0.01], &[0, 0]).unwrap();
+        let third = service.serve(&pref).unwrap();
+        assert!(!third.cache_hit, "epoch vector moved with the shard");
+        assert!(service.epochs()[id.shard] > DatasetEpoch::INITIAL);
+        assert_eq!(service.stats().mutations, 1);
+
+        // Deleting it again is routed to the same shard and epoch-bumps once more.
+        assert!(service.delete_row(id).unwrap());
+        assert!(!service.delete_row(id).unwrap(), "double delete is a no-op");
+    }
+
+    #[test]
+    fn shard_rebuilds_translate_the_merged_cache_entry() {
+        let (data, template) = experiment(400, 17);
+        let service = ShardedService::build(
+            &data,
+            template.clone(),
+            EngineConfig::AdaptiveSfs,
+            ShardedConfig {
+                shards: 2,
+                workers: 1,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        let mut generator = QueryGenerator::new(9);
+        let pref = generator.random_preference(data.schema(), &template, 2, None);
+
+        // Tombstone one row per shard so both rebuilds renumber, then cache an answer.
+        for shard in 0..2 {
+            // Row ids 0..n exist on every shard (rows were distributed round-robin-ish);
+            // pick a row that is live by construction.
+            let target = GlobalRowId { shard, row: 0 };
+            service.delete_row(target).unwrap();
+        }
+        let before = service.serve(&pref).unwrap();
+        assert!(!before.cache_hit);
+
+        // Back-to-back rebuilds on both shards: two swaps each, no mutations between.
+        assert_eq!(service.force_rebuild_all().unwrap(), 2);
+        assert_eq!(service.force_rebuild_all().unwrap(), 2);
+
+        let after = service.serve(&pref).unwrap();
+        assert!(
+            after.cache_hit,
+            "entry translated through both shards' chains"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.remapped_hits, 1);
+        assert_eq!(stats.remap_misses, 0);
+        assert_eq!(stats.rebuilds, 4);
+        // The translated answer names the same rows: values match a fresh computation.
+        let fresh = {
+            let service2 = ShardedService::build(
+                &data,
+                template.clone(),
+                EngineConfig::AdaptiveSfs,
+                ShardedConfig {
+                    shards: 2,
+                    workers: 1,
+                    ..ShardedConfig::default()
+                },
+            )
+            .unwrap();
+            for shard in 0..2 {
+                service2.delete_row(GlobalRowId { shard, row: 0 }).unwrap();
+            }
+            let served = service2.serve(&pref).unwrap();
+            sharded_values(&service2, &served)
+        };
+        assert_eq!(sharded_values(&service, &after), fresh);
+    }
+
+    #[test]
+    fn range_partition_routes_and_validates() {
+        let schema = Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::nominal("g", NominalDomain::anonymous(4)),
+        ])
+        .unwrap();
+        let partition = ShardPartition::RangeNumeric {
+            dim: 0,
+            bounds: vec![10.0, 20.0],
+        };
+        assert_eq!(partition.shard_of(3, &[5.0], &[0]), 0);
+        assert_eq!(partition.shard_of(3, &[10.0], &[0]), 1);
+        assert_eq!(partition.shard_of(3, &[19.9], &[0]), 1);
+        assert_eq!(partition.shard_of(3, &[99.0], &[0]), 2);
+        assert_eq!(partition.shard_of(3, &[f64::NAN], &[0]), 0);
+
+        let mut data = Dataset::empty(schema.clone());
+        for (x, g) in [(5.0, 0), (15.0, 1), (25.0, 2), (7.0, 3)] {
+            data.push_row_ids(&[x], &[g as ValueId]).unwrap();
+        }
+        let template = Template::empty(&schema);
+        let service = ShardedService::build(
+            &data,
+            template.clone(),
+            EngineConfig::SfsD,
+            ShardedConfig {
+                shards: 3,
+                partition,
+                workers: 1,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        // Shard 0 owns the two x < 10 rows, shards 1 and 2 one row each.
+        assert_eq!(service.shard(0).read().dataset().len(), 2);
+        assert_eq!(service.shard(1).read().dataset().len(), 1);
+        assert_eq!(service.shard(2).read().dataset().len(), 1);
+        // Mutations route by value.
+        let id = service.insert_row(&[12.0], &[0]).unwrap();
+        assert_eq!(id.shard, 1);
+
+        // Wrong bounds count is rejected up front.
+        assert!(ShardedService::build(
+            &data,
+            template.clone(),
+            EngineConfig::SfsD,
+            ShardedConfig {
+                shards: 3,
+                partition: ShardPartition::RangeNumeric {
+                    dim: 0,
+                    bounds: vec![10.0],
+                },
+                ..ShardedConfig::default()
+            },
+        )
+        .is_err());
+        // So is an out-of-schema dimension.
+        assert!(ShardedService::build(
+            &data,
+            template,
+            EngineConfig::SfsD,
+            ShardedConfig {
+                shards: 2,
+                partition: ShardPartition::HashNominal { dim: 5 },
+                ..ShardedConfig::default()
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_shards_are_served_and_mutable() {
+        // 2 rows over 4 shards: at least two shards start empty, and everything still works.
+        let schema = Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::nominal("g", NominalDomain::anonymous(8)),
+        ])
+        .unwrap();
+        let mut data = Dataset::empty(schema.clone());
+        data.push_row_ids(&[1.0], &[0]).unwrap();
+        data.push_row_ids(&[2.0], &[1]).unwrap();
+        let template = Template::empty(&schema);
+        let service = ShardedService::build(
+            &data,
+            template,
+            EngineConfig::AdaptiveSfs,
+            ShardedConfig {
+                shards: 4,
+                workers: 2,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        // Favourite value 0: the (1.0, g=0) row dominates (2.0, g=1) on both dimensions.
+        let pref = Preference::from_dims(vec![skyline_core::ImplicitPreference::new([0]).unwrap()]);
+        let served = service.serve(&pref).unwrap();
+        assert_eq!(
+            served.outcome.skyline.len(),
+            1,
+            "x=1.0,g=0 dominates x=2.0,g=1"
+        );
+        // Inserting into a previously empty shard works and invalidates.
+        let mut placed_empty = false;
+        for v in 0..8u16 {
+            let id = service.insert_row(&[0.5], &[v]).unwrap();
+            placed_empty |= service.shard(id.shard).read().dataset().len() == 1;
+        }
+        assert!(placed_empty, "some insert landed on an empty shard");
+        let after = service.serve(&pref).unwrap();
+        assert!(!after.cache_hit);
+        assert_eq!(after.outcome.skyline.len(), 1, "x=0.5 rows dominate");
+    }
+
+    #[test]
+    fn shared_build_pool_maintains_all_shards() {
+        let (data, template) = experiment(200, 23);
+        let service = ShardedService::build(
+            &data,
+            template,
+            EngineConfig::AdaptiveSfs,
+            ShardedConfig {
+                shards: 3,
+                workers: 1,
+                maintenance: Some(MaintenancePolicy {
+                    dead_row_ratio: 0.01,
+                    max_mutations_since_rebuild: u64::MAX,
+                    poll_interval: Duration::from_millis(5),
+                }),
+                build_threads: 2,
+                max_in_flight_builds: 1,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(service.build_pool().is_some());
+        // Delete one live row per shard; the pool must compact every shard on its own.
+        for shard in 0..service.shard_count() {
+            assert!(service.delete_row(GlobalRowId { shard, row: 0 }).unwrap());
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while service.stats().rebuilds < 3 {
+            assert!(Instant::now() < deadline, "pool never compacted all shards");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(service.stats().reclaimed_rows, 3);
+        for s in 0..service.shard_count() {
+            assert_eq!(service.shard(s).read().dead_rows(), 0);
+        }
+    }
+}

@@ -93,6 +93,7 @@ impl ServiceMetrics {
             errors,
             mutations: self.mutations.load(Ordering::Relaxed),
             stale_evictions: 0,
+            remap_misses: 0,
             remapped_hits: self.remapped_hits.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             rebuilds: 0,
@@ -139,6 +140,11 @@ pub struct StatsSnapshot {
     /// Cached results dropped because a mutation made their epoch stale (lazy expiry; filled
     /// in from the result cache by `SkylineService::stats`).
     pub stale_evictions: u64,
+    /// The subset of `stale_evictions` that were *unrecoverable remap misses*: entries only
+    /// generation swaps behind the lookup whose translations had already fallen off the
+    /// engine's bounded remap chain (filled in from the result cache by
+    /// `SkylineService::stats`).
+    pub remap_misses: u64,
     /// Cache hits served by translating a pre-swap entry's row ids through the generation
     /// remap (a subset of `hits`): how much of the cache a compaction swap *kept* warm.
     pub remapped_hits: u64,

@@ -354,9 +354,20 @@ pub struct SkylineEngine {
     /// Mutation counters for [`EngineConfig::SfsD`], which has no maintained structure of its
     /// own to count them.
     sfsd_stats: MaintenanceStats,
-    /// The translation published by the most recent generation swap.
-    last_remap: Option<GenerationRemap>,
+    /// The translations published by recent generation swaps, oldest first, bounded to
+    /// [`REMAP_CHAIN_LIMIT`] entries. Caches compose consecutive entries to translate
+    /// results that are more than one swap behind.
+    remap_history: Vec<GenerationRemap>,
 }
+
+/// How many published [`GenerationRemap`]s an engine retains for cache translation.
+///
+/// Back-to-back rebuilds (common once a shared build pool drives many shards) publish
+/// several remaps between two lookups of the same cached result; a cache that can only
+/// translate across the *latest* swap silently drops everything one swap behind. Eight
+/// generations of history cover any realistic rebuild cadence between cache touches while
+/// keeping the retained `RowIdRemap`s bounded.
+pub const REMAP_CHAIN_LIMIT: usize = 8;
 
 /// A skyline engine shared between readers and writers: `Arc<RwLock<SkylineEngine>>` with the
 /// lock handling folded in.
@@ -509,7 +520,7 @@ impl SkylineEngine {
             mutations_since_rebuild: 0,
             carried_stats: MaintenanceStats::default(),
             sfsd_stats: MaintenanceStats::default(),
-            last_remap: None,
+            remap_history: Vec::new(),
         })
     }
 
@@ -682,7 +693,15 @@ impl SkylineEngine {
 
     /// The translation published by the most recent generation swap, when one has happened.
     pub fn last_remap(&self) -> Option<&GenerationRemap> {
-        self.last_remap.as_ref()
+        self.remap_history.last()
+    }
+
+    /// The bounded chain of recent generation-swap translations, oldest first (at most
+    /// [`REMAP_CHAIN_LIMIT`] entries). Consecutive entries compose — `chain[i].to ==
+    /// chain[i + 1].from` whenever no mutation landed between the two swaps — letting a
+    /// cache translate results that are several swaps behind the serving generation.
+    pub fn remap_chain(&self) -> &[GenerationRemap] {
+        &self.remap_history
     }
 
     /// True while a [`SkylineEngine::begin_rebuild`] snapshot is outstanding (mutations are
@@ -845,7 +864,11 @@ impl SkylineEngine {
             from,
             to,
         };
-        self.last_remap = Some(published.clone());
+        self.remap_history.push(published.clone());
+        if self.remap_history.len() > REMAP_CHAIN_LIMIT {
+            let excess = self.remap_history.len() - REMAP_CHAIN_LIMIT;
+            self.remap_history.drain(..excess);
+        }
         Ok(published)
     }
 

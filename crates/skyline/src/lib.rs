@@ -51,9 +51,12 @@ pub mod maintenance;
 
 pub use engine::{
     EngineConfig, EngineScratch, Generation, GenerationRemap, GenerationSnapshot, MethodUsed,
-    PendingGeneration, QueryOutcome, SharedEngine, SkylineEngine,
+    PendingGeneration, QueryOutcome, SharedEngine, SkylineEngine, REMAP_CHAIN_LIMIT,
 };
-pub use maintenance::{MaintenanceHandle, MaintenancePolicy, MaintenanceWorker};
+pub use maintenance::{
+    BuildHandle, BuildPool, BuildPoolConfig, MaintenanceHandle, MaintenancePolicy,
+    MaintenanceWorker,
+};
 
 pub use skyline_adaptive as adaptive;
 pub use skyline_core as model;

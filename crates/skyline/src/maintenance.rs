@@ -1,24 +1,34 @@
-//! Background engine maintenance: a worker thread that watches a [`SharedEngine`] and runs
-//! generation rebuilds — physical compaction with row-id remapping plus IPO
-//! re-materialization — when a [`MaintenancePolicy`] says the accumulated debt is worth
-//! paying.
+//! Background engine maintenance: a shared pool of build threads that watches any number of
+//! [`SharedEngine`]s and runs generation rebuilds — physical compaction with row-id
+//! remapping plus IPO re-materialization — when a [`MaintenancePolicy`] says the accumulated
+//! debt is worth paying.
 //!
 //! Production skyline systems treat index maintenance as a lifecycle concern rather than a
-//! foreground cost: mutations stay cheap in-place updates, and a background thread
-//! periodically folds the accumulated tombstones and stale materializations back into a
-//! fresh, compact generation. The worker here is exactly the three-step cycle of
+//! foreground cost: mutations stay cheap in-place updates, and background threads
+//! periodically fold the accumulated tombstones and stale materializations back into a
+//! fresh, compact generation. A build cycle is exactly the three steps of
 //! [`SharedEngine::rebuild_now`] driven off-thread: snapshot under the write lock
 //! (microseconds), build with **no lock held** (readers are never blocked on a build), swap
 //! atomically. Mutations that land mid-build are replayed onto the new generation before the
 //! swap.
+//!
+//! One engine per worker thread does not survive sharding: a service holding N dataset
+//! shards would spawn N threads that are idle almost always and then all rebuild at once
+//! right after a write burst, oversubscribing the machine exactly when query traffic resumes.
+//! [`BuildPool`] instead shares a small fixed set of build threads across every registered
+//! engine: each engine gets its own nudge queue slot, and a **global in-flight cap**
+//! ([`BuildPoolConfig::max_in_flight`]) bounds how many generation builds run concurrently no
+//! matter how many shards turned due together. [`MaintenanceWorker::spawn`] is the
+//! single-engine special case — a one-thread, cap-1 pool behind the same handle API.
 
 use crate::engine::SharedEngine;
 use skyline_core::Result;
-use std::sync::mpsc::{self, RecvTimeoutError, Sender, SyncSender};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// When the background worker should rebuild the engine's generation.
+/// When a background worker should rebuild an engine's generation.
 ///
 /// Two debts accumulate under sustained writes, and each has a knob:
 ///
@@ -36,7 +46,7 @@ pub struct MaintenancePolicy {
     /// (or the build). For a hybrid engine this bounds how long queries stay on the fallback
     /// path; `1` re-materializes after every mutation burst, `u64::MAX` disables the trigger.
     pub max_mutations_since_rebuild: u64,
-    /// How often the worker wakes up to evaluate the policy when nobody nudges it.
+    /// How often the pool wakes up to evaluate the policy when nobody nudges it.
     pub poll_interval: Duration,
 }
 
@@ -68,84 +78,311 @@ impl MaintenancePolicy {
     }
 }
 
-enum Signal {
-    /// Evaluate the policy now (sent after mutations so due rebuilds start promptly).
-    Nudge,
-    /// Run a rebuild cycle regardless of the policy; ack with whether a swap was installed.
-    Force(SyncSender<Result<bool>>),
-    Shutdown,
+/// Sizing of a [`BuildPool`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildPoolConfig {
+    /// Build worker threads (clamped to at least 1). More threads only help up to
+    /// [`BuildPoolConfig::max_in_flight`].
+    pub threads: usize,
+    /// Global cap on concurrently running generation builds across **all** registered
+    /// engines (clamped to at least 1). Builds are CPU- and allocation-heavy; the cap keeps a
+    /// write burst that turns every shard due at once from oversubscribing the machine.
+    pub max_in_flight: usize,
+    /// How often idle workers re-evaluate every registered engine's policy.
+    pub poll_interval: Duration,
+}
+
+impl Default for BuildPoolConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            max_in_flight: 1,
+            poll_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    engine: SharedEngine,
+    policy: MaintenancePolicy,
+    /// A nudge is pending in the queue (dedupes repeated notifies).
+    queued: bool,
+    /// A pool worker is currently running this slot's build cycle.
+    building: bool,
+    /// The [`BuildHandle`] was dropped; the slot is never scheduled again.
+    detached: bool,
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    slots: Vec<Slot>,
+    /// Slot ids with a pending nudge, oldest first (per-engine dedupe via `Slot::queued`).
+    queue: VecDeque<usize>,
+    in_flight: usize,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    state: Mutex<PoolState>,
+    wake: Condvar,
+    max_in_flight: usize,
+    poll_interval: Duration,
+}
+
+/// A shared pool of background build threads serving many engines (see the module docs).
+///
+/// Engines join via [`BuildPool::register`] and are served until their [`BuildHandle`] is
+/// dropped. Dropping the pool itself shuts the workers down (joining the threads); handles
+/// that outlive the pool degrade gracefully — notifies become no-ops, forced rebuilds still
+/// run synchronously on the caller.
+#[derive(Debug)]
+pub struct BuildPool {
+    inner: Arc<PoolInner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl BuildPool {
+    /// Spawns the pool's worker threads.
+    pub fn new(config: BuildPoolConfig) -> Self {
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState::default()),
+            wake: Condvar::new(),
+            max_in_flight: config.max_in_flight.max(1),
+            poll_interval: config.poll_interval,
+        });
+        let threads = (0..config.threads.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("skyline-build-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning a build pool worker thread")
+            })
+            .collect();
+        Self { inner, threads }
+    }
+
+    /// Registers `engine` for background maintenance under `policy` and returns the handle
+    /// that nudges it. The pool polls the policy at its own [`BuildPoolConfig::poll_interval`]
+    /// (the policy's interval is ignored here — one shared heartbeat, not one per engine).
+    pub fn register(
+        &self,
+        engine: impl Into<SharedEngine>,
+        policy: MaintenancePolicy,
+    ) -> BuildHandle {
+        let engine = engine.into();
+        let mut state = self.inner.state.lock().expect("build pool poisoned");
+        let slot = state.slots.len();
+        state.slots.push(Slot {
+            engine: engine.clone(),
+            policy,
+            queued: false,
+            building: false,
+            detached: false,
+        });
+        drop(state);
+        BuildHandle {
+            inner: self.inner.clone(),
+            slot,
+            engine,
+        }
+    }
+
+    /// Number of generation builds currently running (diagnostics; racy by nature).
+    pub fn in_flight(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("build pool poisoned")
+            .in_flight
+    }
+
+    /// Number of build worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+impl Drop for BuildPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.inner.state.lock().expect("build pool poisoned");
+            state.shutdown = true;
+        }
+        self.inner.wake.notify_all();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// One registered engine's handle into a [`BuildPool`]; dropping it detaches the engine (the
+/// pool never schedules it again; a build already running completes normally).
+#[derive(Debug)]
+pub struct BuildHandle {
+    inner: Arc<PoolInner>,
+    slot: usize,
+    engine: SharedEngine,
+}
+
+impl BuildHandle {
+    /// Nudges the pool to evaluate this engine's policy now instead of waiting for the next
+    /// poll tick. Non-blocking and cheap — call it after every mutation.
+    pub fn notify(&self) {
+        let mut state = self.inner.state.lock().expect("build pool poisoned");
+        if state.shutdown {
+            return;
+        }
+        let slot = &mut state.slots[self.slot];
+        // A nudge during a running build is dropped: mutations landing mid-build are
+        // replayed onto the new generation anyway, and leftover debt is caught by the next
+        // poll tick.
+        if !slot.queued && !slot.building && !slot.detached {
+            slot.queued = true;
+            let id = self.slot;
+            state.queue.push_back(id);
+            drop(state);
+            self.inner.wake.notify_one();
+        }
+    }
+
+    /// Runs one rebuild cycle right now, regardless of the policy, and waits for it to
+    /// finish — synchronously, on the calling thread, outside the pool's in-flight cap.
+    /// Returns `Ok(true)` when a new generation was installed, `Ok(false)` when skipped
+    /// because a rebuild was already in flight, and the build error otherwise. Deterministic
+    /// tests and pre-traffic warmup hooks use this; steady-state operation relies on the
+    /// policy.
+    pub fn force_rebuild(&self) -> Result<bool> {
+        run_cycle(&self.engine)
+    }
+
+    /// The engine this handle maintains.
+    pub fn engine(&self) -> &SharedEngine {
+        &self.engine
+    }
+}
+
+impl Drop for BuildHandle {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().expect("build pool poisoned");
+        if let Some(slot) = state.slots.get_mut(self.slot) {
+            slot.detached = true;
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    let mut state = inner.state.lock().expect("build pool poisoned");
+    loop {
+        if state.shutdown {
+            return;
+        }
+        // Claim the oldest runnable nudge, respecting the global in-flight cap.
+        let runnable = if state.in_flight < inner.max_in_flight {
+            state.queue.iter().position(|&id| {
+                let slot = &state.slots[id];
+                !slot.building && !slot.detached
+            })
+        } else {
+            None
+        };
+        if let Some(pos) = runnable {
+            let id = state.queue.remove(pos).expect("position just found");
+            let (engine, policy) = {
+                let slot = &mut state.slots[id];
+                slot.queued = false;
+                slot.building = true;
+                (slot.engine.clone(), slot.policy.clone())
+            };
+            state.in_flight += 1;
+            drop(state);
+            // Policy evaluation and the build itself run without the pool lock: other
+            // workers keep scheduling, notifies never block on a build.
+            if policy.due(&engine.read()) {
+                let _ = run_cycle(&engine);
+            }
+            state = inner.state.lock().expect("build pool poisoned");
+            state.slots[id].building = false;
+            state.in_flight -= 1;
+            // A slot may have become runnable (cap freed) — wake a sibling.
+            inner.wake.notify_one();
+            continue;
+        }
+        let (guard, timeout) = inner
+            .wake
+            .wait_timeout(state, inner.poll_interval)
+            .expect("build pool poisoned");
+        state = guard;
+        if timeout.timed_out() {
+            // Heartbeat: enqueue every registered engine whose debt crossed its policy.
+            let due: Vec<usize> = state
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, slot)| {
+                    !slot.detached
+                        && !slot.queued
+                        && !slot.building
+                        && slot.policy.due(&slot.engine.read())
+                })
+                .map(|(id, _)| id)
+                .collect();
+            for id in due {
+                state.slots[id].queued = true;
+                state.queue.push_back(id);
+            }
+        }
+    }
 }
 
 /// Handle to a running [`MaintenanceWorker`]; dropping it shuts the worker down (joining the
 /// thread).
 #[derive(Debug)]
 pub struct MaintenanceHandle {
-    tx: Sender<Signal>,
-    thread: Option<JoinHandle<()>>,
+    handle: BuildHandle,
+    /// Dropped last: joins the worker thread.
+    _pool: BuildPool,
 }
 
 impl MaintenanceHandle {
     /// Nudges the worker to evaluate its policy now instead of waiting for the next poll
     /// tick. Non-blocking and cheap — call it after every mutation.
     pub fn notify(&self) {
-        let _ = self.tx.send(Signal::Nudge);
+        self.handle.notify();
     }
 
     /// Runs one rebuild cycle right now, regardless of the policy, and waits for it to
-    /// finish. Returns `Ok(true)` when a new generation was installed, `Ok(false)` when the
-    /// worker skipped (e.g. a rebuild was already in flight), and the build error otherwise.
-    /// Deterministic tests and pre-traffic warmup hooks use this; steady-state operation
-    /// relies on the policy.
+    /// finish. Returns `Ok(true)` when a new generation was installed, `Ok(false)` when
+    /// skipped (e.g. a rebuild was already in flight), and the build error otherwise.
     pub fn force_rebuild(&self) -> Result<bool> {
-        let (ack, done) = mpsc::sync_channel(1);
-        if self.tx.send(Signal::Force(ack)).is_err() {
-            return Ok(false);
-        }
-        done.recv().unwrap_or(Ok(false))
+        self.handle.force_rebuild()
     }
 }
 
-impl Drop for MaintenanceHandle {
-    fn drop(&mut self) {
-        let _ = self.tx.send(Signal::Shutdown);
-        if let Some(thread) = self.thread.take() {
-            let _ = thread.join();
-        }
-    }
-}
-
-/// The background maintenance worker (see the module docs).
+/// The single-engine background maintenance worker: a one-thread, cap-1 [`BuildPool`] with
+/// exactly one registered engine (see the module docs).
 pub struct MaintenanceWorker;
 
 impl MaintenanceWorker {
-    /// Spawns the worker thread watching `engine` under `policy` and returns its handle.
+    /// Spawns a dedicated worker thread watching `engine` under `policy` and returns its
+    /// handle.
     ///
     /// The worker wakes on every [`MaintenanceHandle::notify`] and at least every
     /// [`MaintenancePolicy::poll_interval`]; when [`MaintenancePolicy::due`] holds it runs one
     /// rebuild cycle. Build errors leave the old generation serving and are retried on the
     /// next due evaluation.
     pub fn spawn(engine: SharedEngine, policy: MaintenancePolicy) -> MaintenanceHandle {
-        let (tx, rx) = mpsc::channel();
-        let poll = policy.poll_interval;
-        let thread = std::thread::Builder::new()
-            .name("skyline-maintenance".into())
-            .spawn(move || loop {
-                match rx.recv_timeout(poll) {
-                    Ok(Signal::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
-                    Ok(Signal::Nudge) | Err(RecvTimeoutError::Timeout) => {
-                        if policy.due(&engine.read()) {
-                            let _ = run_cycle(&engine);
-                        }
-                    }
-                    Ok(Signal::Force(ack)) => {
-                        let _ = ack.send(run_cycle(&engine));
-                    }
-                }
-            })
-            .expect("spawning the maintenance worker thread");
+        let pool = BuildPool::new(BuildPoolConfig {
+            threads: 1,
+            max_in_flight: 1,
+            poll_interval: policy.poll_interval,
+        });
+        let handle = pool.register(engine, policy);
         MaintenanceHandle {
-            tx,
-            thread: Some(thread),
+            handle,
+            _pool: pool,
         }
     }
 }
@@ -285,5 +522,82 @@ mod tests {
         let block = engine_guard.point_block().unwrap();
         assert_eq!(block.dead_count(), 0);
         assert_eq!(block.len(), 3);
+    }
+
+    #[test]
+    fn pool_serves_many_engines_under_one_in_flight_cap() {
+        let pool = BuildPool::new(BuildPoolConfig {
+            threads: 2,
+            max_in_flight: 1, // both engines become due together, but builds serialize
+            poll_interval: Duration::from_millis(5),
+        });
+        assert_eq!(pool.threads(), 2);
+        let engines: Vec<SharedEngine> =
+            (0..2).map(|_| shared(EngineConfig::AdaptiveSfs)).collect();
+        let handles: Vec<BuildHandle> = engines
+            .iter()
+            .map(|e| {
+                pool.register(
+                    e.clone(),
+                    MaintenancePolicy {
+                        dead_row_ratio: 0.2,
+                        max_mutations_since_rebuild: u64::MAX,
+                        poll_interval: Duration::from_millis(5),
+                    },
+                )
+            })
+            .collect();
+        for (engine, handle) in engines.iter().zip(&handles) {
+            engine.write().delete_row(0).unwrap();
+            engine.write().delete_row(1).unwrap();
+            handle.notify();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while engines
+            .iter()
+            .any(|e| e.read().maintenance_stats().rebuilds == 0)
+        {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "pool never compacted every engine"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for engine in &engines {
+            assert_eq!(engine.read().point_block().unwrap().dead_count(), 0);
+        }
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn dropped_handles_detach_their_engine() {
+        let pool = BuildPool::new(BuildPoolConfig {
+            threads: 1,
+            max_in_flight: 1,
+            poll_interval: Duration::from_millis(5),
+        });
+        let abandoned = shared(EngineConfig::AdaptiveSfs);
+        let kept = shared(EngineConfig::AdaptiveSfs);
+        let eager = MaintenancePolicy {
+            dead_row_ratio: 0.1,
+            max_mutations_since_rebuild: u64::MAX,
+            poll_interval: Duration::from_millis(5),
+        };
+        let dropped = pool.register(abandoned.clone(), eager.clone());
+        let handle = pool.register(kept.clone(), eager);
+        drop(dropped);
+        // Both engines become due; only the still-attached one may be rebuilt.
+        abandoned.write().delete_row(0).unwrap();
+        kept.write().delete_row(0).unwrap();
+        handle.notify();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while kept.read().maintenance_stats().rebuilds == 0 {
+            assert!(std::time::Instant::now() < deadline, "pool never rebuilt");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Give the poll loop a few more ticks: the detached engine must stay untouched.
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(abandoned.read().maintenance_stats().rebuilds, 0);
+        // A detached handle's forced rebuild still works (it runs on the caller).
     }
 }

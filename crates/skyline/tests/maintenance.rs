@@ -264,3 +264,57 @@ fn hybrid_engine_abandons_stale_tree_after_mutation() {
     assert_eq!(outcome.method, MethodUsed::AdaptiveSfs);
     assert_eq!(outcome.skyline, live_oracle(&engine, &pref));
 }
+
+/// The tree-drift regression: churn that pushes a materialized value out of the top k used to
+/// re-materialize a different value set on rebuild, so preferences previously served from the
+/// tree silently regressed to the Adaptive-SFS fallback forever. With hysteresis the value is
+/// retained until it falls *well* out of the top k.
+#[test]
+fn rebuilt_truncated_tree_keeps_serving_churned_preferences() {
+    let schema = Schema::new(vec![
+        Dimension::numeric("x"),
+        Dimension::nominal("g", NominalDomain::anonymous(CARD)),
+    ])
+    .unwrap();
+    let mut data = Dataset::empty(schema.clone());
+    // Value 0 is the clear top-1: frequencies 0 → 3, 1 → 2, 2 → 1.
+    for (x, g) in [(3.0, 0), (4.0, 0), (5.0, 0), (2.0, 1), (6.0, 1), (1.0, 2)] {
+        data.push_row_ids(&[x], &[g]).unwrap();
+    }
+    let template = Template::empty(&schema);
+    let engine = SharedEngine::new(
+        SkylineEngine::build(Arc::new(data), template, EngineConfig::Hybrid { top_k: 1 }).unwrap(),
+    );
+    let pref = Preference::from_dims(vec![ImplicitPreference::first_order(0)]);
+    assert!(engine.read().serves_from_tree(&pref));
+    assert_eq!(
+        engine.read().query(&pref).unwrap().method,
+        MethodUsed::IpoTree
+    );
+
+    // Churn: value 1 overtakes value 0 (frequencies 1 → 4, 0 → 3) and the rebuild
+    // re-materializes. Value 0 is now rank 2 — inside the 2k hysteresis window — so the
+    // rebuilt tree keeps it and the preference stays on the tree path.
+    for x in [7.0, 8.0] {
+        engine.write().insert_row(&[x], &[1]).unwrap();
+    }
+    engine.rebuild_now().unwrap();
+    assert!(
+        engine.read().serves_from_tree(&pref),
+        "a displaced-but-close value must stay materialized across the rebuild"
+    );
+    let outcome = engine.read().query(&pref).unwrap();
+    assert_eq!(outcome.method, MethodUsed::IpoTree);
+    assert_eq!(outcome.skyline, live_oracle(&engine.read(), &pref));
+
+    // Heavier churn: value 2 overtakes too (2 → 5), pushing value 0 to rank 3 — outside the
+    // window. The rebuild demotes it and the engine falls back, still correctly.
+    for x in [9.0, 10.0, 11.0, 12.0] {
+        engine.write().insert_row(&[x], &[2]).unwrap();
+    }
+    engine.rebuild_now().unwrap();
+    assert!(!engine.read().serves_from_tree(&pref));
+    let outcome = engine.read().query(&pref).unwrap();
+    assert_eq!(outcome.method, MethodUsed::AdaptiveSfs);
+    assert_eq!(outcome.skyline, live_oracle(&engine.read(), &pref));
+}
