@@ -1,13 +1,20 @@
-//! Compiled dominance kernel vs. the reference `DominanceContext`, and serial vs. parallel
-//! template-skyline preprocessing, on the n=2000 hybrid-engine workload of `bench_throughput`.
+//! Compiled dominance kernel vs. the reference `DominanceContext`, the bit-parallel packed
+//! kernel vs. the scalar compiled walk, and serial vs. parallel template-skyline
+//! preprocessing, on the n=2000 hybrid-engine workload of `bench_throughput`.
 //!
-//! Both query arms run the *same* algorithm — score-sort the dataset under the query ranking,
+//! The query arms run the *same* algorithm — score-sort the dataset under the query ranking,
 //! then the SFS elimination scan — and differ only in the pairwise dominance implementation:
 //!
 //! * `legacy_context_scan` — [`DominanceContext`]: strided columnar lookups plus a
 //!   [`skyline_core::PartialOrder`] closure probe per nominal dimension;
-//! * `compiled_kernel_scan` — [`CompiledRelation`]: a shared row-major [`PointBlock`] plus
-//!   per-query closure bitmasks, compiled once per query.
+//! * `compiled_kernel_scan` — [`CompiledRelation`] under [`KernelMode::Scalar`]: a shared
+//!   row-major [`PointBlock`] plus per-query closure bitmasks, one window row at a time
+//!   (the PR 3 path, now the runtime fallback);
+//! * `packed_kernel_scan` — the same relation under [`KernelMode::Packed`]: 64-row lane
+//!   blocks tested with `u64` mask algebra.
+//!
+//! `merge_skylines_{packed,scalar}` measure the cross-fragment merge operator the sharded
+//! service gathers with, on 8-way fragment skylines of the same workload.
 //!
 //! The build arms compare `AdaptiveSfs::build_with_workers(…, 1)` against the chunked
 //! divide-and-conquer scan on all available cores (identical output, asserted by the
@@ -17,6 +24,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use skyline::prelude::*;
 use skyline_core::algo::sfs;
+use skyline_core::{merge_skylines, with_kernel_mode, KernelMode};
 use std::hint::black_box;
 use std::num::NonZeroUsize;
 use std::sync::Arc;
@@ -118,17 +126,62 @@ fn bench_kernel(c: &mut Criterion) {
         })
     });
 
+    let kernel_scan = |w: &Workload, sorted: &[Vec<PointId>]| {
+        scan_all(
+            w,
+            |pref| {
+                CompiledRelation::for_query(w.block.clone(), w.data.schema(), &w.template, pref)
+                    .expect("workload preferences are valid")
+            },
+            sorted,
+        )
+    };
+
     group.bench_function("compiled_kernel_scan", |b| {
-        b.iter(|| {
-            black_box(scan_all(
-                &w,
-                |pref| {
-                    CompiledRelation::for_query(w.block.clone(), w.data.schema(), &w.template, pref)
-                        .expect("workload preferences are valid")
-                },
-                &sorted,
-            ))
+        b.iter(|| with_kernel_mode(KernelMode::Scalar, || black_box(kernel_scan(&w, &sorted))))
+    });
+
+    group.bench_function("packed_kernel_scan", |b| {
+        b.iter(|| with_kernel_mode(KernelMode::Packed, || black_box(kernel_scan(&w, &sorted))))
+    });
+
+    // The cross-fragment merge operator on 8-way splits: per query, the fragments'
+    // skylines are precomputed (that part belongs to the shards), so the arm isolates the
+    // gather-side elimination the sharded service runs on every scatter-gather.
+    let merge_inputs: Vec<(CompiledRelation, Vec<Vec<PointId>>)> = w
+        .queries
+        .iter()
+        .take(12)
+        .map(|pref| {
+            let rel =
+                CompiledRelation::for_query(w.block.clone(), w.data.schema(), &w.template, pref)
+                    .expect("workload preferences are valid");
+            let fragments: Vec<Vec<PointId>> = (0..8)
+                .map(|s| {
+                    let rows: Vec<PointId> =
+                        (0..TUPLES as PointId).filter(|p| p % 8 == s).collect();
+                    skyline_core::algo::bnl::skyline_of(&rel, &rows)
+                })
+                .collect();
+            (rel, fragments)
         })
+        .collect();
+    let merge_all = |inputs: &[(CompiledRelation, Vec<Vec<PointId>>)]| -> usize {
+        inputs
+            .iter()
+            .map(|(rel, fragments)| {
+                let views: Vec<&[PointId]> = fragments.iter().map(Vec::as_slice).collect();
+                merge_skylines(rel, &views).len()
+            })
+            .sum()
+    };
+
+    group.bench_function("merge_skylines_packed", |b| {
+        b.iter(|| with_kernel_mode(KernelMode::Packed, || black_box(merge_all(&merge_inputs))))
+    });
+
+    group.bench_function("merge_skylines_scalar", |b| {
+        b.iter(|| with_kernel_mode(KernelMode::Scalar, || black_box(merge_all(&merge_inputs))))
     });
 
     group.bench_function("asfs_build_serial", |b| {
@@ -155,9 +208,10 @@ fn bench_kernel(c: &mut Criterion) {
 
     // Extra measured passes reporting the acceptance numbers alongside the timings: three
     // interleaved rounds per arm, best-of taken, so a single noisy pass cannot skew the
-    // printed (and locally asserted) speedup.
+    // printed (and locally asserted) speedups.
     let mut legacy = std::time::Duration::MAX;
     let mut compiled = std::time::Duration::MAX;
+    let mut packed = std::time::Duration::MAX;
     for _ in 0..3 {
         let started = std::time::Instant::now();
         let legacy_total = scan_all(
@@ -167,27 +221,31 @@ fn bench_kernel(c: &mut Criterion) {
         );
         legacy = legacy.min(started.elapsed());
         let started = std::time::Instant::now();
-        let compiled_total = scan_all(
-            &w,
-            |pref| {
-                CompiledRelation::for_query(w.block.clone(), w.data.schema(), &w.template, pref)
-                    .unwrap()
-            },
-            &sorted,
-        );
+        let compiled_total = with_kernel_mode(KernelMode::Scalar, || kernel_scan(&w, &sorted));
         compiled = compiled.min(started.elapsed());
+        let started = std::time::Instant::now();
+        let packed_total = with_kernel_mode(KernelMode::Packed, || kernel_scan(&w, &sorted));
+        packed = packed.min(started.elapsed());
         assert_eq!(
             legacy_total, compiled_total,
             "kernel and reference must produce identical skylines"
         );
+        assert_eq!(
+            compiled_total, packed_total,
+            "packed and scalar kernels must produce identical skylines"
+        );
     }
     let speedup = legacy.as_secs_f64() / compiled.as_secs_f64();
+    let packed_speedup = compiled.as_secs_f64() / packed.as_secs_f64();
     println!(
         "  summary: {QUERIES} queries at n={TUPLES} ({cores} cores); \
          compiled kernel speedup {speedup:.1}x over DominanceContext \
-         (legacy {:.1}ms, compiled {:.1}ms)",
+         (legacy {:.1}ms, compiled {:.1}ms); \
+         packed kernel speedup {packed_speedup:.2}x over the scalar walk \
+         (packed {:.1}ms)",
         legacy.as_secs_f64() * 1e3,
         compiled.as_secs_f64() * 1e3,
+        packed.as_secs_f64() * 1e3,
     );
     // Hard-assert only on full local runs; the CI smoke job (SKYLINE_BENCH_SAMPLES set) runs
     // on noisy shared runners where a hard perf gate would flake.
@@ -196,8 +254,17 @@ fn bench_kernel(c: &mut Criterion) {
             speedup > 1.5,
             "compiled kernel must clearly beat the reference path, got {speedup:.2}x"
         );
-    } else if speedup < 1.0 {
-        println!("::warning title=kernel bench::compiled kernel slower than reference ({speedup:.2}x) in this smoke run");
+        assert!(
+            packed_speedup >= 1.3,
+            "packed kernel must beat the scalar compiled walk by 1.3x, got {packed_speedup:.2}x"
+        );
+    } else {
+        if speedup < 1.0 {
+            println!("::warning title=kernel bench::compiled kernel slower than reference ({speedup:.2}x) in this smoke run");
+        }
+        if packed_speedup < 1.0 {
+            println!("::warning title=kernel bench::packed kernel slower than the scalar walk ({packed_speedup:.2}x) in this smoke run");
+        }
     }
 }
 

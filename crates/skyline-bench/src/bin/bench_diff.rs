@@ -1,16 +1,28 @@
 //! Diffs a freshly produced `BENCH_<sha>.json` perf report against the checked-in
-//! `BENCH_baseline.json` and prints warnings — never failures — for regressions.
+//! `BENCH_baseline.json`.
 //!
 //! ```text
+//! # advisory mode: regressions become ::warning:: annotations, exit 0
 //! cargo run -p skyline-bench --bin bench_diff -- BENCH_baseline.json BENCH_abc123.json
+//!
+//! # gate mode (what CI runs): un-allowlisted regressions become ::error:: and exit 1
+//! cargo run -p skyline-bench --bin bench_diff -- \
+//!     --gate --allowlist BENCH_allowlist.txt BENCH_baseline.json BENCH_abc123.json
 //! ```
 //!
-//! Exit code is non-zero only when a report file cannot be read or parsed at all; timing
-//! regressions emit GitHub `::warning::` annotations (visible on the job summary) and exit 0,
-//! because shared CI runners are far too noisy for hard perf gates.
+//! Gate mode fails on a mean regression beyond the threshold (default
+//! [`skyline_bench::perf::REGRESSION_RATIO`], overridable per bench in the allowlist), and
+//! on baseline benchmarks missing from the run. Benchmarks whose baseline mean sits under
+//! the ~1 ms duration floor stay warn-only — on the two-sample smoke budget their variance
+//! is scheduler noise, and a hard gate there would only teach people to ignore red builds.
+//! All policy lives in unit-tested code in [`skyline_bench::perf`]; this binary just wires
+//! files to it.
 
-use skyline_bench::perf::{diff_reports, parse_report, BenchRecord};
+use skyline_bench::perf::{diff_reports, parse_allowlist, parse_report, BenchRecord, Gate};
 use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: bench_diff [--gate] [--allowlist <file>] <baseline.json> <current.json>";
 
 fn load(path: &str) -> Result<Vec<BenchRecord>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -21,29 +33,88 @@ fn load(path: &str) -> Result<Vec<BenchRecord>, String> {
     Ok(records)
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let [baseline_path, current_path] = args.as_slice() else {
-        eprintln!("usage: bench_diff <baseline.json> <current.json>");
-        return ExitCode::FAILURE;
-    };
-    let (baseline, current) = match (load(baseline_path), load(current_path)) {
-        (Ok(b), Ok(c)) => (b, c),
-        (b, c) => {
-            for err in [b.err(), c.err()].into_iter().flatten() {
-                eprintln!("bench_diff: {err}");
+struct Args {
+    gate: bool,
+    allowlist: Option<String>,
+    baseline: String,
+    current: String,
+}
+
+fn parse_args(argv: Vec<String>) -> Result<Args, String> {
+    let mut gate = false;
+    let mut allowlist = None;
+    let mut positional = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--gate" => gate = true,
+            "--allowlist" => {
+                allowlist = Some(it.next().ok_or("--allowlist needs a file path")?);
             }
-            return ExitCode::FAILURE;
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            _ => positional.push(arg),
         }
+    }
+    let [baseline, current] = <[String; 2]>::try_from(positional)
+        .map_err(|got| format!("expected 2 report paths, got {}", got.len()))?;
+    Ok(Args {
+        gate,
+        allowlist,
+        baseline,
+        current,
+    })
+}
+
+fn run() -> Result<bool, String> {
+    let args =
+        parse_args(std::env::args().skip(1).collect()).map_err(|e| format!("{e}\n{USAGE}"))?;
+    let baseline = load(&args.baseline)?;
+    let current = load(&args.current)?;
+    let gate = Gate {
+        allowlist: match &args.allowlist {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                parse_allowlist(&text)?
+            }
+            None => Default::default(),
+        },
+        ..Gate::default()
     };
 
     let diff = diff_reports(&baseline, &current);
-    // Both the table (with explicit "new"/"missing" lines) and the GitHub `::warning::`
-    // annotations are rendered by unit-tested code in `skyline_bench::perf`; annotations show
-    // up on the workflow summary but never fail it.
-    print!("{}", diff.format_report(baseline_path));
-    for warning in diff.warning_annotations() {
-        println!("{warning}");
+    print!("{}", diff.format_report(&args.baseline));
+
+    if !args.gate {
+        // Advisory mode: annotations show up on the workflow summary but never fail it.
+        for warning in diff.warning_annotations() {
+            println!("{warning}");
+        }
+        return Ok(true);
     }
-    ExitCode::SUCCESS
+
+    let findings = gate.evaluate(&diff);
+    for finding in &findings {
+        println!("{}", finding.annotation());
+    }
+    let failures = findings.iter().filter(|f| f.is_failure()).count();
+    if failures > 0 {
+        eprintln!(
+            "bench_diff: gate FAILED with {failures} finding(s); intentional regressions \
+             belong in BENCH_allowlist.txt with a comment, refreshed baselines in \
+             BENCH_baseline.json"
+        );
+    }
+    Ok(failures == 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(err) => {
+            eprintln!("bench_diff: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -3,17 +3,29 @@
 //! The vendored criterion shim appends one JSON line per finished benchmark
 //! (`{"bench": …, "samples": …, "min_ns": …, "mean_ns": …}`) to the file named by
 //! `SKYLINE_BENCH_JSON`. CI uploads one such report per commit and diffs it against the
-//! checked-in `BENCH_baseline.json` with the `bench_diff` binary — **warning-only**: timing
-//! noise on shared runners must never fail a build, but a >25 % mean regression should be
-//! visible in the job log.
+//! checked-in `BENCH_baseline.json` with the `bench_diff` binary running as a **hard gate**
+//! (`--gate`): an un-allowlisted mean regression beyond the threshold fails the job. Three
+//! escape hatches keep the gate honest instead of flaky:
+//!
+//! * a **duration floor** ([`Gate::floor_ns`]) — benchmarks whose *baseline* mean is under
+//!   ~1 ms are warn-only, because at the smoke job's two-sample budget their variance is
+//!   dominated by scheduler noise, not code;
+//! * an **allowlist file** (`BENCH_allowlist.txt`, parsed by [`parse_allowlist`]) — a bare
+//!   benchmark name waives it entirely (an intentional, explained regression), a name plus
+//!   ratio sets a per-benchmark threshold that replaces the default for known-noisy entries;
+//! * baseline benchmarks **missing** from the current run fail the gate too (unless
+//!   allowlisted), so a regression cannot hide by renaming or deleting its benchmark.
 //!
 //! No `serde` in this workspace (offline vendored dependencies only), so the single line
 //! shape the shim emits is parsed by hand.
 
 use std::collections::BTreeMap;
 
-/// Mean-time ratio (current / baseline) above which a benchmark counts as regressed.
+/// Default mean-time ratio (current / baseline) above which a benchmark counts as regressed.
 pub const REGRESSION_RATIO: f64 = 1.25;
+
+/// Default [`Gate::floor_ns`]: baseline means under 1 ms gate warn-only.
+pub const GATE_FLOOR_NS: u128 = 1_000_000;
 
 /// One benchmark measurement from a perf report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -193,6 +205,221 @@ impl Diff {
     }
 }
 
+/// Allowlist for the hard gate, keyed by benchmark name. `None` waives the benchmark
+/// outright (an intentional regression); `Some(ratio)` replaces the default threshold for
+/// that benchmark only (a known-noisy entry that needs more headroom).
+pub type Allowlist = BTreeMap<String, Option<f64>>;
+
+/// Parses a `BENCH_allowlist.txt` file. One entry per line:
+///
+/// ```text
+/// group/bench-name              # waived outright: any slowdown is accepted
+/// group/noisy-bench  1.60       # per-bench threshold: fails only beyond 1.60x
+/// ```
+///
+/// `#` starts a comment, blank lines are skipped. Unlike the advisory perf reports, a
+/// malformed allowlist line is a hard error — a typo here would silently re-arm (or
+/// silently waive) a gate, which is exactly what the file exists to make explicit.
+pub fn parse_allowlist(text: &str) -> Result<Allowlist, String> {
+    let mut out = Allowlist::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let bench = fields.next().expect("non-empty line has a first token");
+        let ratio = match fields.next() {
+            None => None,
+            Some(token) => match token.parse::<f64>() {
+                Ok(r) if r >= 1.0 => Some(r),
+                Ok(r) => {
+                    return Err(format!(
+                        "allowlist line {}: ratio {r} for {bench} must be >= 1.0",
+                        idx + 1
+                    ))
+                }
+                Err(_) => {
+                    return Err(format!(
+                        "allowlist line {}: cannot parse ratio {token:?} for {bench}",
+                        idx + 1
+                    ))
+                }
+            },
+        };
+        if fields.next().is_some() {
+            return Err(format!(
+                "allowlist line {}: expected `<bench> [max-ratio]`, got extra fields in {line:?}",
+                idx + 1
+            ));
+        }
+        if out.insert(bench.to_string(), ratio).is_some() {
+            return Err(format!(
+                "allowlist line {}: duplicate entry for {bench}",
+                idx + 1
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Policy for the hard regression gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    /// Threshold for benchmarks without a per-bench allowlist ratio.
+    pub default_ratio: f64,
+    /// Baseline means below this floor gate warn-only: at the smoke job's two-sample
+    /// budget, sub-millisecond benchmarks measure scheduler noise, not code. The floor
+    /// applies even to benchmarks carrying a per-bench allowlist ratio.
+    pub floor_ns: u128,
+    /// Per-benchmark waivers and threshold overrides.
+    pub allowlist: Allowlist,
+}
+
+impl Default for Gate {
+    fn default() -> Self {
+        Gate {
+            default_ratio: REGRESSION_RATIO,
+            floor_ns: GATE_FLOOR_NS,
+            allowlist: Allowlist::new(),
+        }
+    }
+}
+
+/// One gate verdict worth surfacing. Only [`GateFinding::is_failure`] variants fail the
+/// build; the rest become `::warning::` annotations so waived or floored slowdowns stay
+/// visible in the job log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateFinding {
+    /// Hard failure: over the effective threshold, above the floor, not waived.
+    Regression {
+        /// Benchmark label.
+        bench: String,
+        /// `current / baseline` mean ratio.
+        ratio: f64,
+        /// The threshold it exceeded (default or per-bench).
+        limit: f64,
+        /// Baseline mean in nanoseconds.
+        baseline_mean_ns: u128,
+        /// Current mean in nanoseconds.
+        current_mean_ns: u128,
+    },
+    /// Hard failure: in the baseline, absent from this run, not allowlisted. Without this a
+    /// regression could pass the gate by renaming or deleting its benchmark.
+    Missing {
+        /// Benchmark label.
+        bench: String,
+    },
+    /// Warn-only: over the threshold, but the baseline mean sits under [`Gate::floor_ns`].
+    BelowFloor {
+        /// Benchmark label.
+        bench: String,
+        /// `current / baseline` mean ratio.
+        ratio: f64,
+    },
+    /// Warn-only: over the default threshold, but waived by a bare allowlist entry.
+    Waived {
+        /// Benchmark label.
+        bench: String,
+        /// `current / baseline` mean ratio.
+        ratio: f64,
+    },
+}
+
+impl GateFinding {
+    /// True for the variants that fail the build.
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            GateFinding::Regression { .. } | GateFinding::Missing { .. }
+        )
+    }
+
+    /// The GitHub Actions annotation line for this finding: `::error::` for failures,
+    /// `::warning::` for waived or floored slowdowns.
+    pub fn annotation(&self) -> String {
+        match self {
+            GateFinding::Regression {
+                bench,
+                ratio,
+                limit,
+                baseline_mean_ns,
+                current_mean_ns,
+            } => format!(
+                "::error title=bench regression::{bench} mean {:.0}% over baseline \
+                 ({baseline_mean_ns}ns -> {current_mean_ns}ns, limit {limit:.2}x); add to \
+                 BENCH_allowlist.txt with a justification if intentional",
+                (ratio - 1.0) * 100.0
+            ),
+            GateFinding::Missing { bench } => format!(
+                "::error title=bench coverage::{bench} is in the baseline but missing from \
+                 this run; update BENCH_baseline.json (or allowlist it) when renaming or \
+                 removing a benchmark"
+            ),
+            GateFinding::BelowFloor { bench, ratio } => format!(
+                "::warning title=bench regression (sub-floor)::{bench} mean {:.0}% over \
+                 baseline, under the duration floor — smoke-sample variance, warn-only",
+                (ratio - 1.0) * 100.0
+            ),
+            GateFinding::Waived { bench, ratio } => format!(
+                "::warning title=bench regression (waived)::{bench} mean {:.0}% over \
+                 baseline, waived by BENCH_allowlist.txt",
+                (ratio - 1.0) * 100.0
+            ),
+        }
+    }
+}
+
+impl Gate {
+    /// Evaluates the gate over a diff. Returns every finding worth surfacing, failures
+    /// first within name order of the underlying diff.
+    pub fn evaluate(&self, diff: &Diff) -> Vec<GateFinding> {
+        let mut findings = Vec::new();
+        for c in &diff.compared {
+            match self.allowlist.get(&c.bench) {
+                Some(None) => {
+                    // Bare entry: waived outright, but keep it visible while it regresses.
+                    if c.ratio > self.default_ratio {
+                        findings.push(GateFinding::Waived {
+                            bench: c.bench.clone(),
+                            ratio: c.ratio,
+                        });
+                    }
+                }
+                entry => {
+                    let limit = entry.and_then(|r| *r).unwrap_or(self.default_ratio);
+                    if c.ratio <= limit {
+                        continue;
+                    }
+                    if c.baseline_mean_ns < self.floor_ns {
+                        findings.push(GateFinding::BelowFloor {
+                            bench: c.bench.clone(),
+                            ratio: c.ratio,
+                        });
+                    } else {
+                        findings.push(GateFinding::Regression {
+                            bench: c.bench.clone(),
+                            ratio: c.ratio,
+                            limit,
+                            baseline_mean_ns: c.baseline_mean_ns,
+                            current_mean_ns: c.current_mean_ns,
+                        });
+                    }
+                }
+            }
+        }
+        for bench in &diff.only_in_baseline {
+            if !self.allowlist.contains_key(bench) {
+                findings.push(GateFinding::Missing {
+                    bench: bench.clone(),
+                });
+            }
+        }
+        findings.sort_by_key(|f| !f.is_failure());
+        findings
+    }
+}
+
 /// Diffs two parsed reports by benchmark name.
 pub fn diff_reports(baseline: &[BenchRecord], current: &[BenchRecord]) -> Diff {
     let base: BTreeMap<&str, &BenchRecord> =
@@ -302,6 +529,123 @@ not json at all
         let clean = diff_reports(&baseline, &baseline);
         assert!(clean.warning_annotations().is_empty());
         assert!(!clean.format_report("b").contains("NOT in this run"));
+    }
+
+    #[test]
+    fn allowlist_parses_waivers_thresholds_and_comments() {
+        let allow = parse_allowlist(
+            "# perf waivers\n\
+             \n\
+             group/waived                 # slower on purpose since the rework\n\
+             group/noisy  1.60            # tiny kernel, needs headroom\n",
+        )
+        .unwrap();
+        assert_eq!(allow.len(), 2);
+        assert_eq!(allow["group/waived"], None);
+        assert_eq!(allow["group/noisy"], Some(1.6));
+
+        // Malformed lines are hard errors, not silently ignored entries.
+        assert!(parse_allowlist("group/a not-a-number").is_err());
+        assert!(parse_allowlist("group/a 0.5").is_err(), "ratio below 1.0");
+        assert!(parse_allowlist("group/a 1.5 extra").is_err());
+        assert!(
+            parse_allowlist("group/a\ngroup/a 1.5").is_err(),
+            "duplicate"
+        );
+        assert!(parse_allowlist("# only comments\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn gate_fails_unallowlisted_regressions_and_missing_benches() {
+        let baseline = parse_report(
+            r#"{"bench":"big/regressed","samples":5,"min_ns":2000000,"mean_ns":2000000}
+{"bench":"big/steady","samples":5,"min_ns":2000000,"mean_ns":2000000}
+{"bench":"big/waived","samples":5,"min_ns":2000000,"mean_ns":2000000}
+{"bench":"big/noisy","samples":5,"min_ns":2000000,"mean_ns":2000000}
+{"bench":"tiny/jittery","samples":5,"min_ns":500,"mean_ns":500}
+{"bench":"gone/deleted","samples":5,"min_ns":2000000,"mean_ns":2000000}
+{"bench":"gone/renamed","samples":5,"min_ns":2000000,"mean_ns":2000000}"#,
+        );
+        let current = parse_report(
+            r#"{"bench":"big/regressed","samples":5,"min_ns":3000000,"mean_ns":3000000}
+{"bench":"big/steady","samples":5,"min_ns":2100000,"mean_ns":2100000}
+{"bench":"big/waived","samples":5,"min_ns":9000000,"mean_ns":9000000}
+{"bench":"big/noisy","samples":5,"min_ns":3000000,"mean_ns":3000000}
+{"bench":"tiny/jittery","samples":5,"min_ns":2000,"mean_ns":2000}"#,
+        );
+        let gate = Gate {
+            allowlist: parse_allowlist(
+                "big/waived          # intentional: correctness fix\n\
+                 big/noisy   1.60    # known-noisy, wider band\n\
+                 gone/renamed        # renamed in this PR",
+            )
+            .unwrap(),
+            ..Gate::default()
+        };
+        let findings = gate.evaluate(&diff_reports(&baseline, &current));
+
+        let failures: Vec<&GateFinding> = findings.iter().filter(|f| f.is_failure()).collect();
+        assert_eq!(failures.len(), 2, "findings: {findings:?}");
+        // +50% un-allowlisted on a >1ms bench fails; the deleted bench fails coverage.
+        assert!(matches!(
+            failures[0],
+            GateFinding::Regression { bench, ratio, .. }
+                if bench == "big/regressed" && (*ratio - 1.5).abs() < 1e-9
+        ));
+        assert!(matches!(
+            failures[1],
+            GateFinding::Missing { bench } if bench == "gone/deleted"
+        ));
+
+        // +5% on a steady bench is inside the default band: no finding at all.
+        assert!(findings
+            .iter()
+            .all(|f| !f.annotation().contains("big/steady")));
+        // The waiver and the 4x sub-floor jitter surface as warnings, not failures.
+        assert!(findings.iter().any(|f| matches!(
+            f,
+            GateFinding::Waived { bench, .. } if bench == "big/waived"
+        )));
+        assert!(findings.iter().any(|f| matches!(
+            f,
+            GateFinding::BelowFloor { bench, .. } if bench == "tiny/jittery"
+        )));
+        // +50% on the per-bench 1.60x band stays green entirely.
+        assert!(findings
+            .iter()
+            .all(|f| !f.annotation().contains("big/noisy")));
+
+        let annotations: Vec<String> = findings.iter().map(GateFinding::annotation).collect();
+        assert!(annotations[0].starts_with("::error title=bench regression::"));
+        assert!(annotations[1].starts_with("::error title=bench coverage::"));
+        assert!(annotations[2..].iter().all(|a| a.starts_with("::warning")));
+    }
+
+    #[test]
+    fn gate_passes_clean_and_respects_per_bench_limit() {
+        let baseline =
+            parse_report(r#"{"bench":"big/noisy","samples":5,"min_ns":2000000,"mean_ns":2000000}"#);
+        let current =
+            parse_report(r#"{"bench":"big/noisy","samples":5,"min_ns":3400000,"mean_ns":3400000}"#);
+        let diff = diff_reports(&baseline, &current);
+        // Identical runs: nothing to report at all.
+        assert!(Gate::default()
+            .evaluate(&diff_reports(&baseline, &baseline))
+            .is_empty());
+        // 1.7x trips the default gate but also the widened per-bench one.
+        assert_eq!(
+            Gate::default()
+                .evaluate(&diff)
+                .iter()
+                .filter(|f| f.is_failure())
+                .count(),
+            1
+        );
+        let widened = Gate {
+            allowlist: parse_allowlist("big/noisy 1.80").unwrap(),
+            ..Gate::default()
+        };
+        assert!(widened.evaluate(&diff).is_empty());
     }
 
     #[test]

@@ -22,8 +22,12 @@ pub fn skyline(ctx: &DominanceContext<'_>) -> Vec<PointId> {
 
 /// Computes the skyline of an arbitrary subset of points under any [`Dominance`]
 /// implementation (the reference context or the compiled kernel).
+///
+/// Dispatches through [`Dominance::bnl_skyline`], so the compiled kernel runs its
+/// bit-parallel packed window here; the stats variant below keeps the generic reference
+/// loop (its per-test counters are meaningless for a mask-algebra walk).
 pub fn skyline_of<D: Dominance + ?Sized>(ctx: &D, points: &[PointId]) -> Vec<PointId> {
-    skyline_of_with_stats(ctx, points).0
+    ctx.bnl_skyline(points)
 }
 
 /// Computes the skyline of a subset and reports work counters.

@@ -20,7 +20,8 @@
 //! candidates yields a score-sorted skyline (what the SFS machinery relies on).
 
 use crate::error::{Result, SkylineError};
-use crate::kernel::{CompiledOrder, CompiledRelation};
+use crate::kernel::{kernel_mode, CompiledOrder, CompiledRelation, KernelMode};
+use crate::lanes::PackedLanes;
 use crate::value::{PointId, ValueId};
 
 /// Merges per-fragment skylines of disjoint row sets of one block into the skyline of their
@@ -36,14 +37,67 @@ pub fn merge_skylines(relation: &CompiledRelation, fragments: &[&[PointId]]) -> 
     for fragment in fragments {
         candidates.extend_from_slice(fragment);
     }
-    let alive = eliminate(candidates.len(), |p, q| {
-        relation.dominates(candidates[p], candidates[q])
-    });
+    let block = relation.block();
+    let alive = if kernel_mode() == KernelMode::Packed {
+        packed_eliminate(
+            relation.orders(),
+            block.numeric_dims(),
+            candidates.len(),
+            |c| block.numeric_row(candidates[c]),
+            |c| block.nominal_row(candidates[c]),
+        )
+    } else {
+        eliminate(candidates.len(), |p, q| {
+            relation.dominates(candidates[p], candidates[q])
+        })
+    };
     candidates
         .into_iter()
         .zip(alive)
         .filter_map(|(p, keep)| keep.then_some(p))
         .collect()
+}
+
+/// The bit-parallel form of [`eliminate`]: all candidates are packed into 64-row lane
+/// blocks up front, then each surviving candidate probes the lanes **strictly before its
+/// own** (a prefix `limit`) for a dominator and, failing that, mask-evicts the earlier
+/// lanes it dominates. Equivalent to the scalar interleaved loop: if an earlier survivor
+/// `k` dominates `c`, transitivity puts anything `c` could kill inside `k`'s kill set, and
+/// `k` already cleared it on its own turn.
+fn packed_eliminate<'a>(
+    orders: &[CompiledOrder],
+    numeric_dims: usize,
+    n: usize,
+    numeric_row: impl Fn(usize) -> &'a [f64],
+    nominal_row: impl Fn(usize) -> &'a [ValueId],
+) -> Vec<bool> {
+    let mut lanes = PackedLanes::default();
+    lanes.reset(numeric_dims, orders.len());
+    let mut probe: Vec<u16> = Vec::with_capacity(orders.len() * 2);
+    let stage_probe = |probe: &mut Vec<u16>, c: usize| {
+        probe.clear();
+        for (order, &v) in orders.iter().zip(nominal_row(c)) {
+            probe.push(v);
+            probe.push(order.layer(v));
+        }
+    };
+    for c in 0..n {
+        stage_probe(&mut probe, c);
+        lanes.push(numeric_row(c), &probe);
+    }
+    for c in 0..n {
+        if !lanes.is_valid(c) {
+            continue;
+        }
+        stage_probe(&mut probe, c);
+        let pn = numeric_row(c);
+        if lanes.first_dominator(orders, pn, &probe, c).is_some() {
+            lanes.clear_valid(c);
+        } else {
+            lanes.clear_dominated_by(orders, pn, &probe, c);
+        }
+    }
+    (0..n).map(|c| lanes.is_valid(c)).collect()
 }
 
 /// The shared cross-candidate elimination: index `c` dies when an earlier survivor dominates
@@ -149,7 +203,17 @@ impl SkylineMerger {
     /// Runs the cross-source elimination and returns the surviving `(source, id)` tags in
     /// push order. The merger is left empty, ready for the next query.
     pub fn merge(&mut self) -> Vec<(usize, PointId)> {
-        let alive = eliminate(self.tags.len(), |p, q| self.dominates(p, q));
+        let alive = if kernel_mode() == KernelMode::Packed {
+            packed_eliminate(
+                &self.orders,
+                self.numeric_dims,
+                self.tags.len(),
+                |c| self.numeric_row(c),
+                |c| self.nominal_row(c),
+            )
+        } else {
+            eliminate(self.tags.len(), |p, q| self.dominates(p, q))
+        };
         let survivors = self
             .tags
             .iter()

@@ -54,6 +54,50 @@ pub trait Dominance {
     fn dominated_by_any(&self, p: PointId, candidates: &[PointId]) -> bool {
         self.first_dominator(p, candidates).is_some()
     }
+
+    /// Computes the BNL skyline of `points` (sorted ascending by id).
+    ///
+    /// The default is the classic window loop over [`Dominance::dominates`]; the compiled
+    /// kernel overrides it with the bit-parallel packed window, whose eviction step needs
+    /// validity masks the generic [`Dominance::Window`] API does not expose. Algorithms call
+    /// this through [`crate::algo::bnl::skyline_of`], so every caller gets whichever inner
+    /// loop the implementation (and the active [`crate::kernel::KernelMode`]) provides.
+    fn bnl_skyline(&self, points: &[PointId]) -> Vec<PointId> {
+        generic_bnl_skyline(self, points)
+    }
+}
+
+/// The classic BNL window loop, shared by the trait default and the compiled kernel's
+/// scalar-mode fallback: each candidate is dropped at its first dominator, otherwise evicts
+/// every window member it dominates and joins the window.
+pub(crate) fn generic_bnl_skyline<D: Dominance + ?Sized>(
+    ctx: &D,
+    points: &[PointId],
+) -> Vec<PointId> {
+    let mut window: Vec<PointId> = Vec::new();
+    for &p in points {
+        let mut dominated = false;
+        let mut evict = Vec::new();
+        for (i, &w) in window.iter().enumerate() {
+            if ctx.dominates(w, p) {
+                dominated = true;
+                break;
+            }
+            if ctx.dominates(p, w) {
+                evict.push(i);
+            }
+        }
+        if dominated {
+            continue;
+        }
+        // Remove evicted window entries from the back so indexes stay valid.
+        for &i in evict.iter().rev() {
+            window.swap_remove(i);
+        }
+        window.push(p);
+    }
+    window.sort_unstable();
+    window
 }
 
 /// Outcome of comparing two points under a dominance relation.

@@ -31,11 +31,71 @@
 use crate::dataset::Dataset;
 use crate::dominance::{DomRelation, Dominance, DominanceContext};
 use crate::error::{Result, SkylineError};
+use crate::lanes::PackedLanes;
 use crate::order::{PartialOrder, Preference, Template};
 use crate::schema::Schema;
 use crate::value::{PointId, ValueId};
+use std::cell::Cell;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Which dominance inner loop the compiled kernel runs.
+///
+/// Both modes are behaviourally identical (the `kernel_equivalence` property suite pins them
+/// pair-for-pair against the reference [`DominanceContext`]); the choice is purely a
+/// performance/debuggability trade:
+///
+/// * [`KernelMode::Packed`] (the default) runs the bit-parallel window: accepted rows are
+///   packed 64 to a block and one pass of `u64` mask algebra tests the candidate against all
+///   of them at once;
+/// * [`KernelMode::Scalar`] keeps the PR 3 compiled walk — one row at a time with an early
+///   out per dimension — as the fallback for bisection, for sanitizer runs, and for the CI
+///   leg that keeps the fallback from rotting.
+///
+/// The process-wide default comes from the `SKYLINE_KERNEL` environment variable (`scalar`
+/// selects the fallback, anything else the packed kernel), read once on first use. Tests and
+/// benches that need both modes in one process use [`with_kernel_mode`], which overrides the
+/// default for the calling thread only — worker threads spawned by parallel builds consult
+/// the process-wide default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Bit-parallel 64-lane window walk (the default).
+    Packed,
+    /// Row-at-a-time compiled walk (the PR 3 path), kept as the runtime fallback.
+    Scalar,
+}
+
+fn env_kernel_mode() -> KernelMode {
+    static MODE: OnceLock<KernelMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("SKYLINE_KERNEL") {
+        Ok(v) if v.eq_ignore_ascii_case("scalar") => KernelMode::Scalar,
+        _ => KernelMode::Packed,
+    })
+}
+
+thread_local! {
+    static MODE_OVERRIDE: Cell<Option<KernelMode>> = const { Cell::new(None) };
+}
+
+/// The kernel mode in effect on the calling thread: the innermost [`with_kernel_mode`]
+/// override if one is active, else the process-wide `SKYLINE_KERNEL` default.
+pub fn kernel_mode() -> KernelMode {
+    MODE_OVERRIDE.get().unwrap_or_else(env_kernel_mode)
+}
+
+/// Runs `f` with the calling thread's kernel mode forced to `mode`, restoring the previous
+/// override afterwards (also on panic). This is how equivalence tests and benches compare
+/// both inner loops inside one process; it does not affect other threads.
+pub fn with_kernel_mode<T>(mode: KernelMode, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<KernelMode>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MODE_OVERRIDE.set(self.0);
+        }
+    }
+    let _restore = Restore(MODE_OVERRIDE.replace(Some(mode)));
+    f()
+}
 
 /// Version counter of a mutable dataset: every row insertion or logical deletion bumps it.
 ///
@@ -511,7 +571,24 @@ pub struct DenseWindow {
     /// Per-call scratch holding the candidate point's `(id, rank)` pairs.
     probe: Vec<u16>,
     len: usize,
+    /// The bit-parallel form of the window, populated instead of `nums`/`noms` when the
+    /// window was reset under [`KernelMode::Packed`].
+    lanes: PackedLanes,
+    /// Member point ids, lane-aligned with `lanes`; only maintained in packed mode, where
+    /// the scalar-peek prefix test needs to reach back to the block rows.
+    members: Vec<PointId>,
+    /// Which representation this window was bound to at the last reset.
+    packed: bool,
 }
+
+/// How many leading window members the packed probes test with the scalar pairwise kernel
+/// before falling into 64-lane mask algebra. Score-sorted scans kill most candidates with
+/// the first handful of accepted rows (on the all-nominal Nursery workload, usually the
+/// very first); the scalar test early-exits on the first worse dimension, while a packed
+/// pass always pays full mask passes over every dimension of a 64-lane block. The peek
+/// keeps quickly-dominated candidates at scalar cost and leaves deep survivors — where the
+/// window is long and lane parallelism wins — to the packed walk.
+const WINDOW_PEEK: usize = 8;
 
 impl DenseWindow {
     /// Number of points in the window.
@@ -892,13 +969,27 @@ impl Dominance for CompiledRelation {
         window.nominal_dims = self.block.nominal_dims();
         window.nums.clear();
         window.noms.clear();
+        window.members.clear();
         window.len = 0;
+        window.packed = kernel_mode() == KernelMode::Packed;
+        if window.packed {
+            window
+                .lanes
+                .reset(self.block.numeric_dims(), self.block.nominal_dims());
+        }
     }
 
     fn push_window(&self, window: &mut DenseWindow, p: PointId) {
         debug_assert_eq!(window.numeric_dims, self.block.numeric_dims());
-        window.nums.extend_from_slice(self.block.numeric_row(p));
-        self.extend_nominal_keys(&mut window.noms, p);
+        if window.packed {
+            window.probe.clear();
+            self.extend_nominal_keys(&mut window.probe, p);
+            window.lanes.push(self.block.numeric_row(p), &window.probe);
+            window.members.push(p);
+        } else {
+            window.nums.extend_from_slice(self.block.numeric_row(p));
+            self.extend_nominal_keys(&mut window.noms, p);
+        }
         window.len += 1;
     }
 
@@ -909,6 +1000,21 @@ impl Dominance for CompiledRelation {
         // Hoist the candidate's (id, rank) pairs once per call.
         window.probe.clear();
         self.extend_nominal_keys(&mut window.probe, p);
+        if window.packed {
+            // Scalar peek first (see [`WINDOW_PEEK`]): the leading accepted rows dominate
+            // most candidates, and the pairwise test exits on the first worse dimension.
+            for (i, &m) in window.members.iter().take(WINDOW_PEEK).enumerate() {
+                if CompiledRelation::dominates(self, m, p) {
+                    return Some(i);
+                }
+            }
+            return window.lanes.first_dominator(
+                &self.orders,
+                pn,
+                &window.probe,
+                window.lanes.len(),
+            );
+        }
         // Monomorphize the walk on the (small) numeric arity so the inner numeric loop fully
         // unrolls with no counters or per-row bounds checks, and on the all-ranked flag so
         // the common weak-order case runs with pure integer compares.
@@ -943,6 +1049,63 @@ impl Dominance for CompiledRelation {
     #[inline]
     fn first_dominator(&self, p: PointId, candidates: &[PointId]) -> Option<usize> {
         CompiledRelation::first_dominator(self, p, candidates)
+    }
+
+    /// BNL over the packed window: candidates stream through 64-lane blocks, the dominator
+    /// probe and the eviction sweep are both one pass of mask algebra per block, and evicted
+    /// rows just lose their validity bit (lanes are never reused, so a lane index stays
+    /// aligned with the side list of member ids). Falls back to the generic loop under
+    /// [`KernelMode::Scalar`].
+    fn bnl_skyline(&self, points: &[PointId]) -> Vec<PointId> {
+        if kernel_mode() == KernelMode::Scalar {
+            return crate::dominance::generic_bnl_skyline(self, points);
+        }
+        let mut lanes = PackedLanes::default();
+        lanes.reset(self.block.numeric_dims(), self.block.nominal_dims());
+        let mut members: Vec<PointId> = Vec::new();
+        let mut probe: Vec<u16> = Vec::with_capacity(self.block.nominal_dims() * 2);
+        // First still-valid lane; advances monotonically as evictions only clear bits.
+        let mut first_valid = 0usize;
+        'points: for &p in points {
+            // Scalar peek over the leading surviving members (see [`WINDOW_PEEK`]).
+            while first_valid < members.len() && !lanes.is_valid(first_valid) {
+                first_valid += 1;
+            }
+            let mut peeked = 0usize;
+            for (l, &m) in members.iter().enumerate().skip(first_valid) {
+                if peeked == WINDOW_PEEK {
+                    break;
+                }
+                if lanes.is_valid(l) {
+                    if CompiledRelation::dominates(self, m, p) {
+                        continue 'points;
+                    }
+                    peeked += 1;
+                }
+            }
+            probe.clear();
+            self.extend_nominal_keys(&mut probe, p);
+            let pn = self.block.numeric_row(p);
+            // Window members are mutually undominated, so when one dominates `p`, none can
+            // be dominated by `p` (transitivity) — probing before evicting loses nothing.
+            if lanes
+                .first_dominator(&self.orders, pn, &probe, lanes.len())
+                .is_some()
+            {
+                continue;
+            }
+            lanes.clear_dominated_by(&self.orders, pn, &probe, lanes.len());
+            lanes.push(pn, &probe);
+            members.push(p);
+        }
+        let mut skyline: Vec<PointId> = members
+            .iter()
+            .enumerate()
+            .filter(|&(l, _)| lanes.is_valid(l))
+            .map(|(_, &p)| p)
+            .collect();
+        skyline.sort_unstable();
+        skyline
     }
 }
 

@@ -1,0 +1,459 @@
+//! Bit-parallel packed window lanes: the hardware floor of the dominance scan.
+//!
+//! The compiled kernel ([`crate::kernel::CompiledRelation`]) reduced a pairwise dominance
+//! test to contiguous loads and integer compares, but still walks the accepted window **one
+//! candidate row at a time**. This module restructures the window into 64-row **blocks with
+//! one lane per row**, so a single pass over a block answers the dominance question for all
+//! 64 rows at once as plain `u64` mask algebra:
+//!
+//! * values are stored **block-major, dimension-major**: lane `l` of dimension `j` in block
+//!   `b` lives at `(b * dims + j) * 64 + l`. A per-dimension mask kernel streams 64
+//!   contiguous cells, compares each against the probe's value and packs the outcomes into
+//!   one `u64` — a movemask without `std::simd`, autovectorizable on stable;
+//! * per block, a `not_worse` mask is narrowed dimension by dimension (starting from the
+//!   block's **validity mask**, so tail padding and evicted rows can never produce a false
+//!   dominator) and a `strict` mask is accumulated; `not_worse & strict` is the set of lanes
+//!   dominating the probe, and `trailing_zeros` recovers the first one in push order;
+//! * the same algebra run with the operands swapped yields the set of lanes the probe
+//!   dominates — BNL eviction and cross-fragment merge elimination clear those validity
+//!   bits without touching the stored values (lanes are never reused).
+//!
+//! Nominal dimensions store `(value id, layered rank)` lanes: ranked (weak) orders compare
+//! ranks with pure integer masks, general partial orders probe the compiled closure per
+//! lane (the closure table is a few hundred bytes, L1-resident). NaN semantics mirror the
+//! scalar kernel exactly: a NaN neither blocks nor establishes dominance, because every
+//! mask is built from the same `!(a > b)` / `a < b` comparisons the scalar path uses.
+
+use crate::kernel::CompiledOrder;
+
+/// Rows per packed block: one lane per bit of the `u64` masks.
+pub(crate) const LANE_COUNT: usize = 64;
+
+/// A packed, cache-blocked copy of accepted rows, 64 per block, with one validity bit per
+/// lane.
+///
+/// Pushing appends to the next free lane (allocating a zero-filled block when the previous
+/// one is full); eviction clears validity bits and never compacts, so a lane index is a
+/// stable identity for the lifetime of the scan. All queries take a `limit`: only lanes
+/// strictly below it participate, which is what the in-order merge elimination needs to
+/// restrict a candidate's view to earlier candidates.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PackedLanes {
+    numeric_dims: usize,
+    nominal_dims: usize,
+    /// Numeric lanes, block-major: cell `(b * numeric_dims + j) * 64 + l`.
+    nums: Vec<f64>,
+    /// Nominal value-id lanes, same layout with `nominal_dims`.
+    vals: Vec<u16>,
+    /// Nominal layered-rank lanes, aligned with `vals`.
+    ranks: Vec<u16>,
+    /// One validity mask per block; bit `l` set when lane `l` holds a live row.
+    valid: Vec<u64>,
+    /// Lanes allocated so far (push count; evicted lanes stay allocated but invalid).
+    len: usize,
+}
+
+impl PackedLanes {
+    /// Empties the lanes and binds them to a relation's dimensions, keeping allocations.
+    pub fn reset(&mut self, numeric_dims: usize, nominal_dims: usize) {
+        self.numeric_dims = numeric_dims;
+        self.nominal_dims = nominal_dims;
+        self.nums.clear();
+        self.vals.clear();
+        self.ranks.clear();
+        self.valid.clear();
+        self.len = 0;
+    }
+
+    /// Lanes allocated so far (including evicted ones).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when lane `l` is allocated and has not been evicted.
+    pub fn is_valid(&self, l: usize) -> bool {
+        l < self.len && self.valid[l / LANE_COUNT] >> (l % LANE_COUNT) & 1 != 0
+    }
+
+    /// Evicts lane `l` (marks it invalid; its stored values are left in place).
+    pub fn clear_valid(&mut self, l: usize) {
+        debug_assert!(l < self.len);
+        self.valid[l / LANE_COUNT] &= !(1u64 << (l % LANE_COUNT));
+    }
+
+    /// Appends one row to the next lane: `nums_row` in numeric-dimension order and
+    /// `noms_pairs` as the `(value id, layered rank)` interleaved pairs of the nominal
+    /// dimensions (the same format [`crate::kernel::DenseWindow`] stages its probe in).
+    pub fn push(&mut self, nums_row: &[f64], noms_pairs: &[u16]) {
+        debug_assert_eq!(nums_row.len(), self.numeric_dims);
+        debug_assert_eq!(noms_pairs.len(), self.nominal_dims * 2);
+        let lane = self.len % LANE_COUNT;
+        if lane == 0 {
+            // Zero-filled padding is harmless: padding lanes have no validity bit, and
+            // every mask query starts from the validity mask.
+            self.nums
+                .resize(self.nums.len() + self.numeric_dims * LANE_COUNT, 0.0);
+            self.vals
+                .resize(self.vals.len() + self.nominal_dims * LANE_COUNT, 0);
+            self.ranks
+                .resize(self.ranks.len() + self.nominal_dims * LANE_COUNT, 0);
+            self.valid.push(0);
+        }
+        let b = self.len / LANE_COUNT;
+        for (j, &v) in nums_row.iter().enumerate() {
+            self.nums[(b * self.numeric_dims + j) * LANE_COUNT + lane] = v;
+        }
+        for j in 0..self.nominal_dims {
+            self.vals[(b * self.nominal_dims + j) * LANE_COUNT + lane] = noms_pairs[2 * j];
+            self.ranks[(b * self.nominal_dims + j) * LANE_COUNT + lane] = noms_pairs[2 * j + 1];
+        }
+        self.valid[b] |= 1 << lane;
+        self.len += 1;
+    }
+
+    /// The validity mask of block `b` restricted to lanes strictly below `limit`.
+    #[inline]
+    fn limited_valid(&self, b: usize, limit: usize) -> u64 {
+        let base = b * LANE_COUNT;
+        let mut mask = self.valid[b];
+        if limit < base + LANE_COUNT {
+            // `limit > base` is guaranteed by the callers' block-range loop.
+            mask &= (1u64 << (limit - base)) - 1;
+        }
+        mask
+    }
+
+    /// Index (in push order) of the first valid lane **below `limit`** whose row dominates
+    /// the probe (`pn` numeric values, `probe` nominal `(id, rank)` pairs), or `None`.
+    pub fn first_dominator(
+        &self,
+        orders: &[CompiledOrder],
+        pn: &[f64],
+        probe: &[u16],
+        limit: usize,
+    ) -> Option<usize> {
+        debug_assert!(limit <= self.len);
+        let blocks = limit.div_ceil(LANE_COUNT);
+        'blocks: for b in 0..blocks {
+            let mut nw = self.limited_valid(b, limit);
+            if nw == 0 {
+                continue;
+            }
+            let mut st = 0u64;
+            for (j, &pv) in pn.iter().enumerate() {
+                let lane = self.numeric_lane(b, j);
+                let (not_worse, strict) = numeric_masks(lane, pv);
+                nw &= not_worse;
+                st |= strict;
+                if nw == 0 {
+                    continue 'blocks;
+                }
+            }
+            for (j, order) in orders.iter().enumerate() {
+                let vals = self.value_lane(b, j);
+                let (pvv, pvr) = (probe[2 * j], probe[2 * j + 1]);
+                let (not_worse, strict) = if order.is_ranked() {
+                    ranked_masks(vals, self.rank_lane(b, j), pvv, pvr)
+                } else {
+                    closure_masks(order, vals, pvv)
+                };
+                nw &= not_worse;
+                st |= strict;
+                if nw == 0 {
+                    continue 'blocks;
+                }
+            }
+            let hit = nw & st;
+            if hit != 0 {
+                return Some(b * LANE_COUNT + hit.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Evicts every valid lane **below `limit`** whose row is dominated *by* the probe:
+    /// the reverse direction of [`PackedLanes::first_dominator`], used by BNL window
+    /// eviction and the merge elimination. Stored values stay in place; only validity bits
+    /// are cleared.
+    pub fn clear_dominated_by(
+        &mut self,
+        orders: &[CompiledOrder],
+        pn: &[f64],
+        probe: &[u16],
+        limit: usize,
+    ) {
+        debug_assert!(limit <= self.len);
+        let blocks = limit.div_ceil(LANE_COUNT);
+        'blocks: for b in 0..blocks {
+            let mut nw = self.limited_valid(b, limit);
+            if nw == 0 {
+                continue;
+            }
+            let mut st = 0u64;
+            for (j, &pv) in pn.iter().enumerate() {
+                let lane = self.numeric_lane(b, j);
+                let (not_worse, strict) = numeric_masks_rev(lane, pv);
+                nw &= not_worse;
+                st |= strict;
+                if nw == 0 {
+                    continue 'blocks;
+                }
+            }
+            for (j, order) in orders.iter().enumerate() {
+                let vals = self.value_lane(b, j);
+                let (pvv, pvr) = (probe[2 * j], probe[2 * j + 1]);
+                let (not_worse, strict) = if order.is_ranked() {
+                    ranked_masks_rev(vals, self.rank_lane(b, j), pvv, pvr)
+                } else {
+                    closure_masks_rev(order, vals, pvv)
+                };
+                nw &= not_worse;
+                st |= strict;
+                if nw == 0 {
+                    continue 'blocks;
+                }
+            }
+            self.valid[b] &= !(nw & st);
+        }
+    }
+
+    #[inline]
+    fn numeric_lane(&self, b: usize, j: usize) -> &[f64] {
+        let start = (b * self.numeric_dims + j) * LANE_COUNT;
+        &self.nums[start..start + LANE_COUNT]
+    }
+
+    #[inline]
+    fn value_lane(&self, b: usize, j: usize) -> &[u16] {
+        let start = (b * self.nominal_dims + j) * LANE_COUNT;
+        &self.vals[start..start + LANE_COUNT]
+    }
+
+    #[inline]
+    fn rank_lane(&self, b: usize, j: usize) -> &[u16] {
+        let start = (b * self.nominal_dims + j) * LANE_COUNT;
+        &self.ranks[start..start + LANE_COUNT]
+    }
+}
+
+/// Numeric movemask, lane-dominates-probe direction: bit `l` of `not_worse` when lane `l`'s
+/// value is not worse than (not greater than) `pv`, of `strict` when it is strictly better.
+// `!(qv > pv)` is deliberate, not `qv <= pv`: NaN must neither block nor establish
+// dominance, exactly mirroring the scalar kernel.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+#[inline]
+fn numeric_masks(lane: &[f64], pv: f64) -> (u64, u64) {
+    let mut not_worse = 0u64;
+    let mut strict = 0u64;
+    for (l, &qv) in lane.iter().enumerate() {
+        not_worse |= u64::from(!(qv > pv)) << l;
+        strict |= u64::from(qv < pv) << l;
+    }
+    (not_worse, strict)
+}
+
+/// Numeric movemask, probe-dominates-lane direction.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+#[inline]
+fn numeric_masks_rev(lane: &[f64], pv: f64) -> (u64, u64) {
+    let mut not_worse = 0u64;
+    let mut strict = 0u64;
+    for (l, &qv) in lane.iter().enumerate() {
+        not_worse |= u64::from(!(pv > qv)) << l;
+        strict |= u64::from(pv < qv) << l;
+    }
+    (not_worse, strict)
+}
+
+/// Ranked (weak-order) nominal movemask, lane-dominates-probe direction: `q ⪯ p ⟺ q = p ∨
+/// rank(q) < rank(p)`, strict exactly on the rank compare.
+#[inline]
+fn ranked_masks(vals: &[u16], ranks: &[u16], pvv: u16, pvr: u16) -> (u64, u64) {
+    let mut not_worse = 0u64;
+    let mut strict = 0u64;
+    for l in 0..LANE_COUNT {
+        let better = ranks[l] < pvr;
+        not_worse |= u64::from((vals[l] == pvv) | better) << l;
+        strict |= u64::from(better) << l;
+    }
+    (not_worse, strict)
+}
+
+/// Ranked nominal movemask, probe-dominates-lane direction.
+#[inline]
+fn ranked_masks_rev(vals: &[u16], ranks: &[u16], pvv: u16, pvr: u16) -> (u64, u64) {
+    let mut not_worse = 0u64;
+    let mut strict = 0u64;
+    for l in 0..LANE_COUNT {
+        let better = pvr < ranks[l];
+        not_worse |= u64::from((vals[l] == pvv) | better) << l;
+        strict |= u64::from(better) << l;
+    }
+    (not_worse, strict)
+}
+
+/// General partial-order nominal mask, lane-dominates-probe direction: probes the compiled
+/// closure per lane (strict orders are irreflexive, so `preferred` is false on equal values
+/// and `strict` needs no extra `differs` term).
+#[inline]
+fn closure_masks(order: &CompiledOrder, vals: &[u16], pvv: u16) -> (u64, u64) {
+    let mut not_worse = 0u64;
+    let mut strict = 0u64;
+    for (l, &qv) in vals.iter().enumerate() {
+        let preferred = order.strictly_preferred(qv, pvv);
+        not_worse |= u64::from((qv == pvv) | preferred) << l;
+        strict |= u64::from(preferred) << l;
+    }
+    (not_worse, strict)
+}
+
+/// General partial-order nominal mask, probe-dominates-lane direction.
+#[inline]
+fn closure_masks_rev(order: &CompiledOrder, vals: &[u16], pvv: u16) -> (u64, u64) {
+    let mut not_worse = 0u64;
+    let mut strict = 0u64;
+    for (l, &qv) in vals.iter().enumerate() {
+        let preferred = order.strictly_preferred(pvv, qv);
+        not_worse |= u64::from((qv == pvv) | preferred) << l;
+        strict |= u64::from(preferred) << l;
+    }
+    (not_worse, strict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::PartialOrder;
+
+    fn ranked_order(card: usize, chain: &[u16]) -> CompiledOrder {
+        let pairs: Vec<(u16, u16)> = chain.windows(2).map(|w| (w[0], w[1])).collect();
+        // Close the chain over the remaining values: every listed value beats the rest.
+        let mut all = pairs.clone();
+        if let Some(&last) = chain.last() {
+            for v in 0..card as u16 {
+                if !chain.contains(&v) {
+                    all.push((last, v));
+                }
+            }
+        }
+        CompiledOrder::compile(&PartialOrder::from_pairs(card, all).unwrap())
+    }
+
+    fn pairs_for(orders: &[CompiledOrder], vals: &[u16]) -> Vec<u16> {
+        orders
+            .iter()
+            .zip(vals)
+            .flat_map(|(o, &v)| [v, o.layer(v)])
+            .collect()
+    }
+
+    #[test]
+    fn push_fills_lanes_across_block_boundaries() {
+        let mut lanes = PackedLanes::default();
+        lanes.reset(1, 1);
+        let orders = vec![ranked_order(3, &[0, 1])];
+        for i in 0..130 {
+            let pairs = pairs_for(&orders, &[(i % 3) as u16]);
+            lanes.push(&[i as f64], &pairs);
+        }
+        assert_eq!(lanes.len(), 130);
+        assert!(lanes.is_valid(0));
+        assert!(lanes.is_valid(129));
+        assert!(!lanes.is_valid(130), "unallocated lanes are invalid");
+        lanes.clear_valid(64);
+        assert!(!lanes.is_valid(64));
+        assert!(lanes.is_valid(65));
+    }
+
+    #[test]
+    fn first_dominator_finds_the_earliest_lane_and_respects_limits() {
+        let mut lanes = PackedLanes::default();
+        lanes.reset(2, 0);
+        // Lanes 0..70 all have value (5, 5); the probe (6, 6) is dominated by each.
+        for _ in 0..70 {
+            lanes.push(&[5.0, 5.0], &[]);
+        }
+        assert_eq!(lanes.first_dominator(&[], &[6.0, 6.0], &[], 70), Some(0));
+        // Evict the whole first block: the first dominator moves to lane 64.
+        for l in 0..64 {
+            lanes.clear_valid(l);
+        }
+        assert_eq!(lanes.first_dominator(&[], &[6.0, 6.0], &[], 70), Some(64));
+        assert_eq!(
+            lanes.first_dominator(&[], &[6.0, 6.0], &[], 64),
+            None,
+            "limit excludes lanes at and above it"
+        );
+        // Equal rows never dominate (no strict dimension).
+        assert_eq!(lanes.first_dominator(&[], &[5.0, 5.0], &[], 70), None);
+        // A NaN probe cell is indifferent (neither blocks nor establishes dominance), so
+        // the lanes still dominate via the second dimension — and a NaN can never be the
+        // strict edge itself.
+        assert_eq!(
+            lanes.first_dominator(&[], &[f64::NAN, 6.0], &[], 70),
+            Some(64)
+        );
+        assert_eq!(lanes.first_dominator(&[], &[f64::NAN, 5.0], &[], 70), None);
+    }
+
+    #[test]
+    fn clear_dominated_by_evicts_exactly_the_dominated_lanes() {
+        let mut lanes = PackedLanes::default();
+        let orders = vec![ranked_order(3, &[0, 1])];
+        lanes.reset(1, 1);
+        // Probe (2.0, value 0). Lane 0: strictly better numeric — survives. Lane 1: equal
+        // row — survives (no strict edge). Lanes 2–4: worse numeric, worse nominal
+        // (0 ≺ 1), or both — all dominated.
+        for (num, val) in [(1.0, 0), (2.0, 0), (3.0, 0), (2.0, 1), (3.0, 1)] {
+            lanes.push(&[num], &pairs_for(&orders, &[val]));
+        }
+        let probe = pairs_for(&orders, &[0]);
+        lanes.clear_dominated_by(&orders, &[2.0], &probe, lanes.len());
+        let survivors: Vec<usize> = (0..lanes.len()).filter(|&l| lanes.is_valid(l)).collect();
+        assert_eq!(survivors, vec![0, 1], "lanes 2, 3 and 4 are dominated");
+    }
+
+    #[test]
+    fn unranked_orders_take_the_closure_path_and_match_a_scalar_oracle() {
+        // 0 ≺ 2 ≺ 1 plus the island 3 ≺ 4: not a weak order, so every mask must come from
+        // the closure probes. Check both directions against a scalar re-derivation.
+        let order =
+            CompiledOrder::compile(&PartialOrder::from_pairs(5, [(0, 2), (2, 1), (3, 4)]).unwrap());
+        assert!(!order.is_ranked());
+        let orders = std::slice::from_ref(&order);
+        let lane_rows: Vec<(f64, u16)> =
+            (0..70).map(|i| ((i % 3) as f64, (i % 5) as u16)).collect();
+        let mut lanes = PackedLanes::default();
+        lanes.reset(1, 1);
+        for &(num, val) in &lane_rows {
+            lanes.push(&[num], &pairs_for(orders, &[val]));
+        }
+        let dominates = |(qn, qv): (f64, u16), (pn, pv): (f64, u16)| {
+            let num_ok = qn <= pn;
+            let nom_ok = qv == pv || order.strictly_preferred(qv, pv);
+            num_ok && nom_ok && (qn < pn || order.strictly_preferred(qv, pv))
+        };
+        for pn in 0..3 {
+            for pv in 0..5u16 {
+                let p = (pn as f64, pv);
+                let probe = pairs_for(orders, &[pv]);
+                let expected = lane_rows.iter().position(|&q| dominates(q, p));
+                assert_eq!(
+                    lanes.first_dominator(orders, &[p.0], &probe, lanes.len()),
+                    expected,
+                    "probe ({pn}, {pv})"
+                );
+                // Reverse direction: eviction must clear exactly the dominated lanes.
+                let mut scratch = lanes.clone();
+                scratch.clear_dominated_by(orders, &[p.0], &probe, scratch.len());
+                for (l, &q) in lane_rows.iter().enumerate() {
+                    assert_eq!(
+                        scratch.is_valid(l),
+                        !dominates(p, q),
+                        "probe ({pn}, {pv}), lane {l}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -37,6 +37,7 @@ pub mod dataset;
 pub mod dominance;
 pub mod error;
 pub mod kernel;
+mod lanes;
 pub mod mdc;
 pub mod order;
 pub mod schema;
@@ -50,7 +51,8 @@ pub use dataset::{Dataset, DatasetBuilder, RowValue};
 pub use dominance::{DomRelation, Dominance, DominanceContext};
 pub use error::{Result, SkylineError};
 pub use kernel::{
-    CompiledOrder, CompiledRelation, DatasetEpoch, DenseWindow, PointBlock, RowIdRemap,
+    kernel_mode, with_kernel_mode, CompiledOrder, CompiledRelation, DatasetEpoch, DenseWindow,
+    KernelMode, PointBlock, RowIdRemap,
 };
 pub use order::{CanonicalPreference, ImplicitPreference, PartialOrder, Preference, Template};
 pub use schema::{Dimension, DimensionKind, Schema};

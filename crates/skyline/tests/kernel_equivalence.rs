@@ -1,18 +1,26 @@
 //! Property-based equivalence of the compiled dominance kernel and the parallel
 //! preprocessing path against their reference implementations.
 //!
-//! Two contracts are pinned here:
+//! Three contracts are pinned here:
 //!
 //! 1. [`CompiledRelation`] ≡ [`DominanceContext`]: `dominates` and `compare` agree on every
 //!    point pair, for random datasets, templates and query preferences.
-//! 2. Parallel divide-and-conquer preprocessing ≡ serial: `AdaptiveSfs::build_with_workers`
+//! 2. Packed ≡ scalar ≡ reference on every path that scans a window: the bit-parallel
+//!    64-lane kernel ([`KernelMode::Packed`], the runtime default), the scalar compiled
+//!    walk it falls back to, and the reference context produce identical skylines through
+//!    BNL, the SFS dense-window scan, and the cross-fragment `merge_skylines` operator —
+//!    across 2–8 total dimensions, ragged window lengths straddling the 64/128 lane-block
+//!    boundaries, and both all-ranked and mixed ranked/unranked nominal orders.
+//! 3. Parallel divide-and-conquer preprocessing ≡ serial: `AdaptiveSfs::build_with_workers`
 //!    produces a **bit-for-bit identical** sorted list for any worker count, and engines of
 //!    every [`EngineConfig`] answer queries identically no matter how their Adaptive SFS
 //!    structure was preprocessed.
 
 use proptest::prelude::*;
 use skyline::prelude::*;
-use skyline_core::algo::bnl;
+use skyline_core::algo::{bnl, sfs};
+use skyline_core::score::ScoreFn;
+use skyline_core::{merge_skylines, with_kernel_mode, KernelMode, PartialOrder};
 
 /// A compact description of a random test instance.
 #[derive(Debug, Clone)]
@@ -204,6 +212,224 @@ proptest! {
                 "scratch second pass, config {:?}", config
             );
         }
+    }
+}
+
+/// A random instance over the widened design space the packed kernel monomorphizes on:
+/// 1–4 numeric × 1–4 nominal dimensions (2–8 total), row counts chosen to straddle the
+/// 64-lane block boundaries, and per-dimension partial orders that may or may not be
+/// layered-rank representable (mixed ranked/unranked).
+#[derive(Debug, Clone)]
+struct WideInstance {
+    numeric: Vec<Vec<f64>>,
+    nominal: Vec<Vec<ValueId>>,
+    cardinalities: Vec<usize>,
+    /// Per nominal dimension: acyclic `a ≺ b` edges defining a general partial order.
+    edges: Vec<Vec<(ValueId, ValueId)>>,
+    /// Per nominal dimension: the ordered choice list for the implicit-preference query.
+    query_choices: Vec<Vec<ValueId>>,
+}
+
+fn wide_instance_strategy() -> impl Strategy<Value = WideInstance> {
+    let rows = prop_oneof![
+        1usize..48,     // the classic small windows
+        60usize..70,    // ragged around one lane block (63/64/65)
+        Just(128usize), // exactly two full blocks
+        125usize..132,  // ragged around two blocks
+    ];
+    (1usize..=4, 1usize..=4, rows).prop_flat_map(|(nd, md, n)| {
+        let cards: Vec<usize> = (0..md).map(|j| 3 + (j % 3)).collect();
+        let numeric = proptest::collection::vec(
+            proptest::collection::vec(0i32..5, n)
+                .prop_map(|v| v.into_iter().map(f64::from).collect::<Vec<f64>>()),
+            nd,
+        );
+        let nominal = cards
+            .iter()
+            .map(|&c| proptest::collection::vec(0..(c as ValueId), n))
+            .collect::<Vec<_>>();
+        // Only `a < b` edges, so `from_pairs` always gets a DAG. Dense edge sets close
+        // into weak (ranked) orders, sparse ones leave incomparable islands (unranked);
+        // both shapes show up, which is the point.
+        let edges = cards
+            .iter()
+            .map(|&c| {
+                let all: Vec<(ValueId, ValueId)> = (0..c as ValueId)
+                    .flat_map(|a| (a + 1..c as ValueId).map(move |b| (a, b)))
+                    .collect();
+                let top = all.len().min(4);
+                proptest::sample::subsequence(all, 0..=top)
+            })
+            .collect::<Vec<_>>();
+        let query = cards
+            .iter()
+            .map(|&c| {
+                proptest::sample::subsequence((0..c as ValueId).collect::<Vec<_>>(), 0..=c.min(3))
+                    .prop_shuffle()
+            })
+            .collect::<Vec<_>>();
+        (numeric, nominal, edges, query).prop_map(
+            move |(numeric, nominal, edges, query_choices)| WideInstance {
+                numeric,
+                nominal,
+                cardinalities: cards.clone(),
+                edges,
+                query_choices,
+            },
+        )
+    })
+}
+
+fn build_wide_dataset(instance: &WideInstance) -> std::sync::Arc<Dataset> {
+    let mut dims = Vec::new();
+    let names = ["a", "b", "c", "d", "g", "h", "i", "j"];
+    for (i, _) in instance.numeric.iter().enumerate() {
+        dims.push(Dimension::numeric(names[i]));
+    }
+    for (j, &card) in instance.cardinalities.iter().enumerate() {
+        dims.push(Dimension::nominal(
+            names[4 + j],
+            NominalDomain::anonymous(card),
+        ));
+    }
+    let schema = Schema::new(dims).unwrap();
+    std::sync::Arc::new(
+        Dataset::from_columns(schema, instance.numeric.clone(), instance.nominal.clone()).unwrap(),
+    )
+}
+
+/// Pins packed ≡ scalar ≡ reference on both window walks: BNL against the reference BNL
+/// skyline (`expected`), and the SFS presorted scan against the reference context's scan
+/// over the same `sorted` order. The scan is compared scan-to-scan, not scan-to-BNL: a
+/// score that is merely weakly monotone (ties broken by id) makes SFS output order-
+/// dependent, and all three implementations must be order-dependent *identically*.
+fn assert_all_paths_match<D: Dominance>(
+    dom: &D,
+    sorted: &[PointId],
+    all: &[PointId],
+    expected: &[PointId],
+    expected_scan: &[PointId],
+    what: &str,
+) {
+    let packed = with_kernel_mode(KernelMode::Packed, || bnl::skyline_of(dom, all));
+    let scalar = with_kernel_mode(KernelMode::Scalar, || bnl::skyline_of(dom, all));
+    assert_eq!(&packed, expected, "packed bnl vs reference ({what})");
+    assert_eq!(&scalar, expected, "scalar bnl vs reference ({what})");
+    let packed_scan = with_kernel_mode(KernelMode::Packed, || sfs::scan_presorted(dom, sorted));
+    let scalar_scan = with_kernel_mode(KernelMode::Scalar, || sfs::scan_presorted(dom, sorted));
+    assert_eq!(
+        &packed_scan, expected_scan,
+        "packed sfs vs reference ({what})"
+    );
+    assert_eq!(
+        &scalar_scan, expected_scan,
+        "scalar sfs vs reference ({what})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Packed ≡ scalar ≡ reference under **general partial-order templates** (mixed
+    /// ranked/unranked dimensions) on wide schemas and lane-boundary window lengths, for
+    /// the BNL window, the SFS dense-window scan, and the cross-fragment merge.
+    #[test]
+    fn packed_scalar_and_reference_agree_on_wide_templates(
+        instance in wide_instance_strategy()
+    ) {
+        let data = build_wide_dataset(&instance);
+        let orders: Vec<PartialOrder> = instance
+            .cardinalities
+            .iter()
+            .zip(&instance.edges)
+            .map(|(&c, edges)| PartialOrder::from_pairs(c, edges.iter().copied()).unwrap())
+            .collect();
+        let template = Template::from_partial_orders(data.schema(), orders).unwrap();
+
+        let ctx = DominanceContext::for_template(&data, &template).unwrap();
+        let kernel =
+            CompiledRelation::for_template(std::sync::Arc::new(PointBlock::new(&data)), &template)
+                .unwrap();
+
+        // Pair-for-pair agreement (bounded: the pairwise loop is O(n²) and the packed
+        // paths are covered by the scan assertions below at every size).
+        let all: Vec<PointId> = data.point_ids().collect();
+        if all.len() <= 48 {
+            for &p in &all {
+                for &q in &all {
+                    prop_assert_eq!(
+                        kernel.dominates(p, q),
+                        ctx.dominates(p, q),
+                        "dominates({}, {})", p, q
+                    );
+                }
+            }
+        }
+
+        let expected = bnl::skyline_of(&ctx, &all);
+        let score = ScoreFn::default_ranking(data.schema());
+        let sorted = score.sort_by_score(&data, &all);
+        let expected_scan = sfs::scan_presorted(&ctx, &sorted);
+        assert_all_paths_match(&kernel, &sorted, &all, &expected, &expected_scan, "template");
+
+        // Cross-fragment merge: 3-way ragged split, fragment skylines merged back must
+        // equal the global skyline, packed and scalar alike.
+        let fragments: Vec<Vec<PointId>> = (0..3)
+            .map(|s| {
+                let rows: Vec<PointId> =
+                    all.iter().copied().filter(|p| p % 3 == s).collect();
+                with_kernel_mode(KernelMode::Scalar, || bnl::skyline_of(&kernel, &rows))
+            })
+            .collect();
+        let views: Vec<&[PointId]> = fragments.iter().map(Vec::as_slice).collect();
+        let mut merged_packed =
+            with_kernel_mode(KernelMode::Packed, || merge_skylines(&kernel, &views));
+        let mut merged_scalar =
+            with_kernel_mode(KernelMode::Scalar, || merge_skylines(&kernel, &views));
+        merged_packed.sort_unstable();
+        merged_scalar.sort_unstable();
+        prop_assert_eq!(&merged_packed, &expected, "packed merge vs reference");
+        prop_assert_eq!(&merged_scalar, &expected, "scalar merge vs reference");
+    }
+
+    /// The same three-way agreement under **implicit-preference queries** (the paper's
+    /// all-ranked form) on wide schemas, through the query-compiled kernel.
+    #[test]
+    fn packed_scalar_and_reference_agree_on_wide_queries(
+        instance in wide_instance_strategy()
+    ) {
+        let data = build_wide_dataset(&instance);
+        let template = Template::empty(data.schema());
+        let mut query = Preference::none(instance.cardinalities.len());
+        for (j, choices) in instance.query_choices.iter().enumerate() {
+            query.set_dim(j, ImplicitPreference::new(choices.clone()).unwrap());
+        }
+
+        let ctx = DominanceContext::for_query(&data, &template, &query).unwrap();
+        let kernel = CompiledRelation::compile_query(&data, &template, &query).unwrap();
+        let all: Vec<PointId> = data.point_ids().collect();
+        if all.len() <= 48 {
+            for &p in &all {
+                for &q in &all {
+                    prop_assert_eq!(
+                        kernel.dominates(p, q),
+                        ctx.dominates(p, q),
+                        "dominates({}, {})", p, q
+                    );
+                }
+            }
+        }
+
+        let expected = bnl::skyline_of(&ctx, &all);
+        let score = ScoreFn::for_preference(data.schema(), &query).unwrap();
+        let sorted = score.sort_by_score(&data, &all);
+        // `for_preference` scores are monotone w.r.t. query dominance, so here the scan
+        // must also equal the BNL skyline (up to order).
+        let expected_scan = sfs::scan_presorted(&ctx, &sorted);
+        let mut scan_sorted = expected_scan.clone();
+        scan_sorted.sort_unstable();
+        assert_eq!(&scan_sorted, &expected, "reference scan vs reference bnl");
+        assert_all_paths_match(&kernel, &sorted, &all, &expected, &expected_scan, "query");
     }
 }
 
