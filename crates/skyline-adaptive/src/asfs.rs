@@ -11,7 +11,8 @@ use skyline_core::kernel::{
 };
 use skyline_core::score::ScoreFn;
 use skyline_core::{
-    Dataset, Dominance, PointId, Preference, Result, SkylineError, Template, ValueId,
+    Dataset, Deadline, Dominance, PointId, Preference, Result, SkylineError, Template, ValueId,
+    DEADLINE_CHECK_INTERVAL,
 };
 use std::collections::HashSet;
 use std::num::NonZeroUsize;
@@ -387,6 +388,20 @@ impl AdaptiveSfs {
         mode: ScanMode,
         scratch: &mut QueryScratch,
     ) -> Result<(Vec<PointId>, QueryStats)> {
+        self.query_deadline_scratch(pref, mode, &Deadline::none(), scratch)
+    }
+
+    /// [`AdaptiveSfs::query_with_stats_scratch`] under a request [`Deadline`]: the
+    /// elimination scan polls the deadline at block granularity and aborts with
+    /// [`SkylineError::DeadlineExceeded`] instead of finishing an answer nobody is waiting
+    /// for. The scratch buffers stay reusable after an abort.
+    pub fn query_deadline_scratch(
+        &self,
+        pref: &Preference,
+        mode: ScanMode,
+        deadline: &Deadline,
+        scratch: &mut QueryScratch,
+    ) -> Result<(Vec<PointId>, QueryStats)> {
         let dom = CompiledRelation::for_query(
             self.block.clone(),
             self.data.schema(),
@@ -401,6 +416,7 @@ impl AdaptiveSfs {
             &self.index,
             pref,
             mode,
+            deadline,
             scratch,
         )?;
         result.sort_unstable();
@@ -809,6 +825,7 @@ pub(crate) fn evaluate_query<D: Dominance>(
     index: &SkylineValueIndex,
     pref: &Preference,
     mode: ScanMode,
+    deadline: &Deadline,
     scratch: &mut EvalScratch<D::Window>,
 ) -> Result<(Vec<PointId>, QueryStats)> {
     merged_order(data, template, entries, index, pref, scratch)?;
@@ -822,7 +839,13 @@ pub(crate) fn evaluate_query<D: Dominance>(
     let mut affected_len = 0u64;
     dom.reset_window(&mut scratch.window_all);
     dom.reset_window(&mut scratch.window_affected);
-    for &(p, is_affected) in &scratch.merged {
+    let bounded = deadline.is_bounded();
+    for (i, &(p, is_affected)) in scratch.merged.iter().enumerate() {
+        // Cooperative cancellation at block granularity: one wall-clock poll per packed
+        // window block of candidates, so an expired budget stops mid-scan.
+        if bounded && i % DEADLINE_CHECK_INTERVAL == 0 {
+            deadline.check()?;
+        }
         let (window, window_len) = match mode {
             ScanMode::AffectedOnly if !is_affected => (&mut scratch.window_affected, affected_len),
             _ => (&mut scratch.window_all, all_len),

@@ -1,0 +1,188 @@
+//! Overload behavior of the sharded service: p99 latency and shed rate when the offered
+//! load is 10× the admission queue's depth.
+//!
+//! A fixed client fleet hammers a 4-shard `ShardedService` whose admission queue holds
+//! `DEPTH` requests; the `at_capacity` arm offers exactly `DEPTH` concurrent clients (no
+//! request should ever shed), the `ten_x` arm offers `10 × DEPTH`. Shed requests fail in
+//! O(1) at the admission gate — the point of load shedding is that the p99 of the requests
+//! the service *does* accept stays flat while the excess is rejected immediately instead of
+//! queueing without bound.
+//!
+//! The summary pass reports accepted-request p50/p99 and the shed rate at both load levels.
+//! On a full local run (`SKYLINE_BENCH_SAMPLES` unset) it hard-asserts that the 10× storm
+//! sheds at least one request and that every request resolved (served, degraded or shed —
+//! nothing hung). The CI smoke job runs a scaled-down dataset and never hard-asserts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skyline::prelude::*;
+use skyline_service::{ShardPartition, ShardedConfig, ShardedService};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const DEPTH: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 8;
+const LOAD_FACTORS: [usize; 2] = [1, 10];
+
+struct Setup {
+    service: Arc<ShardedService>,
+    prefs: Vec<Preference>,
+    generator: QueryGenerator,
+    template: Template,
+    pref_order: usize,
+    tuples: usize,
+}
+
+fn setup() -> Setup {
+    let smoke = std::env::var("SKYLINE_BENCH_SAMPLES").is_ok();
+    let tuples = if smoke { 4_000 } else { 40_000 };
+    let config = ExperimentConfig {
+        n: tuples,
+        ..ExperimentConfig::paper_default()
+    };
+    let data = config.generate_dataset();
+    let template = config.template(&data);
+    let service = ShardedService::build(
+        &data,
+        template.clone(),
+        EngineConfig::AdaptiveSfs,
+        ShardedConfig {
+            shards: 4,
+            partition: ShardPartition::HashNominal { dim: 0 },
+            admission_depth: DEPTH,
+            ..ShardedConfig::default()
+        },
+    )
+    .expect("sharded service builds");
+    let mut generator = config.query_generator();
+    let prefs = (0..12)
+        .map(|_| generator.random_preference(data.schema(), &template, config.pref_order, None))
+        .collect();
+    Setup {
+        service: Arc::new(service),
+        prefs,
+        generator,
+        template,
+        pref_order: config.pref_order,
+        tuples,
+    }
+}
+
+struct StormOutcome {
+    served: usize,
+    shed: usize,
+    /// Wall-clock latency of every request the admission queue accepted, unsorted.
+    accepted_latencies: Vec<Duration>,
+}
+
+/// Runs `clients` concurrent closed-loop clients for `REQUESTS_PER_CLIENT` requests each.
+fn storm(service: &Arc<ShardedService>, prefs: &[Preference], clients: usize) -> StormOutcome {
+    let barrier = Arc::new(Barrier::new(clients));
+    let shed = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let service = Arc::clone(service);
+            let prefs = prefs.to_vec();
+            let barrier = Arc::clone(&barrier);
+            let shed = Arc::clone(&shed);
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                barrier.wait();
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let started = Instant::now();
+                    match service.serve(&prefs[(c * REQUESTS_PER_CLIENT + r) % prefs.len()]) {
+                        Ok(served) => {
+                            latencies.push(started.elapsed());
+                            black_box(served.outcome.skyline.len());
+                        }
+                        Err(SkylineError::Overloaded) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected error under overload: {other}"),
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut accepted_latencies = Vec::new();
+    for handle in handles {
+        accepted_latencies.extend(handle.join().expect("client thread"));
+    }
+    StormOutcome {
+        served: accepted_latencies.len(),
+        shed: shed.load(Ordering::Relaxed),
+        accepted_latencies,
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn bench_overload(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("overload_admission");
+    group.sample_size(5);
+    for factor in LOAD_FACTORS {
+        let clients = DEPTH * factor;
+        let label = if factor == 1 { "at_capacity" } else { "ten_x" };
+        group.bench_function(format!("storm/{label}"), |b| {
+            b.iter(|| black_box(storm(&s.service, &s.prefs, clients).served))
+        });
+    }
+    group.finish();
+
+    // Summary pass: one measured storm per load level, each request carrying a *fresh*
+    // preference. The criterion arms above warmed the cache for the 12 hot preferences;
+    // unique preferences force every summary request through a real scatter, so the
+    // clients genuinely overlap in the admission queue instead of draining µs cache hits.
+    let smoke = std::env::var("SKYLINE_BENCH_SAMPLES").is_ok();
+    let mut s = s;
+    for factor in LOAD_FACTORS {
+        let clients = DEPTH * factor;
+        let schema = s.service.schema().clone();
+        let fresh: Vec<Preference> = (0..clients * REQUESTS_PER_CLIENT)
+            .map(|_| {
+                s.generator
+                    .random_preference(&schema, &s.template, s.pref_order, None)
+            })
+            .collect();
+        let outcome = storm(&s.service, &fresh, clients);
+        let total = clients * REQUESTS_PER_CLIENT;
+        assert_eq!(
+            outcome.served + outcome.shed,
+            total,
+            "every request must resolve: served, degraded or shed"
+        );
+        let mut sorted = outcome.accepted_latencies.clone();
+        sorted.sort();
+        let p50 = percentile(&sorted, 0.50);
+        let p99 = percentile(&sorted, 0.99);
+        println!(
+            "  summary: clients={clients} (depth {DEPTH}, {factor}x) at n={} — \
+             {}/{total} served, shed rate {:.1}%, accepted p50 {:.2}ms p99 {:.2}ms",
+            s.tuples,
+            outcome.served,
+            outcome.shed as f64 / total as f64 * 100.0,
+            p50.as_secs_f64() * 1e3,
+            p99.as_secs_f64() * 1e3,
+        );
+        if factor == 10 && !smoke && outcome.shed == 0 {
+            panic!("a 10x storm over a depth-{DEPTH} admission queue must shed requests");
+        }
+    }
+    assert_eq!(
+        s.service.stats().queue_depth,
+        0,
+        "all admission permits released after the storms"
+    );
+}
+
+criterion_group!(benches, bench_overload);
+criterion_main!(benches);

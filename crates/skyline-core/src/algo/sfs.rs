@@ -11,6 +11,7 @@
 //! full `O(N log N + N·n)` cost on every query.
 
 use super::AlgoStats;
+use crate::deadline::{Deadline, DEADLINE_CHECK_INTERVAL};
 use crate::dominance::{Dominance, DominanceContext};
 use crate::error::Result;
 use crate::order::{Preference, Template};
@@ -54,6 +55,19 @@ pub fn scan_presorted_with_stats<D: Dominance + ?Sized>(
     ctx: &D,
     sorted: &[PointId],
 ) -> (Vec<PointId>, AlgoStats) {
+    scan_presorted_deadline(ctx, sorted, &Deadline::none())
+        .expect("an unbounded deadline never expires")
+}
+
+/// The elimination scan with cooperative cancellation: the request [`Deadline`] is polled
+/// once per [`DEADLINE_CHECK_INTERVAL`] candidates (one packed window block), so an expired
+/// budget stops the scan within one block instead of running the tail to completion. Returns
+/// [`crate::SkylineError::DeadlineExceeded`] on expiry; the partial window is discarded.
+pub fn scan_presorted_deadline<D: Dominance + ?Sized>(
+    ctx: &D,
+    sorted: &[PointId],
+    deadline: &Deadline,
+) -> Result<(Vec<PointId>, AlgoStats)> {
     let mut stats = AlgoStats::default();
     let mut skyline: Vec<PointId> = Vec::new();
     // The accepted window lives in the implementation's own representation (the compiled
@@ -61,7 +75,11 @@ pub fn scan_presorted_with_stats<D: Dominance + ?Sized>(
     // loop — tests up to and including the first dominator.
     let mut window = D::Window::default();
     ctx.reset_window(&mut window);
-    for &p in sorted {
+    let bounded = deadline.is_bounded();
+    for (i, &p) in sorted.iter().enumerate() {
+        if bounded && i % DEADLINE_CHECK_INTERVAL == 0 {
+            deadline.check()?;
+        }
         stats.points_scanned += 1;
         match ctx.window_first_dominator(&mut window, p) {
             Some(i) => stats.dominance_tests += i as u64 + 1,
@@ -73,7 +91,7 @@ pub fn scan_presorted_with_stats<D: Dominance + ?Sized>(
         }
     }
     stats.skyline_size = skyline.len();
-    (skyline, stats)
+    Ok((skyline, stats))
 }
 
 /// The paper's **SFS-D** baseline: answer one implicit-preference query by running SFS over
@@ -174,6 +192,31 @@ mod tests {
         assert_eq!(stats.points_scanned, 6);
         assert_eq!(stats.skyline_size, sky.len());
         assert_eq!(sky.len(), 4);
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_scan() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let pref = Preference::none(1);
+        let ctx = DominanceContext::for_query(&data, &template, &pref).unwrap();
+        let score = ScoreFn::for_preference(data.schema(), &pref).unwrap();
+        let all: Vec<PointId> = data.point_ids().collect();
+        let sorted = score.sort_by_score(&data, &all);
+        // Unbounded: identical to the plain scan.
+        let (sky, _) = scan_presorted_deadline(&ctx, &sorted, &Deadline::none()).unwrap();
+        assert_eq!(sky, scan_presorted(&ctx, &sorted));
+        // Already expired: the very first block check aborts.
+        let expired = Deadline::within(std::time::Duration::ZERO);
+        assert_eq!(
+            scan_presorted_deadline(&ctx, &sorted, &expired).unwrap_err(),
+            crate::SkylineError::DeadlineExceeded
+        );
+        // A fired cancel token aborts the same way.
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let cancelled = Deadline::none().with_cancel(token);
+        assert!(scan_presorted_deadline(&ctx, &sorted, &cancelled).is_err());
     }
 
     #[test]

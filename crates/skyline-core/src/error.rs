@@ -86,6 +86,18 @@ pub enum SkylineError {
     ParseError(String),
     /// The operation requires a non-empty dataset.
     EmptyDataset,
+    /// The request's [`crate::Deadline`] expired (or its cancel token fired) before the
+    /// answer was complete. The partial work is discarded; nothing partial is ever cached.
+    DeadlineExceeded,
+    /// The service's bounded admission queue was full and shed this request (reject-newest
+    /// load shedding). Retrying after backoff is safe — no work was started.
+    Overloaded,
+    /// A dataset shard is quarantined (a panic was isolated to it) or failed mid-query, and
+    /// the degradation policy does not tolerate answering without it.
+    ShardUnavailable {
+        /// Index of the unavailable shard.
+        shard: usize,
+    },
     /// Catch-all for invariant violations that indicate a bug in the caller.
     InvalidArgument(String),
 }
@@ -134,6 +146,15 @@ impl fmt::Display for SkylineError {
             ),
             SkylineError::ParseError(msg) => write!(f, "preference parse error: {msg}"),
             SkylineError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            SkylineError::DeadlineExceeded => {
+                write!(f, "request deadline exceeded (or cancelled) before completion")
+            }
+            SkylineError::Overloaded => {
+                write!(f, "service overloaded: admission queue full, request shed")
+            }
+            SkylineError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} is unavailable (quarantined or failed mid-query)")
+            }
             SkylineError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }

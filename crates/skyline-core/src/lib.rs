@@ -34,6 +34,7 @@
 pub mod algo;
 pub mod bitset;
 pub mod dataset;
+pub mod deadline;
 pub mod dominance;
 pub mod error;
 pub mod kernel;
@@ -48,6 +49,7 @@ pub mod value;
 pub use algo::{merge_skylines, SkylineMerger};
 pub use bitset::BitSet;
 pub use dataset::{Dataset, DatasetBuilder, RowValue};
+pub use deadline::{CancelToken, Deadline, DEADLINE_CHECK_INTERVAL};
 pub use dominance::{DomRelation, Dominance, DominanceContext};
 pub use error::{Result, SkylineError};
 pub use kernel::{

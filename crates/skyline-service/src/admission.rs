@@ -1,0 +1,129 @@
+//! Bounded admission with load shedding: the overload valve in front of the executor.
+//!
+//! A service without admission control converts overload into unbounded queueing — every
+//! request eventually gets an answer, long after its caller stopped waiting, and the latency
+//! distribution collapses. [`AdmissionQueue`] bounds how many requests may be inside the
+//! service at once; past the bound, new arrivals are *shed immediately* with
+//! [`SkylineError::Overloaded`] (reject-newest: the requests already inside are closest to
+//! completing, so they keep their slots). Shedding is a single compare-exchange on an atomic
+//! counter — the overloaded path is the cheapest path in the whole service, which is the
+//! point: a service at 10× offered load must spend its cycles finishing work, not queueing
+//! more of it.
+//!
+//! The queue is depth-only (no FIFO ordering of waiters): callers that are admitted proceed
+//! straight to the executor, so "depth" measures concurrent in-service requests, batch items
+//! included. Depth `0` disables the bound.
+
+use skyline_core::{Result, SkylineError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A depth-bounded admission counter shared by every entry point of a service.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Maximum concurrent admitted requests; `usize::MAX` when unbounded.
+    depth: usize,
+    in_service: AtomicUsize,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `depth` concurrent requests; `0` means unbounded (admission
+    /// control disabled — `try_admit` never sheds).
+    pub fn new(depth: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                depth: if depth == 0 { usize::MAX } else { depth },
+                in_service: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Admits the request or sheds it: `Ok` returns a permit that holds the slot until
+    /// dropped, `Err(SkylineError::Overloaded)` means the queue is full (reject-newest).
+    pub fn try_admit(&self) -> Result<AdmissionPermit> {
+        let mut current = self.inner.in_service.load(Ordering::Relaxed);
+        loop {
+            if current >= self.inner.depth {
+                return Err(SkylineError::Overloaded);
+            }
+            match self.inner.in_service.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Ok(AdmissionPermit {
+                        queue: self.inner.clone(),
+                    })
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Requests currently admitted (in service). A gauge; racy by nature.
+    pub fn depth(&self) -> usize {
+        self.inner.in_service.load(Ordering::Relaxed)
+    }
+
+    /// The configured bound, or `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        (self.inner.depth != usize::MAX).then_some(self.inner.depth)
+    }
+}
+
+/// An admitted request's slot; dropping it (on any path — success, error, panic unwind)
+/// releases the slot to the next arrival.
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    queue: Arc<Inner>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.queue.in_service.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_depth_then_sheds() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.capacity(), Some(2));
+        let a = q.try_admit().unwrap();
+        let b = q.try_admit().unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.try_admit().unwrap_err(), SkylineError::Overloaded);
+        drop(a);
+        assert_eq!(q.depth(), 1);
+        let _c = q.try_admit().expect("slot freed by drop");
+        drop(b);
+    }
+
+    #[test]
+    fn zero_depth_disables_the_bound() {
+        let q = AdmissionQueue::new(0);
+        assert_eq!(q.capacity(), None);
+        let permits: Vec<_> = (0..10_000).map(|_| q.try_admit().unwrap()).collect();
+        assert_eq!(q.depth(), 10_000);
+        drop(permits);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_counter() {
+        let q = AdmissionQueue::new(1);
+        let q2 = q.clone();
+        let _a = q.try_admit().unwrap();
+        assert_eq!(q2.try_admit().unwrap_err(), SkylineError::Overloaded);
+    }
+}

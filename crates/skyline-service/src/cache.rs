@@ -30,7 +30,19 @@ use skyline::{GenerationRemap, QueryOutcome};
 use skyline_core::{CanonicalPreference, DatasetEpoch, PointId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A poisoned shard lock is recovered, not propagated: the only caller-supplied code that
+/// runs under it is the salvage callback, which executes *before* the entry is touched, so
+/// a panic there (or anywhere else on a thread that happens to hold the lock) can at worst
+/// leave a dangling recency pair in the queue — a state the stamp-checked eviction already
+/// tolerates by design.
+fn lock_shard<E, V>(shard: &Mutex<Shard<E, V>>) -> MutexGuard<'_, Shard<E, V>> {
+    shard.lock().unwrap_or_else(|poisoned| {
+        shard.clear_poison();
+        poisoned.into_inner()
+    })
+}
 
 /// A sharded, thread-safe LRU cache from canonical preferences to epoch-tagged values.
 ///
@@ -152,10 +164,7 @@ impl<E: PartialEq + Clone, V> ResultCache<E, V> {
 
     /// Current number of cached entries (sums per-shard sizes; a racing snapshot).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
-            .sum()
+        self.shards.iter().map(|s| lock_shard(s).map.len()).sum()
     }
 
     /// True when no entry is cached.
@@ -196,7 +205,7 @@ impl<E: PartialEq + Clone, V> ResultCache<E, V> {
         if self.capacity_per_shard == 0 {
             return None;
         }
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = lock_shard(self.shard(key));
         let stamp = shard.bump_stamp();
         let entry = shard.map.get_mut(key)?;
         if entry.epoch != *epoch {
@@ -233,7 +242,7 @@ impl<E: PartialEq + Clone, V> ResultCache<E, V> {
         if self.capacity_per_shard == 0 {
             return;
         }
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let mut shard = lock_shard(self.shard(&key));
         let stamp = shard.bump_stamp();
         shard.queue.push_back((stamp, key.clone()));
         shard.map.insert(

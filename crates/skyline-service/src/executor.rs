@@ -59,7 +59,16 @@ where
             scope.spawn(move || {
                 let mut scratch = init();
                 loop {
-                    let next = task_rx.lock().expect("task channel poisoned").recv();
+                    // Recovered rather than propagated: `recv` holds no shared mutable state
+                    // a panic could tear, and one worker dying (a panicking task closure
+                    // caught further up) must not strand the rest of the batch.
+                    let next = task_rx
+                        .lock()
+                        .unwrap_or_else(|poisoned| {
+                            task_rx.clear_poison();
+                            poisoned.into_inner()
+                        })
+                        .recv();
                     match next {
                         Ok(i) => {
                             if result_tx.send((i, f(i, &items[i], &mut scratch))).is_err() {

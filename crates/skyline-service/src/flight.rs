@@ -13,15 +13,30 @@
 //! fails (query error) still releases and wakes its followers, who then compute individually
 //! — single-flight is an optimization of the success path, never a correctness gate.
 
-use skyline_core::{CanonicalPreference, DatasetEpoch};
+use skyline_core::{CanonicalPreference, DatasetEpoch, Deadline, Result};
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// How often a blocked follower re-polls a cancel token that has no time bound attached
+/// (a pure-timeout deadline wakes exactly at expiry instead).
+const FOLLOWER_POLL: Duration = Duration::from_millis(10);
 
 #[derive(Debug, Default)]
 struct Latch {
     done: Mutex<bool>,
     cv: Condvar,
+}
+
+/// Every critical section in this module is a single map or bool update — no invariant can
+/// be left torn by a panic inside one — so a poisoned mutex (a fault-injected panic
+/// elsewhere on the thread's stack) is recovered, not propagated to every later serve.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        m.clear_poison();
+        poisoned.into_inner()
+    })
 }
 
 type Key<E> = (CanonicalPreference, E);
@@ -70,48 +85,77 @@ impl<E: Hash + Eq + Clone> SingleFlight<E> {
     /// should compute, or — after having **blocked until the current leader finished** —
     /// [`FlightRole::Followed`].
     pub fn join(&self, key: &CanonicalPreference, epoch: E) -> FlightRole<'_, E> {
+        self.join_deadline(key, epoch, &Deadline::none())
+            .expect("an unbounded deadline never expires")
+    }
+
+    /// [`SingleFlight::join`] under a request [`Deadline`]: a follower waits for its leader
+    /// at most until expiry, then gets [`skyline_core::SkylineError::DeadlineExceeded`] —
+    /// **without touching the latch**. The leader is unaffected (it finishes, wakes the
+    /// surviving followers and caches its answer as usual), and a leader's own expiry is
+    /// handled by its computation erroring out, after which `FlightGuard`'s drop releases
+    /// the latch on the ordinary error path.
+    pub fn join_deadline(
+        &self,
+        key: &CanonicalPreference,
+        epoch: E,
+        deadline: &Deadline,
+    ) -> Result<FlightRole<'_, E>> {
         let full_key = (key.clone(), epoch);
         let latch = {
-            let mut inflight = self.inflight.lock().expect("flight registry poisoned");
+            let mut inflight = lock_recover(&self.inflight);
             match inflight.get(&full_key) {
                 Some(latch) => latch.clone(),
                 None => {
                     let latch = Arc::new(Latch::default());
                     inflight.insert(full_key.clone(), latch.clone());
-                    return FlightRole::Leader(FlightGuard {
+                    return Ok(FlightRole::Leader(FlightGuard {
                         flight: self,
                         key: full_key,
                         latch,
-                    });
+                    }));
                 }
             }
         };
-        let mut done = latch.done.lock().expect("flight latch poisoned");
+        let mut done = lock_recover(&latch.done);
         while !*done {
-            done = latch.cv.wait(done).expect("flight latch poisoned");
+            if deadline.is_bounded() {
+                deadline.check()?;
+                // Wake at expiry; a cancel-only deadline has no instant to wake at, so
+                // poll its token every FOLLOWER_POLL instead.
+                let wait = deadline
+                    .remaining()
+                    .map_or(FOLLOWER_POLL, |rem| rem.min(FOLLOWER_POLL));
+                done = latch
+                    .cv
+                    .wait_timeout(done, wait)
+                    .unwrap_or_else(|poisoned| {
+                        latch.done.clear_poison();
+                        poisoned.into_inner()
+                    })
+                    .0;
+            } else {
+                done = latch.cv.wait(done).unwrap_or_else(|poisoned| {
+                    latch.done.clear_poison();
+                    poisoned.into_inner()
+                });
+            }
         }
-        FlightRole::Followed
+        Ok(FlightRole::Followed)
     }
 
     /// Number of flights currently in progress (diagnostics).
     pub fn in_flight(&self) -> usize {
-        self.inflight
-            .lock()
-            .expect("flight registry poisoned")
-            .len()
+        lock_recover(&self.inflight).len()
     }
 }
 
 impl<E: Hash + Eq> Drop for FlightGuard<'_, E> {
     fn drop(&mut self) {
-        let mut inflight = self
-            .flight
-            .inflight
-            .lock()
-            .expect("flight registry poisoned");
+        let mut inflight = lock_recover(&self.flight.inflight);
         inflight.remove(&self.key);
         drop(inflight);
-        let mut done = self.latch.done.lock().expect("flight latch poisoned");
+        let mut done = lock_recover(&self.latch.done);
         *done = true;
         self.latch.cv.notify_all();
     }
@@ -164,6 +208,41 @@ mod tests {
         assert_eq!(leaders.load(Ordering::SeqCst), 1);
         assert_eq!(followers.load(Ordering::SeqCst), THREADS - 1);
         assert_eq!(flight.in_flight(), 0, "guard drop cleans the registry");
+    }
+
+    #[test]
+    fn follower_deadline_expires_without_touching_the_latch() {
+        let flight = SingleFlight::new();
+        let k = key(1);
+        let leader = flight.join(&k, DatasetEpoch::INITIAL);
+        assert!(matches!(leader, FlightRole::Leader(_)));
+        // A bounded follower gives up at expiry...
+        let err = flight
+            .join_deadline(
+                &k,
+                DatasetEpoch::INITIAL,
+                &Deadline::within(Duration::from_millis(5)),
+            )
+            .unwrap_err();
+        assert_eq!(err, skyline_core::SkylineError::DeadlineExceeded);
+        // ...and a fired cancel token (no time bound) gives up on its next poll.
+        let token = skyline_core::CancelToken::new();
+        token.cancel();
+        assert!(flight
+            .join_deadline(
+                &k,
+                DatasetEpoch::INITIAL,
+                &Deadline::none().with_cancel(token)
+            )
+            .is_err());
+        // The flight itself is untouched: still in progress, releases normally.
+        assert_eq!(flight.in_flight(), 1);
+        drop(leader);
+        assert_eq!(flight.in_flight(), 0);
+        assert!(matches!(
+            flight.join(&k, DatasetEpoch::INITIAL),
+            FlightRole::Leader(_)
+        ));
     }
 
     #[test]

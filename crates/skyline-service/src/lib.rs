@@ -66,17 +66,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 mod executor;
+pub mod faults;
 pub mod flight;
 pub mod service;
 pub mod sharded;
 pub mod stats;
 
+pub use admission::{AdmissionPermit, AdmissionQueue};
 pub use cache::ResultCache;
+pub use faults::FaultInjector;
 pub use flight::SingleFlight;
 pub use service::{Served, ServiceConfig, SkylineService};
 pub use sharded::{
-    GlobalRowId, ShardPartition, ShardedConfig, ShardedOutcome, ShardedServed, ShardedService,
+    DegradePolicy, GlobalRowId, PartialSkyline, RecoveryPolicy, ShardPartition, ShardedConfig,
+    ShardedOutcome, ShardedServed, ShardedService,
 };
 pub use stats::{ServiceMetrics, StatsSnapshot};

@@ -1,5 +1,6 @@
 //! The concurrent query service: one shared engine, many users, dynamic data.
 
+use crate::admission::AdmissionQueue;
 use crate::cache::ResultCache;
 use crate::executor;
 use crate::flight::{FlightRole, SingleFlight};
@@ -8,7 +9,9 @@ use skyline::{
     EngineScratch, MaintenanceHandle, MaintenancePolicy, MaintenanceWorker, QueryOutcome,
     SharedEngine,
 };
-use skyline_core::{CanonicalPreference, DatasetEpoch, PointId, Preference, Result, ValueId};
+use skyline_core::{
+    CanonicalPreference, DatasetEpoch, Deadline, PointId, Preference, Result, SkylineError, ValueId,
+};
 use std::num::NonZeroUsize;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -27,6 +30,10 @@ pub struct ServiceConfig {
     /// under this policy. The worker is nudged after every mutation the service applies and
     /// shuts down when the service is dropped.
     pub maintenance: Option<MaintenancePolicy>,
+    /// Maximum concurrently admitted requests (batch items count individually); arrivals past
+    /// the bound are shed immediately with [`SkylineError::Overloaded`] (reject-newest) and
+    /// counted in [`StatsSnapshot::shed`]. `0` disables admission control.
+    pub admission_depth: usize,
 }
 
 impl Default for ServiceConfig {
@@ -36,6 +43,7 @@ impl Default for ServiceConfig {
             cache_shards: 16,
             workers: 0,
             maintenance: None,
+            admission_depth: 0,
         }
     }
 }
@@ -79,6 +87,7 @@ pub struct SkylineService {
     cache: ResultCache,
     metrics: ServiceMetrics,
     flight: SingleFlight,
+    admission: AdmissionQueue,
     maintenance: Option<MaintenanceHandle>,
     workers: usize,
 }
@@ -108,6 +117,7 @@ impl SkylineService {
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
             metrics: ServiceMetrics::new(),
             flight: SingleFlight::new(),
+            admission: AdmissionQueue::new(config.admission_depth),
             maintenance,
             workers,
         }
@@ -140,6 +150,7 @@ impl SkylineService {
         let mut snapshot = self.metrics.snapshot();
         snapshot.stale_evictions = self.cache.stale_evictions();
         snapshot.remap_misses = self.cache.remap_misses();
+        snapshot.queue_depth = self.admission.depth() as u64;
         let maintenance = self.engine.read().maintenance_stats();
         snapshot.rebuilds = maintenance.rebuilds;
         snapshot.reclaimed_rows = maintenance.reclaimed_rows;
@@ -206,6 +217,17 @@ impl SkylineService {
         self.serve_with_scratch(pref, &mut scratch)
     }
 
+    /// Like [`SkylineService::serve`] under a per-request [`Deadline`]: the elimination scan
+    /// polls the budget at block granularity and the request fails with
+    /// [`SkylineError::DeadlineExceeded`] instead of finishing an answer nobody is waiting
+    /// for. An expired request is counted in [`StatsSnapshot::deadline_misses`]; it never
+    /// poisons the cache (partial answers are not inserted) nor the single-flight latch (the
+    /// leader's guard releases on the error path, a follower gives up without touching it).
+    pub fn serve_deadline(&self, pref: &Preference, deadline: &Deadline) -> Result<Served> {
+        let mut scratch = EngineScratch::default();
+        self.serve_deadline_scratch(pref, deadline, &mut scratch)
+    }
+
     /// Like [`SkylineService::serve`] with caller-owned engine scratch buffers, reused across
     /// calls (each batch worker keeps one scratch for its whole share of the batch).
     pub fn serve_with_scratch(
@@ -213,6 +235,39 @@ impl SkylineService {
         pref: &Preference,
         scratch: &mut EngineScratch,
     ) -> Result<Served> {
+        self.serve_deadline_scratch(pref, &Deadline::none(), scratch)
+    }
+
+    /// [`SkylineService::serve_deadline`] with caller-owned scratch buffers. This is the full
+    /// entry point every other serve delegates to; admission control runs first, so a shed
+    /// request costs one atomic compare-exchange and touches nothing else.
+    pub fn serve_deadline_scratch(
+        &self,
+        pref: &Preference,
+        deadline: &Deadline,
+        scratch: &mut EngineScratch,
+    ) -> Result<Served> {
+        let _permit = self.admission.try_admit().inspect_err(|_| {
+            self.metrics.record_shed();
+        })?;
+        let result = self.serve_admitted(pref, deadline, scratch);
+        if matches!(result, Err(SkylineError::DeadlineExceeded)) {
+            self.metrics.record_deadline_miss();
+        }
+        result
+    }
+
+    /// The admitted serve path (the caller holds the admission permit).
+    fn serve_admitted(
+        &self,
+        pref: &Preference,
+        deadline: &Deadline,
+        scratch: &mut EngineScratch,
+    ) -> Result<Served> {
+        // A request that arrives already expired or cancelled fails fast — even when the
+        // answer would have been a cache hit, returning it to a caller that revoked the
+        // request is wrong.
+        deadline.check()?;
         let started = Instant::now();
         // The read guard is held across epoch read, cache lookup and (on a miss) the engine
         // query: mutations cannot interleave, so the answer, its epoch tag and the cache entry
@@ -253,9 +308,14 @@ impl SkylineService {
         // thread to miss this (key, epoch) leads and computes; the rest block until it
         // finishes, then hit the entry it cached. Both sides hold the engine read lock
         // throughout, so the leader always makes progress.
-        match self.flight.join(&key, epoch) {
+        match self
+            .flight
+            .join_deadline(&key, epoch, deadline)
+            .inspect_err(|_| self.metrics.record_error())?
+        {
             FlightRole::Leader(guard) => {
-                let served = self.compute_and_cache(&engine, pref, key, epoch, scratch, started);
+                let served =
+                    self.compute_and_cache(&engine, pref, key, epoch, deadline, scratch, started);
                 drop(guard); // wakes followers (also on the error path, via Drop on `?`)
                 served
             }
@@ -273,26 +333,30 @@ impl SkylineService {
                 }
                 // The leader failed (errors are never cached); compute individually so every
                 // caller gets its own verbatim error or answer.
-                self.compute_and_cache(&engine, pref, key, epoch, scratch, started)
+                self.compute_and_cache(&engine, pref, key, epoch, deadline, scratch, started)
             }
         }
     }
 
     /// The cache-miss path: run the engine under the (already held) read guard, cache the
-    /// answer at its epoch, record the miss.
+    /// answer at its epoch, record the miss. A deadline expiry aborts the engine scan
+    /// mid-block and — via the early `?` — guarantees nothing partial reaches the cache.
+    #[allow(clippy::too_many_arguments)]
     fn compute_and_cache(
         &self,
         engine: &skyline::SkylineEngine,
         pref: &Preference,
         key: CanonicalPreference,
         epoch: DatasetEpoch,
+        deadline: &Deadline,
         scratch: &mut EngineScratch,
         started: Instant,
     ) -> Result<Served> {
-        // `query_at` re-validates the epoch inside the engine — free under the read lock, and
-        // it keeps the "answer matches its tag" property even if this code is ever rearranged.
+        // `query_at_deadline` re-validates the epoch inside the engine — free under the read
+        // lock, and it keeps the "answer matches its tag" property even if this code is ever
+        // rearranged.
         let outcome = engine
-            .query_at(pref, epoch, scratch)
+            .query_at_deadline(pref, epoch, deadline, scratch)
             .map(Arc::new)
             .inspect_err(|_| self.metrics.record_error())?;
         self.cache.insert(key, epoch, outcome.clone());
@@ -313,11 +377,24 @@ impl SkylineService {
     /// and keeps one [`EngineScratch`] for its whole share of the batch so per-query candidate
     /// and kernel buffers are reused instead of reallocated.
     pub fn serve_batch(&self, prefs: &[Preference]) -> Vec<Result<Served>> {
+        self.serve_batch_deadline(prefs, &Deadline::none())
+    }
+
+    /// Like [`SkylineService::serve_batch`] under one shared per-request [`Deadline`]: each
+    /// item is served with the same budget (and cancel token), so cancelling the token — or
+    /// the budget running out — drains the rest of the batch as
+    /// [`SkylineError::DeadlineExceeded`] errors within one scan block each, releasing the
+    /// workers instead of grinding out answers nobody is waiting for.
+    pub fn serve_batch_deadline(
+        &self,
+        prefs: &[Preference],
+        deadline: &Deadline,
+    ) -> Vec<Result<Served>> {
         executor::run_indexed_scratch(
             prefs,
             self.workers,
             EngineScratch::default,
-            |_, pref, scratch| self.serve_with_scratch(pref, scratch),
+            |_, pref, scratch| self.serve_deadline_scratch(pref, deadline, scratch),
         )
     }
 }

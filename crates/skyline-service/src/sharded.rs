@@ -21,21 +21,38 @@
 //!   through that shard's remap chain instead of dropped.
 //! * a shared [`BuildPool`]: one small set of build threads maintains every shard under a
 //!   global in-flight cap, instead of one maintenance thread per shard.
+//!
+//! # Fault isolation
+//!
+//! Failures stay confined to the shard they happen on. A panic inside a shard's scatter
+//! query or background build is caught ([`std::panic::catch_unwind`]) and **quarantines**
+//! that shard; under a tolerant [`DegradePolicy`] the gather keeps answering from the
+//! healthy shards — a partial answer flagged with exactly the shards it is missing
+//! ([`ShardedServed::degraded_shards`], never cached) — and the quarantined shard works its
+//! way back via bounded retry-with-backoff generation rebuilds ([`RecoveryPolicy`]).
+//! Requests carry [`Deadline`]s (checked at block granularity inside the elimination scans)
+//! and pass a bounded admission queue, so overload sheds the newest arrivals instead of
+//! queueing without bound. A [`FaultInjector`] (armed programmatically or via
+//! `SKYLINE_FAULTS`) gives every one of these paths a deterministic trigger.
 
+use crate::admission::AdmissionQueue;
 use crate::cache::{translate_through_chain, ResultCache, Salvage, TranslateFailure};
 use crate::executor;
+use crate::faults::FaultInjector;
 use crate::flight::{FlightRole, SingleFlight};
 use crate::stats::{ServiceMetrics, StatsSnapshot};
 use skyline::{
     BuildHandle, BuildPool, BuildPoolConfig, EngineConfig, EngineScratch, MaintenancePolicy,
-    MethodUsed, SharedEngine, SkylineEngine,
+    MethodUsed, QueryOutcome, SharedEngine, SkylineEngine,
 };
 use skyline_core::{
-    CanonicalPreference, CompiledOrder, Dataset, DatasetEpoch, PointId, Preference, Result, Schema,
-    SkylineError, SkylineMerger, Template, ValueId,
+    CanonicalPreference, CompiledOrder, Dataset, DatasetEpoch, Deadline, PointId, Preference,
+    Result, Schema, SkylineError, SkylineMerger, Template, ValueId,
 };
 use std::num::NonZeroUsize;
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// How rows are assigned to shards. The assignment is a pure function of a row's values, so
@@ -133,8 +150,10 @@ pub struct ShardedOutcome {
     /// The global skyline: per-shard skyline survivors of the cross-shard dominance merge,
     /// grouped by shard in shard order (each shard's survivors keep their engine's order).
     pub skyline: Vec<GlobalRowId>,
-    /// Which algorithm answered on each shard (shards age independently: one may serve from
-    /// its IPO tree while a recently mutated neighbor is on the Adaptive-SFS fallback).
+    /// Which algorithm answered on each *answering* shard, ascending by shard index —
+    /// all shards for a complete answer, the healthy ones for a degraded answer (shards age
+    /// independently: one may serve from its IPO tree while a recently mutated neighbor is
+    /// on the Adaptive-SFS fallback).
     pub methods: Vec<MethodUsed>,
 }
 
@@ -142,13 +161,203 @@ pub struct ShardedOutcome {
 #[derive(Debug, Clone)]
 pub struct ShardedServed {
     /// The merged answer (shared, not copied, between users asking equivalent preferences).
+    /// When [`degraded_shards`](ShardedServed::degraded_shards) is non-empty this covers
+    /// only the healthy shards' slices of the data.
     pub outcome: Arc<ShardedOutcome>,
-    /// Whether the answer came from the result cache.
+    /// Whether the answer came from the result cache (always complete: partial answers are
+    /// never cached).
     pub cache_hit: bool,
     /// The per-shard epoch vector the answer is valid for.
     pub epochs: Arc<[DatasetEpoch]>,
+    /// Shards missing from the answer (quarantined or past the request deadline), ascending.
+    /// Empty for a complete answer; only a tolerant [`DegradePolicy`] ever serves otherwise.
+    pub degraded_shards: Vec<usize>,
     /// Wall-clock time spent serving this query.
     pub latency: Duration,
+}
+
+impl ShardedServed {
+    /// Whether shards are missing from this answer.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded_shards.is_empty()
+    }
+
+    /// The degraded view — the healthy shards' merged skyline plus exactly which shards are
+    /// missing — or `None` for a complete answer.
+    pub fn partial(&self) -> Option<PartialSkyline> {
+        self.is_degraded().then(|| PartialSkyline {
+            rows: self.outcome.skyline.clone(),
+            degraded_shards: self.degraded_shards.clone(),
+        })
+    }
+}
+
+/// A degraded gather's answer: the merged skyline of the healthy shards, flagged with
+/// exactly the shards it is missing. Obtained via [`ShardedServed::partial`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialSkyline {
+    /// The skyline of the union of the healthy shards' slices.
+    pub rows: Vec<GlobalRowId>,
+    /// Shards missing from the answer, ascending.
+    pub degraded_shards: Vec<usize>,
+}
+
+/// What the gather does when some shards cannot answer — quarantined after a panic, or past
+/// the request [`Deadline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradePolicy {
+    /// Any unavailable shard fails the whole request: [`SkylineError::ShardUnavailable`]
+    /// names the first broken shard, or [`SkylineError::DeadlineExceeded`] when only
+    /// deadlines were missed. The default — answers are always complete.
+    #[default]
+    FailClosed,
+    /// Tolerate up to `max_degraded` unavailable shards: the gather merges the healthy rest
+    /// into a partial answer flagged with [`ShardedServed::degraded_shards`]. A useful
+    /// subset now beats nothing at all — the regret-minimization stance applied to
+    /// availability. Partial answers are never cached.
+    Tolerate {
+        /// Maximum shards an answer may be missing before the request fails anyway.
+        max_degraded: usize,
+    },
+}
+
+/// How a quarantined shard returns to service: bounded retries of a full generation rebuild
+/// (the engine re-derives every serving structure, healing whatever the panic interrupted),
+/// with exponential backoff between attempts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Automatic rebuild attempts before the shard stays quarantined until
+    /// [`ShardedService::recover_shard`] is called explicitly. `0` disables automatic
+    /// recovery entirely.
+    pub max_attempts: u32,
+    /// Backoff before the first automatic attempt; doubles after each failed one.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(5),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ShardHealth {
+    quarantined: bool,
+    /// Consecutive failures: the panic that quarantined the shard plus every failed
+    /// recovery rebuild since.
+    failures: u32,
+    /// When the next automatic recovery attempt may run; `None` while healthy — or once the
+    /// attempt budget is spent, after which only an explicit recovery can heal the shard.
+    retry_at: Option<Instant>,
+}
+
+impl ShardHealth {
+    const HEALTHY: Self = Self {
+        quarantined: false,
+        failures: 0,
+        retry_at: None,
+    };
+}
+
+/// The shard-health registry. The atomic count keeps the healthy path lock-free: serves
+/// touch the mutex only while at least one shard is quarantined.
+#[derive(Debug)]
+struct Quarantine {
+    states: Mutex<Vec<ShardHealth>>,
+    active: AtomicUsize,
+    policy: RecoveryPolicy,
+}
+
+impl Quarantine {
+    fn new(shards: usize, policy: RecoveryPolicy) -> Self {
+        Self {
+            states: Mutex::new(vec![ShardHealth::HEALTHY; shards]),
+            active: AtomicUsize::new(0),
+            policy,
+        }
+    }
+
+    /// Every update under this lock is a single slot assignment — nothing a panic could
+    /// tear — so a poisoned lock (a fault-injected panic elsewhere on the stack) is
+    /// recovered, not propagated.
+    fn locked(&self) -> MutexGuard<'_, Vec<ShardHealth>> {
+        self.states.lock().unwrap_or_else(|poisoned| {
+            self.states.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    fn backoff(&self, failures: u32) -> Duration {
+        let doublings = failures.saturating_sub(1).min(16);
+        self.policy
+            .initial_backoff
+            .saturating_mul(1 << doublings)
+            .min(self.policy.max_backoff)
+    }
+
+    /// Marks `shard` quarantined (a panic on its query, background build, or recovery
+    /// rebuild) and schedules its next automatic recovery attempt — unless the bounded
+    /// attempt budget is spent, which parks the shard for explicit recovery only.
+    fn quarantine(&self, shard: usize) {
+        let mut states = self.locked();
+        let state = &mut states[shard];
+        if !state.quarantined {
+            state.quarantined = true;
+            self.active.fetch_add(1, Ordering::Relaxed);
+        }
+        state.failures = state.failures.saturating_add(1);
+        state.retry_at = (state.failures <= self.policy.max_attempts)
+            .then(|| Instant::now() + self.backoff(state.failures));
+    }
+
+    fn is_quarantined(&self, shard: usize) -> bool {
+        self.active.load(Ordering::Relaxed) > 0 && self.locked()[shard].quarantined
+    }
+
+    /// Quarantined shards, ascending. Empty (without locking) while all shards are healthy.
+    fn quarantined(&self) -> Vec<usize> {
+        if self.active.load(Ordering::Relaxed) == 0 {
+            return Vec::new();
+        }
+        self.locked()
+            .iter()
+            .enumerate()
+            .filter(|(_, state)| state.quarantined)
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Claims one shard whose automatic recovery is due, pushing its `retry_at` out by the
+    /// backoff ceiling so concurrent serves do not pile onto the same rebuild (the attempt's
+    /// own outcome reschedules or heals it long before that provisional time).
+    fn claim_due(&self) -> Option<usize> {
+        if self.active.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let now = Instant::now();
+        let mut states = self.locked();
+        for (s, state) in states.iter_mut().enumerate() {
+            if state.quarantined && state.retry_at.is_some_and(|at| at <= now) {
+                state.retry_at = Some(now + self.policy.max_backoff);
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    fn mark_recovered(&self, shard: usize) {
+        let mut states = self.locked();
+        if states[shard].quarantined {
+            self.active.fetch_sub(1, Ordering::Relaxed);
+        }
+        states[shard] = ShardHealth::HEALTHY;
+    }
 }
 
 /// Tuning knobs for a [`ShardedService`].
@@ -171,6 +380,15 @@ pub struct ShardedConfig {
     pub build_threads: usize,
     /// Global cap on concurrently running shard rebuilds (only with `maintenance`).
     pub max_in_flight_builds: usize,
+    /// What the gather does when shards cannot answer (default: fail closed).
+    pub degrade: DegradePolicy,
+    /// How quarantined shards return to service.
+    pub recovery: RecoveryPolicy,
+    /// Maximum concurrently admitted requests (batch items count individually); arrivals
+    /// past the bound are shed immediately with [`SkylineError::Overloaded`]
+    /// (reject-newest) and counted in [`StatsSnapshot::shed`]. `0` disables admission
+    /// control.
+    pub admission_depth: usize,
 }
 
 impl Default for ShardedConfig {
@@ -184,6 +402,9 @@ impl Default for ShardedConfig {
             maintenance: None,
             build_threads: 2,
             max_in_flight_builds: 2,
+            degrade: DegradePolicy::FailClosed,
+            recovery: RecoveryPolicy::default(),
+            admission_depth: 0,
         }
     }
 }
@@ -201,6 +422,10 @@ pub struct ShardedService {
     cache: ResultCache<EpochVector, ShardedOutcome>,
     flight: SingleFlight<EpochVector>,
     metrics: ServiceMetrics,
+    degrade: DegradePolicy,
+    quarantine: Arc<Quarantine>,
+    admission: AdmissionQueue,
+    faults: Arc<FaultInjector>,
     handles: Vec<BuildHandle>,
     /// Dropped after `handles`: shuts the build threads down.
     pool: Option<BuildPool>,
@@ -248,6 +473,8 @@ impl ShardedService {
             })
             .collect::<Result<_>>()?;
 
+        let faults = Arc::new(FaultInjector::from_env());
+        let quarantine = Arc::new(Quarantine::new(shard_count, config.recovery.clone()));
         let (pool, handles) = match &config.maintenance {
             Some(policy) => {
                 let pool = BuildPool::new(BuildPoolConfig {
@@ -255,6 +482,17 @@ impl ShardedService {
                     max_in_flight: config.max_in_flight_builds,
                     poll_interval: policy.poll_interval,
                 });
+                // Shards register in index order, so pool slot ids *are* shard indices: the
+                // hooks below translate a slot's build fault into that shard's failpoint
+                // check and (on a panic the pool caught) its quarantine.
+                pool.set_build_hook(Some({
+                    let faults = faults.clone();
+                    Arc::new(move |slot| faults.before_build(slot))
+                }));
+                pool.set_panic_hook(Some({
+                    let quarantine = quarantine.clone();
+                    Arc::new(move |slot| quarantine.quarantine(slot))
+                }));
                 let handles = shards
                     .iter()
                     .map(|s| pool.register(s.clone(), policy.clone()))
@@ -279,6 +517,10 @@ impl ShardedService {
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
             flight: SingleFlight::new(),
             metrics: ServiceMetrics::new(),
+            degrade: config.degrade,
+            quarantine,
+            admission: AdmissionQueue::new(config.admission_depth),
+            faults,
             handles,
             pool,
             workers,
@@ -366,6 +608,7 @@ impl ShardedService {
         let mut snapshot = self.metrics.snapshot();
         snapshot.stale_evictions = self.cache.stale_evictions();
         snapshot.remap_misses = self.cache.remap_misses();
+        snapshot.queue_depth = self.admission.depth() as u64;
         for shard in &self.shards {
             let maintenance = shard.read().maintenance_stats();
             snapshot.rebuilds += maintenance.rebuilds;
@@ -465,11 +708,46 @@ impl ShardedService {
     /// value on a frozen tree) is rejected for the whole service, so sharding never changes
     /// which inputs are servable — a shard count of 1 behaves exactly like the engine alone.
     pub fn serve(&self, pref: &Preference) -> Result<ShardedServed> {
+        self.serve_deadline(pref, &Deadline::none())
+    }
+
+    /// Like [`ShardedService::serve`] under a per-request [`Deadline`], with admission
+    /// control in front: a request past the admission bound is shed immediately with
+    /// [`SkylineError::Overloaded`], and an admitted one fails with
+    /// [`SkylineError::DeadlineExceeded`] once its budget is spent — the per-shard
+    /// elimination scans poll the deadline at block granularity, a follower waiting on an
+    /// identical in-flight query gives up at expiry without touching the latch, and nothing
+    /// partial or cancelled ever reaches the cache.
+    pub fn serve_deadline(&self, pref: &Preference, deadline: &Deadline) -> Result<ShardedServed> {
+        let _permit = self.admission.try_admit().inspect_err(|_| {
+            self.metrics.record_shed();
+        })?;
+        let result = self.serve_admitted(pref, deadline);
+        if matches!(result, Err(SkylineError::DeadlineExceeded)) {
+            self.metrics.record_deadline_miss();
+        }
+        result
+    }
+
+    /// The admitted serve path (the caller holds the admission permit).
+    fn serve_admitted(&self, pref: &Preference, deadline: &Deadline) -> Result<ShardedServed> {
+        // A request that arrives already expired or cancelled fails fast — even when the
+        // answer would have been a cache hit, returning it to a caller that revoked the
+        // request is wrong.
+        deadline.check()?;
+        // Opportunistic recovery: at most one due quarantined shard per serve, *before* any
+        // read guard is held (the rebuild needs the shard's write lock). Backoff keeps this
+        // from running on the common path — `claim_due` is one atomic load while healthy.
+        if let Some(s) = self.quarantine.claim_due() {
+            self.attempt_recovery(s);
+        }
         let started = Instant::now();
         // Read guards for every shard, acquired in fixed index order and held across the
         // epoch snapshot, cache lookup and (on a miss) the scatter: the epoch vector, the
         // merged answer and the cache entry are mutually consistent, and writers (which take
-        // exactly one shard's lock) cannot interleave mid-serve.
+        // exactly one shard's lock) cannot interleave mid-serve. Quarantined shards are
+        // included — a caught panic leaves their engines consistent (and their locks are
+        // poison-recovered), it is only their availability that is suspect.
         let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
         let epochs: EpochVector = guards.iter().map(|g| g.epoch()).collect::<Vec<_>>().into();
         let key = CanonicalPreference::new(&self.schema, pref)
@@ -479,6 +757,8 @@ impl ShardedService {
                 .check_servable(pref)
                 .inspect_err(|_| self.metrics.record_error())?;
         }
+        // Cached answers are complete by construction and the quarantined shards' data is
+        // intact, so a hit keeps serving full answers right through a quarantine.
         if let Some((outcome, translated)) = self.lookup(&key, &epochs, &guards) {
             let latency = started.elapsed();
             self.metrics.record(true, latency);
@@ -489,12 +769,34 @@ impl ShardedService {
                 outcome,
                 cache_hit: true,
                 epochs,
+                degraded_shards: Vec::new(),
                 latency,
             });
         }
-        match self.flight.join(&key, epochs.clone()) {
+        let quarantined = self.quarantine.quarantined();
+        if !quarantined.is_empty() {
+            // Known-degraded before the scatter. Partial answers are never cached, so
+            // single-flight — whose followers expect to find the leader's cache entry — is
+            // skipped: every caller scatters over the healthy shards itself.
+            self.check_policy(quarantined.first().copied(), quarantined.len())?;
+            return self.scatter_gather(
+                &guards,
+                pref,
+                key,
+                epochs,
+                deadline,
+                &quarantined,
+                started,
+            );
+        }
+        match self
+            .flight
+            .join_deadline(&key, epochs.clone(), deadline)
+            .inspect_err(|_| self.metrics.record_error())?
+        {
             FlightRole::Leader(flight_guard) => {
-                let served = self.scatter_gather(&guards, pref, key, epochs, started);
+                let served =
+                    self.scatter_gather(&guards, pref, key, epochs, deadline, &[], started);
                 drop(flight_guard); // wakes followers (also on the error path)
                 served
             }
@@ -507,17 +809,113 @@ impl ShardedService {
                         outcome,
                         cache_hit: true,
                         epochs,
+                        degraded_shards: Vec::new(),
                         latency,
                     });
                 }
-                self.scatter_gather(&guards, pref, key, epochs, started)
+                self.scatter_gather(&guards, pref, key, epochs, deadline, &[], started)
             }
         }
     }
 
     /// Answers a batch of queries on the worker pool, preserving input order.
     pub fn serve_batch(&self, prefs: &[Preference]) -> Vec<Result<ShardedServed>> {
-        executor::run_indexed_scratch(prefs, self.workers, || (), |_, pref, ()| self.serve(pref))
+        self.serve_batch_deadline(prefs, &Deadline::none())
+    }
+
+    /// Like [`ShardedService::serve_batch`] under one shared per-request [`Deadline`]: each
+    /// item is served with the same budget (and cancel token), so expiry or cancellation
+    /// drains the rest of the batch within one scan block each instead of grinding out
+    /// answers nobody is waiting for.
+    pub fn serve_batch_deadline(
+        &self,
+        prefs: &[Preference],
+        deadline: &Deadline,
+    ) -> Vec<Result<ShardedServed>> {
+        executor::run_indexed_scratch(
+            prefs,
+            self.workers,
+            || (),
+            |_, pref, ()| self.serve_deadline(pref, deadline),
+        )
+    }
+
+    /// Shards currently quarantined (panicked and not yet recovered), ascending.
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        self.quarantine.quarantined()
+    }
+
+    /// The service's failpoint registry (disarmed unless `SKYLINE_FAULTS` was set when the
+    /// service was built, or a test arms it programmatically).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Forces one recovery rebuild of shard `s` right now, regardless of backoff schedule
+    /// or remaining automatic attempts. Returns whether the shard is healthy afterwards
+    /// (`true` without doing anything when it was never quarantined).
+    pub fn recover_shard(&self, s: usize) -> Result<bool> {
+        if s >= self.shards.len() {
+            return Err(SkylineError::InvalidArgument(format!(
+                "shard {s} does not exist ({} shards)",
+                self.shards.len()
+            )));
+        }
+        if !self.quarantine.is_quarantined(s) {
+            return Ok(true);
+        }
+        Ok(self.attempt_recovery(s))
+    }
+
+    /// One recovery rebuild attempt on quarantined shard `s`; `true` if it healed. A full
+    /// generation rebuild re-derives every serving structure from the (intact) dataset, so
+    /// surviving one is the proof of health that ends the quarantine; a panicking or failing
+    /// rebuild re-quarantines with doubled backoff until the bounded attempts are spent.
+    fn attempt_recovery(&self, s: usize) -> bool {
+        let shard = &self.shards[s];
+        if shard.read().rebuild_in_flight() {
+            // The build pool is already rebuilding it; let that cycle finish and the next
+            // scheduled attempt (or explicit recovery) observe the result.
+            return false;
+        }
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.faults.before_build(s);
+            shard.rebuild_now()
+        })) {
+            Ok(Ok(_)) => {
+                self.quarantine.mark_recovered(s);
+                true
+            }
+            Ok(Err(_)) => {
+                self.quarantine.quarantine(s);
+                false
+            }
+            Err(_) => {
+                if shard.read().rebuild_in_flight() {
+                    // The panic unwound between `begin_rebuild` and the install; disarm the
+                    // replay log or every later rebuild would no-op as "already in flight".
+                    shard.write().abort_rebuild();
+                }
+                self.quarantine.quarantine(s);
+                false
+            }
+        }
+    }
+
+    /// Policy gate for serving an answer missing `degraded_count` shards. `broken` is a
+    /// quarantined/panicked shard to name in the error; `None` means only deadlines were
+    /// missed, which is the request's fault, not a shard's.
+    fn check_policy(&self, broken: Option<usize>, degraded_count: usize) -> Result<()> {
+        match self.degrade {
+            DegradePolicy::Tolerate { max_degraded } if degraded_count <= max_degraded => Ok(()),
+            _ => {
+                self.metrics.record_error();
+                Err(match broken {
+                    Some(shard) => SkylineError::ShardUnavailable { shard },
+                    None => SkylineError::DeadlineExceeded,
+                })
+            }
+        }
     }
 
     /// Remap-aware cache lookup: entries whose epoch vector differs only by generation swaps
@@ -538,27 +936,69 @@ impl ShardedService {
         })
     }
 
-    /// The cache-miss path: scatter the query to every shard on the worker pool (under the
-    /// already-held read guards), gather by cross-shard dominance merge, cache at the epoch
-    /// vector.
+    /// The cache-miss path: scatter the query over the non-quarantined shards on the worker
+    /// pool (under the already-held read guards), gather by cross-shard dominance merge.
+    /// Complete answers are cached at the epoch vector; an answer degraded by `quarantined`
+    /// shards, a mid-scatter panic (which quarantines its shard) or a per-shard deadline
+    /// miss is policy-checked, flagged and **never cached**.
+    #[allow(clippy::too_many_arguments)]
     fn scatter_gather(
         &self,
         guards: &[parking_lot_free::Guard<'_>],
         pref: &Preference,
         key: CanonicalPreference,
         epochs: EpochVector,
+        deadline: &Deadline,
+        quarantined: &[usize],
         started: Instant,
     ) -> Result<ShardedServed> {
-        let shard_ids: Vec<usize> = (0..guards.len()).collect();
+        let healthy: Vec<usize> = (0..guards.len())
+            .filter(|s| !quarantined.contains(s))
+            .collect();
+        let scatter_victim = self.faults.begin_scatter();
+        // Each per-shard query runs inside `catch_unwind`: a panicking shard (a bug in one
+        // engine, or an injected fault) is isolated and quarantined instead of unwinding
+        // through the worker pool and taking the whole gather down.
         let scattered = executor::run_indexed_scratch(
-            &shard_ids,
-            self.workers.min(guards.len()),
+            &healthy,
+            self.workers.min(healthy.len().max(1)),
             EngineScratch::default,
-            |_, &s, scratch| guards[s].query_at(pref, epochs[s], scratch),
+            |_, &s, scratch| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    self.faults.before_shard_query(s, scatter_victim);
+                    guards[s].query_at_deadline(pref, epochs[s], deadline, scratch)
+                }))
+            },
         );
-        let mut outcomes = Vec::with_capacity(scattered.len());
-        for result in scattered {
-            outcomes.push(result.inspect_err(|_| self.metrics.record_error())?);
+        let mut outcomes: Vec<(usize, QueryOutcome)> = Vec::with_capacity(healthy.len());
+        let mut panicked: Vec<usize> = Vec::new();
+        let mut missed: Vec<usize> = Vec::new();
+        for (&s, result) in healthy.iter().zip(scattered) {
+            match result {
+                Ok(Ok(outcome)) => outcomes.push((s, outcome)),
+                Ok(Err(SkylineError::DeadlineExceeded)) => missed.push(s),
+                Ok(Err(err)) => {
+                    self.metrics.record_error();
+                    return Err(err);
+                }
+                Err(_panic) => {
+                    self.quarantine.quarantine(s);
+                    panicked.push(s);
+                }
+            }
+        }
+
+        let mut degraded: Vec<usize> = quarantined.to_vec();
+        degraded.extend_from_slice(&panicked);
+        degraded.extend_from_slice(&missed);
+        degraded.sort_unstable();
+        if !degraded.is_empty() {
+            // Deadline misses are the request's fault, so they only fail the request as
+            // `DeadlineExceeded`; a panicked (or already-quarantined) shard is named.
+            self.check_policy(
+                panicked.first().or(quarantined.first()).copied(),
+                degraded.len(),
+            )?;
         }
 
         // Gather: cross-shard dominance merge under the query's effective orders.
@@ -571,8 +1011,8 @@ impl ShardedService {
         let mut merger = SkylineMerger::new(orders, self.schema.numeric_count());
         let mut numeric = vec![0.0f64; self.schema.numeric_count()];
         let mut nominal = vec![ValueId::default(); self.schema.nominal_count()];
-        for (s, outcome) in outcomes.iter().enumerate() {
-            let data = guards[s].dataset();
+        for (s, outcome) in &outcomes {
+            let data = guards[*s].dataset();
             for &p in &outcome.skyline {
                 for (j, v) in numeric.iter_mut().enumerate() {
                     *v = data.numeric(p, j);
@@ -580,7 +1020,7 @@ impl ShardedService {
                 for (j, v) in nominal.iter_mut().enumerate() {
                     *v = data.nominal(p, j);
                 }
-                merger.push(s, p, &numeric, &nominal)?;
+                merger.push(*s, p, &numeric, &nominal)?;
             }
         }
         let value = Arc::new(ShardedOutcome {
@@ -589,15 +1029,20 @@ impl ShardedService {
                 .into_iter()
                 .map(|(shard, row)| GlobalRowId { shard, row })
                 .collect(),
-            methods: outcomes.iter().map(|o| o.method).collect(),
+            methods: outcomes.iter().map(|(_, o)| o.method).collect(),
         });
-        self.cache.insert(key, epochs.clone(), value.clone());
+        if degraded.is_empty() {
+            self.cache.insert(key, epochs.clone(), value.clone());
+        } else {
+            self.metrics.record_degraded();
+        }
         let latency = started.elapsed();
         self.metrics.record(false, latency);
         Ok(ShardedServed {
             outcome: value,
             cache_hit: false,
             epochs,
+            degraded_shards: degraded,
             latency,
         })
     }
@@ -957,6 +1402,194 @@ mod tests {
         let after = service.serve(&pref).unwrap();
         assert!(!after.cache_hit);
         assert_eq!(after.outcome.skyline.len(), 1, "x=0.5 rows dominate");
+    }
+
+    /// Merged skyline of a subset of shards, computed independently of the serve path
+    /// (per-shard engine queries + the public merger) — the ground truth for degraded
+    /// answers.
+    fn merge_of_shards(
+        service: &ShardedService,
+        shards: &[usize],
+        pref: &Preference,
+    ) -> Vec<(Vec<u64>, Vec<ValueId>)> {
+        let orders: Vec<CompiledOrder> = service
+            .template()
+            .effective_orders(service.schema(), pref)
+            .unwrap()
+            .iter()
+            .map(CompiledOrder::compile)
+            .collect();
+        let mut merger = SkylineMerger::new(orders, service.schema().numeric_count());
+        for &s in shards {
+            let guard = service.shard(s).read();
+            let data = guard.dataset();
+            for p in guard.query(pref).unwrap().skyline {
+                let numeric: Vec<f64> = (0..service.schema().numeric_count())
+                    .map(|j| data.numeric(p, j))
+                    .collect();
+                let nominal: Vec<ValueId> = (0..service.schema().nominal_count())
+                    .map(|j| data.nominal(p, j))
+                    .collect();
+                merger.push(s, p, &numeric, &nominal).unwrap();
+            }
+        }
+        let mut values: Vec<_> = merger
+            .merge()
+            .into_iter()
+            .map(|(s, p)| value_key(service.shard(s).read().dataset(), p))
+            .collect();
+        values.sort();
+        values
+    }
+
+    #[test]
+    fn panicking_shard_is_quarantined_and_tolerant_gathers_degrade() {
+        let (data, template) = experiment(300, 31);
+        let service = ShardedService::build(
+            &data,
+            template.clone(),
+            EngineConfig::AdaptiveSfs,
+            ShardedConfig {
+                shards: 3,
+                workers: 2,
+                degrade: DegradePolicy::Tolerate { max_degraded: 1 },
+                recovery: RecoveryPolicy {
+                    max_attempts: 3,
+                    initial_backoff: Duration::from_millis(1),
+                    max_backoff: Duration::from_millis(20),
+                },
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        let mut generator = QueryGenerator::new(41);
+        let pref = generator.random_preference(data.schema(), &template, 2, None);
+
+        // Mid-scatter panic: shard 1 dies, the gather answers from shards 0 and 2.
+        service.fault_injector().panic_on_shard_query(1, 1);
+        let degraded = service.serve(&pref).unwrap();
+        assert!(degraded.is_degraded());
+        assert_eq!(degraded.degraded_shards, vec![1]);
+        assert_eq!(service.quarantined_shards(), vec![1]);
+        assert_eq!(degraded.outcome.methods.len(), 2, "two answering shards");
+        assert_eq!(
+            sharded_values(&service, &degraded),
+            merge_of_shards(&service, &[0, 2], &pref),
+            "degraded answer is exactly the healthy shards' merge"
+        );
+        let partial = degraded.partial().unwrap();
+        assert_eq!(partial.degraded_shards, vec![1]);
+        assert_eq!(partial.rows, degraded.outcome.skyline);
+        assert!(
+            partial.rows.iter().all(|g| g.shard != 1),
+            "no row of a quarantined shard in a partial answer"
+        );
+        assert_eq!(service.cache_len(), 0, "partial answers are never cached");
+        assert_eq!(service.stats().degraded, 1);
+
+        // The shard stays quarantined (pre-scatter degraded path) until its backoff
+        // recovery rebuild lands; then full — and cacheable — answers resume.
+        std::thread::sleep(Duration::from_millis(5));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let served = service.serve(&pref).unwrap();
+            if !served.is_degraded() {
+                assert!(service.quarantined_shards().is_empty());
+                assert_eq!(
+                    sharded_values(&service, &served),
+                    merge_of_shards(&service, &[0, 1, 2], &pref),
+                    "recovered service serves the complete answer again"
+                );
+                break;
+            }
+            assert!(Instant::now() < deadline, "shard never recovered");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(service.serve(&pref).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn fail_closed_names_the_broken_shard_and_explicit_recovery_heals() {
+        let (data, template) = experiment(200, 37);
+        let service = ShardedService::build(
+            &data,
+            template.clone(),
+            EngineConfig::AdaptiveSfs,
+            ShardedConfig {
+                shards: 2,
+                workers: 1,
+                // Automatic recovery disabled: only `recover_shard` may heal.
+                recovery: RecoveryPolicy {
+                    max_attempts: 0,
+                    ..RecoveryPolicy::default()
+                },
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        let mut generator = QueryGenerator::new(43);
+        let pref = generator.random_preference(data.schema(), &template, 2, None);
+
+        service.fault_injector().panic_on_shard_query(0, 1);
+        assert_eq!(
+            service.serve(&pref).unwrap_err(),
+            SkylineError::ShardUnavailable { shard: 0 }
+        );
+        // Still quarantined: fail-closed keeps failing without another panic.
+        assert_eq!(
+            service.serve(&pref).unwrap_err(),
+            SkylineError::ShardUnavailable { shard: 0 }
+        );
+        assert_eq!(service.quarantined_shards(), vec![0]);
+        assert_eq!(service.cache_len(), 0);
+
+        assert!(service.recover_shard(0).unwrap());
+        assert!(service.quarantined_shards().is_empty());
+        let served = service.serve(&pref).unwrap();
+        assert!(!served.is_degraded());
+        assert!(
+            service.recover_shard(0).unwrap(),
+            "healthy shard is a no-op"
+        );
+        assert!(service.recover_shard(9).is_err(), "unknown shard");
+    }
+
+    #[test]
+    fn cached_answers_keep_serving_through_a_quarantine() {
+        let (data, template) = experiment(250, 47);
+        let service = ShardedService::build(
+            &data,
+            template.clone(),
+            EngineConfig::AdaptiveSfs,
+            ShardedConfig {
+                shards: 2,
+                workers: 1,
+                degrade: DegradePolicy::Tolerate { max_degraded: 1 },
+                recovery: RecoveryPolicy {
+                    max_attempts: 0,
+                    ..RecoveryPolicy::default()
+                },
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        let mut generator = QueryGenerator::new(53);
+        let cached_pref = generator.random_preference(data.schema(), &template, 2, None);
+        let full = service.serve(&cached_pref).unwrap();
+        assert!(!full.cache_hit);
+
+        // Quarantine shard 1 via a different query's scatter panic.
+        let other = generator.random_preference(data.schema(), &template, 1, None);
+        service.fault_injector().panic_on_shard_query(1, 1);
+        let _ = service.serve(&other);
+        assert_eq!(service.quarantined_shards(), vec![1]);
+
+        // The cached complete answer still serves — data is intact, only availability is
+        // suspect — while fresh misses degrade.
+        let hit = service.serve(&cached_pref).unwrap();
+        assert!(hit.cache_hit);
+        assert!(!hit.is_degraded());
+        assert_eq!(hit.outcome.skyline, full.outcome.skyline);
     }
 
     #[test]

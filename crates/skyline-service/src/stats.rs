@@ -20,6 +20,9 @@ pub struct ServiceMetrics {
     mutations: AtomicU64,
     remapped_hits: AtomicU64,
     coalesced: AtomicU64,
+    shed: AtomicU64,
+    deadline_misses: AtomicU64,
+    degraded: AtomicU64,
     latency_ns: [AtomicU64; BUCKETS],
 }
 
@@ -32,6 +35,9 @@ impl Default for ServiceMetrics {
             mutations: AtomicU64::new(0),
             remapped_hits: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
             latency_ns: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -77,6 +83,24 @@ impl ServiceMetrics {
         self.coalesced.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a request rejected by admission control (the queue was full, the request was
+    /// shed with [`skyline_core::SkylineError::Overloaded`] without touching the engine).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request that expired its [`skyline_core::Deadline`] (or was cancelled)
+    /// before completing.
+    pub fn record_deadline_miss(&self) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a degraded (partial) response: one or more shards were quarantined or missed
+    /// the deadline and the configured policy tolerated answering from the healthy rest.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot of the counters (individual loads are relaxed).
     pub fn snapshot(&self) -> StatsSnapshot {
         let hits = self.hits.load(Ordering::Relaxed);
@@ -96,6 +120,10 @@ impl ServiceMetrics {
             remap_misses: 0,
             remapped_hits: self.remapped_hits.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            queue_depth: 0,
             rebuilds: 0,
             reclaimed_rows: 0,
             p50: percentile(&buckets, 0.50),
@@ -151,6 +179,17 @@ pub struct StatsSnapshot {
     /// Queries that waited on another thread's identical in-flight computation instead of
     /// running the engine themselves (single-flight collapses of concurrent cold misses).
     pub coalesced: u64,
+    /// Requests rejected by admission control: the bounded queue was full and the request was
+    /// shed with `Overloaded` before touching the engine (reject-newest).
+    pub shed: u64,
+    /// Requests that expired their deadline (or were cancelled) before completing.
+    pub deadline_misses: u64,
+    /// Degraded (partial) responses served from healthy shards while others were quarantined
+    /// or past deadline — only non-zero under a tolerant degrade policy.
+    pub degraded: u64,
+    /// Requests inside the admission queue right now (a gauge, not a counter; filled in from
+    /// the admission queue by the owning service's `stats`).
+    pub queue_depth: u64,
     /// Generation rebuilds installed on the engine — background compaction + IPO
     /// re-materialization swaps (filled in from the engine by `SkylineService::stats`).
     pub rebuilds: u64,

@@ -1,0 +1,420 @@
+//! Fault isolation: injected shard panics and delays never corrupt an answer.
+//!
+//! The central proptest runs a *twin experiment* — one [`ShardedService`] with faults
+//! injected, one fault-free, both fed the identical mutation stream — and checks, at every
+//! serve of any interleaving of faults and mutations:
+//!
+//! 1. non-degraded responses are exactly the fault-free sharded answer;
+//! 2. degraded responses are the fault-free answer restricted to the healthy shards
+//!    (computed independently via per-shard queries + the public cross-shard merger);
+//! 3. the cache never stores a partial or cancelled result — every cache hit is complete.
+//!
+//! Around it sit deterministic scenarios for the quarantine lifecycle: a background build
+//! panic quarantines its shard, the service keeps answering degraded in the meantime, and
+//! the shard returns to service through the bounded backoff rebuild.
+
+use proptest::prelude::*;
+use skyline::prelude::*;
+use skyline_core::{CompiledOrder, Deadline, SkylineMerger};
+use skyline_service::{
+    DegradePolicy, GlobalRowId, RecoveryPolicy, ShardPartition, ShardedConfig, ShardedServed,
+    ShardedService,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CARD: usize = 3;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Dimension::numeric("x"),
+        Dimension::numeric("y"),
+        Dimension::nominal("g", NominalDomain::anonymous(CARD)),
+    ])
+    .unwrap()
+}
+
+type Rows = Vec<(Vec<f64>, Vec<ValueId>)>;
+
+fn rows_strategy() -> impl Strategy<Value = Rows> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0i32..6, 2)
+                .prop_map(|v| v.into_iter().map(f64::from).collect::<Vec<f64>>()),
+            proptest::collection::vec(0..(CARD as ValueId), 1),
+        ),
+        1..16,
+    )
+}
+
+fn initial_dataset(rows: &Rows) -> Dataset {
+    let mut data = Dataset::empty(schema());
+    for (numeric, nominal) in rows {
+        data.push_row_ids(numeric, nominal).unwrap();
+    }
+    data
+}
+
+/// One step of the interleaved fault/mutation/query stream.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert {
+        numeric: Vec<f64>,
+        nominal: Vec<ValueId>,
+    },
+    Delete {
+        index: usize,
+    },
+    /// Arm: the faulty twin's next scatter query on `shard % shards` panics.
+    Panic {
+        shard: usize,
+    },
+    Serve {
+        choices: Vec<ValueId>,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            proptest::collection::vec(0i32..6, 2),
+            proptest::collection::vec(0..(CARD as ValueId), 1),
+        )
+            .prop_map(|(n, c)| Op::Insert {
+                numeric: n.into_iter().map(f64::from).collect(),
+                nominal: c,
+            }),
+        (0usize..64).prop_map(|index| Op::Delete { index }),
+        (0usize..8).prop_map(|shard| Op::Panic { shard }),
+        proptest::sample::subsequence((0..CARD as ValueId).collect::<Vec<_>>(), 0..=2)
+            .prop_map(|choices| Op::Serve { choices }),
+    ]
+}
+
+type ValueKey = (Vec<u64>, Vec<ValueId>);
+
+fn value_key(data: &Dataset, p: PointId) -> ValueKey {
+    let schema = data.schema();
+    (
+        (0..schema.numeric_count())
+            .map(|j| data.numeric(p, j).to_bits())
+            .collect(),
+        (0..schema.nominal_count())
+            .map(|j| data.nominal(p, j))
+            .collect(),
+    )
+}
+
+fn served_values(service: &ShardedService, served: &ShardedServed) -> Vec<ValueKey> {
+    let mut values: Vec<ValueKey> = served
+        .outcome
+        .skyline
+        .iter()
+        .map(|g| value_key(service.shard(g.shard).read().dataset(), g.row))
+        .collect();
+    values.sort();
+    values
+}
+
+/// Ground truth for a (possibly degraded) answer: merge the per-shard skylines of `shards`,
+/// computed through per-shard engine queries and the public merger — independent of the
+/// scatter-gather serve path under test.
+fn merge_of_shards(service: &ShardedService, shards: &[usize], pref: &Preference) -> Vec<ValueKey> {
+    let orders: Vec<CompiledOrder> = service
+        .template()
+        .effective_orders(service.schema(), pref)
+        .unwrap()
+        .iter()
+        .map(CompiledOrder::compile)
+        .collect();
+    let mut merger = SkylineMerger::new(orders, service.schema().numeric_count());
+    for &s in shards {
+        let guard = service.shard(s).read();
+        let data = guard.dataset();
+        for p in guard.query(pref).unwrap().skyline {
+            let numeric: Vec<f64> = (0..service.schema().numeric_count())
+                .map(|j| data.numeric(p, j))
+                .collect();
+            let nominal: Vec<ValueId> = (0..service.schema().nominal_count())
+                .map(|j| data.nominal(p, j))
+                .collect();
+            merger.push(s, p, &numeric, &nominal).unwrap();
+        }
+    }
+    let mut values: Vec<ValueKey> = merger
+        .merge()
+        .into_iter()
+        .map(|(s, p)| value_key(service.shard(s).read().dataset(), p))
+        .collect();
+    values.sort();
+    values
+}
+
+fn build_service(data: &Dataset, shards: usize, tolerate_all: bool) -> ShardedService {
+    ShardedService::build(
+        data,
+        Template::empty(data.schema()),
+        EngineConfig::AdaptiveSfs,
+        ShardedConfig {
+            shards,
+            partition: ShardPartition::HashNominal { dim: 0 },
+            workers: 2,
+            degrade: if tolerate_all {
+                DegradePolicy::Tolerate {
+                    max_degraded: shards,
+                }
+            } else {
+                DegradePolicy::FailClosed
+            },
+            // Deterministic quarantine: no automatic recovery mid-stream, shards stay
+            // quarantined until the explicit recovery at the end of the case.
+            recovery: RecoveryPolicy {
+                max_attempts: 0,
+                ..RecoveryPolicy::default()
+            },
+            ..ShardedConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// The twin experiment from the module docs: faults degrade availability, never
+    /// correctness, under any interleaving of injected panics and mutations.
+    #[test]
+    fn faults_degrade_availability_never_correctness(
+        initial in rows_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 0..24),
+        shards in 2usize..=4,
+    ) {
+        let data = initial_dataset(&initial);
+        let faulty = build_service(&data, shards, true);
+        let clean = build_service(&data, shards, true);
+
+        // Logical rows in insertion order; global ids are identical on both twins (same
+        // partition, same insertion order) until a recovery rebuild — which only happens
+        // after the mutation stream ends.
+        let mut rows: Vec<Option<GlobalRowId>> =
+            ShardedService::partition_rows(faulty.partition(), shards, &data)
+                .into_iter()
+                .map(Some)
+                .collect();
+
+        for op in &ops {
+            match op {
+                Op::Insert { numeric, nominal } => {
+                    let f = faulty.insert_row(numeric, nominal).unwrap();
+                    let c = clean.insert_row(numeric, nominal).unwrap();
+                    prop_assert_eq!(f, c, "twins place rows identically");
+                    rows.push(Some(f));
+                }
+                Op::Delete { index } => {
+                    let target = index % rows.len();
+                    if let Some(g) = rows[target] {
+                        let f_live = faulty.delete_row(g).unwrap();
+                        let c_live = clean.delete_row(g).unwrap();
+                        prop_assert_eq!(f_live, c_live, "twins agree on liveness");
+                        rows[target] = None;
+                    }
+                }
+                Op::Panic { shard } => {
+                    faulty.fault_injector().panic_on_shard_query(shard % shards, 1);
+                }
+                Op::Serve { choices } => {
+                    let pref = Preference::from_dims(vec![
+                        ImplicitPreference::new(choices.clone()).unwrap(),
+                    ]);
+                    let cache_before = faulty.cache_len();
+                    let served = faulty.serve(&pref).unwrap();
+                    if served.cache_hit {
+                        prop_assert!(
+                            !served.is_degraded(),
+                            "a cache hit can only be a complete answer"
+                        );
+                    }
+                    if served.is_degraded() {
+                        // Lazy stale eviction may shrink the cache on lookup, but a
+                        // degraded serve must never *add* an entry. (That cached answers
+                        // are complete and correct is enforced by the cache-hit branch
+                        // below comparing them against the fault-free twin.)
+                        prop_assert!(
+                            faulty.cache_len() <= cache_before,
+                            "degraded answers are never cached"
+                        );
+                        // Degraded shards reported = exactly the quarantined set (panics
+                        // only here; no deadlines are in play).
+                        prop_assert_eq!(
+                            served.degraded_shards.clone(),
+                            faulty.quarantined_shards(),
+                            "degraded answers name exactly the quarantined shards"
+                        );
+                        let healthy: Vec<usize> = (0..shards)
+                            .filter(|s| !served.degraded_shards.contains(s))
+                            .collect();
+                        prop_assert_eq!(
+                            served_values(&faulty, &served),
+                            merge_of_shards(&clean, &healthy, &pref),
+                            "degraded answer == fault-free answer restricted to healthy shards"
+                        );
+                    } else {
+                        let reference = clean.serve(&pref).unwrap();
+                        prop_assert!(!reference.is_degraded());
+                        prop_assert_eq!(
+                            served_values(&faulty, &served),
+                            served_values(&clean, &reference),
+                            "non-degraded answer == fault-free sharded answer"
+                        );
+                    }
+                }
+            }
+        }
+
+        // Recovery: disarm the injector, heal every quarantined shard explicitly, and the
+        // twins converge back to identical complete answers.
+        faulty.fault_injector().clear();
+        for s in faulty.quarantined_shards() {
+            prop_assert!(faulty.recover_shard(s).unwrap());
+        }
+        prop_assert!(faulty.quarantined_shards().is_empty());
+        let pref = Preference::from_dims(vec![ImplicitPreference::new([0]).unwrap()]);
+        let healed = faulty.serve(&pref).unwrap();
+        prop_assert!(!healed.is_degraded());
+        let reference = clean.serve(&pref).unwrap();
+        prop_assert_eq!(
+            served_values(&faulty, &healed),
+            served_values(&clean, &reference)
+        );
+    }
+}
+
+/// A cancelled request fails fast with `DeadlineExceeded`, is counted, and leaves no trace
+/// in the cache.
+#[test]
+fn cancelled_requests_leave_no_cache_entries() {
+    let data = initial_dataset(&vec![
+        (vec![1.0, 2.0], vec![0]),
+        (vec![2.0, 1.0], vec![1]),
+        (vec![0.5, 3.0], vec![2]),
+    ]);
+    let service = build_service(&data, 2, false);
+    let pref = Preference::from_dims(vec![ImplicitPreference::new([0]).unwrap()]);
+
+    let token = skyline_core::CancelToken::new();
+    token.cancel();
+    let deadline = Deadline::none().with_cancel(token);
+    assert_eq!(
+        service.serve_deadline(&pref, &deadline).unwrap_err(),
+        SkylineError::DeadlineExceeded
+    );
+    assert_eq!(service.cache_len(), 0, "cancelled results are never cached");
+    assert_eq!(service.stats().deadline_misses, 1);
+    assert!(
+        service.quarantined_shards().is_empty(),
+        "cancellation is not a shard fault"
+    );
+
+    // The same request without the token answers (and caches) normally.
+    let served = service.serve(&pref).unwrap();
+    assert!(!served.cache_hit);
+    assert_eq!(service.cache_len(), 1);
+
+    // A cancelled request fails fast even when the answer is sitting in the cache —
+    // returning an answer to a caller that revoked the request is wrong.
+    let token = skyline_core::CancelToken::new();
+    token.cancel();
+    assert_eq!(
+        service
+            .serve_deadline(&pref, &Deadline::none().with_cancel(token))
+            .unwrap_err(),
+        SkylineError::DeadlineExceeded
+    );
+}
+
+/// A panic inside a *background* build (the shared pool) quarantines its shard: the pool
+/// worker survives (its drop guard releases the slot), the service keeps answering degraded
+/// under a tolerant policy, and the shard heals through the serve-driven backoff rebuild.
+#[test]
+fn background_build_panic_quarantines_then_recovers() {
+    let config = ExperimentConfig {
+        n: 240,
+        numeric_dims: 2,
+        nominal_dims: 2,
+        cardinality: 6,
+        theta: 1.0,
+        pref_order: 2,
+        distribution: Distribution::AntiCorrelated,
+        seed: 61,
+    };
+    let data = Arc::new(config.generate_dataset());
+    let template = config.template(&data);
+    let service = ShardedService::build(
+        &data,
+        template.clone(),
+        EngineConfig::AdaptiveSfs,
+        ShardedConfig {
+            shards: 3,
+            workers: 2,
+            degrade: DegradePolicy::Tolerate { max_degraded: 1 },
+            recovery: RecoveryPolicy {
+                max_attempts: 5,
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(20),
+            },
+            maintenance: Some(MaintenancePolicy {
+                dead_row_ratio: 0.01,
+                max_mutations_since_rebuild: u64::MAX,
+                poll_interval: Duration::from_millis(5),
+            }),
+            build_threads: 1,
+            max_in_flight_builds: 1,
+            ..ShardedConfig::default()
+        },
+    )
+    .unwrap();
+    let mut generator = QueryGenerator::new(67);
+    let pref = generator.random_preference(data.schema(), &template, 2, None);
+
+    // The victim shard's next background build panics. Deleting one of its rows makes the
+    // pool's policy due; the nudge comes from the mutation itself.
+    let victim = 1;
+    service.fault_injector().panic_on_build(victim, 1);
+    assert!(service
+        .delete_row(GlobalRowId {
+            shard: victim,
+            row: 0
+        })
+        .unwrap());
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !service.quarantined_shards().contains(&victim) {
+        assert!(
+            Instant::now() < deadline,
+            "build panic never quarantined the shard"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // While quarantined, the service answers degraded — never errors, never caches partials.
+    let during = service.serve(&pref).unwrap();
+    if during.is_degraded() {
+        assert_eq!(during.degraded_shards, vec![victim]);
+        assert_eq!(service.cache_len(), 0);
+    }
+
+    // The serve-driven backoff rebuild heals it (the failpoint consumed itself above), and
+    // the dead row it was quarantined with gets reclaimed by that same rebuild.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let served = service.serve(&pref).unwrap();
+        if !served.is_degraded() && service.quarantined_shards().is_empty() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "shard never recovered");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(service.shard(victim).read().dead_rows(), 0);
+    let healed = service.serve(&pref).unwrap();
+    assert!(!healed.is_degraded());
+}

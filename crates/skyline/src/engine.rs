@@ -9,7 +9,9 @@ use skyline_adaptive::{AdaptiveSfs, MaintenanceStats, QueryScratch};
 use skyline_core::algo::sfs;
 use skyline_core::kernel::{CompiledRelation, DatasetEpoch, PointBlock, RowIdRemap};
 use skyline_core::score::ScoreFn;
-use skyline_core::{Dataset, PointId, Preference, Result, SkylineError, Template, ValueId};
+use skyline_core::{
+    Dataset, Deadline, PointId, Preference, Result, SkylineError, Template, ValueId,
+};
 use skyline_ipo::{BitmapIpoTree, IpoTree, IpoTreeBuilder};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -391,13 +393,27 @@ impl SharedEngine {
     }
 
     /// Read access (shared, concurrent).
+    ///
+    /// A poisoned lock is recovered rather than propagated: only a *writer* panicking
+    /// mid-mutation poisons an `RwLock`, and the engine's mutation paths keep the structure
+    /// consistent at every `?` / panic point (fault-injection build panics fire before any
+    /// state is touched; a torn rebuild is healed by [`SkylineEngine::abort_rebuild`]).
+    /// Recovering keeps a quarantined shard's epoch readable so the healthy rest of a
+    /// sharded service can keep answering.
     pub fn read(&self) -> RwLockReadGuard<'_, SkylineEngine> {
-        self.inner.read().expect("engine lock poisoned")
+        self.inner.read().unwrap_or_else(|poisoned| {
+            self.inner.clear_poison();
+            poisoned.into_inner()
+        })
     }
 
-    /// Write access (exclusive) for mutations.
+    /// Write access (exclusive) for mutations. Recovers a poisoned lock — see
+    /// [`SharedEngine::read`] for why that is sound here.
     pub fn write(&self) -> RwLockWriteGuard<'_, SkylineEngine> {
-        self.inner.write().expect("engine lock poisoned")
+        self.inner.write().unwrap_or_else(|poisoned| {
+            self.inner.clear_poison();
+            poisoned.into_inner()
+        })
     }
 
     /// Runs one full generation rebuild synchronously: snapshot under the write lock
@@ -915,6 +931,21 @@ impl SkylineEngine {
         self.query_with_scratch(pref, scratch)
     }
 
+    /// Like [`SkylineEngine::query_at`] under a request [`Deadline`]: the elimination scans
+    /// poll the deadline at block granularity and the call fails with
+    /// [`SkylineError::DeadlineExceeded`] once the budget is spent — releasing the worker
+    /// instead of finishing an answer nobody is waiting for.
+    pub fn query_at_deadline(
+        &self,
+        pref: &Preference,
+        epoch: DatasetEpoch,
+        deadline: &Deadline,
+        scratch: &mut EngineScratch,
+    ) -> Result<QueryOutcome> {
+        self.ensure_epoch(epoch)?;
+        self.query_with_deadline(pref, deadline, scratch)
+    }
+
     /// Like [`SkylineEngine::query`], reusing caller-owned scratch buffers across queries.
     ///
     /// Threads that answer many queries (the `skyline-service` worker pool) keep one
@@ -925,12 +956,33 @@ impl SkylineEngine {
         pref: &Preference,
         scratch: &mut EngineScratch,
     ) -> Result<QueryOutcome> {
+        self.query_with_deadline(pref, &Deadline::none(), scratch)
+    }
+
+    /// Like [`SkylineEngine::query_with_scratch`] under a request [`Deadline`]. The
+    /// Adaptive-SFS and SFS-D elimination scans poll the deadline at block granularity; the
+    /// IPO tree paths (set operations, orders of magnitude cheaper than a scan) check it once
+    /// up front.
+    pub fn query_with_deadline(
+        &self,
+        pref: &Preference,
+        deadline: &Deadline,
+        scratch: &mut EngineScratch,
+    ) -> Result<QueryOutcome> {
+        deadline.check()?;
         match self.config {
-            EngineConfig::SfsD => self.query_sfs_d(pref),
+            EngineConfig::SfsD => self.query_sfs_d(pref, deadline),
             EngineConfig::AdaptiveSfs => {
                 let asfs = self.generation.asfs.as_ref().expect("built in build()");
                 Ok(QueryOutcome {
-                    skyline: asfs.query_with_scratch(pref, &mut scratch.asfs)?,
+                    skyline: asfs
+                        .query_deadline_scratch(
+                            pref,
+                            skyline_adaptive::ScanMode::default(),
+                            deadline,
+                            &mut scratch.asfs,
+                        )?
+                        .0,
                     method: MethodUsed::AdaptiveSfs,
                 })
             }
@@ -966,7 +1018,14 @@ impl SkylineEngine {
                 } else {
                     let asfs = self.generation.asfs.as_ref().expect("built in build()");
                     Ok(QueryOutcome {
-                        skyline: asfs.query_with_scratch(pref, &mut scratch.asfs)?,
+                        skyline: asfs
+                            .query_deadline_scratch(
+                                pref,
+                                skyline_adaptive::ScanMode::default(),
+                                deadline,
+                                &mut scratch.asfs,
+                            )?
+                            .0,
                         method: MethodUsed::AdaptiveSfs,
                     })
                 }
@@ -978,7 +1037,7 @@ impl SkylineEngine {
     /// the elimination scan on the compiled dominance kernel (the engine's shared point block
     /// plus orders compiled for this query). Tombstoned rows never enter the candidate list,
     /// so the compiled scan skips them without any rebuild.
-    fn query_sfs_d(&self, pref: &Preference) -> Result<QueryOutcome> {
+    fn query_sfs_d(&self, pref: &Preference, deadline: &Deadline) -> Result<QueryOutcome> {
         let block = self
             .generation
             .block
@@ -989,7 +1048,7 @@ impl SkylineEngine {
         let score = ScoreFn::for_preference(data.schema(), pref)?;
         let all: Vec<PointId> = block.live_ids().collect();
         let sorted = score.sort_by_score(data, &all);
-        let mut skyline = sfs::scan_presorted(&dom, &sorted);
+        let (mut skyline, _) = sfs::scan_presorted_deadline(&dom, &sorted, deadline)?;
         skyline.sort_unstable();
         Ok(QueryOutcome {
             skyline,

@@ -54,7 +54,7 @@ pub use engine::{
     PendingGeneration, QueryOutcome, SharedEngine, SkylineEngine, REMAP_CHAIN_LIMIT,
 };
 pub use maintenance::{
-    BuildHandle, BuildPool, BuildPoolConfig, MaintenanceHandle, MaintenancePolicy,
+    BuildHandle, BuildHook, BuildPool, BuildPoolConfig, MaintenanceHandle, MaintenancePolicy,
     MaintenanceWorker,
 };
 

@@ -24,9 +24,15 @@
 use crate::engine::SharedEngine;
 use skyline_core::Result;
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Callback a pool worker invokes right before a claimed slot's policy evaluation and build,
+/// receiving the slot id (registration order). Fault-injection harnesses use this to panic or
+/// stall a background build deterministically; the worker's release-on-unwind guard is what
+/// keeps such a panic from wedging the slot or leaking the in-flight cap.
+pub type BuildHook = Arc<dyn Fn(usize) + Send + Sync>;
 
 /// When a background worker should rebuild an engine's generation.
 ///
@@ -123,12 +129,59 @@ struct PoolState {
     shutdown: bool,
 }
 
+/// The build hook lives outside the scheduling mutex so installing or reading it never
+/// contends with claim/release traffic. Wrapped so `PoolInner` keeps deriving `Debug`.
+#[derive(Default)]
+struct HookCell(Mutex<Option<BuildHook>>);
+
+impl HookCell {
+    fn get(&self) -> Option<BuildHook> {
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| {
+                self.0.clear_poison();
+                poisoned.into_inner()
+            })
+            .clone()
+    }
+
+    fn set(&self, hook: Option<BuildHook>) {
+        *self.0.lock().unwrap_or_else(|poisoned| {
+            self.0.clear_poison();
+            poisoned.into_inner()
+        }) = hook;
+    }
+}
+
+impl std::fmt::Debug for HookCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("HookCell")
+            .field(&self.get().map(|_| "<hook>"))
+            .finish()
+    }
+}
+
 #[derive(Debug)]
 struct PoolInner {
     state: Mutex<PoolState>,
     wake: Condvar,
     max_in_flight: usize,
     poll_interval: Duration,
+    hook: HookCell,
+    panic_hook: HookCell,
+}
+
+/// Locks the pool's scheduling state, recovering from poison instead of propagating it.
+///
+/// The only code that can panic while holding this mutex is the heartbeat's policy
+/// evaluation (`policy.due(&engine.read())`), which never leaves `PoolState` itself torn —
+/// slots, the queue and the in-flight count are all updated before or after the call. A
+/// fault-injected build panic must not make every later `notify`/`drop` panic in sympathy.
+fn lock_state(inner: &PoolInner) -> MutexGuard<'_, PoolState> {
+    inner.state.lock().unwrap_or_else(|poisoned| {
+        inner.state.clear_poison();
+        poisoned.into_inner()
+    })
 }
 
 /// A shared pool of background build threads serving many engines (see the module docs).
@@ -151,6 +204,8 @@ impl BuildPool {
             wake: Condvar::new(),
             max_in_flight: config.max_in_flight.max(1),
             poll_interval: config.poll_interval,
+            hook: HookCell::default(),
+            panic_hook: HookCell::default(),
         });
         let threads = (0..config.threads.max(1))
             .map(|i| {
@@ -173,7 +228,7 @@ impl BuildPool {
         policy: MaintenancePolicy,
     ) -> BuildHandle {
         let engine = engine.into();
-        let mut state = self.inner.state.lock().expect("build pool poisoned");
+        let mut state = lock_state(&self.inner);
         let slot = state.slots.len();
         state.slots.push(Slot {
             engine: engine.clone(),
@@ -192,11 +247,22 @@ impl BuildPool {
 
     /// Number of generation builds currently running (diagnostics; racy by nature).
     pub fn in_flight(&self) -> usize {
-        self.inner
-            .state
-            .lock()
-            .expect("build pool poisoned")
-            .in_flight
+        lock_state(&self.inner).in_flight
+    }
+
+    /// Installs (or with `None`, clears) the [`BuildHook`] every worker calls before a
+    /// claimed slot's build cycle. Intended for fault-injection tests; production pools leave
+    /// it unset and pay one uncontended mutex read per claim.
+    pub fn set_build_hook(&self, hook: Option<BuildHook>) {
+        self.inner.hook.set(hook);
+    }
+
+    /// Installs (or clears) a hook called with the slot id whenever that slot's build cycle
+    /// panics (after the slot has been released and any torn rebuild aborted). A sharded
+    /// service uses this to quarantine the shard whose background build died instead of
+    /// silently retrying it forever.
+    pub fn set_panic_hook(&self, hook: Option<BuildHook>) {
+        self.inner.panic_hook.set(hook);
     }
 
     /// Number of build worker threads.
@@ -208,7 +274,7 @@ impl BuildPool {
 impl Drop for BuildPool {
     fn drop(&mut self) {
         {
-            let mut state = self.inner.state.lock().expect("build pool poisoned");
+            let mut state = lock_state(&self.inner);
             state.shutdown = true;
         }
         self.inner.wake.notify_all();
@@ -231,7 +297,7 @@ impl BuildHandle {
     /// Nudges the pool to evaluate this engine's policy now instead of waiting for the next
     /// poll tick. Non-blocking and cheap — call it after every mutation.
     pub fn notify(&self) {
-        let mut state = self.inner.state.lock().expect("build pool poisoned");
+        let mut state = lock_state(&self.inner);
         if state.shutdown {
             return;
         }
@@ -266,15 +332,35 @@ impl BuildHandle {
 
 impl Drop for BuildHandle {
     fn drop(&mut self) {
-        let mut state = self.inner.state.lock().expect("build pool poisoned");
+        let mut state = lock_state(&self.inner);
         if let Some(slot) = state.slots.get_mut(self.slot) {
             slot.detached = true;
         }
     }
 }
 
+/// Restore-on-drop guard for a claimed slot: clears `building`, frees the in-flight cap and
+/// wakes a sibling worker even when the build cycle unwinds. Without this, one panicking
+/// build (a bug, or an injected fault) would leak `in_flight` forever and silently wedge the
+/// whole pool at its cap.
+struct SlotRelease<'a> {
+    inner: &'a PoolInner,
+    id: usize,
+}
+
+impl Drop for SlotRelease<'_> {
+    fn drop(&mut self) {
+        let mut state = lock_state(self.inner);
+        state.slots[self.id].building = false;
+        state.in_flight -= 1;
+        drop(state);
+        // A slot may have become runnable (cap freed) — wake a sibling.
+        self.inner.wake.notify_one();
+    }
+}
+
 fn worker_loop(inner: &PoolInner) {
-    let mut state = inner.state.lock().expect("build pool poisoned");
+    let mut state = lock_state(inner);
     loop {
         if state.shutdown {
             return;
@@ -299,21 +385,44 @@ fn worker_loop(inner: &PoolInner) {
             state.in_flight += 1;
             drop(state);
             // Policy evaluation and the build itself run without the pool lock: other
-            // workers keep scheduling, notifies never block on a build.
-            if policy.due(&engine.read()) {
-                let _ = run_cycle(&engine);
+            // workers keep scheduling, notifies never block on a build. The cycle runs under
+            // `catch_unwind` so a panicking build kills neither this worker thread nor (via
+            // `SlotRelease`) the slot's schedulability; the engine itself stays consistent
+            // because `SharedEngine` recovers its lock and a torn rebuild is aborted below.
+            let release = SlotRelease { inner, id };
+            let hook = inner.hook.get();
+            let entered_cycle = std::cell::Cell::new(false);
+            let cycle = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(hook) = &hook {
+                    hook(id);
+                }
+                if policy.due(&engine.read()) {
+                    entered_cycle.set(true);
+                    let _ = run_cycle(&engine);
+                }
+            }));
+            drop(release);
+            if cycle.is_err() {
+                if entered_cycle.get() && engine.read().rebuild_in_flight() {
+                    // The panic unwound `rebuild_now` between `begin_rebuild` and the
+                    // install; clear the flag or every future cycle no-ops on "already in
+                    // flight".
+                    engine.write().abort_rebuild();
+                }
+                if let Some(on_panic) = inner.panic_hook.get() {
+                    on_panic(id);
+                }
             }
-            state = inner.state.lock().expect("build pool poisoned");
-            state.slots[id].building = false;
-            state.in_flight -= 1;
-            // A slot may have become runnable (cap freed) — wake a sibling.
-            inner.wake.notify_one();
+            state = lock_state(inner);
             continue;
         }
         let (guard, timeout) = inner
             .wake
             .wait_timeout(state, inner.poll_interval)
-            .expect("build pool poisoned");
+            .unwrap_or_else(|poisoned| {
+                inner.state.clear_poison();
+                poisoned.into_inner()
+            });
         state = guard;
         if timeout.timed_out() {
             // Heartbeat: enqueue every registered engine whose debt crossed its policy.
@@ -567,6 +676,62 @@ mod tests {
             assert_eq!(engine.read().point_block().unwrap().dead_count(), 0);
         }
         assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn panicking_build_releases_slot_and_keeps_worker_alive() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let pool = BuildPool::new(BuildPoolConfig {
+            threads: 1, // one worker: if the panic killed it, nothing would ever build again
+            max_in_flight: 1,
+            poll_interval: Duration::from_millis(5),
+        });
+        let attempts = Arc::new(AtomicUsize::new(0));
+        pool.set_build_hook(Some(Arc::new({
+            let attempts = attempts.clone();
+            move |_slot| {
+                // First claimed cycle dies mid-build; every later one succeeds.
+                if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("injected build fault");
+                }
+            }
+        })));
+        let engine = shared(EngineConfig::AdaptiveSfs);
+        let handle = pool.register(
+            engine.clone(),
+            MaintenancePolicy {
+                dead_row_ratio: 0.1,
+                max_mutations_since_rebuild: u64::MAX,
+                poll_interval: Duration::from_millis(5),
+            },
+        );
+        engine.write().delete_row(0).unwrap();
+        engine.write().delete_row(1).unwrap();
+        handle.notify();
+        // The first cycle panics; the drop guard must release the slot and the in-flight
+        // cap, the worker must survive, and the still-due engine must be rebuilt by a
+        // later cycle (heartbeat or this nudge).
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while engine.read().maintenance_stats().rebuilds == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "panicking build wedged the pool (attempts: {})",
+                attempts.load(Ordering::SeqCst)
+            );
+            handle.notify();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            attempts.load(Ordering::SeqCst) >= 2,
+            "hook panicked then reran"
+        );
+        assert_eq!(pool.in_flight(), 0, "in-flight count restored on unwind");
+        assert!(!engine.read().rebuild_in_flight());
+        assert_eq!(engine.read().point_block().unwrap().dead_count(), 0);
+        // The pool keeps functioning for explicitly forced cycles too.
+        engine.write().delete_row(2).unwrap();
+        assert!(handle.force_rebuild().unwrap());
     }
 
     #[test]

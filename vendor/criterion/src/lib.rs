@@ -309,10 +309,8 @@ mod tests {
     #[test]
     fn env_gates_sample_budget_and_json_report() {
         let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        let json_path = std::env::temp_dir().join(format!(
-            "skyline_bench_report_{}.json",
-            std::process::id()
-        ));
+        let json_path =
+            std::env::temp_dir().join(format!("skyline_bench_report_{}.json", std::process::id()));
         let _ = std::fs::remove_file(&json_path);
         std::env::set_var("SKYLINE_BENCH_SAMPLES", "2");
         std::env::set_var("SKYLINE_BENCH_JSON", &json_path);
