@@ -889,11 +889,33 @@ pub struct ProgressiveScan {
     window_affected: DenseWindow,
 }
 
-impl Iterator for ProgressiveScan {
-    type Item = PointId;
+impl ProgressiveScan {
+    /// Number of candidates examined so far (the scan's position in the merged order).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
 
-    fn next(&mut self) -> Option<PointId> {
+    /// True once every candidate has been examined — no further point can be yielded.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos >= self.merged.len()
+    }
+
+    /// [`Iterator::next`] under a request [`Deadline`]: the candidate walk polls the deadline
+    /// once per [`DEADLINE_CHECK_INTERVAL`] candidates (block granularity, matching the batch
+    /// scans) and aborts with [`SkylineError::DeadlineExceeded`] on expiry. The scan stays
+    /// usable after an abort — a later call with a fresh deadline resumes where it stopped —
+    /// which is what lets a streaming follower pick up a timed-out leader's scan.
+    pub fn next_deadline(&mut self, deadline: &Deadline) -> Result<Option<PointId>> {
+        let bounded = deadline.is_bounded();
+        // One check per pull (each call is an external consumer touchpoint), plus the usual
+        // block-granularity polling for long dominated runs between yields.
+        if bounded {
+            deadline.check()?;
+        }
         while self.pos < self.merged.len() {
+            if bounded && self.pos.is_multiple_of(DEADLINE_CHECK_INTERVAL) {
+                deadline.check()?;
+            }
             let (p, is_affected) = self.merged[self.pos];
             self.pos += 1;
             let window = if is_affected {
@@ -907,10 +929,19 @@ impl Iterator for ProgressiveScan {
                 if is_affected {
                     self.dom.push_window(&mut self.window_affected, p);
                 }
-                return Some(p);
+                return Ok(Some(p));
             }
         }
-        None
+        Ok(None)
+    }
+}
+
+impl Iterator for ProgressiveScan {
+    type Item = PointId;
+
+    fn next(&mut self) -> Option<PointId> {
+        self.next_deadline(&Deadline::none())
+            .expect("an unbounded deadline never expires")
     }
 }
 
@@ -1321,6 +1352,33 @@ mod tests {
         assert_eq!(streamed, before);
         // New queries see the new row.
         assert_eq!(asfs.query(&pref).unwrap(), oracle(&asfs, &pref));
+    }
+
+    #[test]
+    fn progressive_scan_honours_deadlines_and_resumes_after_expiry() {
+        let data = vacation_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let asfs = AdaptiveSfs::build(data, &template).unwrap();
+        let pref = Preference::parse(&schema, [("hotel-group", "T < M < *")]).unwrap();
+        let expected: Vec<PointId> = asfs.query_progressive(&pref).unwrap().collect();
+
+        let mut scan = asfs.query_progressive(&pref).unwrap();
+        // An already-expired deadline aborts before the first candidate is examined.
+        let expired = Deadline::within(std::time::Duration::ZERO);
+        assert_eq!(
+            scan.next_deadline(&expired).unwrap_err(),
+            SkylineError::DeadlineExceeded
+        );
+        assert_eq!(scan.position(), 0, "nothing consumed on abort");
+        // A fresh unbounded deadline resumes the same scan and yields the full sequence.
+        let mut resumed = Vec::new();
+        while let Some(p) = scan.next_deadline(&Deadline::none()).unwrap() {
+            resumed.push(p);
+        }
+        assert_eq!(resumed, expected);
+        assert!(scan.is_exhausted());
+        assert_eq!(scan.next_deadline(&Deadline::none()).unwrap(), None);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Progressive serving: time-to-first-row vs whole-skyline completion on a sharded service.
+//!
+//! The point of the streaming result path is that a caller gets the first confirmed skyline
+//! member long before the scatter finishes — the per-shard SFS scans emit in ascending
+//! query-score order and the cross-shard merger publishes a row as soon as every live shard
+//! has advanced past its score. The criterion arms measure the two cold-path endpoints on a
+//! 4-shard service (a fresh preference every iteration, so nothing is served from cache):
+//! `first_row` is construction + one confirmed row, `whole_skyline` drains the stream.
+//!
+//! The summary pass replays an open-loop Zipf workload (Poisson arrivals, each request on
+//! its own thread at its scheduled offset — a late answer does not delay the next arrival)
+//! and reports p50/p99 time-to-first-row against p50/p99 completion. On a full local run
+//! (`SKYLINE_BENCH_SAMPLES` unset, n=100k) it hard-asserts that p99 time-to-first-row is at
+//! least 3x lower than p99 whole-skyline completion — the progressive path must actually
+//! buy latency, not just restructure the API. The CI smoke job runs a scaled-down dataset
+//! and never hard-asserts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skyline::prelude::*;
+use skyline_service::{ShardedConfig, ShardedService};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Setup {
+    service: Arc<ShardedService>,
+    generator: QueryGenerator,
+    template: Template,
+    pref_order: usize,
+    theta: f64,
+    tuples: usize,
+}
+
+fn setup() -> Setup {
+    let smoke = std::env::var("SKYLINE_BENCH_SAMPLES").is_ok();
+    let tuples = if smoke { 8_000 } else { 100_000 };
+    let config = ExperimentConfig {
+        n: tuples,
+        ..ExperimentConfig::paper_default()
+    };
+    let data = config.generate_dataset();
+    let template = config.template(&data);
+    let service = ShardedService::build(
+        &data,
+        template.clone(),
+        EngineConfig::AdaptiveSfs,
+        ShardedConfig {
+            shards: 4,
+            workers: 4,
+            ..ShardedConfig::default()
+        },
+    )
+    .expect("sharded service builds");
+    Setup {
+        service: Arc::new(service),
+        generator: config.query_generator(),
+        template,
+        pref_order: config.pref_order,
+        theta: config.theta,
+        tuples,
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One open-loop request: sleep until the scheduled offset, stream the answer, and return
+/// `(time to first row, time to completion)` — or `None` if the admission gate shed it.
+fn open_loop_request(
+    service: &ShardedService,
+    start: Instant,
+    at: Duration,
+    pref: &Preference,
+) -> Option<(Duration, Duration)> {
+    let now = start.elapsed();
+    if at > now {
+        std::thread::sleep(at - now);
+    }
+    let issued = Instant::now();
+    match service.serve_streaming(pref) {
+        Ok(mut stream) => {
+            let first = stream.next_row().expect("stream pulls");
+            let ttfr = issued.elapsed();
+            if first.is_some() {
+                black_box(stream.collect_rows().expect("stream drains").len());
+            }
+            Some((ttfr, issued.elapsed()))
+        }
+        Err(SkylineError::Overloaded) => None,
+        Err(other) => panic!("unexpected error on the streaming path: {other}"),
+    }
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut s = setup();
+    let schema = s.service.schema().clone();
+    let mut group = c.benchmark_group("streaming_ttfr");
+    group.sample_size(5);
+    group.bench_function("first_row", |b| {
+        b.iter(|| {
+            let pref = s
+                .generator
+                .random_preference(&schema, &s.template, s.pref_order, None);
+            let mut stream = s.service.serve_streaming(&pref).expect("stream starts");
+            black_box(stream.next_row().expect("first row"))
+        })
+    });
+    group.bench_function("whole_skyline", |b| {
+        b.iter(|| {
+            let pref = s
+                .generator
+                .random_preference(&schema, &s.template, s.pref_order, None);
+            let stream = s.service.serve_streaming(&pref).expect("stream starts");
+            black_box(stream.collect_rows().expect("stream drains").len())
+        })
+    });
+    group.finish();
+
+    // Summary pass: an open-loop Zipf stream of preferences — a hot head that coalesces on
+    // the cache plus a cold tail that pays a real scatter, arriving on a Poisson schedule
+    // that does not wait for earlier answers. Every request measures its own first-row and
+    // completion latency from the moment it was issued.
+    let smoke = std::env::var("SKYLINE_BENCH_SAMPLES").is_ok();
+    let count = if smoke { 16 } else { 64 };
+    let mean = Duration::from_millis(if smoke { 1 } else { 10 });
+    let schedule = s.generator.open_loop_zipf_workload(
+        &schema,
+        &s.template,
+        s.pref_order,
+        count / 2,
+        count,
+        s.theta,
+        mean,
+    );
+    let start = Instant::now();
+    let handles: Vec<_> = schedule
+        .into_iter()
+        .map(|(at, pref)| {
+            let service = Arc::clone(&s.service);
+            std::thread::spawn(move || open_loop_request(&service, start, at, &pref))
+        })
+        .collect();
+    let mut ttfrs = Vec::with_capacity(count);
+    let mut totals = Vec::with_capacity(count);
+    let mut shed = 0usize;
+    for handle in handles {
+        match handle.join().expect("request thread") {
+            Some((ttfr, total)) => {
+                ttfrs.push(ttfr);
+                totals.push(total);
+            }
+            None => shed += 1,
+        }
+    }
+    assert_eq!(ttfrs.len() + shed, count, "every request resolved or shed");
+    ttfrs.sort();
+    totals.sort();
+    let (ttfr_p50, ttfr_p99) = (percentile(&ttfrs, 0.50), percentile(&ttfrs, 0.99));
+    let (total_p50, total_p99) = (percentile(&totals, 0.50), percentile(&totals, 0.99));
+    println!(
+        "  summary: {} open-loop Zipf requests at n={} over 4 shards ({} shed) — \
+         first row p50 {:.2}ms p99 {:.2}ms, whole skyline p50 {:.2}ms p99 {:.2}ms",
+        ttfrs.len(),
+        s.tuples,
+        shed,
+        ttfr_p50.as_secs_f64() * 1e3,
+        ttfr_p99.as_secs_f64() * 1e3,
+        total_p50.as_secs_f64() * 1e3,
+        total_p99.as_secs_f64() * 1e3,
+    );
+    if !smoke {
+        assert!(!ttfrs.is_empty(), "the open-loop pass must serve requests");
+        assert!(
+            ttfr_p99 * 3 <= total_p99,
+            "progressive serving must deliver the first row at least 3x earlier than the \
+             whole answer: p99 ttfr {ttfr_p99:?} vs p99 completion {total_p99:?}"
+        );
+    }
+    assert_eq!(
+        s.service.stats().queue_depth,
+        0,
+        "all admission permits released after the open-loop pass"
+    );
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -10,6 +10,7 @@
 //! for any [`DominanceContext`], and it is the oracle the property-based tests compare every
 //! other algorithm against.
 
+use super::sink::ResultSink;
 use super::AlgoStats;
 use crate::dominance::{Dominance, DominanceContext};
 use crate::value::PointId;
@@ -28,6 +29,25 @@ pub fn skyline(ctx: &DominanceContext<'_>) -> Vec<PointId> {
 /// loop (its per-test counters are meaningless for a mask-algebra walk).
 pub fn skyline_of<D: Dominance + ?Sized>(ctx: &D, points: &[PointId]) -> Vec<PointId> {
     ctx.bnl_skyline(points)
+}
+
+/// Drives a [`ResultSink`] with the skyline of `points`.
+///
+/// BNL is **not** progressive — a window member can still be evicted by a later candidate —
+/// so members are confirmed (and emitted, in ascending id order) only once the scan has
+/// finished. Streaming callers that need true incremental emission should use the SFS scan
+/// ([`crate::algo::sfs::scan_presorted_sink`]); this adapter exists so every elimination
+/// algorithm in the workspace speaks the same sink interface.
+pub fn skyline_of_sink<D: Dominance + ?Sized, S: ResultSink>(
+    ctx: &D,
+    points: &[PointId],
+    sink: &mut S,
+) {
+    for p in ctx.bnl_skyline(points) {
+        if !sink.emit(p) {
+            break;
+        }
+    }
 }
 
 /// Computes the skyline of a subset and reports work counters.
@@ -150,6 +170,27 @@ mod tests {
             &data.point_ids().collect::<Vec<_>>(),
             &sky
         ));
+    }
+
+    #[test]
+    fn sink_adapter_confirms_the_whole_skyline() {
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let ctx = DominanceContext::for_template(&data, &template).unwrap();
+        let all: Vec<PointId> = data.point_ids().collect();
+        let mut emitted = Vec::new();
+        skyline_of_sink(&ctx, &all, &mut |p: PointId| {
+            emitted.push(p);
+            true
+        });
+        assert_eq!(emitted, skyline_of(&ctx, &all));
+        // Early stop truncates the emission, not the computation's correctness.
+        let mut first = Vec::new();
+        skyline_of_sink(&ctx, &all, &mut |p: PointId| {
+            first.push(p);
+            false
+        });
+        assert_eq!(first, emitted[..1]);
     }
 
     #[test]

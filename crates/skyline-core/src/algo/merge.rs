@@ -23,6 +23,8 @@ use crate::error::{Result, SkylineError};
 use crate::kernel::{kernel_mode, CompiledOrder, CompiledRelation, KernelMode};
 use crate::lanes::PackedLanes;
 use crate::value::{PointId, ValueId};
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 
 /// Merges per-fragment skylines of disjoint row sets of one block into the skyline of their
 /// union, preserving the concatenated input order of the survivors.
@@ -260,6 +262,215 @@ impl SkylineMerger {
     }
 }
 
+/// One candidate buffered inside a [`ProgressiveMerger`], ordered by
+/// `(score, source, id)` with [`f64::total_cmp`] so the resolution order is total and
+/// deterministic even in the presence of NaN scores.
+#[derive(Debug, Clone)]
+struct PendingCandidate {
+    score: f64,
+    source: usize,
+    id: PointId,
+    numeric: Vec<f64>,
+    nominal: Vec<ValueId>,
+}
+
+impl PartialEq for PendingCandidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for PendingCandidate {}
+impl PartialOrd for PendingCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingCandidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then(self.source.cmp(&other.source))
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+/// The incremental form of [`SkylineMerger`]: per-source **streams** feed it and globally
+/// confirmed skyline members come out as early as the frontiers allow, instead of only after
+/// every source has finished.
+///
+/// Each source must emit its candidates in non-decreasing score order under a **shared**
+/// monotone score function (`p ≺ q ⇒ f(p) < f(q)` — the [`crate::score::ScoreFn`] of the
+/// query preference). Offering a candidate advances its source's *frontier* to that score; a
+/// buffered candidate at score `s` is resolved once every unfinished source's frontier has
+/// reached `s`: by monotonicity any potential dominator scores strictly below `s`, so it has
+/// already been emitted by its source and resolved here. Resolution happens in ascending
+/// global score order, testing each candidate against the already-published survivors only —
+/// sufficient by transitivity, exactly as in the batch elimination. Published rows are
+/// **final**: the merged stream never retracts, and once every source is finished the
+/// published set equals what [`SkylineMerger`] would have produced from the same candidates.
+#[derive(Debug, Clone)]
+pub struct ProgressiveMerger {
+    orders: Vec<CompiledOrder>,
+    numeric_dims: usize,
+    /// Per-source score frontier; `None` once the source has finished (treated as +∞).
+    frontiers: Vec<Option<f64>>,
+    pending: BinaryHeap<Reverse<PendingCandidate>>,
+    /// Row-major values of the published survivors (the only dominators later candidates
+    /// ever need to be tested against).
+    published_numerics: Vec<f64>,
+    published_nominals: Vec<ValueId>,
+    published: usize,
+}
+
+impl ProgressiveMerger {
+    /// An empty merger over `sources` streams, `numeric_dims` numeric dimensions and one
+    /// compiled order per nominal dimension (compile them once per query, as for
+    /// [`SkylineMerger`]).
+    pub fn new(orders: Vec<CompiledOrder>, numeric_dims: usize, sources: usize) -> Self {
+        Self {
+            orders,
+            numeric_dims,
+            frontiers: vec![Some(f64::NEG_INFINITY); sources],
+            pending: BinaryHeap::new(),
+            published_numerics: Vec::new(),
+            published_nominals: Vec::new(),
+            published: 0,
+        }
+    }
+
+    /// Number of rows published (confirmed) so far.
+    pub fn published(&self) -> usize {
+        self.published
+    }
+
+    /// True once every source has finished and every buffered candidate was resolved.
+    pub fn is_complete(&self) -> bool {
+        self.pending.is_empty() && self.frontiers.iter().all(Option::is_none)
+    }
+
+    /// Offers the next candidate of `source`'s stream: its id within the source, its query
+    /// score, and its raw values in dimension-index order. Scores must be non-decreasing per
+    /// source (the stream contract); values must match the merger's dimensionality.
+    pub fn offer(
+        &mut self,
+        source: usize,
+        id: PointId,
+        score: f64,
+        numeric: &[f64],
+        nominal: &[ValueId],
+    ) -> Result<()> {
+        let Some(frontier) = self.frontiers.get_mut(source) else {
+            return Err(SkylineError::InvalidArgument(format!(
+                "source {source} is outside the merger's {} streams",
+                self.frontiers.len()
+            )));
+        };
+        let Some(last) = frontier else {
+            return Err(SkylineError::InvalidArgument(format!(
+                "source {source} already finished its stream"
+            )));
+        };
+        if score.total_cmp(last) == Ordering::Less {
+            return Err(SkylineError::InvalidArgument(format!(
+                "source {source} emitted score {score} after {last}; streams must be \
+                 non-decreasing in score"
+            )));
+        }
+        if numeric.len() != self.numeric_dims || nominal.len() != self.orders.len() {
+            return Err(SkylineError::InvalidArgument(format!(
+                "candidate has {} numeric / {} nominal values but the merger expects {} / {}",
+                numeric.len(),
+                nominal.len(),
+                self.numeric_dims,
+                self.orders.len()
+            )));
+        }
+        for (j, (&v, order)) in nominal.iter().zip(&self.orders).enumerate() {
+            if (v as usize) >= order.cardinality() {
+                return Err(SkylineError::InvalidArgument(format!(
+                    "nominal value {v} on dimension {j} is outside the compiled order's \
+                     cardinality {}",
+                    order.cardinality()
+                )));
+            }
+        }
+        *frontier = Some(score);
+        self.pending.push(Reverse(PendingCandidate {
+            score,
+            source,
+            id,
+            numeric: numeric.to_vec(),
+            nominal: nominal.to_vec(),
+        }));
+        Ok(())
+    }
+
+    /// Marks `source`'s stream as exhausted: its frontier becomes +∞ and stops gating the
+    /// other streams' candidates.
+    pub fn finish(&mut self, source: usize) {
+        if let Some(f) = self.frontiers.get_mut(source) {
+            *f = None;
+        }
+    }
+
+    /// Resolves every candidate the frontiers allow, appending the newly confirmed
+    /// `(source, id)` tags to `out` in ascending global score order. Call after each
+    /// [`ProgressiveMerger::offer`] / [`ProgressiveMerger::finish`] batch.
+    pub fn drain_ready(&mut self, out: &mut Vec<(usize, PointId)>) {
+        let all_finished = self.frontiers.iter().all(Option::is_none);
+        let gate = self
+            .frontiers
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        while let Some(Reverse(top)) = self.pending.peek() {
+            // Resolvable once no unfinished stream can still emit a smaller score. NaN
+            // scores sort last under total_cmp and resolve only when everything finished.
+            if !all_finished && top.score.total_cmp(&gate) == Ordering::Greater {
+                break;
+            }
+            let Reverse(c) = self.pending.pop().expect("peeked above");
+            if !self.dominated_by_published(&c.numeric, &c.nominal) {
+                self.published_numerics.extend_from_slice(&c.numeric);
+                self.published_nominals.extend_from_slice(&c.nominal);
+                self.published += 1;
+                out.push((c.source, c.id));
+            }
+        }
+    }
+
+    /// True when some already-published survivor dominates the candidate. Mirrors
+    /// [`SkylineMerger`]'s dominance exactly (NaN neither blocks nor establishes dominance).
+    fn dominated_by_published(&self, numeric: &[f64], nominal: &[ValueId]) -> bool {
+        let nd = self.numeric_dims;
+        let md = self.orders.len();
+        'survivors: for s in 0..self.published {
+            let sn = &self.published_numerics[s * nd..(s + 1) * nd];
+            let sm = &self.published_nominals[s * md..(s + 1) * md];
+            let mut strict = false;
+            for (qv, pv) in sn.iter().zip(numeric) {
+                if qv > pv {
+                    continue 'survivors;
+                }
+                strict |= qv < pv;
+            }
+            for (order, (&qv, &pv)) in self.orders.iter().zip(sm.iter().zip(nominal)) {
+                if qv != pv {
+                    if !order.strictly_preferred(qv, pv) {
+                        continue 'survivors;
+                    }
+                    strict = true;
+                }
+            }
+            if strict {
+                return true;
+            }
+        }
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,6 +637,151 @@ mod tests {
             "value outside the order's domain"
         );
         assert_eq!(merger.len(), 0);
+    }
+
+    #[test]
+    fn progressive_merger_matches_batch_merger_and_never_retracts() {
+        use crate::score::ScoreFn;
+        let data = table3_data();
+        let template = Template::empty(data.schema());
+        let pref = Preference::parse(
+            data.schema(),
+            [("hotel-group", "T < *"), ("airline", "G < *")],
+        )
+        .unwrap();
+        let orders: Vec<CompiledOrder> = template
+            .effective_orders(data.schema(), &pref)
+            .unwrap()
+            .iter()
+            .map(CompiledOrder::compile)
+            .collect();
+        let score = ScoreFn::for_preference(data.schema(), &pref).unwrap();
+        let ctx = DominanceContext::for_query(&data, &template, &pref).unwrap();
+        let shard_rows: [Vec<PointId>; 2] = [
+            data.point_ids().filter(|p| p % 2 == 0).collect(),
+            data.point_ids().filter(|p| p % 2 == 1).collect(),
+        ];
+        // Per-shard streams: the shard skyline in ascending score order.
+        let streams: Vec<Vec<PointId>> = shard_rows
+            .iter()
+            .map(|rows| score.sort_by_score(&data, &bnl::skyline_of(&ctx, rows)))
+            .collect();
+        let row_values = |p: PointId| {
+            let numeric: Vec<f64> = (0..data.schema().numeric_count())
+                .map(|j| data.numeric(p, j))
+                .collect();
+            let nominal: Vec<ValueId> = (0..data.schema().nominal_count())
+                .map(|j| data.nominal(p, j))
+                .collect();
+            (numeric, nominal)
+        };
+
+        let mut merger = ProgressiveMerger::new(orders.clone(), data.schema().numeric_count(), 2);
+        let mut confirmed: Vec<(usize, PointId)> = Vec::new();
+        let mut positions = [0usize; 2];
+        // Interleave the streams one row at a time, draining after every offer; nothing a
+        // drain publishes may ever be contradicted later.
+        loop {
+            let mut progressed = false;
+            for s in 0..2 {
+                if positions[s] < streams[s].len() {
+                    let p = streams[s][positions[s]];
+                    positions[s] += 1;
+                    let (numeric, nominal) = row_values(p);
+                    merger
+                        .offer(s, p, score.score(&data, p), &numeric, &nominal)
+                        .unwrap();
+                    progressed = true;
+                }
+                let before = confirmed.len();
+                merger.drain_ready(&mut confirmed);
+                // Confirmed rows arrive in non-decreasing global score order.
+                for w in confirmed[before.saturating_sub(1)..].windows(2) {
+                    assert!(score.score(&data, w[0].1) <= score.score(&data, w[1].1));
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        merger.finish(0);
+        merger.finish(1);
+        merger.drain_ready(&mut confirmed);
+        assert!(merger.is_complete());
+        assert_eq!(merger.published(), confirmed.len());
+
+        // The final set equals the batch SkylineMerger over the same candidates.
+        let mut batch = SkylineMerger::new(orders, data.schema().numeric_count());
+        for (s, stream) in streams.iter().enumerate() {
+            for &p in stream {
+                let (numeric, nominal) = row_values(p);
+                batch.push(s, p, &numeric, &nominal).unwrap();
+            }
+        }
+        let mut expected = batch.merge();
+        expected.sort_unstable();
+        let mut got = confirmed.clone();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn progressive_merger_gates_on_the_slowest_frontier() {
+        let orders = vec![CompiledOrder::compile(&crate::order::PartialOrder::empty(
+            2,
+        ))];
+        let mut merger = ProgressiveMerger::new(orders, 1, 2);
+        let mut out = Vec::new();
+        // Source 0 emits a row at score 5; source 1 has not reached score 5 yet, so the row
+        // must stay pending — source 1 could still emit a dominator below 5.
+        merger.offer(0, 10, 5.0, &[4.0], &[0]).unwrap();
+        merger.drain_ready(&mut out);
+        assert!(out.is_empty(), "gated by source 1's frontier");
+        // Source 1 advances past score 5 with a non-dominating row: both resolve.
+        merger.offer(1, 20, 6.0, &[6.0], &[1]).unwrap();
+        merger.drain_ready(&mut out);
+        assert_eq!(out, vec![(0, 10)]);
+        merger.finish(0);
+        merger.drain_ready(&mut out);
+        assert_eq!(out, vec![(0, 10), (1, 20)]);
+        assert!(!merger.is_complete());
+        merger.finish(1);
+        assert!(merger.is_complete());
+    }
+
+    #[test]
+    fn progressive_merger_eliminates_across_sources() {
+        let orders = vec![CompiledOrder::compile(&crate::order::PartialOrder::empty(
+            2,
+        ))];
+        let mut merger = ProgressiveMerger::new(orders, 1, 2);
+        let mut out = Vec::new();
+        // (1.0) from source 0 dominates (2.0) from source 1; scores follow values here.
+        merger.offer(0, 1, 1.0, &[1.0], &[0]).unwrap();
+        merger.offer(1, 2, 2.0, &[2.0], &[0]).unwrap();
+        merger.finish(0);
+        merger.finish(1);
+        merger.drain_ready(&mut out);
+        assert_eq!(out, vec![(0, 1)], "dominated row never published");
+        // Contract violations are rejected.
+        let mut m = ProgressiveMerger::new(
+            vec![CompiledOrder::compile(&crate::order::PartialOrder::empty(
+                2,
+            ))],
+            1,
+            1,
+        );
+        m.offer(0, 1, 3.0, &[1.0], &[0]).unwrap();
+        assert!(
+            m.offer(0, 2, 2.0, &[1.0], &[0]).is_err(),
+            "score regression"
+        );
+        assert!(m.offer(5, 1, 4.0, &[1.0], &[0]).is_err(), "unknown source");
+        m.finish(0);
+        assert!(
+            m.offer(0, 3, 4.0, &[1.0], &[0]).is_err(),
+            "offer after finish"
+        );
     }
 
     #[test]

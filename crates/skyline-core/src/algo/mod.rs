@@ -19,8 +19,10 @@
 pub mod bnl;
 pub mod merge;
 pub mod sfs;
+pub mod sink;
 
-pub use merge::{merge_skylines, SkylineMerger};
+pub use merge::{merge_skylines, ProgressiveMerger, SkylineMerger};
+pub use sink::{CollectSink, ResultSink};
 
 use crate::dominance::Dominance;
 use crate::value::PointId;

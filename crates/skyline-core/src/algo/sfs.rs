@@ -10,6 +10,7 @@
 //! ranking induced by the query's implicit preference; it needs no preprocessing but pays the
 //! full `O(N log N + N·n)` cost on every query.
 
+use super::sink::{CollectSink, ResultSink};
 use super::AlgoStats;
 use crate::deadline::{Deadline, DEADLINE_CHECK_INTERVAL};
 use crate::dominance::{Dominance, DominanceContext};
@@ -68,13 +69,33 @@ pub fn scan_presorted_deadline<D: Dominance + ?Sized>(
     sorted: &[PointId],
     deadline: &Deadline,
 ) -> Result<(Vec<PointId>, AlgoStats)> {
+    let mut sink = CollectSink::new();
+    let stats = scan_presorted_sink(ctx, sorted, deadline, &mut sink)?;
+    Ok((sink.into_items(), stats))
+}
+
+/// The sink-driven core of the elimination scan: every accepted point is pushed into `sink`
+/// the moment it is accepted. Because the candidates are presorted by a monotone score, an
+/// accepted point can never be evicted later — each emission is a **final** skyline member,
+/// which is what makes the scan streamable. The batch form ([`scan_presorted_deadline`]) is
+/// this function with a [`CollectSink`].
+///
+/// The sink may stop the scan early by returning `false` from [`ResultSink::emit`]; the scan
+/// then returns normally with the counters accumulated so far. Deadlines are polled at block
+/// granularity exactly as in the batch form.
+pub fn scan_presorted_sink<D: Dominance + ?Sized, S: ResultSink>(
+    ctx: &D,
+    sorted: &[PointId],
+    deadline: &Deadline,
+    sink: &mut S,
+) -> Result<AlgoStats> {
     let mut stats = AlgoStats::default();
-    let mut skyline: Vec<PointId> = Vec::new();
     // The accepted window lives in the implementation's own representation (the compiled
     // kernel densifies accepted rows for sequential walks); the test count matches the naive
     // loop — tests up to and including the first dominator.
     let mut window = D::Window::default();
     ctx.reset_window(&mut window);
+    let mut accepted = 0usize;
     let bounded = deadline.is_bounded();
     for (i, &p) in sorted.iter().enumerate() {
         if bounded && i % DEADLINE_CHECK_INTERVAL == 0 {
@@ -84,14 +105,17 @@ pub fn scan_presorted_deadline<D: Dominance + ?Sized>(
         match ctx.window_first_dominator(&mut window, p) {
             Some(i) => stats.dominance_tests += i as u64 + 1,
             None => {
-                stats.dominance_tests += skyline.len() as u64;
+                stats.dominance_tests += accepted as u64;
                 ctx.push_window(&mut window, p);
-                skyline.push(p);
+                accepted += 1;
+                if !sink.emit(p) {
+                    break;
+                }
             }
         }
     }
-    stats.skyline_size = skyline.len();
-    Ok((skyline, stats))
+    stats.skyline_size = accepted;
+    Ok(stats)
 }
 
 /// The paper's **SFS-D** baseline: answer one implicit-preference query by running SFS over
@@ -178,6 +202,37 @@ mod tests {
                 "prefix scan emitted a non-skyline point"
             );
         }
+    }
+
+    #[test]
+    fn sink_scan_matches_batch_scan_and_stops_early() {
+        let data = vacation_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let pref = Preference::parse(&schema, [("hotel-group", "T < M < *")]).unwrap();
+        let ctx = DominanceContext::for_query(&data, &template, &pref).unwrap();
+        let score = ScoreFn::for_preference(&schema, &pref).unwrap();
+        let sorted = score.sort_by_score(&data, &data.point_ids().collect::<Vec<_>>());
+        let (batch, batch_stats) =
+            scan_presorted_deadline(&ctx, &sorted, &Deadline::none()).unwrap();
+        // A closure sink sees exactly the batch emission sequence.
+        let mut streamed = Vec::new();
+        let stats = scan_presorted_sink(&ctx, &sorted, &Deadline::none(), &mut |p: PointId| {
+            streamed.push(p);
+            true
+        })
+        .unwrap();
+        assert_eq!(streamed, batch);
+        assert_eq!(stats, batch_stats);
+        // Stopping after the first emission ends the scan without error.
+        let mut first = Vec::new();
+        let stats = scan_presorted_sink(&ctx, &sorted, &Deadline::none(), &mut |p: PointId| {
+            first.push(p);
+            false
+        })
+        .unwrap();
+        assert_eq!(first, batch[..1]);
+        assert_eq!(stats.skyline_size, 1);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Result sinks: the push half of the streaming result path.
+//!
+//! The paper's elimination scans are *progressive*: under a monotone score order every point
+//! the SFS scan accepts is a final skyline member the moment it is accepted. A
+//! [`ResultSink`] receives members exactly at that moment, so serving layers can forward the
+//! confirmed prefix of an answer while the tail of the scan is still running. The batch
+//! `Vec`-returning APIs are the trivial special case — a [`CollectSink`] that appends every
+//! member — so the whole-result path sits *on top of* the streaming one, not beside it.
+//!
+//! Emission order is the scan order: for SFS-family scans that is ascending query score,
+//! which is what the cross-shard progressive merge relies on. BNL is **not** progressive
+//! (window members can still be evicted by later candidates), so its sink adapter confirms
+//! members only once the scan has finished.
+
+use crate::value::PointId;
+
+/// Receives confirmed skyline members as an elimination scan accepts them.
+///
+/// `emit` returns `true` to continue the scan and `false` to stop early — the consumer has
+/// seen enough (a top-k prefix, a closed connection). Stopping early is not an error: the
+/// scan returns normally with the work done so far.
+pub trait ResultSink {
+    /// Called once per confirmed member, in scan (score) order.
+    fn emit(&mut self, p: PointId) -> bool;
+}
+
+/// Every `FnMut(PointId) -> bool` closure is a sink, so ad-hoc consumers need no wrapper.
+impl<F: FnMut(PointId) -> bool> ResultSink for F {
+    #[inline]
+    fn emit(&mut self, p: PointId) -> bool {
+        self(p)
+    }
+}
+
+/// The collect-all sink backing the batch APIs: appends every member, never stops.
+#[derive(Debug, Clone, Default)]
+pub struct CollectSink {
+    /// The members emitted so far, in emission order.
+    pub items: Vec<PointId>,
+}
+
+impl CollectSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the sink, returning the collected members in emission order.
+    pub fn into_items(self) -> Vec<PointId> {
+        self.items
+    }
+}
+
+impl ResultSink for CollectSink {
+    #[inline]
+    fn emit(&mut self, p: PointId) -> bool {
+        self.items.push(p);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_sink_keeps_emission_order() {
+        let mut sink = CollectSink::new();
+        for p in [5u32, 1, 3] {
+            assert!(sink.emit(p));
+        }
+        assert_eq!(sink.into_items(), vec![5, 1, 3]);
+    }
+
+    #[test]
+    fn closures_are_sinks() {
+        let mut seen = Vec::new();
+        let mut sink = |p: PointId| {
+            seen.push(p);
+            seen.len() < 2
+        };
+        assert!(ResultSink::emit(&mut sink, 7));
+        assert!(!ResultSink::emit(&mut sink, 8));
+        assert_eq!(seen, vec![7, 8]);
+    }
+}

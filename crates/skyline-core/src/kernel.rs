@@ -579,16 +579,123 @@ pub struct DenseWindow {
     members: Vec<PointId>,
     /// Which representation this window was bound to at the last reset.
     packed: bool,
+    /// Adaptive scalar-peek depth; persists across resets so reused scratch windows carry
+    /// their recent kill-depth signal from scan to scan.
+    peek: PeekDepth,
 }
 
-/// How many leading window members the packed probes test with the scalar pairwise kernel
-/// before falling into 64-lane mask algebra. Score-sorted scans kill most candidates with
-/// the first handful of accepted rows (on the all-nominal Nursery workload, usually the
-/// very first); the scalar test early-exits on the first worse dimension, while a packed
-/// pass always pays full mask passes over every dimension of a 64-lane block. The peek
-/// keeps quickly-dominated candidates at scalar cost and leaves deep survivors — where the
-/// window is long and lane parallelism wins — to the packed walk.
+/// Seed depth for the scalar peek: how many leading window members the packed probes test
+/// with the scalar pairwise kernel before falling into 64-lane mask algebra. Score-sorted
+/// scans kill most candidates with the first handful of accepted rows (on the all-nominal
+/// Nursery workload, usually the very first); the scalar test early-exits on the first worse
+/// dimension, while a packed pass always pays full mask passes over every dimension of a
+/// 64-lane block. The peek keeps quickly-dominated candidates at scalar cost and leaves deep
+/// survivors — where the window is long and lane parallelism wins — to the packed walk.
+///
+/// The effective depth is **adaptive** per window ([`PeekDepth`]): each scan tracks an EWMA
+/// of its recent kill depths and sizes the peek to roughly twice that, within
+/// [`WINDOW_PEEK_MIN`]..=[`WINDOW_PEEK_MAX`]. The `SKYLINE_WINDOW_PEEK` environment variable
+/// (or [`with_window_peek`] in tests) pins the depth instead.
 const WINDOW_PEEK: usize = 8;
+
+/// Lower bound of the adaptive peek depth — never give up the first couple of scalar tests.
+const WINDOW_PEEK_MIN: usize = 2;
+
+/// Upper bound of the adaptive peek depth — beyond this the 64-lane walk wins regardless.
+const WINDOW_PEEK_MAX: usize = 32;
+
+fn env_window_peek() -> Option<usize> {
+    static PEEK: OnceLock<Option<usize>> = OnceLock::new();
+    *PEEK.get_or_init(|| {
+        std::env::var("SKYLINE_WINDOW_PEEK")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|d| d.min(64))
+    })
+}
+
+thread_local! {
+    static PEEK_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The pinned peek depth in effect on the calling thread, if any: the innermost
+/// [`with_window_peek`] override, else the process-wide `SKYLINE_WINDOW_PEEK` setting.
+/// `None` means the depth adapts per scan.
+pub fn window_peek_override() -> Option<usize> {
+    PEEK_OVERRIDE.get().or_else(env_window_peek)
+}
+
+/// Runs `f` with the calling thread's scalar-peek depth pinned to `depth` (0 disables the
+/// peek entirely), restoring the previous override afterwards — the [`with_kernel_mode`]
+/// idiom for the peek knob. Equivalence tests sweep this to pin packed ≡ scalar at every
+/// depth; it does not affect other threads.
+pub fn with_window_peek<T>(depth: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            PEEK_OVERRIDE.set(self.0);
+        }
+    }
+    let _restore = Restore(PEEK_OVERRIDE.replace(Some(depth.min(64))));
+    f()
+}
+
+/// Adaptive scalar-peek depth: a per-window EWMA of recent kill depths (the 1-based index of
+/// the first dominator found) sized so that the typical kill stays on the cheap scalar path
+/// while deep survivors fall through to the packed walk quickly. The state persists across
+/// [`Dominance::reset_window`] — reused scratch windows carry their recent-workload signal
+/// from scan to scan — and a pinned depth (env var or [`with_window_peek`]) disables
+/// adaptation for reproducibility.
+///
+/// Correctness does not depend on the depth: the peek tests a prefix of the window with the
+/// scalar kernel and the packed pass re-covers every lane, so any depth (including 0) yields
+/// the same accept/reject decision for every candidate.
+#[derive(Debug, Clone)]
+struct PeekDepth {
+    depth: usize,
+    /// EWMA of observed kill depths, scaled by 8 for integer arithmetic.
+    ewma8: u32,
+    pinned: bool,
+}
+
+impl Default for PeekDepth {
+    fn default() -> Self {
+        let mut peek = Self {
+            depth: WINDOW_PEEK,
+            ewma8: (WINDOW_PEEK as u32) * 8,
+            pinned: false,
+        };
+        peek.resync();
+        peek
+    }
+}
+
+impl PeekDepth {
+    /// Re-reads the pin (env/test override); called on every window reset so a window
+    /// created outside a [`with_window_peek`] scope still honours it.
+    fn resync(&mut self) {
+        match window_peek_override() {
+            Some(d) => {
+                self.depth = d;
+                self.ewma8 = (d as u32) * 8;
+                self.pinned = true;
+            }
+            None => self.pinned = false,
+        }
+    }
+
+    /// Records one observed kill depth (1-based) and re-targets the peek to roughly twice
+    /// the recent typical depth: `ewma ← (3·ewma + d) / 4`, `depth ← clamp(2·ewma)`.
+    #[inline]
+    fn observe(&mut self, kill_depth: usize) {
+        if self.pinned {
+            return;
+        }
+        let d8 = (kill_depth.min(WINDOW_PEEK_MAX) as u32) * 8;
+        self.ewma8 = (3 * self.ewma8 + d8) / 4;
+        self.depth = ((self.ewma8 as usize) / 4).clamp(WINDOW_PEEK_MIN, WINDOW_PEEK_MAX);
+    }
+}
 
 impl DenseWindow {
     /// Number of points in the window.
@@ -972,6 +1079,7 @@ impl Dominance for CompiledRelation {
         window.members.clear();
         window.len = 0;
         window.packed = kernel_mode() == KernelMode::Packed;
+        window.peek.resync();
         if window.packed {
             window
                 .lanes
@@ -1003,17 +1111,21 @@ impl Dominance for CompiledRelation {
         if window.packed {
             // Scalar peek first (see [`WINDOW_PEEK`]): the leading accepted rows dominate
             // most candidates, and the pairwise test exits on the first worse dimension.
-            for (i, &m) in window.members.iter().take(WINDOW_PEEK).enumerate() {
+            // The depth adapts to the scan's recent kill depths.
+            for (i, &m) in window.members.iter().take(window.peek.depth).enumerate() {
                 if CompiledRelation::dominates(self, m, p) {
+                    window.peek.observe(i + 1);
                     return Some(i);
                 }
             }
-            return window.lanes.first_dominator(
-                &self.orders,
-                pn,
-                &window.probe,
-                window.lanes.len(),
-            );
+            let hit =
+                window
+                    .lanes
+                    .first_dominator(&self.orders, pn, &window.probe, window.lanes.len());
+            if let Some(i) = hit {
+                window.peek.observe(i + 1);
+            }
+            return hit;
         }
         // Monomorphize the walk on the (small) numeric arity so the inner numeric loop fully
         // unrolls with no counters or per-row bounds checks, and on the all-ranked flag so
@@ -1066,6 +1178,8 @@ impl Dominance for CompiledRelation {
         let mut probe: Vec<u16> = Vec::with_capacity(self.block.nominal_dims() * 2);
         // First still-valid lane; advances monotonically as evictions only clear bits.
         let mut first_valid = 0usize;
+        // Local adaptive peek depth, tracking this scan's recent kill depths.
+        let mut peek = PeekDepth::default();
         'points: for &p in points {
             // Scalar peek over the leading surviving members (see [`WINDOW_PEEK`]).
             while first_valid < members.len() && !lanes.is_valid(first_valid) {
@@ -1073,11 +1187,12 @@ impl Dominance for CompiledRelation {
             }
             let mut peeked = 0usize;
             for (l, &m) in members.iter().enumerate().skip(first_valid) {
-                if peeked == WINDOW_PEEK {
+                if peeked == peek.depth {
                     break;
                 }
                 if lanes.is_valid(l) {
                     if CompiledRelation::dominates(self, m, p) {
+                        peek.observe(peeked + 1);
                         continue 'points;
                     }
                     peeked += 1;
@@ -1088,10 +1203,8 @@ impl Dominance for CompiledRelation {
             let pn = self.block.numeric_row(p);
             // Window members are mutually undominated, so when one dominates `p`, none can
             // be dominated by `p` (transitivity) — probing before evicting loses nothing.
-            if lanes
-                .first_dominator(&self.orders, pn, &probe, lanes.len())
-                .is_some()
-            {
+            if let Some(l) = lanes.first_dominator(&self.orders, pn, &probe, lanes.len()) {
+                peek.observe(l + 1);
                 continue;
             }
             lanes.clear_dominated_by(&self.orders, pn, &probe, lanes.len());
@@ -1424,5 +1537,116 @@ mod tests {
         let block = Arc::new(PointBlock::new(&data));
         assert!(block.is_empty());
         assert!(CompiledRelation::new(block, &[PartialOrder::empty(0)]).is_ok());
+    }
+
+    /// A dataset whose skyline is large enough to push the dense window past several 64-lane
+    /// blocks: an anti-correlated numeric staircase (all survive) interleaved with dominated
+    /// fill rows (all killed, at varying window depths), over a 3-value nominal dimension.
+    fn peek_stress_data() -> Dataset {
+        let schema = Schema::new(vec![
+            Dimension::numeric("x"),
+            Dimension::numeric("y"),
+            Dimension::nominal("g", crate::value::NominalDomain::anonymous(3)),
+        ])
+        .unwrap();
+        let mut data = Dataset::empty(schema);
+        for i in 0..200u16 {
+            let a = f64::from(i);
+            data.push_row_ids(&[a, 200.0 - a], &[i % 3]).unwrap();
+            // Dominated by the staircase row above it (same group, both dims worse).
+            data.push_row_ids(&[a + 0.5, 200.5 - a], &[i % 3]).unwrap();
+        }
+        data
+    }
+
+    /// Satellite: the scalar-peek depth is a pure performance knob. Packed and scalar scans
+    /// must emit identical skylines at every pinned depth, including 0 (peek disabled) and 64
+    /// (peek covers a whole lane block).
+    #[test]
+    fn packed_matches_scalar_at_every_pinned_peek_depth() {
+        use crate::algo::sfs;
+        use crate::score::ScoreFn;
+
+        let data = peek_stress_data();
+        let g_order = PartialOrder::from_pairs(3, [(0, 2)]).unwrap();
+        let template = Template::from_partial_orders(data.schema(), vec![g_order]).unwrap();
+        let ctx = DominanceContext::for_template(&data, &template).unwrap();
+        let kernel =
+            CompiledRelation::for_template(Arc::new(PointBlock::new(&data)), &template).unwrap();
+        let score = ScoreFn::default_ranking(data.schema());
+        let all: Vec<PointId> = data.point_ids().collect();
+        let sorted = score.sort_by_score(&data, &all);
+        let reference = sfs::scan_presorted(&ctx, &sorted);
+        let reference_bnl = ctx.bnl_skyline(&all);
+        for depth in [0usize, 1, 2, 8, 32, 64] {
+            with_window_peek(depth, || {
+                for mode in [KernelMode::Packed, KernelMode::Scalar] {
+                    with_kernel_mode(mode, || {
+                        assert_eq!(
+                            sfs::scan_presorted(&kernel, &sorted),
+                            reference,
+                            "scan mismatch at peek depth {depth} in {mode:?} mode"
+                        );
+                        assert_eq!(
+                            kernel.bnl_skyline(&all),
+                            reference_bnl,
+                            "bnl mismatch at peek depth {depth} in {mode:?} mode"
+                        );
+                    });
+                }
+            });
+        }
+    }
+
+    /// Satellite: adaptation tracks observed kill depths within bounds, and pinning (env or
+    /// [`with_window_peek`]) freezes the depth.
+    #[test]
+    fn peek_depth_adapts_within_bounds_and_pinning_freezes_it() {
+        let mut peek = PeekDepth::default();
+        assert_eq!(peek.depth, WINDOW_PEEK, "seed depth");
+        // A run of shallow kills drags the depth down to the floor, never below.
+        for _ in 0..64 {
+            peek.observe(1);
+        }
+        assert_eq!(peek.depth, WINDOW_PEEK_MIN);
+        // A run of deep kills saturates at the ceiling, never above.
+        for _ in 0..64 {
+            peek.observe(1000);
+        }
+        assert_eq!(peek.depth, WINDOW_PEEK_MAX);
+        // Mid-range kills settle near twice the typical depth.
+        for _ in 0..64 {
+            peek.observe(4);
+        }
+        assert_eq!(peek.depth, 8);
+
+        // Pinning through the thread-local override freezes the depth against observations.
+        with_window_peek(5, || {
+            let mut pinned = PeekDepth::default();
+            assert_eq!(pinned.depth, 5);
+            for _ in 0..64 {
+                pinned.observe(1000);
+            }
+            assert_eq!(pinned.depth, 5, "pinned depth must ignore observations");
+        });
+        // Outside the scope a fresh window adapts again.
+        let mut fresh = PeekDepth::default();
+        assert!(!fresh.pinned);
+        fresh.observe(1000);
+        assert_ne!(fresh.depth, WINDOW_PEEK);
+
+        // reset_window resyncs the pin for windows created outside the override scope.
+        let data = vacation_data();
+        let template = Template::empty(data.schema());
+        let kernel =
+            CompiledRelation::for_template(Arc::new(PointBlock::new(&data)), &template).unwrap();
+        let mut window = DenseWindow::default();
+        with_window_peek(3, || {
+            kernel.reset_window(&mut window);
+            assert!(window.peek.pinned);
+            assert_eq!(window.peek.depth, 3);
+        });
+        kernel.reset_window(&mut window);
+        assert!(!window.peek.pinned, "pin clears outside the scope");
     }
 }

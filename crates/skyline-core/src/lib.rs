@@ -46,15 +46,15 @@ pub mod score;
 pub mod stats;
 pub mod value;
 
-pub use algo::{merge_skylines, SkylineMerger};
+pub use algo::{merge_skylines, CollectSink, ProgressiveMerger, ResultSink, SkylineMerger};
 pub use bitset::BitSet;
 pub use dataset::{Dataset, DatasetBuilder, RowValue};
 pub use deadline::{CancelToken, Deadline, DEADLINE_CHECK_INTERVAL};
 pub use dominance::{DomRelation, Dominance, DominanceContext};
 pub use error::{Result, SkylineError};
 pub use kernel::{
-    kernel_mode, with_kernel_mode, CompiledOrder, CompiledRelation, DatasetEpoch, DenseWindow,
-    KernelMode, PointBlock, RowIdRemap,
+    kernel_mode, window_peek_override, with_kernel_mode, with_window_peek, CompiledOrder,
+    CompiledRelation, DatasetEpoch, DenseWindow, KernelMode, PointBlock, RowIdRemap,
 };
 pub use order::{CanonicalPreference, ImplicitPreference, PartialOrder, Preference, Template};
 pub use schema::{Dimension, DimensionKind, Schema};

@@ -200,6 +200,42 @@ impl QueryGenerator {
             .collect()
     }
 
+    /// An **open-loop** variant of [`QueryGenerator::zipf_workload`]: the same Zipf-skewed
+    /// preference stream, each query stamped with an absolute arrival offset drawn from a
+    /// Poisson process (exponential interarrival gaps of the given mean).
+    ///
+    /// Closed-loop replay — issue, wait for the answer, issue the next — lets a slow server
+    /// throttle its own load, hiding queueing delay (coordinated omission). An open-loop
+    /// harness fixes the arrival schedule in advance and measures each query's latency from
+    /// its *scheduled* arrival, so time-to-first-row under a progressive result path is
+    /// compared honestly against whole-result latency. Offsets are non-decreasing and the
+    /// whole schedule is reproducible from the generator's seed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_loop_zipf_workload(
+        &mut self,
+        schema: &Schema,
+        template: &Template,
+        order: usize,
+        pool_size: usize,
+        count: usize,
+        theta: f64,
+        mean_interarrival: std::time::Duration,
+    ) -> Vec<(std::time::Duration, Preference)> {
+        let prefs = self.zipf_workload(schema, template, order, pool_size, count, theta);
+        let mean = mean_interarrival.as_secs_f64();
+        let mut at = 0.0f64;
+        prefs
+            .into_iter()
+            .map(|pref| {
+                // Inverse-transform sampling of Exp(1/mean); `1 - u` keeps ln's argument
+                // strictly positive for u ∈ [0, 1).
+                let u: f64 = self.rng.gen::<f64>();
+                at += -(1.0 - u).ln() * mean;
+                (std::time::Duration::from_secs_f64(at), pref)
+            })
+            .collect()
+    }
+
     /// A **mixed read/write stream** over a dynamic dataset: queries drawn from a Zipf-skewed
     /// preference pool (exactly like [`QueryGenerator::zipf_workload`]) interleaved with row
     /// insertions and deletions.
@@ -489,6 +525,57 @@ mod tests {
         let template = cfg.template(&data);
         cfg.query_generator()
             .zipf_workload(data.schema(), &template, 2, 0, 10, 1.0);
+    }
+
+    #[test]
+    fn open_loop_workload_has_monotone_reproducible_poisson_arrivals() {
+        use std::time::Duration;
+        let cfg = small_config();
+        let data = cfg.generate_dataset();
+        let template = cfg.template(&data);
+        let mean = Duration::from_millis(2);
+        let a = cfg.query_generator().open_loop_zipf_workload(
+            data.schema(),
+            &template,
+            2,
+            16,
+            2000,
+            1.0,
+            mean,
+        );
+        assert_eq!(a.len(), 2000);
+        // Offsets are absolute and non-decreasing; queries refine the template.
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+        for (_, pref) in &a {
+            assert!(pref.refines(template.implicit().unwrap()));
+            pref.validate(data.schema()).unwrap();
+        }
+        // The empirical mean gap matches the requested interarrival mean (law of large
+        // numbers slack: ±30% over 2000 exponential draws is conservative).
+        let mean_gap = a.last().unwrap().0.as_secs_f64() / a.len() as f64;
+        let want = mean.as_secs_f64();
+        assert!(
+            (mean_gap - want).abs() < want * 0.3,
+            "mean gap {mean_gap}s vs requested {want}s"
+        );
+        // Gaps vary (a Poisson process, not a fixed-rate ticker)...
+        let gaps: Vec<f64> = a
+            .windows(2)
+            .map(|w| (w[1].0 - w[0].0).as_secs_f64())
+            .collect();
+        assert!(gaps.iter().any(|&g| g > want * 2.0));
+        assert!(gaps.iter().any(|&g| g < want / 2.0));
+        // ...and the whole schedule replays bit-identically from the seed.
+        let b = cfg.query_generator().open_loop_zipf_workload(
+            data.schema(),
+            &template,
+            2,
+            16,
+            2000,
+            1.0,
+            mean,
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

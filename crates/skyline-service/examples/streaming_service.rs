@@ -1,0 +1,153 @@
+//! Progressive skyline serving end-to-end: time-to-first-row vs whole-answer latency,
+//! stream coalescing on the single-flight latch, and a sharded scatter that keeps emitting
+//! while one shard is slow — or drops out entirely.
+//!
+//! Run with: `cargo run -p skyline-service --release --example streaming_service`
+//!
+//! The fault injector arms itself from the `SKYLINE_FAULTS` environment variable at build
+//! time — the same grammar this example feeds to `delay_shard_query` by hand:
+//!
+//! ```text
+//! SKYLINE_FAULTS="delay-on-shard-query=0:40" \
+//!     cargo run -p skyline-service --release --example streaming_service
+//! ```
+
+use skyline::prelude::*;
+use skyline_service::{
+    DegradePolicy, RecoveryPolicy, ServiceConfig, ShardedConfig, ShardedService, SkylineService,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() -> Result<()> {
+    let config = ExperimentConfig {
+        n: 60_000,
+        ..ExperimentConfig::paper_default()
+    };
+    let data = config.generate_dataset();
+    let template = config.template(&data);
+    let schema = data.schema().clone();
+    let mut generator = config.query_generator();
+
+    // ── Progressive vs batch on one engine ────────────────────────────────────────────
+    // `serve_streaming` hands out each skyline member as soon as it is confirmed — in
+    // ascending query-score order, never retracted — instead of materializing the whole
+    // answer first. The first row is typically ready orders of magnitude before the last.
+    let engine = SkylineEngine::build(
+        Arc::new(data.clone()),
+        template.clone(),
+        EngineConfig::AdaptiveSfs,
+    )?;
+    let service = SkylineService::with_config(
+        SharedEngine::new(engine),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let pref = generator.random_preference(&schema, &template, config.pref_order, None);
+
+    let started = Instant::now();
+    let mut stream = service.serve_streaming(&pref)?;
+    let first = stream.next_row()?.expect("non-empty skyline");
+    let ttfr = started.elapsed();
+    let mut rows = vec![first];
+    rows.extend(stream.collect_rows()?);
+    let total = started.elapsed();
+    println!(
+        "single engine, n={}: first row in {:.2} ms, all {} rows in {:.2} ms \
+         ({}x the wait for a batch answer)",
+        data.len(),
+        ttfr.as_secs_f64() * 1e3,
+        rows.len(),
+        total.as_secs_f64() * 1e3,
+        (total.as_secs_f64() / ttfr.as_secs_f64().max(1e-9)).round() as u64,
+    );
+
+    // ── Stream coalescing ─────────────────────────────────────────────────────────────
+    // A second stream for the same (preference, epoch) joins the in-flight leader instead
+    // of running the engine again: it taps the leader's shared row log, replaying the
+    // confirmed prefix instantly and then following row by row. If the leader dies
+    // mid-stream the tap recomputes the remainder itself — it never inherits the failure.
+    let pref = generator.random_preference(&schema, &template, config.pref_order, None);
+    let mut leader = service.serve_streaming(&pref)?;
+    let mut tap = service.serve_streaming(&pref)?;
+    let lead_rows = [leader.next_row()?, leader.next_row()?];
+    let tap_rows = [tap.next_row()?, tap.next_row()?];
+    assert_eq!(lead_rows, tap_rows, "a tap replays the leader's prefix");
+    drop(leader); // the tap survives the leader's death and finishes on its own
+    let rest = tap.collect_rows()?;
+    let stats = service.stats();
+    println!(
+        "coalescing: {} streams started, {} coalesced, tap finished {} rows after its \
+         leader was dropped (ttfr p50 {:.2} ms)",
+        stats.streams_started,
+        stats.stream_coalesced,
+        tap_rows.len() + rest.len(),
+        stats.ttfr_p50.as_secs_f64() * 1e3,
+    );
+
+    // ── Sharded streaming with a slow shard ───────────────────────────────────────────
+    // Per-shard engine streams feed a cross-shard progressive merger: a row is published
+    // once it has survived dominance against every shard's emitted-so-far prefix, long
+    // before the slowest shard finishes its scan. Here shard 0 is slowed 40 ms (the same
+    // failpoint `SKYLINE_FAULTS=delay-on-shard-query=0:40` arms from the environment).
+    let sharded = ShardedService::build(
+        &data,
+        template.clone(),
+        EngineConfig::AdaptiveSfs,
+        ShardedConfig {
+            shards: 4,
+            workers: 4,
+            degrade: DegradePolicy::Tolerate { max_degraded: 1 },
+            recovery: RecoveryPolicy {
+                max_attempts: 5,
+                initial_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(50),
+            },
+            ..ShardedConfig::default()
+        },
+    )?;
+    if !sharded.fault_injector().is_armed() {
+        sharded
+            .fault_injector()
+            .delay_shard_query(0, Duration::from_millis(40));
+    }
+    let pref = generator.random_preference(&schema, &template, config.pref_order, None);
+    let started = Instant::now();
+    let mut stream = sharded.serve_streaming(&pref)?;
+    let first = stream.next_row()?.expect("non-empty skyline");
+    let ttfr = started.elapsed();
+    let mut rows = vec![first];
+    rows.extend(stream.collect_rows()?);
+    let total = started.elapsed();
+    sharded.fault_injector().clear();
+    println!(
+        "4 shards, shard 0 delayed 40 ms: first row {:?} in {:.2} ms, all {} rows in \
+         {:.2} ms",
+        first,
+        ttfr.as_secs_f64() * 1e3,
+        rows.len(),
+        total.as_secs_f64() * 1e3,
+    );
+
+    // ── A shard dying mid-scatter degrades the stream, not the service ────────────────
+    // An injected panic quarantines shard 1 at stream construction; under the tolerant
+    // policy the remaining shards keep streaming and the answer is flagged — and never
+    // cached. The quarantined shard heals through the backoff rebuild as usual.
+    sharded
+        .fault_injector()
+        .arm_from_spec("panic-on-shard-query=1:1");
+    let pref = generator.random_preference(&schema, &template, config.pref_order, None);
+    let stream = sharded.serve_streaming(&pref)?;
+    let degraded = stream.degraded_shards().to_vec();
+    let rows = stream.collect_rows()?;
+    println!(
+        "degraded stream: shards {:?} missing, {} rows from the healthy shards, \
+         quarantined={:?}",
+        degraded,
+        rows.len(),
+        sharded.quarantined_shards(),
+    );
+    Ok(())
+}

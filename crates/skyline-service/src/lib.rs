@@ -74,14 +74,16 @@ pub mod flight;
 pub mod service;
 pub mod sharded;
 pub mod stats;
+pub mod streaming;
 
 pub use admission::{AdmissionPermit, AdmissionQueue};
 pub use cache::ResultCache;
 pub use faults::FaultInjector;
-pub use flight::SingleFlight;
-pub use service::{Served, ServiceConfig, SkylineService};
+pub use flight::{FlightGuard, FlightRole, SingleFlight, StreamFlightRole};
+pub use service::{Served, ServedStream, ServiceConfig, SkylineService};
 pub use sharded::{
     DegradePolicy, GlobalRowId, PartialSkyline, RecoveryPolicy, ShardPartition, ShardedConfig,
-    ShardedOutcome, ShardedServed, ShardedService,
+    ShardedOutcome, ShardedServed, ShardedService, ShardedStream,
 };
 pub use stats::{ServiceMetrics, StatsSnapshot};
+pub use streaming::{NextRow, StreamCore};

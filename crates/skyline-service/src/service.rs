@@ -1,14 +1,16 @@
 //! The concurrent query service: one shared engine, many users, dynamic data.
 
-use crate::admission::AdmissionQueue;
+use crate::admission::{AdmissionPermit, AdmissionQueue};
 use crate::cache::ResultCache;
 use crate::executor;
-use crate::flight::{FlightRole, SingleFlight};
+use crate::flight::{FlightGuard, FlightRole, SingleFlight, StreamFlightRole};
 use crate::stats::{ServiceMetrics, StatsSnapshot};
+use crate::streaming::{NextRow, StreamCore};
 use skyline::{
-    EngineScratch, MaintenanceHandle, MaintenancePolicy, MaintenanceWorker, QueryOutcome,
-    SharedEngine,
+    EngineScratch, EngineStream, MaintenanceHandle, MaintenancePolicy, MaintenanceWorker,
+    QueryOutcome, SharedEngine,
 };
+use skyline_core::score::ScoreFn;
 use skyline_core::{
     CanonicalPreference, DatasetEpoch, Deadline, PointId, Preference, Result, SkylineError, ValueId,
 };
@@ -86,7 +88,7 @@ pub struct SkylineService {
     engine: SharedEngine,
     cache: ResultCache,
     metrics: ServiceMetrics,
-    flight: SingleFlight,
+    flight: SingleFlight<DatasetEpoch, Arc<StreamCore<PointId>>>,
     admission: AdmissionQueue,
     maintenance: Option<MaintenanceHandle>,
     workers: usize,
@@ -370,6 +372,152 @@ impl SkylineService {
         })
     }
 
+    /// Answers one query **progressively**: returns a [`ServedStream`] whose
+    /// [`next_row`](ServedStream::next_row) calls yield confirmed skyline members one at a
+    /// time, in ascending query-score order, long before the full answer exists. Every
+    /// yielded row is final (no retractions) and the complete set equals the batch
+    /// [`SkylineService::serve`] answer at the same epoch.
+    ///
+    /// The path is fully integrated with the service's machinery:
+    ///
+    /// * **cache** — a hit replays the memoized answer in score order (no engine work);
+    ///   a finished stream caches its answer, so the batch and streaming paths warm each
+    ///   other;
+    /// * **single-flight** — concurrent streaming misses of the same `(key, epoch)` coalesce:
+    ///   one leader runs the engine and publishes each confirmed row into a shared
+    ///   [`StreamCore`]; the rest *tap* that live log, replaying its confirmed prefix
+    ///   immediately and then following the leader row by row (counted in
+    ///   [`StatsSnapshot::stream_coalesced`]);
+    /// * **fault isolation** — a tap whose leader fails mid-stream (deadline expiry, error,
+    ///   or drop) falls back to running the remainder of the query itself at the pinned
+    ///   epoch; the rows it already delivered stay valid, and it never inherits the leader's
+    ///   error;
+    /// * **admission control** — the stream holds its admission permit for its whole
+    ///   lifetime, so open streams count against [`ServiceConfig::admission_depth`].
+    pub fn serve_streaming(&self, pref: &Preference) -> Result<ServedStream<'_>> {
+        self.serve_streaming_deadline(pref, Deadline::none())
+    }
+
+    /// [`SkylineService::serve_streaming`] under a per-request [`Deadline`]. The budget is
+    /// polled at block granularity inside each [`ServedStream::next_row`] pull; expiry fails
+    /// the *pull* (counted in [`StatsSnapshot::deadline_misses`]), and
+    /// [`ServedStream::set_deadline`] plus another pull resumes the stream where it stopped.
+    pub fn serve_streaming_deadline(
+        &self,
+        pref: &Preference,
+        deadline: Deadline,
+    ) -> Result<ServedStream<'_>> {
+        let permit = self.admission.try_admit().inspect_err(|_| {
+            self.metrics.record_shed();
+        })?;
+        deadline.check().inspect_err(|_| {
+            self.metrics.record_deadline_miss();
+        })?;
+        let started = Instant::now();
+        let engine = self.engine.read();
+        let epoch = engine.epoch();
+        let key = CanonicalPreference::new(engine.dataset().schema(), pref)
+            .inspect_err(|_| self.metrics.record_error())?;
+        engine
+            .check_servable(pref)
+            .inspect_err(|_| self.metrics.record_error())?;
+        let state = if let Some((outcome, translated)) =
+            self.cache
+                .get_or_translate(&key, epoch, engine.remap_chain())
+        {
+            self.metrics.record(true, started.elapsed());
+            if translated {
+                self.metrics.record_remapped_hit();
+            }
+            StreamState::Replay {
+                ids: Self::score_ordered(&engine, pref, &outcome.skyline)?.into_iter(),
+            }
+        } else {
+            match self
+                .flight
+                .join_streaming(&key, epoch, &deadline)
+                .inspect_err(|e| self.record_stream_failure(e))?
+            {
+                StreamFlightRole::Leader(guard) => {
+                    let stream = engine
+                        .query_streaming(pref, deadline)
+                        .inspect_err(|e| self.record_stream_failure(e))?;
+                    let core = Arc::new(StreamCore::new());
+                    guard.publish(core.clone());
+                    StreamState::Leader {
+                        stream,
+                        core: Some(core),
+                        guard: Some(guard),
+                        key,
+                        collected: Vec::new(),
+                    }
+                }
+                StreamFlightRole::Tap(core) => {
+                    self.metrics.record_stream_coalesced();
+                    StreamState::Tap {
+                        core,
+                        idx: 0,
+                        deadline,
+                        pref: pref.clone(),
+                        key,
+                    }
+                }
+                StreamFlightRole::Followed => {
+                    // The previous leader finished while we waited: its answer is cached
+                    // (replay it), unless it failed — then run our own stream, solo (no
+                    // guard: a failed key is likely to keep failing, serializing retries
+                    // behind one another would only add latency).
+                    if let Some(outcome) = self.cache.get(&key, epoch) {
+                        self.metrics.record(true, started.elapsed());
+                        StreamState::Replay {
+                            ids: Self::score_ordered(&engine, pref, &outcome.skyline)?.into_iter(),
+                        }
+                    } else {
+                        let stream = engine
+                            .query_streaming(pref, deadline)
+                            .inspect_err(|e| self.record_stream_failure(e))?;
+                        StreamState::Leader {
+                            stream,
+                            core: None,
+                            guard: None,
+                            key,
+                            collected: Vec::new(),
+                        }
+                    }
+                }
+            }
+        };
+        drop(engine);
+        self.metrics.record_stream_started();
+        Ok(ServedStream {
+            service: self,
+            _permit: permit,
+            epoch,
+            started,
+            ttfr_recorded: false,
+            state,
+        })
+    }
+
+    /// Replays a cached (id-sorted) answer in the stream's ascending-score order.
+    fn score_ordered(
+        engine: &skyline::SkylineEngine,
+        pref: &Preference,
+        ids: &[PointId],
+    ) -> Result<Vec<PointId>> {
+        let score = ScoreFn::for_preference(engine.dataset().schema(), pref)?;
+        Ok(score.sort_by_score(engine.dataset(), ids))
+    }
+
+    /// Error bookkeeping shared by every streaming failure site (mirrors the batch path:
+    /// an expired deadline counts as both an error and a deadline miss).
+    fn record_stream_failure(&self, e: &SkylineError) {
+        self.metrics.record_error();
+        if matches!(e, SkylineError::DeadlineExceeded) {
+            self.metrics.record_deadline_miss();
+        }
+    }
+
     /// Answers a batch of queries on the worker pool, preserving input order.
     ///
     /// Each worker pulls the next query as soon as it finishes its previous one (work
@@ -396,6 +544,224 @@ impl SkylineService {
             EngineScratch::default,
             |_, pref, scratch| self.serve_deadline_scratch(pref, deadline, scratch),
         )
+    }
+}
+
+/// The per-stream serving state (see [`ServedStream`]).
+#[derive(Debug)]
+enum StreamState<'a> {
+    /// Cache hit: replay the memoized answer in ascending score order.
+    Replay { ids: std::vec::IntoIter<PointId> },
+    /// This request runs the engine. When it won the single-flight latch it carries the
+    /// published [`StreamCore`] (taps follow it) and the flight guard; a solo recompute
+    /// after a failed leader carries neither.
+    Leader {
+        stream: EngineStream,
+        core: Option<Arc<StreamCore<PointId>>>,
+        guard: Option<FlightGuard<'a, DatasetEpoch, Arc<StreamCore<PointId>>>>,
+        key: CanonicalPreference,
+        collected: Vec<PointId>,
+    },
+    /// This request follows another request's live stream core, replaying its confirmed
+    /// prefix. `pref`/`key` are kept for the fall-back recompute if the leader fails.
+    Tap {
+        core: Arc<StreamCore<PointId>>,
+        idx: usize,
+        deadline: Deadline,
+        pref: Preference,
+        key: CanonicalPreference,
+    },
+    /// Exhausted (terminal bookkeeping already done).
+    Done,
+}
+
+/// A progressive query answer handed out by [`SkylineService::serve_streaming`]: confirmed
+/// skyline members, one per [`ServedStream::next_row`] call, in ascending query-score order.
+///
+/// The stream is pinned to the dataset epoch it was created at ([`ServedStream::epoch`]) and
+/// stays valid across later mutations. It holds its admission permit until dropped. Dropping
+/// a leader stream mid-way seals its shared core with an error, so coalesced taps fall back
+/// to computing the remainder themselves rather than waiting forever.
+#[derive(Debug)]
+pub struct ServedStream<'a> {
+    service: &'a SkylineService,
+    _permit: AdmissionPermit,
+    epoch: DatasetEpoch,
+    started: Instant,
+    ttfr_recorded: bool,
+    state: StreamState<'a>,
+}
+
+impl ServedStream<'_> {
+    /// The dataset epoch the stream's answer is valid for.
+    pub fn epoch(&self) -> DatasetEpoch {
+        self.epoch
+    }
+
+    /// Replaces the stream's deadline: an expired pull can be retried under a fresh budget
+    /// and resumes exactly where it stopped. (A replayed cache hit has no budget to renew.)
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        match &mut self.state {
+            StreamState::Leader { stream, .. } => stream.set_deadline(deadline),
+            StreamState::Tap { deadline: d, .. } => *d = deadline,
+            StreamState::Replay { .. } | StreamState::Done => {}
+        }
+    }
+
+    /// Pulls the next confirmed skyline member, or `Ok(None)` once the answer is complete.
+    ///
+    /// An `Err` does **not** invalidate rows already delivered (they are final), and for
+    /// deadline expiry the stream's position is preserved — see
+    /// [`ServedStream::set_deadline`].
+    pub fn next_row(&mut self) -> Result<Option<PointId>> {
+        loop {
+            match &mut self.state {
+                StreamState::Done => return Ok(None),
+                StreamState::Replay { ids } => match ids.next() {
+                    Some(p) => {
+                        if !self.ttfr_recorded {
+                            self.ttfr_recorded = true;
+                            self.service.metrics.record_ttfr(self.started.elapsed());
+                        }
+                        return Ok(Some(p));
+                    }
+                    None => {
+                        self.state = StreamState::Done;
+                        return Ok(None);
+                    }
+                },
+                StreamState::Leader {
+                    stream,
+                    core,
+                    guard,
+                    key,
+                    collected,
+                } => match stream.next_row() {
+                    Ok(Some(p)) => {
+                        if let Some(core) = core.as_ref() {
+                            core.publish(p);
+                        }
+                        collected.push(p);
+                        if !self.ttfr_recorded {
+                            self.ttfr_recorded = true;
+                            self.service.metrics.record_ttfr(self.started.elapsed());
+                        }
+                        return Ok(Some(p));
+                    }
+                    Ok(None) => {
+                        let method = stream.method();
+                        let mut skyline = std::mem::take(collected);
+                        skyline.sort_unstable();
+                        // Cache before releasing the flight: batch followers woken by the
+                        // guard drop re-check the cache and must find the entry.
+                        self.service.cache.insert(
+                            key.clone(),
+                            self.epoch,
+                            Arc::new(QueryOutcome { skyline, method }),
+                        );
+                        if let Some(core) = core.take() {
+                            core.finish(Ok(()));
+                        }
+                        *guard = None;
+                        self.service.metrics.record(false, self.started.elapsed());
+                        self.state = StreamState::Done;
+                        return Ok(None);
+                    }
+                    Err(e) => {
+                        // Seal the shared core so taps fall back to their own computation;
+                        // release the flight so later arrivals are not serialized behind a
+                        // stream that may never be pulled again.
+                        if let Some(core) = core.take() {
+                            core.finish(Err(e.clone()));
+                        }
+                        *guard = None;
+                        self.service.record_stream_failure(&e);
+                        return Err(e);
+                    }
+                },
+                StreamState::Tap {
+                    core,
+                    idx,
+                    deadline,
+                    pref,
+                    key,
+                } => match core.wait_next(*idx, deadline) {
+                    Ok(NextRow::Row(p)) => {
+                        *idx += 1;
+                        if !self.ttfr_recorded {
+                            self.ttfr_recorded = true;
+                            self.service.metrics.record_ttfr(self.started.elapsed());
+                        }
+                        return Ok(Some(p));
+                    }
+                    Ok(NextRow::Finished) => {
+                        self.service.metrics.record(true, self.started.elapsed());
+                        self.state = StreamState::Done;
+                        return Ok(None);
+                    }
+                    Ok(NextRow::Failed(_)) => {
+                        // The leader died mid-stream. Its published prefix is still a
+                        // correct prefix of the answer (no retractions), so re-run the
+                        // query at the pinned epoch, silently skip the rows already
+                        // delivered — the emission order is deterministic per (epoch,
+                        // preference) — and continue as a solo leader. If the dataset
+                        // moved past the pinned epoch the recompute fails with
+                        // `EpochMismatch`, which is surfaced verbatim.
+                        let engine = self.service.engine.read();
+                        let mut stream = engine
+                            .query_streaming_at(pref, self.epoch, deadline.clone())
+                            .inspect_err(|e| self.service.record_stream_failure(e))?;
+                        drop(engine);
+                        let mut collected = Vec::with_capacity(*idx);
+                        for _ in 0..*idx {
+                            match stream
+                                .next_row()
+                                .inspect_err(|e| self.service.record_stream_failure(e))?
+                            {
+                                Some(p) => collected.push(p),
+                                None => break,
+                            }
+                        }
+                        let key = key.clone();
+                        self.state = StreamState::Leader {
+                            stream,
+                            core: None,
+                            guard: None,
+                            key,
+                            collected,
+                        };
+                        // Loop: the next iteration pulls from the recomputed stream.
+                    }
+                    Err(e) => {
+                        self.service.record_stream_failure(&e);
+                        return Err(e);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Drains the rest of the stream, returning the remaining rows in emission (ascending
+    /// query-score) order.
+    pub fn collect_rows(mut self) -> Result<Vec<PointId>> {
+        let mut rows = Vec::new();
+        while let Some(p) = self.next_row()? {
+            rows.push(p);
+        }
+        Ok(rows)
+    }
+}
+
+impl Drop for ServedStream<'_> {
+    fn drop(&mut self) {
+        // An abandoned leader must not leave its taps blocked on a core nobody feeds.
+        if let StreamState::Leader { core, .. } = &mut self.state {
+            if let Some(core) = core.take() {
+                core.finish(Err(SkylineError::InvalidArgument(
+                    "streaming leader dropped before finishing".into(),
+                )));
+            }
+        }
     }
 }
 
@@ -673,5 +1039,169 @@ mod tests {
         let service = SkylineService::new(engine());
         assert!(service.workers() >= 1);
         assert!(!service.engine().read().dataset().is_empty());
+    }
+
+    #[test]
+    fn streaming_matches_batch_and_emits_in_ascending_score_order() {
+        let engine = engine();
+        let service = SkylineService::new(engine.clone());
+        let schema = engine.read().dataset().schema().clone();
+        let template = engine.read().template().clone();
+        let mut generator = QueryGenerator::new(21);
+        let pref = generator.random_preference(&schema, &template, 2, None);
+
+        let rows = service
+            .serve_streaming(&pref)
+            .unwrap()
+            .collect_rows()
+            .unwrap();
+        let guard = engine.read();
+        let score = ScoreFn::for_preference(guard.dataset().schema(), &pref).unwrap();
+        let scores: Vec<f64> = rows
+            .iter()
+            .map(|&p| score.score(guard.dataset(), p))
+            .collect();
+        assert!(
+            scores.windows(2).all(|w| w[0] <= w[1]),
+            "emission must be in ascending query-score order"
+        );
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, guard.query(&pref).unwrap().skyline);
+        drop(guard);
+
+        // The finished stream warmed the cache: the batch path replays it...
+        let served = service.serve(&pref).unwrap();
+        assert!(served.cache_hit);
+        assert_eq!(served.outcome.skyline, sorted);
+        // ...and so does a second stream (same rows, same order, no engine work).
+        let replay = service
+            .serve_streaming(&pref)
+            .unwrap()
+            .collect_rows()
+            .unwrap();
+        assert_eq!(replay, rows);
+
+        let stats = service.stats();
+        assert_eq!(stats.streams_started, 2);
+        assert!(stats.ttfr_p50 > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_streams_coalesce_on_the_leader_log() {
+        let engine = engine();
+        let service = SkylineService::new(engine.clone());
+        let schema = engine.read().dataset().schema().clone();
+        let template = engine.read().template().clone();
+        let mut generator = QueryGenerator::new(33);
+        let pref = generator.random_preference(&schema, &template, 2, None);
+
+        let mut leader = service.serve_streaming(&pref).unwrap();
+        // Joins the in-flight leader's published core instead of running the engine.
+        let mut tap = service.serve_streaming(&pref).unwrap();
+        assert_eq!(service.stats().stream_coalesced, 1);
+
+        // The leader publishes as it pulls; the tap replays the confirmed prefix instantly.
+        let first = leader.next_row().unwrap().unwrap();
+        let second = leader.next_row().unwrap().unwrap();
+        assert_eq!(tap.next_row().unwrap(), Some(first));
+        assert_eq!(tap.next_row().unwrap(), Some(second));
+
+        let mut rows = vec![first, second];
+        rows.extend(leader.collect_rows().unwrap());
+        let mut tap_rows = vec![first, second];
+        tap_rows.extend(tap.collect_rows().unwrap());
+        assert_eq!(tap_rows, rows);
+
+        let mut sorted = rows;
+        sorted.sort_unstable();
+        assert_eq!(sorted, engine.read().query(&pref).unwrap().skyline);
+        // Two streams, one engine evaluation: the leader finish is the miss, the tap's
+        // completion the hit.
+        let stats = service.stats();
+        assert_eq!(stats.streams_started, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn a_taps_leader_expiring_mid_stream_does_not_fail_the_tap() {
+        let engine = engine();
+        let service = SkylineService::new(engine.clone());
+        let schema = engine.read().dataset().schema().clone();
+        let template = engine.read().template().clone();
+        let mut generator = QueryGenerator::new(55);
+        let pref = generator.random_preference(&schema, &template, 2, None);
+
+        let token = skyline_core::CancelToken::new();
+        let mut leader = service
+            .serve_streaming_deadline(&pref, Deadline::none().with_cancel(token.clone()))
+            .unwrap();
+        let mut tap = service.serve_streaming(&pref).unwrap();
+        assert_eq!(service.stats().stream_coalesced, 1);
+
+        let first = leader.next_row().unwrap().unwrap();
+        assert_eq!(tap.next_row().unwrap(), Some(first));
+
+        // The leader's budget dies mid-stream; its own pull fails...
+        token.cancel();
+        assert_eq!(
+            leader.next_row().unwrap_err(),
+            SkylineError::DeadlineExceeded
+        );
+
+        // ...but the tap falls back to computing the remainder itself rather than
+        // inheriting the leader's expiry, and its full answer matches the batch path.
+        let mut rows = vec![first];
+        rows.extend(tap.collect_rows().unwrap());
+        let mut sorted = rows;
+        sorted.sort_unstable();
+        assert_eq!(sorted, engine.read().query(&pref).unwrap().skyline);
+    }
+
+    #[test]
+    fn a_dropped_leader_seals_its_core_and_taps_recover() {
+        let engine = engine();
+        let service = SkylineService::new(engine.clone());
+        let schema = engine.read().dataset().schema().clone();
+        let template = engine.read().template().clone();
+        let mut generator = QueryGenerator::new(89);
+        let pref = generator.random_preference(&schema, &template, 2, None);
+
+        let mut leader = service.serve_streaming(&pref).unwrap();
+        let mut tap = service.serve_streaming(&pref).unwrap();
+        let first = leader.next_row().unwrap().unwrap();
+        drop(leader); // abandons the flight with one row published
+
+        // The tap replays the published prefix, sees the sealed core, and recovers.
+        assert_eq!(tap.next_row().unwrap(), Some(first));
+        let mut rows = vec![first];
+        rows.extend(tap.collect_rows().unwrap());
+        let mut sorted = rows;
+        sorted.sort_unstable();
+        assert_eq!(sorted, engine.read().query(&pref).unwrap().skyline);
+    }
+
+    #[test]
+    fn a_stream_pins_its_epoch_across_mutations() {
+        let engine = engine();
+        let service = SkylineService::new(engine.clone());
+        let schema = engine.read().dataset().schema().clone();
+        let template = engine.read().template().clone();
+        let mut generator = QueryGenerator::new(144);
+        let pref = generator.random_preference(&schema, &template, 2, None);
+        let expected = engine.read().query(&pref).unwrap().skyline;
+
+        let mut stream = service.serve_streaming(&pref).unwrap();
+        let pinned = stream.epoch();
+        let first = stream.next_row().unwrap();
+        // A mutation mid-stream bumps the service epoch but not the stream's snapshot.
+        service.insert_row(&[0.0, 0.0], &[0, 0]).unwrap();
+        assert_ne!(service.epoch(), pinned);
+
+        let mut rows: Vec<PointId> = first.into_iter().collect();
+        rows.extend(stream.collect_rows().unwrap());
+        rows.sort_unstable();
+        assert_eq!(rows, expected, "stream must serve its pinned snapshot");
     }
 }

@@ -35,20 +35,22 @@
 //! queueing without bound. A [`FaultInjector`] (armed programmatically or via
 //! `SKYLINE_FAULTS`) gives every one of these paths a deterministic trigger.
 
-use crate::admission::AdmissionQueue;
+use crate::admission::{AdmissionPermit, AdmissionQueue};
 use crate::cache::{translate_through_chain, ResultCache, Salvage, TranslateFailure};
 use crate::executor;
 use crate::faults::FaultInjector;
 use crate::flight::{FlightRole, SingleFlight};
 use crate::stats::{ServiceMetrics, StatsSnapshot};
 use skyline::{
-    BuildHandle, BuildPool, BuildPoolConfig, EngineConfig, EngineScratch, MaintenancePolicy,
-    MethodUsed, QueryOutcome, SharedEngine, SkylineEngine,
+    BuildHandle, BuildPool, BuildPoolConfig, EngineConfig, EngineScratch, EngineStream,
+    MaintenancePolicy, MethodUsed, QueryOutcome, SharedEngine, SkylineEngine,
 };
+use skyline_core::score::ScoreFn;
 use skyline_core::{
     CanonicalPreference, CompiledOrder, Dataset, DatasetEpoch, Deadline, PointId, Preference,
-    Result, Schema, SkylineError, SkylineMerger, Template, ValueId,
+    ProgressiveMerger, Result, Schema, SkylineError, SkylineMerger, Template, ValueId,
 };
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -818,6 +820,174 @@ impl ShardedService {
         }
     }
 
+    /// Answers one query **progressively**: per-shard [`EngineStream`]s feed a cross-shard
+    /// [`ProgressiveMerger`], and a row is handed out as soon as it has survived dominance
+    /// against every shard's emitted-so-far prefix — long before the slowest shard finishes
+    /// its scan. Rows arrive in ascending query-score order, are never retracted, and the
+    /// complete set equals the batch [`ShardedService::serve`] answer at the same epoch
+    /// vector.
+    ///
+    /// Fault isolation carries over from the batch path: a shard that panics — at stream
+    /// construction or mid-pull — is quarantined, and under a tolerant [`DegradePolicy`] the
+    /// remaining shards keep streaming (a degraded stream's final answer is never cached).
+    /// A finished complete stream caches its merged answer, so the batch and streaming paths
+    /// warm each other. Unlike the batch path, concurrent identical streaming misses do
+    /// **not** coalesce — each request drives its own scatter (streams are pull-paced by
+    /// their caller, so one slow consumer must not throttle the others).
+    pub fn serve_streaming(&self, pref: &Preference) -> Result<ShardedStream<'_>> {
+        self.serve_streaming_deadline(pref, Deadline::none())
+    }
+
+    /// [`ShardedService::serve_streaming`] under a per-request [`Deadline`], polled at block
+    /// granularity inside each per-shard pull. Expiry fails the *pull* (counted in
+    /// [`StatsSnapshot::deadline_misses`]); [`ShardedStream::set_deadline`] plus another
+    /// pull resumes every shard's scan where it stopped.
+    pub fn serve_streaming_deadline(
+        &self,
+        pref: &Preference,
+        deadline: Deadline,
+    ) -> Result<ShardedStream<'_>> {
+        let permit = self.admission.try_admit().inspect_err(|_| {
+            self.metrics.record_shed();
+        })?;
+        deadline.check().inspect_err(|_| {
+            self.metrics.record_deadline_miss();
+        })?;
+        if let Some(s) = self.quarantine.claim_due() {
+            self.attempt_recovery(s);
+        }
+        let started = Instant::now();
+        // Guards are held only through construction: every per-shard stream owns shared
+        // handles to its generation snapshot, so the caller can pace its pulls for as long
+        // as it likes without blocking writers.
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let epochs: EpochVector = guards.iter().map(|g| g.epoch()).collect::<Vec<_>>().into();
+        let key = CanonicalPreference::new(&self.schema, pref)
+            .inspect_err(|_| self.metrics.record_error())?;
+        for guard in &guards {
+            guard
+                .check_servable(pref)
+                .inspect_err(|_| self.metrics.record_error())?;
+        }
+        if let Some((outcome, translated)) = self.lookup(&key, &epochs, &guards) {
+            let ids = self.score_ordered_global(&guards, pref, &outcome.skyline)?;
+            drop(guards);
+            self.metrics.record(true, started.elapsed());
+            if translated {
+                self.metrics.record_remapped_hit();
+            }
+            self.metrics.record_stream_started();
+            return Ok(ShardedStream {
+                service: self,
+                _permit: permit,
+                epochs,
+                started,
+                ttfr_recorded: false,
+                state: ShardedStreamState::Replay {
+                    ids: ids.into_iter(),
+                },
+            });
+        }
+        let quarantined = self.quarantine.quarantined();
+        if !quarantined.is_empty() {
+            self.check_policy(quarantined.first().copied(), quarantined.len())?;
+        }
+        let healthy: Vec<usize> = (0..guards.len())
+            .filter(|s| !quarantined.contains(s))
+            .collect();
+        let scatter_victim = self.faults.begin_scatter();
+        // Streams are constructed in parallel (presorting/re-ranking happens here; the
+        // elimination scans run lazily in the pulls), each inside `catch_unwind` so a
+        // panicking shard is quarantined instead of taking the scatter down.
+        let built = executor::run_indexed_scratch(
+            &healthy,
+            self.workers.min(healthy.len().max(1)),
+            || (),
+            |_, &s, ()| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    self.faults.before_shard_query(s, scatter_victim);
+                    guards[s].query_streaming_at(pref, epochs[s], deadline.clone())
+                }))
+            },
+        );
+        drop(guards);
+        let mut streams: Vec<Option<EngineStream>> = (0..self.shards.len()).map(|_| None).collect();
+        let mut panicked: Vec<usize> = Vec::new();
+        for (&s, result) in healthy.iter().zip(built) {
+            match result {
+                Ok(Ok(stream)) => streams[s] = Some(stream),
+                Ok(Err(err)) => {
+                    self.metrics.record_error();
+                    if matches!(err, SkylineError::DeadlineExceeded) {
+                        self.metrics.record_deadline_miss();
+                    }
+                    return Err(err);
+                }
+                Err(_panic) => {
+                    self.quarantine.quarantine(s);
+                    panicked.push(s);
+                }
+            }
+        }
+        let mut degraded: Vec<usize> = quarantined.clone();
+        degraded.extend_from_slice(&panicked);
+        degraded.sort_unstable();
+        if !degraded.is_empty() {
+            self.check_policy(
+                panicked.first().or(quarantined.first()).copied(),
+                degraded.len(),
+            )?;
+        }
+        let orders: Vec<CompiledOrder> = self
+            .template
+            .effective_orders(&self.schema, pref)
+            .inspect_err(|_| self.metrics.record_error())?
+            .iter()
+            .map(CompiledOrder::compile)
+            .collect();
+        let mut merger = ProgressiveMerger::new(orders, self.schema.numeric_count(), streams.len());
+        for &s in &degraded {
+            merger.finish(s);
+        }
+        self.metrics.record_stream_started();
+        Ok(ShardedStream {
+            service: self,
+            _permit: permit,
+            epochs,
+            started,
+            ttfr_recorded: false,
+            state: ShardedStreamState::Live(Box::new(LiveScatter {
+                frontier: vec![f64::NEG_INFINITY; streams.len()],
+                streams,
+                merger,
+                ready: VecDeque::new(),
+                emitted: Vec::new(),
+                answered: Vec::new(),
+                degraded,
+                key,
+                numeric: vec![0.0; self.schema.numeric_count()],
+                nominal: vec![ValueId::default(); self.schema.nominal_count()],
+            })),
+        })
+    }
+
+    /// Replays a cached (shard-grouped) answer in the stream's ascending-score order, ties
+    /// broken by global row id for determinism.
+    fn score_ordered_global(
+        &self,
+        guards: &[parking_lot_free::Guard<'_>],
+        pref: &Preference,
+        ids: &[GlobalRowId],
+    ) -> Result<Vec<GlobalRowId>> {
+        let score = ScoreFn::for_preference(&self.schema, pref)?;
+        let mut scored: Vec<(f64, GlobalRowId)> = ids
+            .iter()
+            .map(|&g| (score.score(guards[g.shard].dataset(), g.row), g))
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        Ok(scored.into_iter().map(|(_, g)| g).collect())
+    }
+
     /// Answers a batch of queries on the worker pool, preserving input order.
     pub fn serve_batch(&self, prefs: &[Preference]) -> Vec<Result<ShardedServed>> {
         self.serve_batch_deadline(prefs, &Deadline::none())
@@ -1045,6 +1215,224 @@ impl ShardedService {
             degraded_shards: degraded,
             latency,
         })
+    }
+}
+
+/// The per-stream serving state (see [`ShardedStream`]).
+#[derive(Debug)]
+enum ShardedStreamState {
+    /// Cache hit: replay the memoized merged answer in ascending score order.
+    Replay {
+        ids: std::vec::IntoIter<GlobalRowId>,
+    },
+    /// Live scatter: per-shard engine streams feeding the progressive merger.
+    Live(Box<LiveScatter>),
+    /// Exhausted (terminal bookkeeping already done).
+    Done,
+}
+
+/// The live scatter-gather state behind [`ShardedStreamState::Live`].
+#[derive(Debug)]
+struct LiveScatter {
+    /// One stream per shard (`None` = exhausted, degraded, or quarantined).
+    streams: Vec<Option<EngineStream>>,
+    /// Last score offered per shard (drives which stream to pull: the merger's gate is
+    /// the minimum over unfinished frontiers, so pulling the laggard makes progress).
+    frontier: Vec<f64>,
+    merger: ProgressiveMerger,
+    /// Rows confirmed by the merger, not yet handed to the caller.
+    ready: VecDeque<GlobalRowId>,
+    /// Every row handed out so far (becomes the cached answer on a complete finish).
+    emitted: Vec<GlobalRowId>,
+    /// `(shard, method)` per cleanly finished shard.
+    answered: Vec<(usize, MethodUsed)>,
+    /// Shards missing from the answer, ascending.
+    degraded: Vec<usize>,
+    key: CanonicalPreference,
+    /// Scratch row buffers for the merger's dominance tests.
+    numeric: Vec<f64>,
+    nominal: Vec<ValueId>,
+}
+
+/// A progressive sharded answer handed out by [`ShardedService::serve_streaming`]: globally
+/// confirmed skyline members, one per [`ShardedStream::next_row`] call, in ascending
+/// query-score order.
+///
+/// The stream is pinned to the epoch vector it was created at ([`ShardedStream::epochs`])
+/// — every per-shard stream snapshots its generation — and holds its admission permit until
+/// dropped. [`ShardedStream::degraded_shards`] names the shards the answer will be missing
+/// (only non-empty under a tolerant [`DegradePolicy`]).
+#[derive(Debug)]
+pub struct ShardedStream<'a> {
+    service: &'a ShardedService,
+    _permit: AdmissionPermit,
+    epochs: EpochVector,
+    started: Instant,
+    ttfr_recorded: bool,
+    state: ShardedStreamState,
+}
+
+impl ShardedStream<'_> {
+    /// The per-shard epoch vector the stream's answer is valid for.
+    pub fn epochs(&self) -> &EpochVector {
+        &self.epochs
+    }
+
+    /// Shards missing from the answer so far (quarantined before or during the stream),
+    /// ascending. May grow while pulling — a shard can panic mid-stream under a tolerant
+    /// policy. Empty for replayed cache hits (cached answers are always complete).
+    pub fn degraded_shards(&self) -> &[usize] {
+        match &self.state {
+            ShardedStreamState::Live(live) => &live.degraded,
+            _ => &[],
+        }
+    }
+
+    /// Replaces every per-shard stream's deadline: an expired pull can be retried under a
+    /// fresh budget and resumes each shard's scan where it stopped.
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        if let ShardedStreamState::Live(live) = &mut self.state {
+            for stream in live.streams.iter_mut().flatten() {
+                stream.set_deadline(deadline.clone());
+            }
+        }
+    }
+
+    /// Pulls the next globally confirmed skyline member, or `Ok(None)` once the answer is
+    /// complete. Rows already delivered are final regardless of later errors; deadline
+    /// expiry preserves every shard's position (see [`ShardedStream::set_deadline`]).
+    pub fn next_row(&mut self) -> Result<Option<GlobalRowId>> {
+        loop {
+            match &mut self.state {
+                ShardedStreamState::Done => return Ok(None),
+                ShardedStreamState::Replay { ids } => match ids.next() {
+                    Some(g) => {
+                        if !self.ttfr_recorded {
+                            self.ttfr_recorded = true;
+                            self.service.metrics.record_ttfr(self.started.elapsed());
+                        }
+                        return Ok(Some(g));
+                    }
+                    None => {
+                        self.state = ShardedStreamState::Done;
+                        return Ok(None);
+                    }
+                },
+                ShardedStreamState::Live(live) => {
+                    let LiveScatter {
+                        streams,
+                        frontier,
+                        merger,
+                        ready,
+                        emitted,
+                        answered,
+                        degraded,
+                        key,
+                        numeric,
+                        nominal,
+                    } = &mut **live;
+                    if let Some(g) = ready.pop_front() {
+                        emitted.push(g);
+                        if !self.ttfr_recorded {
+                            self.ttfr_recorded = true;
+                            self.service.metrics.record_ttfr(self.started.elapsed());
+                        }
+                        return Ok(Some(g));
+                    }
+                    if merger.is_complete() {
+                        // Complete: the emitted rows, re-grouped by shard in engine order,
+                        // are exactly the batch `ShardedOutcome` layout (the merger emits
+                        // per-shard prefixes in the engines' ascending-score = ascending-id
+                        // survivor order), so the entry is shared with the batch path.
+                        let mut skyline = std::mem::take(emitted);
+                        skyline.sort_unstable();
+                        let mut answered = std::mem::take(answered);
+                        answered.sort_unstable_by_key(|&(s, _)| s);
+                        let outcome = Arc::new(ShardedOutcome {
+                            skyline,
+                            methods: answered.into_iter().map(|(_, m)| m).collect(),
+                        });
+                        if degraded.is_empty() {
+                            self.service
+                                .cache
+                                .insert(key.clone(), self.epochs.clone(), outcome);
+                        } else {
+                            self.service.metrics.record_degraded();
+                        }
+                        self.service.metrics.record(false, self.started.elapsed());
+                        self.state = ShardedStreamState::Done;
+                        return Ok(None);
+                    }
+                    // Pull the laggard: the active stream with the minimal offered score is
+                    // the one gating the merger.
+                    let s = (0..streams.len())
+                        .filter(|&s| streams[s].is_some())
+                        .min_by(|&a, &b| frontier[a].total_cmp(&frontier[b]))
+                        .expect("an incomplete merger implies an active stream");
+                    let stream = streams[s].as_mut().expect("chosen stream is active");
+                    match catch_unwind(AssertUnwindSafe(|| stream.next_row())) {
+                        Ok(Ok(Some(p))) => {
+                            let score = stream.score_of(p);
+                            let data = stream.dataset_arc();
+                            for (j, v) in numeric.iter_mut().enumerate() {
+                                *v = data.numeric(p, j);
+                            }
+                            for (j, v) in nominal.iter_mut().enumerate() {
+                                *v = data.nominal(p, j);
+                            }
+                            frontier[s] = score;
+                            merger
+                                .offer(s, p, score, numeric, nominal)
+                                .inspect_err(|_| self.service.metrics.record_error())?;
+                        }
+                        Ok(Ok(None)) => {
+                            let method = stream.method();
+                            answered.push((s, method));
+                            streams[s] = None;
+                            merger.finish(s);
+                        }
+                        Ok(Err(e)) => {
+                            // One shared deadline governs every shard, so a per-shard expiry
+                            // is the request's expiry: fail the pull (resumable), do not
+                            // degrade the shard.
+                            self.service.metrics.record_error();
+                            if matches!(e, SkylineError::DeadlineExceeded) {
+                                self.service.metrics.record_deadline_miss();
+                            }
+                            return Err(e);
+                        }
+                        Err(_panic) => {
+                            // Mid-pull panic: quarantine the shard and, when tolerated,
+                            // keep streaming from the rest. Rows already delivered remain
+                            // valid members of the healthy shards' merge.
+                            self.service.quarantine.quarantine(s);
+                            streams[s] = None;
+                            merger.finish(s);
+                            degraded.push(s);
+                            degraded.sort_unstable();
+                            self.service.check_policy(Some(s), degraded.len())?;
+                        }
+                    }
+                    let mut confirmed = Vec::new();
+                    merger.drain_ready(&mut confirmed);
+                    ready.extend(
+                        confirmed
+                            .into_iter()
+                            .map(|(shard, row)| GlobalRowId { shard, row }),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Drains the rest of the stream, returning the remaining rows in emission (ascending
+    /// query-score) order.
+    pub fn collect_rows(mut self) -> Result<Vec<GlobalRowId>> {
+        let mut rows = Vec::new();
+        while let Some(g) = self.next_row()? {
+            rows.push(g);
+        }
+        Ok(rows)
     }
 }
 
@@ -1627,5 +2015,206 @@ mod tests {
         for s in 0..service.shard_count() {
             assert_eq!(service.shard(s).read().dead_rows(), 0);
         }
+    }
+
+    /// Sorted value multiset of streamed rows (mirrors [`sharded_values`] for streams).
+    fn stream_values(
+        service: &ShardedService,
+        rows: &[GlobalRowId],
+    ) -> Vec<(Vec<u64>, Vec<ValueId>)> {
+        let mut values: Vec<_> = rows
+            .iter()
+            .map(|g| value_key(service.shard(g.shard).read().dataset(), g.row))
+            .collect();
+        values.sort();
+        values
+    }
+
+    #[test]
+    fn sharded_streaming_matches_batch_and_emits_in_score_order() {
+        let (data, template) = experiment(500, 61);
+        let build = || {
+            ShardedService::build(
+                &data,
+                template.clone(),
+                EngineConfig::AdaptiveSfs,
+                ShardedConfig {
+                    shards: 3,
+                    workers: 2,
+                    ..ShardedConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let service = build();
+        let mut generator = QueryGenerator::new(67);
+        let pref = generator.random_preference(data.schema(), &template, 2, None);
+
+        let stream = service.serve_streaming(&pref).unwrap();
+        assert!(stream.degraded_shards().is_empty());
+        let rows = stream.collect_rows().unwrap();
+        assert!(!rows.is_empty());
+
+        // Ascending global query-score emission.
+        let score = ScoreFn::for_preference(data.schema(), &pref).unwrap();
+        let scores: Vec<f64> = rows
+            .iter()
+            .map(|g| score.score(service.shard(g.shard).read().dataset(), g.row))
+            .collect();
+        assert!(
+            scores.windows(2).all(|w| w[0] <= w[1]),
+            "emission must be in ascending query-score order"
+        );
+
+        // The finished stream cached the merged answer in the exact batch layout: the
+        // warmed batch path replays it, and it equals a cold service's gather bit for bit.
+        let served = service.serve(&pref).unwrap();
+        assert!(served.cache_hit, "finished stream warms the batch cache");
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, served.outcome.skyline);
+        let fresh = build().serve(&pref).unwrap();
+        assert_eq!(*served.outcome, *fresh.outcome);
+
+        // A second stream replays the cache in the same score order.
+        let replay = service
+            .serve_streaming(&pref)
+            .unwrap()
+            .collect_rows()
+            .unwrap();
+        assert_eq!(replay, rows);
+        let stats = service.stats();
+        assert_eq!(stats.streams_started, 2);
+        assert!(stats.ttfr_p50 > Duration::ZERO);
+    }
+
+    #[test]
+    fn streaming_scatter_panic_quarantines_and_degrades() {
+        let (data, template) = experiment(300, 71);
+        let service = ShardedService::build(
+            &data,
+            template.clone(),
+            EngineConfig::AdaptiveSfs,
+            ShardedConfig {
+                shards: 3,
+                workers: 2,
+                degrade: DegradePolicy::Tolerate { max_degraded: 1 },
+                recovery: RecoveryPolicy {
+                    max_attempts: 0,
+                    ..RecoveryPolicy::default()
+                },
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        let mut generator = QueryGenerator::new(73);
+        let pref = generator.random_preference(data.schema(), &template, 2, None);
+
+        service.fault_injector().panic_on_shard_query(1, 1);
+        let stream = service.serve_streaming(&pref).unwrap();
+        assert_eq!(stream.degraded_shards(), &[1]);
+        let rows = stream.collect_rows().unwrap();
+        assert!(rows.iter().all(|g| g.shard != 1));
+        assert_eq!(
+            stream_values(&service, &rows),
+            merge_of_shards(&service, &[0, 2], &pref),
+            "degraded stream is exactly the healthy shards' merge"
+        );
+        assert_eq!(service.quarantined_shards(), vec![1]);
+        assert_eq!(service.cache_len(), 0, "degraded streams are never cached");
+        assert_eq!(service.stats().degraded, 1);
+
+        // Fail-closed (the default policy) refuses the stream outright instead.
+        let strict = ShardedService::build(
+            &data,
+            template.clone(),
+            EngineConfig::AdaptiveSfs,
+            ShardedConfig {
+                shards: 2,
+                workers: 1,
+                recovery: RecoveryPolicy {
+                    max_attempts: 0,
+                    ..RecoveryPolicy::default()
+                },
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        strict.fault_injector().panic_on_shard_query(0, 1);
+        assert_eq!(
+            strict.serve_streaming(&pref).unwrap_err(),
+            SkylineError::ShardUnavailable { shard: 0 }
+        );
+    }
+
+    #[test]
+    fn an_expired_sharded_stream_resumes_under_a_fresh_deadline() {
+        let (data, template) = experiment(400, 79);
+        let build = || {
+            ShardedService::build(
+                &data,
+                template.clone(),
+                EngineConfig::AdaptiveSfs,
+                ShardedConfig {
+                    shards: 2,
+                    workers: 2,
+                    ..ShardedConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let service = build();
+        let mut generator = QueryGenerator::new(81);
+        let pref = generator.random_preference(data.schema(), &template, 2, None);
+
+        let token = skyline_core::CancelToken::new();
+        let mut stream = service
+            .serve_streaming_deadline(&pref, Deadline::none().with_cancel(token.clone()))
+            .unwrap();
+        let first = stream.next_row().unwrap().unwrap();
+        token.cancel();
+        assert_eq!(
+            stream.next_row().unwrap_err(),
+            SkylineError::DeadlineExceeded
+        );
+        // Delivered rows stay valid; a fresh budget resumes every shard where it stopped.
+        stream.set_deadline(Deadline::none());
+        let mut rows = vec![first];
+        rows.extend(stream.collect_rows().unwrap());
+        rows.sort_unstable();
+        assert_eq!(rows, build().serve(&pref).unwrap().outcome.skyline);
+    }
+
+    #[test]
+    fn a_sharded_stream_pins_its_epoch_vector_across_mutations() {
+        let (data, template) = experiment(300, 83);
+        let build = || {
+            ShardedService::build(
+                &data,
+                template.clone(),
+                EngineConfig::AdaptiveSfs,
+                ShardedConfig {
+                    shards: 3,
+                    workers: 2,
+                    ..ShardedConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let service = build();
+        let mut generator = QueryGenerator::new(83);
+        let pref = generator.random_preference(data.schema(), &template, 2, None);
+        let expected = build().serve(&pref).unwrap().outcome.skyline.clone();
+
+        let mut stream = service.serve_streaming(&pref).unwrap();
+        let first = stream.next_row().unwrap();
+        // A dominating row lands mid-stream; the stream keeps serving its snapshot.
+        let id = service.insert_row(&[0.0, 0.0], &[0, 0]).unwrap();
+        assert!(service.epochs()[id.shard] > DatasetEpoch::INITIAL);
+
+        let mut rows: Vec<GlobalRowId> = first.into_iter().collect();
+        rows.extend(stream.collect_rows().unwrap());
+        rows.sort_unstable();
+        assert_eq!(rows, expected, "stream must serve its pinned snapshot");
     }
 }

@@ -23,7 +23,10 @@ pub struct ServiceMetrics {
     shed: AtomicU64,
     deadline_misses: AtomicU64,
     degraded: AtomicU64,
+    streams_started: AtomicU64,
+    stream_coalesced: AtomicU64,
     latency_ns: [AtomicU64; BUCKETS],
+    ttfr_ns: [AtomicU64; BUCKETS],
 }
 
 impl Default for ServiceMetrics {
@@ -38,7 +41,10 @@ impl Default for ServiceMetrics {
             shed: AtomicU64::new(0),
             deadline_misses: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
+            streams_started: AtomicU64::new(0),
+            stream_coalesced: AtomicU64::new(0),
             latency_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            ttfr_ns: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -101,6 +107,26 @@ impl ServiceMetrics {
         self.degraded.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one streaming serve handed out (leader, tap, and replay alike).
+    pub fn record_stream_started(&self) {
+        self.streams_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a streaming serve that tapped another request's in-flight emitter instead of
+    /// running the engine itself (the streaming analogue of [`ServiceMetrics::record_coalesced`]).
+    pub fn record_stream_coalesced(&self) {
+        self.stream_coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a stream's time-to-first-row: the delay between the serve call and its first
+    /// delivered skyline member. The whole point of the progressive path — compare
+    /// [`StatsSnapshot::ttfr_p99`] against [`StatsSnapshot::p99`] (whole-answer latency).
+    pub fn record_ttfr(&self, ttfr: Duration) {
+        let ns = ttfr.as_nanos().max(1) as u64;
+        let bucket = (63 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.ttfr_ns[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot of the counters (individual loads are relaxed).
     pub fn snapshot(&self) -> StatsSnapshot {
         let hits = self.hits.load(Ordering::Relaxed);
@@ -108,6 +134,11 @@ impl ServiceMetrics {
         let errors = self.errors.load(Ordering::Relaxed);
         let buckets: Vec<u64> = self
             .latency_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let ttfr: Vec<u64> = self
+            .ttfr_ns
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
@@ -123,11 +154,15 @@ impl ServiceMetrics {
             shed: self.shed.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
+            streams_started: self.streams_started.load(Ordering::Relaxed),
+            stream_coalesced: self.stream_coalesced.load(Ordering::Relaxed),
             queue_depth: 0,
             rebuilds: 0,
             reclaimed_rows: 0,
             p50: percentile(&buckets, 0.50),
             p99: percentile(&buckets, 0.99),
+            ttfr_p50: percentile(&ttfr, 0.50),
+            ttfr_p99: percentile(&ttfr, 0.99),
         }
     }
 }
@@ -187,6 +222,12 @@ pub struct StatsSnapshot {
     /// Degraded (partial) responses served from healthy shards while others were quarantined
     /// or past deadline — only non-zero under a tolerant degrade policy.
     pub degraded: u64,
+    /// Streaming serves handed out (leaders, taps of an in-flight emitter, and cache
+    /// replays alike).
+    pub streams_started: u64,
+    /// The subset of `streams_started` that tapped another request's in-flight emitter —
+    /// replaying its confirmed prefix live — instead of running the engine themselves.
+    pub stream_coalesced: u64,
     /// Requests inside the admission queue right now (a gauge, not a counter; filled in from
     /// the admission queue by the owning service's `stats`).
     pub queue_depth: u64,
@@ -200,6 +241,10 @@ pub struct StatsSnapshot {
     pub p50: Duration,
     /// 99th-percentile latency (upper bound of its power-of-two bucket).
     pub p99: Duration,
+    /// Median time-to-first-row across streaming serves (upper bound of its bucket).
+    pub ttfr_p50: Duration,
+    /// 99th-percentile time-to-first-row across streaming serves.
+    pub ttfr_p99: Duration,
 }
 
 impl StatsSnapshot {
@@ -244,6 +289,28 @@ mod tests {
         assert_eq!(s.hit_rate(), 0.0);
         assert_eq!(s.p50, Duration::ZERO);
         assert_eq!(s.p99, Duration::ZERO);
+        assert_eq!(s.streams_started, 0);
+        assert_eq!(s.stream_coalesced, 0);
+        assert_eq!(s.ttfr_p50, Duration::ZERO);
+        assert_eq!(s.ttfr_p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn streaming_counters_and_ttfr_are_independent_of_batch_latency() {
+        let m = ServiceMetrics::new();
+        m.record_stream_started();
+        m.record_stream_started();
+        m.record_stream_coalesced();
+        m.record_ttfr(Duration::from_micros(2));
+        m.record_ttfr(Duration::from_micros(2));
+        m.record(false, Duration::from_millis(10));
+        let s = m.snapshot();
+        assert_eq!(s.streams_started, 2);
+        assert_eq!(s.stream_coalesced, 1);
+        assert!(s.ttfr_p50 >= Duration::from_micros(2));
+        assert!(s.ttfr_p99 <= Duration::from_micros(8));
+        // Whole-answer latency stays an order of magnitude above first-row latency.
+        assert!(s.p50 >= Duration::from_millis(8));
     }
 
     #[test]

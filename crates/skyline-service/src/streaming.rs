@@ -1,0 +1,250 @@
+//! Shared progressive-result core: one leader publishes confirmed rows, any number of
+//! concurrent taps replay them.
+//!
+//! A [`StreamCore`] is the coalescing point of the streaming serve path. The single-flight
+//! leader pushes every confirmed skyline member into the core as it is produced (see
+//! [`crate::SkylineService::serve_streaming`]); streaming followers that joined the same
+//! `(key, epoch)` flight hold a clone of the `Arc<StreamCore>` and pull the **confirmed
+//! prefix** with [`StreamCore::wait_next`] — rows already published return instantly, the
+//! row after the frontier blocks until the leader publishes or finishes. Published rows are
+//! never retracted (the engine's streaming contract), so a tap's replay is always a prefix
+//! of the leader's final answer.
+//!
+//! The terminal state distinguishes the leader **finishing** from the leader **failing**:
+//! a tap that sees [`NextRow::Failed`] still has a correct prefix and can fall back to
+//! running the rest of the query itself (the service layer does exactly that when a
+//! leader's deadline expires mid-stream).
+
+use skyline_core::{Deadline, Result, SkylineError};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// How often a blocked tap re-polls a cancel token that has no time bound attached
+/// (mirrors the single-flight follower poll).
+const TAP_POLL: Duration = Duration::from_millis(10);
+
+/// What [`StreamCore::wait_next`] produced for the tap's cursor position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NextRow<T> {
+    /// The next confirmed row.
+    Row(T),
+    /// The leader finished successfully and every published row has been consumed.
+    Finished,
+    /// The leader's stream failed with this error after publishing the consumed prefix.
+    /// The prefix is still correct — the consumer may recompute the remainder itself.
+    Failed(SkylineError),
+}
+
+#[derive(Debug)]
+struct CoreState<T> {
+    rows: Vec<T>,
+    /// `None` while the leader is still producing; `Some(Ok(()))` after a clean finish,
+    /// `Some(Err(e))` after a failure.
+    done: Option<Result<()>>,
+}
+
+/// A monotone, multi-consumer row log (see the module docs).
+#[derive(Debug)]
+pub struct StreamCore<T> {
+    state: Mutex<CoreState<T>>,
+    cv: Condvar,
+}
+
+impl<T> Default for StreamCore<T> {
+    fn default() -> Self {
+        Self {
+            state: Mutex::new(CoreState {
+                rows: Vec::new(),
+                done: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The publisher may die by panic mid-row with the state lock held; every row append and
+/// flag set is a single atomic-in-effect update, so recover rather than poison every tap.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        m.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+impl<T: Clone> StreamCore<T> {
+    /// Creates an empty, unfinished core.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a confirmed row and wakes every waiting tap. Ignored after
+    /// [`StreamCore::finish`] — a finished log is immutable.
+    pub fn publish(&self, row: T) {
+        let mut state = lock_recover(&self.state);
+        if state.done.is_some() {
+            return;
+        }
+        state.rows.push(row);
+        self.cv.notify_all();
+    }
+
+    /// Seals the log with the leader's terminal result and wakes every tap. The first call
+    /// wins; later calls are ignored.
+    pub fn finish(&self, result: Result<()>) {
+        let mut state = lock_recover(&self.state);
+        if state.done.is_some() {
+            return;
+        }
+        state.done = Some(result);
+        self.cv.notify_all();
+    }
+
+    /// Number of rows published so far.
+    pub fn len(&self) -> usize {
+        lock_recover(&self.state).rows.len()
+    }
+
+    /// Whether no rows have been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the row at `idx`, blocking until the leader publishes it or seals the log.
+    ///
+    /// * `Ok(NextRow::Row(t))` — the row exists (instant for `idx < len`).
+    /// * `Ok(NextRow::Finished)` — the leader finished cleanly and `idx` is past the end.
+    /// * `Ok(NextRow::Failed(e))` — the leader failed after `idx` rows; the consumed prefix
+    ///   is valid, the remainder must be recomputed.
+    /// * `Err(e)` — **the caller's own** `deadline` expired (or its cancel token fired)
+    ///   while waiting; the cursor position is unaffected, so the call can be retried.
+    pub fn wait_next(&self, idx: usize, deadline: &Deadline) -> Result<NextRow<T>> {
+        let mut state = lock_recover(&self.state);
+        loop {
+            if let Some(row) = state.rows.get(idx) {
+                return Ok(NextRow::Row(row.clone()));
+            }
+            match &state.done {
+                Some(Ok(())) => return Ok(NextRow::Finished),
+                Some(Err(e)) => return Ok(NextRow::Failed(e.clone())),
+                None => {}
+            }
+            if deadline.is_bounded() {
+                deadline.check()?;
+                let wait = deadline
+                    .remaining()
+                    .map_or(TAP_POLL, |rem| rem.min(TAP_POLL));
+                state = self
+                    .cv
+                    .wait_timeout(state, wait)
+                    .unwrap_or_else(|poisoned| {
+                        self.state.clear_poison();
+                        poisoned.into_inner()
+                    })
+                    .0;
+            } else {
+                state = self.cv.wait(state).unwrap_or_else(|poisoned| {
+                    self.state.clear_poison();
+                    poisoned.into_inner()
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::sync::Barrier;
+
+    #[test]
+    fn published_prefix_replays_instantly_and_in_order() {
+        let core = StreamCore::new();
+        core.publish(10u32);
+        core.publish(20);
+        core.publish(30);
+        let d = Deadline::none();
+        assert_eq!(core.wait_next(0, &d).unwrap(), NextRow::Row(10));
+        assert_eq!(core.wait_next(1, &d).unwrap(), NextRow::Row(20));
+        assert_eq!(core.wait_next(2, &d).unwrap(), NextRow::Row(30));
+        core.finish(Ok(()));
+        assert_eq!(core.wait_next(3, &d).unwrap(), NextRow::Finished);
+        // Rows remain replayable after the finish.
+        assert_eq!(core.wait_next(1, &d).unwrap(), NextRow::Row(20));
+        assert_eq!(core.len(), 3);
+    }
+
+    #[test]
+    fn failure_is_surfaced_after_the_valid_prefix() {
+        let core = StreamCore::new();
+        core.publish(1u32);
+        core.finish(Err(SkylineError::DeadlineExceeded));
+        let d = Deadline::none();
+        assert_eq!(core.wait_next(0, &d).unwrap(), NextRow::Row(1));
+        assert_eq!(
+            core.wait_next(1, &d).unwrap(),
+            NextRow::Failed(SkylineError::DeadlineExceeded)
+        );
+        // A sealed log ignores late publishes and later finishes.
+        core.publish(2);
+        core.finish(Ok(()));
+        assert_eq!(
+            core.wait_next(1, &d).unwrap(),
+            NextRow::Failed(SkylineError::DeadlineExceeded)
+        );
+    }
+
+    #[test]
+    fn own_deadline_expiry_is_an_error_not_a_terminal_state() {
+        let core: StreamCore<u32> = StreamCore::new();
+        let err = core
+            .wait_next(0, &Deadline::within(Duration::from_millis(5)))
+            .unwrap_err();
+        assert_eq!(err, SkylineError::DeadlineExceeded);
+        // The core is untouched: a later publish serves the same cursor.
+        core.publish(9);
+        assert_eq!(
+            core.wait_next(0, &Deadline::none()).unwrap(),
+            NextRow::Row(9)
+        );
+
+        // A cancel-only deadline is polled rather than timed.
+        let token = skyline_core::CancelToken::new();
+        token.cancel();
+        assert!(core
+            .wait_next(1, &Deadline::none().with_cancel(token))
+            .is_err());
+    }
+
+    #[test]
+    fn a_parked_tap_is_woken_by_publish_and_finish() {
+        let core = Arc::new(StreamCore::new());
+        let barrier = Arc::new(Barrier::new(2));
+        std::thread::scope(|scope| {
+            let (c, b) = (core.clone(), barrier.clone());
+            let tap = scope.spawn(move || {
+                b.wait();
+                let d = Deadline::none();
+                let mut got = Vec::new();
+                let mut idx = 0;
+                loop {
+                    match c.wait_next(idx, &d).unwrap() {
+                        NextRow::Row(v) => {
+                            got.push(v);
+                            idx += 1;
+                        }
+                        NextRow::Finished => return got,
+                        NextRow::Failed(e) => panic!("leader failed: {e}"),
+                    }
+                }
+            });
+            barrier.wait();
+            for v in [1u32, 2, 3] {
+                std::thread::sleep(Duration::from_millis(5));
+                core.publish(v);
+            }
+            core.finish(Ok(()));
+            assert_eq!(tap.join().unwrap(), vec![1, 2, 3]);
+        });
+    }
+}

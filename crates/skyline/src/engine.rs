@@ -5,12 +5,13 @@
 //! re-materialization — constructs the *next* generation off the live rows without blocking
 //! readers, replays mutations that arrived mid-build, and swaps it in atomically.
 
-use skyline_adaptive::{AdaptiveSfs, MaintenanceStats, QueryScratch};
+use skyline_adaptive::{AdaptiveSfs, MaintenanceStats, ProgressiveScan, QueryScratch};
 use skyline_core::algo::sfs;
-use skyline_core::kernel::{CompiledRelation, DatasetEpoch, PointBlock, RowIdRemap};
+use skyline_core::kernel::{CompiledRelation, DatasetEpoch, DenseWindow, PointBlock, RowIdRemap};
 use skyline_core::score::ScoreFn;
 use skyline_core::{
-    Dataset, Deadline, PointId, Preference, Result, SkylineError, Template, ValueId,
+    Dataset, Deadline, Dominance, PointId, Preference, Result, SkylineError, Template, ValueId,
+    DEADLINE_CHECK_INTERVAL,
 };
 use skyline_ipo::{BitmapIpoTree, IpoTree, IpoTreeBuilder};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -1055,6 +1056,239 @@ impl SkylineEngine {
             method: MethodUsed::SfsD,
         })
     }
+
+    /// Progressive evaluation: returns an [`EngineStream`] that yields confirmed skyline
+    /// members one at a time, in ascending query-score order, for **every** configuration.
+    ///
+    /// * [`EngineConfig::AdaptiveSfs`] (and the hybrid's fallback side) drive the
+    ///   Adaptive-SFS progressive scan — the first member is typically available after a
+    ///   handful of dominance tests, long before the scan finishes.
+    /// * [`EngineConfig::SfsD`] streams its presorted elimination scan: each accepted point
+    ///   is final the moment it is accepted (the monotone sort guarantees no retraction).
+    /// * IPO-tree-served configurations compute the full answer up front (set operations,
+    ///   orders of magnitude cheaper than a scan) and replay it in score order, so stream
+    ///   consumers see one uniform contract regardless of the serving method.
+    ///
+    /// The stream owns shared handles to the generation's dataset and block, so it stays
+    /// valid — pinned to the snapshot it was created from — across later engine mutations,
+    /// generation swaps, or dropping the engine guard that created it. `deadline` is polled
+    /// at block granularity inside [`EngineStream::next_row`]; an expired deadline aborts the
+    /// *pull*, not the stream — pulling again after replacing the deadline resumes.
+    pub fn query_streaming(&self, pref: &Preference, deadline: Deadline) -> Result<EngineStream> {
+        deadline.check()?;
+        let epoch = self.epoch();
+        let data = self.dataset_arc().clone();
+        let score = ScoreFn::for_preference(data.schema(), pref)?;
+        let (inner, method) = match self.config {
+            EngineConfig::SfsD => {
+                let block = self
+                    .generation
+                    .block
+                    .as_ref()
+                    .expect("SfsD engines build their point block in build()");
+                let dom = CompiledRelation::for_query(
+                    block.clone(),
+                    data.schema(),
+                    &self.template,
+                    pref,
+                )?;
+                let all: Vec<PointId> = block.live_ids().collect();
+                let sorted = score.sort_by_score(&data, &all);
+                let mut window = DenseWindow::default();
+                dom.reset_window(&mut window);
+                (
+                    StreamInner::Sorted(Box::new(SortedScan {
+                        dom,
+                        sorted,
+                        pos: 0,
+                        window,
+                    })),
+                    MethodUsed::SfsD,
+                )
+            }
+            EngineConfig::AdaptiveSfs => {
+                let asfs = self.generation.asfs.as_ref().expect("built in build()");
+                (
+                    StreamInner::Progressive(Box::new(asfs.query_progressive(pref)?)),
+                    MethodUsed::AdaptiveSfs,
+                )
+            }
+            EngineConfig::Hybrid { .. } => {
+                if self.serves_from_tree(pref) {
+                    let tree = self.generation.ipo.as_ref().expect("built in build()");
+                    let ids = tree.query(&data, pref)?;
+                    let ordered = score.sort_by_score(&data, &ids);
+                    (
+                        StreamInner::Materialized(ordered.into_iter()),
+                        MethodUsed::IpoTree,
+                    )
+                } else {
+                    let asfs = self.generation.asfs.as_ref().expect("built in build()");
+                    (
+                        StreamInner::Progressive(Box::new(asfs.query_progressive(pref)?)),
+                        MethodUsed::AdaptiveSfs,
+                    )
+                }
+            }
+            EngineConfig::IpoTree | EngineConfig::IpoTreeTopK(_) => {
+                let tree = self.generation.ipo.as_ref().expect("built in build()");
+                let ids = tree.query(&data, pref)?;
+                let ordered = score.sort_by_score(&data, &ids);
+                (
+                    StreamInner::Materialized(ordered.into_iter()),
+                    MethodUsed::IpoTree,
+                )
+            }
+            EngineConfig::BitmapIpoTree => {
+                let tree = self.generation.bitmap.as_ref().expect("built in build()");
+                let ids = tree.query(&data, pref)?;
+                let ordered = score.sort_by_score(&data, &ids);
+                (
+                    StreamInner::Materialized(ordered.into_iter()),
+                    MethodUsed::IpoTree,
+                )
+            }
+        };
+        Ok(EngineStream {
+            inner,
+            deadline,
+            epoch,
+            method,
+            score,
+            data,
+        })
+    }
+
+    /// Like [`SkylineEngine::query_streaming`], validating that the engine is still at
+    /// `epoch` first (see [`SkylineEngine::query_at`]).
+    pub fn query_streaming_at(
+        &self,
+        pref: &Preference,
+        epoch: DatasetEpoch,
+        deadline: Deadline,
+    ) -> Result<EngineStream> {
+        self.ensure_epoch(epoch)?;
+        self.query_streaming(pref, deadline)
+    }
+}
+
+/// The per-configuration state behind an [`EngineStream`].
+#[derive(Debug)]
+enum StreamInner {
+    /// The Adaptive-SFS progressive scan (owns its compiled kernel and merged order).
+    Progressive(Box<ProgressiveScan>),
+    /// The SFS-D elimination scan, driven lazily over the presorted candidates.
+    Sorted(Box<SortedScan>),
+    /// A fully materialized answer (IPO-tree-served), replayed in score order.
+    Materialized(std::vec::IntoIter<PointId>),
+}
+
+/// The lazily driven SFS-D elimination state behind [`StreamInner::Sorted`].
+#[derive(Debug)]
+struct SortedScan {
+    dom: CompiledRelation,
+    sorted: Vec<PointId>,
+    pos: usize,
+    window: DenseWindow,
+}
+
+/// A progressive skyline result: confirmed members, one per [`EngineStream::next_row`] call,
+/// in ascending query-score order. Created by [`SkylineEngine::query_streaming`].
+///
+/// Every yielded point is **final** — the stream never retracts — and the set of all yielded
+/// points equals the batch [`SkylineEngine::query`] answer for the same preference at the
+/// same epoch. The stream holds shared handles to its generation's data, so it is
+/// self-contained: callers may drop the engine lock (or the engine) and keep pulling.
+#[derive(Debug)]
+pub struct EngineStream {
+    inner: StreamInner,
+    deadline: Deadline,
+    epoch: DatasetEpoch,
+    method: MethodUsed,
+    score: ScoreFn,
+    data: Arc<Dataset>,
+}
+
+impl EngineStream {
+    /// Pulls the next confirmed skyline member, or `Ok(None)` once the stream is exhausted.
+    ///
+    /// The stream's [`Deadline`] is polled at block granularity; on expiry the call fails
+    /// with [`SkylineError::DeadlineExceeded`] but the stream's position is preserved —
+    /// [`EngineStream::set_deadline`] plus another pull resumes where it stopped.
+    pub fn next_row(&mut self) -> Result<Option<PointId>> {
+        match &mut self.inner {
+            StreamInner::Progressive(scan) => scan.next_deadline(&self.deadline),
+            StreamInner::Sorted(scan) => {
+                let bounded = self.deadline.is_bounded();
+                // One check per pull, plus block-granularity polling across dominated runs.
+                if bounded {
+                    self.deadline.check()?;
+                }
+                while scan.pos < scan.sorted.len() {
+                    if bounded && scan.pos.is_multiple_of(DEADLINE_CHECK_INTERVAL) {
+                        self.deadline.check()?;
+                    }
+                    let p = scan.sorted[scan.pos];
+                    scan.pos += 1;
+                    if scan
+                        .dom
+                        .window_first_dominator(&mut scan.window, p)
+                        .is_none()
+                    {
+                        scan.dom.push_window(&mut scan.window, p);
+                        return Ok(Some(p));
+                    }
+                }
+                Ok(None)
+            }
+            StreamInner::Materialized(iter) => {
+                self.deadline.check()?;
+                Ok(iter.next())
+            }
+        }
+    }
+
+    /// Replaces the stream's deadline (e.g. a follower adopting a timed-out leader's stream
+    /// under its own budget).
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.deadline = deadline;
+    }
+
+    /// The engine epoch the stream is a snapshot of.
+    pub fn epoch(&self) -> DatasetEpoch {
+        self.epoch
+    }
+
+    /// Which algorithm is producing the stream.
+    pub fn method(&self) -> MethodUsed {
+        self.method
+    }
+
+    /// The query score of a yielded point — the monotone order the stream emits in. A
+    /// sharded merger gates its cross-shard publication on exactly these scores.
+    pub fn score_of(&self, p: PointId) -> f64 {
+        self.score.score(&self.data, p)
+    }
+
+    /// The dataset snapshot the stream reads from (row values for cross-shard dominance
+    /// tests).
+    pub fn dataset_arc(&self) -> &Arc<Dataset> {
+        &self.data
+    }
+
+    /// Drains the rest of the stream into a sorted-id batch answer (the streaming core of
+    /// [`SkylineEngine::query`]-compatible results).
+    pub fn collect_outcome(mut self) -> Result<QueryOutcome> {
+        let mut skyline = Vec::new();
+        while let Some(p) = self.next_row()? {
+            skyline.push(p);
+        }
+        skyline.sort_unstable();
+        Ok(QueryOutcome {
+            skyline,
+            method: self.method,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -1283,6 +1517,142 @@ mod tests {
         assert!(Arc::ptr_eq(
             hybrid.point_block().unwrap(),
             hybrid.adaptive().unwrap().point_block()
+        ));
+    }
+
+    #[test]
+    fn streaming_matches_batch_for_every_config_in_score_order() {
+        let data = table3_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let configs = [
+            EngineConfig::SfsD,
+            EngineConfig::AdaptiveSfs,
+            EngineConfig::IpoTree,
+            EngineConfig::BitmapIpoTree,
+            EngineConfig::Hybrid { top_k: 3 },
+        ];
+        let specs: Vec<Vec<(&str, &str)>> = vec![
+            vec![("hotel-group", "M < *")],
+            vec![("hotel-group", "M < H < *"), ("airline", "G < R < *")],
+            vec![("airline", "W < *")],
+            vec![],
+        ];
+        for config in configs {
+            let engine = SkylineEngine::build(data.clone(), template.clone(), config).unwrap();
+            for spec in &specs {
+                let pref = Preference::parse(&schema, spec.clone()).unwrap();
+                let batch = engine.query(&pref).unwrap();
+                let mut stream = engine.query_streaming(&pref, Deadline::none()).unwrap();
+                assert_eq!(stream.epoch(), engine.epoch());
+                let mut streamed = Vec::new();
+                let mut last_score = f64::NEG_INFINITY;
+                while let Some(p) = stream.next_row().unwrap() {
+                    let s = stream.score_of(p);
+                    assert!(
+                        s >= last_score,
+                        "config {config:?}, spec {spec:?}: score order violated"
+                    );
+                    last_score = s;
+                    streamed.push(p);
+                }
+                streamed.sort_unstable();
+                assert_eq!(
+                    streamed, batch.skyline,
+                    "config {config:?}, spec {spec:?}: streamed set != batch skyline"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collect_outcome_reproduces_the_batch_answer() {
+        let data = table3_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let engine =
+            SkylineEngine::build(data, template, EngineConfig::Hybrid { top_k: 2 }).unwrap();
+        let pref = Preference::parse(&schema, [("airline", "W < *")]).unwrap();
+        let batch = engine.query(&pref).unwrap();
+        let outcome = engine
+            .query_streaming(&pref, Deadline::none())
+            .unwrap()
+            .collect_outcome()
+            .unwrap();
+        assert_eq!(outcome, batch);
+    }
+
+    #[test]
+    fn stream_deadline_expiry_aborts_the_pull_and_resumes_after_replacement() {
+        let data = table3_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let engine = SkylineEngine::build(data, template, EngineConfig::AdaptiveSfs).unwrap();
+        let pref = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
+        let expected = engine.query(&pref).unwrap().skyline;
+
+        // An expired deadline rejects stream construction outright.
+        let expired = Deadline::within(std::time::Duration::ZERO);
+        assert_eq!(
+            engine.query_streaming(&pref, expired).unwrap_err(),
+            SkylineError::DeadlineExceeded
+        );
+
+        // Expiry mid-stream aborts the pull; replacing the deadline resumes the same stream.
+        let mut stream = engine.query_streaming(&pref, Deadline::none()).unwrap();
+        let first = stream.next_row().unwrap().unwrap();
+        stream.set_deadline(Deadline::within(std::time::Duration::ZERO));
+        assert_eq!(
+            stream.next_row().unwrap_err(),
+            SkylineError::DeadlineExceeded
+        );
+        stream.set_deadline(Deadline::none());
+        let mut streamed = vec![first];
+        while let Some(p) = stream.next_row().unwrap() {
+            streamed.push(p);
+        }
+        streamed.sort_unstable();
+        assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn streams_pin_their_generation_snapshot_across_mutations() {
+        let data = table3_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        for config in [EngineConfig::SfsD, EngineConfig::AdaptiveSfs] {
+            let mut engine = SkylineEngine::build(data.clone(), template.clone(), config).unwrap();
+            let pref = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
+            let before = engine.query(&pref).unwrap().skyline;
+            let mut stream = engine.query_streaming(&pref, Deadline::none()).unwrap();
+            // A dominating insert lands mid-stream; the stream must keep answering from its
+            // snapshot while fresh queries see the new row.
+            engine.insert_row(&[1.0, -9.0], &[2, 0]).unwrap();
+            let mut streamed = Vec::new();
+            while let Some(p) = stream.next_row().unwrap() {
+                streamed.push(p);
+            }
+            streamed.sort_unstable();
+            assert_eq!(streamed, before, "config {config:?}: snapshot violated");
+            assert!(engine.query(&pref).unwrap().skyline.contains(&6));
+        }
+    }
+
+    #[test]
+    fn query_streaming_at_rejects_stale_epochs() {
+        let data = table3_data();
+        let schema = data.schema().clone();
+        let template = Template::empty(&schema);
+        let mut engine = SkylineEngine::build(data, template, EngineConfig::AdaptiveSfs).unwrap();
+        let pref = Preference::parse(&schema, [("hotel-group", "M < *")]).unwrap();
+        let epoch = engine.epoch();
+        assert!(engine
+            .query_streaming_at(&pref, epoch, Deadline::none())
+            .is_ok());
+        engine.insert_row(&[1.0, 1.0], &[0, 0]).unwrap();
+        assert!(matches!(
+            engine.query_streaming_at(&pref, epoch, Deadline::none()),
+            Err(SkylineError::EpochMismatch { .. })
         ));
     }
 

@@ -50,8 +50,8 @@ pub mod engine;
 pub mod maintenance;
 
 pub use engine::{
-    EngineConfig, EngineScratch, Generation, GenerationRemap, GenerationSnapshot, MethodUsed,
-    PendingGeneration, QueryOutcome, SharedEngine, SkylineEngine, REMAP_CHAIN_LIMIT,
+    EngineConfig, EngineScratch, EngineStream, Generation, GenerationRemap, GenerationSnapshot,
+    MethodUsed, PendingGeneration, QueryOutcome, SharedEngine, SkylineEngine, REMAP_CHAIN_LIMIT,
 };
 pub use maintenance::{
     BuildHandle, BuildHook, BuildPool, BuildPoolConfig, MaintenanceHandle, MaintenancePolicy,
@@ -66,8 +66,8 @@ pub use skyline_ipo as ipo;
 /// Convenient glob import for applications: `use skyline::prelude::*;`.
 pub mod prelude {
     pub use crate::engine::{
-        EngineConfig, EngineScratch, Generation, GenerationRemap, MethodUsed, QueryOutcome,
-        SharedEngine, SkylineEngine,
+        EngineConfig, EngineScratch, EngineStream, Generation, GenerationRemap, MethodUsed,
+        QueryOutcome, SharedEngine, SkylineEngine,
     };
     pub use crate::maintenance::{MaintenanceHandle, MaintenancePolicy, MaintenanceWorker};
     pub use skyline_adaptive::{AdaptiveSfs, MaintenanceStats};
