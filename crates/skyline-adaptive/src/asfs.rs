@@ -305,6 +305,83 @@ impl AdaptiveSfs {
         })
     }
 
+    /// Rehydrates the structure from an already-scored, already-sorted list — the snapshot
+    /// load path. Where [`AdaptiveSfs::from_precomputed_with_block`] still scores and sorts
+    /// the skyline, this constructor trusts the decoded `(score, point)` entries and only
+    /// re-establishes the invariants it depends on: strict ascending
+    /// `(score.total_cmp, point)` order, every point id in range and live in `block`. The
+    /// remaining work — compiling the template ranking and rebuilding the value index — is
+    /// `O(skyline · dims)`, independent of the dataset size.
+    pub fn from_sorted_entries(
+        data: impl Into<Arc<Dataset>>,
+        block: Arc<PointBlock>,
+        template: Template,
+        entries: Vec<ScoredEntry>,
+    ) -> Result<Self> {
+        let data = data.into();
+        if block.len() != data.len() {
+            return Err(SkylineError::InvalidArgument(format!(
+                "point block holds {} points but the dataset has {}",
+                block.len(),
+                data.len()
+            )));
+        }
+        if entries.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(SkylineError::Snapshot(
+                "sorted list entries are not strictly ascending by (score, point)".into(),
+            ));
+        }
+        for e in &entries {
+            if e.point as usize >= block.len() || !block.is_live(e.point) {
+                return Err(SkylineError::Snapshot(format!(
+                    "sorted list references point {} which is not a live row",
+                    e.point
+                )));
+            }
+        }
+        let template_pref = template.implicit().cloned().ok_or_else(|| {
+            SkylineError::InvalidArgument(
+                "Adaptive SFS requires a template with an implicit form".into(),
+            )
+        })?;
+        let score = ScoreFn::for_preference(data.schema(), &template_pref)?;
+        let template_compiled: Vec<CompiledOrder> = template
+            .orders()
+            .iter()
+            .map(CompiledOrder::compile)
+            .collect();
+        let skyline: Vec<PointId> = entries.iter().map(|e| e.point).collect();
+        // Strict (score, point) ordering cannot rule out one point listed under two
+        // different scores, which would corrupt the value index — check ids themselves.
+        let mut ids = skyline.clone();
+        ids.sort_unstable();
+        if ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err(SkylineError::Snapshot(
+                "sorted list references the same point twice".into(),
+            ));
+        }
+        let index = SkylineValueIndex::build(&data, &skyline);
+        let stats = PreprocessStats {
+            dataset_size: data.len(),
+            template_skyline_size: entries.len(),
+            preprocess_seconds: 0.0,
+            workers: 1,
+        };
+        Ok(Self {
+            data,
+            block,
+            template,
+            template_score: score,
+            template_compiled,
+            entries,
+            index,
+            row_index: None,
+            updates_since_compact: 0,
+            maintenance: MaintenanceStats::default(),
+            stats,
+        })
+    }
+
     /// The dataset the structure is bound to.
     pub fn dataset(&self) -> &Dataset {
         &self.data

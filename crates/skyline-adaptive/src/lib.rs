@@ -26,6 +26,7 @@
 
 pub mod asfs;
 pub mod index;
+pub mod snapshot;
 pub mod sorted_list;
 
 pub use asfs::{

@@ -25,6 +25,7 @@ use crate::lanes::PackedLanes;
 use crate::value::{PointId, ValueId};
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
 
 /// Merges per-fragment skylines of disjoint row sets of one block into the skyline of their
 /// union, preserving the concatenated input order of the survivors.
@@ -308,12 +309,29 @@ impl Ord for PendingCandidate {
 /// sufficient by transitivity, exactly as in the batch elimination. Published rows are
 /// **final**: the merged stream never retracts, and once every source is finished the
 /// published set equals what [`SkylineMerger`] would have produced from the same candidates.
+///
+/// # Bounded staleness
+///
+/// By default a single stalled source gates every other stream's buffered candidates
+/// forever. A **laggard timeout** ([`ProgressiveMerger::set_laggard_timeout`]) bounds that
+/// staleness: [`ProgressiveMerger::take_timed_out`] force-finishes every *blocking* source
+/// (one whose frontier sits below the buffered head) that has made no progress for the
+/// timeout, so the next [`ProgressiveMerger::drain_ready`] publishes every row that only the
+/// laggards were gating — each row then waits on the **responsive** sources only. Cutting a
+/// source loose forfeits its not-yet-emitted dominators, so the caller must surface the
+/// returned sources through its partial/degraded answer semantics.
 #[derive(Debug, Clone)]
 pub struct ProgressiveMerger {
     orders: Vec<CompiledOrder>,
     numeric_dims: usize,
     /// Per-source score frontier; `None` once the source has finished (treated as +∞).
     frontiers: Vec<Option<f64>>,
+    /// When each source last advanced its frontier (its construction time before the first
+    /// offer) — the staleness clock behind the laggard timeout.
+    last_progress: Vec<Instant>,
+    /// Staleness bound for [`ProgressiveMerger::take_timed_out`]; `None` (the default)
+    /// means sources are never timed out.
+    laggard_timeout: Option<Duration>,
     pending: BinaryHeap<Reverse<PendingCandidate>>,
     /// Row-major values of the published survivors (the only dominators later candidates
     /// ever need to be tested against).
@@ -331,11 +349,75 @@ impl ProgressiveMerger {
             orders,
             numeric_dims,
             frontiers: vec![Some(f64::NEG_INFINITY); sources],
+            last_progress: vec![Instant::now(); sources],
+            laggard_timeout: None,
             pending: BinaryHeap::new(),
             published_numerics: Vec::new(),
             published_nominals: Vec::new(),
             published: 0,
         }
+    }
+
+    /// Sets (or clears) the bounded-staleness timeout consulted by
+    /// [`ProgressiveMerger::take_timed_out`].
+    pub fn set_laggard_timeout(&mut self, timeout: Option<Duration>) {
+        self.laggard_timeout = timeout;
+    }
+
+    /// The configured bounded-staleness timeout, if any.
+    pub fn laggard_timeout(&self) -> Option<Duration> {
+        self.laggard_timeout
+    }
+
+    /// The sources currently gating the buffered head candidate: unfinished, with a frontier
+    /// strictly below the head's score. Empty when nothing is buffered — there is nothing to
+    /// gate. These are the streams [`ProgressiveMerger::drain_ready`] is waiting on.
+    pub fn blocking_sources(&self) -> Vec<usize> {
+        let Some(Reverse(top)) = self.pending.peek() else {
+            return Vec::new();
+        };
+        self.frontiers
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_some_and(|f| top.score.total_cmp(&f) == Ordering::Greater))
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// When the earliest currently-blocking source crosses the laggard timeout: the caller's
+    /// natural wait bound before re-checking [`ProgressiveMerger::take_timed_out`]. `None`
+    /// without a timeout or while nothing is blocked.
+    pub fn laggard_deadline(&self) -> Option<Instant> {
+        let timeout = self.laggard_timeout?;
+        self.blocking_sources()
+            .into_iter()
+            .map(|s| self.last_progress[s] + timeout)
+            .min()
+    }
+
+    /// Force-finishes every blocking source whose frontier has not advanced for at least the
+    /// laggard timeout as of `now`, returning them in ascending order (empty without a
+    /// configured timeout). The explicit `now` keeps tests deterministic — and
+    /// `Duration::ZERO` times every blocking source out immediately.
+    ///
+    /// A returned source behaves exactly as if [`ProgressiveMerger::finish`] had been called:
+    /// further offers are rejected and its frontier stops gating the other streams, so the
+    /// next [`ProgressiveMerger::drain_ready`] publishes everything only the laggards held
+    /// back. The published set may then miss dominators the timed-out sources never emitted —
+    /// route the returned sources through the caller's degraded-answer path.
+    pub fn take_timed_out(&mut self, now: Instant) -> Vec<usize> {
+        let Some(timeout) = self.laggard_timeout else {
+            return Vec::new();
+        };
+        let timed_out: Vec<usize> = self
+            .blocking_sources()
+            .into_iter()
+            .filter(|&s| now.saturating_duration_since(self.last_progress[s]) >= timeout)
+            .collect();
+        for &s in &timed_out {
+            self.frontiers[s] = None;
+        }
+        timed_out
     }
 
     /// Number of rows published (confirmed) so far.
@@ -395,6 +477,7 @@ impl ProgressiveMerger {
             }
         }
         *frontier = Some(score);
+        self.last_progress[source] = Instant::now();
         self.pending.push(Reverse(PendingCandidate {
             score,
             source,
@@ -782,6 +865,59 @@ mod tests {
             m.offer(0, 3, 4.0, &[1.0], &[0]).is_err(),
             "offer after finish"
         );
+    }
+
+    #[test]
+    fn laggard_timeout_releases_rows_gated_by_a_stalled_source() {
+        let orders = vec![CompiledOrder::compile(&crate::order::PartialOrder::empty(
+            2,
+        ))];
+        let mut merger = ProgressiveMerger::new(orders, 1, 2);
+        let mut out = Vec::new();
+        merger.offer(0, 10, 5.0, &[4.0], &[0]).unwrap();
+        merger.drain_ready(&mut out);
+        assert!(out.is_empty(), "source 1's frontier gates the row");
+        // Without a timeout nothing ever times out, and the deadline is absent.
+        assert!(merger.take_timed_out(Instant::now()).is_empty());
+        assert_eq!(merger.laggard_deadline(), None);
+        // A zero timeout makes every blocking source an immediate laggard.
+        merger.set_laggard_timeout(Some(Duration::ZERO));
+        assert_eq!(merger.blocking_sources(), vec![1]);
+        assert!(merger.laggard_deadline().is_some());
+        assert_eq!(merger.take_timed_out(Instant::now()), vec![1]);
+        merger.drain_ready(&mut out);
+        assert_eq!(out, vec![(0, 10)], "the gated row publishes");
+        // The timed-out source behaves exactly like a finished one.
+        assert!(merger.offer(1, 20, 6.0, &[6.0], &[1]).is_err());
+        merger.finish(0);
+        merger.drain_ready(&mut out);
+        assert!(merger.is_complete());
+    }
+
+    #[test]
+    fn responsive_sources_are_never_timed_out() {
+        let orders = vec![CompiledOrder::compile(&crate::order::PartialOrder::empty(
+            2,
+        ))];
+        let mut merger = ProgressiveMerger::new(orders, 1, 2);
+        merger.set_laggard_timeout(Some(Duration::from_secs(3600)));
+        merger.offer(0, 10, 5.0, &[4.0], &[0]).unwrap();
+        // Source 1 is blocking but nowhere near an hour stale.
+        assert_eq!(merger.blocking_sources(), vec![1]);
+        assert!(merger.take_timed_out(Instant::now()).is_empty());
+        assert!(merger.laggard_deadline().unwrap() > Instant::now());
+        // Nothing pending ⇒ nothing blocked ⇒ nothing to time out, even at +∞ staleness.
+        let mut out = Vec::new();
+        merger.offer(1, 20, 6.0, &[6.0], &[1]).unwrap();
+        merger.drain_ready(&mut out);
+        assert_eq!(out, vec![(0, 10)]);
+        merger.set_laggard_timeout(Some(Duration::ZERO));
+        // Source 0 gates (1, 20) at score 6: only source 0 may be returned, source 1 stays.
+        assert_eq!(merger.take_timed_out(Instant::now()), vec![0]);
+        merger.drain_ready(&mut out);
+        assert_eq!(out, vec![(0, 10), (1, 20)]);
+        assert!(merger.blocking_sources().is_empty());
+        assert!(merger.take_timed_out(Instant::now()).is_empty());
     }
 
     #[test]

@@ -98,6 +98,11 @@ pub enum SkylineError {
         /// Index of the unavailable shard.
         shard: usize,
     },
+    /// A persistent snapshot could not be written, parsed or decoded (see
+    /// [`crate::snapshot::SnapshotError`], which carries the structured cause). The engine
+    /// treats this as "no usable snapshot" — it falls back to a full preprocess, never to a
+    /// partially-loaded structure.
+    Snapshot(String),
     /// Catch-all for invariant violations that indicate a bug in the caller.
     InvalidArgument(String),
 }
@@ -155,6 +160,7 @@ impl fmt::Display for SkylineError {
             SkylineError::ShardUnavailable { shard } => {
                 write!(f, "shard {shard} is unavailable (quarantined or failed mid-query)")
             }
+            SkylineError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
             SkylineError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }

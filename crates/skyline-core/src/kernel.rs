@@ -114,6 +114,13 @@ impl DatasetEpoch {
     pub fn get(self) -> u64 {
         self.0
     }
+
+    /// Reconstructs an epoch from its raw counter — the snapshot load path uses this to
+    /// restore a rehydrated block's mutation epoch so epoch-tagged artifacts (cached
+    /// skylines, remap chains) keep composing across a process restart.
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
 }
 
 impl fmt::Display for DatasetEpoch {
@@ -444,6 +451,60 @@ impl PointBlock {
         self.nums.len() * std::mem::size_of::<f64>()
             + self.noms.len() * std::mem::size_of::<ValueId>()
             + self.live.len()
+    }
+
+    /// The full interleaved numeric array (`len × numeric_dims` values, row-major) — the
+    /// snapshot writer persists this verbatim so the load side can bulk-decode it.
+    pub fn numeric_values(&self) -> &[f64] {
+        &self.nums
+    }
+
+    /// The full interleaved nominal array (`len × nominal_dims` ids, row-major).
+    pub fn nominal_values(&self) -> &[ValueId] {
+        &self.noms
+    }
+
+    /// Per-nominal-dimension largest value id present (see the field invariant: the max is
+    /// over all physical rows, live and tombstoned).
+    pub fn max_values(&self) -> &[ValueId] {
+        &self.max_value
+    }
+
+    /// The per-row liveness flags (`liveness()[p]` is false for tombstoned rows).
+    pub fn liveness(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// Reassembles a block from persisted parts (the snapshot load path). The caller —
+    /// [`crate::snapshot::read_block`] — has already validated array lengths, liveness
+    /// consistency and the max-value invariant against the decoded header.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        len: usize,
+        numeric_dims: usize,
+        nominal_dims: usize,
+        nums: Vec<f64>,
+        noms: Vec<ValueId>,
+        max_value: Vec<ValueId>,
+        live: Vec<bool>,
+        epoch: u64,
+    ) -> Self {
+        debug_assert_eq!(nums.len(), len * numeric_dims);
+        debug_assert_eq!(noms.len(), len * nominal_dims);
+        debug_assert_eq!(max_value.len(), nominal_dims);
+        debug_assert_eq!(live.len(), len);
+        let live_len = live.iter().filter(|&&l| l).count();
+        Self {
+            len,
+            numeric_dims,
+            nominal_dims,
+            nums,
+            noms,
+            max_value,
+            live,
+            live_len,
+            epoch,
+        }
     }
 }
 

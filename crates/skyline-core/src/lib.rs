@@ -43,6 +43,7 @@ pub mod mdc;
 pub mod order;
 pub mod schema;
 pub mod score;
+pub mod snapshot;
 pub mod stats;
 pub mod value;
 
@@ -58,4 +59,5 @@ pub use kernel::{
 };
 pub use order::{CanonicalPreference, ImplicitPreference, PartialOrder, Preference, Template};
 pub use schema::{Dimension, DimensionKind, Schema};
+pub use snapshot::{SnapshotBuilder, SnapshotError, SnapshotView};
 pub use value::{NominalDomain, PointId, ValueId};

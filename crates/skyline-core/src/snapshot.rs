@@ -1,0 +1,1262 @@
+//! Persistent binary snapshot container: the versioned, checksummed on-disk format that
+//! lets an engine cold-start by **loading** its preprocessed structures instead of
+//! recomputing them from raw rows.
+//!
+//! # Format
+//!
+//! One snapshot is a single contiguous buffer:
+//!
+//! | bytes            | content                                                    |
+//! |------------------|------------------------------------------------------------|
+//! | `0..8`           | magic `b"SKYSNAP\0"`                                       |
+//! | `8..12`          | format version (`u32` LE, currently 1)                     |
+//! | `12..16`         | section count (`u32` LE)                                   |
+//! | `16..20`         | CRC-32 of the section table (`u32` LE)                     |
+//! | `20..24`         | reserved (zero)                                            |
+//! | `24..24 + n·24`  | section table: `id: u32, crc: u32, offset: u64, len: u64`  |
+//! | …                | section payloads, each starting at an 8-byte-aligned offset |
+//!
+//! Every integer is little-endian. Section payloads are the raw arrays the in-memory
+//! structures are made of — the numeric column block is a plain `f64` array, the nominal
+//! block a plain `u16` array — so loading is one bounds- and alignment-checked pass over
+//! the buffer with bulk fixed-width decoding (which the compiler vectorizes into wide
+//! copies), not a field-by-field walk through a self-describing encoding. Section offsets
+//! are **required** to be 8-byte aligned within the buffer; [`SnapshotView::parse`] rejects
+//! misaligned tables so the bulk decode never straddles an element boundary.
+//!
+//! Integrity is layered: the table CRC covers the section table, and each section carries
+//! its own CRC-32 over its payload, all verified eagerly at [`SnapshotView::parse`] time.
+//! Any corruption — byte flips, truncation, a bumped version — surfaces as a
+//! [`SnapshotError`]; parsing never panics and a snapshot that fails its checksums is
+//! never partially served.
+//!
+//! This module owns the container plus the codecs for the core types ([`Schema`],
+//! [`Template`], [`PointBlock`]) and the shared primitives ([`ByteWriter`],
+//! [`ByteReader`], delta-encoded vbyte posting lists). Higher layers add their own
+//! sections: `skyline-ipo` encodes the IPO tree ([`SECTION_IPO_TREE`]), `skyline-adaptive`
+//! the sorted list ([`SECTION_ASFS_ENTRIES`]), and the `skyline` engine the generation
+//! metadata ([`SECTION_ENGINE_META`]) tying them together.
+
+use crate::dataset::Dataset;
+use crate::error::SkylineError;
+use crate::kernel::PointBlock;
+use crate::order::{ImplicitPreference, PartialOrder, Preference, Template};
+use crate::schema::{Dimension, Schema};
+use crate::value::{PointId, ValueId};
+use std::fmt;
+use std::path::Path;
+
+/// Magic bytes at offset 0 of every snapshot.
+pub const MAGIC: [u8; 8] = *b"SKYSNAP\0";
+
+/// Current (and only) format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Byte alignment every section payload starts at.
+pub const SECTION_ALIGN: usize = 8;
+
+const HEADER_LEN: usize = 24;
+const TABLE_ENTRY_LEN: usize = 24;
+/// Backstop against absurd section counts in corrupted headers (a real snapshot has < 16).
+const MAX_SECTIONS: u32 = 1024;
+
+/// Engine-level generation metadata (config tag, generation id, epochs). Opaque to this
+/// crate; written and read by the `skyline` engine.
+pub const SECTION_ENGINE_META: u32 = 1;
+/// [`Schema`] codec payload ([`encode_schema`] / [`decode_schema`]).
+pub const SECTION_SCHEMA: u32 = 2;
+/// [`Template`] codec payload ([`encode_template`] / [`decode_template`]).
+pub const SECTION_TEMPLATE: u32 = 3;
+/// Fixed-width [`PointBlock`] header: row count, dimension counts, epoch, live count.
+pub const SECTION_BLOCK_HEADER: u32 = 4;
+/// The block's interleaved numeric values as a raw little-endian `f64` array.
+pub const SECTION_BLOCK_NUMERICS: u32 = 5;
+/// The block's interleaved nominal value ids as a raw little-endian `u16` array.
+pub const SECTION_BLOCK_NOMINALS: u32 = 6;
+/// Per-nominal-dimension maximum value ids (`u16` array).
+pub const SECTION_BLOCK_MAX_VALUES: u32 = 7;
+/// Row liveness as a `u64`-word bitset (bit `p` set ⇔ row `p` live).
+pub const SECTION_BLOCK_LIVENESS: u32 = 8;
+/// Adaptive-SFS sorted list entries. Opaque to this crate; written by `skyline-adaptive`.
+pub const SECTION_ASFS_ENTRIES: u32 = 9;
+/// IPO tree payload. Opaque to this crate; written and read by `skyline-ipo`.
+pub const SECTION_IPO_TREE: u32 = 10;
+
+/// Errors raised while writing, parsing or decoding a snapshot.
+///
+/// Corrupt input of any shape — flipped bytes, truncation, a version from the future —
+/// must land here; snapshot code never panics on untrusted bytes and never yields a
+/// structure that fails its integrity checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with [`MAGIC`] (not a snapshot at all).
+    BadMagic,
+    /// The snapshot was written by an unknown format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// The buffer ends before the structure it claims to hold (truncated file).
+    Truncated {
+        /// Bytes the structure needs.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A CRC-32 check failed (section id 0 denotes the section table itself).
+    ChecksumMismatch {
+        /// Section whose checksum failed.
+        section: u32,
+    },
+    /// A section offset violates the [`SECTION_ALIGN`] layout invariant.
+    Misaligned {
+        /// The offending section id.
+        section: u32,
+        /// Its (misaligned) offset.
+        offset: u64,
+    },
+    /// The section table lists the same id twice.
+    DuplicateSection(u32),
+    /// A required section is absent.
+    MissingSection(u32),
+    /// The container is intact but a payload fails structural validation.
+    Corrupt(String),
+    /// Filesystem-level failure while reading or writing the snapshot.
+    Io(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a skyline snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads {supported})"
+            ),
+            SnapshotError::Truncated { needed, available } => write!(
+                f,
+                "snapshot truncated: needs {needed} bytes but only {available} are available"
+            ),
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "snapshot checksum mismatch in section {section}")
+            }
+            SnapshotError::Misaligned { section, offset } => write!(
+                f,
+                "snapshot section {section} starts at misaligned offset {offset}"
+            ),
+            SnapshotError::DuplicateSection(id) => {
+                write!(f, "snapshot lists section {id} more than once")
+            }
+            SnapshotError::MissingSection(id) => {
+                write!(f, "snapshot is missing required section {id}")
+            }
+            SnapshotError::Corrupt(msg) => write!(f, "snapshot payload corrupt: {msg}"),
+            SnapshotError::Io(msg) => write!(f, "snapshot i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<SnapshotError> for SkylineError {
+    fn from(err: SnapshotError) -> Self {
+        SkylineError::Snapshot(err.to_string())
+    }
+}
+
+impl From<SkylineError> for SnapshotError {
+    /// Validating constructors ([`Schema::new`], [`Dataset::from_columns`],
+    /// [`PartialOrder::from_pairs`], …) reject corrupt payloads with a [`SkylineError`];
+    /// inside the snapshot decode path that *is* a corruption report.
+    fn from(err: SkylineError) -> Self {
+        SnapshotError::Corrupt(err.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected) — hand-rolled table so the format needs no deps.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes` — the checksum every section and the table are covered by.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Container: builder + parsed view
+// ---------------------------------------------------------------------------
+
+/// Assembles a snapshot buffer from `(id, payload)` sections (the write path).
+#[derive(Debug, Default)]
+pub struct SnapshotBuilder {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl SnapshotBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one section. Ids must be unique; a duplicate is a caller bug and panics.
+    pub fn section(&mut self, id: u32, payload: Vec<u8>) -> &mut Self {
+        assert!(
+            self.sections.iter().all(|(existing, _)| *existing != id),
+            "snapshot section {id} added twice"
+        );
+        self.sections.push((id, payload));
+        self
+    }
+
+    /// Serializes header, checksummed section table and 8-aligned payloads.
+    pub fn finish(self) -> Vec<u8> {
+        let table_len = self.sections.len() * TABLE_ENTRY_LEN;
+        let mut offset = HEADER_LEN + table_len;
+        let mut table = Vec::with_capacity(table_len);
+        let mut entries = Vec::with_capacity(self.sections.len());
+        for (id, payload) in &self.sections {
+            offset = offset.next_multiple_of(SECTION_ALIGN);
+            entries.push((*id, crc32(payload), offset as u64, payload.len() as u64));
+            offset += payload.len();
+        }
+        for (id, crc, off, len) in &entries {
+            table.extend_from_slice(&id.to_le_bytes());
+            table.extend_from_slice(&crc.to_le_bytes());
+            table.extend_from_slice(&off.to_le_bytes());
+            table.extend_from_slice(&len.to_le_bytes());
+        }
+        let mut buf = Vec::with_capacity(offset);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(&table).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&table);
+        for ((_, payload), (_, _, off, _)) in self.sections.iter().zip(&entries) {
+            buf.resize(*off as usize, 0);
+            buf.extend_from_slice(payload);
+        }
+        buf
+    }
+}
+
+/// A parsed, fully checksum-verified view over one contiguous snapshot buffer (the load
+/// path). Section accessors return subslices of the original buffer — no copies.
+#[derive(Debug)]
+pub struct SnapshotView<'a> {
+    buf: &'a [u8],
+    /// `(id, offset, len)` per section, checksum-verified at parse time.
+    table: Vec<(u32, usize, usize)>,
+}
+
+impl<'a> SnapshotView<'a> {
+    /// Parses and verifies `buf`: magic, version, table CRC, per-section bounds, alignment
+    /// and CRCs. After this returns `Ok`, every section payload is known-intact.
+    pub fn parse(buf: &'a [u8]) -> Result<Self, SnapshotError> {
+        if buf.len() < HEADER_LEN {
+            return Err(SnapshotError::Truncated {
+                needed: HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        if buf[0..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().expect("4-byte slice"));
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let count = u32::from_le_bytes(buf[12..16].try_into().expect("4-byte slice"));
+        if count > MAX_SECTIONS {
+            return Err(SnapshotError::Corrupt(format!(
+                "section count {count} exceeds the format maximum {MAX_SECTIONS}"
+            )));
+        }
+        let table_crc = u32::from_le_bytes(buf[16..20].try_into().expect("4-byte slice"));
+        if buf[20..24] != [0, 0, 0, 0] {
+            return Err(SnapshotError::Corrupt(
+                "reserved header bytes must be zero".into(),
+            ));
+        }
+        let table_len = count as usize * TABLE_ENTRY_LEN;
+        let table_end = HEADER_LEN + table_len;
+        if buf.len() < table_end {
+            return Err(SnapshotError::Truncated {
+                needed: table_end,
+                available: buf.len(),
+            });
+        }
+        let table_bytes = &buf[HEADER_LEN..table_end];
+        if crc32(table_bytes) != table_crc {
+            return Err(SnapshotError::ChecksumMismatch { section: 0 });
+        }
+        let mut table = Vec::with_capacity(count as usize);
+        for entry in table_bytes.chunks_exact(TABLE_ENTRY_LEN) {
+            let id = u32::from_le_bytes(entry[0..4].try_into().expect("4-byte slice"));
+            let crc = u32::from_le_bytes(entry[4..8].try_into().expect("4-byte slice"));
+            let offset = u64::from_le_bytes(entry[8..16].try_into().expect("8-byte slice"));
+            let len = u64::from_le_bytes(entry[16..24].try_into().expect("8-byte slice"));
+            if table.iter().any(|(existing, _, _)| *existing == id) {
+                return Err(SnapshotError::DuplicateSection(id));
+            }
+            if offset % SECTION_ALIGN as u64 != 0 {
+                return Err(SnapshotError::Misaligned {
+                    section: id,
+                    offset,
+                });
+            }
+            let end = offset
+                .checked_add(len)
+                .ok_or(SnapshotError::Corrupt(format!(
+                    "section {id} offset + length overflows"
+                )))?;
+            if end > buf.len() as u64 {
+                return Err(SnapshotError::Truncated {
+                    needed: end as usize,
+                    available: buf.len(),
+                });
+            }
+            let payload = &buf[offset as usize..end as usize];
+            if crc32(payload) != crc {
+                return Err(SnapshotError::ChecksumMismatch { section: id });
+            }
+            table.push((id, offset as usize, len as usize));
+        }
+        // Every byte outside the header, table and payloads must be zero padding, and the
+        // buffer must end exactly where the last section does — so a flip in an alignment
+        // gap or bytes appended past the end are corruption, not slack no checksum covers.
+        let mut covered: Vec<(usize, usize)> = table
+            .iter()
+            .map(|&(_, offset, len)| (offset, offset + len))
+            .collect();
+        covered.push((0, table_end));
+        covered.sort_unstable();
+        let mut cursor = 0usize;
+        for (start, end) in covered {
+            if start > cursor && buf[cursor..start].iter().any(|&b| b != 0) {
+                return Err(SnapshotError::Corrupt(
+                    "alignment padding bytes must be zero".into(),
+                ));
+            }
+            cursor = cursor.max(end);
+        }
+        if cursor != buf.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after the last section",
+                buf.len() - cursor
+            )));
+        }
+        Ok(Self { buf, table })
+    }
+
+    /// The verified payload of section `id`.
+    pub fn section(&self, id: u32) -> Result<&'a [u8], SnapshotError> {
+        self.table
+            .iter()
+            .find(|(existing, _, _)| *existing == id)
+            .map(|&(_, offset, len)| &self.buf[offset..offset + len])
+            .ok_or(SnapshotError::MissingSection(id))
+    }
+
+    /// True when section `id` is present.
+    pub fn has_section(&self, id: u32) -> bool {
+        self.table.iter().any(|(existing, _, _)| *existing == id)
+    }
+
+    /// The section ids present, in table order.
+    pub fn section_ids(&self) -> Vec<u32> {
+        self.table.iter().map(|&(id, _, _)| id).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-width byte primitives
+// ---------------------------------------------------------------------------
+
+/// Little-endian byte sink for section payloads.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated bytes.
+    pub fn into_inner(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16` LE.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` LE.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` LE.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` LE.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a raw `u16` array (no length prefix — callers know the count).
+    pub fn put_u16_slice(&mut self, values: &[ValueId]) {
+        self.buf.reserve(values.len() * 2);
+        for &v in values {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Appends a raw `f64` array (no length prefix — callers know the count).
+    pub fn put_f64_slice(&mut self, values: &[f64]) {
+        self.buf.reserve(values.len() * 8);
+        for &v in values {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Appends a variable-length base-128 integer (vbyte / LEB128).
+    pub fn put_vbyte(&mut self, mut v: u64) {
+        while v >= 0x80 {
+            self.buf.push((v as u8 & 0x7F) | 0x80);
+            v >>= 7;
+        }
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a strictly increasing id list as a delta-encoded vbyte posting list:
+    /// vbyte count, then the vbyte gap to the previous id (first gap from −1). This is the
+    /// compressed carrier for every sorted [`PointId`] set in the snapshot (IPO
+    /// disqualified sets, skylines).
+    pub fn put_postings(&mut self, ids: &[PointId]) {
+        self.put_vbyte(ids.len() as u64);
+        let mut prev: i64 = -1;
+        for &id in ids {
+            let delta = id as i64 - prev;
+            assert!(delta > 0, "posting lists must be strictly increasing");
+            self.put_vbyte(delta as u64);
+            prev = id as i64;
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Bounds-checked little-endian cursor over a section payload. Every accessor returns
+/// [`SnapshotError::Truncated`] instead of panicking when the payload runs out.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(SnapshotError::Corrupt("length overflow".into()))?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Truncated {
+                needed: end,
+                available: self.buf.len(),
+            });
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16` LE.
+    pub fn get_u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2-byte slice"),
+        ))
+    }
+
+    /// Reads a `u32` LE.
+    pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4-byte slice"),
+        ))
+    }
+
+    /// Reads a `u64` LE.
+    pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8-byte slice"),
+        ))
+    }
+
+    /// Reads an `f64` LE.
+    pub fn get_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8-byte slice"),
+        ))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Corrupt("string payload is not UTF-8".into()))
+    }
+
+    /// Bulk-reads `count` `u16`s.
+    pub fn get_u16_vec(&mut self, count: usize) -> Result<Vec<ValueId>, SnapshotError> {
+        let bytes = self.take(
+            count
+                .checked_mul(2)
+                .ok_or(SnapshotError::Corrupt("u16 array length overflow".into()))?,
+        )?;
+        Ok(decode_u16_slice(bytes))
+    }
+
+    /// Bulk-reads `count` `f64`s.
+    pub fn get_f64_vec(&mut self, count: usize) -> Result<Vec<f64>, SnapshotError> {
+        let bytes = self.take(
+            count
+                .checked_mul(8)
+                .ok_or(SnapshotError::Corrupt("f64 array length overflow".into()))?,
+        )?;
+        Ok(decode_f64_slice(bytes))
+    }
+
+    /// Reads a vbyte integer (rejects encodings longer than a `u64`).
+    pub fn get_vbyte(&mut self) -> Result<u64, SnapshotError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(SnapshotError::Corrupt("vbyte integer overflows u64".into()));
+            }
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a delta-encoded vbyte posting list, validating strict monotonicity and the
+    /// [`PointId`] range. `max_len` bounds the decoded length so a corrupt count cannot
+    /// trigger an absurd allocation.
+    pub fn get_postings(&mut self, max_len: usize) -> Result<Vec<PointId>, SnapshotError> {
+        let count = self.get_vbyte()? as usize;
+        if count > max_len {
+            return Err(SnapshotError::Corrupt(format!(
+                "posting list claims {count} ids but at most {max_len} are possible"
+            )));
+        }
+        let mut ids = Vec::with_capacity(count);
+        let mut prev: i64 = -1;
+        for _ in 0..count {
+            let delta = self.get_vbyte()?;
+            if delta == 0 {
+                return Err(SnapshotError::Corrupt(
+                    "posting list gap of zero (ids not strictly increasing)".into(),
+                ));
+            }
+            let id = prev
+                .checked_add_unsigned(delta)
+                .filter(|&id| id <= PointId::MAX as i64)
+                .ok_or(SnapshotError::Corrupt(
+                    "posting list id overflows PointId".into(),
+                ))?;
+            ids.push(id as PointId);
+            prev = id;
+        }
+        Ok(ids)
+    }
+
+    /// Unread bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the payload was fully consumed — trailing garbage is corruption, not slack.
+    pub fn expect_end(&self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after the last field",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Bulk `u16` LE decode; `chunks_exact` lets the compiler turn this into wide copies.
+fn decode_u16_slice(bytes: &[u8]) -> Vec<ValueId> {
+    bytes
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes(c.try_into().expect("2-byte chunk")))
+        .collect()
+}
+
+/// Bulk `f64` LE decode; `chunks_exact` lets the compiler turn this into wide copies.
+fn decode_f64_slice(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Core-type codecs: Schema, Template, PointBlock
+// ---------------------------------------------------------------------------
+
+const KIND_NUMERIC: u8 = 0;
+const KIND_NOMINAL: u8 = 1;
+
+/// Encodes a [`Schema`] (dimension names, kinds and nominal label dictionaries).
+pub fn encode_schema(schema: &Schema) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(schema.arity() as u32);
+    for dim in schema.dimensions() {
+        match dim.domain() {
+            None => {
+                w.put_u8(KIND_NUMERIC);
+                w.put_str(dim.name());
+            }
+            Some(domain) => {
+                w.put_u8(KIND_NOMINAL);
+                w.put_str(dim.name());
+                w.put_u32(domain.cardinality() as u32);
+                for (_, label) in domain.iter() {
+                    w.put_str(label);
+                }
+            }
+        }
+    }
+    w.into_inner()
+}
+
+/// Decodes a [`Schema`] written by [`encode_schema`].
+pub fn decode_schema(bytes: &[u8]) -> Result<Schema, SnapshotError> {
+    let mut r = ByteReader::new(bytes);
+    let arity = r.get_u32()? as usize;
+    if arity > bytes.len() {
+        // Every dimension costs at least one kind byte; reject absurd counts up front.
+        return Err(SnapshotError::Corrupt(format!(
+            "schema claims {arity} dimensions in a {}-byte payload",
+            bytes.len()
+        )));
+    }
+    let mut dims = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let kind = r.get_u8()?;
+        let name = r.get_str()?;
+        match kind {
+            KIND_NUMERIC => dims.push(Dimension::numeric(name)),
+            KIND_NOMINAL => {
+                let cardinality = r.get_u32()? as usize;
+                if cardinality > u16::MAX as usize + 1 {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "nominal cardinality {cardinality} exceeds the ValueId range"
+                    )));
+                }
+                let mut labels = Vec::with_capacity(cardinality);
+                for _ in 0..cardinality {
+                    labels.push(r.get_str()?);
+                }
+                let domain = crate::value::NominalDomain::from_labels(labels);
+                if domain.cardinality() != cardinality {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "nominal domain of `{name}` lists duplicate labels"
+                    )));
+                }
+                dims.push(Dimension::nominal(name, domain));
+            }
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "unknown dimension kind tag {other}"
+                )))
+            }
+        }
+    }
+    r.expect_end()?;
+    Ok(Schema::new(dims)?)
+}
+
+const TEMPLATE_GENERAL: u8 = 0;
+const TEMPLATE_IMPLICIT: u8 = 1;
+
+/// Encodes a [`Template`], preserving its form: an implicit-form template round-trips
+/// through its per-dimension choice lists, a general one through its explicit pair sets.
+pub fn encode_template(template: &Template) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match template.implicit() {
+        Some(pref) => {
+            w.put_u8(TEMPLATE_IMPLICIT);
+            w.put_u32(pref.nominal_count() as u32);
+            for dim in pref.dims() {
+                w.put_u32(dim.choices().len() as u32);
+                w.put_u16_slice(dim.choices());
+            }
+        }
+        None => {
+            w.put_u8(TEMPLATE_GENERAL);
+            w.put_u32(template.orders().len() as u32);
+            for order in template.orders() {
+                w.put_u32(order.cardinality() as u32);
+                w.put_u32(order.pair_count() as u32);
+                for (u, v) in order.pairs() {
+                    w.put_u16(u);
+                    w.put_u16(v);
+                }
+            }
+        }
+    }
+    w.into_inner()
+}
+
+/// Decodes a [`Template`] written by [`encode_template`], re-deriving the dominance
+/// closures through the same validating constructors a fresh build uses.
+pub fn decode_template(schema: &Schema, bytes: &[u8]) -> Result<Template, SnapshotError> {
+    let mut r = ByteReader::new(bytes);
+    let form = r.get_u8()?;
+    let count = r.get_u32()? as usize;
+    if count != schema.nominal_count() {
+        return Err(SnapshotError::Corrupt(format!(
+            "template covers {count} nominal dimensions but the schema has {}",
+            schema.nominal_count()
+        )));
+    }
+    let template = match form {
+        TEMPLATE_IMPLICIT => {
+            let mut dims = Vec::with_capacity(count);
+            for _ in 0..count {
+                let choices = r.get_u32()? as usize;
+                let values = r.get_u16_vec(choices)?;
+                dims.push(ImplicitPreference::new(values)?);
+            }
+            Template::from_preference(schema, Preference::from_dims(dims))?
+        }
+        TEMPLATE_GENERAL => {
+            let mut orders = Vec::with_capacity(count);
+            for _ in 0..count {
+                let cardinality = r.get_u32()? as usize;
+                let pair_count = r.get_u32()? as usize;
+                if pair_count > cardinality.saturating_mul(cardinality) {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "order lists {pair_count} pairs over a cardinality-{cardinality} domain"
+                    )));
+                }
+                let mut pairs = Vec::with_capacity(pair_count);
+                for _ in 0..pair_count {
+                    pairs.push((r.get_u16()?, r.get_u16()?));
+                }
+                orders.push(PartialOrder::from_pairs(cardinality, pairs)?);
+            }
+            Template::from_partial_orders(schema, orders)?
+        }
+        other => {
+            return Err(SnapshotError::Corrupt(format!(
+                "unknown template form tag {other}"
+            )))
+        }
+    };
+    r.expect_end()?;
+    Ok(template)
+}
+
+/// Writes the four [`PointBlock`] sections (header, numeric array, nominal array,
+/// max-value array) plus the liveness bitset into `builder`.
+pub fn write_block_sections(block: &PointBlock, builder: &mut SnapshotBuilder) {
+    let mut header = ByteWriter::new();
+    header.put_u64(block.len() as u64);
+    header.put_u32(block.numeric_dims() as u32);
+    header.put_u32(block.nominal_dims() as u32);
+    header.put_u64(block.epoch().get());
+    header.put_u64(block.live_count() as u64);
+    builder.section(SECTION_BLOCK_HEADER, header.into_inner());
+
+    let mut nums = ByteWriter::new();
+    nums.put_f64_slice(block.numeric_values());
+    builder.section(SECTION_BLOCK_NUMERICS, nums.into_inner());
+
+    let mut noms = ByteWriter::new();
+    noms.put_u16_slice(block.nominal_values());
+    builder.section(SECTION_BLOCK_NOMINALS, noms.into_inner());
+
+    let mut max = ByteWriter::new();
+    max.put_u16_slice(block.max_values());
+    builder.section(SECTION_BLOCK_MAX_VALUES, max.into_inner());
+
+    let mut live = ByteWriter::new();
+    let mut word = 0u64;
+    for (p, alive) in block.liveness().iter().enumerate() {
+        if *alive {
+            word |= 1 << (p % 64);
+        }
+        if p % 64 == 63 {
+            live.put_u64(word);
+            word = 0;
+        }
+    }
+    if !block.len().is_multiple_of(64) {
+        live.put_u64(word);
+    }
+    builder.section(SECTION_BLOCK_LIVENESS, live.into_inner());
+}
+
+/// Reconstructs a [`PointBlock`] from the sections written by [`write_block_sections`],
+/// restoring its [`crate::DatasetEpoch`] so epoch-tagged artifacts keep composing.
+pub fn read_block(view: &SnapshotView<'_>) -> Result<PointBlock, SnapshotError> {
+    let mut header = ByteReader::new(view.section(SECTION_BLOCK_HEADER)?);
+    let len = header.get_u64()? as usize;
+    let numeric_dims = header.get_u32()? as usize;
+    let nominal_dims = header.get_u32()? as usize;
+    let epoch = header.get_u64()?;
+    let live_len = header.get_u64()? as usize;
+    header.expect_end()?;
+    if len > PointId::MAX as usize {
+        return Err(SnapshotError::Corrupt(format!(
+            "block claims {len} rows, beyond the PointId range"
+        )));
+    }
+    if live_len > len {
+        return Err(SnapshotError::Corrupt(format!(
+            "block claims {live_len} live rows out of {len}"
+        )));
+    }
+
+    let nums_bytes = view.section(SECTION_BLOCK_NUMERICS)?;
+    let expect = |name: &str, got: usize, want: usize| -> Result<(), SnapshotError> {
+        if got != want {
+            return Err(SnapshotError::Corrupt(format!(
+                "{name} section holds {got} bytes but the header implies {want}"
+            )));
+        }
+        Ok(())
+    };
+    expect(
+        "numeric",
+        nums_bytes.len(),
+        len.checked_mul(numeric_dims)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or(SnapshotError::Corrupt("numeric array overflows".into()))?,
+    )?;
+    let nums = decode_f64_slice(nums_bytes);
+
+    let noms_bytes = view.section(SECTION_BLOCK_NOMINALS)?;
+    expect(
+        "nominal",
+        noms_bytes.len(),
+        len.checked_mul(nominal_dims)
+            .and_then(|n| n.checked_mul(2))
+            .ok_or(SnapshotError::Corrupt("nominal array overflows".into()))?,
+    )?;
+    let noms = decode_u16_slice(noms_bytes);
+
+    let max_bytes = view.section(SECTION_BLOCK_MAX_VALUES)?;
+    expect("max-value", max_bytes.len(), nominal_dims * 2)?;
+    let max_value = decode_u16_slice(max_bytes);
+    if nominal_dims > 0 {
+        // The block invariant: max_value[j] is the max over all physical rows. Compiled
+        // orders validate their cardinality against it, so an understated bound in a
+        // checksum-colliding payload could send a value id past an order's closure table.
+        let mut computed = vec![ValueId::default(); nominal_dims];
+        for row in noms.chunks_exact(nominal_dims) {
+            for (m, &v) in computed.iter_mut().zip(row) {
+                *m = (*m).max(v);
+            }
+        }
+        if computed != max_value {
+            return Err(SnapshotError::Corrupt(
+                "per-dimension max-value bounds do not match the nominal array".into(),
+            ));
+        }
+    }
+
+    let live_bytes = view.section(SECTION_BLOCK_LIVENESS)?;
+    expect("liveness", live_bytes.len(), len.div_ceil(64) * 8)?;
+    let mut live = Vec::with_capacity(len);
+    for (w, chunk) in live_bytes.chunks_exact(8).enumerate() {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let bits = (len - w * 64).min(64);
+        if bits < 64 && word >> bits != 0 {
+            return Err(SnapshotError::Corrupt(
+                "liveness bitset sets bits beyond the row count".into(),
+            ));
+        }
+        for b in 0..bits {
+            live.push(word & (1 << b) != 0);
+        }
+    }
+    let counted = live.iter().filter(|&&l| l).count();
+    if counted != live_len {
+        return Err(SnapshotError::Corrupt(format!(
+            "liveness bitset counts {counted} live rows but the header claims {live_len}"
+        )));
+    }
+    Ok(PointBlock::from_parts(
+        len,
+        numeric_dims,
+        nominal_dims,
+        nums,
+        noms,
+        max_value,
+        live,
+        epoch,
+    ))
+}
+
+/// Rebuilds the columnar [`Dataset`] by transposing a decoded block — the snapshot never
+/// stores the data twice. Goes through [`Dataset::from_columns`], so out-of-domain values
+/// in a corrupt (but checksum-colliding) payload are still rejected.
+pub fn dataset_from_block(schema: &Schema, block: &PointBlock) -> Result<Dataset, SnapshotError> {
+    if schema.numeric_count() != block.numeric_dims()
+        || schema.nominal_count() != block.nominal_dims()
+    {
+        return Err(SnapshotError::Corrupt(format!(
+            "schema has {}+{} dimensions but the block was built for {}+{}",
+            schema.numeric_count(),
+            schema.nominal_count(),
+            block.numeric_dims(),
+            block.nominal_dims()
+        )));
+    }
+    let len = block.len();
+    let mut numeric_cols = vec![Vec::with_capacity(len); block.numeric_dims()];
+    let mut nominal_cols = vec![Vec::with_capacity(len); block.nominal_dims()];
+    for p in 0..len as PointId {
+        for (col, &v) in numeric_cols.iter_mut().zip(block.numeric_row(p)) {
+            col.push(v);
+        }
+        for (col, &v) in nominal_cols.iter_mut().zip(block.nominal_row(p)) {
+            col.push(v);
+        }
+    }
+    Ok(Dataset::from_columns(
+        schema.clone(),
+        numeric_cols,
+        nominal_cols,
+    )?)
+}
+
+// ---------------------------------------------------------------------------
+// File helpers
+// ---------------------------------------------------------------------------
+
+/// Reads a snapshot file into one contiguous buffer.
+pub fn read_file(path: &Path) -> Result<Vec<u8>, SnapshotError> {
+    std::fs::read(path).map_err(|e| SnapshotError::Io(format!("reading {}: {e}", path.display())))
+}
+
+/// Atomically replaces `path` with `bytes`: the payload lands in a sibling temp file
+/// first and is renamed over the target, so a crash mid-write can never leave a torn
+/// snapshot where a loader will find it.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)
+        .map_err(|e| SnapshotError::Io(format!("writing {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        SnapshotError::Io(format!("renaming into {}: {e}", path.display()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Dimension;
+
+    fn sample_schema() -> Schema {
+        Schema::new(vec![
+            Dimension::numeric("price"),
+            Dimension::nominal_with_labels("group", ["T", "H", "M"]),
+            Dimension::nominal_with_labels("meal", ["b", "hb"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn container_round_trips_and_aligns_sections() {
+        let mut b = SnapshotBuilder::new();
+        b.section(7, vec![1, 2, 3]);
+        b.section(9, vec![4; 13]);
+        let buf = b.finish();
+        let view = SnapshotView::parse(&buf).unwrap();
+        assert_eq!(view.section(7).unwrap(), &[1, 2, 3]);
+        assert_eq!(view.section(9).unwrap(), &[4; 13]);
+        assert_eq!(view.section_ids(), vec![7, 9]);
+        assert!(view.has_section(7));
+        assert!(!view.has_section(8));
+        assert_eq!(view.section(8), Err(SnapshotError::MissingSection(8)));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let mut b = SnapshotBuilder::new();
+        b.section(1, b"hello snapshot".to_vec());
+        b.section(2, (0u32..64).flat_map(|v| v.to_le_bytes()).collect());
+        let buf = b.finish();
+        SnapshotView::parse(&buf).unwrap();
+        for i in 0..buf.len() {
+            for bit in [1u8, 0x80] {
+                let mut corrupt = buf.clone();
+                corrupt[i] ^= bit;
+                assert!(
+                    SnapshotView::parse(&corrupt).is_err(),
+                    "flip at byte {i} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let mut b = SnapshotBuilder::new();
+        b.section(1, vec![9; 40]);
+        let buf = b.finish();
+        for len in 0..buf.len() {
+            assert!(
+                SnapshotView::parse(&buf[..len]).is_err(),
+                "truncation to {len} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn version_bump_is_rejected() {
+        let mut b = SnapshotBuilder::new();
+        b.section(1, vec![1]);
+        let mut buf = b.finish();
+        buf[8] = FORMAT_VERSION as u8 + 1;
+        assert_eq!(
+            SnapshotView::parse(&buf).err(),
+            Some(SnapshotError::UnsupportedVersion {
+                found: FORMAT_VERSION + 1,
+                supported: FORMAT_VERSION
+            })
+        );
+        let mut bad_magic = b"NOTSNAP\0".to_vec();
+        bad_magic.extend_from_slice(&buf[8..]);
+        assert_eq!(
+            SnapshotView::parse(&bad_magic).err(),
+            Some(SnapshotError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn vbyte_and_postings_round_trip() {
+        let mut w = ByteWriter::new();
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            w.put_vbyte(v);
+        }
+        w.put_postings(&[0, 1, 5, 64, 1000, 1001]);
+        w.put_postings(&[]);
+        let bytes = w.into_inner();
+        let mut r = ByteReader::new(&bytes);
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            assert_eq!(r.get_vbyte().unwrap(), v);
+        }
+        assert_eq!(r.get_postings(2000).unwrap(), vec![0, 1, 5, 64, 1000, 1001]);
+        assert_eq!(r.get_postings(2000).unwrap(), Vec::<PointId>::new());
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn postings_reject_non_monotone_and_oversized_lists() {
+        let mut w = ByteWriter::new();
+        w.put_vbyte(2); // count
+        w.put_vbyte(5); // id 4
+        w.put_vbyte(0); // zero gap: not strictly increasing
+        let bytes = w.into_inner();
+        assert!(matches!(
+            ByteReader::new(&bytes).get_postings(10),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        let mut w = ByteWriter::new();
+        w.put_postings(&[0, 1, 2]);
+        let bytes = w.into_inner();
+        assert!(matches!(
+            ByteReader::new(&bytes).get_postings(2),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn schema_codec_round_trips() {
+        let schema = sample_schema();
+        let decoded = decode_schema(&encode_schema(&schema)).unwrap();
+        assert_eq!(decoded, schema);
+        // Numeric-only schemas too.
+        let plain = Schema::new(vec![Dimension::numeric("x"), Dimension::numeric("y")]).unwrap();
+        assert_eq!(decode_schema(&encode_schema(&plain)).unwrap(), plain);
+    }
+
+    #[test]
+    fn template_codec_round_trips_both_forms() {
+        let schema = sample_schema();
+        let implicit = Template::from_preference(
+            &schema,
+            Preference::from_dims(vec![
+                ImplicitPreference::new([0, 2]).unwrap(),
+                ImplicitPreference::none(),
+            ]),
+        )
+        .unwrap();
+        let decoded = decode_template(&schema, &encode_template(&implicit)).unwrap();
+        assert_eq!(decoded, implicit);
+
+        let general = Template::from_partial_orders(
+            &schema,
+            vec![
+                PartialOrder::from_pairs(3, [(0, 1), (0, 2)]).unwrap(),
+                PartialOrder::empty(2),
+            ],
+        )
+        .unwrap();
+        let decoded = decode_template(&schema, &encode_template(&general)).unwrap();
+        assert_eq!(decoded, general);
+    }
+
+    #[test]
+    fn block_codec_round_trips_with_tombstones_and_epoch() {
+        let schema = sample_schema();
+        let mut data = Dataset::empty(schema.clone());
+        for (price, g, m) in [(10.0, 0, 0), (20.0, 1, 1), (30.0, 2, 0), (40.0, 0, 1)] {
+            data.push_row_ids(&[price], &[g, m]).unwrap();
+        }
+        let mut block = PointBlock::new(&data);
+        block.tombstone(1).unwrap();
+        block.append_row(&[50.0], &[1, 0]).unwrap();
+
+        let mut b = SnapshotBuilder::new();
+        write_block_sections(&block, &mut b);
+        let buf = b.finish();
+        let view = SnapshotView::parse(&buf).unwrap();
+        let decoded = read_block(&view).unwrap();
+        assert_eq!(decoded, block);
+        assert_eq!(decoded.epoch(), block.epoch());
+        assert_eq!(decoded.live_count(), 4);
+
+        // And the dataset reconstructs by transposition.
+        let rebuilt = dataset_from_block(&schema, &decoded).unwrap();
+        assert_eq!(rebuilt.len(), 5);
+        assert_eq!(rebuilt.numeric(4, 0), 50.0);
+        assert_eq!(rebuilt.nominal(2, 0), 2);
+    }
+
+    #[test]
+    fn dataset_from_block_rejects_schema_mismatch() {
+        let schema = sample_schema();
+        let mut data = Dataset::empty(schema.clone());
+        data.push_row_ids(&[1.0], &[0, 0]).unwrap();
+        let block = PointBlock::new(&data);
+        let narrow = Schema::new(vec![Dimension::numeric("x")]).unwrap();
+        assert!(matches!(
+            dataset_from_block(&narrow, &block),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic_and_missing_files_error() {
+        let dir = std::env::temp_dir().join(format!("skysnap-core-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.snap");
+        let mut b = SnapshotBuilder::new();
+        b.section(1, vec![1, 2, 3]);
+        let buf = b.finish();
+        write_atomic(&path, &buf).unwrap();
+        assert_eq!(read_file(&path).unwrap(), buf);
+        assert!(matches!(
+            read_file(&dir.join("absent.snap")),
+            Err(SnapshotError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_error_converts_into_skyline_error() {
+        let err: SkylineError = SnapshotError::BadMagic.into();
+        assert!(matches!(err, SkylineError::Snapshot(_)));
+        assert!(err.to_string().contains("magic"));
+    }
+}

@@ -203,6 +203,42 @@ impl BitmapIpoTree {
         x
     }
 
+    /// Reconstructs the set-based [`IpoTree`] this bitmap tree mirrors: position bitmaps
+    /// are turned back into sorted point-id sets, and each node's dimension/label — which
+    /// the bitmap representation does not store — is re-derived from the topology (a node's
+    /// dimension is its depth minus one, its label the edge it hangs from).
+    ///
+    /// The snapshot writer uses this so both tree representations share one on-disk
+    /// encoding; the loader converts back with [`BitmapIpoTree::from_tree`].
+    pub fn to_ipo_tree(&self) -> IpoTree {
+        use crate::tree::IpoNode;
+        let mut nodes: Vec<IpoNode> = self
+            .nodes
+            .iter()
+            .map(|n| IpoNode {
+                dim: usize::MAX,
+                label: None,
+                disqualified: n.disqualified.iter().map(|pos| self.skyline[pos]).collect(),
+                children: n.children.clone(),
+            })
+            .collect();
+        let mut queue = std::collections::VecDeque::from([(0u32, 0usize)]);
+        while let Some((id, depth)) = queue.pop_front() {
+            for (label, child) in nodes[id as usize].children.clone() {
+                nodes[child as usize].dim = depth;
+                nodes[child as usize].label = label;
+                queue.push_back((child, depth + 1));
+            }
+        }
+        IpoTree {
+            template: self.template.clone(),
+            skyline: self.skyline.clone(),
+            materialized: self.materialized.clone(),
+            nodes,
+            top_k: None,
+        }
+    }
+
     /// Approximate heap footprint of the bitmap tree in bytes.
     pub fn approximate_bytes(&self) -> usize {
         let node_bytes: usize = self

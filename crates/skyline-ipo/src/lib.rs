@@ -28,9 +28,11 @@ pub mod build;
 pub mod inverted;
 pub mod query;
 pub mod setops;
+pub mod snapshot;
 pub mod storage;
 pub mod tree;
 
 pub use bitmap::BitmapIpoTree;
 pub use build::{BuildStats, BuildStrategy, IpoTreeBuilder};
+pub use snapshot::{decode_tree, encode_tree};
 pub use tree::IpoTree;

@@ -53,6 +53,7 @@ use skyline_core::{
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -391,6 +392,18 @@ pub struct ShardedConfig {
     /// (reject-newest) and counted in [`StatsSnapshot::shed`]. `0` disables admission
     /// control.
     pub admission_depth: usize,
+    /// When set (and `maintenance` runs a build pool), every generation swap a shard
+    /// installs rewrites that shard's persistent snapshot in this directory — on the pool's
+    /// build threads, off the serve path, best-effort — keeping `shard-NNNN.snap` files a
+    /// [`ShardedService::from_snapshots`] cold start can rehydrate without preprocessing.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Bounded staleness for the streaming gather: when a pull of the laggard shard makes no
+    /// progress for this long (while the request's own deadline is still alive), the shard
+    /// is cut loose — the [`ProgressiveMerger`] stops waiting on its frontier, rows gated
+    /// only by it publish, and the answer flows through the degraded-shard semantics (so a
+    /// tolerant [`DegradePolicy`] keeps streaming and `FailClosed` fails the request).
+    /// `None` (the default) waits on every shard indefinitely.
+    pub laggard_timeout: Option<Duration>,
 }
 
 impl Default for ShardedConfig {
@@ -407,8 +420,15 @@ impl Default for ShardedConfig {
             degrade: DegradePolicy::FailClosed,
             recovery: RecoveryPolicy::default(),
             admission_depth: 0,
+            snapshot_dir: None,
+            laggard_timeout: None,
         }
     }
+}
+
+/// The canonical snapshot file name for shard `s` inside a snapshot directory.
+fn shard_snapshot_path(dir: &Path, s: usize) -> PathBuf {
+    dir.join(format!("shard-{s:04}.snap"))
 }
 
 type EpochVector = Arc<[DatasetEpoch]>;
@@ -432,6 +452,8 @@ pub struct ShardedService {
     /// Dropped after `handles`: shuts the build threads down.
     pool: Option<BuildPool>,
     workers: usize,
+    snapshot_dir: Option<PathBuf>,
+    laggard_timeout: Option<Duration>,
 }
 
 impl ShardedService {
@@ -451,6 +473,7 @@ impl ShardedService {
         let schema = data.schema().clone();
         config.partition.validate(&schema, shard_count)?;
 
+        let started = Instant::now();
         let mut parts: Vec<Dataset> = (0..shard_count)
             .map(|_| Dataset::empty(schema.clone()))
             .collect();
@@ -475,6 +498,91 @@ impl ShardedService {
             })
             .collect::<Result<_>>()?;
 
+        let metrics = ServiceMetrics::new();
+        metrics.record_preprocess_build(started.elapsed());
+        Self::assemble(shards, schema, template, config, metrics)
+    }
+
+    /// Cold-starts the service from the per-shard snapshot files
+    /// [`ShardedService::write_snapshots`] (or the post-swap hooks of
+    /// [`ShardedConfig::snapshot_dir`]) left in `dir` — `shard-0000.snap` through
+    /// `shard-NNNN.snap`, one per configured shard — skipping preprocessing entirely: each
+    /// shard's sorted list, IPO tree and columns rehydrate from the checksummed bytes with
+    /// their generation ids and epochs intact, so caches, remap chains and maintenance
+    /// resume exactly where the snapshotting service stopped.
+    ///
+    /// Every shard must carry the same schema, template and engine configuration (they were
+    /// written by one service); the shard *count* and partition come from `config` and must
+    /// match the directory's files. The load is recorded in
+    /// [`StatsSnapshot::snapshot_loads`] / [`StatsSnapshot::snapshot_load_ms`].
+    pub fn from_snapshots(dir: &Path, config: ShardedConfig) -> Result<Self> {
+        let shard_count = config.shards.max(1);
+        let started = Instant::now();
+        let engines: Vec<SkylineEngine> = (0..shard_count)
+            .map(|s| {
+                SkylineEngine::from_snapshot_file(&shard_snapshot_path(dir, s))
+                    .map_err(|e| SkylineError::Snapshot(format!("shard {s} of {shard_count}: {e}")))
+            })
+            .collect::<Result<_>>()?;
+        let schema = engines[0].dataset().schema().clone();
+        let template = engines[0].template().clone();
+        for (s, engine) in engines.iter().enumerate().skip(1) {
+            if engine.dataset().schema() != &schema {
+                return Err(SkylineError::Snapshot(format!(
+                    "shard {s}'s snapshot carries a different schema than shard 0's"
+                )));
+            }
+            if engine.template() != &template {
+                return Err(SkylineError::Snapshot(format!(
+                    "shard {s}'s snapshot carries a different template than shard 0's"
+                )));
+            }
+            if engine.config() != engines[0].config() {
+                return Err(SkylineError::Snapshot(format!(
+                    "shard {s}'s snapshot carries a different engine configuration than \
+                     shard 0's"
+                )));
+            }
+        }
+        config.partition.validate(&schema, shard_count)?;
+        let metrics = ServiceMetrics::new();
+        metrics.record_snapshot_load(shard_count as u64, started.elapsed());
+        let shards = engines.into_iter().map(SharedEngine::new).collect();
+        Self::assemble(shards, schema, template, config, metrics)
+    }
+
+    /// Writes every shard's current generation to `dir` (created if missing) as
+    /// `shard-NNNN.snap`, each through the atomic temp-file-and-rename path, and returns the
+    /// written paths in shard order. The files are exactly what
+    /// [`ShardedService::from_snapshots`] rehydrates.
+    pub fn write_snapshots(&self, dir: &Path) -> Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            SkylineError::Snapshot(format!(
+                "creating snapshot directory {}: {e}",
+                dir.display()
+            ))
+        })?;
+        let mut paths = Vec::with_capacity(self.shards.len());
+        for (s, shard) in self.shards.iter().enumerate() {
+            let path = shard_snapshot_path(dir, s);
+            shard.read().write_snapshot_file(&path)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+
+    /// The common wiring behind [`ShardedService::build`] and
+    /// [`ShardedService::from_snapshots`]: fault injection, quarantine, the shared build
+    /// pool with its hooks (including post-swap snapshot writes when
+    /// [`ShardedConfig::snapshot_dir`] is set), caches and admission control.
+    fn assemble(
+        shards: Vec<SharedEngine>,
+        schema: Schema,
+        template: Template,
+        config: ShardedConfig,
+        metrics: ServiceMetrics,
+    ) -> Result<Self> {
+        let shard_count = shards.len();
         let faults = Arc::new(FaultInjector::from_env());
         let quarantine = Arc::new(Quarantine::new(shard_count, config.recovery.clone()));
         let (pool, handles) = match &config.maintenance {
@@ -495,6 +603,23 @@ impl ShardedService {
                     let quarantine = quarantine.clone();
                     Arc::new(move |slot| quarantine.quarantine(slot))
                 }));
+                if let Some(dir) = &config.snapshot_dir {
+                    // Every installed generation swap rewrites the swapped shard's snapshot
+                    // on the pool's build thread — the serve path never waits on a write,
+                    // and a crash at any moment leaves the last atomically renamed file.
+                    // Best-effort: a failed write keeps serving and the next swap retries.
+                    let dir = dir.clone();
+                    let engines = shards.clone();
+                    pool.set_swap_hook(Some(Arc::new(move |slot| {
+                        if let Some(engine) = engines.get(slot) {
+                            if std::fs::create_dir_all(&dir).is_ok() {
+                                let _ = engine
+                                    .read()
+                                    .write_snapshot_file(&shard_snapshot_path(&dir, slot));
+                            }
+                        }
+                    })));
+                }
                 let handles = shards
                     .iter()
                     .map(|s| pool.register(s.clone(), policy.clone()))
@@ -518,7 +643,7 @@ impl ShardedService {
             template,
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
             flight: SingleFlight::new(),
-            metrics: ServiceMetrics::new(),
+            metrics,
             degrade: config.degrade,
             quarantine,
             admission: AdmissionQueue::new(config.admission_depth),
@@ -526,6 +651,8 @@ impl ShardedService {
             handles,
             pool,
             workers,
+            snapshot_dir: config.snapshot_dir,
+            laggard_timeout: config.laggard_timeout,
         })
     }
 
@@ -589,6 +716,16 @@ impl ShardedService {
         self.workers
     }
 
+    /// Where post-swap snapshot writes land, when configured.
+    pub fn snapshot_dir(&self) -> Option<&Path> {
+        self.snapshot_dir.as_deref()
+    }
+
+    /// The streaming gather's bounded-staleness timeout, when configured.
+    pub fn laggard_timeout(&self) -> Option<Duration> {
+        self.laggard_timeout
+    }
+
     /// Current number of cached merged results.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
@@ -636,7 +773,22 @@ impl ShardedService {
         if shard.read().rebuild_in_flight() {
             return Ok(false);
         }
-        shard.rebuild_now().map(|_| true)
+        shard.rebuild_now()?;
+        self.snapshot_after_swap(s);
+        Ok(true)
+    }
+
+    /// Best-effort snapshot write-through after shard `s` installed a generation outside the
+    /// build pool (explicit or recovery rebuilds — pool cycles go through the swap hook).
+    /// A failed write keeps serving; the next swap retries.
+    fn snapshot_after_swap(&self, s: usize) {
+        if let (Some(dir), Some(shard)) = (&self.snapshot_dir, self.shards.get(s)) {
+            if std::fs::create_dir_all(dir).is_ok() {
+                let _ = shard
+                    .read()
+                    .write_snapshot_file(&shard_snapshot_path(dir, s));
+            }
+        }
     }
 
     /// Rebuilds every shard's generation (sequentially); returns how many installed a new
@@ -965,6 +1117,7 @@ impl ShardedService {
                 answered: Vec::new(),
                 degraded,
                 key,
+                deadline,
                 numeric: vec![0.0; self.schema.numeric_count()],
                 nominal: vec![ValueId::default(); self.schema.nominal_count()],
             })),
@@ -1054,6 +1207,7 @@ impl ShardedService {
         })) {
             Ok(Ok(_)) => {
                 self.quarantine.mark_recovered(s);
+                self.snapshot_after_swap(s);
                 true
             }
             Ok(Err(_)) => {
@@ -1249,6 +1403,10 @@ struct LiveScatter {
     /// Shards missing from the answer, ascending.
     degraded: Vec<usize>,
     key: CanonicalPreference,
+    /// The request's own deadline. With a laggard timeout configured, each pull runs under
+    /// [`Deadline::tightened`] of this — so a pull expiring while this is still alive marks
+    /// the pulled shard a laggard rather than the request late.
+    deadline: Deadline,
     /// Scratch row buffers for the merger's dominance tests.
     numeric: Vec<f64>,
     nominal: Vec<ValueId>,
@@ -1295,6 +1453,7 @@ impl ShardedStream<'_> {
             for stream in live.streams.iter_mut().flatten() {
                 stream.set_deadline(deadline.clone());
             }
+            live.deadline = deadline;
         }
     }
 
@@ -1328,6 +1487,7 @@ impl ShardedStream<'_> {
                         answered,
                         degraded,
                         key,
+                        deadline,
                         numeric,
                         nominal,
                     } = &mut **live;
@@ -1370,6 +1530,12 @@ impl ShardedStream<'_> {
                         .min_by(|&a, &b| frontier[a].total_cmp(&frontier[b]))
                         .expect("an incomplete merger implies an active stream");
                     let stream = streams[s].as_mut().expect("chosen stream is active");
+                    // Bounded staleness: cap how long this one laggard may gate the merge.
+                    // The tightened deadline keeps the request's cancel token and never
+                    // extends its own expiry.
+                    if let Some(budget) = self.service.laggard_timeout {
+                        stream.set_deadline(deadline.tightened(budget));
+                    }
                     match catch_unwind(AssertUnwindSafe(|| stream.next_row())) {
                         Ok(Ok(Some(p))) => {
                             let score = stream.score_of(p);
@@ -1392,14 +1558,33 @@ impl ShardedStream<'_> {
                             merger.finish(s);
                         }
                         Ok(Err(e)) => {
-                            // One shared deadline governs every shard, so a per-shard expiry
-                            // is the request's expiry: fail the pull (resumable), do not
-                            // degrade the shard.
-                            self.service.metrics.record_error();
-                            if matches!(e, SkylineError::DeadlineExceeded) {
-                                self.service.metrics.record_deadline_miss();
+                            if matches!(e, SkylineError::DeadlineExceeded)
+                                && self.service.laggard_timeout.is_some()
+                                && deadline.check().is_ok()
+                            {
+                                // The request's own budget is alive, so the *tightened*
+                                // per-pull budget expired: shard `s` exceeded the bounded
+                                // staleness the service tolerates. Cut it loose — the
+                                // merger stops waiting on its frontier, so every row gated
+                                // only by this laggard publishes on the drain below — and
+                                // route it through the degraded-answer semantics, exactly
+                                // as a quarantined shard: policy-checked, flagged in
+                                // `degraded_shards`, never cached.
+                                streams[s] = None;
+                                merger.finish(s);
+                                degraded.push(s);
+                                degraded.sort_unstable();
+                                self.service.check_policy(Some(s), degraded.len())?;
+                            } else {
+                                // One shared deadline governs every shard, so a per-shard
+                                // expiry is the request's expiry: fail the pull
+                                // (resumable), do not degrade the shard.
+                                self.service.metrics.record_error();
+                                if matches!(e, SkylineError::DeadlineExceeded) {
+                                    self.service.metrics.record_deadline_miss();
+                                }
+                                return Err(e);
                             }
-                            return Err(e);
                         }
                         Err(_panic) => {
                             // Mid-pull panic: quarantine the shard and, when tolerated,
@@ -2216,5 +2401,173 @@ mod tests {
         rows.extend(stream.collect_rows().unwrap());
         rows.sort_unstable();
         assert_eq!(rows, expected, "stream must serve its pinned snapshot");
+    }
+
+    /// A unique, pre-cleaned scratch directory for a snapshot test.
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "skyline-sharded-snap-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn snapshot_bootstrap_round_trips_and_counts_loads() {
+        let (data, template) = experiment(500, 91);
+        let config = || ShardedConfig {
+            shards: 3,
+            workers: 2,
+            ..ShardedConfig::default()
+        };
+        let built = ShardedService::build(
+            &data,
+            template.clone(),
+            EngineConfig::Hybrid { top_k: 8 },
+            config(),
+        )
+        .unwrap();
+        let mut generator = QueryGenerator::new(97);
+        let prefs = generator.random_preferences(data.schema(), &template, 2, 8, None);
+
+        let dir = scratch_dir("round-trip");
+        // An empty directory is a clean error, never a panic or a half-built service.
+        assert!(ShardedService::from_snapshots(&dir, config()).is_err());
+        let paths = built.write_snapshots(&dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        let loaded = ShardedService::from_snapshots(&dir, config()).unwrap();
+
+        assert_eq!(loaded.epochs(), built.epochs());
+        assert_eq!(loaded.live_rows(), built.live_rows());
+        for pref in &prefs {
+            let a = built.serve(pref).unwrap();
+            let b = loaded.serve(pref).unwrap();
+            assert_eq!(sharded_values(&built, &a), sharded_values(&loaded, &b));
+            assert_eq!(a.outcome.methods, b.outcome.methods);
+        }
+        let stats = loaded.stats();
+        assert_eq!(stats.snapshot_loads, 3, "one load per shard");
+        assert_eq!(built.stats().snapshot_loads, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explicit_rebuilds_write_through_to_the_snapshot_dir() {
+        let (data, template) = experiment(300, 101);
+        let dir = scratch_dir("write-through");
+        let config = || ShardedConfig {
+            shards: 2,
+            workers: 2,
+            snapshot_dir: Some(dir.clone()),
+            ..ShardedConfig::default()
+        };
+        let service =
+            ShardedService::build(&data, template.clone(), EngineConfig::AdaptiveSfs, config())
+                .unwrap();
+        let id = service.insert_row(&[0.25, 0.25], &[1, 1]).unwrap();
+        service.delete_row(id).unwrap();
+        assert_eq!(service.force_rebuild_all().unwrap(), 2);
+        // Every installed swap left its shard's snapshot behind; a cold start from them
+        // carries the mutations (epochs, live rows, answers) without preprocessing.
+        let loaded = ShardedService::from_snapshots(&dir, config()).unwrap();
+        assert_eq!(loaded.epochs(), service.epochs());
+        assert_eq!(loaded.live_rows(), service.live_rows());
+        let mut generator = QueryGenerator::new(103);
+        let pref = generator.random_preference(data.schema(), &template, 2, None);
+        assert_eq!(
+            sharded_values(&service, &service.serve(&pref).unwrap()),
+            sharded_values(&loaded, &loaded.serve(&pref).unwrap()),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pool_swap_hook_persists_snapshots_in_the_background() {
+        let (data, template) = experiment(240, 107);
+        let dir = scratch_dir("swap-hook");
+        let service = ShardedService::build(
+            &data,
+            template.clone(),
+            EngineConfig::AdaptiveSfs,
+            ShardedConfig {
+                shards: 2,
+                workers: 2,
+                maintenance: Some(MaintenancePolicy {
+                    dead_row_ratio: 1.0,
+                    max_mutations_since_rebuild: 1,
+                    poll_interval: Duration::from_millis(5),
+                }),
+                snapshot_dir: Some(dir.clone()),
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        // One mutation crosses the eager policy on the owning shard; the pool's swap hook
+        // must write that shard's snapshot on a build thread without any explicit call.
+        let id = service.insert_row(&[0.5, 0.5], &[2, 2]).unwrap();
+        let path = shard_snapshot_path(&dir, id.shard);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !path.exists() {
+            assert!(Instant::now() < deadline, "swap hook never wrote {path:?}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The hook's file is a complete, loadable engine snapshot of the swapped shard.
+        let engine = SkylineEngine::from_snapshot_file(&path).unwrap();
+        assert_eq!(engine.template(), service.template());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn laggard_timeout_degrades_the_stalled_shard_under_a_tolerant_policy() {
+        let (data, template) = experiment(300, 109);
+        let mut generator = QueryGenerator::new(113);
+        let pref = generator.random_preference(data.schema(), &template, 2, None);
+        let build = |laggard_timeout, degrade| {
+            ShardedService::build(
+                &data,
+                template.clone(),
+                EngineConfig::AdaptiveSfs,
+                ShardedConfig {
+                    shards: 2,
+                    workers: 2,
+                    laggard_timeout,
+                    degrade,
+                    ..ShardedConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        // A generous staleness bound never triggers: complete answer, nothing degraded.
+        let relaxed = build(
+            Some(Duration::from_secs(600)),
+            DegradePolicy::Tolerate { max_degraded: 2 },
+        );
+        let stream = relaxed.serve_streaming(&pref).unwrap();
+        let rows = stream.collect_rows().unwrap();
+        let batch = build(None, DegradePolicy::FailClosed).serve(&pref).unwrap();
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, batch.outcome.skyline);
+
+        // A zero staleness bound times every pull out: under a tolerant policy each shard
+        // is cut loose through the degraded path and the stream still completes cleanly.
+        let strict = build(
+            Some(Duration::ZERO),
+            DegradePolicy::Tolerate { max_degraded: 2 },
+        );
+        let stream = strict.serve_streaming(&pref).unwrap();
+        let rows = stream.collect_rows().unwrap();
+        assert!(rows.is_empty(), "every shard timed out before emitting");
+        assert_eq!(strict.quarantined_shards(), Vec::<usize>::new());
+        let stats = strict.stats();
+        assert_eq!(stats.degraded, 1, "the degraded answer is counted");
+        // Degraded answers are never cached.
+        assert!(!strict.serve(&pref).unwrap().cache_hit);
+
+        // Fail-closed: the first laggard cut fails the request, naming the shard.
+        let closed = build(Some(Duration::ZERO), DegradePolicy::FailClosed);
+        let result = closed.serve_streaming(&pref).unwrap().collect_rows();
+        assert!(matches!(result, Err(SkylineError::ShardUnavailable { .. })));
     }
 }

@@ -25,6 +25,9 @@ pub struct ServiceMetrics {
     degraded: AtomicU64,
     streams_started: AtomicU64,
     stream_coalesced: AtomicU64,
+    snapshot_loads: AtomicU64,
+    snapshot_load_ns: AtomicU64,
+    preprocess_build_ns: AtomicU64,
     latency_ns: [AtomicU64; BUCKETS],
     ttfr_ns: [AtomicU64; BUCKETS],
 }
@@ -43,6 +46,9 @@ impl Default for ServiceMetrics {
             degraded: AtomicU64::new(0),
             streams_started: AtomicU64::new(0),
             stream_coalesced: AtomicU64::new(0),
+            snapshot_loads: AtomicU64::new(0),
+            snapshot_load_ns: AtomicU64::new(0),
+            preprocess_build_ns: AtomicU64::new(0),
             latency_ns: std::array::from_fn(|_| AtomicU64::new(0)),
             ttfr_ns: std::array::from_fn(|_| AtomicU64::new(0)),
         }
@@ -118,6 +124,26 @@ impl ServiceMetrics {
         self.stream_coalesced.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records engine cold starts served from persistent snapshots: `engines` structures
+    /// rehydrated in `elapsed` total wall time (no preprocessing ran).
+    pub fn record_snapshot_load(&self, engines: u64, elapsed: Duration) {
+        self.snapshot_loads.fetch_add(engines, Ordering::Relaxed);
+        self.snapshot_load_ns.fetch_add(
+            elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Records wall time spent in from-scratch preprocessing builds (the cost a snapshot
+    /// load avoids — compare [`StatsSnapshot::preprocess_build_ms`] against
+    /// [`StatsSnapshot::snapshot_load_ms`]).
+    pub fn record_preprocess_build(&self, elapsed: Duration) {
+        self.preprocess_build_ns.fetch_add(
+            elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
     /// Records a stream's time-to-first-row: the delay between the serve call and its first
     /// delivered skyline member. The whole point of the progressive path — compare
     /// [`StatsSnapshot::ttfr_p99`] against [`StatsSnapshot::p99`] (whole-answer latency).
@@ -159,6 +185,9 @@ impl ServiceMetrics {
             queue_depth: 0,
             rebuilds: 0,
             reclaimed_rows: 0,
+            snapshot_loads: self.snapshot_loads.load(Ordering::Relaxed),
+            snapshot_load_ms: self.snapshot_load_ns.load(Ordering::Relaxed) / 1_000_000,
+            preprocess_build_ms: self.preprocess_build_ns.load(Ordering::Relaxed) / 1_000_000,
             p50: percentile(&buckets, 0.50),
             p99: percentile(&buckets, 0.99),
             ttfr_p50: percentile(&ttfr, 0.50),
@@ -237,6 +266,14 @@ pub struct StatsSnapshot {
     /// Tombstoned rows physically reclaimed by those rebuilds (filled in from the engine by
     /// `SkylineService::stats`).
     pub reclaimed_rows: u64,
+    /// Engines cold-started from a persistent snapshot instead of a preprocessing build
+    /// (one per shard for a sharded bootstrap).
+    pub snapshot_loads: u64,
+    /// Total wall time spent rehydrating engines from snapshots, in milliseconds.
+    pub snapshot_load_ms: u64,
+    /// Total wall time spent in from-scratch preprocessing builds, in milliseconds — the
+    /// cost [`StatsSnapshot::snapshot_load_ms`] replaces on a snapshot bootstrap.
+    pub preprocess_build_ms: u64,
     /// Median latency (upper bound of its power-of-two bucket).
     pub p50: Duration,
     /// 99th-percentile latency (upper bound of its power-of-two bucket).
@@ -333,6 +370,22 @@ mod tests {
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         assert!(percentile(&buckets, 1.0) >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn snapshot_and_preprocess_timers_accumulate() {
+        let m = ServiceMetrics::new();
+        m.record_snapshot_load(4, Duration::from_millis(6));
+        m.record_snapshot_load(2, Duration::from_millis(5));
+        m.record_preprocess_build(Duration::from_millis(250));
+        let s = m.snapshot();
+        assert_eq!(s.snapshot_loads, 6);
+        assert_eq!(s.snapshot_load_ms, 11);
+        assert_eq!(s.preprocess_build_ms, 250);
+        let zeroed = ServiceMetrics::new().snapshot();
+        assert_eq!(zeroed.snapshot_loads, 0);
+        assert_eq!(zeroed.snapshot_load_ms, 0);
+        assert_eq!(zeroed.preprocess_build_ms, 0);
     }
 
     #[test]

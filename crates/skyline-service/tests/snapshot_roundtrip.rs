@@ -1,0 +1,297 @@
+//! Snapshot round-trip: a service rehydrated from its persistent binary snapshots is
+//! observationally identical to the one that wrote them — query for query, for every
+//! engine configuration, any shard count from 1 to 4, and under both dominance-kernel
+//! modes — and every way of damaging a snapshot (byte flips, truncations, version bumps)
+//! is a structured [`SkylineError::Snapshot`], never a panic and never silently wrong rows.
+//!
+//! Kernel-mode coverage matters because the snapshot stores *data*, not kernel state: the
+//! bytes written under the packed kernel must be identical to the bytes written under the
+//! scalar kernel, and a snapshot written under either mode must load and answer correctly
+//! under the other (the CI `kernel-paths` matrix runs this suite under both `SKYLINE_KERNEL`
+//! values, and the tests additionally force both modes in-process via [`with_kernel_mode`]).
+
+use proptest::prelude::*;
+use skyline::model::{with_kernel_mode, KernelMode};
+use skyline::prelude::*;
+use skyline_service::{ShardPartition, ShardedConfig, ShardedService};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const CARD: usize = 3;
+
+/// Every mutable engine configuration the snapshot format must carry.
+const CONFIGS: [EngineConfig; 6] = [
+    EngineConfig::SfsD,
+    EngineConfig::AdaptiveSfs,
+    EngineConfig::IpoTree,
+    EngineConfig::IpoTreeTopK(2),
+    EngineConfig::BitmapIpoTree,
+    EngineConfig::Hybrid { top_k: 2 },
+];
+
+type Rows = Vec<(Vec<f64>, Vec<ValueId>)>;
+
+fn rows_strategy() -> impl Strategy<Value = Rows> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0i32..6, 2)
+                .prop_map(|v| v.into_iter().map(f64::from).collect::<Vec<f64>>()),
+            proptest::collection::vec(0..(CARD as ValueId), 1),
+        ),
+        1..16,
+    )
+}
+
+fn initial_dataset(rows: &[(Vec<f64>, Vec<ValueId>)]) -> Dataset {
+    let schema = Schema::new(vec![
+        Dimension::numeric("x"),
+        Dimension::numeric("y"),
+        Dimension::nominal("g", NominalDomain::anonymous(CARD)),
+    ])
+    .unwrap();
+    let mut data = Dataset::empty(schema);
+    for (numeric, nominal) in rows {
+        data.push_row_ids(numeric, nominal).unwrap();
+    }
+    data
+}
+
+/// A row's identity across services: its raw values (numeric bit patterns + nominal ids).
+type ValueKey = (Vec<u64>, Vec<ValueId>);
+
+fn value_key(data: &Dataset, p: PointId) -> ValueKey {
+    let schema = data.schema();
+    (
+        (0..schema.numeric_count())
+            .map(|j| data.numeric(p, j).to_bits())
+            .collect(),
+        (0..schema.nominal_count())
+            .map(|j| data.nominal(p, j))
+            .collect(),
+    )
+}
+
+/// The observable outcome of serving `pref`: the sorted value multiset, or the error the
+/// service rejected the query with (e.g. `IpoTreeTopK` refusing a non-materialized value —
+/// a snapshot-loaded service must reproduce the rejection too).
+fn sharded_values(
+    service: &ShardedService,
+    pref: &Preference,
+) -> std::result::Result<Vec<ValueKey>, String> {
+    let served = service.serve(pref).map_err(|e| e.to_string())?;
+    let mut values: Vec<ValueKey> = served
+        .outcome
+        .skyline
+        .iter()
+        .map(|g| value_key(service.shard(g.shard).read().dataset(), g.row))
+        .collect();
+    values.sort();
+    Ok(values)
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "skyline-snapshot-roundtrip-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Write → load is observationally the identity, for every engine configuration,
+    /// 1–4 shards and both kernel modes — including writing under one kernel mode and
+    /// loading under the other (the snapshot bytes must not depend on the kernel at all).
+    #[test]
+    fn snapshot_round_trip_is_observationally_identical(
+        initial in rows_strategy(),
+        shards in 1usize..=4,
+        query_choices in proptest::sample::subsequence(
+            (0..CARD as ValueId).collect::<Vec<_>>(), 0..=2
+        ).prop_shuffle(),
+    ) {
+        let data = Arc::new(initial_dataset(&initial));
+        let template = Template::empty(data.schema());
+        let pref = Preference::from_dims(vec![ImplicitPreference::new(query_choices).unwrap()]);
+        let dir = scratch_dir("roundtrip");
+
+        for config in CONFIGS {
+            let sharded = ShardedConfig {
+                shards,
+                partition: ShardPartition::HashNominal { dim: 0 },
+                workers: 2,
+                ..ShardedConfig::default()
+            };
+            let service = ShardedService::build(&data, template.clone(), config, sharded.clone())
+                .unwrap();
+            let expected = sharded_values(&service, &pref);
+
+            // The format stores data, not kernel state: both modes write identical bytes.
+            let packed_bytes = with_kernel_mode(KernelMode::Packed, || {
+                service.shard(0).read().write_snapshot().unwrap()
+            });
+            let scalar_bytes = with_kernel_mode(KernelMode::Scalar, || {
+                service.shard(0).read().write_snapshot().unwrap()
+            });
+            prop_assert_eq!(
+                &packed_bytes, &scalar_bytes,
+                "snapshot bytes must be kernel-mode independent (config {:?})", config
+            );
+
+            let written = with_kernel_mode(KernelMode::Packed, || service.write_snapshots(&dir));
+            prop_assert_eq!(written.unwrap().len(), shards.max(1));
+
+            // Load and serve under both kernel modes: write-packed/load-scalar and
+            // write-packed/load-packed both answer exactly like the original service.
+            for mode in [KernelMode::Packed, KernelMode::Scalar] {
+                let loaded = with_kernel_mode(mode, || {
+                    ShardedService::from_snapshots(&dir, sharded.clone())
+                }).unwrap();
+                prop_assert_eq!(loaded.shard_count(), service.shard_count());
+                prop_assert_eq!(loaded.live_rows(), service.live_rows());
+                for s in 0..service.shard_count() {
+                    prop_assert_eq!(
+                        loaded.shard(s).read().epoch(),
+                        service.shard(s).read().epoch(),
+                        "shard {} epoch must survive the round trip", s
+                    );
+                }
+                let answered = with_kernel_mode(mode, || sharded_values(&loaded, &pref));
+                prop_assert_eq!(
+                    answered, expected.clone(),
+                    "config {:?}, shards {}, load mode {:?}", config, shards, mode
+                );
+                prop_assert_eq!(loaded.stats().snapshot_loads, shards.max(1) as u64);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Builds the single-shard corruption target: a small hybrid engine with enough structure
+/// to populate every snapshot section (numerics, nominals, Adaptive-SFS list, IPO tree).
+fn corruption_target() -> Vec<u8> {
+    let rows: Rows = (0..12i32)
+        .map(|i| {
+            (
+                vec![f64::from(i % 5), f64::from((i * 3) % 7)],
+                vec![(i as usize % CARD) as ValueId],
+            )
+        })
+        .collect();
+    let data = Arc::new(initial_dataset(&rows));
+    let template = Template::empty(data.schema());
+    let engine = SkylineEngine::build(data, template, EngineConfig::Hybrid { top_k: 2 }).unwrap();
+    engine.write_snapshot().unwrap()
+}
+
+/// Every single-byte flip anywhere in the snapshot is detected: the load returns a
+/// structured error — it never panics and never yields an engine with different rows.
+#[test]
+fn every_byte_flip_is_detected() {
+    let bytes = corruption_target();
+    let baseline = SkylineEngine::from_snapshot(&bytes).expect("pristine snapshot loads");
+    for mode in [KernelMode::Packed, KernelMode::Scalar] {
+        with_kernel_mode(mode, || {
+            for i in 0..bytes.len() {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= 0x01;
+                let err = SkylineEngine::from_snapshot(&corrupt);
+                assert!(
+                    err.is_err(),
+                    "flipping byte {i} of {} went undetected under {mode:?}",
+                    bytes.len()
+                );
+            }
+        });
+    }
+    assert_eq!(
+        SkylineEngine::from_snapshot(&bytes).unwrap().live_rows(),
+        baseline.live_rows()
+    );
+}
+
+/// Every truncation — from the empty file up to one byte short — is a structured error.
+#[test]
+fn every_truncation_is_detected() {
+    let bytes = corruption_target();
+    for len in 0..bytes.len() {
+        assert!(
+            SkylineEngine::from_snapshot(&bytes[..len]).is_err(),
+            "truncating to {len} of {} bytes went undetected",
+            bytes.len()
+        );
+    }
+    // Trailing garbage past the declared end is equally rejected.
+    let mut extended = bytes.clone();
+    extended.push(0);
+    assert!(SkylineEngine::from_snapshot(&extended).is_err());
+}
+
+/// A bumped container version is refused up front with a structured error, not parsed.
+#[test]
+fn version_bump_is_refused() {
+    let mut bytes = corruption_target();
+    // Container layout: 8-byte magic, then the little-endian u32 format version.
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    bytes[8..12].copy_from_slice(&(version + 1).to_le_bytes());
+    let err = SkylineEngine::from_snapshot(&bytes);
+    assert!(err.is_err(), "future container version must be refused");
+}
+
+/// `from_snapshots` refuses a directory whose shard files disagree on configuration —
+/// mixing shards written by services built with different engine configs is a structured
+/// error, not a service that answers from an incoherent ensemble.
+#[test]
+fn mixed_config_shard_files_are_refused() {
+    let rows: Rows = (0..10i32)
+        .map(|i| {
+            (
+                vec![f64::from(i % 4), f64::from((i * 5) % 6)],
+                vec![(i as usize % CARD) as ValueId],
+            )
+        })
+        .collect();
+    let data = Arc::new(initial_dataset(&rows));
+    let template = Template::empty(data.schema());
+    let sharded = ShardedConfig {
+        shards: 2,
+        partition: ShardPartition::HashNominal { dim: 0 },
+        ..ShardedConfig::default()
+    };
+
+    let dir = scratch_dir("mixed-config");
+    let adaptive = ShardedService::build(
+        &data,
+        template.clone(),
+        EngineConfig::AdaptiveSfs,
+        sharded.clone(),
+    )
+    .unwrap();
+    adaptive.write_snapshots(&dir).unwrap();
+    let hybrid_dir = scratch_dir("mixed-config-hybrid");
+    let hybrid = ShardedService::build(
+        &data,
+        template,
+        EngineConfig::Hybrid { top_k: 2 },
+        sharded.clone(),
+    )
+    .unwrap();
+    hybrid.write_snapshots(&hybrid_dir).unwrap();
+
+    // Replace shard 1's file with the hybrid service's shard 1: configs now disagree.
+    std::fs::copy(
+        hybrid_dir.join("shard-0001.snap"),
+        dir.join("shard-0001.snap"),
+    )
+    .unwrap();
+    let err = ShardedService::from_snapshots(&dir, sharded);
+    assert!(
+        matches!(err, Err(SkylineError::Snapshot(_))),
+        "mixed-config shard files must be a structured snapshot error, got {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&hybrid_dir);
+}

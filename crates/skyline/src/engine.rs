@@ -71,23 +71,23 @@ pub struct QueryOutcome {
 #[derive(Debug, Clone)]
 pub struct Generation {
     /// Monotonic generation number.
-    id: u64,
+    pub(crate) id: u64,
     /// Dataset handle; `None` when an Adaptive SFS structure owns the data (the
     /// [`EngineConfig::AdaptiveSfs`] and [`EngineConfig::Hybrid`] configurations), so mutable
     /// state has exactly one owner and incremental updates never copy it.
-    data: Option<Arc<Dataset>>,
+    pub(crate) data: Option<Arc<Dataset>>,
     /// Row-major interleaved copy of the dataset for the compiled dominance kernel. `Some`
     /// only for [`EngineConfig::SfsD`]: Adaptive-SFS configurations expose their structure's
     /// block, and pure IPO-tree configurations never run a dominance scan.
-    block: Option<Arc<PointBlock>>,
+    pub(crate) block: Option<Arc<PointBlock>>,
     /// Shared so a rebuild snapshot can carry the tree's materialization policy without
     /// deep-copying the node arena under the engine's write lock.
-    ipo: Option<Arc<IpoTree>>,
-    bitmap: Option<BitmapIpoTree>,
-    asfs: Option<AdaptiveSfs>,
+    pub(crate) ipo: Option<Arc<IpoTree>>,
+    pub(crate) bitmap: Option<BitmapIpoTree>,
+    pub(crate) asfs: Option<AdaptiveSfs>,
     /// Epoch the materialized IPO structures were built at; when the dataset has moved past
     /// it, the hybrid configuration stops consulting its (stale) tree.
-    tree_epoch: DatasetEpoch,
+    pub(crate) tree_epoch: DatasetEpoch,
 }
 
 impl Generation {
@@ -180,7 +180,7 @@ enum LoggedMutation {
 /// every epoch-bumping mutation applied since. A pending generation is only installable when
 /// it was built from exactly this snapshot — the log covers nothing earlier.
 #[derive(Debug, Clone)]
-struct ReplayLog {
+pub(crate) struct ReplayLog {
     /// Engine epoch when [`SkylineEngine::begin_rebuild`] armed the log (the snapshot epoch).
     from_epoch: DatasetEpoch,
     mutations: Vec<LoggedMutation>,
@@ -341,26 +341,26 @@ impl PendingGeneration {
 /// [`crate::maintenance::MaintenancePolicy`].
 #[derive(Debug, Clone)]
 pub struct SkylineEngine {
-    template: Template,
-    config: EngineConfig,
-    generation: Generation,
+    pub(crate) template: Template,
+    pub(crate) config: EngineConfig,
+    pub(crate) generation: Generation,
     /// `Some` while a rebuild is in flight: every epoch-bumping mutation is recorded for
     /// replay onto the next generation before the swap.
-    replay_log: Option<ReplayLog>,
+    pub(crate) replay_log: Option<ReplayLog>,
     /// Epoch-bumping mutations applied since the last installed generation (or the build) —
     /// one of the two quantities maintenance policies watch.
-    mutations_since_rebuild: u64,
+    pub(crate) mutations_since_rebuild: u64,
     /// Counters of structures replaced by past generation swaps, plus the engine-level
     /// `rebuilds`/`reclaimed_rows` — merged with the live structure's counters by
     /// [`SkylineEngine::maintenance_stats`].
-    carried_stats: MaintenanceStats,
+    pub(crate) carried_stats: MaintenanceStats,
     /// Mutation counters for [`EngineConfig::SfsD`], which has no maintained structure of its
     /// own to count them.
-    sfsd_stats: MaintenanceStats,
+    pub(crate) sfsd_stats: MaintenanceStats,
     /// The translations published by recent generation swaps, oldest first, bounded to
     /// [`REMAP_CHAIN_LIMIT`] entries. Caches compose consecutive entries to translate
     /// results that are more than one swap behind.
-    remap_history: Vec<GenerationRemap>,
+    pub(crate) remap_history: Vec<GenerationRemap>,
 }
 
 /// How many published [`GenerationRemap`]s an engine retains for cache translation.

@@ -48,6 +48,7 @@
 
 pub mod engine;
 pub mod maintenance;
+pub mod snapshot;
 
 pub use engine::{
     EngineConfig, EngineScratch, EngineStream, Generation, GenerationRemap, GenerationSnapshot,

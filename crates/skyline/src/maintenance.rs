@@ -169,6 +169,7 @@ struct PoolInner {
     poll_interval: Duration,
     hook: HookCell,
     panic_hook: HookCell,
+    swap_hook: HookCell,
 }
 
 /// Locks the pool's scheduling state, recovering from poison instead of propagating it.
@@ -206,6 +207,7 @@ impl BuildPool {
             poll_interval: config.poll_interval,
             hook: HookCell::default(),
             panic_hook: HookCell::default(),
+            swap_hook: HookCell::default(),
         });
         let threads = (0..config.threads.max(1))
             .map(|i| {
@@ -265,6 +267,16 @@ impl BuildPool {
         self.inner.panic_hook.set(hook);
     }
 
+    /// Installs (or clears) a hook called with the slot id right after that slot's build
+    /// cycle **installs** a new generation — policy-driven cycles and
+    /// [`BuildHandle::force_rebuild`] alike. Skipped and failed cycles never fire it. A
+    /// sharded service hangs its post-swap snapshot writes here, so persistence rides the
+    /// same background threads as the builds instead of adding latency to any query or
+    /// mutation path.
+    pub fn set_swap_hook(&self, hook: Option<BuildHook>) {
+        self.inner.swap_hook.set(hook);
+    }
+
     /// Number of build worker threads.
     pub fn threads(&self) -> usize {
         self.threads.len()
@@ -321,7 +333,13 @@ impl BuildHandle {
     /// tests and pre-traffic warmup hooks use this; steady-state operation relies on the
     /// policy.
     pub fn force_rebuild(&self) -> Result<bool> {
-        run_cycle(&self.engine)
+        let installed = run_cycle(&self.engine)?;
+        if installed {
+            if let Some(on_swap) = self.inner.swap_hook.get() {
+                on_swap(self.slot);
+            }
+        }
+        Ok(installed)
     }
 
     /// The engine this handle maintains.
@@ -392,16 +410,24 @@ fn worker_loop(inner: &PoolInner) {
             let release = SlotRelease { inner, id };
             let hook = inner.hook.get();
             let entered_cycle = std::cell::Cell::new(false);
+            let installed = std::cell::Cell::new(false);
             let cycle = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if let Some(hook) = &hook {
                     hook(id);
                 }
                 if policy.due(&engine.read()) {
                     entered_cycle.set(true);
-                    let _ = run_cycle(&engine);
+                    if let Ok(true) = run_cycle(&engine) {
+                        installed.set(true);
+                    }
                 }
             }));
             drop(release);
+            if installed.get() {
+                if let Some(on_swap) = inner.swap_hook.get() {
+                    on_swap(id);
+                }
+            }
             if cycle.is_err() {
                 if entered_cycle.get() && engine.read().rebuild_in_flight() {
                     // The panic unwound `rebuild_now` between `begin_rebuild` and the
